@@ -1,0 +1,349 @@
+(* kfuse — command-line driver for the kernel-fusion library.
+
+   Subcommands:
+     devices                    print the device zoo (paper Table IV)
+     workloads                  list built-in workloads
+     analyze  <workload>        dependency classes + reducible traffic
+     search   <workload>        run the HGGA and print the best plan
+     fuse     <workload>        search, apply, measure the speedup
+     codegen  <workload>        emit pseudo-CUDA for the fused program *)
+
+open Cmdliner
+
+module Device = Kf_gpu.Device
+module Program = Kf_ir.Program
+module Datadep = Kf_graph.Datadep
+module Exec_order = Kf_graph.Exec_order
+module Traffic = Kf_graph.Traffic
+module Plan = Kf_fusion.Plan
+module Hgga = Kf_search.Hgga
+module Objective = Kf_search.Objective
+module Pipeline = Kfuse.Pipeline
+module Table = Kf_util.Table
+module Suite = Kf_workloads.Suite
+
+(* --- workload + device parsing --- *)
+
+let workload_names =
+  [ "motivating"; "cloverleaf"; "tealeaf"; "scale-les"; "scale-les-rk"; "homme" ]
+
+let load_workload = function
+  | "motivating" -> Kf_workloads.Motivating.program ()
+  | "cloverleaf" -> Kf_workloads.Cloverleaf.program ()
+  | "tealeaf" -> Kf_workloads.Tealeaf.program ()
+  | "scale-les" -> Kf_workloads.Scale_les.program ()
+  | "scale-les-rk" -> Kf_workloads.Scale_les.rk_core ()
+  | "homme" -> Kf_workloads.Homme.program ()
+  | s when String.length s > 5 && String.sub s 0 5 = "file:" ->
+      Kf_ir.Program_io.parse_file (String.sub s 5 (String.length s - 5))
+  | s when Filename.check_suffix s ".kf" -> Kf_ir.Program_io.parse_file s
+  | s when String.length s > 6 && String.sub s 0 6 = "suite:" ->
+      (* suite:kernels=30,arrays=60,copies=4,sharing=4,load=8,kinship=2,seed=1 *)
+      let spec = String.sub s 6 (String.length s - 6) in
+      let config =
+        List.fold_left
+          (fun (c : Suite.config) kv ->
+            match String.split_on_char '=' kv with
+            | [ "kernels"; v ] -> { c with Suite.kernels = int_of_string v }
+            | [ "arrays"; v ] -> { c with Suite.arrays = int_of_string v }
+            | [ "copies"; v ] -> { c with Suite.data_copies = int_of_string v }
+            | [ "sharing"; v ] -> { c with Suite.sharing_set = int_of_string v }
+            | [ "load"; v ] -> { c with Suite.thread_load = int_of_string v }
+            | [ "kinship"; v ] -> { c with Suite.kinship = int_of_string v }
+            | [ "seed"; v ] -> { c with Suite.seed = int_of_string v }
+            | _ -> invalid_arg (Printf.sprintf "unknown suite attribute %S" kv))
+          Suite.default
+          (String.split_on_char ',' spec)
+      in
+      Suite.generate config
+  | other ->
+      invalid_arg
+        (Printf.sprintf
+           "unknown workload %S (try: %s, suite:kernels=30,..., or a .kf program file)" other
+           (String.concat ", " workload_names))
+
+let device_of_name = function
+  | "k20x" -> Device.k20x
+  | "k40" -> Device.k40
+  | "gtx750ti" | "maxwell" -> Device.gtx750ti
+  | other -> invalid_arg (Printf.sprintf "unknown device %S (k20x, k40, gtx750ti)" other)
+
+let model_of_name = function
+  | "proposed" -> Objective.Proposed
+  | "roofline" -> Objective.Roofline
+  | "simple" -> Objective.Simple
+  | "mwp" -> Objective.Mwp
+  | other -> invalid_arg (Printf.sprintf "unknown model %S" other)
+
+(* --- common args --- *)
+
+let workload_arg =
+  let doc = "Workload: one of motivating, cloverleaf, scale-les, scale-les-rk, homme, or suite:kernels=N,arrays=M,..." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+
+let device_arg =
+  let doc = "Target device (k20x, k40, gtx750ti)." in
+  Arg.(value & opt string "k20x" & info [ "d"; "device" ] ~docv:"DEVICE" ~doc)
+
+let model_arg =
+  let doc = "Objective model (proposed, roofline, simple, mwp)." in
+  Arg.(value & opt string "proposed" & info [ "m"; "model" ] ~docv:"MODEL" ~doc)
+
+let generations_arg =
+  let doc = "Maximum GA generations." in
+  Arg.(value & opt int Hgga.default_params.Hgga.max_generations & info [ "generations" ] ~doc)
+
+let population_arg =
+  let doc = "GA population size." in
+  Arg.(value & opt int Hgga.default_params.Hgga.population_size & info [ "population" ] ~doc)
+
+let seed_arg =
+  let doc = "GA random seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let params_of generations population seed =
+  { Hgga.default_params with Hgga.max_generations = generations; population_size = population; seed }
+
+(* --- subcommands --- *)
+
+let devices_cmd =
+  let run () =
+    let t =
+      Table.create ~title:"Device zoo (paper Table IV)"
+        [
+          ("device", Table.Left); ("arch", Table.Left); ("SMX", Table.Right);
+          ("regs/SMX", Table.Right); ("SMEM/SMX", Table.Right); ("peak", Table.Right);
+          ("GMEM BW", Table.Right);
+        ]
+    in
+    List.iter
+      (fun (d : Device.t) ->
+        Table.add_row t
+          [
+            d.Device.name;
+            (match d.Device.arch with Device.Kepler -> "Kepler" | Device.Maxwell -> "Maxwell");
+            string_of_int d.Device.smx_count;
+            Printf.sprintf "%dK" (d.Device.registers_per_smx / 1024);
+            Printf.sprintf "%dKB" (d.Device.smem_per_smx / 1024);
+            Printf.sprintf "%.2f TFLOPS" (d.Device.peak_gflops /. 1000.);
+            Printf.sprintf "%.0f GB/s" d.Device.gmem_bandwidth_gbs;
+          ])
+      Device.all;
+    Table.print t
+  in
+  Cmd.v (Cmd.info "devices" ~doc:"Print the device descriptions") Term.(const run $ const ())
+
+let workloads_cmd =
+  let run () =
+    List.iter
+      (fun name ->
+        let p = load_workload name in
+        Format.printf "%-14s %a@." name Program.pp_stats p)
+      workload_names
+  in
+  Cmd.v (Cmd.info "workloads" ~doc:"List built-in workloads") Term.(const run $ const ())
+
+let analyze_cmd =
+  let run workload =
+    let p = load_workload workload in
+    Format.printf "%a@.@." Program.pp_stats p;
+    let dd = Datadep.build p in
+    let exec = Exec_order.build dd in
+    let counts = Hashtbl.create 4 in
+    Array.iter
+      (fun cls ->
+        let c = try Hashtbl.find counts cls with Not_found -> 0 in
+        Hashtbl.replace counts cls (c + 1))
+      (Datadep.classes dd);
+    Format.printf "array classes:@.";
+    List.iter
+      (fun cls ->
+        let c = try Hashtbl.find counts cls with Not_found -> 0 in
+        Format.printf "  %-12s %d@." (Datadep.class_to_string cls) c)
+      [ Datadep.Read_only; Datadep.Read_write; Datadep.Expandable; Datadep.Write_only ];
+    Format.printf "relaxation cost: %.1f MB of redundant copies@."
+      (float_of_int (Exec_order.extra_memory_bytes exec) /. 1048576.);
+    Format.printf "%a@." Traffic.pp_report (Traffic.analyze exec)
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Dependency and traffic analysis") Term.(const run $ workload_arg)
+
+let search_cmd =
+  let run workload device model generations population seed =
+    let p = load_workload workload in
+    let device = device_of_name device in
+    let ctx = Pipeline.prepare ~device p in
+    let obj = Pipeline.objective ~model:(model_of_name model) ctx in
+    let r = Hgga.solve ~params:(params_of generations population seed) obj in
+    Format.printf "best plan: %a@." Plan.pp r.Hgga.plan;
+    Format.printf
+      "projected cost %.3f ms (measured original %.3f ms) | %d generations, %d evaluations, %.2f s@."
+      (r.Hgga.cost *. 1e3)
+      (ctx.Pipeline.original_runtime *. 1e3)
+      r.Hgga.stats.Hgga.generations r.Hgga.stats.Hgga.evaluations r.Hgga.stats.Hgga.wall_time_s
+  in
+  Cmd.v
+    (Cmd.info "search" ~doc:"Run the HGGA search and print the best plan")
+    Term.(const run $ workload_arg $ device_arg $ model_arg $ generations_arg $ population_arg $ seed_arg)
+
+let fuse_cmd =
+  let run workload device model generations population seed =
+    let p = load_workload workload in
+    let device = device_of_name device in
+    let ctx = Pipeline.prepare ~device p in
+    let obj = Pipeline.objective ~model:(model_of_name model) ctx in
+    let search = Hgga.solve ~params:(params_of generations population seed) obj in
+    let o = Pipeline.apply ctx search in
+    Format.printf "%a@." Pipeline.pp_outcome o
+  in
+  Cmd.v
+    (Cmd.info "fuse" ~doc:"Search, apply the fusion, and measure the speedup")
+    Term.(const run $ workload_arg $ device_arg $ model_arg $ generations_arg $ population_arg $ seed_arg)
+
+let graph_cmd =
+  let run workload kind plan_overlay generations population seed =
+    let p = load_workload workload in
+    let dd = Datadep.build p in
+    match kind with
+    | "data" -> print_string (Kf_graph.Dot.data_dependency dd)
+    | "exec" ->
+        let exec = Exec_order.build dd in
+        if plan_overlay then begin
+          let ctx = Pipeline.prepare ~device:Device.k20x p in
+          let obj = Pipeline.objective ctx in
+          let r = Hgga.solve ~params:(params_of generations population seed) obj in
+          print_string (Kf_graph.Dot.order_of_execution_with_groups exec (Plan.groups r.Hgga.plan))
+        end
+        else print_string (Kf_graph.Dot.order_of_execution exec)
+    | other -> invalid_arg (Printf.sprintf "graph kind must be data or exec, not %S" other)
+  in
+  let kind_arg =
+    let doc = "Graph to emit: data (paper Fig. 1) or exec (paper Fig. 2)." in
+    Arg.(value & opt string "data" & info [ "k"; "kind" ] ~docv:"KIND" ~doc)
+  in
+  let plan_arg =
+    let doc = "Overlay the best fusion plan as clusters (exec graphs only)." in
+    Arg.(value & flag & info [ "plan" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Emit Graphviz DOT for the dependency graphs")
+    Term.(const run $ workload_arg $ kind_arg $ plan_arg $ generations_arg $ population_arg $ seed_arg)
+
+let tune_cmd =
+  let run workload device generations population seed =
+    let p = load_workload workload in
+    let device = device_of_name device in
+    let candidates, best =
+      Kfuse.Block_tuner.tune ~params:(params_of generations population seed) ~device p
+    in
+    Format.printf "%a" Kfuse.Block_tuner.pp_candidates candidates;
+    Format.printf "best tile: %dx%d@." best.Kfuse.Block_tuner.block_x
+      best.Kfuse.Block_tuner.block_y
+  in
+  Cmd.v
+    (Cmd.info "tune" ~doc:"Sweep thread-block tiles and report fusion outcomes")
+    Term.(const run $ workload_arg $ device_arg $ generations_arg $ population_arg $ seed_arg)
+
+let report_cmd =
+  let run workload device model generations population seed out verify =
+    let p = load_workload workload in
+    let device = device_of_name device in
+    let ctx = Pipeline.prepare ~device p in
+    let obj = Pipeline.objective ~model:(model_of_name model) ctx in
+    let search = Hgga.solve ~params:(params_of generations population seed) obj in
+    let o = Pipeline.apply ctx search in
+    match out with
+    | None -> print_string (Kfuse.Report.render ~verify o)
+    | Some path ->
+        Kfuse.Report.write_file ~verify path o;
+        Format.printf "wrote %s@." path
+  in
+  let out_arg =
+    let doc = "Write the markdown report to this file instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let verify_arg =
+    let doc = "Also run the execution oracle and include its verdict." in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Produce a markdown fusion report")
+    Term.(const run $ workload_arg $ device_arg $ model_arg $ generations_arg $ population_arg
+          $ seed_arg $ out_arg $ verify_arg)
+
+let verify_cmd =
+  let run workload device generations population seed =
+    let p = load_workload workload in
+    let device = device_of_name device in
+    (* The oracle executes every site; scale the grid down (fusion
+       legality and semantics are size-invariant, paper §II-C). *)
+    let g = p.Program.grid in
+    let small =
+      Kf_ir.Grid.make
+        ~nx:(min g.Kf_ir.Grid.nx (4 * g.Kf_ir.Grid.block_x))
+        ~ny:(min g.Kf_ir.Grid.ny (4 * g.Kf_ir.Grid.block_y))
+        ~nz:(min g.Kf_ir.Grid.nz 4) ~block_x:g.Kf_ir.Grid.block_x ~block_y:g.Kf_ir.Grid.block_y
+    in
+    let p = Program.with_grid p small in
+    let ctx = Pipeline.prepare ~device p in
+    let obj = Pipeline.objective ctx in
+    let r = Hgga.solve ~params:(params_of generations population seed) obj in
+    let fp =
+      Kf_fusion.Fused_program.build ~device ~meta:ctx.Pipeline.meta ~exec:ctx.Pipeline.exec
+        r.Hgga.plan
+    in
+    Format.printf "plan: %a@." Plan.pp r.Hgga.plan;
+    let v = Kf_exec.Semantics.check ~device fp in
+    if v.Kf_exec.Semantics.equivalent then
+      Format.printf "VERIFIED: fused execution matches the original bitwise (%d kernels -> %d units)@."
+        (Program.num_kernels p) (Plan.num_groups r.Hgga.plan)
+    else begin
+      Format.printf "MISMATCH: %d sites differ (max |diff| %g, array %d)@."
+        v.Kf_exec.Semantics.mismatched_sites v.Kf_exec.Semantics.max_abs_diff
+        v.Kf_exec.Semantics.worst_array;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Check the best plan's semantics with the execution oracle")
+    Term.(const run $ workload_arg $ device_arg $ generations_arg $ population_arg $ seed_arg)
+
+let export_cmd =
+  let run workload path =
+    let p = load_workload workload in
+    Kf_ir.Program_io.write_file path p;
+    Format.printf "wrote %s (%d kernels, %d arrays)@." path (Program.num_kernels p)
+      (Program.num_arrays p)
+  in
+  let path_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE" ~doc:"Output .kf path")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Write a built-in workload as a .kf program file")
+    Term.(const run $ workload_arg $ path_arg)
+
+let codegen_cmd =
+  let run workload device generations population seed =
+    let p = load_workload workload in
+    let device = device_of_name device in
+    let ctx = Pipeline.prepare ~device p in
+    let obj = Pipeline.objective ctx in
+    let search = Hgga.solve ~params:(params_of generations population seed) obj in
+    let o = Pipeline.apply ctx search in
+    print_string (Kf_fusion.Codegen.emit_program o.Pipeline.fused)
+  in
+  Cmd.v
+    (Cmd.info "codegen" ~doc:"Emit pseudo-CUDA for the fused program")
+    Term.(const run $ workload_arg $ device_arg $ generations_arg $ population_arg $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "kfuse" ~version:"1.0.0"
+      ~doc:"Scalable kernel fusion for memory-bound GPU applications (SC'14 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            devices_cmd; workloads_cmd; analyze_cmd; search_cmd; fuse_cmd; codegen_cmd;
+            graph_cmd; tune_cmd; export_cmd; verify_cmd; report_cmd;
+          ]))

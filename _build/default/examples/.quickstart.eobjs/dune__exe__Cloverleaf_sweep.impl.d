@@ -1,0 +1,1 @@
+examples/cloverleaf_sweep.ml: Array Kf_fusion Kf_gpu Kf_search Kf_util Kf_workloads Kfuse List Printf Sys

@@ -1,0 +1,1 @@
+examples/cloverleaf_sweep.mli:

@@ -1,0 +1,1 @@
+examples/custom_program.ml: Format Kf_fusion Kf_gpu Kf_graph Kf_ir Kf_search Kfuse

@@ -1,0 +1,1 @@
+examples/motivating_example.ml: Array Format Kf_fusion Kf_gpu Kf_ir Kf_model Kf_search Kf_sim Kf_util Kf_workloads Kfuse

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Access Array_info Format Grid Kernel Kf_fusion Kf_gpu Kf_graph Kf_ir Kfuse List Program Stencil

@@ -1,0 +1,1 @@
+examples/smem_capacity_study.ml: Array Format Kf_fusion Kf_gpu Kf_ir Kf_search Kf_util Kf_workloads Kfuse List Printf Sys

@@ -1,0 +1,1 @@
+examples/smem_capacity_study.mli:

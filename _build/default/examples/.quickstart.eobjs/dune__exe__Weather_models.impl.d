@@ -1,0 +1,1 @@
+examples/weather_models.ml: Array Format Kf_fusion Kf_gpu Kf_search Kf_sim Kf_util Kf_workloads Kfuse List Sys

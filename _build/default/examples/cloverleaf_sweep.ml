@@ -1,0 +1,61 @@
+(* Controlled study on the CloverLeaf-derived test suite (paper Table V):
+   sweep one attribute of the benchmark generator and watch how fusion
+   benefit responds.
+
+     dune exec examples/cloverleaf_sweep.exe              # sweep kernel count
+     dune exec examples/cloverleaf_sweep.exe -- sharing   # sweep sharing-set size
+     dune exec examples/cloverleaf_sweep.exe -- load      # sweep thread load *)
+
+module Suite = Kf_workloads.Suite
+module Pipeline = Kfuse.Pipeline
+module Hgga = Kf_search.Hgga
+module Plan = Kf_fusion.Plan
+module Table = Kf_util.Table
+
+let fast = { Hgga.default_params with Hgga.max_generations = 120; stall_generations = 40 }
+
+let sweep_axis = function
+  | "sharing" ->
+      ("sharing-set size", Suite.table5_axis `Sharing,
+       fun v -> { Suite.default with Suite.sharing_set = v })
+  | "load" ->
+      ("avg thread load", Suite.table5_axis `Load,
+       fun v -> { Suite.default with Suite.thread_load = v })
+  | "copies" ->
+      ("data copies", Suite.table5_axis `Copies,
+       fun v -> { Suite.default with Suite.data_copies = v })
+  | "kinship" ->
+      ("kinship", Suite.table5_axis `Kinship,
+       fun v -> { Suite.default with Suite.kinship = v })
+  | _ ->
+      ("number of kernels",
+       List.filter (fun k -> k <= 60) (Suite.table5_axis `Kernels),
+       fun v -> { Suite.default with Suite.kernels = v; arrays = 2 * v })
+
+let () =
+  let axis = if Array.length Sys.argv > 1 then Sys.argv.(1) else "kernels" in
+  let label, values, config_of = sweep_axis axis in
+  let device = Kf_gpu.Device.k20x in
+  let t =
+    Table.create
+      ~title:(Printf.sprintf "fusion vs. %s (CloverLeaf test suite, K20X)" label)
+      [
+        (label, Table.Right); ("orig (ms)", Table.Right); ("fused (ms)", Table.Right);
+        ("speedup", Table.Right); ("new kernels", Table.Right); ("evals", Table.Right);
+      ]
+  in
+  List.iter
+    (fun v ->
+      let p = Suite.generate (config_of v) in
+      let o = Pipeline.run ~params:fast ~device p in
+      Table.add_row t
+        [
+          string_of_int v;
+          Table.cell_f ~decimals:2 (o.Pipeline.context.Pipeline.original_runtime *. 1e3);
+          Table.cell_f ~decimals:2 (o.Pipeline.fused_runtime *. 1e3);
+          Table.cell_speedup o.Pipeline.speedup;
+          string_of_int (Plan.fused_kernel_count o.Pipeline.search.Hgga.plan);
+          string_of_int o.Pipeline.search.Hgga.stats.Hgga.evaluations;
+        ])
+    values;
+  Table.print t

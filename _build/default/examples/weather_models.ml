@@ -1,0 +1,63 @@
+(* Kernel fusion on the two real-world workloads of the paper's evaluation:
+   the SCALE-LES dynamical core (142 kernels) and the CAM-HOMME dynamical
+   core (43 kernels), on the simulated K20X.
+
+     dune exec examples/weather_models.exe            # HOMME only (fast)
+     dune exec examples/weather_models.exe -- --full  # + SCALE-LES (~1 min)
+
+   Prints the search statistics, the largest fused kernels, and the
+   measured speedup for each application. *)
+
+module Pipeline = Kfuse.Pipeline
+module Hgga = Kf_search.Hgga
+module Plan = Kf_fusion.Plan
+module Fused = Kf_fusion.Fused
+module Measure = Kf_sim.Measure
+module Table = Kf_util.Table
+
+let run_app name program =
+  let device = Kf_gpu.Device.k20x in
+  Format.printf "=== %s ===@." name;
+  let outcome = Pipeline.run ~device program in
+  Format.printf "%a@.@." Pipeline.pp_outcome outcome;
+  (* The five most time-consuming fused kernels. *)
+  let fused_rows =
+    outcome.Pipeline.fused_measured
+    |> List.filter_map (fun (u, r) ->
+           match u with
+           | Kf_fusion.Fused_program.Fused f when not (Fused.is_singleton f) ->
+               Some (f, (r : Measure.result))
+           | _ -> None)
+    |> List.sort (fun (_, a) (_, b) -> compare b.Measure.runtime_s a.Measure.runtime_s)
+  in
+  let t =
+    Table.create ~title:"largest fused kernels"
+      [
+        ("new kernel", Table.Left); ("members", Table.Right); ("kind", Table.Left);
+        ("runtime (us)", Table.Right); ("GB/s", Table.Right); ("SMEM (KB)", Table.Right);
+      ]
+  in
+  List.iteri
+    (fun i (f, (r : Measure.result)) ->
+      if i < 5 then
+        Table.add_row t
+          [
+            f.Fused.name;
+            string_of_int (List.length f.Fused.members);
+            (match f.Fused.kind with Fused.Simple -> "simple" | Fused.Complex -> "complex");
+            Table.cell_f ~decimals:0 (r.Measure.runtime_s *. 1e6);
+            Table.cell_f ~decimals:1 r.Measure.achieved_gbs;
+            Table.cell_f ~decimals:1 (float_of_int f.Fused.smem_bytes_per_block /. 1024.);
+          ])
+    fused_rows;
+  Table.print t;
+  Format.printf "@."
+
+let () =
+  let full = Array.exists (( = ) "--full") Sys.argv in
+  run_app "CAM-HOMME dynamical core" (Kf_workloads.Homme.program ());
+  if full then run_app "SCALE-LES (142 kernels; search takes ~30s)" (Kf_workloads.Scale_les.program ())
+  else begin
+    run_app "SCALE-LES Runge-Kutta core (18 kernels)" (Kf_workloads.Scale_les.rk_core ());
+    Format.printf "(pass --full to search the complete 142-kernel SCALE-LES)@."
+  end

@@ -1,0 +1,1 @@
+lib/core/block_tuner.ml: Format Kf_ir List Pipeline

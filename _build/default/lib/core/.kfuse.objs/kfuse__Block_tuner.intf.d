@@ -1,0 +1,1 @@
+lib/core/block_tuner.mli: Format Kf_gpu Kf_ir Kf_search Pipeline

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Format Kf_fusion Kf_gpu Kf_graph Kf_ir Kf_model Kf_search Kf_sim

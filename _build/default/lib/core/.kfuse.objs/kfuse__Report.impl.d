@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Hashtbl Kf_exec Kf_fusion Kf_gpu Kf_graph Kf_ir Kf_model Kf_search Kf_sim List Pipeline Printf String

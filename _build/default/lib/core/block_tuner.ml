@@ -1,0 +1,39 @@
+module Program = Kf_ir.Program
+
+type candidate = { block_x : int; block_y : int; outcome : Pipeline.outcome }
+
+let default_tiles = [ (32, 4); (32, 8); (16, 16); (32, 16); (16, 8) ]
+
+let tune ?(tiles = default_tiles) ?params ~device program =
+  let candidates =
+    List.filter_map
+      (fun (block_x, block_y) ->
+        match
+          (* A tile can be unlaunchable (too many threads for the register
+             budget) or degenerate for this grid; skip those. *)
+          let p = Program.with_blocks program ~block_x ~block_y in
+          Pipeline.run ?params ~device p
+        with
+        | outcome -> Some { block_x; block_y; outcome }
+        | exception Invalid_argument _ -> None)
+      tiles
+  in
+  match candidates with
+  | [] -> invalid_arg "Block_tuner.tune: no feasible tile"
+  | first :: _ ->
+      let best =
+        List.fold_left
+          (fun acc c ->
+            if c.outcome.Pipeline.fused_runtime < acc.outcome.Pipeline.fused_runtime then c
+            else acc)
+          first candidates
+      in
+      (candidates, best)
+
+let pp_candidates ppf candidates =
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "%2dx%-2d: fused %.3f ms (speedup %.2fx)@." c.block_x c.block_y
+        (c.outcome.Pipeline.fused_runtime *. 1e3)
+        c.outcome.Pipeline.speedup)
+    candidates

@@ -1,0 +1,29 @@
+(** Thread-block size tuning for fused programs.
+
+    Paper §II-D.2 notes the tradeoff complex fusion creates: a larger
+    thread block means fewer redundant halo computations and fewer halo
+    bytes per useful site, but more strain on the already limited SMEM.
+    This tuner makes the tradeoff empirical: it re-runs the whole fusion
+    pipeline (search included — the best plan changes with the tile shape)
+    for each candidate tile and reports the measured outcomes. *)
+
+type candidate = {
+  block_x : int;
+  block_y : int;
+  outcome : Pipeline.outcome;
+}
+
+val default_tiles : (int * int) list
+(** (32,4), (32,8), (16,16), (32,16), (16,8). *)
+
+val tune :
+  ?tiles:(int * int) list ->
+  ?params:Kf_search.Hgga.params ->
+  device:Kf_gpu.Device.t ->
+  Kf_ir.Program.t ->
+  candidate list * candidate
+(** All candidate outcomes (in the order given, skipping tiles that do not
+    divide into a launchable configuration) and the one with the lowest
+    fused runtime.  @raise Invalid_argument when no tile is feasible. *)
+
+val pp_candidates : Format.formatter -> candidate list -> unit

@@ -1,0 +1,89 @@
+module Device = Kf_gpu.Device
+module Program = Kf_ir.Program
+module Metadata = Kf_ir.Metadata
+module Datadep = Kf_graph.Datadep
+module Exec_order = Kf_graph.Exec_order
+module Measure = Kf_sim.Measure
+module Inputs = Kf_model.Inputs
+module Objective = Kf_search.Objective
+module Hgga = Kf_search.Hgga
+module Plan = Kf_fusion.Plan
+module Fused_program = Kf_fusion.Fused_program
+
+type context = {
+  device : Device.t;
+  program : Program.t;
+  meta : Metadata.t;
+  datadep : Datadep.t;
+  exec : Exec_order.t;
+  measured : Measure.result array;
+  inputs : Inputs.t;
+  original_runtime : float;
+}
+
+let prepare ?(sync_points = []) ~device program =
+  let meta = Metadata.build program in
+  let datadep = Datadep.build program in
+  let exec = Exec_order.build ~sync_points datadep in
+  let measured = Measure.program_results ~device program in
+  let measured_runtime = Array.map (fun r -> r.Measure.runtime_s) measured in
+  let inputs = Inputs.make ~device ~meta ~exec ~measured_runtime in
+  {
+    device;
+    program;
+    meta;
+    datadep;
+    exec;
+    measured;
+    inputs;
+    original_runtime = Array.fold_left ( +. ) 0. measured_runtime;
+  }
+
+let objective ?model ctx = Objective.create ?model ctx.inputs
+
+type outcome = {
+  context : context;
+  search : Hgga.result;
+  fused : Fused_program.t;
+  fused_measured : (Fused_program.unit_ * Measure.result) list;
+  fused_runtime : float;
+  speedup : float;
+}
+
+let apply ctx (search : Hgga.result) =
+  let fused =
+    Fused_program.build ~device:ctx.device ~meta:ctx.meta ~exec:ctx.exec search.Hgga.plan
+  in
+  let fused_measured = Measure.fused_program_results ~device:ctx.device fused in
+  let fused_runtime =
+    List.fold_left (fun acc (_, r) -> acc +. r.Measure.runtime_s) 0. fused_measured
+  in
+  {
+    context = ctx;
+    search;
+    fused;
+    fused_measured;
+    fused_runtime;
+    speedup = ctx.original_runtime /. fused_runtime;
+  }
+
+let run ?params ?model ?sync_points ~device program =
+  let ctx = prepare ?sync_points ~device program in
+  let obj = objective ?model ctx in
+  let search = Hgga.solve ?params obj in
+  apply ctx search
+
+let pp_outcome ppf o =
+  let n = Program.num_kernels o.context.program in
+  let plan = o.search.Hgga.plan in
+  Format.fprintf ppf
+    "@[<v>%s on %s:@,\
+     %d original kernels -> %d units (%d fused kernels covering %d originals)@,\
+     search: %d generations, %d evaluations, %.2f s@,\
+     runtime: %.3f ms -> %.3f ms  speedup %.2fx@]"
+    o.context.program.Program.name o.context.device.Device.name n
+    (Plan.num_groups plan) (Plan.fused_kernel_count plan) (Plan.fused_member_count plan)
+    o.search.Hgga.stats.Hgga.generations o.search.Hgga.stats.Hgga.evaluations
+    o.search.Hgga.stats.Hgga.wall_time_s
+    (o.context.original_runtime *. 1e3)
+    (o.fused_runtime *. 1e3) o.speedup

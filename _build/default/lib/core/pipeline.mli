@@ -1,0 +1,55 @@
+(** End-to-end kernel-fusion pipeline — paper Algorithm 1.
+
+    [prepare] performs steps 1-2 (gather original-kernel metadata, build
+    the dependency and order-of-execution graphs) plus the empirical
+    baseline the models need (measuring every original kernel on the
+    device — on this substrate, in the simulator).  [search] runs steps
+    3-8 (the HGGA with the projection objective).  [apply] performs step 9
+    (constructing the new kernels and the fused invocation sequence) and
+    measures the result.  [run] chains all of it. *)
+
+type context = {
+  device : Kf_gpu.Device.t;
+  program : Kf_ir.Program.t;
+  meta : Kf_ir.Metadata.t;
+  datadep : Kf_graph.Datadep.t;
+  exec : Kf_graph.Exec_order.t;
+  measured : Kf_sim.Measure.result array;  (** per original kernel *)
+  inputs : Kf_model.Inputs.t;
+  original_runtime : float;  (** Σ measured runtimes *)
+}
+
+val prepare :
+  ?sync_points:int list -> device:Kf_gpu.Device.t -> Kf_ir.Program.t -> context
+(** [sync_points] marks kernels after which the host synchronizes
+    (PCIe transfer / MPI exchange); fusion never crosses them
+    (paper §II-C). *)
+
+val objective : ?model:Kf_search.Objective.model -> context -> Kf_search.Objective.t
+(** A fresh objective over the context (default model: the paper's). *)
+
+type outcome = {
+  context : context;
+  search : Kf_search.Hgga.result;
+  fused : Kf_fusion.Fused_program.t;
+  fused_measured : (Kf_fusion.Fused_program.unit_ * Kf_sim.Measure.result) list;
+  fused_runtime : float;
+  speedup : float;
+}
+
+val apply :
+  context -> Kf_search.Hgga.result -> outcome
+(** Step 9: build and measure the fused program for a search result. *)
+
+val run :
+  ?params:Kf_search.Hgga.params ->
+  ?model:Kf_search.Objective.model ->
+  ?sync_points:int list ->
+  device:Kf_gpu.Device.t ->
+  Kf_ir.Program.t ->
+  outcome
+(** The whole of Algorithm 1 with the given device and search settings. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** Human-readable summary: kernel counts before/after, search stats,
+    speedup. *)

@@ -1,0 +1,142 @@
+module Device = Kf_gpu.Device
+module Program = Kf_ir.Program
+module Grid = Kf_ir.Grid
+module Datadep = Kf_graph.Datadep
+module Exec_order = Kf_graph.Exec_order
+module Traffic = Kf_graph.Traffic
+module Fused = Kf_fusion.Fused
+module Fused_program = Kf_fusion.Fused_program
+module Plan = Kf_fusion.Plan
+module Measure = Kf_sim.Measure
+module Inputs = Kf_model.Inputs
+module Projection = Kf_model.Projection
+module FE = Kf_model.Fusion_efficiency
+module Hgga = Kf_search.Hgga
+
+let pf = Printf.bprintf
+
+let render ?(verify = false) (o : Pipeline.outcome) =
+  let buf = Buffer.create 8192 in
+  let ctx = o.Pipeline.context in
+  let p = ctx.Pipeline.program in
+  let device = ctx.Pipeline.device in
+  let plan = o.Pipeline.search.Hgga.plan in
+  pf buf "# Kernel fusion report: %s on %s\n\n" p.Program.name device.Device.name;
+
+  (* --- workload --- *)
+  pf buf "## Workload\n\n";
+  pf buf "- kernels: %d, arrays: %d\n" (Program.num_kernels p) (Program.num_arrays p);
+  let g = p.Program.grid in
+  pf buf "- grid: %dx%dx%d, %dx%d thread blocks (%d blocks, %d threads each)\n" g.Grid.nx
+    g.Grid.ny g.Grid.nz g.Grid.block_x g.Grid.block_y (Grid.blocks g)
+    (Grid.threads_per_block g);
+  let counts = Hashtbl.create 4 in
+  Array.iter
+    (fun cls ->
+      Hashtbl.replace counts cls (1 + try Hashtbl.find counts cls with Not_found -> 0))
+    (Datadep.classes ctx.Pipeline.datadep);
+  let class_count cls = try Hashtbl.find counts cls with Not_found -> 0 in
+  pf buf "- array classes: %d read-only, %d read-write, %d expandable, %d write-only\n"
+    (class_count Datadep.Read_only) (class_count Datadep.Read_write)
+    (class_count Datadep.Expandable) (class_count Datadep.Write_only);
+  let traffic = Traffic.analyze ctx.Pipeline.exec in
+  pf buf "- GMEM traffic: %.1f MB total, %.1f MB reducible (%.1f%%)\n"
+    (traffic.Traffic.total_bytes /. 1048576.)
+    (traffic.Traffic.reducible_bytes /. 1048576.)
+    (traffic.Traffic.reducible_fraction *. 100.);
+  let extra = Exec_order.extra_memory_bytes ctx.Pipeline.exec in
+  if extra > 0 then
+    pf buf "- expandable-array relaxation costs %.1f MB of redundant copies\n"
+      (float_of_int extra /. 1048576.);
+  (match Exec_order.sync_points ctx.Pipeline.exec with
+  | [] -> ()
+  | sp ->
+      pf buf "- host sync points after kernels: %s (fusion never crosses them)\n"
+        (String.concat ", " (List.map string_of_int sp)));
+
+  (* --- search --- *)
+  let stats = o.Pipeline.search.Hgga.stats in
+  pf buf "\n## Search\n\n";
+  pf buf "- HGGA: %d generations, %d objective evaluations, %.2f s\n" stats.Hgga.generations
+    stats.Hgga.evaluations stats.Hgga.wall_time_s;
+  pf buf "- best projected plan cost: %.3f ms\n" (o.Pipeline.search.Hgga.cost *. 1e3);
+  pf buf "- plan: %d groups (%d fused kernels covering %d originals)\n" (Plan.num_groups plan)
+    (Plan.fused_kernel_count plan) (Plan.fused_member_count plan);
+
+  (* --- outcome --- *)
+  pf buf "\n## Outcome\n\n";
+  pf buf "| | runtime |\n|---|---|\n";
+  pf buf "| original program | %.3f ms |\n" (ctx.Pipeline.original_runtime *. 1e3);
+  pf buf "| fused program | %.3f ms |\n" (o.Pipeline.fused_runtime *. 1e3);
+  pf buf "| **speedup** | **%.2fx** |\n" o.Pipeline.speedup;
+
+  (* --- per-fused-kernel table --- *)
+  pf buf "\n## New kernels\n\n";
+  pf buf
+    "| new kernel | members | kind | halo | SMEM | regs | projected | measured | original sum | \
+     FE |\n";
+  pf buf "|---|---|---|---|---|---|---|---|---|---|\n";
+  let inputs = ctx.Pipeline.inputs in
+  List.iter
+    (fun (u, (r : Measure.result)) ->
+      match u with
+      | Fused_program.Fused f when not (Fused.is_singleton f) ->
+          let orig = Inputs.original_sum inputs f.Fused.members in
+          let fe = FE.compute inputs f ~measured_fused_runtime:r.Measure.runtime_s in
+          pf buf "| %s | %d | %s | %d | %.1f KB | %d | %.0f us | %.0f us | %.0f us | %.0f%% |\n"
+            f.Fused.name
+            (List.length f.Fused.members)
+            (match f.Fused.kind with Fused.Simple -> "simple" | Fused.Complex -> "complex")
+            f.Fused.halo_layers
+            (float_of_int f.Fused.smem_bytes_per_block /. 1024.)
+            f.Fused.registers_per_thread
+            (Projection.runtime inputs f *. 1e6)
+            (r.Measure.runtime_s *. 1e6)
+            (orig *. 1e6)
+            (fe.FE.efficiency *. 100.)
+      | _ -> ())
+    o.Pipeline.fused_measured;
+
+  (* --- untouched kernels --- *)
+  let untouched =
+    List.filter_map
+      (fun (u, _) -> match u with Fused_program.Original k -> Some k | _ -> None)
+      o.Pipeline.fused_measured
+  in
+  if untouched <> [] then begin
+    pf buf "\n%d kernels stay original: %s\n" (List.length untouched)
+      (String.concat ", "
+         (List.map (fun k -> (Program.kernel p k).Kf_ir.Kernel.name) untouched))
+  end;
+
+  (* --- verification --- *)
+  if verify then begin
+    pf buf "\n## Semantic verification\n\n";
+    let small =
+      Grid.make
+        ~nx:(min g.Grid.nx (4 * g.Grid.block_x))
+        ~ny:(min g.Grid.ny (4 * g.Grid.block_y))
+        ~nz:(min g.Grid.nz 4) ~block_x:g.Grid.block_x ~block_y:g.Grid.block_y
+    in
+    let sp = Program.with_grid p small in
+    let meta = Kf_ir.Metadata.build sp in
+    let exec =
+      Exec_order.build ~sync_points:(Exec_order.sync_points ctx.Pipeline.exec)
+        (Datadep.build sp)
+    in
+    let fp = Fused_program.build ~device ~meta ~exec plan in
+    let v = Kf_exec.Semantics.check ~device fp in
+    if v.Kf_exec.Semantics.equivalent then
+      pf buf "Execution oracle (on a %dx%dx%d instance): fused program matches the original \
+              **bitwise**.\n"
+        small.Grid.nx small.Grid.ny small.Grid.nz
+    else
+      pf buf "**MISMATCH**: %d sites differ (max |diff| %g).\n"
+        v.Kf_exec.Semantics.mismatched_sites v.Kf_exec.Semantics.max_abs_diff
+  end;
+  Buffer.contents buf
+
+let write_file ?verify path outcome =
+  let oc = open_out path in
+  output_string oc (render ?verify outcome);
+  close_out oc

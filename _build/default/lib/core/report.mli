@@ -1,0 +1,15 @@
+(** Markdown fusion reports.
+
+    Renders everything a human reviewer needs about one fusion outcome —
+    the workload's dependency statistics, the search configuration and
+    convergence, every new kernel with its members, resources, projection
+    and measured runtime, the model-vs-measurement comparison, and (when
+    requested) the execution oracle's verdict — as a single markdown
+    document.  This is the artifact the paper's authors assembled by hand
+    from profiler runs when deciding which fusions to apply. *)
+
+val render : ?verify:bool -> Pipeline.outcome -> string
+(** [verify] (default false) additionally runs {!Kf_exec.Semantics.check}
+    on a scaled-down grid and includes the verdict. *)
+
+val write_file : ?verify:bool -> string -> Pipeline.outcome -> unit

@@ -1,0 +1,1 @@
+lib/exec/semantics.ml: Array Float Int64 Kf_fusion Kf_graph Kf_ir List

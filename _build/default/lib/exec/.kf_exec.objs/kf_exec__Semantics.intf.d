@@ -1,0 +1,1 @@
+lib/exec/semantics.mli: Kf_fusion Kf_gpu Kf_graph Kf_ir

@@ -1,0 +1,309 @@
+module Program = Kf_ir.Program
+module Kernel = Kf_ir.Kernel
+module Access = Kf_ir.Access
+module Stencil = Kf_ir.Stencil
+module Grid = Kf_ir.Grid
+module Array_info = Kf_ir.Array_info
+module Metadata = Kf_ir.Metadata
+module Exec_order = Kf_graph.Exec_order
+module Fused = Kf_fusion.Fused
+module Fused_program = Kf_fusion.Fused_program
+module Plan = Kf_fusion.Plan
+module Datadep = Kf_graph.Datadep
+module Renaming = Kf_graph.Renaming
+
+type state = float array array
+
+(* --- deterministic value functions --- *)
+
+(* A tiny stateless hash to [0,1): the oracle needs fixed weights, not a
+   stream. *)
+let hash01 parts =
+  let h =
+    List.fold_left
+      (fun acc x ->
+        let acc = Int64.add acc (Int64.of_int (x + 0x9E37)) in
+        let acc =
+          Int64.mul (Int64.logxor acc (Int64.shift_right_logical acc 30)) 0xBF58476D1CE4E5B9L
+        in
+        Int64.logxor acc (Int64.shift_right_logical acc 27))
+      0x1234_5678L parts
+  in
+  Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
+
+let require_3d (p : Program.t) =
+  Array.iter
+    (fun (a : Array_info.t) ->
+      if a.Array_info.extent <> Array_info.Field3d then
+        invalid_arg "Semantics: the execution oracle supports 3-D field arrays only")
+    p.Program.arrays
+
+(* Horizontal boundaries are periodic — this is what makes halo-ring
+   recomputation exactly consistent: the value at a ghost position equals
+   the value the owning block computes at the wrapped position, by
+   translation invariance of the value functions. *)
+let wrap v n =
+  let m = v mod n in
+  if m < 0 then m + n else m
+
+let clampk k nz = if k < 0 then 0 else if k >= nz then nz - 1 else k
+
+let site_index (g : Grid.t) i j k = ((k * g.Grid.ny) + j) * g.Grid.nx + i
+
+(* [orig_of] maps array ids to the array they are semantically: the
+   renamed program's generation copies must share the original array's
+   initial contents and value-function weights, or the renamed execution
+   would diverge from the plain one for spurious reasons. *)
+let identity_map (p : Program.t) = Array.init (Program.num_arrays p) (fun i -> i)
+
+let init ?orig_of (p : Program.t) =
+  require_3d p;
+  let map = match orig_of with Some m -> m | None -> identity_map p in
+  let g = p.Program.grid in
+  Array.init (Program.num_arrays p) (fun a ->
+      Array.init (Grid.sites g) (fun s -> hash01 [ map.(a); s ]))
+
+let read (g : Grid.t) (buf : float array) i j k =
+  buf.(site_index g (wrap i g.Grid.nx) (wrap j g.Grid.ny) (clampk k g.Grid.nz))
+
+let value (p : Program.t) (state : state) ~array_id ~i ~j ~k =
+  read p.Program.grid state.(array_id) i j k
+
+(* Per (kernel, target array) linear combination: weights are normalized so
+   values stay O(1) over long kernel chains. *)
+let term_count (kern : Kernel.t) =
+  List.fold_left
+    (fun acc (a : Access.t) ->
+      if Access.reads a then acc + Stencil.num_points a.Access.pattern else acc)
+    0 kern.Kernel.accesses
+
+let weight map (kern : Kernel.t) ~target (a : Access.t) (off : Stencil.offset) =
+  let h =
+    hash01
+      [
+        kern.Kernel.id; map.(target); map.(a.Access.array); off.Stencil.di; off.Stencil.dj;
+        off.Stencil.dk;
+      ]
+  in
+  (0.25 +. (0.75 *. h)) /. float_of_int (max 1 (term_count kern))
+
+let bias map (kern : Kernel.t) ~target = hash01 [ kern.Kernel.id; map.(target); 7777 ]
+
+(* Evaluate kernel [kern]'s output for [target] at a site, with reads
+   supplied by [fetch : access -> offset -> float].  Evaluation order is
+   fixed (access list order, offset canonical order), so the float result
+   is bitwise identical whichever path provides the same operand values. *)
+let eval_site map (kern : Kernel.t) ~target fetch =
+  List.fold_left
+    (fun acc (a : Access.t) ->
+      if Access.reads a then
+        List.fold_left
+          (fun acc off -> acc +. (weight map kern ~target a off *. fetch a off))
+          acc
+          (Stencil.offsets a.Access.pattern)
+      else acc)
+    (bias map kern ~target) kern.Kernel.accesses
+
+let written_arrays (kern : Kernel.t) =
+  List.filter_map
+    (fun (a : Access.t) -> if Access.writes a then Some a.Access.array else None)
+    kern.Kernel.accesses
+
+(* --- original (launch-order) execution --- *)
+
+let step_original ~map (p : Program.t) (state : state) (kern : Kernel.t) =
+  let g = p.Program.grid in
+  let targets = written_arrays kern in
+  let outs = List.map (fun a -> (a, Array.copy state.(a))) targets in
+  List.iter
+    (fun (target, out) ->
+      for k = 0 to g.Grid.nz - 1 do
+        for j = 0 to g.Grid.ny - 1 do
+          for i = 0 to g.Grid.nx - 1 do
+            let fetch (a : Access.t) (off : Stencil.offset) =
+              read g state.(a.Access.array) (i + off.Stencil.di) (j + off.Stencil.dj)
+                (k + off.Stencil.dk)
+            in
+            out.(site_index g i j k) <- eval_site map kern ~target fetch
+          done
+        done
+      done)
+    outs;
+  List.iter (fun (a, out) -> state.(a) <- out) outs
+
+let run_original ?orig_of (p : Program.t) =
+  let map = match orig_of with Some m -> m | None -> identity_map p in
+  let state = init ~orig_of:map p in
+  Array.iter (fun kern -> step_original ~map p state kern) p.Program.kernels;
+  state
+
+(* --- fused (block-wise) execution --- *)
+
+(* Per-block on-chip buffer for one staged array: the (bx+2H)·(by+2H) tile
+   (ring included) of the current k-plane, addressed by block-local
+   coordinates in [-H, bx+H) × [-H, by+H). *)
+type tile = { halo : int; width : int; data : float array }
+
+let make_tile ~halo ~bx ~by = { halo; width = bx + (2 * halo); data = Array.make ((bx + (2 * halo)) * (by + (2 * halo))) 0. }
+let tile_get t li lj = t.data.((((lj + t.halo) * t.width) + li) + t.halo)
+let tile_set t li lj v = t.data.((((lj + t.halo) * t.width) + li) + t.halo) <- v
+let tile_in_bounds t ~bx ~by li lj =
+  li >= -t.halo && li < bx + t.halo && lj >= -t.halo && lj < by + t.halo
+
+let step_fused ~map (p : Program.t) (state : state) (f : Fused.t) =
+  let g = p.Program.grid in
+  let bx = g.Grid.block_x and by = g.Grid.block_y in
+  let h = f.Fused.halo_layers in
+  (* SMEM-staged pivot arrays and register-carried pivot arrays behave the
+     same in the oracle: a block-local buffer (register values are one per
+     site, i.e. a radius-0 buffer that still spans the ring so producers
+     can fill it for consumers' ring replay). *)
+  let onchip_ids =
+    List.filter (fun a -> not (List.mem a f.Fused.register_reuse)) f.Fused.pivot
+    @ f.Fused.register_reuse
+  in
+  (* Snapshot at fused-kernel entry: global reads inside the kernel see
+     this (blocks run concurrently; nobody sees another block's stores). *)
+  let pre = Array.map Array.copy state in
+  let blocks_x = (g.Grid.nx + bx - 1) / bx in
+  let blocks_y = (g.Grid.ny + by - 1) / by in
+  for bj = 0 to blocks_y - 1 do
+    for bi = 0 to blocks_x - 1 do
+      let i0 = bi * bx and j0 = bj * by in
+      let tiles = List.map (fun a -> (a, make_tile ~halo:h ~bx ~by)) onchip_ids in
+      let tile_of a = List.assoc_opt a tiles in
+      for k = 0 to g.Grid.nz - 1 do
+        (* Stage the current plane (ring included) from global memory. *)
+        List.iter
+          (fun (a, t) ->
+            for lj = -h to by + h - 1 do
+              for li = -h to bx + h - 1 do
+                tile_set t li lj (read g pre.(a) (i0 + li) (j0 + lj) k)
+              done
+            done)
+          tiles;
+        (* Segments, in aggregation order; the per-segment snapshot commit
+           models the barrier (all of segment s completes before s+1
+           reads). *)
+        List.iter
+          (fun (s : Fused.segment) ->
+            let kern = Program.kernel p s.Fused.kernel in
+            let d = s.Fused.halo_depth in
+            let targets = written_arrays kern in
+            let pending = ref [] in
+            for lj = -d to by + d - 1 do
+              for li = -d to bx + d - 1 do
+                let gi = i0 + li and gj = j0 + lj in
+                let fetch (a : Access.t) (off : Stencil.offset) =
+                  let aid = a.Access.array in
+                  if off.Stencil.dk <> 0 then
+                    (* Vertical neighbors come from global memory (the
+                       per-plane tiles cannot hold other planes). *)
+                    read g pre.(aid) (gi + off.Stencil.di) (gj + off.Stencil.dj)
+                      (k + off.Stencil.dk)
+                  else begin
+                    match tile_of aid with
+                    | Some t when tile_in_bounds t ~bx ~by (li + off.Stencil.di) (lj + off.Stencil.dj)
+                      ->
+                        tile_get t (li + off.Stencil.di) (lj + off.Stencil.dj)
+                    | _ ->
+                        (* Beyond the ring (or un-staged): the boundary
+                           fallback reads global memory directly. *)
+                        read g pre.(aid) (gi + off.Stencil.di) (gj + off.Stencil.dj) k
+                  end
+                in
+                List.iter
+                  (fun target ->
+                    pending := (target, li, lj, eval_site map kern ~target fetch) :: !pending)
+                  targets
+              done
+            done;
+            (* Commit after the whole segment evaluated: barrier. *)
+            List.iter
+              (fun (target, li, lj, v) ->
+                (match tile_of target with
+                | Some t when tile_in_bounds t ~bx ~by li lj -> tile_set t li lj v
+                | _ -> ());
+                (* Global stores only from the block's own tile, and only
+                   for real grid sites. *)
+                let gi = i0 + li and gj = j0 + lj in
+                if li >= 0 && li < bx && lj >= 0 && lj < by && gi < g.Grid.nx && gj < g.Grid.ny
+                then state.(target).(site_index g gi gj k) <- v)
+              (List.rev !pending))
+          f.Fused.segments
+      done
+    done
+  done
+
+let run_fused ?orig_of (fp : Fused_program.t) =
+  let p = fp.Fused_program.program in
+  require_3d p;
+  let map = match orig_of with Some m -> m | None -> identity_map p in
+  let state = init ~orig_of:map p in
+  List.iter
+    (fun unit_ ->
+      match unit_ with
+      | Fused_program.Original k -> step_original ~map p state (Program.kernel p k)
+      | Fused_program.Fused f ->
+          if Fused.is_singleton f then
+            step_original ~map p state (Program.kernel p (List.hd f.Fused.members))
+          else step_fused ~map p state f)
+    fp.Fused_program.units;
+  state
+
+(* --- comparison --- *)
+
+type verdict = {
+  equivalent : bool;
+  max_abs_diff : float;
+  worst_array : int;
+  mismatched_sites : int;
+}
+
+let compare_states ?(eps = 0.) (p : Program.t) (a : state) (b : state) =
+  (* [b] may come from a renamed program with extra generation copies;
+     compare the original arrays only. *)
+  let worst = ref 0. and worst_array = ref (-1) and mismatched = ref 0 in
+  for aid = 0 to Program.num_arrays p - 1 do
+    let xa = a.(aid) and xb = b.(aid) in
+    for s = 0 to Array.length xa - 1 do
+      let d = Float.abs (xa.(s) -. xb.(s)) in
+      if d > eps then incr mismatched;
+      if d > !worst then begin
+        worst := d;
+        worst_array := aid
+      end
+    done
+  done;
+  {
+    equivalent = !mismatched = 0;
+    max_abs_diff = !worst;
+    worst_array = !worst_array;
+    mismatched_sites = !mismatched;
+  }
+
+let check ?eps ~device (fp : Fused_program.t) =
+  let p = fp.Fused_program.program in
+  let dd = Datadep.build p in
+  if Renaming.is_identity dd then compare_states ?eps p (run_original p) (run_fused fp)
+  else begin
+    (* The relaxed order-of-execution the plan was searched under is only
+       sound together with the renaming transformation — materialize it
+       and execute the renamed program (whose own dependencies ARE the
+       relaxed graph).  Generation copies carry the original arrays'
+       weights and initial contents, and the last generation keeps the
+       original id, so the original program's plain execution is the
+       reference. *)
+    let renamed, orig_of = Renaming.materialize dd in
+    let meta_r = Kf_ir.Metadata.build renamed in
+    let exec_r = Kf_graph.Exec_order.build (Datadep.build renamed) in
+    let fp_r = Fused_program.build ~device ~meta:meta_r ~exec:exec_r fp.Fused_program.plan in
+    compare_states ?eps p (run_original p) (run_fused ~orig_of fp_r)
+  end
+
+let check_group ~device ~meta ~exec group =
+  let p = Metadata.program meta in
+  let n = Program.num_kernels p in
+  let singles = List.filter (fun k -> not (List.mem k group)) (List.init n (fun k -> k)) in
+  let plan = Plan.of_groups ~n (group :: List.map (fun k -> [ k ]) singles) in
+  check ~device (Fused_program.build ~device ~meta ~exec plan)

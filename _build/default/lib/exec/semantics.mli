@@ -1,0 +1,74 @@
+(** Executable semantics: a correctness oracle for the fusion
+    transformation.
+
+    The performance simulator ({!Kf_sim}) answers "how fast"; this module
+    answers "is the transformed program still the same program".  Every
+    kernel is given a concrete meaning — each written array's value at a
+    site is a fixed pseudo-random linear combination of the values its
+    read accesses touch — and a program can then be {e executed} over real
+    float grids two ways:
+
+    - {!run_original}: kernels in invocation order, each reading its
+      pre-kernel state (the launch-order semantics of the unfused code);
+    - {!run_fused}: block by block the way the generated CUDA would run —
+      pivot arrays staged into per-block SMEM tiles with halo rings,
+      segments separated by barriers, halo producers recomputing their
+      ring at their own depth, block-boundary reads falling back to
+      global memory, global writes restricted to the block's own tile.
+
+    If the fusion machinery is right (barriers where needed, ring depths
+    accumulated along flow chains, hazardous groups rejected), the two
+    executions agree bitwise: the value functions are linear combinations
+    evaluated in identical order.  Any insufficiency — a missing barrier,
+    a too-shallow halo, an illegal vertical consumption — shows up as a
+    numeric mismatch.
+
+    Horizontal boundaries are periodic (as in the weather models), which
+    makes ring recomputation exactly consistent under translation; the
+    vertical direction clamps. *)
+
+type state
+(** One float grid per array. *)
+
+val init : ?orig_of:int array -> Kf_ir.Program.t -> state
+(** Deterministic initial contents (a hash of array id and site).
+    [orig_of] maps each array to the array whose identity it carries —
+    used for renamed programs whose generation copies must share the
+    original's contents and weights. *)
+
+val value : Kf_ir.Program.t -> state -> array_id:int -> i:int -> j:int -> k:int -> float
+(** Read one element (wrapping horizontally, clamping vertically). *)
+
+val run_original : ?orig_of:int array -> Kf_ir.Program.t -> state
+(** Execute the unfused program from {!init}. *)
+
+val run_fused : ?orig_of:int array -> Kf_fusion.Fused_program.t -> state
+(** Execute the fused program from {!init}, emulating the generated
+    kernels' SMEM staging, barriers and halo replay. *)
+
+type verdict = {
+  equivalent : bool;
+  max_abs_diff : float;
+  worst_array : int;  (** array id of the largest difference (-1 if none) *)
+  mismatched_sites : int;
+}
+
+val compare_states : ?eps:float -> Kf_ir.Program.t -> state -> state -> verdict
+(** [eps] defaults to 0 (bitwise agreement is expected).  Compares the
+    given program's arrays; the second state may carry extra (renamed
+    generation) arrays, which are ignored. *)
+
+val check : ?eps:float -> device:Kf_gpu.Device.t -> Kf_fusion.Fused_program.t -> verdict
+(** Execute original vs. fused and compare.  When the program has
+    expandable arrays, the relaxation is first materialized via
+    {!Kf_graph.Renaming} (the relaxed schedule is only sound together
+    with the renaming), and the plan re-applied to the renamed program. *)
+
+val check_group :
+  device:Kf_gpu.Device.t ->
+  meta:Kf_ir.Metadata.t ->
+  exec:Kf_graph.Exec_order.t ->
+  int list ->
+  verdict
+(** Oracle for a single group: fuse it (all other kernels stay original)
+    and compare executions. *)

@@ -1,0 +1,1 @@
+lib/fusion/codegen.ml: Buffer Fused Fused_program Kf_ir List Printf String

@@ -1,0 +1,1 @@
+lib/fusion/codegen.mli: Fused Fused_program Kf_ir

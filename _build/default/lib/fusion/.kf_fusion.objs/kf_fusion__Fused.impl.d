@@ -1,0 +1,1 @@
+lib/fusion/fused.ml: Array Format Hashtbl Kf_gpu Kf_graph Kf_ir List Printf String

@@ -1,0 +1,1 @@
+lib/fusion/fused_program.ml: Array Format Fused Kf_graph Kf_ir List Plan

@@ -1,0 +1,1 @@
+lib/fusion/fused_program.mli: Format Fused Kf_gpu Kf_graph Kf_ir Plan

@@ -1,0 +1,1 @@
+lib/fusion/plan.ml: Array Format Fused Kf_gpu Kf_graph Kf_ir List Printf Stdlib String

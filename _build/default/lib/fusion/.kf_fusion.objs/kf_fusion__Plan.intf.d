@@ -1,0 +1,1 @@
+lib/fusion/plan.mli: Format Kf_gpu Kf_graph Kf_ir

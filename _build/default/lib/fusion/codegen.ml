@@ -1,0 +1,168 @@
+module Program = Kf_ir.Program
+module Kernel = Kf_ir.Kernel
+module Access = Kf_ir.Access
+module Stencil = Kf_ir.Stencil
+module Array_info = Kf_ir.Array_info
+
+let array_name p a = (Program.array p a).Array_info.name
+let ctype p a = if (Program.array p a).Array_info.elem_bytes = 8 then "double" else "float"
+
+let fused_arrays p (f : Fused.t) =
+  List.sort_uniq compare
+    (List.concat_map (fun k -> Kernel.arrays (Program.kernel p k)) f.Fused.members)
+
+let kernel_signature p (f : Fused.t) =
+  let params =
+    List.map (fun a -> Printf.sprintf "%s *%s" (ctype p a) (array_name p a)) (fused_arrays p f)
+  in
+  Printf.sprintf "__global__ void %s(%s, int nz)" f.Fused.name (String.concat ", " params)
+
+let staged_arrays (f : Fused.t) =
+  List.filter
+    (fun a -> not (List.mem a f.Fused.register_reuse) && not (List.mem a f.Fused.ro_staged))
+    f.Fused.pivot
+
+let index_expr (off : Stencil.offset) =
+  let part base d = if d = 0 then base else Printf.sprintf "%s%+d" base d in
+  Printf.sprintf "[%s,%s,%s]" (part "i" off.di) (part "j" off.dj) (part "k" off.dk)
+
+let smem_index (off : Stencil.offset) halo =
+  let part base d off = if d + off = 0 then base else Printf.sprintf "%s%+d" base (d + off) in
+  Printf.sprintf "[%s,%s]" (part "tx" off.di halo) (part "ty" off.dj halo)
+
+let read_expr p (f : Fused.t) (a : Access.t) off =
+  let name = array_name p a.Access.array in
+  if List.mem a.Access.array (staged_arrays f) then
+    Printf.sprintf "s_%s%s" name (smem_index off f.Fused.halo_layers)
+  else if List.mem a.Access.array f.Fused.register_reuse then Printf.sprintf "r_%s" name
+  else if List.mem a.Access.array f.Fused.ro_staged then
+    (* Read-only-cache staging (§II-C): loads go through the texture path. *)
+    Printf.sprintf "__ldg(&%s%s)" name (index_expr off)
+  else Printf.sprintf "%s%s" name (index_expr off)
+
+let emit_segment buf p (f : Fused.t) (s : Fused.segment) =
+  let kern = Program.kernel p s.Fused.kernel in
+  if s.Fused.barrier_before then Buffer.add_string buf "    __syncthreads();\n";
+  Buffer.add_string buf (Printf.sprintf "    /* --- segment from %s%s --- */\n" kern.Kernel.name
+     (if s.Fused.halo_producer then " (computes halo ring)" else ""));
+  (* One representative statement per written array: a combination of the
+     segment's read expressions.  The real transformation would splice the
+     original kernel body; the IR only knows the access pattern. *)
+  let reads = Kernel.reads kern in
+  let operands =
+    List.concat_map
+      (fun (a : Access.t) -> List.map (fun off -> read_expr p f a off) (Stencil.offsets a.pattern))
+      reads
+  in
+  let rhs = match operands with [] -> "0.0" | l -> String.concat " + " l in
+  List.iter
+    (fun (a : Access.t) ->
+      let name = array_name p a.Access.array in
+      let lhs =
+        if List.mem a.Access.array (staged_arrays f) then
+          Printf.sprintf "s_%s%s" name (smem_index { Stencil.di = 0; dj = 0; dk = 0 } f.Fused.halo_layers)
+        else Printf.sprintf "%s[i,j,k]" name
+      in
+      Buffer.add_string buf (Printf.sprintf "    %s = f_%s(%s);\n" lhs kern.Kernel.name rhs))
+    (Kernel.writes kern);
+  (* Staged writes must also hit GMEM for the outside world (SMEM is not
+     coherent with GMEM). *)
+  List.iter
+    (fun (a : Access.t) ->
+      if List.mem a.Access.array (staged_arrays f) then
+        Buffer.add_string buf
+          (Printf.sprintf "    %s[i,j,k] = s_%s%s;\n" (array_name p a.Access.array)
+             (array_name p a.Access.array)
+             (smem_index { Stencil.di = 0; dj = 0; dk = 0 } f.Fused.halo_layers)))
+    (Kernel.writes kern)
+
+let emit_kernel p (f : Fused.t) =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (kernel_signature p f);
+  Buffer.add_string buf " {\n";
+  let h = f.Fused.halo_layers in
+  List.iter
+    (fun a ->
+      let dim =
+        if h > 0 then Printf.sprintf "[blockDim.x+%d][blockDim.y+%d]" (2 * h) (2 * h)
+        else "[blockDim.x][blockDim.y]"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  __shared__ %s s_%s%s;\n" (ctype p a) (array_name p a) dim))
+    (staged_arrays f);
+  List.iter
+    (fun a ->
+      Buffer.add_string buf (Printf.sprintf "  %s r_%s;\n" (ctype p a) (array_name p a)))
+    f.Fused.register_reuse;
+  Buffer.add_string buf "  int tx = threadIdx.x, ty = threadIdx.y;\n";
+  Buffer.add_string buf "  int i = blockIdx.x*blockDim.x + tx;\n";
+  Buffer.add_string buf "  int j = blockIdx.y*blockDim.y + ty;\n";
+  Buffer.add_string buf "  for (int k = 0; k < nz; k++) {\n";
+  (* Load phase: stage the pivot arrays that come from GMEM (arrays a
+     member produces before any member reads them are filled by their
+     producing segment instead). *)
+  let externally_fetched a =
+    let rec scan = function
+      | [] -> false
+      | k :: rest -> begin
+          match Kernel.access_for (Program.kernel p k) a with
+          | Some acc when Access.reads acc -> true
+          | Some acc when Access.writes acc -> false
+          | _ -> scan rest
+        end
+    in
+    scan f.Fused.members
+  in
+  let fetched = List.filter externally_fetched (staged_arrays f) in
+  let center = { Stencil.di = 0; dj = 0; dk = 0 } in
+  List.iter
+    (fun a ->
+      Buffer.add_string buf
+        (Printf.sprintf "    s_%s%s = %s[i,j,k];\n" (array_name p a) (smem_index center h)
+           (array_name p a)))
+    fetched;
+  if h > 0 && fetched <> [] then begin
+    Buffer.add_string buf "    if (ty < 2*HALO) { /* specialized warps load the halo ring */\n";
+    List.iter
+      (fun a ->
+        Buffer.add_string buf
+          (Printf.sprintf "      load_halo_ring(s_%s, %s, i, j, k, %d);\n" (array_name p a)
+             (array_name p a) h))
+      fetched;
+    Buffer.add_string buf "    }\n"
+  end;
+  List.iter
+    (fun a ->
+      Buffer.add_string buf
+        (Printf.sprintf "    r_%s = %s[i,j,k];\n" (array_name p a) (array_name p a)))
+    f.Fused.register_reuse;
+  if staged_arrays f <> [] then Buffer.add_string buf "    __syncthreads();\n";
+  List.iter (fun s -> emit_segment buf p f s) f.Fused.segments;
+  Buffer.add_string buf "  }\n}\n";
+  Buffer.contents buf
+
+let emit_host_sequence (fp : Fused_program.t) =
+  let p = fp.Fused_program.program in
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun u ->
+      match u with
+      | Fused_program.Original k ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s<<<G, B>>>(...);\n" (Program.kernel p k).Kernel.name)
+      | Fused_program.Fused f ->
+          Buffer.add_string buf (Printf.sprintf "%s<<<G, B>>>(...);\n" f.Fused.name))
+    fp.Fused_program.units;
+  Buffer.contents buf
+
+let emit_program (fp : Fused_program.t) =
+  let p = fp.Fused_program.program in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "/* Host invocation sequence after fusion */\n";
+  Buffer.add_string buf (emit_host_sequence fp);
+  List.iter
+    (fun f ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (emit_kernel p f))
+    (Fused_program.fused_kernels fp);
+  Buffer.contents buf

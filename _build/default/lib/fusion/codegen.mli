@@ -1,0 +1,25 @@
+(** Pseudo-CUDA code generation for fused kernels.
+
+    The paper applies the fusion transformation manually, guided by the
+    search result (§V-A); Fig. 3 shows the shape of the generated code.
+    This module renders that shape from the IR: SMEM declarations for the
+    staged pivot arrays, the per-[k] load phase with specialized-warp halo
+    loads, [__syncthreads()] barriers between segments with internal flow
+    dependencies, and per-segment compute statements reading staged arrays
+    from SMEM.  It exists so a fusion plan can be inspected the way the
+    paper's authors inspected theirs — the simulator does not execute this
+    text. *)
+
+val kernel_signature : Kf_ir.Program.t -> Fused.t -> string
+(** The [__global__] signature line with the union of member array
+    parameters. *)
+
+val emit_kernel : Kf_ir.Program.t -> Fused.t -> string
+(** Full pseudo-CUDA body of one fused kernel. *)
+
+val emit_host_sequence : Fused_program.t -> string
+(** The host-side invocation sequence after fusion (paper Fig. 3 "After
+    Fusion" left column). *)
+
+val emit_program : Fused_program.t -> string
+(** Host sequence followed by every fused kernel's body. *)

@@ -1,0 +1,51 @@
+module Program = Kf_ir.Program
+module Exec_order = Kf_graph.Exec_order
+module Dag = Kf_graph.Dag
+
+type unit_ = Original of int | Fused of Fused.t
+
+type t = { program : Kf_ir.Program.t; plan : Plan.t; units : unit_ list }
+
+let build ~device ~meta ~exec plan =
+  let p = Kf_ir.Metadata.program meta in
+  let groups = Array.of_list (Plan.groups plan) in
+  let ngroups = Array.length groups in
+  let group_of_kernel = Array.make (Plan.num_kernels plan) (-1) in
+  Array.iteri (fun gi g -> List.iter (fun k -> group_of_kernel.(k) <- gi) g) groups;
+  (* Condensed dependency graph over groups. *)
+  let cond = Dag.create ngroups in
+  let dag = Exec_order.dag exec in
+  for u = 0 to Dag.num_nodes dag - 1 do
+    List.iter
+      (fun v ->
+        let gu = group_of_kernel.(u) and gv = group_of_kernel.(v) in
+        if gu <> gv then Dag.add_edge cond gu gv)
+      (Dag.succs dag u)
+  done;
+  if not (Dag.is_acyclic cond) then
+    invalid_arg "Fused_program.build: plan is not convex (condensed graph is cyclic)";
+  let order = Dag.topo_sort cond in
+  let units =
+    List.map
+      (fun gi ->
+        match groups.(gi) with
+        | [ k ] -> Original k
+        | g -> Fused (Fused.build ~device ~meta ~exec ~group:g))
+      order
+  in
+  { program = p; plan; units }
+
+let fused_kernels t =
+  List.filter_map (function Fused f when not (Fused.is_singleton f) -> Some f | _ -> None) t.units
+
+let unit_members = function Original k -> [ k ] | Fused f -> f.Fused.members
+
+let pp ppf t =
+  Format.fprintf ppf "%s fused into %d units:@." t.program.Program.name (List.length t.units);
+  List.iter
+    (fun u ->
+      match u with
+      | Original k ->
+          Format.fprintf ppf "  %s (original)@." (Program.kernel t.program k).Kf_ir.Kernel.name
+      | Fused f -> Format.fprintf ppf "  %a@." Fused.pp f)
+    t.units

@@ -1,0 +1,31 @@
+(** A program after applying a fusion plan: the new host-side invocation
+    sequence, mixing untouched original kernels (singleton groups) and new
+    fused kernels. *)
+
+type unit_ =
+  | Original of int  (** singleton group: original kernel id, called as-is *)
+  | Fused of Fused.t
+
+type t = {
+  program : Kf_ir.Program.t;  (** the original program *)
+  plan : Plan.t;
+  units : unit_ list;  (** in a dependency-respecting invocation order *)
+}
+
+val build :
+  device:Kf_gpu.Device.t ->
+  meta:Kf_ir.Metadata.t ->
+  exec:Kf_graph.Exec_order.t ->
+  Plan.t ->
+  t
+(** Applies the plan.  The unit order is a topological order of the
+    condensed (per-group) dependency graph.
+    @raise Invalid_argument when the plan's groups are not convex (the
+    condensed graph would be cyclic). *)
+
+val fused_kernels : t -> Fused.t list
+(** Multi-member units only, in invocation order. *)
+
+val unit_members : unit_ -> int list
+
+val pp : Format.formatter -> t -> unit

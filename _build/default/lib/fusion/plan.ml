@@ -1,0 +1,125 @@
+module Metadata = Kf_ir.Metadata
+module Device = Kf_gpu.Device
+module Exec_order = Kf_graph.Exec_order
+
+type t = { n : int; groups : int list list (* canonical *) }
+
+let canonicalize groups =
+  let sorted = List.map (List.sort_uniq compare) groups in
+  List.sort (fun a b -> compare (List.hd a) (List.hd b)) sorted
+
+let of_groups ~n groups =
+  if List.exists (( = ) []) groups then invalid_arg "Plan.of_groups: empty group";
+  let canon = canonicalize groups in
+  let seen = Array.make n false in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun k ->
+          if k < 0 || k >= n then
+            invalid_arg (Printf.sprintf "Plan.of_groups: kernel id %d out of [0,%d)" k n);
+          if seen.(k) then
+            invalid_arg (Printf.sprintf "Plan.of_groups: kernel %d in two groups" k);
+          seen.(k) <- true)
+        g)
+    canon;
+  Array.iteri
+    (fun k covered ->
+      if not covered then invalid_arg (Printf.sprintf "Plan.of_groups: kernel %d unassigned" k))
+    seen;
+  (* Duplicates within a group were silently removed by sort_uniq; reject
+     them instead, they indicate a caller bug. *)
+  let total = List.fold_left (fun acc g -> acc + List.length g) 0 groups in
+  if total <> n then invalid_arg "Plan.of_groups: duplicate kernel within a group";
+  { n; groups = canon }
+
+let identity n = { n; groups = List.init n (fun k -> [ k ]) }
+
+let groups t = t.groups
+let num_kernels t = t.n
+let num_groups t = List.length t.groups
+
+let group_of t k =
+  match List.find_opt (fun g -> List.mem k g) t.groups with
+  | Some g -> g
+  | None -> invalid_arg "Plan.group_of: unknown kernel"
+
+let fused_kernel_count t = List.length (List.filter (fun g -> List.length g >= 2) t.groups)
+
+let fused_member_count t =
+  List.fold_left
+    (fun acc g -> if List.length g >= 2 then acc + List.length g else acc)
+    0 t.groups
+
+type violation =
+  | Not_convex of int list
+  | Not_kin_connected of int list
+  | Smem_overflow of int list * int
+  | Register_overflow of int list * int
+  | Not_schedulable
+  | Spans_sync_point of int list
+  | Vertical_flow of int list
+
+let schedulable ~exec t =
+  let groups = Array.of_list t.groups in
+  let group_of = Array.make t.n (-1) in
+  Array.iteri (fun gi g -> List.iter (fun k -> group_of.(k) <- gi) g) groups;
+  let module Dag = Kf_graph.Dag in
+  let cond = Dag.create (Array.length groups) in
+  let dag = Exec_order.dag exec in
+  for u = 0 to Dag.num_nodes dag - 1 do
+    List.iter
+      (fun v ->
+        let gu = group_of.(u) and gv = group_of.(v) in
+        if gu <> gv then Dag.add_edge cond gu gv)
+      (Dag.succs dag u)
+  done;
+  Dag.is_acyclic cond
+
+let validate ?device ~meta ~exec t =
+  let violations = ref [] in
+  if not (schedulable ~exec t) then violations := Not_schedulable :: !violations;
+  List.iter
+    (fun g ->
+      if List.length g >= 2 then begin
+        if not (Exec_order.group_is_convex exec g) then violations := Not_convex g :: !violations;
+        if Exec_order.group_spans_sync exec g then violations := Spans_sync_point g :: !violations;
+        if not (Metadata.kinship_connected meta g) then
+          violations := Not_kin_connected g :: !violations;
+        match device with
+        | None -> ()
+        | Some device ->
+            let f = Fused.build ~device ~meta ~exec ~group:g in
+            if f.Fused.vertical_hazard then violations := Vertical_flow g :: !violations;
+            if f.Fused.smem_bytes_per_block > device.Device.smem_per_smx then
+              violations := Smem_overflow (g, f.Fused.smem_bytes_per_block) :: !violations;
+            if f.Fused.registers_per_thread >= device.Device.max_registers_per_thread then
+              violations := Register_overflow (g, f.Fused.registers_per_thread) :: !violations
+      end)
+    t.groups;
+  List.rev !violations
+
+let is_feasible ~device ~meta ~exec t = validate ~device ~meta ~exec t = []
+
+let equal a b = a.n = b.n && a.groups = b.groups
+let compare a b =
+  let c = Stdlib.compare a.n b.n in
+  if c <> 0 then c else Stdlib.compare a.groups b.groups
+
+let pp ppf t =
+  Format.fprintf ppf "{%s}"
+    (String.concat " | "
+       (List.map (fun g -> String.concat "," (List.map string_of_int g)) t.groups))
+
+let pp_violation ppf v =
+  let group g = String.concat "," (List.map string_of_int g) in
+  match v with
+  | Not_convex g -> Format.fprintf ppf "group [%s] is not path-convex" (group g)
+  | Not_kin_connected g -> Format.fprintf ppf "group [%s] is not kinship-connected" (group g)
+  | Smem_overflow (g, b) -> Format.fprintf ppf "group [%s] needs %d B of SMEM" (group g) b
+  | Register_overflow (g, r) -> Format.fprintf ppf "group [%s] needs %d registers" (group g) r
+  | Not_schedulable -> Format.fprintf ppf "no valid invocation order (cyclic group dependencies)"
+  | Spans_sync_point g ->
+      Format.fprintf ppf "group [%s] crosses a host synchronization point" (group g)
+  | Vertical_flow g ->
+      Format.fprintf ppf "group [%s] consumes internal data through a vertical stencil" (group g)

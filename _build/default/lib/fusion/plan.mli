@@ -1,0 +1,77 @@
+(** Fusion plans: partitions of the original kernels into groups, each
+    group becoming one new kernel (or staying original when a singleton).
+
+    This is the decision variable of the paper's optimization problem
+    (Fig. 4): [x_ij = 1] iff kernel [i] belongs to group [j].  The checker
+    enforces the structural constraints — (1.2) each kernel in exactly one
+    group, (1.3) path convexity, (1.5) kinship connectivity — and, given a
+    device, the resource constraints (1.6) SMEM capacity and (1.7) register
+    bound. *)
+
+type t
+(** A validated-shape partition (disjointness and completeness are
+    guaranteed by construction; the other constraints are checked by
+    {!validate}). *)
+
+val of_groups : n:int -> int list list -> t
+(** [of_groups ~n groups] builds a plan over kernels [0..n-1].
+    @raise Invalid_argument unless the groups are non-empty, disjoint and
+    cover exactly [0..n-1]. *)
+
+val identity : int -> t
+(** The unfused plan: every kernel alone. *)
+
+val groups : t -> int list list
+(** Groups in canonical order (sorted members; groups ordered by smallest
+    member). *)
+
+val num_kernels : t -> int
+val num_groups : t -> int
+
+val group_of : t -> int -> int list
+(** The group containing a kernel. *)
+
+val fused_kernel_count : t -> int
+(** Number of groups with two or more members. *)
+
+val fused_member_count : t -> int
+(** Number of original kernels belonging to multi-member groups (the
+    paper's "117 out of the 142"). *)
+
+type violation =
+  | Not_convex of int list  (** group breaks constraint (1.3) *)
+  | Not_kin_connected of int list  (** group breaks constraint (1.5) *)
+  | Smem_overflow of int list * int  (** group, required bytes (1.6) *)
+  | Register_overflow of int list * int  (** group, required registers (1.7) *)
+  | Not_schedulable
+      (** the condensed per-group dependency graph is cyclic: no valid
+          invocation order of the new kernels exists.  Per-group convexity
+          does not imply this whole-plan property, so it is checked
+          separately (a strengthening of the paper's constraint set). *)
+  | Spans_sync_point of int list
+      (** the group crosses a host transfer / synchronization boundary
+          (paper §II-C): the transfer must execute between its members *)
+  | Vertical_flow of int list
+      (** an internal flow dependency is consumed through a vertical
+          stencil — per-plane SMEM staging cannot provide the producer's
+          future planes, so the group is unfusable *)
+
+val validate :
+  ?device:Kf_gpu.Device.t ->
+  meta:Kf_ir.Metadata.t ->
+  exec:Kf_graph.Exec_order.t ->
+  t ->
+  violation list
+(** Structural constraints always; resource constraints when [device] is
+    given (building each group's fused kernel to cost it). *)
+
+val is_feasible :
+  device:Kf_gpu.Device.t -> meta:Kf_ir.Metadata.t -> exec:Kf_graph.Exec_order.t -> t -> bool
+
+val equal : t -> t -> bool
+(** Equality as partitions (group order and member order irrelevant). *)
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,123 @@
+type arch = Kepler | Maxwell
+type precision = FP32 | FP64
+
+type t = {
+  name : string;
+  arch : arch;
+  smx_count : int;
+  registers_per_smx : int;
+  smem_per_smx : int;
+  max_registers_per_thread : int;
+  max_threads_per_smx : int;
+  max_blocks_per_smx : int;
+  warp_size : int;
+  schedulers_per_smx : int;
+  dispatch_per_scheduler : int;
+  clock_ghz : float;
+  peak_gflops : float;
+  native_precision : precision;
+  gmem_bandwidth_gbs : float;
+  gmem_latency_cycles : int;
+  smem_latency_cycles : int;
+  smem_banks : int;
+  smem_bank_width : int;
+  reg_reuse_factor : float;
+  readonly_cache_per_smx : int;
+  use_readonly_cache : bool;
+}
+
+(* Table IV of the paper, completed with microarchitectural timing constants
+   from published Kepler/Maxwell microbenchmarks (Mei & Chu, and the CUDA
+   programming guides of the era).  "64KB" of register resource in the paper
+   is the 65536-entry 32-bit register file. *)
+
+let k20x =
+  {
+    name = "K20X";
+    arch = Kepler;
+    smx_count = 14;
+    registers_per_smx = 65536;
+    smem_per_smx = 48 * 1024;
+    max_registers_per_thread = 255;
+    max_threads_per_smx = 2048;
+    max_blocks_per_smx = 16;
+    warp_size = 32;
+    schedulers_per_smx = 4;
+    dispatch_per_scheduler = 2;
+    clock_ghz = 0.732;
+    peak_gflops = 1310.;
+    native_precision = FP64;
+    gmem_bandwidth_gbs = 202.;
+    gmem_latency_cycles = 440;
+    smem_latency_cycles = 30;
+    smem_banks = 32;
+    smem_bank_width = 8;
+    reg_reuse_factor = 0.85;
+    readonly_cache_per_smx = 48 * 1024;
+    use_readonly_cache = false;
+  }
+
+let k40 =
+  {
+    k20x with
+    name = "K40";
+    smx_count = 15;
+    clock_ghz = 0.745;
+    peak_gflops = 1430.;
+    gmem_bandwidth_gbs = 214.;
+  }
+
+let gtx750ti =
+  {
+    name = "GTX750Ti";
+    arch = Maxwell;
+    smx_count = 5;
+    registers_per_smx = 65536;
+    smem_per_smx = 64 * 1024;
+    max_registers_per_thread = 255;
+    max_threads_per_smx = 2048;
+    max_blocks_per_smx = 32;
+    warp_size = 32;
+    schedulers_per_smx = 4;
+    dispatch_per_scheduler = 2;
+    clock_ghz = 1.085;
+    peak_gflops = 1380.;
+    native_precision = FP32;
+    gmem_bandwidth_gbs = 69.;
+    gmem_latency_cycles = 380;
+    smem_latency_cycles = 24;
+    smem_banks = 32;
+    smem_bank_width = 4;
+    reg_reuse_factor = 0.80;
+    readonly_cache_per_smx = 24 * 1024;
+    use_readonly_cache = false;
+  }
+
+let all = [ k20x; k40; gtx750ti ]
+
+let with_smem dev bytes =
+  if bytes <= 0 then invalid_arg "Device.with_smem: non-positive capacity";
+  { dev with smem_per_smx = bytes; name = Printf.sprintf "%s+%dKB" dev.name (bytes / 1024) }
+
+let with_readonly_cache dev flag =
+  if flag = dev.use_readonly_cache then dev
+  else
+    {
+      dev with
+      use_readonly_cache = flag;
+      name = (if flag then dev.name ^ "+ROC" else dev.name);
+    }
+
+let elem_size dev = match dev.native_precision with FP64 -> 8 | FP32 -> 4
+
+let flops_per_cycle_smx dev = dev.peak_gflops /. (dev.clock_ghz *. float_of_int dev.smx_count)
+
+let bytes_per_cycle dev = dev.gmem_bandwidth_gbs /. dev.clock_ghz
+
+let pp ppf d =
+  Format.fprintf ppf "%s (%s, %d SMX, %dKB SMEM/SMX, %.0f GB/s, %.2f TFLOPS %s)" d.name
+    (match d.arch with Kepler -> "Kepler" | Maxwell -> "Maxwell")
+    d.smx_count (d.smem_per_smx / 1024) d.gmem_bandwidth_gbs (d.peak_gflops /. 1000.)
+    (match d.native_precision with FP64 -> "DP" | FP32 -> "SP")
+
+let equal a b = a = b

@@ -1,0 +1,83 @@
+(** GPU device descriptions.
+
+    This is paper Table IV plus the timing parameters that the simulator
+    ([Kf_sim]) needs.  The static capacities ([registers_per_smx],
+    [smem_per_smx], [max_registers_per_thread]) feed the optimization
+    constraints (paper Eqns. 1.6 and 1.7); the projection model (paper
+    Eqns. 2-10) additionally uses [gmem_bandwidth] and [peak_gflops]; the
+    simulator uses everything. *)
+
+type arch = Kepler | Maxwell
+(** Microarchitecture generation.  Maxwell differs in the paper-relevant
+    ways: larger shared memory (L1 merged into texture path), twice the
+    active-block limit, register spills going to L2, and slightly better
+    register reuse in generated code. *)
+
+type precision = FP32 | FP64
+
+type t = {
+  name : string;
+  arch : arch;
+  smx_count : int;  (** number of SMX/SMM multiprocessors *)
+  registers_per_smx : int;  (** 32-bit registers per SMX (Table IV "64KB" = 65536) *)
+  smem_per_smx : int;  (** shared-memory bytes usable per SMX *)
+  max_registers_per_thread : int;  (** ISA limit, 255 on both generations *)
+  max_threads_per_smx : int;
+  max_blocks_per_smx : int;
+  warp_size : int;
+  schedulers_per_smx : int;  (** warp schedulers *)
+  dispatch_per_scheduler : int;  (** dispatch units per scheduler *)
+  clock_ghz : float;  (** SM clock *)
+  peak_gflops : float;  (** theoretical peak at [native_precision] *)
+  native_precision : precision;
+      (** the precision the paper reports for this device: FP64 on Kepler
+          HPC parts, FP32 on the GTX 750 Ti *)
+  gmem_bandwidth_gbs : float;  (** STREAM-measured GMEM bandwidth, GB/s *)
+  gmem_latency_cycles : int;  (** average DRAM round-trip latency *)
+  smem_latency_cycles : int;  (** shared-memory access latency *)
+  smem_banks : int;
+  smem_bank_width : int;  (** bytes of access granularity per bank *)
+  reg_reuse_factor : float;
+      (** RegFac of paper Eq. 4: fraction of the stencil neighborhood that
+          must stay resident in registers (lower = better compiler reuse) *)
+  readonly_cache_per_smx : int;
+      (** bytes of the Kepler+ read-only data cache (__ldg/texture path) *)
+  use_readonly_cache : bool;
+      (** when set, fusion stages program-wide read-only arrays through the
+          read-only cache instead of SMEM, relaxing the capacity limit
+          (paper §II-C); off by default, matching the paper's evaluation *)
+}
+
+val k20x : t
+(** Nvidia Tesla K20X (Kepler GK110), Table IV column 1. *)
+
+val k40 : t
+(** Nvidia Tesla K40 (Kepler GK110B), Table IV column 2. *)
+
+val gtx750ti : t
+(** Nvidia GTX 750 Ti (Maxwell GM107), Table IV column 3; single
+    precision. *)
+
+val all : t list
+(** The three devices of Table IV, in paper order. *)
+
+val with_smem : t -> int -> t
+(** [with_smem dev bytes] is the hypothetical-architecture variant used by
+    the paper's SMEM-capacity study (Section VI-E): same device with
+    [smem_per_smx] replaced. *)
+
+val with_readonly_cache : t -> bool -> t
+(** Enable or disable read-only-cache staging (paper §II-C). *)
+
+val elem_size : t -> int
+(** Bytes per element at the device's native precision (8 or 4). *)
+
+val flops_per_cycle_smx : t -> float
+(** Arithmetic throughput of one SMX in native-precision flops/cycle,
+    derived from [peak_gflops]. *)
+
+val bytes_per_cycle : t -> float
+(** Whole-device GMEM bandwidth expressed in bytes per SM-clock cycle. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/graph/dag.ml: Array Format Hashtbl Int Kf_util List Printf Set

@@ -1,0 +1,1 @@
+lib/graph/datadep.ml: Array Format Kf_ir List

@@ -1,0 +1,1 @@
+lib/graph/datadep.mli: Format Kf_ir

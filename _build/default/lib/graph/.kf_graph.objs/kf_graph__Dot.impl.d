@@ -1,0 +1,1 @@
+lib/graph/dot.ml: Buffer Dag Datadep Exec_order Kf_ir List Printf String

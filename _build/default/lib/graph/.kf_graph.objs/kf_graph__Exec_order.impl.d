@@ -1,0 +1,1 @@
+lib/graph/exec_order.ml: Array Dag Datadep Format Kf_ir Kf_util List Printf

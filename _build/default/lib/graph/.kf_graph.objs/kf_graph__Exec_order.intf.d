@@ -1,0 +1,1 @@
+lib/graph/exec_order.mli: Dag Datadep Format

@@ -1,0 +1,1 @@
+lib/graph/renaming.ml: Array Datadep Hashtbl Kf_ir List Printf

@@ -1,0 +1,1 @@
+lib/graph/renaming.mli: Datadep Kf_ir

@@ -1,0 +1,1 @@
+lib/graph/traffic.ml: Array Datadep Exec_order Format Kf_ir List

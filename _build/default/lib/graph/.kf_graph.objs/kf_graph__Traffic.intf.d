@@ -1,0 +1,1 @@
+lib/graph/traffic.mli: Exec_order Format Kf_ir

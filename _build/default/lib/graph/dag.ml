@@ -1,0 +1,183 @@
+module Bitset = Kf_util.Bitset
+
+type t = {
+  n : int;
+  succ : (int, unit) Hashtbl.t array;
+  pred : (int, unit) Hashtbl.t array;
+  mutable edge_count : int;
+  mutable reach : Bitset.t array option; (* reach.(u) = descendants of u incl. u *)
+  mutable coreach : Bitset.t array option; (* coreach.(v) = ancestors of v incl. v *)
+}
+
+let create n =
+  if n < 0 then invalid_arg "Dag.create: negative size";
+  {
+    n;
+    succ = Array.init n (fun _ -> Hashtbl.create 4);
+    pred = Array.init n (fun _ -> Hashtbl.create 4);
+    edge_count = 0;
+    reach = None;
+    coreach = None;
+  }
+
+let num_nodes t = t.n
+
+let check t v =
+  if v < 0 || v >= t.n then invalid_arg (Printf.sprintf "Dag: node %d out of [0,%d)" v t.n)
+
+let has_edge t u v =
+  check t u;
+  check t v;
+  Hashtbl.mem t.succ.(u) v
+
+let add_edge t u v =
+  check t u;
+  check t v;
+  if u = v then invalid_arg "Dag.add_edge: self-loop";
+  if not (Hashtbl.mem t.succ.(u) v) then begin
+    Hashtbl.replace t.succ.(u) v ();
+    Hashtbl.replace t.pred.(v) u ();
+    t.edge_count <- t.edge_count + 1;
+    t.reach <- None;
+    t.coreach <- None
+  end
+
+let sorted_keys h = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) h [])
+
+let succs t u =
+  check t u;
+  sorted_keys t.succ.(u)
+
+let preds t v =
+  check t v;
+  sorted_keys t.pred.(v)
+
+let num_edges t = t.edge_count
+
+let topo_order_opt t =
+  let indeg = Array.init t.n (fun v -> Hashtbl.length t.pred.(v)) in
+  (* A min-heap would be overkill: a sorted ready list keeps the order
+     stable by node index, and graphs here have a few hundred nodes. *)
+  let module IS = Set.Make (Int) in
+  let ready = ref IS.empty in
+  Array.iteri (fun v d -> if d = 0 then ready := IS.add v !ready) indeg;
+  let out = ref [] in
+  let count = ref 0 in
+  while not (IS.is_empty !ready) do
+    let v = IS.min_elt !ready in
+    ready := IS.remove v !ready;
+    out := v :: !out;
+    incr count;
+    Hashtbl.iter
+      (fun w () ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then ready := IS.add w !ready)
+      t.succ.(v)
+  done;
+  if !count = t.n then Some (List.rev !out) else None
+
+let is_acyclic t = topo_order_opt t <> None
+
+let topo_sort t =
+  match topo_order_opt t with
+  | Some order -> order
+  | None -> invalid_arg "Dag.topo_sort: graph has a cycle"
+
+let compute_reach t neighbors order =
+  (* Each node's set is the union of its neighbors' sets, so neighbors must
+     be processed first: reverse topological order for descendants, forward
+     for ancestors — O(V * V/64 * E) with bitsets. *)
+  let sets = Array.init t.n (fun v -> Bitset.singleton t.n v) in
+  List.iter
+    (fun v -> Hashtbl.iter (fun w () -> Bitset.union_into sets.(v) sets.(w)) (neighbors v))
+    order;
+  sets
+
+let topo_or_fail t =
+  match topo_order_opt t with
+  | Some o -> o
+  | None -> invalid_arg "Dag: reachability requires an acyclic graph"
+
+let reach_sets t =
+  match t.reach with
+  | Some r -> r
+  | None ->
+      let r = compute_reach t (fun v -> t.succ.(v)) (List.rev (topo_or_fail t)) in
+      t.reach <- Some r;
+      r
+
+let coreach_sets t =
+  match t.coreach with
+  | Some r -> r
+  | None ->
+      let r = compute_reach t (fun v -> t.pred.(v)) (topo_or_fail t) in
+      t.coreach <- Some r;
+      r
+
+let reaches t u v =
+  check t u;
+  check t v;
+  Bitset.mem (reach_sets t).(u) v
+
+let descendants t u =
+  check t u;
+  Bitset.copy (reach_sets t).(u)
+
+let ancestors t v =
+  check t v;
+  Bitset.copy (coreach_sets t).(v)
+
+let on_some_path t a b =
+  check t a;
+  check t b;
+  if not (reaches t a b) then []
+  else begin
+    let from_a = (reach_sets t).(a) and to_b = (coreach_sets t).(b) in
+    Bitset.to_list (Bitset.inter from_a to_b)
+  end
+
+let path_closure t s =
+  (* v lies on a path between two members iff v is reachable from some
+     member and some member is reachable from v, so the closure step is
+     (⋃ reach) ∩ (⋃ coreach); iterate to fixpoint (new members can extend
+     both unions).  Bitset unions make each step near-linear. *)
+  let reach = reach_sets t and coreach = coreach_sets t in
+  let closure = ref (Bitset.copy s) in
+  let continue_ = ref true in
+  while !continue_ do
+    let forward = Bitset.create t.n and backward = Bitset.create t.n in
+    Bitset.iter
+      (fun v ->
+        Bitset.union_into forward reach.(v);
+        Bitset.union_into backward coreach.(v))
+      !closure;
+    let next = Bitset.inter forward backward in
+    Bitset.union_into next !closure;
+    if Bitset.equal next !closure then continue_ := false else closure := next
+  done;
+  !closure
+
+let transpose t =
+  let g = create t.n in
+  for u = 0 to t.n - 1 do
+    Hashtbl.iter (fun v () -> add_edge g v u) t.succ.(u)
+  done;
+  g
+
+let of_edges n edges =
+  let g = create n in
+  List.iter (fun (u, v) -> add_edge g u v) edges;
+  g
+
+let pp ppf t =
+  Format.fprintf ppf "dag(%d nodes, %d edges)" t.n t.edge_count;
+  for u = 0 to t.n - 1 do
+    match succs t u with
+    | [] -> ()
+    | ss ->
+        Format.fprintf ppf "@.  %d -> %a" u
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+             Format.pp_print_int)
+          ss
+  done

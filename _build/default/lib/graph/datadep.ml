@@ -1,0 +1,126 @@
+module Program = Kf_ir.Program
+module Kernel = Kf_ir.Kernel
+module Access = Kf_ir.Access
+module Array_info = Kf_ir.Array_info
+
+type array_class = Read_only | Write_only | Read_write | Expandable
+
+type dep_kind = Flow | Anti | Output
+
+type edge = { src : int; dst : int; array : int; kind : dep_kind; same_generation : bool }
+
+type t = {
+  program : Program.t;
+  classes : array_class array;
+  edges : edge list;
+  gens : int array;
+}
+
+(* Per-array scan state while walking kernels in invocation order. *)
+type scan = {
+  mutable last_writer : int option;
+  mutable readers_since_write : int list;
+  mutable read_since_write : bool;
+  mutable writers : int;
+  mutable readers : int;
+  mutable generations : int;
+}
+
+let build (p : Program.t) =
+  let na = Program.num_arrays p in
+  let state =
+    Array.init na (fun _ ->
+        {
+          last_writer = None;
+          readers_since_write = [];
+          read_since_write = false;
+          writers = 0;
+          readers = 0;
+          generations = 0;
+        })
+  in
+  let edges = ref [] in
+  let emit ?(same_generation = false) src dst array kind =
+    if src <> dst then edges := { src; dst; array; kind; same_generation } :: !edges
+  in
+  for k = 0 to Program.num_kernels p - 1 do
+    let kern = Program.kernel p k in
+    List.iter
+      (fun (a : Access.t) ->
+        let s = state.(a.array) in
+        (* Reads happen before writes within a kernel (loads feed the
+           computation whose result is stored). *)
+        if Access.reads a then begin
+          (match s.last_writer with Some w -> emit w k a.array Flow | None -> ());
+          s.readers <- s.readers + 1;
+          s.read_since_write <- true;
+          s.readers_since_write <- k :: s.readers_since_write
+        end;
+        if Access.writes a then begin
+          let starts_new_generation = s.writers = 0 || s.read_since_write in
+          List.iter (fun r -> emit r k a.array Anti) s.readers_since_write;
+          (match s.last_writer with
+          | Some w -> emit ~same_generation:(not starts_new_generation) w k a.array Output
+          | None -> ());
+          (* A fresh writer generation starts when the previous one has
+             already been consumed by a reader — the QFLX pattern. *)
+          if starts_new_generation then s.generations <- s.generations + 1;
+          s.writers <- s.writers + 1;
+          s.last_writer <- Some k;
+          s.readers_since_write <- [];
+          s.read_since_write <- false
+        end)
+      kern.accesses
+  done;
+  let classes =
+    Array.map
+      (fun s ->
+        if s.writers = 0 then Read_only
+        else if s.readers = 0 then Write_only
+        else if s.generations > 1 then Expandable
+        else Read_write)
+      state
+  in
+  let gens = Array.map (fun s -> s.generations) state in
+  { program = p; classes; edges = List.rev !edges; gens }
+
+let program t = t.program
+
+let array_class t a =
+  if a < 0 || a >= Array.length t.classes then invalid_arg "Datadep.array_class: bad array id";
+  t.classes.(a)
+
+let classes t = Array.copy t.classes
+
+let edges t = t.edges
+
+let flow_edges t = List.filter (fun e -> e.kind = Flow) t.edges
+
+let generations t a =
+  if a < 0 || a >= Array.length t.gens then invalid_arg "Datadep.generations: bad array id";
+  t.gens.(a)
+
+let redundant_copy_bytes t grid =
+  let total = ref 0 in
+  Array.iteri
+    (fun a cls ->
+      if cls = Expandable then begin
+        let info = Program.array t.program a in
+        total := !total + ((t.gens.(a) - 1) * Array_info.bytes info grid)
+      end)
+    t.classes;
+  !total
+
+let class_to_string = function
+  | Read_only -> "read-only"
+  | Write_only -> "write-only"
+  | Read_write -> "read-write"
+  | Expandable -> "expandable"
+
+let pp ppf t =
+  Format.fprintf ppf "datadep(%s): %d edges@." t.program.name (List.length t.edges);
+  Array.iteri
+    (fun a cls ->
+      Format.fprintf ppf "  %s: %s (%d gens)@."
+        (Program.array t.program a).name (class_to_string cls) t.gens.(a))
+    t.classes

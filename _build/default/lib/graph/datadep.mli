@@ -1,0 +1,64 @@
+(** Data-dependency analysis (paper §II-B.1, Fig. 1).
+
+    From the invocation order and the per-kernel array accesses this module
+    derives (a) the program-level class of every array — the four ways
+    arrays are "touched in the lifetime of a program" — and (b) the
+    inter-kernel dependency edges that the order-of-execution graph is
+    built from. *)
+
+type array_class =
+  | Read_only  (** never written; freely reusable via SMEM *)
+  | Write_only  (** never read; not reusable *)
+  | Read_write  (** one writer generation, later readers *)
+  | Expandable
+      (** several writer generations interleaved with readers (the QFLX
+          pattern of Fig. 1); renaming each generation into a redundant
+          copy removes the inter-generation precedence at the cost of
+          extra memory *)
+
+type dep_kind =
+  | Flow  (** read-after-write: true dependency, never relaxable *)
+  | Anti  (** write-after-read *)
+  | Output  (** write-after-write *)
+
+type edge = {
+  src : int;
+  dst : int;
+  array : int;
+  kind : dep_kind;
+  same_generation : bool;
+      (** for [Output] edges on expandable arrays: both writes belong to
+          one writer generation, so renaming generations does {e not}
+          remove this precedence *)
+}
+(** [src] must execute (its instructions complete for [array]) before
+    [dst]. *)
+
+type t
+
+val build : Kf_ir.Program.t -> t
+(** Scans kernels in invocation order. *)
+
+val program : t -> Kf_ir.Program.t
+
+val array_class : t -> int -> array_class
+
+val classes : t -> array_class array
+(** Per-array classes, indexed by array id. *)
+
+val edges : t -> edge list
+(** All dependency edges, in discovery order. *)
+
+val flow_edges : t -> edge list
+
+val generations : t -> int -> int
+(** [generations t a] is the number of writer generations of array [a]
+    (0 for read-only arrays).  An expandable array contributes
+    [generations - 1] redundant copies after relaxation. *)
+
+val redundant_copy_bytes : t -> Kf_ir.Grid.t -> int
+(** Total extra memory the expandable-array relaxation costs (paper
+    §II-B.1c). *)
+
+val class_to_string : array_class -> string
+val pp : Format.formatter -> t -> unit

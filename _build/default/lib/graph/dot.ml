@@ -1,0 +1,95 @@
+module Program = Kf_ir.Program
+module Kernel = Kf_ir.Kernel
+module Access = Kf_ir.Access
+module Array_info = Kf_ir.Array_info
+
+let escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let class_color = function
+  | Datadep.Read_only -> "#e06666" (* red *)
+  | Datadep.Read_write -> "#ffd966" (* yellow *)
+  | Datadep.Expandable -> "#6fa8dc" (* blue *)
+  | Datadep.Write_only -> "#93c47d" (* green *)
+
+let data_dependency dd =
+  let p = Datadep.program dd in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph data_dependency {\n";
+  Buffer.add_string buf "  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n";
+  for k = 0 to Program.num_kernels p - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  k%d [shape=circle, label=\"%s\"];\n" k
+         (escape (Program.kernel p k).Kernel.name))
+  done;
+  for a = 0 to Program.num_arrays p - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  a%d [shape=diamond, style=filled, fillcolor=\"%s\", label=\"%s\"];\n" a
+         (class_color (Datadep.array_class dd a))
+         (escape (Program.array p a).Array_info.name))
+  done;
+  (* Edge direction encodes intent, as in the paper's Fig. 1: array ->
+     kernel for reads, kernel -> array for writes. *)
+  for k = 0 to Program.num_kernels p - 1 do
+    List.iter
+      (fun (acc : Access.t) ->
+        if Access.reads acc then
+          Buffer.add_string buf (Printf.sprintf "  a%d -> k%d;\n" acc.Access.array k);
+        if Access.writes acc then
+          Buffer.add_string buf (Printf.sprintf "  k%d -> a%d;\n" k acc.Access.array))
+      (Program.kernel p k).Kernel.accesses
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let kernel_nodes buf p =
+  for k = 0 to Program.num_kernels p - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  k%d [shape=circle, label=\"%s\"];\n" k
+         (escape (Program.kernel p k).Kernel.name))
+  done
+
+let precedence_edges buf exec =
+  let dag = Exec_order.dag exec in
+  for u = 0 to Dag.num_nodes dag - 1 do
+    List.iter (fun v -> Buffer.add_string buf (Printf.sprintf "  k%d -> k%d;\n" u v)) (Dag.succs dag u)
+  done
+
+let order_of_execution exec =
+  let p = Datadep.program (Exec_order.datadep exec) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph order_of_execution {\n";
+  Buffer.add_string buf "  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n";
+  kernel_nodes buf p;
+  precedence_edges buf exec;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let order_of_execution_with_groups exec groups =
+  let p = Datadep.program (Exec_order.datadep exec) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph fusion_plan {\n";
+  Buffer.add_string buf "  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n";
+  let cluster = ref 0 in
+  List.iter
+    (fun g ->
+      match g with
+      | [ k ] ->
+          Buffer.add_string buf
+            (Printf.sprintf "  k%d [shape=circle, label=\"%s\"];\n" k
+               (escape (Program.kernel p k).Kernel.name))
+      | members ->
+          incr cluster;
+          Buffer.add_string buf (Printf.sprintf "  subgraph cluster_%d {\n" !cluster);
+          Buffer.add_string buf "    style=dashed;\n";
+          Buffer.add_string buf (Printf.sprintf "    label=\"K_%d\";\n" !cluster);
+          List.iter
+            (fun k ->
+              Buffer.add_string buf
+                (Printf.sprintf "    k%d [shape=circle, label=\"%s\"];\n" k
+                   (escape (Program.kernel p k).Kernel.name)))
+            members;
+          Buffer.add_string buf "  }\n")
+    groups;
+  precedence_edges buf exec;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

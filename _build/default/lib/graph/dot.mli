@@ -1,0 +1,19 @@
+(** Graphviz (DOT) export of the analysis graphs.
+
+    Renders the two graphs of paper Figs. 1-2 — the data-dependency graph
+    (kernels as circles, arrays as diamonds colored by class) and the
+    order-of-execution graph — plus a fused-program view with the groups
+    of a plan drawn as clusters.  Feed the output to [dot -Tsvg]. *)
+
+val data_dependency : Datadep.t -> string
+(** Paper Fig. 1: bipartite kernel/array graph.  Array fill colors follow
+    the paper's legend — red read-only, yellow read-write, blue expandable
+    read-write, green write-only. *)
+
+val order_of_execution : Exec_order.t -> string
+(** Paper Fig. 2: kernels with the precedence edges a fusion must not
+    violate. *)
+
+val order_of_execution_with_groups : Exec_order.t -> int list list -> string
+(** Fig. 2 with a fusion plan overlaid: each multi-member group becomes a
+    dashed cluster (the paper's dotted rectangles). *)

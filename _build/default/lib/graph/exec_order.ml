@@ -1,0 +1,108 @@
+module Bitset = Kf_util.Bitset
+module Program = Kf_ir.Program
+
+type t = {
+  dag : Dag.t;
+  datadep : Datadep.t;
+  relaxed : bool;
+  extra_memory : int;
+  topo_rank : int array;
+  syncs : int list; (* sorted kernel ids after which the host synchronizes *)
+}
+
+let build ?(relax_expandable = true) ?(extra_edges = []) ?(sync_points = []) dd =
+  let p = Datadep.program dd in
+  let n = Program.num_kernels p in
+  let g = Dag.create n in
+  List.iter
+    (fun (e : Datadep.edge) ->
+      let keep =
+        match e.kind with
+        | Datadep.Flow -> true
+        | Datadep.Anti | Datadep.Output ->
+            (* Renaming writer generations of an expandable array removes
+               its cross-generation anti/output precedences; other arrays
+               (and same-generation write-write ordering) keep them. *)
+            (not (relax_expandable && Datadep.array_class dd e.array = Datadep.Expandable))
+            || e.same_generation
+      in
+      if keep then Dag.add_edge g e.src e.dst)
+    (Datadep.edges dd);
+  List.iter (fun (u, v) -> Dag.add_edge g u v) extra_edges;
+  (* A host sync after kernel s orders everything before it ahead of
+     everything after it. *)
+  let syncs = List.sort_uniq compare sync_points in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= n - 1 then
+        invalid_arg (Printf.sprintf "Exec_order.build: sync point %d out of [0,%d)" s (n - 1));
+      for u = 0 to s do
+        for v = s + 1 to n - 1 do
+          Dag.add_edge g u v
+        done
+      done)
+    syncs;
+  if not (Dag.is_acyclic g) then
+    invalid_arg "Exec_order.build: extra edges introduced a cycle";
+  let topo_rank = Array.make n 0 in
+  List.iteri (fun rank v -> topo_rank.(v) <- rank) (Dag.topo_sort g);
+  let extra_memory =
+    if relax_expandable then Datadep.redundant_copy_bytes dd p.grid else 0
+  in
+  { dag = g; datadep = dd; relaxed = relax_expandable; extra_memory; topo_rank; syncs }
+
+let dag t = t.dag
+let datadep t = t.datadep
+let relaxed t = t.relaxed
+let extra_memory_bytes t = t.extra_memory
+
+let sync_points t = t.syncs
+
+let group_spans_sync t group =
+  List.exists
+    (fun s -> List.exists (fun k -> k <= s) group && List.exists (fun k -> k > s) group)
+    t.syncs
+
+let must_precede t a b = a <> b && Dag.reaches t.dag a b
+
+let independent t a b = not (must_precede t a b) && not (must_precede t b a)
+
+let group_order t group =
+  List.sort
+    (fun a b ->
+      let c = compare t.topo_rank.(a) t.topo_rank.(b) in
+      if c <> 0 then c else compare a b)
+    group
+
+let group_is_convex t group =
+  let members = List.sort_uniq compare group in
+  let n = Dag.num_nodes t.dag in
+  let set = Bitset.of_list n members in
+  List.for_all
+    (fun a ->
+      List.for_all
+        (fun b ->
+          a = b
+          || (not (Dag.reaches t.dag a b))
+          || List.for_all (fun v -> Bitset.mem set v) (Dag.on_some_path t.dag a b))
+        members)
+    members
+
+let convexify t group =
+  let n = Dag.num_nodes t.dag in
+  let set = Bitset.of_list n (List.sort_uniq compare group) in
+  Bitset.to_list (Dag.path_closure t.dag set)
+
+let fusion_barrier_needed t group =
+  let members = List.sort_uniq compare group in
+  let set = Bitset.of_list (Dag.num_nodes t.dag) members in
+  List.exists
+    (fun (e : Datadep.edge) ->
+      e.kind = Datadep.Flow && e.src <> e.dst && Bitset.mem set e.src && Bitset.mem set e.dst)
+    (Datadep.edges t.datadep)
+
+let pp ppf t =
+  Format.fprintf ppf "exec-order(%s, %s): %a"
+    (Datadep.program t.datadep).Program.name
+    (if t.relaxed then "relaxed" else "strict")
+    Dag.pp t.dag

@@ -1,0 +1,66 @@
+(** Order-of-execution graph (paper §II-B.2, Fig. 2).
+
+    A DAG over kernels whose edges are the precedences a fusion must not
+    violate.  Built from the data-dependency graph, optionally after
+    relaxing expandable read-write arrays (renaming writer generations into
+    redundant copies removes their anti and output dependencies).  Host
+    transfers and stream boundaries between invocations are modeled as
+    extra precedence edges. *)
+
+type t
+
+val build :
+  ?relax_expandable:bool ->
+  ?extra_edges:(int * int) list ->
+  ?sync_points:int list ->
+  Datadep.t ->
+  t
+(** [relax_expandable] defaults to [true] (the paper's setting).
+    [extra_edges] adds explicit precedences (e.g. stream ordering).
+    [sync_points] lists kernel ids after which the host synchronizes
+    (a PCIe transfer, an MPI halo exchange): kernels on opposite sides of
+    a sync point can never belong to one fused kernel, and every kernel
+    before the point precedes every kernel after it (paper §II-C).
+    @raise Invalid_argument if the result is cyclic (impossible from pure
+    data dependencies over an invocation order, but extra edges could do
+    it) or if a sync point is out of range. *)
+
+val dag : t -> Dag.t
+val datadep : t -> Datadep.t
+val relaxed : t -> bool
+
+val extra_memory_bytes : t -> int
+(** Redundant-copy cost of the relaxation (0 when not relaxed). *)
+
+val must_precede : t -> int -> int -> bool
+(** [must_precede t a b]: a directed path [a -> b] exists. *)
+
+val independent : t -> int -> int -> bool
+(** Neither kernel must precede the other — a group containing both can use
+    simple fusion for their shared arrays. *)
+
+val group_order : t -> int list -> int list
+(** The members of a group sorted by a fixed topological order of the full
+    graph (ties broken by invocation order) — the order their code segments
+    are aggregated in the fused kernel. *)
+
+val sync_points : t -> int list
+
+val group_spans_sync : t -> int list -> bool
+(** True when the group has members on both sides of some host sync point
+    — such a group cannot be fused (the transfer must run between its
+    parts). *)
+
+val group_is_convex : t -> int list -> bool
+(** Paper constraint (1.3): for every two members with a connecting path,
+    all kernels on all such paths are members too. *)
+
+val convexify : t -> int list -> int list
+(** Least superset of the group that satisfies {!group_is_convex} (adds all
+    on-path kernels), sorted. *)
+
+val fusion_barrier_needed : t -> int list -> bool
+(** Whether the fused kernel needs barriers: some flow dependency connects
+    two distinct members of the group (complex fusion, §II-D.2). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,122 @@
+module Program = Kf_ir.Program
+module Kernel = Kf_ir.Kernel
+module Access = Kf_ir.Access
+module Array_info = Kf_ir.Array_info
+
+let is_identity dd =
+  let p = Datadep.program dd in
+  let rec go a = a >= Program.num_arrays p || (Datadep.array_class dd a <> Datadep.Expandable && go (a + 1)) in
+  go 0
+
+let materialize dd =
+  let p = Datadep.program dd in
+  let na = Program.num_arrays p in
+  (* Replay the generation scan (same discipline as Datadep.build: within a
+     kernel, reads happen before writes) recording, per kernel access, the
+     generation it touches. *)
+  let current_gen = Array.make na 0 in
+  let read_since_write = Array.make na false in
+  let written = Array.make na false in
+  (* (kernel, array) -> generation touched; split read/write sides. *)
+  let read_gen : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let write_gen : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  for k = 0 to Program.num_kernels p - 1 do
+    List.iter
+      (fun (a : Access.t) ->
+        let aid = a.Access.array in
+        if Access.reads a then begin
+          Hashtbl.replace read_gen (k, aid) current_gen.(aid);
+          read_since_write.(aid) <- true
+        end;
+        if Access.writes a then begin
+          if (not written.(aid)) || read_since_write.(aid) then
+            current_gen.(aid) <- current_gen.(aid) + 1;
+          written.(aid) <- true;
+          read_since_write.(aid) <- false;
+          Hashtbl.replace write_gen (k, aid) current_gen.(aid)
+        end)
+      (Program.kernel p k).Kernel.accesses
+  done;
+  let total_gens = Array.copy current_gen in
+  (* Allocate copies: for an expandable array with G generations, the last
+     generation keeps the original id (so the program's final state lands
+     in the original array) and every other referenced generation —
+     including generation 0, the initial contents read before any write,
+     whose anti edge to the writers is exactly what the relaxation drops —
+     gets a fresh id. *)
+  let gen0_read = Array.make na false in
+  Hashtbl.iter (fun (_, aid) g -> if g = 0 then gen0_read.(aid) <- true) read_gen;
+  let next_id = ref na in
+  let copy_id : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  let extra_arrays = ref [] in
+  for a = 0 to na - 1 do
+    if Datadep.array_class dd a = Datadep.Expandable then begin
+      let gens =
+        (if gen0_read.(a) then [ 0 ] else []) @ List.init (total_gens.(a) - 1) (fun g -> g + 1)
+      in
+      List.iter
+        (fun g ->
+          let info = Program.array p a in
+          let id = !next_id in
+          incr next_id;
+          Hashtbl.replace copy_id (a, g) id;
+          extra_arrays :=
+            Array_info.make ~id
+              ~name:(Printf.sprintf "%s@gen%d" info.Array_info.name g)
+              ~elem_bytes:info.Array_info.elem_bytes ~extent:info.Array_info.extent ()
+            :: !extra_arrays)
+        gens
+    end
+  done;
+  let resolve a g =
+    if Datadep.array_class dd a <> Datadep.Expandable then a
+    else if g = total_gens.(a) then a
+    else Hashtbl.find copy_id (a, g)
+  in
+  let kernels =
+    List.init (Program.num_kernels p) (fun k ->
+        let kern = Program.kernel p k in
+        let accesses =
+          List.concat_map
+            (fun (a : Access.t) ->
+              let aid = a.Access.array in
+              if Datadep.array_class dd aid <> Datadep.Expandable then [ a ]
+              else begin
+                let rg = Hashtbl.find_opt read_gen (k, aid) in
+                let wg = Hashtbl.find_opt write_gen (k, aid) in
+                match (a.Access.mode, rg, wg) with
+                | Access.Read, Some g, _ -> [ { a with Access.array = resolve aid g } ]
+                | Access.Write, _, Some g -> [ { a with Access.array = resolve aid g } ]
+                | Access.ReadWrite, Some rg, Some wg when resolve aid rg = resolve aid wg ->
+                    [ { a with Access.array = resolve aid rg } ]
+                | Access.ReadWrite, Some rg, Some wg ->
+                    (* A cross-generation update (u += …): split into a
+                       read of the consumed copy and a write of the fresh
+                       one — the ping-pong buffering the transformation
+                       implies. *)
+                    [
+                      { a with Access.mode = Access.Read; array = resolve aid rg };
+                      {
+                        Access.mode = Access.Write;
+                        array = resolve aid wg;
+                        pattern = Kf_ir.Stencil.point;
+                        flops = 0.;
+                      };
+                    ]
+                | _ -> [ a ]
+              end)
+            kern.Kernel.accesses
+        in
+        Kernel.make ~id:k ~name:kern.Kernel.name ~accesses
+          ~extra_flops_per_site:kern.Kernel.extra_flops_per_site
+          ~registers_per_thread:kern.Kernel.registers_per_thread
+          ~addr_registers:kern.Kernel.addr_registers ~active_fraction:kern.Kernel.active_fraction
+          ())
+  in
+  let arrays = Array.to_list p.Program.arrays @ List.rev !extra_arrays in
+  let renamed =
+    Program.create ~name:(p.Program.name ^ "+renamed") ~grid:p.Program.grid ~arrays ~kernels
+  in
+  let orig_of = Array.init (Program.num_arrays renamed) (fun i -> i) in
+  Hashtbl.iter (fun (a, _) id -> orig_of.(id) <- a) copy_id;
+  (renamed, orig_of)

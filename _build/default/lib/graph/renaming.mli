@@ -1,0 +1,27 @@
+(** Materialization of the expandable-array relaxation (paper §II-B.1c).
+
+    The order-of-execution graph drops the anti/output precedences of
+    expandable read-write arrays on the promise that each writer
+    generation gets its own redundant copy ("changing the kernels to write
+    into redundant arrays ... at the expense of extra memory capacity").
+    This module performs that code transformation on the IR: every
+    generation of an expandable array becomes a separate array, reads and
+    writes are rewired to their generation's copy, and the {e last}
+    generation keeps the original array id so the program's final state
+    lands where the unrenamed program left it.
+
+    The renamed program has no expandable arrays left, so its own data
+    dependencies encode exactly the relaxed order-of-execution graph —
+    which is what makes it the right object for the execution oracle to
+    run fused plans against. *)
+
+val materialize : Datadep.t -> Kf_ir.Program.t * int array
+(** [materialize dd] returns the renamed program and [orig_of], mapping
+    each new array id to the original array it is a copy of (the identity
+    on non-expandable arrays).  A ReadWrite access that consumes one
+    generation and produces the next (an accumulating update) is split
+    into a read of the consumed copy and a write of the fresh one. *)
+
+val is_identity : Datadep.t -> bool
+(** True when the program has no expandable arrays (materialization would
+    be the identity). *)

@@ -1,0 +1,85 @@
+module Program = Kf_ir.Program
+module Kernel = Kf_ir.Kernel
+module Access = Kf_ir.Access
+module Array_info = Kf_ir.Array_info
+module Stencil = Kf_ir.Stencil
+module Grid = Kf_ir.Grid
+
+type report = {
+  total_bytes : float;
+  reducible_bytes : float;
+  reducible_fraction : float;
+  per_array : (int * float) list;
+}
+
+let array_bytes p a = float_of_int (Array_info.bytes (Program.array p a) p.Program.grid)
+
+let boundary_refetch_bytes (p : Program.t) (a : Access.t) =
+  (* Staged arrays still fetch their block-boundary neighborhood straight
+     from GMEM (paper Fig. 3, Kernel Y): one halo ring per block per
+     vertical plane. *)
+  let r = Stencil.radius a.pattern in
+  if r = 0 then 0.
+  else begin
+    let info = Program.array p a.array in
+    let planes =
+      match info.extent with Array_info.Field3d -> p.grid.nz | Array_info.Plane2d -> 1
+    in
+    float_of_int
+      (Grid.blocks p.grid * Grid.halo_sites_per_plane p.grid r * planes * info.elem_bytes)
+  end
+
+let kernel_bytes (p : Program.t) k =
+  let kern = Program.kernel p k in
+  List.fold_left
+    (fun acc (a : Access.t) ->
+      let footprint = array_bytes p a.array in
+      let read_part =
+        if Access.reads a then footprint +. boundary_refetch_bytes p a else 0.
+      in
+      let write_part = if Access.writes a then footprint else 0. in
+      acc +. read_part +. write_part)
+    0. kern.accesses
+
+let analyze exec =
+  let dd = Exec_order.datadep exec in
+  let p = Datadep.program dd in
+  let nk = Program.num_kernels p and na = Program.num_arrays p in
+  let total = ref 0. in
+  for k = 0 to nk - 1 do
+    total := !total +. kernel_bytes p k
+  done;
+  (* Every read of an array that some earlier kernel already touched could
+     be served on-chip under maximal fusion; the first touch always pays
+     the GMEM fetch (or store).  Per the paper's Table I assumption, only
+     accesses with more than one thread per element (SMEM-staged reuse)
+     are counted — single-point re-reads are excluded from the bound. *)
+  let touched = Array.make na false in
+  let reducible = Array.make na 0. in
+  for k = 0 to nk - 1 do
+    let kern = Program.kernel p k in
+    List.iter
+      (fun (a : Access.t) ->
+        if
+          Access.reads a && touched.(a.array)
+          && Kf_ir.Stencil.num_points a.pattern > 1
+        then reducible.(a.array) <- reducible.(a.array) +. array_bytes p a.array;
+        touched.(a.array) <- true)
+      kern.accesses
+  done;
+  let reducible_bytes = Array.fold_left ( +. ) 0. reducible in
+  let per_array =
+    Array.to_list (Array.mapi (fun i b -> (i, b)) reducible)
+    |> List.filter (fun (_, b) -> b > 0.)
+    |> List.sort (fun (_, x) (_, y) -> compare y x)
+  in
+  {
+    total_bytes = !total;
+    reducible_bytes;
+    reducible_fraction = (if !total > 0. then reducible_bytes /. !total else 0.);
+    per_array;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "traffic: total %.1f MB, reducible %.1f MB (%.1f%%)"
+    (r.total_bytes /. 1048576.) (r.reducible_bytes /. 1048576.) (r.reducible_fraction *. 100.)

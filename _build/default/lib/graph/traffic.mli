@@ -1,0 +1,28 @@
+(** Global-memory traffic analysis (paper Table I).
+
+    Computes each program's total off-chip traffic and the upper bound on
+    the fraction reducible by kernel fusion: every read of a shared array
+    after the first kernel that touched it could in principle come from
+    on-chip memory if the sharing set were fused.  Per Table I's own
+    caveat, the bound assumes the maximal fusion that order-of-execution
+    permits and ignores on-chip capacity. *)
+
+type report = {
+  total_bytes : float;  (** GMEM bytes moved by the original program *)
+  reducible_bytes : float;  (** bytes removable by maximal fusion *)
+  reducible_fraction : float;  (** [reducible_bytes / total_bytes] *)
+  per_array : (int * float) list;
+      (** per shared array id, its reducible bytes (descending) *)
+}
+
+val kernel_bytes : Kf_ir.Program.t -> int -> float
+(** GMEM bytes moved by one original kernel: footprints of all read and
+    written arrays (reads of staged arrays count once per block tile plus
+    boundary refetches, matching the simulator's accounting). *)
+
+val analyze : Exec_order.t -> report
+(** The reducible bound respects order-of-execution: a repeated read is
+    counted reducible only if the reading kernel and the previous toucher
+    can legally belong to one convex group. *)
+
+val pp_report : Format.formatter -> report -> unit

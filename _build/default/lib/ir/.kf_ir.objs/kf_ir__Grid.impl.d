@@ -1,0 +1,1 @@
+lib/ir/grid.ml: Format

@@ -1,0 +1,1 @@
+lib/ir/kernel.ml: Access Float Format Grid List Stencil

@@ -1,0 +1,1 @@
+lib/ir/metadata.ml: Access Array Grid Hashtbl Kernel List Program Queue

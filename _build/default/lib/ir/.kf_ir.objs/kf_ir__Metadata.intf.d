@@ -1,0 +1,1 @@
+lib/ir/metadata.mli: Program

@@ -1,0 +1,1 @@
+lib/ir/program.ml: Access Array Array_info Format Grid Kernel List Printf

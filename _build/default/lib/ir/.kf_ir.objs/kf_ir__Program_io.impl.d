@@ -1,0 +1,1 @@
+lib/ir/program_io.ml: Access Array Array_info Buffer Format Grid Kernel List Printf Program Stencil String

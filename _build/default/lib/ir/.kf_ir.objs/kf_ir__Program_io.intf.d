@@ -1,0 +1,1 @@
+lib/ir/program_io.mli: Program

@@ -1,0 +1,1 @@
+lib/ir/stencil.mli: Format

@@ -1,0 +1,1 @@
+lib/ir/unroll.ml: Array Kernel List Printf Program String

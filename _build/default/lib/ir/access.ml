@@ -1,0 +1,12 @@
+type mode = Read | Write | ReadWrite
+
+type t = { array : int; mode : mode; pattern : Stencil.t; flops : float }
+
+let reads t = match t.mode with Read | ReadWrite -> true | Write -> false
+let writes t = match t.mode with Write | ReadWrite -> true | Read -> false
+
+let mode_to_string = function Read -> "R" | Write -> "W" | ReadWrite -> "RW"
+
+let pp ppf t =
+  Format.fprintf ppf "a%d:%s%a(%.1f flops)" t.array (mode_to_string t.mode) Stencil.pp t.pattern
+    t.flops

@@ -1,0 +1,30 @@
+(** How a kernel touches a data array.
+
+    The paper (§II-B.1) classifies array usage as read-only, read-write,
+    expandable read-write or write-only at the *program* level; at the
+    *kernel* level an individual reference is one of the three modes
+    below.  The program-level classification is derived in
+    {!Kf_graph.Datadep}. *)
+
+type mode = Read | Write | ReadWrite
+
+type t = {
+  array : int;  (** id of the referenced array within the program *)
+  mode : mode;
+  pattern : Stencil.t;
+      (** offsets read per site; for [Write] this is the store footprint
+          (normally {!Stencil.point} — stencil codes write only their own
+          site) *)
+  flops : float;
+      (** floating-point operations per site attributable to this array —
+          the per-site share of the paper's [Flop(x)] (Table III) *)
+}
+
+val reads : t -> bool
+(** True for [Read] and [ReadWrite]. *)
+
+val writes : t -> bool
+(** True for [Write] and [ReadWrite]. *)
+
+val mode_to_string : mode -> string
+val pp : Format.formatter -> t -> unit

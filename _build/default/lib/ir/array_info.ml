@@ -1,0 +1,17 @@
+type extent = Field3d | Plane2d
+
+type t = { id : int; name : string; elem_bytes : int; extent : extent }
+
+let make ~id ~name ?(elem_bytes = 8) ?(extent = Field3d) () =
+  if id < 0 then invalid_arg "Array_info.make: negative id";
+  if elem_bytes <= 0 then invalid_arg "Array_info.make: non-positive element size";
+  { id; name; elem_bytes; extent }
+
+let sites t (g : Grid.t) =
+  match t.extent with Field3d -> g.nx * g.ny * g.nz | Plane2d -> g.nx * g.ny
+
+let bytes t g = sites t g * t.elem_bytes
+
+let pp ppf t =
+  Format.fprintf ppf "%s#%d(%dB,%s)" t.name t.id t.elem_bytes
+    (match t.extent with Field3d -> "3d" | Plane2d -> "2d")

@@ -1,0 +1,29 @@
+(** Data arrays of a program.
+
+    The paper's data (§II-B) are the finite-difference field arrays — 3-D
+    atmospheric grids, plus a few 2-D surface planes — resident in GPU
+    global memory. *)
+
+type extent =
+  | Field3d  (** full [nx*ny*nz] field *)
+  | Plane2d  (** horizontal [nx*ny] surface plane *)
+
+type t = {
+  id : int;
+  name : string;
+  elem_bytes : int;  (** 8 for double precision, 4 for single *)
+  extent : extent;
+}
+
+val make : id:int -> name:string -> ?elem_bytes:int -> ?extent:extent -> unit -> t
+(** Defaults: double precision, full 3-D field.
+    @raise Invalid_argument on a negative id or non-positive element
+    size. *)
+
+val sites : t -> Grid.t -> int
+(** Number of elements for a given grid. *)
+
+val bytes : t -> Grid.t -> int
+(** Memory footprint for a given grid. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+type t = { nx : int; ny : int; nz : int; block_x : int; block_y : int }
+
+let make ~nx ~ny ~nz ~block_x ~block_y =
+  if nx <= 0 || ny <= 0 || nz <= 0 then invalid_arg "Grid.make: non-positive grid extent";
+  if block_x <= 0 || block_y <= 0 then invalid_arg "Grid.make: non-positive block extent";
+  if block_x * block_y > 1024 then invalid_arg "Grid.make: more than 1024 threads per block";
+  { nx; ny; nz; block_x; block_y }
+
+let threads_per_block g = g.block_x * g.block_y
+
+let ceil_div a b = (a + b - 1) / b
+
+let blocks g = ceil_div g.nx g.block_x * ceil_div g.ny g.block_y
+
+let sites g = g.nx * g.ny * g.nz
+
+let sites_per_block g = g.block_x * g.block_y * g.nz
+
+let halo_sites_per_plane g r =
+  if r < 0 then invalid_arg "Grid.halo_sites_per_plane: negative radius";
+  ((g.block_x + (2 * r)) * (g.block_y + (2 * r))) - (g.block_x * g.block_y)
+
+let pp ppf g =
+  Format.fprintf ppf "%dx%dx%d grid, %dx%d blocks" g.nx g.ny g.nz g.block_x g.block_y

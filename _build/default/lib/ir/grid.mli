@@ -1,0 +1,38 @@
+(** Problem grid and thread-block geometry.
+
+    The paper assumes (§II-C) that all kernels of a program — original and
+    fused — run with the same threads-per-block and blocks-per-grid, with
+    one thread per horizontal site and a sequential loop over the vertical
+    dimension.  The geometry therefore lives at the program level. *)
+
+type t = {
+  nx : int;  (** horizontal extent (x) *)
+  ny : int;  (** horizontal extent (y) *)
+  nz : int;  (** vertical extent, iterated sequentially per thread *)
+  block_x : int;  (** thread-block tile width *)
+  block_y : int;  (** thread-block tile height *)
+}
+
+val make : nx:int -> ny:int -> nz:int -> block_x:int -> block_y:int -> t
+(** @raise Invalid_argument on non-positive extents or a block larger than
+    1024 threads. *)
+
+val threads_per_block : t -> int
+(** [block_x * block_y] — the paper's [Thr]. *)
+
+val blocks : t -> int
+(** Number of thread blocks covering the horizontal plane — the paper's
+    [B]. *)
+
+val sites : t -> int
+(** Total grid sites [nx * ny * nz]. *)
+
+val sites_per_block : t -> int
+(** Sites processed by one block over the full vertical loop. *)
+
+val halo_sites_per_plane : t -> int -> int
+(** [halo_sites_per_plane g r] is the number of extra sites in the
+    [r]-deep halo ring around one block's horizontal tile:
+    [(bx+2r)*(by+2r) - bx*by]. *)
+
+val pp : Format.formatter -> t -> unit

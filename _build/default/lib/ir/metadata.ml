@@ -1,0 +1,120 @@
+type t = {
+  program : Program.t;
+  sharing : int list array; (* per array: kernels touching it, invocation order *)
+  shared : bool array; (* per array *)
+  shared_list : int list;
+  shr : int list array; (* per kernel: shared arrays *)
+  halo : int array; (* per kernel: halo bytes *)
+  kin : int list array; (* per kernel: kinship neighbors *)
+}
+
+let build (p : Program.t) =
+  let na = Program.num_arrays p and nk = Program.num_kernels p in
+  let sharing = Array.make na [] in
+  for k = nk - 1 downto 0 do
+    List.iter (fun a -> sharing.(a) <- k :: sharing.(a)) (Kernel.arrays (Program.kernel p k))
+  done;
+  let shared = Array.map (fun l -> List.length l >= 2) sharing in
+  let shared_list =
+    Array.to_list (Array.mapi (fun i s -> (i, s)) shared)
+    |> List.filter_map (fun (i, s) -> if s then Some i else None)
+  in
+  let shr =
+    Array.init nk (fun k ->
+        List.filter (fun a -> shared.(a)) (Kernel.arrays (Program.kernel p k)))
+  in
+  let halo =
+    Array.init nk (fun k ->
+        let kern = Program.kernel p k in
+        let r = Kernel.max_read_radius kern in
+        if r = 0 then 0
+        else begin
+          let elem =
+            List.fold_left
+              (fun acc (a : Access.t) ->
+                if Access.reads a then max acc (Program.array p a.array).elem_bytes else acc)
+              0 kern.accesses
+          in
+          Grid.halo_sites_per_plane p.grid r * elem
+        end)
+  in
+  let kin = Array.make nk [] in
+  (* Two kernels are kin-adjacent when some array's sharing set contains
+     both; build adjacency from the sharing sets directly. *)
+  let adj = Array.make nk [] in
+  Array.iter
+    (fun ks ->
+      List.iter
+        (fun k1 -> List.iter (fun k2 -> if k1 <> k2 then adj.(k1) <- k2 :: adj.(k1)) ks)
+        ks)
+    sharing;
+  Array.iteri (fun k l -> kin.(k) <- List.sort_uniq compare l) adj;
+  { program = p; sharing; shared; shared_list; shr; halo; kin }
+
+let program t = t.program
+let sharing_set t a = t.sharing.(a)
+let shared_arrays t = t.shared_list
+let is_shared t a = t.shared.(a)
+let shr_lst t k = t.shr.(k)
+let halo_bytes t k = t.halo.(k)
+let kin_neighbors t k = t.kin.(k)
+
+let degree_of_kinship t a b =
+  if a = b then 0
+  else begin
+    (* BFS over the kinship graph; distances are small (graphs are dense in
+       practice) so no frontier optimization is needed. *)
+    let n = Program.num_kernels t.program in
+    let dist = Array.make n (-1) in
+    dist.(a) <- 0;
+    let q = Queue.create () in
+    Queue.add a q;
+    let result = ref 0 in
+    (try
+       while not (Queue.is_empty q) do
+         let u = Queue.pop q in
+         List.iter
+           (fun v ->
+             if dist.(v) < 0 then begin
+               dist.(v) <- dist.(u) + 1;
+               if v = b then begin
+                 result := dist.(v);
+                 raise Exit
+               end;
+               Queue.add v q
+             end)
+           t.kin.(u)
+       done
+     with Exit -> ());
+    !result
+  end
+
+let kinship_connected t group =
+  match group with
+  | [] | [ _ ] -> true
+  | seed :: _ ->
+      let members = List.sort_uniq compare group in
+      let in_group = Hashtbl.create (List.length members) in
+      List.iter (fun k -> Hashtbl.replace in_group k ()) members;
+      let visited = Hashtbl.create (List.length members) in
+      let q = Queue.create () in
+      Hashtbl.replace visited seed ();
+      Queue.add seed q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        List.iter
+          (fun v ->
+            if Hashtbl.mem in_group v && not (Hashtbl.mem visited v) then begin
+              Hashtbl.replace visited v ();
+              Queue.add v q
+            end)
+          t.kin.(u)
+      done;
+      Hashtbl.length visited = List.length members
+
+let thread_load t ~kernel ~array = Kernel.thread_load (Program.kernel t.program kernel) array
+
+let max_thread_load t k =
+  List.fold_left
+    (fun acc a -> max acc (thread_load t ~kernel:k ~array:a))
+    0 (shr_lst t k)

@@ -1,0 +1,52 @@
+(** Derived program metadata (the computed part of paper Table III and the
+    terminology of Table II): sharing sets, shared-array lists, halo sizes
+    and the kinship relation.
+
+    Built once per program and queried heavily by the search; all accessors
+    are O(1) or O(degree). *)
+
+type t
+
+val build : Program.t -> t
+
+val program : t -> Program.t
+
+val sharing_set : t -> int -> int list
+(** [sharing_set t a] is the paper's 𝕂(a): ids of kernels touching array
+    [a], in invocation order. *)
+
+val shared_arrays : t -> int list
+(** Arrays touched by at least two kernels (the ⟨D⟩ of Table II). *)
+
+val is_shared : t -> int -> bool
+
+val shr_lst : t -> int -> int list
+(** [shr_lst t k] is Table III's [ShrLst]: shared arrays referenced by
+    kernel [k]. *)
+
+val halo_bytes : t -> int -> int
+(** [halo_bytes t k] is Table III's [Hal]: bytes of one halo ring around
+    the block tile at kernel [k]'s widest read radius (0 for point
+    kernels). *)
+
+val kin_neighbors : t -> int -> int list
+(** Kernels directly sharing at least one array with the given kernel. *)
+
+val degree_of_kinship : t -> int -> int -> int
+(** Paper Table II: 1 when the two kernels share an array directly, the
+    chain length when connected through shared-array neighbors, 0 when
+    unrelated.  [degree_of_kinship t k k = 0]. *)
+
+val kinship_connected : t -> int list -> bool
+(** Whether a candidate group satisfies constraint (1.5): every kernel has
+    kinship > 0 with every other, i.e. the group is connected in the
+    kinship graph.  Singleton and empty groups are connected. *)
+
+val thread_load : t -> kernel:int -> array:int -> int
+(** Table III [ThrLD(x)] (same as {!Kernel.thread_load}; provided here for
+    symmetric access). *)
+
+val max_thread_load : t -> int -> int
+(** Maximum thread load of a kernel over its shared arrays (the
+    [max ThrLD(x), x ∈ pivot] term of paper Eq. 4); 0 when the kernel
+    shares nothing. *)

@@ -1,0 +1,70 @@
+type t = {
+  name : string;
+  grid : Grid.t;
+  arrays : Array_info.t array;
+  kernels : Kernel.t array;
+}
+
+let validate t =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  Array.iteri
+    (fun i (a : Array_info.t) -> if a.id <> i then err "array %s: id %d at position %d" a.name a.id i)
+    t.arrays;
+  Array.iteri
+    (fun i (k : Kernel.t) -> if k.id <> i then err "kernel %s: id %d at position %d" k.name k.id i)
+    t.kernels;
+  let touched = Array.make (Array.length t.arrays) false in
+  Array.iter
+    (fun (k : Kernel.t) ->
+      List.iter
+        (fun (a : Access.t) ->
+          if a.array < 0 || a.array >= Array.length t.arrays then
+            err "kernel %s references unknown array id %d" k.name a.array
+          else touched.(a.array) <- true)
+        k.accesses;
+      if k.registers_per_thread > 255 then
+        err "kernel %s exceeds the 255 registers/thread ISA bound" k.name)
+    t.kernels;
+  Array.iteri
+    (fun i v -> if not v then err "array %s is touched by no kernel" t.arrays.(i).name)
+    touched;
+  List.rev !errors
+
+let create ~name ~grid ~arrays ~kernels =
+  let t = { name; grid; arrays = Array.of_list arrays; kernels = Array.of_list kernels } in
+  match validate t with
+  | [] -> t
+  | e :: _ -> invalid_arg (Printf.sprintf "Program.create(%s): %s" name e)
+
+let num_kernels t = Array.length t.kernels
+let num_arrays t = Array.length t.arrays
+
+let kernel t i =
+  if i < 0 || i >= num_kernels t then invalid_arg (Printf.sprintf "Program.kernel: bad id %d" i);
+  t.kernels.(i)
+
+let array t i =
+  if i < 0 || i >= num_arrays t then invalid_arg (Printf.sprintf "Program.array: bad id %d" i);
+  t.arrays.(i)
+
+let total_flops t =
+  Array.fold_left (fun acc k -> acc +. Kernel.total_flops k t.grid) 0. t.kernels
+
+let with_grid t grid = { t with grid }
+
+let with_blocks t ~block_x ~block_y =
+  let g = t.grid in
+  {
+    t with
+    grid = Grid.make ~nx:g.Grid.nx ~ny:g.Grid.ny ~nz:g.Grid.nz ~block_x ~block_y;
+  }
+
+let pp_stats ppf t =
+  Format.fprintf ppf "%s: %d kernels, %d arrays, %a" t.name (num_kernels t) (num_arrays t)
+    Grid.pp t.grid
+
+let pp ppf t =
+  pp_stats ppf t;
+  Format.pp_print_newline ppf ();
+  Array.iter (fun k -> Format.fprintf ppf "  %a@." Kernel.pp k) t.kernels

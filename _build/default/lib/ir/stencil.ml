@@ -1,0 +1,98 @@
+type offset = { di : int; dj : int; dk : int }
+
+type t = offset list (* sorted, duplicate-free, non-empty *)
+
+let compare_offset a b =
+  let c = compare a.di b.di in
+  if c <> 0 then c
+  else begin
+    let c = compare a.dj b.dj in
+    if c <> 0 then c else compare a.dk b.dk
+  end
+
+let make = function
+  | [] -> invalid_arg "Stencil.make: empty offset list"
+  | l -> List.sort_uniq compare_offset l
+
+let offsets t = t
+
+let o di dj dk = { di; dj; dk }
+
+let point = make [ o 0 0 0 ]
+let star5 = make [ o 0 0 0; o 1 0 0; o (-1) 0 0; o 0 1 0; o 0 (-1) 0 ]
+
+let star9 =
+  make
+    [
+      o 0 0 0; o 1 0 0; o (-1) 0 0; o 0 1 0; o 0 (-1) 0;
+      o 1 1 0; o 1 (-1) 0; o (-1) 1 0; o (-1) (-1) 0;
+    ]
+
+let cross3_vertical = make [ o 0 0 0; o 0 0 1; o 0 0 (-1) ]
+let asym_west_south = make [ o 0 0 0; o (-1) 0 0; o 0 (-1) 0; o (-1) (-1) 0 ]
+
+let star_radius r =
+  if r < 0 then invalid_arg "Stencil.star_radius: negative radius";
+  let pts = ref [ o 0 0 0 ] in
+  for d = 1 to r do
+    pts := o d 0 0 :: o (-d) 0 0 :: o 0 d 0 :: o 0 (-d) 0 :: !pts
+  done;
+  make !pts
+
+let box_radius r =
+  if r < 0 then invalid_arg "Stencil.box_radius: negative radius";
+  let pts = ref [] in
+  for di = -r to r do
+    for dj = -r to r do
+      pts := o di dj 0 :: !pts
+    done
+  done;
+  make !pts
+
+(* Offsets ordered outward from the center so any prefix is a contiguous
+   neighborhood. *)
+let spiral_order =
+  lazy
+    (let cands = ref [] in
+     for di = -2 to 2 do
+       for dj = -2 to 2 do
+         cands := o di dj 0 :: !cands
+       done
+     done;
+     List.sort
+       (fun a b ->
+         let ring x = max (abs x.di) (abs x.dj) in
+         let c = compare (ring a) (ring b) in
+         if c <> 0 then c
+         else begin
+           let c = compare (abs a.di + abs a.dj) (abs b.di + abs b.dj) in
+           if c <> 0 then c else compare (a.di, a.dj) (b.di, b.dj)
+         end)
+       !cands)
+
+let spiral n =
+  if n < 1 || n > 25 then invalid_arg "Stencil.spiral: point count out of [1,25]";
+  let rec take k = function
+    | [] -> []
+    | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+  in
+  make (take n (Lazy.force spiral_order))
+
+let num_points t = List.length t
+
+let radius t = List.fold_left (fun acc p -> max acc (max (abs p.di) (abs p.dj))) 0 t
+
+let vertical_extent t = List.fold_left (fun acc p -> max acc (abs p.dk)) 0 t
+
+let is_point t = match t with [ { di = 0; dj = 0; dk = 0 } ] -> true | _ -> false
+
+let union a b = make (a @ b)
+
+let equal a b = a = b
+let compare = List.compare compare_offset
+
+let pp ppf t =
+  let pp_off ppf p = Format.fprintf ppf "(%d,%d,%d)" p.di p.dj p.dk in
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";") pp_off)
+    t

@@ -1,0 +1,73 @@
+(** Stencil access patterns.
+
+    Every array reference in a kernel is described by the set of relative
+    grid offsets it touches per site.  The targeted codes (paper Fig. 3 and
+    the weather models) tile the horizontal plane over a 2-D thread block
+    and loop sequentially over [k], so the offsets that matter for on-chip
+    staging and halo layers are the horizontal ones. *)
+
+type offset = { di : int; dj : int; dk : int }
+(** Relative displacement in grid coordinates ([i]: x, [j]: y, [k]:
+    vertical). *)
+
+type t
+(** A non-empty, duplicate-free set of offsets. *)
+
+val make : offset list -> t
+(** @raise Invalid_argument on an empty list.  Duplicates are removed. *)
+
+val offsets : t -> offset list
+(** Offsets in a canonical order. *)
+
+val point : t
+(** The single-point access [{(0,0,0)}] — no neighborhood. *)
+
+val star5 : t
+(** 2-D 5-point star: center plus the four horizontal neighbors at
+    distance 1. *)
+
+val star9 : t
+(** 2-D 9-point box: the full radius-1 horizontal square. *)
+
+val cross3_vertical : t
+(** Vertical 3-point: center plus [k-1] and [k+1] — no horizontal
+    extent, hence no halo requirement. *)
+
+val asym_west_south : t
+(** The {(0,0,0), (-1,0,0), (0,-1,0), (-1,-1,0)} pattern of the paper's
+    Fig. 3 kernels (backward differences in x and y). *)
+
+val star_radius : int -> t
+(** [star_radius r] is the 2-D star of horizontal radius [r] (center plus
+    [2r] points along each axis).  @raise Invalid_argument if [r < 0]. *)
+
+val box_radius : int -> t
+(** [box_radius r] is the full (2r+1)² horizontal box. *)
+
+val spiral : int -> t
+(** [spiral n] is a stencil of exactly [n] points growing outward from the
+    center in rings (a prefix of any length is a contiguous neighborhood)
+    — useful to synthesize a pattern with a prescribed thread load.
+    @raise Invalid_argument unless [1 <= n <= 25]. *)
+
+val num_points : t -> int
+(** Cardinality of the offset set — the paper's per-array thread load
+    [ThrLD(x)] for interior sites: the number of distinct threads of a
+    block that touch the same element. *)
+
+val radius : t -> int
+(** Horizontal Chebyshev radius: [max (max |di|) (max |dj|)].  Determines
+    how many halo layers a complex fusion must stage (paper §II-D.2). *)
+
+val vertical_extent : t -> int
+(** [max |dk|]; vertical offsets are served by the sequential [k] loop and
+    do not contribute to halo layers. *)
+
+val is_point : t -> bool
+(** True when the access touches only [{(0,0,0)}]. *)
+
+val union : t -> t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

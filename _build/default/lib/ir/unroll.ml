@@ -1,0 +1,40 @@
+let repeat ~times (p : Program.t) =
+  if times < 1 then invalid_arg "Unroll.repeat: need at least one invocation";
+  if times = 1 then p
+  else begin
+    let n = Program.num_kernels p in
+    let kernels =
+      List.concat
+        (List.init times (fun iter ->
+             List.init n (fun k ->
+                 let kern = Program.kernel p k in
+                 let name =
+                   if iter = 0 then kern.Kernel.name
+                   else Printf.sprintf "%s@%d" kern.Kernel.name (iter + 1)
+                 in
+                 Kernel.make
+                   ~id:((iter * n) + k)
+                   ~name ~accesses:kern.Kernel.accesses
+                   ~extra_flops_per_site:kern.Kernel.extra_flops_per_site
+                   ~registers_per_thread:kern.Kernel.registers_per_thread
+                   ~addr_registers:kern.Kernel.addr_registers
+                   ~active_fraction:kern.Kernel.active_fraction ())))
+    in
+    Program.create
+      ~name:(Printf.sprintf "%s-x%d" p.Program.name times)
+      ~grid:p.Program.grid
+      ~arrays:(Array.to_list p.Program.arrays)
+      ~kernels
+  end
+
+let original_of (p : Program.t) id =
+  (* Clones carry an "@<iter>" suffix; count kernels up to the first clone
+     to recover the per-iteration period. *)
+  let n = Program.num_kernels p in
+  let rec period k =
+    if k >= n then n
+    else if String.contains (Program.kernel p k).Kernel.name '@' then k
+    else period (k + 1)
+  in
+  let m = period 0 in
+  if m = 0 then id else id mod m

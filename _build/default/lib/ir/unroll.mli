@@ -1,0 +1,21 @@
+(** Multiple invocations of the same kernels.
+
+    The paper assumes each original kernel has a single call site and
+    proposes handling repeated invocations by "treat[ing] different
+    invocations to the same original kernel as if they are invocations of
+    different kernels" (§II-C) — the same move as expandable arrays, but
+    for kernels.  [repeat] implements exactly that: it unrolls the host
+    invocation sequence, cloning the kernels per iteration while the data
+    arrays stay shared, so a 3-stage Runge-Kutta step becomes one program
+    the fusion machinery can search across sub-step boundaries. *)
+
+val repeat : times:int -> Program.t -> Program.t
+(** [repeat ~times p] invokes [p]'s kernel sequence [times] times.
+    Clones are named [<kernel>@<iteration>] (iteration 2 onward); ids are
+    assigned by the new invocation order.
+    @raise Invalid_argument if [times < 1]. *)
+
+val original_of : Program.t -> int -> int
+(** For a program produced by [repeat]: the kernel id within one iteration
+    (i.e. [id mod kernels-per-iteration]).  The identity on other
+    programs. *)

@@ -1,0 +1,1 @@
+lib/model/fusion_efficiency.ml: Array Format Inputs Kf_fusion List

@@ -1,0 +1,1 @@
+lib/model/fusion_efficiency.mli: Format Inputs Kf_fusion

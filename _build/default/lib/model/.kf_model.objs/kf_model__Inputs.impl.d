@@ -1,0 +1,1 @@
+lib/model/inputs.ml: Array Kf_gpu Kf_graph Kf_ir List

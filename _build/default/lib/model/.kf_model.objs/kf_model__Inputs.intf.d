@@ -1,0 +1,1 @@
+lib/model/inputs.mli: Kf_gpu Kf_graph Kf_ir

@@ -1,0 +1,1 @@
+lib/model/mwp.ml: Array Float Inputs Kf_fusion Kf_gpu Kf_ir List

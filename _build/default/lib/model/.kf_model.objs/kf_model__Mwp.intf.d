@@ -1,0 +1,1 @@
+lib/model/mwp.mli: Inputs Kf_fusion

@@ -1,0 +1,1 @@
+lib/model/projection.ml: Array Float Format Inputs Kf_fusion Kf_gpu Kf_ir List

@@ -1,0 +1,1 @@
+lib/model/projection.mli: Format Inputs Kf_fusion

@@ -1,0 +1,1 @@
+lib/model/roofline.ml: Array Float Inputs Kf_fusion Kf_gpu

@@ -1,0 +1,1 @@
+lib/model/roofline.mli: Inputs Kf_fusion

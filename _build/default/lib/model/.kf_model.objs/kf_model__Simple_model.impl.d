@@ -1,0 +1,1 @@
+lib/model/simple_model.ml: Array Float Inputs Kf_fusion List

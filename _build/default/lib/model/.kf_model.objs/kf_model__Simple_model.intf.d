@@ -1,0 +1,1 @@
+lib/model/simple_model.mli: Inputs Kf_fusion

@@ -1,0 +1,19 @@
+module Fused = Kf_fusion.Fused
+
+type t = { memory_ratio : float; runtime_ratio : float; efficiency : float }
+
+let compute (i : Inputs.t) (f : Fused.t) ~measured_fused_runtime =
+  if measured_fused_runtime <= 0. then
+    invalid_arg "Fusion_efficiency.compute: non-positive runtime";
+  if Fused.is_singleton f then
+    invalid_arg "Fusion_efficiency.compute: singleton has no fusion to rate";
+  let member_bytes =
+    List.fold_left (fun acc k -> acc +. i.Inputs.measured_bytes.(k)) 0. f.Fused.members
+  in
+  let memory_ratio = Fused.gmem_bytes i.Inputs.program f /. member_bytes in
+  let runtime_ratio = measured_fused_runtime /. Inputs.original_sum i f.Fused.members in
+  { memory_ratio; runtime_ratio; efficiency = memory_ratio /. runtime_ratio }
+
+let pp ppf t =
+  Format.fprintf ppf "FE=%.1f%% (mem %.2f / time %.2f)" (t.efficiency *. 100.) t.memory_ratio
+    t.runtime_ratio

@@ -1,0 +1,21 @@
+(** Fusion Efficiency (paper §VI-F, Eqns. 11-12): how much of the GMEM
+    traffic reduction a fusion actually converted into runtime reduction.
+
+    [FE = (memory-ops ratio) / (runtime ratio)]; 1.0 means the runtime
+    shrank exactly as much as the traffic, lower values mean overheads
+    (SMEM latency, divergence, occupancy loss, barriers) ate part of the
+    gain.  The paper reports 87-96% across its workloads. *)
+
+type t = {
+  memory_ratio : float;  (** Eq. 11: fused ops over summed original ops *)
+  runtime_ratio : float;  (** measured T(F) over measured ΣT(K_i) *)
+  efficiency : float;  (** Eq. 12 *)
+}
+
+val compute :
+  Inputs.t -> Kf_fusion.Fused.t -> measured_fused_runtime:float -> t
+(** Requires the fused kernel's measured (simulated) runtime.
+    @raise Invalid_argument on a non-positive measured runtime or a
+    singleton. *)
+
+val pp : Format.formatter -> t -> unit

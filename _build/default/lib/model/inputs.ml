@@ -1,0 +1,24 @@
+type t = {
+  device : Kf_gpu.Device.t;
+  program : Kf_ir.Program.t;
+  meta : Kf_ir.Metadata.t;
+  exec : Kf_graph.Exec_order.t;
+  measured_runtime : float array;
+  measured_bytes : float array;
+}
+
+let make ~device ~meta ~exec ~measured_runtime =
+  let program = Kf_ir.Metadata.program meta in
+  let n = Kf_ir.Program.num_kernels program in
+  if Array.length measured_runtime <> n then
+    invalid_arg "Inputs.make: one measured runtime per kernel required";
+  let measured_bytes = Array.init n (fun k -> Kf_graph.Traffic.kernel_bytes program k) in
+  { device; program; meta; exec; measured_runtime; measured_bytes }
+
+let original_sum t group =
+  List.fold_left (fun acc k -> acc +. t.measured_runtime.(k)) 0. group
+
+let effective_bandwidth t group =
+  let bytes = List.fold_left (fun acc k -> acc +. t.measured_bytes.(k)) 0. group in
+  let time = original_sum t group in
+  if time <= 0. then 0. else bytes /. time

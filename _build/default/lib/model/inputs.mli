@@ -1,0 +1,36 @@
+(** Shared context for the performance models.
+
+    All three models (Roofline, "simple", and the paper's upper-bound
+    projection) project runtimes of *candidate* fused kernels from the
+    metadata of the *original* kernels plus device characteristics and the
+    original kernels' empirically measured runtimes — never from the code
+    of the new kernel.  This record bundles exactly those inputs. *)
+
+type t = {
+  device : Kf_gpu.Device.t;
+  program : Kf_ir.Program.t;
+  meta : Kf_ir.Metadata.t;
+  exec : Kf_graph.Exec_order.t;
+  measured_runtime : float array;
+      (** seconds per original kernel (P(K_i) of the paper's formulation),
+          indexed by kernel id *)
+  measured_bytes : float array;
+      (** GMEM bytes per original kernel, same indexing *)
+}
+
+val make :
+  device:Kf_gpu.Device.t ->
+  meta:Kf_ir.Metadata.t ->
+  exec:Kf_graph.Exec_order.t ->
+  measured_runtime:float array ->
+  t
+(** [measured_bytes] is derived from the static traffic analysis.
+    @raise Invalid_argument when [measured_runtime] length differs from the
+    kernel count. *)
+
+val original_sum : t -> int list -> float
+(** The paper's F^Σ for a group: summed measured runtimes of its members. *)
+
+val effective_bandwidth : t -> int list -> float
+(** Bytes/second the members sustained together (Σbytes / Σtime) — the
+    empirical basis of the "simple model". *)

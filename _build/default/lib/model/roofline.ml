@@ -1,0 +1,23 @@
+module Device = Kf_gpu.Device
+module Fused = Kf_fusion.Fused
+
+let attainable_gflops (i : Inputs.t) f =
+  let d = i.Inputs.device in
+  let p = i.Inputs.program in
+  let flops = Fused.total_flops p f in
+  let bytes = Fused.gmem_bytes p f in
+  let oi = if bytes > 0. then flops /. bytes else Float.infinity in
+  Float.min d.Device.peak_gflops (oi *. d.Device.gmem_bandwidth_gbs)
+
+let runtime i f =
+  let flops = Fused.total_flops i.Inputs.program f in
+  flops /. (attainable_gflops i f *. 1e9)
+
+let group_runtime (i : Inputs.t) group =
+  match group with
+  | [ k ] -> i.Inputs.measured_runtime.(k)
+  | _ ->
+      let f =
+        Fused.build ~device:i.Inputs.device ~meta:i.Inputs.meta ~exec:i.Inputs.exec ~group
+      in
+      runtime i f

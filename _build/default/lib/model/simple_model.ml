@@ -1,0 +1,26 @@
+module Fused = Kf_fusion.Fused
+
+let saved_bytes (i : Inputs.t) (f : Fused.t) =
+  let member_bytes =
+    List.fold_left (fun acc k -> acc +. i.Inputs.measured_bytes.(k)) 0. f.Fused.members
+  in
+  Float.max 0. (member_bytes -. Fused.gmem_bytes i.Inputs.program f)
+
+let runtime (i : Inputs.t) (f : Fused.t) =
+  let sum = Inputs.original_sum i f.Fused.members in
+  let bw = Inputs.effective_bandwidth i f.Fused.members in
+  if bw <= 0. then sum
+  else begin
+    let saved_time = saved_bytes i f /. bw in
+    let floor_time = Fused.gmem_bytes i.Inputs.program f /. bw in
+    Float.max (sum -. saved_time) floor_time
+  end
+
+let group_runtime (i : Inputs.t) group =
+  match group with
+  | [ k ] -> i.Inputs.measured_runtime.(k)
+  | _ ->
+      let f =
+        Fused.build ~device:i.Inputs.device ~meta:i.Inputs.meta ~exec:i.Inputs.exec ~group
+      in
+      runtime i f

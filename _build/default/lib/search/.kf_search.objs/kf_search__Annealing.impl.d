@@ -1,0 +1,1 @@
+lib/search/annealing.ml: Array Grouping Kf_fusion Kf_ir Kf_model Kf_util List Objective

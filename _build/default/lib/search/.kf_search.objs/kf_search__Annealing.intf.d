@@ -1,0 +1,1 @@
+lib/search/annealing.mli: Grouping Kf_fusion Objective

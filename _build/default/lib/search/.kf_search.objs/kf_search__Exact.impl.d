@@ -1,0 +1,1 @@
+lib/search/exact.ml: Array Float Grouping Hashtbl Kf_fusion Kf_graph Kf_ir Kf_model Kf_util List Objective Queue

@@ -1,0 +1,1 @@
+lib/search/exact.mli: Grouping Kf_fusion Objective

@@ -1,0 +1,1 @@
+lib/search/greedy.ml: Grouping Kf_fusion Kf_ir Kf_model List Objective

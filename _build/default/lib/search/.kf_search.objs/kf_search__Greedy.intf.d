@@ -1,0 +1,1 @@
+lib/search/greedy.mli: Grouping Kf_fusion Objective

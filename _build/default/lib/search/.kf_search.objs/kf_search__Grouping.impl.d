@@ -1,0 +1,1 @@
+lib/search/grouping.ml: Array Hashtbl Kf_graph Kf_ir Kf_model Kf_util List Objective

@@ -1,0 +1,1 @@
+lib/search/grouping.mli: Kf_util Objective

@@ -1,0 +1,1 @@
+lib/search/hgga.ml: Array Domain Grouping Hashtbl Kf_fusion Kf_ir Kf_model Kf_util List Objective Unix

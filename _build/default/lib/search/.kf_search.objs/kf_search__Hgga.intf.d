@@ -1,0 +1,1 @@
+lib/search/hgga.mli: Grouping Kf_fusion Objective

@@ -1,0 +1,1 @@
+lib/search/objective.ml: Array Float Hashtbl Kf_fusion Kf_gpu Kf_graph Kf_ir Kf_model List Mutex String

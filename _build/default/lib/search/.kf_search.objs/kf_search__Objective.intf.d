@@ -1,0 +1,1 @@
+lib/search/objective.mli: Kf_model

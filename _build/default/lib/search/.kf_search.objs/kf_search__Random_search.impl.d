@@ -1,0 +1,1 @@
+lib/search/random_search.ml: Grouping Kf_fusion Kf_ir Kf_model Kf_util List Objective

@@ -1,0 +1,32 @@
+(** Simulated-annealing baseline.
+
+    A single-solution metaheuristic over the same move set as the HGGA's
+    mutation operator (absorbing merge / dissolve / eject), with Metropolis
+    acceptance and geometric cooling.  Included as a second stochastic
+    baseline: it shares nothing with the GA beyond the move primitives, so
+    agreement between the two is evidence the HGGA result is not an
+    artifact of its operators. *)
+
+type params = {
+  iterations : int;
+  initial_temperature : float;
+      (** as a fraction of the identity plan's cost (relative scale) *)
+  cooling : float;  (** geometric factor per iteration, e.g. 0.999 *)
+  seed : int;
+}
+
+val default_params : params
+(** 4000 iterations, initial temperature 5% of identity cost, cooling
+    0.9985, seed 42. *)
+
+type result = {
+  groups : Grouping.groups;
+  plan : Kf_fusion.Plan.t;
+  cost : float;
+  iterations : int;
+  accepted : int;  (** accepted moves (uphill + downhill) *)
+}
+
+val solve : ?params:params -> Objective.t -> result
+(** Starts from the identity plan; returns the best plan visited after the
+    profitability cleanup. *)

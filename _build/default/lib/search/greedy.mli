@@ -1,0 +1,19 @@
+(** Greedy best-merge baseline.
+
+    The incremental strategy classical loop-fusion frameworks use
+    (paper §II-A): repeatedly merge the pair of groups with the largest
+    projected improvement until no merge improves.  Fast and
+    deterministic, but it commits early and cannot undo a merge, so it
+    misses solutions the HGGA finds — it is the "greedy,
+    non-architecture-aware algorithms" contrast when paired with the
+    Roofline objective, and a quality baseline when paired with the
+    proposed model. *)
+
+type result = {
+  groups : Grouping.groups;
+  plan : Kf_fusion.Plan.t;
+  cost : float;
+  merges : int;  (** merges performed *)
+}
+
+val solve : Objective.t -> result

@@ -1,0 +1,309 @@
+module Rng = Kf_util.Rng
+module Bitset = Kf_util.Bitset
+module Inputs = Kf_model.Inputs
+module Metadata = Kf_ir.Metadata
+module Exec_order = Kf_graph.Exec_order
+module Dag = Kf_graph.Dag
+
+type groups = int list list
+
+let normalize groups =
+  List.map (List.sort compare) groups |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
+
+let exec_of obj = (Objective.inputs obj).Inputs.exec
+let meta_of obj = (Objective.inputs obj).Inputs.meta
+
+(* Strongly connected components of the condensed (per-group) dependency
+   graph.  Per-group path convexity (paper Eq. 1.3) does not by itself
+   guarantee that the new kernels can be ordered — two convex groups can
+   still depend on each other through different members — so merges must
+   also swallow any condensation cycle they create. *)
+let condensation_sccs exec groups_arr =
+  let dag = Exec_order.dag exec in
+  let ng = Array.length groups_arr in
+  let group_of = Hashtbl.create 64 in
+  Array.iteri (fun gi g -> List.iter (fun k -> Hashtbl.replace group_of k gi) g) groups_arr;
+  let adj = Array.make ng [] in
+  let radj = Array.make ng [] in
+  for u = 0 to Dag.num_nodes dag - 1 do
+    if Hashtbl.mem group_of u then
+      List.iter
+        (fun v ->
+          match (Hashtbl.find_opt group_of u, Hashtbl.find_opt group_of v) with
+          | Some gu, Some gv when gu <> gv ->
+              adj.(gu) <- gv :: adj.(gu);
+              radj.(gv) <- gu :: radj.(gv)
+          | _ -> ())
+        (Dag.succs dag u)
+  done;
+  (* Kosaraju. *)
+  let visited = Array.make ng false in
+  let order = ref [] in
+  let rec dfs1 v =
+    if not visited.(v) then begin
+      visited.(v) <- true;
+      List.iter dfs1 adj.(v);
+      order := v :: !order
+    end
+  in
+  for v = 0 to ng - 1 do
+    dfs1 v
+  done;
+  let comp = Array.make ng (-1) in
+  let rec dfs2 v c =
+    if comp.(v) < 0 then begin
+      comp.(v) <- c;
+      List.iter (fun w -> dfs2 w c) radj.(v)
+    end
+  in
+  let nc = ref 0 in
+  List.iter
+    (fun v ->
+      if comp.(v) < 0 then begin
+        dfs2 v !nc;
+        incr nc
+      end)
+    !order;
+  let sccs = Array.make !nc [] in
+  Array.iteri (fun gi c -> sccs.(c) <- gi :: sccs.(c)) comp;
+  Array.to_list sccs
+
+let schedulable_arr exec groups_arr =
+  List.for_all (fun scc -> List.length scc <= 1) (condensation_sccs exec groups_arr)
+
+let schedulable obj groups = schedulable_arr (exec_of obj) (Array.of_list groups)
+
+let absorbing_merge obj groups seed =
+  let exec = exec_of obj in
+  let dag = Exec_order.dag exec in
+  let n = Dag.num_nodes dag in
+  let merged = ref (Bitset.of_list n seed) in
+  let rest = ref groups in
+  let stable = ref false in
+  while not !stable do
+    (* Close under the path constraint, then absorb any group that now
+       intersects the closure; repeat until nothing more is pulled in. *)
+    merged := Dag.path_closure dag !merged;
+    let intersecting, untouched =
+      List.partition (fun g -> List.exists (Bitset.mem !merged) g) !rest
+    in
+    if intersecting <> [] then begin
+      List.iter (fun g -> List.iter (Bitset.add !merged) g) intersecting;
+      rest := untouched
+    end
+    else begin
+      (* Closure stable: absorb any condensation cycle through the merged
+         group (the merge may have created mutual dependencies with
+         otherwise-untouched groups). *)
+      let arr = Array.of_list (Bitset.to_list !merged :: !rest) in
+      let cyclic = List.find_opt (fun scc -> List.mem 0 scc && List.length scc > 1)
+          (condensation_sccs exec arr)
+      in
+      match cyclic with
+      | None -> stable := true
+      | Some scc ->
+          let absorb_idx = List.filter (( <> ) 0) scc in
+          List.iter (fun gi -> List.iter (Bitset.add !merged) arr.(gi)) absorb_idx;
+          rest := List.filteri (fun i _ -> not (List.mem (i + 1) scc)) !rest
+    end
+  done;
+  let group = Bitset.to_list !merged in
+  if Objective.group_feasible obj group then Some (group, !rest) else None
+
+let repair_schedule obj groups =
+  (* Merge every multi-group condensation cycle; if the merged group is
+     infeasible, dissolve the cycle's groups into singletons (a refinement
+     never introduces new cycles). *)
+  let result = ref groups in
+  let continue_ = ref true in
+  while !continue_ do
+    let arr = Array.of_list !result in
+    match List.find_opt (fun scc -> List.length scc > 1) (condensation_sccs (exec_of obj) arr) with
+    | None -> continue_ := false
+    | Some scc ->
+        let in_scc = List.concat_map (fun gi -> arr.(gi)) scc in
+        let others =
+          List.filteri (fun i _ -> not (List.mem i scc)) !result
+        in
+        (match absorbing_merge obj others in_scc with
+        | Some (merged, rest) -> result := merged :: rest
+        | None -> result := List.map (fun k -> [ k ]) in_scc @ others)
+  done;
+  !result
+
+let merge_pair obj groups a b =
+  let others = List.filter (fun g -> g <> a && g <> b) groups in
+  absorbing_merge obj others (a @ b)
+
+let kin_adjacent_groups obj groups group =
+  let meta = meta_of obj in
+  let neighbors =
+    List.concat_map (fun k -> Metadata.kin_neighbors meta k) group
+    |> List.sort_uniq compare
+    |> List.filter (fun k -> not (List.mem k group))
+  in
+  List.filter (fun g -> g <> group && List.exists (fun k -> List.mem k neighbors) g) groups
+
+let random_plan obj rng ?merge_attempts n =
+  let attempts = match merge_attempts with Some a -> a | None -> 2 * n in
+  let groups = ref (List.init n (fun k -> [ k ])) in
+  for _ = 1 to attempts do
+    let arr = Array.of_list !groups in
+    if Array.length arr >= 2 then begin
+      let g = Rng.choose rng arr in
+      match kin_adjacent_groups obj !groups g with
+      | [] -> ()
+      | candidates -> begin
+          let partner = Rng.choose rng (Array.of_list candidates) in
+          match merge_pair obj !groups g partner with
+          | Some (merged, rest) ->
+              (* Keep the merge only when the model likes it at least half
+                 the time; always-greedy initial populations collapse into
+                 one basin. *)
+              let keep =
+                Objective.group_profitable obj merged || Rng.chance rng 0.25
+              in
+              if keep then groups := merged :: rest
+          | None -> ()
+        end
+    end
+  done;
+  normalize !groups
+
+let dissolve groups g =
+  let found = ref false in
+  let out =
+    List.concat_map
+      (fun g' ->
+        if (not !found) && g' = g then begin
+          found := true;
+          List.map (fun k -> [ k ]) g'
+        end
+        else [ g' ])
+      groups
+  in
+  out
+
+let eject obj groups k =
+  let target = List.find_opt (fun g -> List.mem k g) groups in
+  match target with
+  | None | Some [ _ ] -> None
+  | Some g ->
+      let remainder = List.filter (( <> ) k) g in
+      if
+        Objective.group_feasible obj remainder
+        && Exec_order.group_is_convex (exec_of obj) remainder
+      then begin
+        let others = List.filter (fun g' -> g' <> g) groups in
+        Some ([ k ] :: remainder :: others)
+      end
+      else None
+
+let relocation_pass obj current =
+  let cost gs = Objective.plan_cost obj gs in
+  let improved = ref false in
+  let kernels = List.concat !current in
+  List.iter
+    (fun k ->
+      let base = cost !current in
+      let own = List.find (List.mem k) !current in
+      (* Candidate plans: k alone, and k merged into each adjacent group.
+         Relocation of a non-singleton member goes through eject (which
+         checks the remainder's feasibility). *)
+      let as_singleton =
+        if List.length own = 1 then Some !current else eject obj !current k
+      in
+      match as_singleton with
+      | None -> ()
+      | Some ejected ->
+          let candidates =
+            ejected
+            :: List.filter_map
+                 (fun g ->
+                   match merge_pair obj ejected [ k ] g with
+                   | Some (merged, rest) -> Some (merged :: rest)
+                   | None -> None)
+                 (kin_adjacent_groups obj ejected [ k ])
+          in
+          let best =
+            List.fold_left
+              (fun acc cand ->
+                let c = cost cand in
+                match acc with Some (bc, _) when bc <= c -> acc | _ -> Some (c, cand))
+              None candidates
+          in
+          (match best with
+          | Some (c, cand) when c < base -. 1e-15 ->
+              current := cand;
+              improved := true
+          | _ -> ()))
+    kernels;
+  !improved
+
+(* Exchange one kernel between two multi-member groups.  Relocation alone
+   cannot repair mispaired groups ({a,c},{b,d} vs {a,b},{c,d}) because the
+   intermediate states do not improve. *)
+let swap_pass obj current =
+  let cost gs = Objective.plan_cost obj gs in
+  let improved = ref false in
+  let multi () = List.filter (fun g -> List.length g >= 2) !current in
+  List.iter
+    (fun g1 ->
+      if List.mem g1 !current then
+        List.iter
+          (fun g2 ->
+            if List.mem g1 !current && List.mem g2 !current && g1 <> g2 then
+              List.iter
+                (fun k1 ->
+                  List.iter
+                    (fun k2 ->
+                      if List.mem g1 !current && List.mem g2 !current then begin
+                        let base = cost !current in
+                        let ( >>= ) o f = match o with None -> None | Some x -> f x in
+                        let plan =
+                          eject obj !current k1 >>= fun p1 ->
+                          eject obj p1 k2 >>= fun p2 ->
+                          let r2 = List.filter (( <> ) k2) g2 in
+                          let r1 = List.filter (( <> ) k1) g1 in
+                          (if List.mem r2 p2 then merge_pair obj p2 [ k1 ] r2 else None)
+                          >>= fun (m1, rest1) ->
+                          let p3 = m1 :: rest1 in
+                          if List.mem r1 p3 then begin
+                            merge_pair obj p3 [ k2 ] r1 >>= fun (m2, rest2) ->
+                            Some (m2 :: rest2)
+                          end
+                          else None
+                        in
+                        match plan with
+                        | Some cand when cost cand < base -. 1e-15 ->
+                            current := cand;
+                            improved := true
+                        | _ -> ()
+                      end)
+                    g2)
+                g1)
+          (multi ()))
+    (multi ());
+  !improved
+
+let local_refine ?(max_passes = 3) obj groups =
+  let n = List.fold_left (fun acc g -> acc + List.length g) 0 groups in
+  let current = ref groups in
+  let improved = ref true in
+  let passes = ref 0 in
+  while !improved && !passes < max_passes do
+    incr passes;
+    improved := relocation_pass obj current;
+    (* The quadratic swap neighborhood only pays on small instances. *)
+    if n <= 48 then improved := swap_pass obj current || !improved
+  done;
+  normalize !current
+
+let enforce_profitability obj groups =
+  normalize
+    (List.concat_map
+       (fun g ->
+         if List.length g >= 2 && not (Objective.group_profitable obj g) then
+           List.map (fun k -> [ k ]) g
+         else [ g ])
+       groups)

@@ -1,0 +1,277 @@
+module Rng = Kf_util.Rng
+module Inputs = Kf_model.Inputs
+module Program = Kf_ir.Program
+
+type params = {
+  population_size : int;
+  max_generations : int;
+  stall_generations : int;
+  crossover_rate : float;
+  mutation_rate : float;
+  tournament_size : int;
+  elite : int;
+  seed : int;
+  domains : int;
+}
+
+let default_params =
+  {
+    population_size = 60;
+    max_generations = 400;
+    stall_generations = 60;
+    crossover_rate = 0.85;
+    mutation_rate = 0.25;
+    tournament_size = 3;
+    elite = 2;
+    seed = 42;
+    domains = 1;
+  }
+
+let paper_params =
+  {
+    default_params with
+    population_size = 100;
+    max_generations = 2000;
+    stall_generations = 2000;
+  }
+
+type stats = {
+  generations : int;
+  evaluations : int;
+  wall_time_s : float;
+  best_cost : float;
+  improvement_history : (int * float) list;
+}
+
+type result = {
+  groups : Grouping.groups;
+  plan : Kf_fusion.Plan.t;
+  cost : float;
+  stats : stats;
+}
+
+type individual = { groups : Grouping.groups; cost : float }
+
+let make_individual obj groups = { groups; cost = Objective.plan_cost obj groups }
+
+let tournament obj rng pop size =
+  ignore obj;
+  let best = ref (Rng.choose rng pop) in
+  for _ = 2 to size do
+    let challenger = Rng.choose rng pop in
+    if challenger.cost < !best.cost then best := challenger
+  done;
+  !best
+
+(* Falkenauer grouping crossover with dependency-aware repair: inject a
+   crossing section of multi-member groups from [b] into [a], eliminate
+   [a]'s groups disrupted by the injection, and reinsert the orphans —
+   first as singletons, then greedily back into adjacent groups when the
+   model approves. *)
+let crossover obj rng (a : individual) (b : individual) =
+  let b_multi = List.filter (fun g -> List.length g >= 2) b.groups in
+  match b_multi with
+  | [] -> a.groups
+  | _ ->
+      let count = 1 + Rng.int rng (max 1 (List.length b_multi / 2)) in
+      let injected = Array.to_list (Rng.sample rng count (Array.of_list b_multi)) in
+      let injected_members = List.concat injected |> List.sort_uniq compare in
+      let untouched, disrupted =
+        List.partition
+          (fun g -> not (List.exists (fun k -> List.mem k injected_members) g))
+          a.groups
+      in
+      let orphans =
+        List.concat_map (List.filter (fun k -> not (List.mem k injected_members))) disrupted
+      in
+      let base = injected @ untouched @ List.map (fun k -> [ k ]) orphans in
+      (* Repair: pull each orphan back into a neighboring group when that
+         lowers the projected total.  Usually the best improving merge is
+         taken, but sometimes a random improving one — a deterministic
+         repair drives every child into the same pairing basin. *)
+      let groups = ref base in
+      List.iter
+        (fun k ->
+          let own = [ k ] in
+          if List.mem own !groups then begin
+            let candidates = Grouping.kin_adjacent_groups obj !groups own in
+            let improving =
+              List.filter_map
+                (fun g ->
+                  match Grouping.merge_pair obj !groups own g with
+                  | None -> None
+                  | Some (merged, rest) ->
+                      let before =
+                        Objective.group_cost obj own +. Objective.group_cost obj g
+                      in
+                      let delta = Objective.group_cost obj merged -. before in
+                      if delta < 0. then Some (delta, merged, rest) else None)
+                candidates
+            in
+            match improving with
+            | [] -> ()
+            | options ->
+                let _, merged, rest =
+                  if Rng.chance rng 0.7 then
+                    List.fold_left
+                      (fun acc o -> match (acc, o) with (d1, _, _), (d2, _, _) when d1 <= d2 -> acc | _ -> o)
+                      (List.hd options) (List.tl options)
+                  else Rng.choose rng (Array.of_list options)
+                in
+                groups := merged :: rest
+          end)
+        orphans;
+      (* The injected groups can form condensation cycles with the
+         receiver's surviving groups; restore schedulability. *)
+      Grouping.normalize (Grouping.repair_schedule obj !groups)
+
+let mutate obj rng groups =
+  let multi = List.filter (fun g -> List.length g >= 2) groups in
+  let ops = if multi = [] then [ `Merge ] else [ `Dissolve; `Eject; `Merge; `Merge ] in
+  match Rng.choose_list rng ops with
+  | `Dissolve ->
+      let victim = Rng.choose rng (Array.of_list multi) in
+      Grouping.dissolve groups victim
+  | `Eject -> begin
+      let victim = Rng.choose rng (Array.of_list multi) in
+      let k = Rng.choose rng (Array.of_list victim) in
+      match Grouping.eject obj groups k with Some g -> g | None -> groups
+    end
+  | `Merge -> begin
+      let g = Rng.choose rng (Array.of_list groups) in
+      match Grouping.kin_adjacent_groups obj groups g with
+      | [] -> groups
+      | candidates -> begin
+          let partner = Rng.choose rng (Array.of_list candidates) in
+          match Grouping.merge_pair obj groups g partner with
+          | Some (merged, rest) -> merged :: rest
+          | None -> groups
+        end
+    end
+
+let solve ?(params = default_params) obj =
+  if params.population_size < 2 then invalid_arg "Hgga.solve: population too small";
+  let start = Unix.gettimeofday () in
+  let rng = Rng.create params.seed in
+  let n = Program.num_kernels (Objective.inputs obj).Inputs.program in
+  let identity = List.init n (fun k -> [ k ]) in
+  let initial =
+    make_individual obj identity
+    :: List.init
+         (params.population_size - 1)
+         (fun i ->
+           let attempts = n + (i * n / params.population_size) in
+           make_individual obj (Grouping.random_plan obj rng ~merge_attempts:attempts n))
+  in
+  let pop = ref (Array.of_list initial) in
+  let best = ref (Array.fold_left (fun acc x -> if x.cost < acc.cost then x else acc) (!pop).(0) !pop) in
+  let history = ref [ (0, !best.cost) ] in
+  let stall = ref 0 in
+  let gen = ref 0 in
+  while !gen < params.max_generations && !stall < params.stall_generations do
+    incr gen;
+    let sorted = Array.copy !pop in
+    Array.sort (fun x y -> compare x.cost y.cost) sorted;
+    let elites = Array.to_list (Array.sub sorted 0 (min params.elite params.population_size)) in
+    let n_children = params.population_size - List.length elites in
+    let immigrants = if n <= 64 then max 1 (params.population_size / 10) else 1 in
+    (* Every child draws from its own pre-split RNG, so construction can
+       fan out over domains without changing the result. *)
+    let child_rngs = Array.init n_children (fun _ -> Rng.split rng) in
+    let snapshot = !pop in
+    let build_child idx =
+      let crng = child_rngs.(idx) in
+      if idx >= n_children - immigrants then
+        (* Fresh blood keeps group building blocks flowing. *)
+        Grouping.random_plan obj crng n
+      else begin
+        let p1 = tournament obj crng snapshot params.tournament_size in
+        let p2 = tournament obj crng snapshot params.tournament_size in
+        let g =
+          if Rng.chance crng params.crossover_rate then crossover obj crng p1 p2 else p1.groups
+        in
+        if Rng.chance crng params.mutation_rate then mutate obj crng g else g
+      end
+    in
+    let raw_children =
+      if params.domains <= 1 || n_children < 2 * params.domains then
+        Array.init n_children build_child
+      else begin
+        let out = Array.make n_children [] in
+        let workers = min params.domains n_children in
+        let spawned =
+          List.init workers (fun w ->
+              Domain.spawn (fun () ->
+                  let i = ref w in
+                  while !i < n_children do
+                    out.(!i) <- build_child !i;
+                    i := !i + workers
+                  done))
+        in
+        List.iter Domain.join spawned;
+        out
+      end
+    in
+    (* Duplicate suppression (sequential in both modes, so results match):
+       a population of champion clones stops searching — crossover of
+       identical parents is the identity. *)
+    let seen = Hashtbl.create params.population_size in
+    List.iter (fun ind -> Hashtbl.replace seen (Grouping.normalize ind.groups) ()) elites;
+    let next = ref elites in
+    Array.iteri
+      (fun idx child ->
+        let crng = child_rngs.(idx) in
+        let rec unique attempts g =
+          let key = Grouping.normalize g in
+          if (not (Hashtbl.mem seen key)) || attempts = 0 then g
+          else unique (attempts - 1) (mutate obj crng g)
+        in
+        let child = unique 3 child in
+        Hashtbl.replace seen (Grouping.normalize child) ();
+        next := make_individual obj child :: !next)
+      raw_children;
+    pop := Array.of_list !next;
+    let gen_best =
+      Array.fold_left (fun acc x -> if x.cost < acc.cost then x else acc) (!pop).(0) !pop
+    in
+    (* Hybridization (the H of HGGA): hill-climb the generation's champion
+       by kernel relocation and feed the refinement back into the
+       population.  On large instances the full neighborhood is too
+       expensive per generation; a single final pass runs after the loop
+       instead. *)
+    let gen_best =
+      if n <= 64 && gen_best.cost < !best.cost -. 1e-15 then begin
+        let refined = make_individual obj (Grouping.local_refine obj gen_best.groups) in
+        if refined.cost < gen_best.cost then begin
+          (!pop).(0) <- refined;
+          refined
+        end
+        else gen_best
+      end
+      else gen_best
+    in
+    if gen_best.cost < !best.cost -. 1e-15 then begin
+      best := gen_best;
+      history := (!gen, gen_best.cost) :: !history;
+      stall := 0
+    end
+    else incr stall
+  done;
+  let final_groups =
+    if n > 64 then Grouping.local_refine ~max_passes:1 obj !best.groups else !best.groups
+  in
+  let final_groups = Grouping.enforce_profitability obj final_groups in
+  let final_cost = Objective.plan_cost obj final_groups in
+  {
+    groups = final_groups;
+    plan = Kf_fusion.Plan.of_groups ~n final_groups;
+    cost = final_cost;
+    stats =
+      {
+        generations = !gen;
+        evaluations = Objective.evaluations obj;
+        wall_time_s = Unix.gettimeofday () -. start;
+        best_cost = final_cost;
+        improvement_history = List.rev !history;
+      };
+  }

@@ -1,0 +1,59 @@
+(** Hybrid Grouping Genetic Algorithm (paper §III-C), adapted from
+    Falkenauer's HGGA for bin packing.
+
+    Genes are {e groups} (candidate new kernels), not kernel-to-group
+    assignments: crossover injects whole groups from one parent into the
+    other, eliminates the disrupted groups and repairs the orphans;
+    mutation dissolves, ejects from, or merges groups.  All operators act
+    through {!Grouping}'s absorbing merge, so every individual in the
+    population respects the dependency constraints at all times — the
+    adaptation the paper introduces so that "multivariate dependencies of
+    original kernels in different sharing sets are not violated".
+
+    The stop criterion is the paper's: no improvement of the incumbent for
+    a configured number of generations (with a hard generation cap). *)
+
+type params = {
+  population_size : int;
+  max_generations : int;
+  stall_generations : int;  (** stop after this many non-improving generations *)
+  crossover_rate : float;
+  mutation_rate : float;
+  tournament_size : int;
+  elite : int;  (** incumbents copied unchanged into each generation *)
+  seed : int;
+  domains : int;
+      (** worker domains for child construction (the paper parallelizes
+          its search with OpenMP; here OCaml 5 domains).  Results are
+          identical for any domain count — each child draws from its own
+          pre-split RNG. *)
+}
+
+val default_params : params
+(** population 60, max 400 generations, stall 60, crossover 0.85,
+    mutation 0.25, tournament 3, elite 2, seed 42, 1 domain. *)
+
+val paper_params : params
+(** The paper's Table VI setting: population 100, 2000 generations (stall
+    disabled by setting it equal to the cap). *)
+
+type stats = {
+  generations : int;  (** generations actually run *)
+  evaluations : int;  (** objective evaluations (Table VI "Total #
+                          Evaluations") *)
+  wall_time_s : float;
+  best_cost : float;
+  improvement_history : (int * float) list;
+      (** (generation, incumbent cost) at each improvement, oldest first *)
+}
+
+type result = {
+  groups : Grouping.groups;
+  plan : Kf_fusion.Plan.t;
+  cost : float;
+  stats : stats;
+}
+
+val solve : ?params:params -> Objective.t -> result
+(** Runs the GA and returns the best feasible plan found, after the
+    profitability cleanup of constraint (1.1). *)

@@ -1,0 +1,115 @@
+module Inputs = Kf_model.Inputs
+module Fused = Kf_fusion.Fused
+module Metadata = Kf_ir.Metadata
+module Device = Kf_gpu.Device
+module Exec_order = Kf_graph.Exec_order
+
+type model = Proposed | Roofline | Simple | Mwp
+
+type verdict = { feasible : bool; cost : float; orig_sum : float }
+
+type t = {
+  inputs : Inputs.t;
+  model : model;
+  cache : (string, verdict) Hashtbl.t;
+  lock : Mutex.t;
+      (* the cache is shared across the GA's evaluation domains; entries
+         are pure memoization, so a racing double-evaluation is only a
+         little wasted work *)
+  mutable evaluations : int;
+}
+
+let create ?(model = Proposed) inputs =
+  { inputs; model; cache = Hashtbl.create 4096; lock = Mutex.create (); evaluations = 0 }
+
+let inputs t = t.inputs
+let model t = t.model
+
+let model_name = function
+  | Proposed -> "proposed"
+  | Roofline -> "roofline"
+  | Simple -> "simple"
+  | Mwp -> "mwp"
+
+let key group = String.concat "," (List.map string_of_int (List.sort compare group))
+
+let project t f =
+  match t.model with
+  | Proposed -> Kf_model.Projection.runtime t.inputs f
+  | Roofline -> Kf_model.Roofline.runtime t.inputs f
+  | Simple -> Kf_model.Simple_model.runtime t.inputs f
+  | Mwp -> Kf_model.Mwp.runtime t.inputs f
+
+let evaluate t group =
+  match group with
+  | [ k ] ->
+      let cost = t.inputs.Inputs.measured_runtime.(k) in
+      { feasible = true; cost; orig_sum = cost }
+  | _ ->
+      Mutex.lock t.lock;
+      t.evaluations <- t.evaluations + 1;
+      Mutex.unlock t.lock;
+      let i = t.inputs in
+      let orig_sum = Inputs.original_sum i group in
+      (* Active-constraint pruning: cheap structural checks first, resource
+         checks only on structurally valid groups, model evaluation only on
+         fully feasible ones. *)
+      if not (Metadata.kinship_connected i.Inputs.meta group) then
+        { feasible = false; cost = Float.infinity; orig_sum }
+      else if Exec_order.group_spans_sync i.Inputs.exec group then
+        { feasible = false; cost = Float.infinity; orig_sum }
+      else if not (Exec_order.group_is_convex i.Inputs.exec group) then
+        { feasible = false; cost = Float.infinity; orig_sum }
+      else begin
+        let f = Fused.build ~device:i.Inputs.device ~meta:i.Inputs.meta ~exec:i.Inputs.exec ~group in
+        let d = i.Inputs.device in
+        if
+          f.Fused.vertical_hazard
+          || f.Fused.smem_bytes_per_block > d.Device.smem_per_smx
+          || f.Fused.registers_per_thread >= d.Device.max_registers_per_thread
+        then { feasible = false; cost = Float.infinity; orig_sum }
+        else { feasible = true; cost = project t f; orig_sum }
+      end
+
+let lookup t group =
+  let k = key group in
+  Mutex.lock t.lock;
+  let hit = Hashtbl.find_opt t.cache k in
+  Mutex.unlock t.lock;
+  match hit with
+  | Some v -> v
+  | None ->
+      (* Evaluate outside the lock: evaluation is pure, so a concurrent
+         duplicate costs time, never correctness. *)
+      let v = evaluate t group in
+      Mutex.lock t.lock;
+      Hashtbl.replace t.cache k v;
+      Mutex.unlock t.lock;
+      v
+
+let group_feasible t group = (lookup t group).feasible
+let group_cost t group = (lookup t group).cost
+
+let group_profitable t group =
+  match group with
+  | [ _ ] -> true
+  | _ ->
+      let v = lookup t group in
+      v.feasible && v.cost < v.orig_sum
+
+let plan_cost t groups =
+  List.fold_left (fun acc g -> acc +. group_cost t g) 0. groups
+
+let original_sum t group = Inputs.original_sum t.inputs group
+
+let evaluations t =
+  Mutex.lock t.lock;
+  let n = t.evaluations in
+  Mutex.unlock t.lock;
+  n
+
+let cache_size t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.cache in
+  Mutex.unlock t.lock;
+  n

@@ -1,0 +1,48 @@
+(** Search objective: cost of a candidate grouping under a chosen
+    performance model, with feasibility checking, memoization and
+    evaluation counting.
+
+    The paper's search minimizes Σ_j T(F_j) (Fig. 4, Eq. 1) where T is the
+    projected runtime bound of each new kernel; singletons cost their
+    measured runtime.  Feasibility implements the active-constraint
+    pruning of §III-C: structural constraints (convexity 1.3, kinship 1.5)
+    are checked first and resource constraints (1.6, 1.7) only for groups
+    that pass, and every verdict is cached by group. *)
+
+type model =
+  | Proposed  (** the paper's codeless upper-bound projection (§IV) *)
+  | Roofline
+  | Simple
+  | Mwp  (** code-representation comparator (GROPHECY-style) *)
+
+type t
+
+val create : ?model:model -> Kf_model.Inputs.t -> t
+(** Default model: [Proposed]. *)
+
+val inputs : t -> Kf_model.Inputs.t
+val model : t -> model
+val model_name : model -> string
+
+val group_feasible : t -> int list -> bool
+(** Constraints 1.3 + 1.5 + 1.6 + 1.7 for one group (singletons are always
+    feasible). *)
+
+val group_cost : t -> int list -> float
+(** Projected runtime of the group's new kernel under the model;
+    measured runtime for singletons; [infinity] when infeasible. *)
+
+val group_profitable : t -> int list -> bool
+(** Constraint 1.1: the projected runtime beats the group's original
+    sum.  Singletons are vacuously profitable. *)
+
+val plan_cost : t -> int list list -> float
+(** Σ over groups; [infinity] if any group is infeasible. *)
+
+val original_sum : t -> int list -> float
+
+val evaluations : t -> int
+(** Number of objective-function evaluations performed so far (cache
+    misses on multi-member groups — the quantity of paper Table VI). *)
+
+val cache_size : t -> int

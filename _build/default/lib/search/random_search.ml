@@ -1,0 +1,32 @@
+module Rng = Kf_util.Rng
+module Inputs = Kf_model.Inputs
+module Program = Kf_ir.Program
+
+type result = {
+  groups : Grouping.groups;
+  plan : Kf_fusion.Plan.t;
+  cost : float;
+  samples : int;
+}
+
+let solve ?(samples = 500) ?(seed = 42) obj =
+  if samples <= 0 then invalid_arg "Random_search.solve: non-positive sample count";
+  let rng = Rng.create seed in
+  let n = Program.num_kernels (Objective.inputs obj).Inputs.program in
+  let best_groups = ref (List.init n (fun k -> [ k ])) in
+  let best_cost = ref (Objective.plan_cost obj !best_groups) in
+  for _ = 1 to samples do
+    let g = Grouping.random_plan obj rng n in
+    let c = Objective.plan_cost obj g in
+    if c < !best_cost then begin
+      best_cost := c;
+      best_groups := g
+    end
+  done;
+  let final = Grouping.enforce_profitability obj !best_groups in
+  {
+    groups = final;
+    plan = Kf_fusion.Plan.of_groups ~n final;
+    cost = Objective.plan_cost obj final;
+    samples;
+  }

@@ -1,0 +1,14 @@
+(** Random-restart baseline: sample random feasible plans and keep the
+    best.  Establishes how much of the HGGA's solution quality is due to
+    the evolutionary operators rather than the feasible-plan sampler
+    itself. *)
+
+type result = {
+  groups : Grouping.groups;
+  plan : Kf_fusion.Plan.t;
+  cost : float;
+  samples : int;
+}
+
+val solve : ?samples:int -> ?seed:int -> Objective.t -> result
+(** Defaults: 500 samples, seed 42. *)

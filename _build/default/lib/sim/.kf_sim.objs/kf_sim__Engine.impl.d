@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Float Kf_gpu List Queue

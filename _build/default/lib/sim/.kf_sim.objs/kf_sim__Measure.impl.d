@@ -1,0 +1,1 @@
+lib/sim/measure.ml: Array Engine Format Kf_fusion Kf_gpu Kf_ir List Occupancy Trace

@@ -1,0 +1,1 @@
+lib/sim/measure.mli: Format Kf_fusion Kf_gpu Kf_ir Occupancy

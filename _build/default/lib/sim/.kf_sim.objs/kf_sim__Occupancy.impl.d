@@ -1,0 +1,1 @@
+lib/sim/occupancy.ml: Format Kf_gpu List

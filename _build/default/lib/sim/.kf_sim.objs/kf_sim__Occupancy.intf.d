@@ -1,0 +1,1 @@
+lib/sim/occupancy.mli: Format Kf_gpu

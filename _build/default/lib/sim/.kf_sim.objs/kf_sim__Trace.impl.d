@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Array Engine Float Hashtbl Kf_fusion Kf_gpu Kf_graph Kf_ir List

@@ -1,0 +1,1 @@
+lib/sim/trace.mli: Engine Kf_fusion Kf_gpu Kf_ir

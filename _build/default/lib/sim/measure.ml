@@ -1,0 +1,74 @@
+module Device = Kf_gpu.Device
+module Program = Kf_ir.Program
+module Grid = Kf_ir.Grid
+module Fused = Kf_fusion.Fused
+module Fused_program = Kf_fusion.Fused_program
+
+type result = {
+  runtime_s : float;
+  gmem_bytes : float;
+  achieved_gbs : float;
+  achieved_gflops : float;
+  occupancy : Occupancy.limits;
+  cycles_per_wave : float;
+  waves : int;
+  issue_stall_fraction : float;
+}
+
+let run_lowered ~device (p : Program.t) (low : Trace.lowered) =
+  let occ =
+    Occupancy.compute ~device ~threads_per_block:low.Trace.threads_per_block
+      ~registers_per_thread:low.Trace.registers_per_thread
+      ~smem_per_block:low.Trace.smem_per_block ~ro_per_block:low.Trace.ro_per_block ()
+  in
+  if occ.Occupancy.active_blocks = 0 then
+    invalid_arg "Measure: kernel cannot launch (zero occupancy)";
+  let total_blocks = Grid.blocks p.Program.grid in
+  (* A grid smaller than one full wave leaves SMXs partly filled. *)
+  let resident =
+    min occ.Occupancy.active_blocks
+      (max 1 ((total_blocks + device.Device.smx_count - 1) / device.Device.smx_count))
+  in
+  let r =
+    Engine.run
+      { Engine.device; blocks_per_smx = resident; total_blocks; spec = low.Trace.spec }
+  in
+  {
+    runtime_s = r.Engine.runtime_s;
+    gmem_bytes = low.Trace.gmem_bytes;
+    achieved_gbs = low.Trace.gmem_bytes /. r.Engine.runtime_s /. 1e9;
+    achieved_gflops = low.Trace.total_flops /. r.Engine.runtime_s /. 1e9;
+    occupancy = occ;
+    cycles_per_wave = r.Engine.cycles_per_wave;
+    waves = r.Engine.waves;
+    issue_stall_fraction = r.Engine.issue_stall_fraction;
+  }
+
+let kernel ~device p k = run_lowered ~device p (Trace.of_kernel ~device p k)
+
+let fused ~device p f = run_lowered ~device p (Trace.of_fused ~device p f)
+
+let program_results ~device p =
+  Array.init (Program.num_kernels p) (fun k -> kernel ~device p k)
+
+let program ~device p =
+  Array.fold_left (fun acc r -> acc +. r.runtime_s) 0. (program_results ~device p)
+
+let fused_program_results ~device (fp : Fused_program.t) =
+  List.map
+    (fun u ->
+      match u with
+      | Fused_program.Original k -> (u, kernel ~device fp.Fused_program.program k)
+      | Fused_program.Fused f -> (u, fused ~device fp.Fused_program.program f))
+    fp.Fused_program.units
+
+let fused_program ~device fp =
+  List.fold_left (fun acc (_, r) -> acc +. r.runtime_s) 0. (fused_program_results ~device fp)
+
+let speedup ~device fp =
+  program ~device fp.Fused_program.program /. fused_program ~device fp
+
+let pp_result ppf r =
+  Format.fprintf ppf "%.1f us, %.1f GB/s, %.1f GFLOPS, %a, stall %.0f%%" (r.runtime_s *. 1e6)
+    r.achieved_gbs r.achieved_gflops Occupancy.pp r.occupancy
+    (r.issue_stall_fraction *. 100.)

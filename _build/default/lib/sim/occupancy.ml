@@ -1,0 +1,68 @@
+module Device = Kf_gpu.Device
+
+type limits = {
+  active_blocks : int;
+  active_warps : int;
+  by_block_limit : int;
+  by_thread_limit : int;
+  by_register_limit : int;
+  by_smem_limit : int;
+  by_ro_cache_limit : int;
+}
+
+let compute ~device ~threads_per_block ~registers_per_thread ~smem_per_block
+    ?(ro_per_block = 0) () =
+  if threads_per_block <= 0 then invalid_arg "Occupancy.compute: non-positive threads";
+  if registers_per_thread <= 0 then invalid_arg "Occupancy.compute: non-positive registers";
+  if smem_per_block < 0 then invalid_arg "Occupancy.compute: negative smem";
+  let d = device in
+  let by_block_limit = d.Device.max_blocks_per_smx in
+  let by_thread_limit = d.Device.max_threads_per_smx / threads_per_block in
+  let by_register_limit = d.Device.registers_per_smx / (threads_per_block * registers_per_thread) in
+  let by_smem_limit =
+    if smem_per_block = 0 then by_block_limit
+    else if smem_per_block > d.Device.smem_per_smx then 0
+    else d.Device.smem_per_smx / smem_per_block
+  in
+  let by_ro_cache_limit =
+    if ro_per_block = 0 then by_block_limit
+    else if ro_per_block > d.Device.readonly_cache_per_smx then 0
+    else d.Device.readonly_cache_per_smx / ro_per_block
+  in
+  let active_blocks =
+    max 0
+      (min
+         (min by_block_limit by_thread_limit)
+         (min by_ro_cache_limit (min by_register_limit by_smem_limit)))
+  in
+  let warps_per_block = (threads_per_block + d.Device.warp_size - 1) / d.Device.warp_size in
+  {
+    active_blocks;
+    active_warps = active_blocks * warps_per_block;
+    by_block_limit;
+    by_thread_limit;
+    by_register_limit;
+    by_smem_limit;
+    by_ro_cache_limit;
+  }
+
+let binding_resource l =
+  let candidates =
+    [
+      (l.by_block_limit, "blocks");
+      (l.by_thread_limit, "threads");
+      (l.by_register_limit, "registers");
+      (l.by_smem_limit, "smem");
+      (l.by_ro_cache_limit, "ro-cache");
+    ]
+  in
+  let binding = List.filter (fun (v, _) -> v = l.active_blocks) candidates in
+  match binding with (_, name) :: _ -> name | [] -> "none"
+
+let occupancy_fraction ~device l =
+  let max_warps = device.Device.max_threads_per_smx / device.Device.warp_size in
+  float_of_int l.active_warps /. float_of_int max_warps
+
+let pp ppf l =
+  Format.fprintf ppf "%d blocks (%d warps) limited by %s" l.active_blocks l.active_warps
+    (binding_resource l)

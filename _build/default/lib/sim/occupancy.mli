@@ -1,0 +1,37 @@
+(** Occupancy calculation: how many thread blocks are simultaneously
+    resident on one SMX.
+
+    This is the quantity the paper's whole argument turns on — fusion
+    raises per-block register and SMEM demand, which lowers the active
+    block count, which degrades the runtime's ability to hide memory
+    latency (the paper's Blocks_SMX of Table III and Eqns. 3 and 7). *)
+
+type limits = {
+  active_blocks : int;  (** resulting Blocks_SMX (0 = kernel cannot launch) *)
+  active_warps : int;
+  by_block_limit : int;  (** cap from the device's max resident blocks *)
+  by_thread_limit : int;  (** cap from max resident threads *)
+  by_register_limit : int;  (** cap from the register file (Eq. 3) *)
+  by_smem_limit : int;  (** cap from shared-memory capacity (Eq. 7) *)
+  by_ro_cache_limit : int;  (** cap from the read-only data cache (§II-C) *)
+}
+
+val compute :
+  device:Kf_gpu.Device.t ->
+  threads_per_block:int ->
+  registers_per_thread:int ->
+  smem_per_block:int ->
+  ?ro_per_block:int ->
+  unit ->
+  limits
+(** [ro_per_block] defaults to 0 (no read-only-cache staging).
+    @raise Invalid_argument on non-positive threads or registers. *)
+
+val binding_resource : limits -> string
+(** Human-readable name of the limiting resource ("blocks", "threads",
+    "registers" or "smem"). *)
+
+val occupancy_fraction : device:Kf_gpu.Device.t -> limits -> float
+(** Active warps over the device's maximum resident warps. *)
+
+val pp : Format.formatter -> limits -> unit

@@ -1,0 +1,233 @@
+module Device = Kf_gpu.Device
+module Program = Kf_ir.Program
+module Kernel = Kf_ir.Kernel
+module Access = Kf_ir.Access
+module Stencil = Kf_ir.Stencil
+module Grid = Kf_ir.Grid
+module Array_info = Kf_ir.Array_info
+module Fused = Kf_fusion.Fused
+module Traffic = Kf_graph.Traffic
+
+type lowered = {
+  spec : Engine.block_spec;
+  threads_per_block : int;
+  registers_per_thread : int;
+  smem_per_block : int;
+  ro_per_block : int;  (* read-only cache bytes per block *)
+  gmem_bytes : float;
+  total_flops : float;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+let txns_per_warp elem_bytes = ceil_div (32 * elem_bytes) 128
+
+let elem p a = (Program.array p a).Array_info.elem_bytes
+
+(* Row-buffer locality loss for kernels streaming many concurrent arrays:
+   the memory controller keeps a limited number of DRAM rows open, so
+   interleaving more streams than that costs extra activates. *)
+let stream_factor n_arrays = 1. +. (0.06 *. float_of_int (max 0 (n_arrays - 5)))
+
+(* Emit [n] repetitions of a per-iteration instruction list.  The vertical
+   loop is homogeneous, so the trace is the per-iteration block repeated
+   [nz] times. *)
+let repeat_iters nz per_iter =
+  let arr = Array.of_list per_iter in
+  let len = Array.length arr in
+  Array.init (nz * len) (fun i -> arr.(i mod len))
+
+let instr_count tr = Array.length tr
+
+let of_kernel ~device p k =
+  let kern = Program.kernel p k in
+  let grid = p.Program.grid in
+  let thr = Grid.threads_per_block grid in
+  let staged = Kernel.smem_staged_arrays kern in
+  let per_iter = ref [] in
+  let emit i = per_iter := i :: !per_iter in
+  let special = ref [] in
+  let emit_special i = special := i :: !special in
+  (* Staging phase: the originals double-buffer, so the tile loads stream
+     ahead of the iteration that consumes them. *)
+  List.iter
+    (fun a ->
+      emit (Engine.Prefetch (txns_per_warp (elem p a)));
+      emit (Engine.Smem 1))
+    staged;
+  (* Block-boundary ring: the specialized warp refetches the neighborhood
+     directly from GMEM (paper Fig. 3, Kernel Y). *)
+  List.iter
+    (fun a ->
+      match Kernel.access_for kern a with
+      | Some acc when Access.reads acc ->
+          let r = Stencil.radius acc.Access.pattern in
+          if r > 0 then begin
+            let ring = Grid.halo_sites_per_plane grid r in
+            emit_special (Engine.Prefetch (ceil_div (ring * elem p a) 128));
+            emit_special (Engine.Smem (ceil_div ring 32))
+          end
+      | _ -> ())
+    staged;
+  if staged <> [] then emit Engine.Barrier;
+  (* Compute phase: reads then arithmetic then stores. *)
+  List.iter
+    (fun (a : Access.t) ->
+      if Access.reads a then begin
+        let pts = Stencil.num_points a.pattern in
+        if List.mem a.array staged then emit (Engine.Smem pts)
+        else emit (Engine.Gload (pts * txns_per_warp (elem p a.array)))
+      end)
+    kern.Kernel.accesses;
+  let flops = int_of_float (Float.ceil (Kernel.flops_per_site kern)) in
+  if flops > 0 then emit (Engine.Compute flops);
+  List.iter
+    (fun (a : Access.t) ->
+      if Access.writes a then emit (Engine.Gstore (txns_per_warp (elem p a.array))))
+    kern.Kernel.accesses;
+  let per_iter = List.rev !per_iter in
+  let trace = repeat_iters grid.nz per_iter in
+  let special_trace = repeat_iters grid.nz (List.rev !special @ per_iter) in
+  (* Double buffering costs two tiles per staged array. *)
+  let used = 2 * List.length staged * thr * 8 in
+  let smem_per_block = if used = 0 then 0 else used + (used / device.Device.smem_banks) in
+  {
+    spec =
+      {
+        Engine.warps_per_block = ceil_div thr device.Device.warp_size;
+        trace;
+        special_trace;
+        conflict_factor = 1.0;
+        stream_factor = stream_factor (List.length (Kernel.arrays kern));
+      };
+    threads_per_block = thr;
+    registers_per_thread = kern.Kernel.registers_per_thread;
+    smem_per_block;
+    ro_per_block = 0;
+    gmem_bytes = Traffic.kernel_bytes p k;
+    total_flops = Kernel.total_flops kern grid;
+  }
+
+let of_fused ~device p (f : Fused.t) =
+  let grid = p.Program.grid in
+  let thr = Grid.threads_per_block grid in
+  let staged = List.filter (fun a -> not (List.mem a f.Fused.register_reuse)) f.Fused.pivot in
+  let halo = f.Fused.halo_layers in
+  let ring = if halo > 0 then Grid.halo_sites_per_plane grid halo else 0 in
+  (* External-fetch analysis: an array is fetched from GMEM unless a member
+     writes it before any member reads it. *)
+  let written = Hashtbl.create 8 in
+  let external_fetch = Hashtbl.create 8 in
+  List.iter
+    (fun k ->
+      let kern = Program.kernel p k in
+      List.iter
+        (fun (a : Access.t) ->
+          if Access.reads a && not (Hashtbl.mem written a.array) then
+            Hashtbl.replace external_fetch a.array ();
+          if Access.writes a then Hashtbl.replace written a.array ())
+        kern.Kernel.accesses)
+    f.Fused.members;
+  (* Normal and specialized (warp 0) traces are built in lockstep so that
+     both see the same number of barriers; the specialized warp carries the
+     halo duty (paper §II-D.2's specialized warps). *)
+  let norm = ref [] and spec = ref [] in
+  let emit i =
+    norm := i :: !norm;
+    spec := i :: !spec
+  in
+  let emit_special i = spec := i :: !spec in
+  (* Staging phase: externally-fetched pivot arrays are double-buffered
+     like the originals' tiles (prefetch); internally-produced pivots
+     cannot be — their data is computed within the iteration. *)
+  List.iter
+    (fun a ->
+      if Hashtbl.mem external_fetch a then begin
+        emit (Engine.Prefetch (txns_per_warp (elem p a)));
+        emit (Engine.Smem 1);
+        if ring > 0 then begin
+          emit_special (Engine.Prefetch (ceil_div (ring * elem p a) 128));
+          emit_special (Engine.Smem (ceil_div ring 32))
+        end
+      end)
+    staged;
+  List.iter
+    (fun a ->
+      if Hashtbl.mem external_fetch a then emit (Engine.Gload (txns_per_warp (elem p a))))
+    f.Fused.register_reuse;
+  if staged <> [] then emit Engine.Barrier;
+  (* Segments. *)
+  List.iter
+    (fun (s : Fused.segment) ->
+      if s.Fused.barrier_before then emit Engine.Barrier;
+      let kern = Program.kernel p s.Fused.kernel in
+      let own_staged =
+        List.filter (fun a -> not (List.mem a staged)) (Kernel.smem_staged_arrays kern)
+      in
+      List.iter
+        (fun (a : Access.t) ->
+          if Access.reads a then begin
+            let pts = Stencil.num_points a.pattern in
+            if List.mem a.array staged then emit (Engine.Smem pts)
+            else if List.mem a.array own_staged then begin
+              emit (Engine.Gload (txns_per_warp (elem p a.array)));
+              emit (Engine.Smem (1 + pts))
+            end
+            else if List.mem a.array f.Fused.register_reuse then ()
+            else begin
+              emit (Engine.Gload (pts * txns_per_warp (elem p a.array)));
+              (* The producer's ring replay also needs this segment's
+                 un-staged inputs on the ring — specialized-warp fetches. *)
+              if s.Fused.halo_producer && ring > 0 then
+                emit_special (Engine.Gload (ceil_div (ring * elem p a.array) 128))
+            end
+          end)
+        kern.Kernel.accesses;
+      let base_flops = int_of_float (Float.ceil (Kernel.flops_per_site kern)) in
+      if base_flops > 0 then emit (Engine.Compute base_flops);
+      if s.Fused.halo_depth > 0 then begin
+        (* Ring replay: the specialized warp recomputes the segment on its
+           own ring depth and stores the results into the SMEM rings. *)
+        let seg_ring = Grid.halo_sites_per_plane grid s.Fused.halo_depth in
+        let ring_warp_iters = ceil_div seg_ring 32 in
+        emit_special (Engine.Compute (base_flops * ring_warp_iters));
+        emit_special (Engine.Smem ring_warp_iters)
+      end;
+      List.iter
+        (fun (a : Access.t) ->
+          if Access.writes a then begin
+            emit (Engine.Gstore (txns_per_warp (elem p a.array)));
+            if List.mem a.array staged then emit (Engine.Smem 1)
+          end)
+        kern.Kernel.accesses)
+    f.Fused.segments;
+  let trace = repeat_iters grid.nz (List.rev !norm) in
+  let special_trace = repeat_iters grid.nz (List.rev !spec) in
+  (* A fused kernel whose padded SMEM demand would overflow the SMX runs
+     unpadded and eats bank conflicts instead (paper Eq. 7's B_conf term
+     exists to avoid exactly this). *)
+  let padded = f.Fused.smem_bytes_per_block in
+  let unpadded = padded * device.Device.smem_banks / (device.Device.smem_banks + 1) in
+  let smem_per_block, conflict_factor =
+    if padded <= device.Device.smem_per_smx then (padded, 1.0) else (unpadded, 2.0)
+  in
+  {
+    spec =
+      {
+        Engine.warps_per_block = ceil_div thr device.Device.warp_size;
+        trace;
+        special_trace;
+        conflict_factor;
+        stream_factor =
+          stream_factor
+            (List.length
+               (List.sort_uniq compare
+                  (List.concat_map (fun k -> Kernel.arrays (Program.kernel p k)) f.Fused.members)));
+      };
+    threads_per_block = thr;
+    registers_per_thread = f.Fused.registers_per_thread;
+    smem_per_block;
+    ro_per_block = f.Fused.ro_bytes_per_block;
+    gmem_bytes = Fused.gmem_bytes p f;
+    total_flops = Fused.total_flops p f;
+  }

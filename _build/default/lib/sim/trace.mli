@@ -1,0 +1,29 @@
+(** Warp-trace construction: lowers a kernel IR (original or fused) into
+    the instruction stream one warp executes for a full sweep.
+
+    The lowering mirrors the code shapes of paper Fig. 3: per vertical
+    iteration, a staging phase (global loads + SMEM stores for staged
+    arrays, with the block-boundary/halo ring handled by the specialized
+    warp), a barrier when SMEM is used, then compute phases reading staged
+    arrays from SMEM and un-staged arrays from global memory, and finally
+    the stores.  Fused kernels interleave one such phase per segment with
+    the inter-segment barriers and halo-producer overwork. *)
+
+type lowered = {
+  spec : Engine.block_spec;
+  threads_per_block : int;
+  registers_per_thread : int;
+  smem_per_block : int;  (** bytes, padding included *)
+  ro_per_block : int;  (** read-only cache bytes per block (0 when unused) *)
+  gmem_bytes : float;  (** traffic of a full sweep, for bandwidth accounting *)
+  total_flops : float;
+}
+
+val of_kernel : device:Kf_gpu.Device.t -> Kf_ir.Program.t -> int -> lowered
+(** Lower one original kernel (by id). *)
+
+val of_fused :
+  device:Kf_gpu.Device.t -> Kf_ir.Program.t -> Kf_fusion.Fused.t -> lowered
+(** Lower a fused kernel. *)
+
+val instr_count : Engine.instr array -> int

@@ -1,0 +1,48 @@
+(** Fixed-universe bit sets.
+
+    The exact set-partition solver and the constraint system manipulate many
+    subsets of the kernel universe (up to a few hundred elements); this is a
+    compact imperative representation with the usual set algebra. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty subset of universe [{0, …, n-1}]. *)
+
+val universe_size : t -> int
+
+val singleton : int -> int -> t
+(** [singleton n i] is [{i}] in universe size [n]. *)
+
+val of_list : int -> int list -> t
+
+val to_list : t -> int list
+(** Members in increasing order. *)
+
+val copy : t -> t
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val mem : t -> int -> bool
+val cardinal : t -> int
+val is_empty : t -> bool
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+(** [subset a b] is true when every member of [a] is in [b]. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val disjoint : t -> t -> bool
+val union_into : t -> t -> unit
+(** [union_into dst src] adds all members of [src] to [dst]. *)
+
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val choose : t -> int
+(** Smallest member.  @raise Not_found when empty. *)
+
+val compare : t -> t -> int
+(** Total order suitable for [Map]/[Set] keys. *)
+
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic components of the library (the HGGA solver, workload
+    generators, failure-injection tests) draw from this module so that every
+    experiment is reproducible bit-for-bit from an explicit seed.  The
+    implementation is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): a tiny,
+    statistically strong, splittable generator. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed.  Equal seeds
+    produce equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Streams of the parent and child do not overlap in practice. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; the copy replays the same
+    stream. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits : t -> int
+(** Next 62-bit non-negative OCaml [int]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive.
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is [true] with probability [p] (clamped to [\[0,1\]]). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.  @raise Invalid_argument on an
+    empty array. *)
+
+val choose_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val sample : t -> int -> 'a array -> 'a array
+(** [sample t k arr] draws [k] distinct elements (uniform, without
+    replacement).  @raise Invalid_argument if [k] exceeds the array
+    length. *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Normal deviate via the Box–Muller transform. *)

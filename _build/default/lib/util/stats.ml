@@ -1,0 +1,98 @@
+let sum xs =
+  (* Kahan summation: the benchmark harness accumulates thousands of small
+     runtimes and naive summation loses digits that matter for speedup
+     ratios. *)
+  let total = ref 0. and comp = ref 0. in
+  Array.iter
+    (fun x ->
+      let y = x -. !comp in
+      let t = !total +. y in
+      comp := t -. !total -. y;
+      total := t)
+    xs;
+  !total
+
+let mean xs = if Array.length xs = 0 then 0. else sum xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let acc = Array.map (fun x -> (x -. m) *. (x -. m)) xs in
+    sum acc /. float_of_int n
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let geomean xs =
+  if Array.length xs = 0 then 0.
+  else begin
+    let acc =
+      Array.map
+        (fun x ->
+          if x <= 0. then invalid_arg "Stats.geomean: non-positive value";
+          log x)
+        xs
+    in
+    exp (mean acc)
+  end
+
+let sorted xs =
+  let copy = Array.copy xs in
+  Array.sort compare copy;
+  copy
+
+let median xs =
+  let n = Array.length xs in
+  if n = 0 then 0.
+  else begin
+    let s = sorted xs in
+    if n mod 2 = 1 then s.(n / 2) else (s.((n / 2) - 1) +. s.(n / 2)) /. 2.
+  end
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of [0,100]";
+  let s = sorted xs in
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then s.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    s.(lo) +. (frac *. (s.(hi) -. s.(lo)))
+  end
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty array";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0))
+    xs
+
+let coefficient_of_variation xs =
+  let m = mean xs in
+  if m = 0. then 0. else stddev xs /. m
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then { n = 0; mean = 0.; stddev = 0.; min = 0.; max = 0.; median = 0. }
+  else begin
+    let min, max = min_max xs in
+    { n; mean = mean xs; stddev = stddev xs; min; max; median = median xs }
+  end
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g med=%.4g max=%.4g" s.n s.mean s.stddev
+    s.min s.median s.max

@@ -1,0 +1,46 @@
+(** Small statistics toolkit used by the benchmark harness and the search
+    solver's progress reporting. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on an empty array. *)
+
+val variance : float array -> float
+(** Population variance; 0 for fewer than two samples. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val geomean : float array -> float
+(** Geometric mean of strictly positive values; 0 on an empty array.
+    @raise Invalid_argument if any value is non-positive. *)
+
+val median : float array -> float
+(** Median (average of middle two for even length); 0 on an empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0,100\]] using linear interpolation.
+    @raise Invalid_argument on an empty array or [p] out of range. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest value.  @raise Invalid_argument on empty input. *)
+
+val sum : float array -> float
+(** Kahan-compensated sum. *)
+
+val coefficient_of_variation : float array -> float
+(** stddev / mean; 0 when the mean is 0. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float array -> summary
+(** One-pass descriptive summary.  All fields are 0 on empty input except
+    [n]. *)
+
+val pp_summary : Format.formatter -> summary -> unit

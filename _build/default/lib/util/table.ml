@@ -1,0 +1,85 @@
+type align = Left | Right | Center
+
+type row = Cells of string list | Rule
+
+type t = {
+  title : string option;
+  headers : string list;
+  aligns : align array;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title cols =
+  {
+    title;
+    headers = List.map fst cols;
+    aligns = Array.of_list (List.map snd cols);
+    rows = [];
+  }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: expected %d cells, got %d" (List.length t.headers)
+         (List.length cells));
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let fill = width - n in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+    | Center ->
+        let left = fill / 2 in
+        String.make left ' ' ^ s ^ String.make (fill - left) ' '
+  end
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells = List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells in
+  measure t.headers;
+  List.iter (function Cells c -> measure c | Rule -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad t.aligns.(i) widths.(i) c);
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  rule ();
+  line t.headers;
+  rule ();
+  List.iter (function Cells c -> line c | Rule -> rule ()) rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_f ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+let cell_pct v = Printf.sprintf "%.1f%%" (v *. 100.)
+let cell_speedup v = Printf.sprintf "%.2fx" v

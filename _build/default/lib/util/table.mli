@@ -1,0 +1,35 @@
+(** ASCII table rendering for the benchmark harness.
+
+    The paper's evaluation is a collection of tables and figure series; the
+    harness prints each as an aligned text table so runs can be diffed. *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create cols] starts a table with the given column headers and
+    alignments. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  @raise Invalid_argument if the arity differs from the
+    header. *)
+
+val add_rule : t -> unit
+(** Append a horizontal separator row. *)
+
+val render : t -> string
+(** Render with box-drawing rules and padded cells. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val cell_f : ?decimals:int -> float -> string
+(** Format a float for a cell ([decimals] defaults to 2). *)
+
+val cell_pct : float -> string
+(** Format a ratio as a percentage with one decimal, e.g. [0.413] ->
+    ["41.3%"]. *)
+
+val cell_speedup : float -> string
+(** Format a speedup, e.g. [1.352] -> ["1.35x"]. *)

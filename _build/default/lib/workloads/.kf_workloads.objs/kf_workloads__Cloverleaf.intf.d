@@ -1,0 +1,1 @@
+lib/workloads/cloverleaf.mli: Kf_ir

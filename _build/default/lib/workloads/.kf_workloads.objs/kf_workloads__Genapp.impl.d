@@ -1,0 +1,1 @@
+lib/workloads/genapp.ml: Access Array_info Float Grid Kernel Kf_graph Kf_ir Kf_util List Printf Program Stencil Suite

@@ -1,0 +1,1 @@
+lib/workloads/genapp.mli: Kf_ir

@@ -1,0 +1,1 @@
+lib/workloads/homme.ml: Access Array_info Grid Kernel Kf_ir Kf_util List Printf Program Stencil Suite

@@ -1,0 +1,1 @@
+lib/workloads/homme.mli: Kf_ir

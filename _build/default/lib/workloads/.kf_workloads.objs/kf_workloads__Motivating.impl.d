@@ -1,0 +1,1 @@
+lib/workloads/motivating.ml: Access Array_info Grid Kernel Kf_ir List Program Stencil

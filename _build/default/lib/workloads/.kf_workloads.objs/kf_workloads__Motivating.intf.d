@@ -1,0 +1,1 @@
+lib/workloads/motivating.mli: Kf_ir

@@ -1,0 +1,1 @@
+lib/workloads/scale_les.ml: Access Array_info Grid Kernel Kf_ir Kf_util List Printf Program Stencil

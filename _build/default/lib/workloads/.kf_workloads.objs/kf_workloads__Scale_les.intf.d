@@ -1,0 +1,1 @@
+lib/workloads/scale_les.mli: Kf_ir

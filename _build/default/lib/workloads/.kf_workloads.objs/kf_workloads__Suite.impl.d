@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Access Array Array_info Grid Kernel Kf_ir Kf_util List Printf Program Stencil

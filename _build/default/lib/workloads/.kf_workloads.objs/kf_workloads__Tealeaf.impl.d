@@ -1,0 +1,1 @@
+lib/workloads/tealeaf.ml: Access Array_info Grid Kernel Kf_ir List Printf Program Stencil

@@ -1,0 +1,1 @@
+lib/workloads/tealeaf.mli: Kf_ir

@@ -1,0 +1,29 @@
+type entry = { spec : Genapp.spec; paper_reducible : float }
+
+let entry name kernels arrays reducible ~seed ~expandable ~load ~flops =
+  {
+    spec =
+      {
+        Genapp.name;
+        kernels;
+        arrays;
+        reducible_target = reducible;
+        expandable;
+        avg_thread_load = load;
+        flops_scale = flops;
+        seed;
+      };
+    paper_reducible = reducible;
+  }
+
+(* Table I of the paper. *)
+let scale_les = entry "scale-les" 142 64 0.41 ~seed:11 ~expandable:6 ~load:5 ~flops:1.0
+let wrf = entry "wrf" 122 46 0.24 ~seed:12 ~expandable:5 ~load:5 ~flops:1.0
+let asuca = entry "asuca" 115 58 0.17 ~seed:13 ~expandable:4 ~load:5 ~flops:1.2
+let mitgcm = entry "mitgcm" 94 31 0.22 ~seed:14 ~expandable:3 ~load:5 ~flops:1.0
+let homme = entry "homme" 43 27 0.21 ~seed:15 ~expandable:2 ~load:4 ~flops:2.0
+let cosmo = entry "cosmo" 35 24 0.38 ~seed:16 ~expandable:2 ~load:5 ~flops:1.0
+
+let all = [ scale_les; wrf; asuca; mitgcm; homme; cosmo ]
+
+let program e = Genapp.calibrated e.spec

@@ -1,0 +1,25 @@
+(** The weather-application zoo of paper Table I.
+
+    Each entry reproduces the published static-analysis statistics —
+    kernel count, array count and reducible GMEM traffic — through the
+    calibrated synthetic generator.  SCALE-LES and HOMME additionally have
+    dedicated structured models ({!Scale_les}, {!Homme}); the entries here
+    are the uniform statistical versions used to regenerate Table I. *)
+
+type entry = {
+  spec : Genapp.spec;
+  paper_reducible : float;  (** Table I "Reducible Global Memory Traffic" *)
+}
+
+val scale_les : entry
+val wrf : entry
+val asuca : entry
+val mitgcm : entry
+val homme : entry
+val cosmo : entry
+
+val all : entry list
+(** In Table I row order. *)
+
+val program : entry -> Kf_ir.Program.t * float
+(** Calibrated program and its achieved reducible fraction. *)

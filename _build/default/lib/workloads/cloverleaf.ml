@@ -1,0 +1,119 @@
+open Kf_ir
+
+let kernel_names =
+  [
+    "ideal_gas"; "viscosity"; "calc_dt"; "pdv"; "accelerate"; "flux_calc_x"; "flux_calc_y";
+    "advec_cell_x"; "advec_mom_x"; "advec_cell_y"; "advec_mom_y"; "reset_field"; "update_halo";
+    "field_summary";
+  ]
+
+let array_names =
+  [
+    "density0"; "density1"; "energy0"; "energy1"; "pressure"; "viscosity"; "soundspeed";
+    "xvel0"; "xvel1"; "yvel0"; "yvel1"; "vol_flux_x"; "vol_flux_y"; "mass_flux_x";
+    "mass_flux_y"; "volume"; "xarea"; "yarea"; "work_array1";
+  ]
+
+let id name =
+  let rec go i = function
+    | [] -> invalid_arg ("Cloverleaf: unknown array " ^ name)
+    | n :: rest -> if n = name then i else go (i + 1) rest
+  in
+  go 0 array_names
+
+let acc name mode pattern flops = { Access.array = id name; mode; pattern; flops }
+let r name flops = acc name Access.Read Stencil.point flops
+let rs name pattern flops = acc name Access.Read pattern flops
+let w name = acc name Access.Write Stencil.point 0.
+let rw name pattern flops = acc name Access.ReadWrite pattern flops
+
+let program ?grid () =
+  let grid =
+    match grid with
+    | Some g -> g
+    | None -> Grid.make ~nx:960 ~ny:960 ~nz:1 ~block_x:32 ~block_y:8
+  in
+  let arrays = List.mapi (fun i name -> Array_info.make ~id:i ~name ()) array_names in
+  (* Ids are assigned by position after the list is built — computing them
+     with a side effect inside the list literal would depend on OCaml's
+     unspecified evaluation order. *)
+  let kernel name accesses ?(regs = 30) ?(extra = 0.) ?(active = 1.0) () id =
+    Kernel.make ~id ~name ~accesses ~registers_per_thread:regs ~extra_flops_per_site:extra
+      ~active_fraction:active ()
+  in
+  let kernels =
+    [
+      kernel "ideal_gas"
+        [ r "density0" 3.; r "energy0" 3.; w "pressure"; w "soundspeed" ]
+        ~regs:24 ~extra:4. ();
+      kernel "viscosity"
+        [
+          rs "xvel0" Stencil.star5 4.; rs "yvel0" Stencil.star5 4.; rs "pressure" Stencil.star5 3.;
+          r "density0" 2.; w "viscosity";
+        ]
+        ~regs:40 ~extra:8. ();
+      kernel "calc_dt"
+        [
+          r "soundspeed" 2.; r "viscosity" 2.; r "xvel0" 2.; r "yvel0" 2.; r "volume" 1.;
+          r "density0" 1.; w "work_array1";
+        ]
+        ~regs:32 ~extra:4. ();
+      kernel "pdv"
+        [
+          rs "xvel0" Stencil.asym_west_south 3.; rs "yvel0" Stencil.asym_west_south 3.;
+          r "volume" 1.; r "pressure" 2.; r "viscosity" 2.; r "density0" 1.; r "energy0" 1.;
+          w "density1"; w "energy1";
+        ]
+        ~regs:38 ~extra:6. ();
+      kernel "accelerate"
+        [
+          rs "density0" Stencil.asym_west_south 2.; rs "pressure" Stencil.asym_west_south 3.;
+          rs "viscosity" Stencil.asym_west_south 3.; r "volume" 1.; r "xarea" 1.; r "yarea" 1.;
+          rw "xvel0" Stencil.point 2.; rw "yvel0" Stencil.point 2.; w "xvel1"; w "yvel1";
+        ]
+        ~regs:42 ~extra:4. ();
+      kernel "flux_calc_x" [ r "xvel1" 2.; r "xarea" 1.; w "vol_flux_x" ] ~regs:20 ();
+      kernel "flux_calc_y" [ r "yvel1" 2.; r "yarea" 1.; w "vol_flux_y" ] ~regs:20 ();
+      kernel "advec_cell_x"
+        [
+          rw "density1" Stencil.star5 4.; rw "energy1" Stencil.star5 4.;
+          rs "vol_flux_x" Stencil.star5 3.; r "volume" 1.; w "mass_flux_x";
+        ]
+        ~regs:44 ~extra:6. ();
+      kernel "advec_mom_x"
+        [
+          rs "mass_flux_x" Stencil.star5 3.; rw "xvel1" Stencil.star5 4.; r "density1" 2.;
+          r "volume" 1.;
+        ]
+        ~regs:40 ~extra:4. ();
+      kernel "advec_cell_y"
+        [
+          rw "density1" Stencil.star5 4.; rw "energy1" Stencil.star5 4.;
+          rs "vol_flux_y" Stencil.star5 3.; r "volume" 1.; w "mass_flux_y";
+        ]
+        ~regs:44 ~extra:6. ();
+      kernel "advec_mom_y"
+        [
+          rs "mass_flux_y" Stencil.star5 3.; rw "yvel1" Stencil.star5 4.; r "density1" 2.;
+          r "volume" 1.;
+        ]
+        ~regs:40 ~extra:4. ();
+      kernel "reset_field"
+        [
+          r "density1" 0.; r "energy1" 0.; r "xvel1" 0.; r "yvel1" 0.; w "density0"; w "energy0";
+          w "xvel0"; w "yvel0";
+        ]
+        ~regs:18 ();
+      kernel "update_halo"
+        [ rw "density0" Stencil.point 1.; rw "energy0" Stencil.point 1.; rw "pressure" Stencil.point 1. ]
+        ~regs:16 ~active:0.25 ();
+      kernel "field_summary"
+        [
+          r "volume" 1.; r "density0" 2.; r "energy0" 2.; r "pressure" 2.; r "xvel0" 2.;
+          r "yvel0" 2.; w "work_array1";
+        ]
+        ~regs:28 ~extra:2. ();
+    ]
+  in
+  let kernels = List.mapi (fun id make -> make id) kernels in
+  Program.create ~name:"cloverleaf" ~grid ~arrays ~kernels

@@ -1,0 +1,14 @@
+(** CloverLeaf mini-app (paper §VI-B.1): the Lagrangian-Eulerian
+    hydrodynamics kernels the test suite is synthesized from.
+
+    [program] is a faithful IR transcription of one CloverLeaf timestep's
+    GPU kernels — ideal gas EOS, viscosity, dt reduction, PdV, momentum
+    acceleration, flux calculation, cell and momentum advection in both
+    sweep directions, field reset, halo update and field summary — over
+    the standard 962² cell problem. *)
+
+val program : ?grid:Kf_ir.Grid.t -> unit -> Kf_ir.Program.t
+(** Default grid: 960x960x1 (2-D hydro) with 32x8 blocks. *)
+
+val kernel_names : string list
+(** The 14 kernels, in invocation order. *)

@@ -1,0 +1,119 @@
+open Kf_ir
+module Rng = Kf_util.Rng
+
+type spec = {
+  name : string;
+  kernels : int;
+  arrays : int;
+  reducible_target : float;
+  expandable : int;
+  avg_thread_load : int;
+  flops_scale : float;
+  seed : int;
+}
+
+let default_grid = Grid.make ~nx:1280 ~ny:32 ~nz:32 ~block_x:32 ~block_y:8
+
+let generate ?(grid = default_grid) ~reuse_probability spec =
+  if spec.kernels < 2 || spec.arrays < 4 then invalid_arg "Genapp.generate: degenerate spec";
+  let p = Float.max 0.0 (Float.min 1.0 reuse_probability) in
+  let rng = Rng.create spec.seed in
+  let n = spec.kernels and m = spec.arrays in
+  let arrays = List.init m (fun i -> Array_info.make ~id:i ~name:(Printf.sprintf "%s_v%02d" spec.name i) ()) in
+  let acc array mode pattern flops = { Access.array; mode; pattern; flops } in
+  let load_stencil = Suite.stencil_of_load spec.avg_thread_load in
+  let light_stencil = Suite.stencil_of_load (max 1 (spec.avg_thread_load / 2)) in
+  (* Fresh-array introduction is paced so all m arrays appear: kernel i
+     introduces its quota as writes (producing data later kernels may
+     re-read) or first reads (boundary inputs). *)
+  let next_fresh = ref 0 in
+  let touched = ref [] in
+  let expandable_arrays = ref [] in
+  let fresh () =
+    if !next_fresh < m then begin
+      let a = !next_fresh in
+      incr next_fresh;
+      touched := a :: !touched;
+      Some a
+    end
+    else None
+  in
+  let reuse () = match !touched with [] -> None | l -> Some (Rng.choose_list rng l) in
+  let kernels =
+    List.init n (fun k ->
+        let quota = ((k + 1) * m / n) - (k * m / n) in
+        let introduced = List.filter_map (fun _ -> fresh ()) (List.init quota (fun i -> i)) in
+        (* Of the introduced arrays, the first becomes this kernel's write
+           target; the rest are first-touch reads. *)
+        let write_target, first_reads =
+          match introduced with
+          | [] -> (None, [])
+          | w :: rest -> (Some w, rest)
+        in
+        let n_read_slots = 2 + Rng.int rng 3 in
+        let reread_ids =
+          List.init n_read_slots (fun _ -> if Rng.chance rng p then reuse () else None)
+          |> List.filter_map (fun x -> x)
+          |> List.sort_uniq compare
+        in
+        let all_reads = List.sort_uniq compare (first_reads @ reread_ids) in
+        let all_reads = match write_target with
+          | Some w -> List.filter (( <> ) w) all_reads
+          | None -> all_reads
+        in
+        let read_accs =
+          List.map
+            (fun a ->
+              let pat = if Rng.chance rng 0.6 then load_stencil else light_stencil in
+              acc a Access.Read pat (spec.flops_scale *. (1. +. float_of_int (Rng.int rng 4))))
+            all_reads
+        in
+        let write_accs =
+          match write_target with
+          | Some w -> [ acc w Access.Write Stencil.point (spec.flops_scale *. 1.) ]
+          | None -> begin
+              (* Quota exhausted: overwrite an expandable flux array,
+                 creating a fresh writer generation. *)
+              match reuse () with
+              | Some a when not (List.mem a all_reads) ->
+                  if List.length !expandable_arrays < spec.expandable then
+                    expandable_arrays := a :: !expandable_arrays;
+                  [ acc a Access.Write Stencil.point (spec.flops_scale *. 1.) ]
+              | _ -> []
+            end
+        in
+        let accesses = read_accs @ write_accs in
+        let accesses =
+          if accesses = [] then [ acc 0 Access.Read Stencil.point 1. ] else accesses
+        in
+        Kernel.make ~id:k
+          ~name:(Printf.sprintf "%s_k%03d" spec.name k)
+          ~accesses
+          ~extra_flops_per_site:(spec.flops_scale *. (2. +. float_of_int (Rng.int rng 5)))
+          ~registers_per_thread:(26 + Rng.int rng 18)
+          ())
+  in
+  Program.create ~name:spec.name ~grid ~arrays ~kernels
+
+let reducible ?grid ~reuse_probability spec =
+  let p = generate ?grid ~reuse_probability spec in
+  let dd = Kf_graph.Datadep.build p in
+  let exec = Kf_graph.Exec_order.build dd in
+  let report = Kf_graph.Traffic.analyze exec in
+  (p, report.Kf_graph.Traffic.reducible_fraction)
+
+let calibrated ?grid spec =
+  let lo = ref 0.0 and hi = ref 1.0 in
+  let best = ref None in
+  for _ = 1 to 14 do
+    let mid = (!lo +. !hi) /. 2. in
+    let p, frac = reducible ?grid ~reuse_probability:mid spec in
+    let err = Float.abs (frac -. spec.reducible_target) in
+    (match !best with
+    | Some (_, _, e) when e <= err -> ()
+    | _ -> best := Some (p, frac, err));
+    if frac < spec.reducible_target then lo := mid else hi := mid
+  done;
+  match !best with
+  | Some (p, frac, _) -> (p, frac)
+  | None -> assert false

@@ -1,0 +1,33 @@
+(** Generic synthetic-application generator with traffic calibration.
+
+    The real weather codes of paper Table I are proprietary or too large
+    to transcribe; what the fusion problem actually sees of them is their
+    dependency-graph statistics — kernel count, array count, and the
+    fraction of GMEM traffic that is reducible.  This generator produces a
+    program with exactly the requested kernel and array counts and then
+    calibrates its read-reuse probability (by bisection against
+    {!Kf_graph.Traffic.analyze}) until the reducible fraction matches the
+    published number. *)
+
+type spec = {
+  name : string;
+  kernels : int;
+  arrays : int;
+  reducible_target : float;  (** e.g. 0.41 for SCALE-LES *)
+  expandable : int;  (** number of QFLX-style expandable arrays to weave in *)
+  avg_thread_load : int;  (** stencil size of reuse-bearing reads *)
+  flops_scale : float;
+      (** multiplies per-access flops — spectral-element codes (HOMME) are
+          hotter than finite-difference ones *)
+  seed : int;
+}
+
+val generate : ?grid:Kf_ir.Grid.t -> reuse_probability:float -> spec -> Kf_ir.Program.t
+(** One uncalibrated instance: each read slot re-reads an already-touched
+    array with the given probability. *)
+
+val calibrated : ?grid:Kf_ir.Grid.t -> spec -> Kf_ir.Program.t * float
+(** Bisect [reuse_probability] until the relaxed order-of-execution
+    traffic analysis reports a reducible fraction within 1.5 points of
+    target (or the bracket is exhausted).  Returns the program and its
+    achieved reducible fraction. *)

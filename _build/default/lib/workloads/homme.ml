@@ -1,0 +1,132 @@
+open Kf_ir
+module Rng = Kf_util.Rng
+
+(* 4x26x101 elements/levels/columns maps onto a 416x104x26-site sweep with
+   16x16 element-local blocks. *)
+let default_grid = Grid.make ~nx:416 ~ny:104 ~nz:26 ~block_x:16 ~block_y:16
+
+let core_array_names =
+  [
+    "v_u"; "v_v"; (* horizontal velocity *)
+    "dp3d"; "T"; "phi"; (* pressure thickness, temperature, geopotential *)
+    "grad_u"; "grad_v"; "div"; "vort"; (* derivatives *)
+    "Dinv"; "metdet"; (* read-only element metrics *)
+    "t_u"; "t_v"; "t_T"; (* tendencies *)
+  ]
+
+let core_id name =
+  let rec go i = function
+    | [] -> raise Not_found
+    | n :: rest -> if n = name then i else go (i + 1) rest
+  in
+  go 0 core_array_names
+
+(* Spectral-element derivative kernels: dense per-element work (high
+   flops), modest 4-point thread loads from the derivative-matrix rows. *)
+let core_kernels aid =
+  let acc array mode pattern flops = { Access.array = aid array; mode; pattern; flops } in
+  let r name f = acc name Access.Read Stencil.point f in
+  let rs name p f = acc name Access.Read p f in
+  let w name = acc name Access.Write Stencil.point 0. in
+  let rw name f = acc name Access.ReadWrite Stencil.point f in
+  let dmat = Suite.stencil_of_load 4 in
+  let make i name accesses regs =
+    Kernel.make ~id:i ~name ~accesses ~registers_per_thread:regs ~extra_flops_per_site:26. ()
+  in
+  [
+    make 0 "grad_sphere_u" [ rs "v_u" dmat 8.; r "Dinv" 2.; w "grad_u" ] 40;
+    make 1 "grad_sphere_v" [ rs "v_v" dmat 8.; r "Dinv" 2.; w "grad_v" ] 40;
+    make 2 "divergence" [ rs "grad_u" dmat 6.; rs "grad_v" dmat 6.; r "metdet" 2.; w "div" ] 44;
+    make 3 "vorticity" [ rs "grad_u" dmat 6.; rs "grad_v" dmat 6.; r "metdet" 2.; w "vort" ] 44;
+    make 4 "pressure_grad" [ rs "dp3d" dmat 5.; rs "phi" dmat 5.; w "t_u"; w "t_v" ] 42;
+    make 5 "coriolis" [ r "v_u" 3.; r "v_v" 3.; r "vort" 2.; rw "t_u" 2.; rw "t_v" 2. ] 36;
+    make 6 "t_advection" [ rs "T" dmat 6.; r "v_u" 2.; r "v_v" 2.; w "t_T" ] 40;
+    make 7 "omega_p" [ r "div" 3.; r "dp3d" 3.; rw "phi" 4. ] 32;
+    make 8 "update_v" [ r "t_u" 1.; r "t_v" 1.; rw "v_u" 2.; rw "v_v" 2. ] 26;
+    make 9 "update_T" [ r "t_T" 1.; rw "T" 2. ] 22;
+    make 10 "update_dp3d" [ r "div" 2.; rw "dp3d" 2. ] 22;
+    make 11 "hypervis" [ rs "v_u" dmat 7.; rs "v_v" dmat 7.; rs "T" dmat 7.; rw "t_u" 1.; rw "t_v" 1.; rw "t_T" 1. ] 52;
+  ]
+
+let extension_reuse = 0.12
+
+let program ?(grid = default_grid) () =
+  let n_total = 43 and m_total = 27 in
+  let core_k = core_kernels core_id in
+  let n_core = List.length core_k and m_core = List.length core_array_names in
+  let rng = Rng.create 20140602 in
+  let n_ext = n_total - n_core and m_ext = m_total - m_core in
+  let ext_names = List.init m_ext (fun i -> Printf.sprintf "q%02d" i) in
+  let arrays =
+    List.mapi (fun id name -> Array_info.make ~id ~name ()) (core_array_names @ ext_names)
+  in
+  let state = List.map core_id [ "v_u"; "v_v"; "dp3d" ] in
+  let acc array mode pattern flops = { Access.array; mode; pattern; flops } in
+  let dmat = Suite.stencil_of_load 4 in
+  let next_fresh = ref m_core in
+  let touched = ref [] in
+  (* Tracer advection: each tracer gets an advect + limiter pair reading
+     the velocity state; extra coupling kernels re-read earlier tracers. *)
+  let ext_kernels =
+    List.init n_ext (fun j ->
+        let k = n_core + j in
+        let quota = ((j + 1) * m_ext / n_ext) - (j * m_ext / n_ext) in
+        let introduced =
+          List.filter_map
+            (fun _ ->
+              if !next_fresh < m_total then begin
+                let a = !next_fresh in
+                incr next_fresh;
+                touched := a :: !touched;
+                Some a
+              end
+              else None)
+            (List.init quota (fun i -> i))
+        in
+        let write_target, first_reads =
+          match introduced with [] -> (None, []) | wt :: rest -> (Some wt, rest)
+        in
+        let rereads =
+          List.init 2 (fun _ ->
+              if Rng.chance rng extension_reuse then begin
+                match !touched with [] -> None | l -> Some (Rng.choose_list rng l)
+              end
+              else None)
+          |> List.filter_map (fun x -> x)
+        in
+        let state_reads = if Rng.chance rng 0.3 then [ Rng.choose_list rng state ] else [] in
+        let shared_reads =
+          List.sort_uniq compare (rereads @ state_reads)
+          |> List.filter (fun a -> Some a <> write_target)
+        in
+        let fresh_reads =
+          List.filter (fun a -> Some a <> write_target && not (List.mem a shared_reads)) first_reads
+        in
+        let read_accs =
+          List.map
+            (fun a -> acc a Access.Read dmat (6. +. float_of_int (Rng.int rng 10)))
+            shared_reads
+          @ List.map
+              (fun a -> acc a Access.Read Stencil.point (5. +. float_of_int (Rng.int rng 8)))
+              fresh_reads
+        in
+        let reads = shared_reads @ fresh_reads in
+        let write_accs =
+          match write_target with
+          | Some wt -> [ acc wt Access.Write Stencil.point 2. ]
+          | None -> begin
+              match List.filter (fun a -> a >= m_core && not (List.mem a reads)) !touched with
+              | [] -> []
+              | l -> [ acc (Rng.choose_list rng l) Access.Write Stencil.point 2. ]
+            end
+        in
+        let accesses = read_accs @ write_accs in
+        let accesses = if accesses = [] then [ acc 0 Access.Read Stencil.point 1. ] else accesses in
+        Kernel.make ~id:k
+          ~name:(Printf.sprintf "tracer_k%02d" k)
+          ~accesses
+          ~extra_flops_per_site:(18. +. float_of_int (Rng.int rng 14))
+          ~registers_per_thread:(30 + Rng.int rng 20)
+          ())
+  in
+  Program.create ~name:"homme" ~grid ~arrays ~kernels:(core_k @ ext_kernels)

@@ -1,0 +1,15 @@
+(** Synthetic CAM-HOMME dynamical core (paper §VI-B.2).
+
+    HOMME discretizes with spectral elements (continuous Galerkin), so its
+    kernels are hotter in flops and lighter in stencil reuse than the
+    finite-difference codes: derivative-matrix products over element
+    tensors rather than neighborhood stencils.  The model has a
+    handcrafted 12-kernel gradient/divergence/vorticity core plus a
+    generated tracer-advection extension, totalling the published 43
+    kernels over 27 arrays with roughly 21% reducible traffic.
+
+    The paper's problem size for HOMME is 4x26x101 (elements x levels x
+    columns); the default grid matches its thread-block workload. *)
+
+val program : ?grid:Kf_ir.Grid.t -> unit -> Kf_ir.Program.t
+(** The full 43-kernel model. *)

@@ -1,0 +1,115 @@
+open Kf_ir
+
+(* Array ids in declaration order. *)
+let a_A = 0
+let a_B = 1
+let a_C = 2
+let a_D = 3
+let a_Mx = 4
+let a_Mn = 5
+let a_R = 6
+let a_T = 7
+let a_Q = 8
+let a_P = 9
+let a_V = 10
+let a_U = 11
+let a_W = 12
+let a_C1 = 13
+let a_C2 = 14
+let a_D1 = 15
+let a_D2 = 16
+let a_E1 = 17
+
+let kernel_a = 0
+let kernel_b = 1
+let kernel_c = 2
+let kernel_d = 3
+let kernel_e = 4
+
+let acc array mode pattern flops = { Access.array; mode; pattern; flops }
+
+(* 3-point backward pattern of listings 3-5: (0,0), (-1,0), (0,-1). *)
+let asym3 =
+  Stencil.make
+    [ { Stencil.di = 0; dj = 0; dk = 0 }; { di = -1; dj = 0; dk = 0 }; { di = 0; dj = -1; dk = 0 } ]
+
+(* 2-point west pattern of W = min(V[i-1], V). *)
+let west2 = Stencil.make [ { Stencil.di = 0; dj = 0; dk = 0 }; { di = -1; dj = 0; dk = 0 } ]
+
+let program ?grid () =
+  let grid =
+    match grid with
+    | Some g -> g
+    | None -> Grid.make ~nx:512 ~ny:256 ~nz:32 ~block_x:32 ~block_y:16
+  in
+  let names =
+    [
+      "A"; "B"; "C"; "D"; "Mx"; "Mn"; "R"; "T"; "Q"; "P"; "V"; "U"; "W"; "C1"; "C2"; "D1"; "D2";
+      "E1";
+    ]
+  in
+  let arrays = List.mapi (fun id name -> Array_info.make ~id ~name ()) names in
+  let kernels =
+    [
+      (* Listing 1: A = B + C;  D = dtr*(A + A[i-1] + A[j-1] + A[i-1,j-1]) *)
+      Kernel.make ~id:kernel_a ~name:"Kern_A"
+        ~accesses:
+          [
+            acc a_A Access.ReadWrite Stencil.asym_west_south 1.;
+            acc a_B Access.Read Stencil.point 1.;
+            acc a_C Access.Read Stencil.point 0.;
+            acc a_D Access.Write Stencil.point 4.;
+          ]
+        ~registers_per_thread:28 ();
+      (* Listing 2: Mx, Mn from backward differences of A. *)
+      Kernel.make ~id:kernel_b ~name:"Kern_B"
+        ~accesses:
+          [
+            acc a_A Access.Read Stencil.asym_west_south 6.;
+            acc a_Mx Access.Write Stencil.point 3.;
+            acc a_Mn Access.Write Stencil.point 3.;
+          ]
+        ~registers_per_thread:30 ();
+      (* Listing 3: R = T[i-1]+T+T[j-1];  W = min(V[i-1], V); plus the
+         kernel's private coefficient arrays. *)
+      Kernel.make ~id:kernel_c ~name:"Kern_C"
+        ~accesses:
+          [
+            acc a_R Access.Write Stencil.point 2.;
+            acc a_T Access.Read asym3 1.;
+            acc a_V Access.Read west2 1.;
+            acc a_W Access.Write Stencil.point 1.;
+            acc a_C1 Access.Read Stencil.point 1.;
+            acc a_C2 Access.Read Stencil.point 1.;
+          ]
+        ~registers_per_thread:40 ();
+      (* Listing 4: P from products and quotients of Q's neighborhood. *)
+      Kernel.make ~id:kernel_d ~name:"Kern_D"
+        ~accesses:
+          [
+            acc a_P Access.Write Stencil.point 2.;
+            acc a_Q Access.Read asym3 5.;
+            acc a_D1 Access.Read Stencil.point 1.;
+            acc a_D2 Access.Read Stencil.point 1.;
+          ]
+        ~registers_per_thread:38 ();
+      (* Listing 5: U combines T, Q and V neighborhoods, seeded by the
+         smoothed field R that Kern_C produced — the flow dependency that
+         makes fusing C with E a complex fusion needing a halo layer. *)
+      Kernel.make ~id:kernel_e ~name:"Kern_E"
+        ~accesses:
+          [
+            acc a_T Access.Read asym3 3.;
+            acc a_Q Access.Read asym3 3.;
+            acc a_V Access.Read west2 2.;
+            acc a_R Access.Read (Stencil.star_radius 2) 2.;
+            acc a_U Access.Write Stencil.point 1.;
+            acc a_E1 Access.Read Stencil.point 1.;
+          ]
+        ~registers_per_thread:46 ();
+    ]
+  in
+  Program.create ~name:"motivating" ~grid ~arrays ~kernels
+
+let fusion_x = [ kernel_a; kernel_b ]
+let fusion_y = [ kernel_c; kernel_d; kernel_e ]

@@ -1,0 +1,24 @@
+(** The paper's motivating example (Fig. 3): five CUDA kernels A-E over
+    3-D arrays, with the two fusions discussed in §II-D and §IV-B —
+    Kernel X = A+B (complex fusion with one halo layer) and Kernel
+    Y = C+D+E (simple fusion of three kernels staging three arrays, the
+    case where naive models over-promise and the measured runtime
+    degrades). *)
+
+val program : ?grid:Kf_ir.Grid.t -> unit -> Kf_ir.Program.t
+(** Kernels A, B, C, D, E in invocation order over arrays
+    A B C D Mx Mn R T Q P V U W.  Default grid: 512x256x32 with 16x16
+    blocks (the paper's micro-benchmark scale). *)
+
+val kernel_a : int
+val kernel_b : int
+val kernel_c : int
+val kernel_d : int
+val kernel_e : int
+(** Kernel ids within {!program}. *)
+
+val fusion_x : int list
+(** The A+B group of Fig. 3's Kernel X. *)
+
+val fusion_y : int list
+(** The C+D+E group of Fig. 3's Kernel Y. *)

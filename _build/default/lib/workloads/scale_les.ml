@@ -1,0 +1,160 @@
+open Kf_ir
+module Rng = Kf_util.Rng
+
+let default_grid = Grid.make ~nx:1280 ~ny:32 ~nz:32 ~block_x:32 ~block_y:8
+
+let core_array_names =
+  [
+    "DENS"; "MOMZ"; "MOMX"; "MOMY"; "RHOT"; (* prognostics *)
+    "QFLX"; (* expandable flux *)
+    "DDIV"; "Sw"; "Su"; "Sv"; "St"; (* divergence and source terms *)
+    "CZ"; "RCDZ"; (* read-only vertical metrics *)
+    "t_DENS"; "t_MOMZ"; "t_MOMX"; "t_MOMY"; "t_RHOT"; (* tendencies *)
+    "Pu"; "Pv"; "Pt"; (* pressure-gradient work arrays *)
+  ]
+
+let core_id name =
+  let rec go i = function
+    | [] -> raise Not_found
+    | n :: rest -> if n = name then i else go (i + 1) rest
+  in
+  go 0 core_array_names
+
+let qflx (p : Program.t) =
+  let n = Program.num_arrays p in
+  let rec go i =
+    if i >= n then raise Not_found
+    else if (Program.array p i).Array_info.name = "QFLX" then i
+    else go (i + 1)
+  in
+  go 0
+
+(* The 18 RK kernels of Fig. 1/2.  [aid] resolves names against the final
+   array table, which for the core program is [core_array_names]. *)
+let core_kernels aid =
+  let acc name mode pattern flops = { Access.array = aid name; mode; pattern; flops } in
+  let r name f = acc name Access.Read Stencil.point f in
+  let rs name p f = acc name Access.Read p f in
+  let w name = acc name Access.Write Stencil.point 0. in
+  let rw name f = acc name Access.ReadWrite Stencil.point f in
+  let v3 = Stencil.cross3_vertical in
+  let s5 = Stencil.star5 in
+  let make i name accesses regs =
+    Kernel.make ~id:i ~name ~accesses ~registers_per_thread:regs ~extra_flops_per_site:3. ()
+  in
+  [
+    make 0 "rk_ddiv" [ rs "MOMX" s5 2.; rs "MOMY" s5 2.; rs "MOMZ" v3 2.; r "RCDZ" 1.; w "DDIV" ] 36;
+    make 1 "rk_src_w" [ r "DENS" 2.; r "MOMZ" 2.; r "CZ" 1.; w "Sw" ] 24;
+    make 2 "rk_src_u" [ r "DENS" 2.; r "MOMX" 2.; w "Su" ] 22;
+    make 3 "rk_src_v" [ r "DENS" 2.; r "MOMY" 2.; w "Sv" ] 22;
+    make 4 "rk_src_t" [ r "DENS" 2.; r "RHOT" 2.; w "St" ] 22;
+    make 5 "rk_numdiff_rho" [ rs "DENS" s5 4.; r "CZ" 1.; w "t_DENS" ] 32;
+    make 6 "rk_flux_w" [ rs "MOMZ" s5 4.; r "Sw" 1.; r "DDIV" 2.; w "t_MOMZ" ] 36;
+    make 7 "rk_qflx_x" [ rs "MOMX" s5 4.; r "Su" 1.; r "DDIV" 2.; w "QFLX" ] 36;
+    make 8 "rk_pgrad_u" [ rs "RHOT" s5 3.; r "DENS" 1.; w "Pu" ] 30;
+    make 9 "rk_tend_u" [ rs "QFLX" s5 4.; r "Pu" 1.; w "t_MOMX" ] 34;
+    make 10 "rk_pgrad_v" [ rs "RHOT" s5 3.; r "DENS" 1.; w "Pv" ] 30;
+    make 11 "rk_qflx_y" [ rs "MOMY" s5 4.; r "Sv" 1.; r "DDIV" 2.; w "QFLX" ] 36;
+    make 12 "rk_numdiff_t" [ rs "RHOT" s5 3.; r "CZ" 1.; w "Pt" ] 30;
+    make 13 "rk_tend_v" [ rs "QFLX" s5 4.; r "Pv" 1.; w "t_MOMY" ] 34;
+    make 14 "rk_tend_t" [ rs "RHOT" s5 2.; r "St" 1.; r "Pt" 1.; w "t_RHOT" ] 32;
+    make 15 "rk_update_rho" [ r "t_DENS" 1.; rw "DENS" 2. ] 20;
+    make 16 "rk_update_mom"
+      [ r "t_MOMZ" 1.; r "t_MOMX" 1.; r "t_MOMY" 1.; rw "MOMZ" 1.; rw "MOMX" 1.; rw "MOMY" 1. ]
+      28;
+    make 17 "rk_update_t" [ r "t_RHOT" 1.; r "DENS" 1.; rw "RHOT" 2. ] 22;
+  ]
+
+let rk_core ?(grid = default_grid) () =
+  let arrays = List.mapi (fun id name -> Array_info.make ~id ~name ()) core_array_names in
+  Program.create ~name:"scale-les-rk" ~grid ~arrays ~kernels:(core_kernels core_id)
+
+(* Extension sections: each models a physics package of SCALE-LES — a run
+   of kernels over the section's own arrays, coupled to the dynamics by
+   reading prognostic variables.  The reuse probability is tuned so the
+   full model's reducible-traffic fraction lands near the published 41%. *)
+let extension_reuse = 0.34
+
+let program ?(grid = default_grid) () =
+  let n_total = 142 and m_total = 64 in
+  let core_k = core_kernels core_id in
+  let n_core = List.length core_k and m_core = List.length core_array_names in
+  let rng = Rng.create 20140601 in
+  let n_ext = n_total - n_core and m_ext = m_total - m_core in
+  let ext_names = List.init m_ext (fun i -> Printf.sprintf "phy%02d" i) in
+  let arrays =
+    List.mapi (fun id name -> Array_info.make ~id ~name ()) (core_array_names @ ext_names)
+  in
+  let prognostics = List.map core_id [ "DENS"; "MOMZ"; "MOMX"; "MOMY"; "RHOT" ] in
+  let acc array mode pattern flops = { Access.array; mode; pattern; flops } in
+  let s5 = Stencil.star5 in
+  let next_fresh = ref m_core in
+  let touched = ref [] in
+  let ext_kernels =
+    List.init n_ext (fun j ->
+        let k = n_core + j in
+        let quota = ((j + 1) * m_ext / n_ext) - (j * m_ext / n_ext) in
+        let introduced =
+          List.filter_map
+            (fun _ ->
+              if !next_fresh < m_total then begin
+                let a = !next_fresh in
+                incr next_fresh;
+                touched := a :: !touched;
+                Some a
+              end
+              else None)
+            (List.init quota (fun i -> i))
+        in
+        let write_target, first_reads =
+          match introduced with [] -> (None, []) | wt :: rest -> (Some wt, rest)
+        in
+        let rereads =
+          List.init (2 + Rng.int rng 3) (fun _ ->
+              if Rng.chance rng extension_reuse then begin
+                match !touched with [] -> None | l -> Some (Rng.choose_list rng l)
+              end
+              else None)
+          |> List.filter_map (fun x -> x)
+        in
+        let prog_reads = if Rng.chance rng 0.3 then [ Rng.choose_list rng prognostics ] else [] in
+        let shared_reads =
+          List.sort_uniq compare (rereads @ prog_reads)
+          |> List.filter (fun a -> Some a <> write_target)
+        in
+        let fresh_reads =
+          List.filter (fun a -> Some a <> write_target && not (List.mem a shared_reads)) first_reads
+        in
+        (* Re-read (shared) arrays carry the stencil neighborhoods — the
+           reuse the fusion exploits through SMEM; first-touch inputs are
+           streamed point reads. *)
+        let read_accs =
+          List.map
+            (fun a -> acc a Access.Read s5 (1. +. float_of_int (Rng.int rng 4)))
+            shared_reads
+          @ List.map
+              (fun a -> acc a Access.Read Stencil.point (1. +. float_of_int (Rng.int rng 3)))
+              fresh_reads
+        in
+        let reads = shared_reads @ fresh_reads in
+        let write_accs =
+          match write_target with
+          | Some wt -> [ acc wt Access.Write Stencil.point 1. ]
+          | None -> begin
+              (* Recycle an extension array as a fresh writer generation
+                 (expandable pattern). *)
+              match List.filter (fun a -> a >= m_core && not (List.mem a reads)) !touched with
+              | [] -> []
+              | l -> [ acc (Rng.choose_list rng l) Access.Write Stencil.point 1. ]
+            end
+        in
+        let accesses = read_accs @ write_accs in
+        let accesses = if accesses = [] then [ acc 0 Access.Read Stencil.point 1. ] else accesses in
+        Kernel.make ~id:k
+          ~name:(Printf.sprintf "phy_k%03d" k)
+          ~accesses
+          ~extra_flops_per_site:(2. +. float_of_int (Rng.int rng 5))
+          ~registers_per_thread:(24 + Rng.int rng 20)
+          ())
+  in
+  Program.create ~name:"scale-les" ~grid ~arrays ~kernels:(core_k @ ext_kernels)

@@ -1,0 +1,25 @@
+(** Synthetic SCALE-LES dynamical core (paper §VI-B.2, Figs. 1-2).
+
+    The model has two parts:
+    - a handcrafted 18-kernel 3rd-order Runge-Kutta section that mirrors
+      the dependency structure of paper Fig. 1 — prognostic arrays
+      (DENS, MOMZ, MOMX, MOMY, RHOT) read by source-term and flux
+      kernels, the expandable QFLX array written by K_8 and K_12 and read
+      by K_10 and K_14, metric arrays (CZ, RCDZ) read-only everywhere,
+      and tendency arrays flowing into the RK update kernels;
+    - a generated extension (physics/turbulence/microphysics-style
+      sections) bringing the totals to the published 142 kernels over 64
+      arrays with roughly 41% reducible GMEM traffic.
+
+    The paper's problem size for SCALE-LES is 1280x32x32. *)
+
+val rk_core : ?grid:Kf_ir.Grid.t -> unit -> Kf_ir.Program.t
+(** Just the 18-kernel RK section (the paper's Fig. 1/2 motivating
+    routine). *)
+
+val program : ?grid:Kf_ir.Grid.t -> unit -> Kf_ir.Program.t
+(** The full 142-kernel model. *)
+
+val qflx : Kf_ir.Program.t -> int
+(** Array id of QFLX within a program built by this module (for tests of
+    the expandable-array machinery).  @raise Not_found if absent. *)

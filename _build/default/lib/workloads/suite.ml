@@ -1,0 +1,170 @@
+open Kf_ir
+module Rng = Kf_util.Rng
+
+type config = {
+  kernels : int;
+  arrays : int;
+  data_copies : int;
+  sharing_set : int;
+  thread_load : int;
+  kinship : int;
+  seed : int;
+}
+
+let default =
+  { kernels = 30; arrays = 60; data_copies = 4; sharing_set = 4; thread_load = 8; kinship = 2; seed = 1 }
+
+let sweep lo hi step =
+  let rec go v acc = if v > hi then List.rev acc else go (v + step) (v :: acc) in
+  go lo []
+
+let table5_axis = function
+  | `Kernels -> sweep 10 100 10
+  | `Arrays -> sweep 20 200 20
+  | `Copies -> sweep 2 10 2
+  | `Sharing -> sweep 2 8 2
+  | `Load -> sweep 4 12 4
+  | `Kinship -> sweep 2 5 1
+
+let stencil_of_load n =
+  try Stencil.spiral n
+  with Invalid_argument _ -> invalid_arg "Suite.stencil_of_load: load out of [1,25]"
+
+let name_of c =
+  Printf.sprintf "suite-k%d-a%d-c%d-s%d-l%d-kin%d" c.kernels c.arrays c.data_copies c.sharing_set
+    c.thread_load c.kinship
+
+let generate c =
+  if c.kernels < 2 then invalid_arg "Suite.generate: at least two kernels";
+  if c.arrays < 4 then invalid_arg "Suite.generate: at least four arrays";
+  if c.sharing_set < 2 then invalid_arg "Suite.generate: sharing set below 2";
+  if c.data_copies < 0 then invalid_arg "Suite.generate: negative data copies";
+  let rng = Rng.create (c.seed + (1000003 * c.kernels) + (913 * c.arrays)) in
+  let n = c.kernels and m = c.arrays in
+  let grid = Grid.make ~nx:512 ~ny:256 ~nz:16 ~block_x:32 ~block_y:8 in
+  (* Array pool layout: shared state arrays carry the sharing sets, flux
+     arrays carry the expandable write generations, output arrays absorb
+     the remaining writes. *)
+  let dc = min c.data_copies (max 0 ((m / 4) - 1)) in
+  let n_shared = max 2 (m * 3 / 5) in
+  let n_out = m - n_shared - dc in
+  let shared_base = 0 in
+  let flux_base = n_shared in
+  let out_base = n_shared + dc in
+  let arrays = List.init m (fun i ->
+      let name =
+        if i < n_shared then Printf.sprintf "state%02d" i
+        else if i < out_base then Printf.sprintf "flux%02d" (i - flux_base)
+        else Printf.sprintf "out%02d" (i - out_base)
+      in
+      Array_info.make ~id:i ~name ())
+  in
+  (* Sharing sets: each shared array is read by a run of [sharing_set]
+     kernels; run starts drift by [kinship], stretching kinship chains. *)
+  let reads = Array.make n [] in
+  for j = 0 to n_shared - 1 do
+    let start = j * c.kinship mod n in
+    for d = 0 to c.sharing_set - 1 do
+      let k = (start + d) mod n in
+      reads.(k) <- (shared_base + j) :: reads.(k)
+    done
+  done;
+  (* Flux arrays: write -> read -> write -> read chains (the expandable
+     pattern); generations spaced across the kernel sequence. *)
+  let flux_writes = Array.make n [] in
+  let flux_reads = Array.make n [] in
+  for j = 0 to dc - 1 do
+    let generations = 2 + Rng.int rng 2 in
+    let spacing = max 2 (n / (2 * generations)) in
+    let start = Rng.int rng (max 1 (n - (2 * generations * spacing))) in
+    for g = 0 to generations - 1 do
+      let wk = min (n - 2) (start + (2 * g * spacing)) in
+      let rk = min (n - 1) (wk + spacing) in
+      if rk > wk then begin
+        flux_writes.(wk) <- (flux_base + j) :: flux_writes.(wk);
+        flux_reads.(rk) <- (flux_base + j) :: flux_reads.(rk)
+      end
+    done
+  done;
+  let acc array mode pattern flops = { Access.array; mode; pattern; flops } in
+  let main_stencil = stencil_of_load c.thread_load in
+  let flux_stencil = stencil_of_load (max 1 (c.thread_load / 2)) in
+  let kernels =
+    List.init n (fun k ->
+        (* The thread-load attribute applies to the field-like shared
+           arrays (one in three of the pool); the rest are read as
+           coefficient-style point inputs, as in the CloverLeaf kernels.
+           Keying the choice on the array keeps every reader of a field
+           consistent, so sharing-set growth grows staged reuse. *)
+        let shared_reads =
+          List.map
+            (fun a ->
+              let pattern = if a mod 3 = 0 then main_stencil else Stencil.point in
+              acc a Access.Read pattern (1. +. float_of_int (Rng.int rng 4)))
+            (List.sort_uniq compare reads.(k))
+        in
+        let f_reads =
+          List.map
+            (fun a -> acc a Access.Read flux_stencil (1. +. float_of_int (Rng.int rng 3)))
+            (List.sort_uniq compare flux_reads.(k))
+        in
+        let f_writes =
+          List.filter_map
+            (fun a ->
+              (* A kernel both reading and writing the same flux array in
+                 one generation folds into a ReadWrite access; the split
+                 construction avoids duplicates instead. *)
+              if List.mem a flux_reads.(k) then None
+              else Some (acc a Access.Write Stencil.point 0.))
+            (List.sort_uniq compare flux_writes.(k))
+        in
+        let out_write =
+          if n_out > 0 then [ acc (out_base + (k mod n_out)) Access.Write Stencil.point 1. ]
+          else []
+        in
+        let accesses = shared_reads @ f_reads @ f_writes @ out_write in
+        let accesses =
+          if accesses = [] then [ acc (out_base + (k mod max 1 n_out)) Access.Write Stencil.point 1. ]
+          else accesses
+        in
+        Kernel.make ~id:k
+          ~name:(Printf.sprintf "k%02d" k)
+          ~accesses
+          ~extra_flops_per_site:(2. +. float_of_int (Rng.int rng 6))
+          ~registers_per_thread:(24 + Rng.int rng 20)
+          ~active_fraction:(if Rng.chance rng 0.1 then 0.75 else 1.0)
+          ())
+  in
+  (* Arrays no kernel ended up touching (possible when n_out = 0 or sharing
+     runs alias) are filtered out, re-indexing accesses. *)
+  let touched = Array.make m false in
+  List.iter
+    (fun kern -> List.iter (fun (a : Access.t) -> touched.(a.Access.array) <- true) kern.Kernel.accesses)
+    kernels;
+  let remap = Array.make m (-1) in
+  let next = ref 0 in
+  Array.iteri
+    (fun i t ->
+      if t then begin
+        remap.(i) <- !next;
+        incr next
+      end)
+    touched;
+  let arrays =
+    List.filteri (fun i _ -> touched.(i)) arrays
+    |> List.mapi (fun i (a : Array_info.t) -> Array_info.make ~id:i ~name:a.Array_info.name ())
+  in
+  let kernels =
+    List.map
+      (fun (kern : Kernel.t) ->
+        Kernel.make ~id:kern.Kernel.id ~name:kern.Kernel.name
+          ~accesses:
+            (List.map
+               (fun (a : Access.t) -> { a with Access.array = remap.(a.Access.array) })
+               kern.Kernel.accesses)
+          ~extra_flops_per_site:kern.Kernel.extra_flops_per_site
+          ~registers_per_thread:kern.Kernel.registers_per_thread
+          ~active_fraction:kern.Kernel.active_fraction ())
+      kernels
+  in
+  Program.create ~name:(name_of c) ~grid ~arrays ~kernels

@@ -1,0 +1,47 @@
+(** Test-suite generator (paper Table V).
+
+    The paper builds a controlled benchmark suite from CloverLeaf's
+    kernels by sweeping six attributes; this generator synthesizes a
+    program for any point of that grid.  The attributes map to generator
+    mechanics as follows:
+
+    - {b kernels}, {b arrays}: sizes of the kernel sequence and array
+      pool — more kernels widen the search space, more arrays multiply
+      sharing sets.
+    - {b data_copies}: number of flux-style arrays written in several
+      generations (expandable read-write arrays, each generation costing
+      one redundant copy after relaxation).
+    - {b sharing_set}: target cardinality of each shared array's sharing
+      set 𝕂(D) (how many kernels read the same array).
+    - {b thread_load}: stencil point count used for the main read
+      accesses (Table III's ThrLD).
+    - {b kinship}: stride at which consecutive kernels' read windows
+      drift across the array pool — small strides give dense direct
+      kinship, large strides stretch kinship chains. *)
+
+type config = {
+  kernels : int;
+  arrays : int;
+  data_copies : int;
+  sharing_set : int;
+  thread_load : int;
+  kinship : int;
+  seed : int;
+}
+
+val default : config
+(** 30 kernels, 60 arrays, 4 copies, sharing set 4, thread load 8,
+    kinship 2, seed 1. *)
+
+val table5_axis : [ `Kernels | `Arrays | `Copies | `Sharing | `Load | `Kinship ] -> int list
+(** The Min..Max by Δ sweep values of paper Table V for one attribute. *)
+
+val stencil_of_load : int -> Kf_ir.Stencil.t
+(** A stencil with exactly the given number of points (1 = point access),
+    growing outward from the center.  @raise Invalid_argument for loads
+    below 1 or above 25. *)
+
+val generate : config -> Kf_ir.Program.t
+(** Deterministic for a given config. *)
+
+val name_of : config -> string

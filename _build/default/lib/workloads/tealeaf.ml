@@ -1,0 +1,109 @@
+open Kf_ir
+
+(* TeaLeaf's standard problem is a 2-D grid; 4000² in the reference decks,
+   scaled down here to keep simulation cheap (the paper argues fusion
+   effectiveness is size-invariant, §II-C). *)
+let default_grid = Grid.make ~nx:1024 ~ny:512 ~nz:1 ~block_x:32 ~block_y:8
+
+let array_names =
+  [
+    "density"; "energy"; "u"; (* temperature field *)
+    "kx"; "ky"; (* conduction coefficients *)
+    "p"; "r"; "w"; "z"; (* CG vectors *)
+    "alpha_num"; "alpha_den"; "beta_num"; (* partial reductions *)
+    "u0";
+  ]
+
+let id name =
+  let rec go i = function
+    | [] -> invalid_arg ("Tealeaf: unknown array " ^ name)
+    | n :: rest -> if n = name then i else go (i + 1) rest
+  in
+  go 0 array_names
+
+let acc name mode pattern flops = { Access.array = id name; mode; pattern; flops }
+let r name f = acc name Access.Read Stencil.point f
+let rs name p f = acc name Access.Read p f
+let w name = acc name Access.Write Stencil.point 0.
+let rw name f = acc name Access.ReadWrite Stencil.point f
+
+(* Kernels are built as id-less closures and numbered by position. *)
+let init_kernels =
+  [
+    (fun mk -> mk "tea_init_fields" [ r "density" 1.; r "energy" 1.; w "u"; w "u0" ] 22 2.);
+    (fun mk ->
+      mk "tea_init_coef" [ rs "density" Stencil.star5 4.; w "kx"; w "ky" ] 30 4.);
+    (fun mk ->
+      mk "cg_init_residual"
+        [ rs "u" Stencil.star5 5.; r "kx" 2.; r "ky" 2.; r "u0" 1.; w "r"; w "p" ]
+        36 4.);
+    (fun mk -> mk "cg_init_rro" [ r "r" 2.; w "alpha_num" ] 20 1.);
+  ]
+
+let cg_kernels =
+  [
+    (* w = A p: the 5-point matvec, the only heavy stencil of the loop. *)
+    (fun mk ->
+      mk "cg_calc_w" [ rs "p" Stencil.star5 5.; r "kx" 2.; r "ky" 2.; w "w" ] 38 4.);
+    (* alpha = rro / (p . w) *)
+    (fun mk -> mk "cg_calc_pw" [ r "p" 1.; r "w" 1.; w "alpha_den" ] 22 2.);
+    (* u += alpha p;  r -= alpha w;  rrn = r . r *)
+    (fun mk ->
+      mk "cg_calc_ur"
+        [ r "p" 1.; r "w" 1.; r "alpha_num" 1.; r "alpha_den" 1.; rw "u" 2.; rw "r" 2.;
+          w "beta_num" ]
+        30 4.);
+    (* p = r + beta p *)
+    (fun mk ->
+      mk "cg_calc_p" [ r "r" 1.; r "beta_num" 1.; r "alpha_num" 0.; rw "p" 2. ] 24 2.);
+  ]
+
+let final_kernels =
+  [
+    (fun mk -> mk "tea_solve_finish" [ r "u" 1.; rw "energy" 2.; r "density" 1. ] 20 2.);
+    (fun mk -> mk "tea_field_summary" [ r "u" 2.; r "density" 1.; r "energy" 1.; w "z" ] 24 2.);
+  ]
+
+let build ~grid ~name closures =
+  let arrays = List.mapi (fun i n -> Array_info.make ~id:i ~name:n ()) array_names in
+  let kernels =
+    List.mapi
+      (fun i f ->
+        f (fun kname accesses regs extra ->
+            Kernel.make ~id:i ~name:kname ~accesses ~registers_per_thread:regs
+              ~extra_flops_per_site:extra ()))
+      closures
+  in
+  Program.create ~name ~grid ~arrays ~kernels
+
+let cg_step ?(grid = default_grid) () =
+  build ~grid ~name:"tealeaf-step" (init_kernels @ cg_kernels @ final_kernels)
+
+let program ?(grid = default_grid) ?(cg_iterations = 3) () =
+  if cg_iterations < 1 then invalid_arg "Tealeaf.program: need at least one CG iteration";
+  (* The CG loop body repeats; clone its invocations (paper §II-C) by
+     building one iteration as a program and unrolling it, then stitching
+     the phases together manually so init and finish stay single. *)
+  let arrays = List.mapi (fun i n -> Array_info.make ~id:i ~name:n ()) array_names in
+  let mk i kname accesses regs extra =
+    Kernel.make ~id:i ~name:kname ~accesses ~registers_per_thread:regs
+      ~extra_flops_per_site:extra ()
+  in
+  let counter = ref (-1) in
+  let instantiate suffix f =
+    incr counter;
+    f (fun kname accesses regs extra ->
+        mk !counter (kname ^ suffix) accesses regs extra)
+  in
+  let init = List.map (instantiate "") init_kernels in
+  let loop =
+    List.concat
+      (List.init cg_iterations (fun iter ->
+           let suffix = if iter = 0 then "" else Printf.sprintf "@%d" (iter + 1) in
+           List.map (instantiate suffix) cg_kernels))
+  in
+  let finish = List.map (instantiate "") final_kernels in
+  Program.create
+    ~name:(Printf.sprintf "tealeaf-cg%d" cg_iterations)
+    ~grid ~arrays
+    ~kernels:(init @ loop @ finish)

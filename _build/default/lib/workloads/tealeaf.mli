@@ -1,0 +1,24 @@
+(** TeaLeaf mini-app: implicit heat conduction solved with a conjugate-
+    gradient iteration (the companion mini-app to CloverLeaf in the UK
+    Mini-App Consortium suite the paper's test suite draws on).
+
+    The structure is characteristic of implicit solvers and stresses the
+    fusion machinery differently from the hydro codes: a short
+    initialization phase, then a CG loop whose four kernels are invoked
+    every iteration and chained by true dependencies (w = Ap,
+    α = rr/(p·w), (u, r) updates, β and the new search direction) — lots
+    of point-wise shared arrays (register reuse), one 5-point matvec
+    stencil, and reduction-style kernels with low flop counts.
+
+    [program ~cg_iterations] clones the CG loop body per iteration so
+    fusion can work across iteration boundaries — the repeated-invocation
+    treatment paper §II-C proposes (see also {!Kf_ir.Unroll} for the
+    generic version). *)
+
+val cg_step : ?grid:Kf_ir.Grid.t -> unit -> Kf_ir.Program.t
+(** Initialization (4 kernels), one CG iteration (4 kernels), and the
+    write-back/summary phase (2 kernels). *)
+
+val program : ?grid:Kf_ir.Grid.t -> ?cg_iterations:int -> unit -> Kf_ir.Program.t
+(** Full mini-app: init phase + [cg_iterations] (default 3) unrolled CG
+    iterations + the solution write-back, 4 + 4·n + 2 kernels. *)

@@ -1,0 +1,1 @@
+test/test_fusion.ml: Access Alcotest Array_info Grid Kernel Kf_fusion Kf_gpu Kf_graph Kf_ir Kf_workloads List Metadata Program Stencil String

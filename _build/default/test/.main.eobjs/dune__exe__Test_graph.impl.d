@@ -1,0 +1,1 @@
+test/test_graph.ml: Access Alcotest Array Array_info Fmt Grid Kernel Kf_fusion Kf_graph Kf_ir Kf_util Kf_workloads List Program QCheck QCheck_alcotest Stencil

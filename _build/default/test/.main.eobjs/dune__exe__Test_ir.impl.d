@@ -1,0 +1,1 @@
+test/test_ir.ml: Access Alcotest Array_info Gen Grid Kernel Kf_ir List Metadata Program QCheck QCheck_alcotest Stencil

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Float Kf_fusion Kf_gpu Kf_search Kf_sim Kf_workloads Kfuse List String

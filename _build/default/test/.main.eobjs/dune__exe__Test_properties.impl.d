@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Float Kf_fusion Kf_gpu Kf_graph Kf_ir Kf_model Kf_search Kf_sim Kf_util Kf_workloads List QCheck QCheck_alcotest

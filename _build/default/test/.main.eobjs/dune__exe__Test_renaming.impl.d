@@ -1,0 +1,1 @@
+test/test_renaming.ml: Access Alcotest Array Array_info Grid Kernel Kf_exec Kf_graph Kf_ir Kf_workloads Program Stencil

@@ -1,0 +1,1 @@
+test/test_shapes.ml: Alcotest Float Kf_fusion Kf_gpu Kf_graph Kf_model Kf_search Kf_sim Kf_workloads Kfuse List Unix

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Kf_gpu Kf_sim Kf_util Kf_workloads List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Gen Int Kf_util List QCheck QCheck_alcotest Set String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Access Alcotest Array Array_info Float Kernel Kf_graph Kf_ir Kf_workloads List Program Stencil

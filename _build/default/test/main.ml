@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "kfuse"
+    [
+      ("util", Test_util.suite);
+      ("ir", Test_ir.suite);
+      ("graph", Test_graph.suite);
+      ("fusion", Test_fusion.suite);
+      ("sim", Test_sim.suite);
+      ("model", Test_model.suite);
+      ("search", Test_search.suite);
+      ("workloads", Test_workloads.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("properties", Test_properties.suite);
+      ("extensions", Test_extensions.suite);
+      ("oracle", Test_oracle.suite);
+      ("renaming", Test_renaming.suite);
+      ("shapes", Test_shapes.suite);
+    ]

@@ -1,0 +1,319 @@
+(* Tests for Kf_graph: DAGs, data-dependency analysis, order-of-execution
+   graphs, traffic analysis. *)
+
+open Kf_ir
+module Dag = Kf_graph.Dag
+module Datadep = Kf_graph.Datadep
+module Exec_order = Kf_graph.Exec_order
+module Traffic = Kf_graph.Traffic
+module Bitset = Kf_util.Bitset
+
+let check = Alcotest.check
+
+(* --- Dag --- *)
+
+let diamond () =
+  (* 0 -> 1 -> 3, 0 -> 2 -> 3 *)
+  Dag.of_edges 4 [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+let test_dag_basics () =
+  let g = diamond () in
+  check Alcotest.int "nodes" 4 (Dag.num_nodes g);
+  check Alcotest.int "edges" 4 (Dag.num_edges g);
+  check Alcotest.bool "has edge" true (Dag.has_edge g 0 1);
+  check Alcotest.bool "no reverse edge" false (Dag.has_edge g 1 0);
+  check Alcotest.(list int) "succs" [ 1; 2 ] (Dag.succs g 0);
+  check Alcotest.(list int) "preds" [ 1; 2 ] (Dag.preds g 3);
+  Dag.add_edge g 0 1;
+  check Alcotest.int "duplicate ignored" 4 (Dag.num_edges g)
+
+let test_dag_self_loop () =
+  let g = Dag.create 2 in
+  Alcotest.check_raises "self loop" (Invalid_argument "Dag.add_edge: self-loop") (fun () ->
+      Dag.add_edge g 1 1)
+
+let test_dag_topo () =
+  let g = diamond () in
+  check Alcotest.(list int) "topo" [ 0; 1; 2; 3 ] (Dag.topo_sort g);
+  check Alcotest.bool "acyclic" true (Dag.is_acyclic g)
+
+let test_dag_cycle_detection () =
+  let g = Dag.of_edges 3 [ (0, 1); (1, 2) ] in
+  check Alcotest.bool "acyclic before" true (Dag.is_acyclic g);
+  Dag.add_edge g 2 0;
+  check Alcotest.bool "cyclic after" false (Dag.is_acyclic g)
+
+let test_dag_reachability () =
+  let g = diamond () in
+  check Alcotest.bool "0 reaches 3" true (Dag.reaches g 0 3);
+  check Alcotest.bool "reflexive" true (Dag.reaches g 1 1);
+  check Alcotest.bool "1 not to 2" false (Dag.reaches g 1 2);
+  check Alcotest.(list int) "on path 0-3" [ 0; 1; 2; 3 ] (Dag.on_some_path g 0 3);
+  check Alcotest.(list int) "no path 1-2" [] (Dag.on_some_path g 1 2)
+
+let test_dag_path_closure () =
+  let g = diamond () in
+  let s = Bitset.of_list 4 [ 0; 3 ] in
+  let c = Dag.path_closure g s in
+  check Alcotest.(list int) "closure pulls middle" [ 0; 1; 2; 3 ] (Bitset.to_list c);
+  let s2 = Bitset.of_list 4 [ 1; 2 ] in
+  check Alcotest.(list int) "independent pair closed" [ 1; 2 ]
+    (Bitset.to_list (Dag.path_closure g s2))
+
+let test_dag_ancestors_descendants () =
+  let g = diamond () in
+  check Alcotest.(list int) "descendants of 0" [ 0; 1; 2; 3 ] (Bitset.to_list (Dag.descendants g 0));
+  check Alcotest.(list int) "ancestors of 3" [ 0; 1; 2; 3 ] (Bitset.to_list (Dag.ancestors g 3));
+  check Alcotest.(list int) "ancestors of 1" [ 0; 1 ] (Bitset.to_list (Dag.ancestors g 1))
+
+let random_dag seed n =
+  (* Random DAG: edges only from lower to higher index. *)
+  let rng = Kf_util.Rng.create seed in
+  let g = Dag.create n in
+  for u = 0 to n - 2 do
+    for v = u + 1 to n - 1 do
+      if Kf_util.Rng.chance rng 0.25 then Dag.add_edge g u v
+    done
+  done;
+  g
+
+let prop_topo_respects_edges =
+  QCheck.Test.make ~count:100 ~name:"topological order respects all edges"
+    QCheck.(pair small_int (int_range 2 15))
+    (fun (seed, n) ->
+      let g = random_dag seed n in
+      let order = Dag.topo_sort g in
+      let rank = Array.make n 0 in
+      List.iteri (fun i v -> rank.(v) <- i) order;
+      List.for_all
+        (fun u -> List.for_all (fun v -> rank.(u) < rank.(v)) (Dag.succs g u))
+        (List.init n (fun i -> i)))
+
+let prop_closure_idempotent =
+  QCheck.Test.make ~count:100 ~name:"path closure is an idempotent superset"
+    QCheck.(triple small_int (int_range 2 12) (list (int_bound 11)))
+    (fun (seed, n, members) ->
+      let g = random_dag seed n in
+      let members = List.filter (fun v -> v < n) members in
+      QCheck.assume (members <> []);
+      let s = Bitset.of_list n members in
+      let c = Dag.path_closure g s in
+      Bitset.subset s c && Bitset.equal c (Dag.path_closure g c))
+
+let prop_reaches_matches_dfs =
+  QCheck.Test.make ~count:100 ~name:"bitset reachability matches DFS"
+    QCheck.(triple small_int (int_range 2 12) (pair (int_bound 11) (int_bound 11)))
+    (fun (seed, n, (a, b)) ->
+      QCheck.assume (a < n && b < n);
+      let g = random_dag seed n in
+      let visited = Array.make n false in
+      let rec dfs v =
+        if not visited.(v) then begin
+          visited.(v) <- true;
+          List.iter dfs (Dag.succs g v)
+        end
+      in
+      dfs a;
+      Dag.reaches g a b = visited.(b))
+
+(* --- Datadep --- *)
+
+let acc array mode pattern flops = { Access.array; mode; pattern; flops }
+
+(* Program exercising all four array classes:
+   ro: read by k0 and k1 (never written)        -> Read_only
+   wo: written by k0                             -> Write_only
+   rw: written by k0, read by k1                 -> Read_write
+   ex: written k1, read k2, written k2... we model the QFLX pattern:
+       k1 writes ex, k2 reads ex, k3 writes ex, k4 reads ex -> Expandable *)
+let classes_program () =
+  let g = Grid.make ~nx:64 ~ny:32 ~nz:2 ~block_x:16 ~block_y:8 in
+  let arrays =
+    List.mapi (fun id name -> Array_info.make ~id ~name ()) [ "ro"; "wo"; "rw"; "ex" ]
+  in
+  let kernels =
+    [
+      Kernel.make ~id:0 ~name:"k0"
+        ~accesses:
+          [
+            acc 0 Access.Read Stencil.point 1.;
+            acc 1 Access.Write Stencil.point 0.;
+            acc 2 Access.Write Stencil.point 0.;
+          ]
+        ();
+      Kernel.make ~id:1 ~name:"k1"
+        ~accesses:
+          [
+            acc 0 Access.Read Stencil.star5 1.;
+            acc 2 Access.Read Stencil.point 1.;
+            acc 3 Access.Write Stencil.point 0.;
+          ]
+        ();
+      Kernel.make ~id:2 ~name:"k2" ~accesses:[ acc 3 Access.Read Stencil.star5 1.; acc 1 Access.Write Stencil.point 0. ] ();
+      Kernel.make ~id:3 ~name:"k3" ~accesses:[ acc 3 Access.Write Stencil.point 0. ] ();
+      Kernel.make ~id:4 ~name:"k4" ~accesses:[ acc 3 Access.Read Stencil.point 1.; acc 1 Access.Write Stencil.point 0. ] ();
+    ]
+  in
+  Program.create ~name:"classes" ~grid:g ~arrays ~kernels
+
+let test_datadep_classes () =
+  let dd = Datadep.build (classes_program ()) in
+  let cls = Alcotest.testable (Fmt.of_to_string Datadep.class_to_string) ( = ) in
+  check cls "ro" Datadep.Read_only (Datadep.array_class dd 0);
+  check cls "wo" Datadep.Write_only (Datadep.array_class dd 1);
+  check cls "rw" Datadep.Read_write (Datadep.array_class dd 2);
+  check cls "ex" Datadep.Expandable (Datadep.array_class dd 3)
+
+let test_datadep_generations () =
+  let dd = Datadep.build (classes_program ()) in
+  check Alcotest.int "ro generations" 0 (Datadep.generations dd 0);
+  check Alcotest.int "ex generations" 2 (Datadep.generations dd 3)
+
+let test_datadep_edges () =
+  let dd = Datadep.build (classes_program ()) in
+  let flow = Datadep.flow_edges dd in
+  (* k0 -w-> rw -r-> k1; k1 -w-> ex -r-> k2; k3 -w-> ex -r-> k4. *)
+  let has src dst array =
+    List.exists (fun (e : Datadep.edge) -> e.src = src && e.dst = dst && e.array = array) flow
+  in
+  check Alcotest.bool "rw flow" true (has 0 1 2);
+  check Alcotest.bool "ex gen1 flow" true (has 1 2 3);
+  check Alcotest.bool "ex gen2 flow" true (has 3 4 3);
+  check Alcotest.bool "no cross-generation flow" false (has 1 4 3)
+
+let test_datadep_redundant_bytes () =
+  let p = classes_program () in
+  let dd = Datadep.build p in
+  (* One expandable array with 2 generations: one redundant copy. *)
+  check Alcotest.int "copy bytes" (64 * 32 * 2 * 8) (Datadep.redundant_copy_bytes dd p.Program.grid)
+
+(* --- Exec_order --- *)
+
+let test_exec_order_relaxation () =
+  let dd = Datadep.build (classes_program ()) in
+  let strict = Exec_order.build ~relax_expandable:false dd in
+  let relaxed = Exec_order.build ~relax_expandable:true dd in
+  (* Strict keeps the anti/output edges of the expandable array: k2 (reads
+     ex gen 1) must precede k3 (writes gen 2). *)
+  check Alcotest.bool "strict keeps WAR" true (Exec_order.must_precede strict 2 3);
+  check Alcotest.bool "relaxed drops WAR" false (Exec_order.must_precede relaxed 2 3);
+  (* Flow edges survive relaxation. *)
+  check Alcotest.bool "flow kept" true (Exec_order.must_precede relaxed 1 2);
+  check Alcotest.bool "extra memory" true (Exec_order.extra_memory_bytes relaxed > 0);
+  check Alcotest.int "strict no extra memory" 0 (Exec_order.extra_memory_bytes strict)
+
+let test_exec_order_convexity () =
+  let dd = Datadep.build (classes_program ()) in
+  let exec = Exec_order.build dd in
+  (* k1 -> k2 via ex: {1,2} convex; {0,2} needs 1 if 0->1->2 path exists
+     (0 -> 1 via rw, 1 -> 2 via ex). *)
+  check Alcotest.bool "{1,2} convex" true (Exec_order.group_is_convex exec [ 1; 2 ]);
+  check Alcotest.bool "{0,2} not convex" false (Exec_order.group_is_convex exec [ 0; 2 ]);
+  check Alcotest.(list int) "convexify {0,2}" [ 0; 1; 2 ] (Exec_order.convexify exec [ 0; 2 ])
+
+let test_exec_order_group_order () =
+  let dd = Datadep.build (classes_program ()) in
+  let exec = Exec_order.build dd in
+  check Alcotest.(list int) "segments ordered" [ 0; 1; 2 ] (Exec_order.group_order exec [ 2; 0; 1 ])
+
+let test_exec_order_barrier () =
+  let dd = Datadep.build (classes_program ()) in
+  let exec = Exec_order.build dd in
+  check Alcotest.bool "flow pair needs barrier" true (Exec_order.fusion_barrier_needed exec [ 1; 2 ]);
+  check Alcotest.bool "independent pair does not" false
+    (Exec_order.fusion_barrier_needed exec [ 2; 3 ])
+
+let test_exec_order_extra_edges () =
+  let dd = Datadep.build (classes_program ()) in
+  (* A host-transfer barrier between k2 and k3 adds a precedence the data
+     dependencies alone do not require (after relaxation). *)
+  let exec = Exec_order.build ~extra_edges:[ (2, 3) ] dd in
+  check Alcotest.bool "transfer edge enforced" true (Exec_order.must_precede exec 2 3);
+  (* An edge against an existing path is rejected: k0 reaches k4 through
+     the wo output chain, so 4 -> 0 closes a cycle. *)
+  Alcotest.check_raises "cycle rejected"
+    (Invalid_argument "Exec_order.build: extra edges introduced a cycle") (fun () ->
+      ignore (Exec_order.build ~extra_edges:[ (4, 0) ] dd))
+
+let test_exec_order_sync_points () =
+  let dd = Datadep.build (classes_program ()) in
+  let exec = Exec_order.build ~sync_points:[ 2 ] dd in
+  check Alcotest.(list int) "stored" [ 2 ] (Exec_order.sync_points exec);
+  (* The sync orders every earlier kernel before every later one. *)
+  check Alcotest.bool "k0 before k4" true (Exec_order.must_precede exec 0 4);
+  check Alcotest.bool "k2 before k3" true (Exec_order.must_precede exec 2 3);
+  check Alcotest.bool "spanning group flagged" true (Exec_order.group_spans_sync exec [ 1; 3 ]);
+  check Alcotest.bool "same-side group fine" false (Exec_order.group_spans_sync exec [ 0; 1 ]);
+  check Alcotest.bool "after-side group fine" false (Exec_order.group_spans_sync exec [ 3; 4 ]);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Exec_order.build: sync point 4 out of [0,4)") (fun () ->
+      ignore (Exec_order.build ~sync_points:[ 4 ] dd))
+
+let test_sync_point_blocks_fusion () =
+  (* End to end: with a sync point between A and B, the motivating X
+     fusion becomes illegal and the plan checker reports it. *)
+  let p = Kf_workloads.Motivating.program () in
+  let meta = Kf_ir.Metadata.build p in
+  let exec = Exec_order.build ~sync_points:[ 0 ] (Datadep.build p) in
+  let plan = Kf_fusion.Plan.of_groups ~n:5 [ [ 0; 1 ]; [ 2 ]; [ 3 ]; [ 4 ] ] in
+  let violations = Kf_fusion.Plan.validate ~meta ~exec plan in
+  check Alcotest.bool "spanning fusion rejected" true
+    (List.exists
+       (function Kf_fusion.Plan.Spans_sync_point _ -> true | _ -> false)
+       violations)
+
+(* --- Traffic --- *)
+
+let test_traffic_totals () =
+  let p = classes_program () in
+  let dd = Datadep.build p in
+  let exec = Exec_order.build dd in
+  let r = Traffic.analyze exec in
+  check Alcotest.bool "total positive" true (r.Traffic.total_bytes > 0.);
+  check Alcotest.bool "reducible below total" true
+    (r.Traffic.reducible_bytes < r.Traffic.total_bytes);
+  (* Only the staged (multi-point) repeats count: ro re-read by k1 with
+     star5, ex re-read by k2 with star5; rw and the gen-2 ex re-read are
+     point reads. *)
+  let field = float_of_int (64 * 32 * 2 * 8) in
+  check (Alcotest.float 1.) "reducible = 2 staged re-reads" (2. *. field)
+    r.Traffic.reducible_bytes
+
+let test_traffic_kernel_bytes () =
+  let p = classes_program () in
+  let b0 = Traffic.kernel_bytes p 0 in
+  (* k0: reads ro (point), writes wo and rw: 3 footprints, no boundary. *)
+  check (Alcotest.float 1.) "k0 bytes" (3. *. float_of_int (64 * 32 * 2 * 8)) b0;
+  (* k1 reads ro with star5: footprint + boundary ring. *)
+  let b1 = Traffic.kernel_bytes p 1 in
+  check Alcotest.bool "k1 has boundary refetch" true
+    (b1 > 3. *. float_of_int (64 * 32 * 2 * 8))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_topo_respects_edges; prop_closure_idempotent; prop_reaches_matches_dfs ]
+
+let suite =
+  [
+    Alcotest.test_case "dag basics" `Quick test_dag_basics;
+    Alcotest.test_case "dag self loop" `Quick test_dag_self_loop;
+    Alcotest.test_case "dag topo" `Quick test_dag_topo;
+    Alcotest.test_case "dag cycle detection" `Quick test_dag_cycle_detection;
+    Alcotest.test_case "dag reachability" `Quick test_dag_reachability;
+    Alcotest.test_case "dag path closure" `Quick test_dag_path_closure;
+    Alcotest.test_case "dag ancestors/descendants" `Quick test_dag_ancestors_descendants;
+    Alcotest.test_case "datadep classes" `Quick test_datadep_classes;
+    Alcotest.test_case "datadep generations" `Quick test_datadep_generations;
+    Alcotest.test_case "datadep edges" `Quick test_datadep_edges;
+    Alcotest.test_case "datadep redundant bytes" `Quick test_datadep_redundant_bytes;
+    Alcotest.test_case "exec-order relaxation" `Quick test_exec_order_relaxation;
+    Alcotest.test_case "exec-order convexity" `Quick test_exec_order_convexity;
+    Alcotest.test_case "exec-order group order" `Quick test_exec_order_group_order;
+    Alcotest.test_case "exec-order barriers" `Quick test_exec_order_barrier;
+    Alcotest.test_case "exec-order extra edges" `Quick test_exec_order_extra_edges;
+    Alcotest.test_case "exec-order sync points" `Quick test_exec_order_sync_points;
+    Alcotest.test_case "sync point blocks fusion" `Quick test_sync_point_blocks_fusion;
+    Alcotest.test_case "traffic totals" `Quick test_traffic_totals;
+    Alcotest.test_case "traffic kernel bytes" `Quick test_traffic_kernel_bytes;
+  ]
+  @ qsuite

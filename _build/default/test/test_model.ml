@@ -1,0 +1,168 @@
+(* Tests for Kf_model: the proposed projection, Roofline, simple model,
+   fusion efficiency, MWP comparator. *)
+
+module Device = Kf_gpu.Device
+module Inputs = Kf_model.Inputs
+module Projection = Kf_model.Projection
+module Roofline = Kf_model.Roofline
+module Simple = Kf_model.Simple_model
+module FE = Kf_model.Fusion_efficiency
+module Mwp = Kf_model.Mwp
+module Fused = Kf_fusion.Fused
+module Measure = Kf_sim.Measure
+module Motivating = Kf_workloads.Motivating
+
+let check = Alcotest.check
+let device = Device.k20x
+
+let context () =
+  let p = Motivating.program () in
+  let meta = Kf_ir.Metadata.build p in
+  let exec = Kf_graph.Exec_order.build (Kf_graph.Datadep.build p) in
+  let measured_runtime =
+    Array.map (fun r -> r.Measure.runtime_s) (Measure.program_results ~device p)
+  in
+  let i = Inputs.make ~device ~meta ~exec ~measured_runtime in
+  (p, meta, exec, i)
+
+let fused_of i group =
+  Fused.build ~device ~meta:i.Inputs.meta ~exec:i.Inputs.exec ~group
+
+let test_inputs_validation () =
+  let _, meta, exec, _ = context () in
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Inputs.make: one measured runtime per kernel required") (fun () ->
+      ignore (Inputs.make ~device ~meta ~exec ~measured_runtime:[| 1.0 |]))
+
+let test_inputs_original_sum () =
+  let _, _, _, i = context () in
+  let s01 = Inputs.original_sum i [ 0; 1 ] in
+  check (Alcotest.float 1e-12) "sum"
+    (i.Inputs.measured_runtime.(0) +. i.Inputs.measured_runtime.(1))
+    s01;
+  check Alcotest.bool "bandwidth positive" true (Inputs.effective_bandwidth i [ 0; 1 ] > 0.)
+
+let test_projection_singleton_is_measured () =
+  let _, _, _, i = context () in
+  let f = fused_of i [ 2 ] in
+  check (Alcotest.float 1e-12) "measured" i.Inputs.measured_runtime.(2)
+    (Projection.runtime i f)
+
+let test_projection_feasible_fields () =
+  let _, _, _, i = context () in
+  let x = fused_of i Motivating.fusion_x in
+  let pr = Projection.project i x in
+  check Alcotest.bool "feasible" true pr.Projection.feasible;
+  check Alcotest.bool "finite" true (Float.is_finite pr.Projection.runtime_s);
+  check Alcotest.bool "blocks positive" true (pr.Projection.blocks_smx >= 1);
+  check Alcotest.bool "p positive" true (pr.Projection.p_membound_gflops > 0.);
+  check Alcotest.bool "b_sh positive for staged fusion" true (pr.Projection.b_sh > 0.)
+
+let test_projection_infeasible_infinite () =
+  (* A tiny device makes any staging fusion infeasible. *)
+  let _, _, _, i = context () in
+  let small = { device with Device.smem_per_smx = 1024; name = "tiny" } in
+  let i2 = { i with Inputs.device = small } in
+  let y = Fused.build ~device:small ~meta:i.Inputs.meta ~exec:i.Inputs.exec ~group:Motivating.fusion_y in
+  let pr = Projection.project i2 y in
+  check Alcotest.bool "infeasible" false pr.Projection.feasible;
+  check Alcotest.bool "infinite runtime" true (pr.Projection.runtime_s = Float.infinity)
+
+let test_projection_flags_y () =
+  (* The paper's headline: the proposed model rejects fusing C+D+E while
+     Roofline and the simple model endorse it. *)
+  let _, _, _, i = context () in
+  let y = fused_of i Motivating.fusion_y in
+  let orig = Inputs.original_sum i Motivating.fusion_y in
+  check Alcotest.bool "roofline endorses" true (Roofline.runtime i y < orig);
+  check Alcotest.bool "simple endorses" true (Simple.runtime i y < orig);
+  check Alcotest.bool "proposed rejects" true (Projection.runtime i y > orig)
+
+let test_projection_endorses_x () =
+  let _, _, _, i = context () in
+  let x = fused_of i Motivating.fusion_x in
+  let orig = Inputs.original_sum i Motivating.fusion_x in
+  check Alcotest.bool "proposed endorses A+B" true (Projection.runtime i x < orig)
+
+let test_model_ordering_on_y () =
+  (* Roofline is the most optimistic, the simple model in between. *)
+  let _, _, _, i = context () in
+  let y = fused_of i Motivating.fusion_y in
+  let r = Roofline.runtime i y and s = Simple.runtime i y and p = Projection.runtime i y in
+  check Alcotest.bool "roofline < simple" true (r < s);
+  check Alcotest.bool "simple < proposed" true (s < p)
+
+let test_roofline_attainable () =
+  let _, _, _, i = context () in
+  let x = fused_of i Motivating.fusion_x in
+  let g = Roofline.attainable_gflops i x in
+  check Alcotest.bool "attainable below peak" true (g <= device.Device.peak_gflops);
+  check Alcotest.bool "positive" true (g > 0.)
+
+let test_simple_model_saved_bytes () =
+  let _, _, _, i = context () in
+  let y = fused_of i Motivating.fusion_y in
+  check Alcotest.bool "saves bytes" true (Simple.saved_bytes i y > 0.);
+  let single = fused_of i [ 0 ] in
+  check (Alcotest.float 1e-9) "singleton saves nothing" 0. (Simple.saved_bytes i single)
+
+let test_group_runtime_dispatch () =
+  let _, _, _, i = context () in
+  check (Alcotest.float 1e-12) "singleton dispatch" i.Inputs.measured_runtime.(3)
+    (Projection.group_runtime i [ 3 ]);
+  check Alcotest.bool "group dispatch projects" true
+    (Float.is_finite (Projection.group_runtime i Motivating.fusion_x))
+
+let test_fusion_efficiency () =
+  let p, _, _, i = context () in
+  let x = fused_of i Motivating.fusion_x in
+  let m = Measure.fused ~device p x in
+  let fe = FE.compute i x ~measured_fused_runtime:m.Measure.runtime_s in
+  check Alcotest.bool "memory ratio < 1" true (fe.FE.memory_ratio < 1.);
+  check Alcotest.bool "efficiency in (0, 1.5]" true (fe.FE.efficiency > 0. && fe.FE.efficiency <= 1.5);
+  Alcotest.check_raises "singleton rejected"
+    (Invalid_argument "Fusion_efficiency.compute: singleton has no fusion to rate") (fun () ->
+      ignore (FE.compute i (fused_of i [ 0 ]) ~measured_fused_runtime:1e-3))
+
+let test_mwp_estimate () =
+  let _, _, _, i = context () in
+  let x = fused_of i Motivating.fusion_x in
+  let e = Mwp.evaluate i x in
+  check Alcotest.bool "cycles positive" true (e.Mwp.cycles > 0.);
+  check Alcotest.bool "mwp >= 1" true (e.Mwp.mwp >= 1.);
+  check Alcotest.bool "cwp >= 1" true (e.Mwp.cwp >= 1.);
+  check Alcotest.bool "runtime sane" true (e.Mwp.runtime_s > 1e-6 && e.Mwp.runtime_s < 1.)
+
+let test_mwp_more_expensive_than_projection () =
+  (* The point of the paper's codeless model: evaluations are much cheaper
+     than code-representation models.  Compare costs directly. *)
+  let _, _, _, i = context () in
+  let x = fused_of i Motivating.fusion_x in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to 200 do
+      ignore (f ())
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let t_proj = time (fun () -> Projection.runtime i x) in
+  let t_mwp = time (fun () -> Mwp.runtime i x) in
+  check Alcotest.bool "projection cheaper" true (t_proj < t_mwp)
+
+let suite =
+  [
+    Alcotest.test_case "inputs validation" `Quick test_inputs_validation;
+    Alcotest.test_case "inputs original sum" `Quick test_inputs_original_sum;
+    Alcotest.test_case "projection singleton" `Quick test_projection_singleton_is_measured;
+    Alcotest.test_case "projection fields" `Quick test_projection_feasible_fields;
+    Alcotest.test_case "projection infeasible" `Quick test_projection_infeasible_infinite;
+    Alcotest.test_case "projection flags Y" `Quick test_projection_flags_y;
+    Alcotest.test_case "projection endorses X" `Quick test_projection_endorses_x;
+    Alcotest.test_case "model ordering on Y" `Quick test_model_ordering_on_y;
+    Alcotest.test_case "roofline attainable" `Quick test_roofline_attainable;
+    Alcotest.test_case "simple model saved bytes" `Quick test_simple_model_saved_bytes;
+    Alcotest.test_case "group runtime dispatch" `Quick test_group_runtime_dispatch;
+    Alcotest.test_case "fusion efficiency" `Quick test_fusion_efficiency;
+    Alcotest.test_case "mwp estimate" `Quick test_mwp_estimate;
+    Alcotest.test_case "mwp evaluation cost" `Slow test_mwp_more_expensive_than_projection;
+  ]

@@ -1,0 +1,197 @@
+(* Tests of the execution-semantics oracle (Kf_exec.Semantics): positive —
+   every fusion the machinery produces computes exactly what the original
+   program computes — and negative — deliberately broken fusions are
+   caught. *)
+
+open Kf_ir
+module Sem = Kf_exec.Semantics
+module Fused = Kf_fusion.Fused
+module Fused_program = Kf_fusion.Fused_program
+module Plan = Kf_fusion.Plan
+module Exec_order = Kf_graph.Exec_order
+module Datadep = Kf_graph.Datadep
+module Objective = Kf_search.Objective
+module Grouping = Kf_search.Grouping
+module Hgga = Kf_search.Hgga
+module Motivating = Kf_workloads.Motivating
+module Suite = Kf_workloads.Suite
+module Rng = Kf_util.Rng
+
+let check = Alcotest.check
+let device = Kf_gpu.Device.k20x
+
+let small_grid = Grid.make ~nx:64 ~ny:32 ~nz:4 ~block_x:16 ~block_y:8
+
+let context p =
+  let meta = Metadata.build p in
+  let exec = Exec_order.build (Datadep.build p) in
+  (meta, exec)
+
+let assert_equivalent name v =
+  check Alcotest.bool (name ^ " equivalent") true v.Sem.equivalent;
+  check (Alcotest.float 0.) (name ^ " diff") 0. v.Sem.max_abs_diff
+
+(* --- determinism and basic sanity --- *)
+
+let test_init_deterministic () =
+  let p = Motivating.program ~grid:small_grid () in
+  let a = Sem.init p and b = Sem.init p in
+  check Alcotest.bool "same initial state" true (a = b);
+  let v = Sem.value p a ~array_id:0 ~i:3 ~j:2 ~k:1 in
+  check Alcotest.bool "values in [0,1)" true (v >= 0. && v < 1.)
+
+let test_original_changes_state () =
+  let p = Motivating.program ~grid:small_grid () in
+  let s = Sem.run_original p in
+  check Alcotest.bool "outputs updated" true (Sem.init p <> s)
+
+let test_identity_plan_equivalent () =
+  let p = Motivating.program ~grid:small_grid () in
+  let meta, exec = context p in
+  let fp = Fused_program.build ~device ~meta ~exec (Plan.identity 5) in
+  assert_equivalent "identity" (Sem.check ~device fp)
+
+(* --- the paper's fusions are semantics-preserving --- *)
+
+let test_motivating_fusions () =
+  let p = Motivating.program ~grid:small_grid () in
+  let meta, exec = context p in
+  assert_equivalent "X = A+B (complex, halo 1)"
+    (Sem.check_group ~device ~meta ~exec Motivating.fusion_x);
+  assert_equivalent "Y = C+D+E (complex, chained halo 2)"
+    (Sem.check_group ~device ~meta ~exec Motivating.fusion_y);
+  assert_equivalent "C+D (simple)" (Sem.check_group ~device ~meta ~exec [ 2; 3 ])
+
+let test_search_plans_equivalent () =
+  (* Whatever plan the HGGA returns executes identically to the original
+     program — end-to-end semantic safety of the whole pipeline. *)
+  List.iter
+    (fun p ->
+      let meta, exec = context p in
+      let measured_runtime =
+        Array.map
+          (fun (r : Kf_sim.Measure.result) -> r.Kf_sim.Measure.runtime_s)
+          (Kf_sim.Measure.program_results ~device p)
+      in
+      let obj =
+        Objective.create (Kf_model.Inputs.make ~device ~meta ~exec ~measured_runtime)
+      in
+      let r =
+        Hgga.solve ~params:{ Hgga.default_params with Hgga.max_generations = 60 } obj
+      in
+      let fp = Fused_program.build ~device ~meta ~exec r.Hgga.plan in
+      assert_equivalent p.Program.name (Sem.check ~device fp))
+    [
+      Kf_workloads.Scale_les.rk_core ~grid:small_grid ();
+      Kf_workloads.Tealeaf.program ~grid:(Grid.make ~nx:64 ~ny:32 ~nz:1 ~block_x:16 ~block_y:8) ();
+    ]
+
+let prop_random_feasible_groups_equivalent =
+  QCheck.Test.make ~count:25 ~name:"every feasible group is semantics-preserving"
+    QCheck.small_int
+    (fun seed ->
+      let p =
+        Program.with_grid
+          (Suite.generate
+             { Suite.default with Suite.kernels = 10; arrays = 20; seed = seed + 1 })
+          small_grid
+      in
+      let meta, exec = context p in
+      let measured_runtime = Array.make (Program.num_kernels p) 1e-3 in
+      let obj =
+        Objective.create (Kf_model.Inputs.make ~device ~meta ~exec ~measured_runtime)
+      in
+      let rng = Rng.create (seed * 17) in
+      let groups = Grouping.random_plan obj rng (Program.num_kernels p) in
+      let plan = Plan.of_groups ~n:(Program.num_kernels p) groups in
+      let fp = Fused_program.build ~device ~meta ~exec plan in
+      (Sem.check ~device fp).Sem.equivalent)
+
+(* --- negative tests: the oracle detects broken fusions --- *)
+
+let test_detects_missing_halo () =
+  (* Shave the halo off fusion X: the consumer segment reads ring values
+     the producer never recomputed (the §II-D.2 incoherency). *)
+  let p = Motivating.program ~grid:small_grid () in
+  let meta, exec = context p in
+  let f = Fused.build ~device ~meta ~exec ~group:Motivating.fusion_x in
+  let broken =
+    {
+      f with
+      Fused.halo_layers = 0;
+      halo_bytes = 0;
+      segments =
+        List.map (fun s -> { s with Fused.halo_producer = false; halo_depth = 0 }) f.Fused.segments;
+    }
+  in
+  let plan_units =
+    [ Fused_program.Fused broken; Fused_program.Original 2; Fused_program.Original 3;
+      Fused_program.Original 4 ]
+  in
+  let fp =
+    { Fused_program.program = p; plan = Plan.of_groups ~n:5 [ [ 0; 1 ]; [ 2 ]; [ 3 ]; [ 4 ] ];
+      units = plan_units }
+  in
+  let v = Sem.check ~device fp in
+  check Alcotest.bool "halo-less complex fusion detected" false v.Sem.equivalent;
+  check Alcotest.bool "some sites mismatch" true (v.Sem.mismatched_sites > 0)
+
+let test_detects_insufficient_halo_depth () =
+  (* Depth 1 instead of the accumulated 2 on Y's producer chain: boundary
+     rings are computed one layer short. *)
+  let p = Motivating.program ~grid:small_grid () in
+  let meta, exec = context p in
+  let f = Fused.build ~device ~meta ~exec ~group:Motivating.fusion_y in
+  check Alcotest.int "builder accumulates to depth 2" 2 f.Fused.halo_layers;
+  let broken =
+    {
+      f with
+      Fused.segments =
+        List.map
+          (fun s -> { s with Fused.halo_depth = min 1 s.Fused.halo_depth })
+          f.Fused.segments;
+    }
+  in
+  let others = [ 0; 1 ] in
+  let fp =
+    {
+      Fused_program.program = p;
+      plan = Plan.of_groups ~n:5 [ [ 2; 3; 4 ]; [ 0 ]; [ 1 ] ];
+      units =
+        List.map (fun k -> Fused_program.Original k) others @ [ Fused_program.Fused broken ];
+    }
+  in
+  let v = Sem.check ~device fp in
+  check Alcotest.bool "shallow halo detected" false v.Sem.equivalent
+
+let test_detects_wrong_order () =
+  (* Swap the segments of X (consumer before producer): the flow
+     dependency is violated. *)
+  let p = Motivating.program ~grid:small_grid () in
+  let meta, exec = context p in
+  let f = Fused.build ~device ~meta ~exec ~group:Motivating.fusion_x in
+  let broken = { f with Fused.segments = List.rev f.Fused.segments } in
+  let fp =
+    {
+      Fused_program.program = p;
+      plan = Plan.of_groups ~n:5 [ [ 0; 1 ]; [ 2 ]; [ 3 ]; [ 4 ] ];
+      units =
+        [ Fused_program.Fused broken; Fused_program.Original 2; Fused_program.Original 3;
+          Fused_program.Original 4 ];
+    }
+  in
+  let v = Sem.check ~device fp in
+  check Alcotest.bool "segment order violation detected" false v.Sem.equivalent
+
+let suite =
+  [
+    Alcotest.test_case "init deterministic" `Quick test_init_deterministic;
+    Alcotest.test_case "original execution" `Quick test_original_changes_state;
+    Alcotest.test_case "identity plan" `Quick test_identity_plan_equivalent;
+    Alcotest.test_case "motivating fusions equivalent" `Quick test_motivating_fusions;
+    Alcotest.test_case "search plans equivalent" `Slow test_search_plans_equivalent;
+    Alcotest.test_case "detects missing halo" `Quick test_detects_missing_halo;
+    Alcotest.test_case "detects shallow halo" `Quick test_detects_insufficient_halo_depth;
+    Alcotest.test_case "detects wrong order" `Quick test_detects_wrong_order;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_random_feasible_groups_equivalent ]

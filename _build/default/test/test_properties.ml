@@ -1,0 +1,180 @@
+(* Cross-cutting property tests: invariants of fusion, measurement and
+   search over randomly generated test-suite programs. *)
+
+module Device = Kf_gpu.Device
+module Program = Kf_ir.Program
+module Kernel = Kf_ir.Kernel
+module Metadata = Kf_ir.Metadata
+module Datadep = Kf_graph.Datadep
+module Exec_order = Kf_graph.Exec_order
+module Traffic = Kf_graph.Traffic
+module Fused = Kf_fusion.Fused
+module Plan = Kf_fusion.Plan
+module Measure = Kf_sim.Measure
+module Inputs = Kf_model.Inputs
+module Objective = Kf_search.Objective
+module Grouping = Kf_search.Grouping
+module Suite = Kf_workloads.Suite
+module Rng = Kf_util.Rng
+
+let device = Device.k20x
+
+(* Random small program + context, derived deterministically from a seed. *)
+let context_of_seed seed =
+  let p =
+    Suite.generate
+      { Suite.default with Suite.kernels = 8 + (seed mod 7); arrays = 20 + (seed mod 11);
+        thread_load = 4 + (4 * (seed mod 3)); seed }
+  in
+  let meta = Metadata.build p in
+  let exec = Exec_order.build (Datadep.build p) in
+  (p, meta, exec)
+
+(* A random feasible group drawn via the search's own sampler. *)
+let random_feasible_group seed =
+  let p, meta, exec = context_of_seed seed in
+  let measured_runtime =
+    Array.map (fun r -> r.Measure.runtime_s) (Measure.program_results ~device p)
+  in
+  let obj = Objective.create (Inputs.make ~device ~meta ~exec ~measured_runtime) in
+  let rng = Rng.create (seed * 31) in
+  let groups = Grouping.random_plan obj rng (Program.num_kernels p) in
+  let multi = List.filter (fun g -> List.length g >= 2) groups in
+  match multi with
+  | [] -> None
+  | l -> Some (p, meta, exec, obj, List.nth l (Rng.int rng (List.length l)))
+
+let prop_fused_registers_dominate_members =
+  QCheck.Test.make ~count:60 ~name:"fused kernel needs at least the heaviest member's registers"
+    QCheck.small_int
+    (fun seed ->
+      match random_feasible_group seed with
+      | None -> true
+      | Some (p, meta, exec, _, g) ->
+          let f = Fused.build ~device ~meta ~exec ~group:g in
+          let max_member =
+            List.fold_left
+              (fun acc k -> max acc (Program.kernel p k).Kernel.registers_per_thread)
+              0 g
+          in
+          f.Fused.registers_per_thread >= max_member)
+
+let prop_fused_traffic_at_most_members =
+  QCheck.Test.make ~count:60 ~name:"fusion never increases GMEM footprint traffic"
+    QCheck.small_int
+    (fun seed ->
+      match random_feasible_group seed with
+      | None -> true
+      | Some (p, meta, exec, _, g) ->
+          let f = Fused.build ~device ~meta ~exec ~group:g in
+          let members = List.fold_left (fun acc k -> acc +. Traffic.kernel_bytes p k) 0. g in
+          (* Halo rings can add a little traffic on top of the footprint
+             accounting, so allow a small margin. *)
+          Fused.gmem_bytes p f <= members *. 1.05)
+
+let prop_fused_flops_at_least_members =
+  QCheck.Test.make ~count:60 ~name:"fusion never loses flops (halo only adds)"
+    QCheck.small_int
+    (fun seed ->
+      match random_feasible_group seed with
+      | None -> true
+      | Some (p, meta, exec, _, g) ->
+          let f = Fused.build ~device ~meta ~exec ~group:g in
+          let members =
+            List.fold_left
+              (fun acc k -> acc +. Kernel.total_flops (Program.kernel p k) p.Program.grid)
+              0. g
+          in
+          Fused.total_flops p f >= members -. 1e-6)
+
+let prop_fused_segments_cover_members =
+  QCheck.Test.make ~count:60 ~name:"segments enumerate exactly the members, in order"
+    QCheck.small_int
+    (fun seed ->
+      match random_feasible_group seed with
+      | None -> true
+      | Some (_, meta, exec, _, g) ->
+          let f = Fused.build ~device ~meta ~exec ~group:g in
+          List.map (fun s -> s.Fused.kernel) f.Fused.segments = f.Fused.members
+          && List.sort compare f.Fused.members = List.sort compare g)
+
+let prop_random_plans_fully_valid =
+  QCheck.Test.make ~count:40 ~name:"random plans satisfy every Fig. 4 constraint"
+    QCheck.small_int
+    (fun seed ->
+      match random_feasible_group seed with
+      | None -> true
+      | Some (p, meta, exec, obj, _) ->
+          let rng = Rng.create (seed + 999) in
+          let groups = Grouping.random_plan obj rng (Program.num_kernels p) in
+          let plan = Plan.of_groups ~n:(Program.num_kernels p) groups in
+          Plan.validate ~device ~meta ~exec plan = [])
+
+let prop_local_refine_never_worsens =
+  QCheck.Test.make ~count:25 ~name:"local refinement never raises the plan cost"
+    QCheck.small_int
+    (fun seed ->
+      match random_feasible_group seed with
+      | None -> true
+      | Some (p, _, _, obj, _) ->
+          let rng = Rng.create (seed + 7) in
+          let groups = Grouping.random_plan obj rng (Program.num_kernels p) in
+          let before = Objective.plan_cost obj groups in
+          let after = Objective.plan_cost obj (Grouping.local_refine obj groups) in
+          after <= before +. 1e-12)
+
+let prop_measured_fused_positive =
+  QCheck.Test.make ~count:30 ~name:"every feasible fusion simulates to a positive finite runtime"
+    QCheck.small_int
+    (fun seed ->
+      match random_feasible_group seed with
+      | None -> true
+      | Some (p, meta, exec, _, g) ->
+          let f = Fused.build ~device ~meta ~exec ~group:g in
+          let r = Measure.fused ~device p f in
+          Float.is_finite r.Measure.runtime_s && r.Measure.runtime_s > 0.)
+
+let prop_projection_below_roofline_performance =
+  QCheck.Test.make ~count:30
+    ~name:"proposed projection never predicts above-Roofline performance"
+    QCheck.small_int
+    (fun seed ->
+      match random_feasible_group seed with
+      | None -> true
+      | Some (p, meta, exec, obj, g) ->
+          ignore p;
+          let i = Objective.inputs obj in
+          let f = Fused.build ~device ~meta ~exec ~group:g in
+          let proposed = Kf_model.Projection.runtime i f in
+          let roofline = Kf_model.Roofline.runtime i f in
+          (* Runtime bound: the proposed model is at least as pessimistic
+             as Roofline (which ignores all resource pressure and uses the
+             theoretical bandwidth). *)
+          (not (Float.is_finite proposed)) || proposed >= roofline *. 0.999)
+
+let prop_plan_cost_additive =
+  QCheck.Test.make ~count:25 ~name:"plan cost is the sum of group costs"
+    QCheck.small_int
+    (fun seed ->
+      match random_feasible_group seed with
+      | None -> true
+      | Some (p, _, _, obj, _) ->
+          let rng = Rng.create (seed + 3) in
+          let groups = Grouping.random_plan obj rng (Program.num_kernels p) in
+          let total = Objective.plan_cost obj groups in
+          let sum = List.fold_left (fun acc g -> acc +. Objective.group_cost obj g) 0. groups in
+          Float.abs (total -. sum) < 1e-12)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_fused_registers_dominate_members;
+      prop_fused_traffic_at_most_members;
+      prop_fused_flops_at_least_members;
+      prop_fused_segments_cover_members;
+      prop_random_plans_fully_valid;
+      prop_local_refine_never_worsens;
+      prop_measured_fused_positive;
+      prop_projection_below_roofline_performance;
+      prop_plan_cost_additive;
+    ]

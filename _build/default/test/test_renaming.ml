@@ -1,0 +1,170 @@
+(* Tests for Kf_graph.Renaming: materialization of the expandable-array
+   relaxation (paper §II-B.1c). *)
+
+open Kf_ir
+module Datadep = Kf_graph.Datadep
+module Exec_order = Kf_graph.Exec_order
+module Renaming = Kf_graph.Renaming
+module Sem = Kf_exec.Semantics
+
+let check = Alcotest.check
+
+let small_grid = Grid.make ~nx:64 ~ny:32 ~nz:4 ~block_x:16 ~block_y:8
+
+(* k0 writes Q (gen 1); k1 reads gen 1; k2 writes Q again (gen 2);
+   k3 reads gen 2 — the QFLX pattern of paper Fig. 1.  s is a read-only
+   companion keeping every kernel kin-connected. *)
+let qflx_program () =
+  let acc array mode pattern flops = { Access.array; mode; pattern; flops } in
+  let arrays =
+    [ Array_info.make ~id:0 ~name:"Q" (); Array_info.make ~id:1 ~name:"s" ();
+      Array_info.make ~id:2 ~name:"o1" (); Array_info.make ~id:3 ~name:"o2" () ]
+  in
+  let kernels =
+    [
+      Kernel.make ~id:0 ~name:"w1"
+        ~accesses:[ acc 1 Access.Read Stencil.point 1.; acc 0 Access.Write Stencil.point 1. ] ();
+      Kernel.make ~id:1 ~name:"r1"
+        ~accesses:[ acc 0 Access.Read Stencil.star5 2.; acc 2 Access.Write Stencil.point 0. ] ();
+      Kernel.make ~id:2 ~name:"w2"
+        ~accesses:[ acc 1 Access.Read Stencil.point 1.; acc 0 Access.Write Stencil.point 1. ] ();
+      Kernel.make ~id:3 ~name:"r2"
+        ~accesses:[ acc 0 Access.Read Stencil.star5 2.; acc 3 Access.Write Stencil.point 0. ] ();
+    ]
+  in
+  Program.create ~name:"qflx" ~grid:small_grid ~arrays ~kernels
+
+let test_is_identity () =
+  let p = Kf_workloads.Motivating.program ~grid:small_grid () in
+  check Alcotest.bool "motivating has no expandables" true
+    (Renaming.is_identity (Datadep.build p));
+  check Alcotest.bool "qflx has expandables" false
+    (Renaming.is_identity (Datadep.build (qflx_program ())))
+
+let test_materialize_structure () =
+  let p = qflx_program () in
+  let dd = Datadep.build p in
+  check Alcotest.bool "Q expandable" true (Datadep.array_class dd 0 = Datadep.Expandable);
+  let renamed, orig_of = Renaming.materialize dd in
+  (* Two generations, no gen-0 readers: one extra copy (gen 1); gen 2
+     keeps the original id. *)
+  check Alcotest.int "one extra array" (Program.num_arrays p + 1) (Program.num_arrays renamed);
+  check Alcotest.int "copy maps to Q" 0 orig_of.(Program.num_arrays p);
+  check Alcotest.(list string) "renamed program validates" [] (Program.validate renamed);
+  (* The renamed program has no expandable arrays left. *)
+  check Alcotest.bool "no expandables remain" true
+    (Renaming.is_identity (Datadep.build renamed));
+  (* w1/r1 use the gen-1 copy; w2/r2 the original id. *)
+  let copy = Program.num_arrays p in
+  check Alcotest.bool "w1 writes copy" true (Kernel.touches (Program.kernel renamed 0) copy);
+  check Alcotest.bool "r1 reads copy" true (Kernel.touches (Program.kernel renamed 1) copy);
+  check Alcotest.bool "w2 writes original" true (Kernel.touches (Program.kernel renamed 2) 0);
+  check Alcotest.bool "r2 reads original" true (Kernel.touches (Program.kernel renamed 3) 0)
+
+let test_renamed_matches_relaxed_graph () =
+  (* The renamed program's own dependencies equal the relaxed graph:
+     r1 -> w2 (the cross-generation anti edge) disappears. *)
+  let p = qflx_program () in
+  let dd = Datadep.build p in
+  let relaxed = Exec_order.build dd in
+  let renamed, _ = Renaming.materialize dd in
+  let exec_r = Exec_order.build ~relax_expandable:false (Datadep.build renamed) in
+  check Alcotest.bool "relaxed drops r1->w2" false (Exec_order.must_precede relaxed 1 2);
+  check Alcotest.bool "renamed drops r1->w2" false (Exec_order.must_precede exec_r 1 2);
+  check Alcotest.bool "flow w1->r1 kept" true (Exec_order.must_precede exec_r 0 1);
+  check Alcotest.bool "flow w2->r2 kept" true (Exec_order.must_precede exec_r 2 3)
+
+let test_renamed_execution_matches_plain () =
+  (* Sequential execution of the renamed program produces the same final
+     contents for every original array as the plain program. *)
+  let p = qflx_program () in
+  let renamed, orig_of = Renaming.materialize (Datadep.build p) in
+  let a = Sem.run_original p in
+  let b = Sem.run_original ~orig_of renamed in
+  let v = Sem.compare_states p a b in
+  check Alcotest.bool "equivalent" true v.Sem.equivalent
+
+let test_gen0_readers_get_copy () =
+  (* A reader before the first write must keep its own copy of the initial
+     contents, because relaxation drops its anti edge to the writers. *)
+  let acc array mode pattern flops = { Access.array; mode; pattern; flops } in
+  let arrays =
+    [ Array_info.make ~id:0 ~name:"Q" (); Array_info.make ~id:1 ~name:"s" ();
+      Array_info.make ~id:2 ~name:"o0" (); Array_info.make ~id:3 ~name:"o1" ();
+      Array_info.make ~id:4 ~name:"o2" () ]
+  in
+  let kernels =
+    [
+      Kernel.make ~id:0 ~name:"r0"
+        ~accesses:[ acc 0 Access.Read Stencil.point 1.; acc 2 Access.Write Stencil.point 0. ] ();
+      Kernel.make ~id:1 ~name:"w1"
+        ~accesses:[ acc 1 Access.Read Stencil.point 1.; acc 0 Access.Write Stencil.point 1. ] ();
+      Kernel.make ~id:2 ~name:"r1"
+        ~accesses:[ acc 0 Access.Read Stencil.point 2.; acc 3 Access.Write Stencil.point 0. ] ();
+      Kernel.make ~id:3 ~name:"w2"
+        ~accesses:[ acc 1 Access.Read Stencil.point 1.; acc 0 Access.Write Stencil.point 1. ] ();
+      Kernel.make ~id:4 ~name:"r2"
+        ~accesses:[ acc 0 Access.Read Stencil.point 2.; acc 4 Access.Write Stencil.point 0. ] ();
+    ]
+  in
+  let p = Program.create ~name:"gen0" ~grid:small_grid ~arrays ~kernels in
+  let dd = Datadep.build p in
+  check Alcotest.bool "expandable" true (Datadep.array_class dd 0 = Datadep.Expandable);
+  let renamed, orig_of = Renaming.materialize dd in
+  (* Copies for gen 0 (initial readers) and gen 1; gen 2 keeps the id. *)
+  check Alcotest.int "two extra arrays" (Program.num_arrays p + 2) (Program.num_arrays renamed);
+  let a = Sem.run_original p in
+  let b = Sem.run_original ~orig_of renamed in
+  check Alcotest.bool "equivalent" true (Sem.compare_states p a b).Sem.equivalent
+
+let test_cross_generation_update_split () =
+  (* TeaLeaf's u += alpha·p pattern: a ReadWrite access consuming one
+     generation and producing the next is split into read + write. *)
+  let p = Kf_workloads.Tealeaf.program ~grid:(Grid.make ~nx:64 ~ny:32 ~nz:1 ~block_x:16 ~block_y:8) () in
+  let dd = Datadep.build p in
+  let renamed, orig_of = Renaming.materialize dd in
+  check Alcotest.(list string) "validates" [] (Program.validate renamed);
+  let a = Sem.run_original p in
+  let b = Sem.run_original ~orig_of renamed in
+  check Alcotest.bool "equivalent" true (Sem.compare_states p a b).Sem.equivalent
+
+let test_same_generation_waw_kept () =
+  (* Two writers of the same generation must stay ordered even under
+     relaxation. *)
+  let acc array mode pattern flops = { Access.array; mode; pattern; flops } in
+  let arrays =
+    [ Array_info.make ~id:0 ~name:"Q" (); Array_info.make ~id:1 ~name:"s" ();
+      Array_info.make ~id:2 ~name:"o" () ]
+  in
+  (* w_a writes Q, w_b overwrites Q (no read between: same generation),
+     r reads, then w_c starts generation 2. *)
+  let kernels =
+    [
+      Kernel.make ~id:0 ~name:"w_a"
+        ~accesses:[ acc 1 Access.Read Stencil.point 1.; acc 0 Access.Write Stencil.point 1. ] ();
+      Kernel.make ~id:1 ~name:"w_b"
+        ~accesses:[ acc 1 Access.Read Stencil.point 2.; acc 0 Access.Write Stencil.point 1. ] ();
+      Kernel.make ~id:2 ~name:"r"
+        ~accesses:[ acc 0 Access.Read Stencil.point 1.; acc 2 Access.Write Stencil.point 0. ] ();
+      Kernel.make ~id:3 ~name:"w_c"
+        ~accesses:[ acc 1 Access.Read Stencil.point 1.; acc 0 Access.Write Stencil.point 1. ] ();
+    ]
+  in
+  let p = Program.create ~name:"waw" ~grid:small_grid ~arrays ~kernels in
+  let dd = Datadep.build p in
+  check Alcotest.bool "expandable (2 gens)" true (Datadep.array_class dd 0 = Datadep.Expandable);
+  let relaxed = Exec_order.build dd in
+  check Alcotest.bool "same-gen WAW kept under relaxation" true
+    (Exec_order.must_precede relaxed 0 1);
+  check Alcotest.bool "cross-gen anti dropped" false (Exec_order.must_precede relaxed 2 3)
+
+let suite =
+  [
+    Alcotest.test_case "is identity" `Quick test_is_identity;
+    Alcotest.test_case "materialize structure" `Quick test_materialize_structure;
+    Alcotest.test_case "renamed = relaxed graph" `Quick test_renamed_matches_relaxed_graph;
+    Alcotest.test_case "renamed execution matches" `Quick test_renamed_execution_matches_plain;
+    Alcotest.test_case "gen0 readers copied" `Quick test_gen0_readers_get_copy;
+    Alcotest.test_case "cross-generation update split" `Quick test_cross_generation_update_split;
+    Alcotest.test_case "same-generation WAW kept" `Quick test_same_generation_waw_kept;
+  ]

@@ -1,0 +1,259 @@
+(* Tests for Kf_search: objective, grouping operations, HGGA, exact solver,
+   greedy and random baselines. *)
+
+module Device = Kf_gpu.Device
+module Inputs = Kf_model.Inputs
+module Objective = Kf_search.Objective
+module Grouping = Kf_search.Grouping
+module Hgga = Kf_search.Hgga
+module Exact = Kf_search.Exact
+module Greedy = Kf_search.Greedy
+module Random_search = Kf_search.Random_search
+module Plan = Kf_fusion.Plan
+module Measure = Kf_sim.Measure
+module Suite = Kf_workloads.Suite
+module Motivating = Kf_workloads.Motivating
+
+let check = Alcotest.check
+let device = Device.k20x
+
+let objective_of program =
+  let meta = Kf_ir.Metadata.build program in
+  let exec = Kf_graph.Exec_order.build (Kf_graph.Datadep.build program) in
+  let measured_runtime =
+    Array.map (fun r -> r.Measure.runtime_s) (Measure.program_results ~device program)
+  in
+  Objective.create (Inputs.make ~device ~meta ~exec ~measured_runtime)
+
+let motivating_obj () = objective_of (Motivating.program ())
+
+let small_suite seed =
+  Suite.generate { Suite.default with Suite.kernels = 12; arrays = 24; seed }
+
+(* --- Objective --- *)
+
+let test_objective_singleton_cost () =
+  let obj = motivating_obj () in
+  let i = Objective.inputs obj in
+  check (Alcotest.float 1e-12) "singleton measured" i.Inputs.measured_runtime.(0)
+    (Objective.group_cost obj [ 0 ]);
+  check Alcotest.int "no evaluations for singletons" 0 (Objective.evaluations obj)
+
+let test_objective_caching () =
+  let obj = motivating_obj () in
+  ignore (Objective.group_cost obj [ 0; 1 ]);
+  let n1 = Objective.evaluations obj in
+  ignore (Objective.group_cost obj [ 1; 0 ]);
+  check Alcotest.int "cache hit on permuted group" n1 (Objective.evaluations obj);
+  ignore (Objective.group_cost obj [ 2; 3 ]);
+  check Alcotest.int "miss counts" (n1 + 1) (Objective.evaluations obj)
+
+let test_objective_infeasible () =
+  let obj = motivating_obj () in
+  (* A and C share no array: kinship fails. *)
+  check Alcotest.bool "infeasible group" false (Objective.group_feasible obj [ 0; 2 ]);
+  check Alcotest.bool "infinite cost" true (Objective.group_cost obj [ 0; 2 ] = Float.infinity)
+
+let test_objective_profitability () =
+  let obj = motivating_obj () in
+  check Alcotest.bool "X profitable" true (Objective.group_profitable obj Motivating.fusion_x);
+  check Alcotest.bool "Y not profitable" false (Objective.group_profitable obj Motivating.fusion_y)
+
+let test_objective_plan_cost () =
+  let obj = motivating_obj () in
+  let identity = List.init 5 (fun k -> [ k ]) in
+  let i = Objective.inputs obj in
+  let total = Array.fold_left ( +. ) 0. i.Inputs.measured_runtime in
+  check (Alcotest.float 1e-12) "identity = measured total" total (Objective.plan_cost obj identity)
+
+let test_objective_models_differ () =
+  let p = Motivating.program () in
+  let meta = Kf_ir.Metadata.build p in
+  let exec = Kf_graph.Exec_order.build (Kf_graph.Datadep.build p) in
+  let measured_runtime =
+    Array.map (fun r -> r.Measure.runtime_s) (Measure.program_results ~device p)
+  in
+  let i = Inputs.make ~device ~meta ~exec ~measured_runtime in
+  let costs =
+    List.map
+      (fun m -> Objective.group_cost (Objective.create ~model:m i) Motivating.fusion_y)
+      [ Objective.Proposed; Objective.Roofline; Objective.Simple; Objective.Mwp ]
+  in
+  check Alcotest.int "four distinct costs" 4 (List.length (List.sort_uniq compare costs))
+
+(* --- Grouping --- *)
+
+let test_grouping_normalize () =
+  check
+    Alcotest.(list (list int))
+    "canonical"
+    [ [ 0; 3 ]; [ 1; 2 ] ]
+    (Grouping.normalize [ [ 2; 1 ]; [ 3; 0 ] ])
+
+let test_grouping_absorbing_merge () =
+  let obj = motivating_obj () in
+  (* Merging A and B succeeds and leaves the others untouched. *)
+  let groups = List.init 5 (fun k -> [ k ]) in
+  match Grouping.merge_pair obj groups [ 0 ] [ 1 ] with
+  | None -> Alcotest.fail "merge should succeed"
+  | Some (merged, rest) ->
+      check Alcotest.(list int) "merged" [ 0; 1 ] (List.sort compare merged);
+      check Alcotest.int "rest" 3 (List.length rest)
+
+let test_grouping_dissolve () =
+  let groups = [ [ 0; 1 ]; [ 2 ] ] in
+  check Alcotest.(list (list int)) "dissolved" [ [ 0 ]; [ 1 ]; [ 2 ] ]
+    (Grouping.normalize (Grouping.dissolve groups [ 0; 1 ]))
+
+let test_grouping_random_plan_valid () =
+  let obj = objective_of (small_suite 5) in
+  let rng = Kf_util.Rng.create 9 in
+  for _ = 1 to 10 do
+    let groups = Grouping.random_plan obj rng 12 in
+    let plan = Plan.of_groups ~n:12 groups in
+    let i = Objective.inputs obj in
+    let violations = Plan.validate ~device ~meta:i.Inputs.meta ~exec:i.Inputs.exec plan in
+    check Alcotest.int "random plan has no violations" 0 (List.length violations);
+    check Alcotest.bool "schedulable" true (Grouping.schedulable obj groups)
+  done
+
+let test_grouping_enforce_profitability () =
+  let obj = motivating_obj () in
+  let groups = [ Motivating.fusion_x; Motivating.fusion_y ] in
+  let cleaned = Grouping.enforce_profitability obj groups in
+  (* Y is unprofitable: dissolved; X stays. *)
+  check Alcotest.bool "X kept" true (List.mem (List.sort compare Motivating.fusion_x) cleaned);
+  check Alcotest.bool "Y dissolved" false (List.mem (List.sort compare Motivating.fusion_y) cleaned);
+  check Alcotest.int "singletons appear" 5
+    (List.fold_left (fun acc g -> acc + List.length g) 0 cleaned)
+
+(* --- Solvers --- *)
+
+let test_hgga_beats_identity () =
+  let obj = objective_of (small_suite 1) in
+  let identity_cost = Objective.plan_cost obj (List.init 12 (fun k -> [ k ])) in
+  let r = Hgga.solve ~params:{ Hgga.default_params with Hgga.max_generations = 60 } obj in
+  check Alcotest.bool "improves on identity" true (r.Hgga.cost <= identity_cost);
+  check Alcotest.int "plan covers all kernels" 12 (Plan.num_kernels r.Hgga.plan)
+
+let test_hgga_plan_valid () =
+  let obj = objective_of (small_suite 2) in
+  let r = Hgga.solve ~params:{ Hgga.default_params with Hgga.max_generations = 40 } obj in
+  let i = Objective.inputs obj in
+  let violations = Plan.validate ~device ~meta:i.Inputs.meta ~exec:i.Inputs.exec r.Hgga.plan in
+  check Alcotest.int "no violations" 0 (List.length violations)
+
+let test_hgga_deterministic () =
+  let r1 = Hgga.solve ~params:{ Hgga.default_params with Hgga.max_generations = 30 } (objective_of (small_suite 3)) in
+  let r2 = Hgga.solve ~params:{ Hgga.default_params with Hgga.max_generations = 30 } (objective_of (small_suite 3)) in
+  check Alcotest.bool "same plan" true (Plan.equal r1.Hgga.plan r2.Hgga.plan);
+  check (Alcotest.float 1e-12) "same cost" r1.Hgga.cost r2.Hgga.cost
+
+let test_hgga_stats () =
+  let obj = objective_of (small_suite 4) in
+  let r = Hgga.solve ~params:{ Hgga.default_params with Hgga.max_generations = 30 } obj in
+  check Alcotest.bool "ran generations" true (r.Hgga.stats.Hgga.generations > 0);
+  check Alcotest.bool "counted evaluations" true (r.Hgga.stats.Hgga.evaluations > 0);
+  check Alcotest.bool "history non-empty" true (r.Hgga.stats.Hgga.improvement_history <> [])
+
+let test_exact_small () =
+  let obj = motivating_obj () in
+  let r = Exact.solve obj in
+  (* The optimum on the motivating example fuses A+B and leaves C,D,E (or
+     better); the exact cost can never exceed the identity cost. *)
+  let identity_cost = Objective.plan_cost obj (List.init 5 (fun k -> [ k ])) in
+  check Alcotest.bool "at most identity" true (r.Exact.cost <= identity_cost +. 1e-12);
+  check Alcotest.bool "enumerated groups" true (r.Exact.feasible_groups >= 5);
+  check Alcotest.bool "contains AB fusion" true
+    (List.mem [ 0; 1 ] r.Exact.groups)
+
+let test_exact_matches_brute_force () =
+  (* Tiny instance: exhaustive set-partition enumeration as ground truth. *)
+  let p = small_suite 6 in
+  let p =
+    (* restrict to the first 7 kernels by building a fresh suite config *)
+    ignore p;
+    Suite.generate { Suite.default with Suite.kernels = 7; arrays = 14; seed = 6 }
+  in
+  let obj = objective_of p in
+  let n = 7 in
+  (* Enumerate all partitions of {0..6} (Bell(7) = 877). *)
+  let rec partitions = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        List.concat_map
+          (fun part ->
+            let with_existing =
+              List.mapi
+                (fun i _ -> List.mapi (fun j g -> if i = j then x :: g else g) part)
+                part
+            in
+            ([ x ] :: part) :: with_existing)
+          (partitions rest)
+  in
+  let all = partitions [ 0; 1; 2; 3; 4; 5; 6 ] in
+  let i = Objective.inputs obj in
+  let best =
+    List.fold_left
+      (fun acc part ->
+        let plan = Plan.of_groups ~n part in
+        if Plan.validate ~device ~meta:i.Inputs.meta ~exec:i.Inputs.exec plan = [] then begin
+          let c = Objective.plan_cost obj part in
+          if c < acc then c else acc
+        end
+        else acc)
+      Float.infinity all
+  in
+  let r = Exact.solve ~max_group_size:7 obj in
+  check Alcotest.bool "exact <= brute force" true (r.Exact.cost <= best +. 1e-9)
+
+let test_greedy () =
+  let obj = objective_of (small_suite 7) in
+  let identity_cost = Objective.plan_cost obj (List.init 12 (fun k -> [ k ])) in
+  let r = Greedy.solve obj in
+  check Alcotest.bool "greedy improves" true (r.Greedy.cost <= identity_cost);
+  check Alcotest.bool "made merges" true (r.Greedy.merges >= 0);
+  let i = Objective.inputs obj in
+  check Alcotest.int "greedy plan valid" 0
+    (List.length (Plan.validate ~device ~meta:i.Inputs.meta ~exec:i.Inputs.exec r.Greedy.plan))
+
+let test_random_search () =
+  let obj = objective_of (small_suite 8) in
+  let identity_cost = Objective.plan_cost obj (List.init 12 (fun k -> [ k ])) in
+  let r = Random_search.solve ~samples:50 obj in
+  check Alcotest.bool "random improves or matches" true (r.Random_search.cost <= identity_cost);
+  let i = Objective.inputs obj in
+  check Alcotest.int "random plan valid" 0
+    (List.length (Plan.validate ~device ~meta:i.Inputs.meta ~exec:i.Inputs.exec r.Random_search.plan))
+
+let test_hgga_at_least_greedy_quality () =
+  (* On a small instance the GA should not lose badly to greedy. *)
+  let obj1 = objective_of (small_suite 9) in
+  let g = Greedy.solve obj1 in
+  let obj2 = objective_of (small_suite 9) in
+  let h = Hgga.solve ~params:{ Hgga.default_params with Hgga.max_generations = 80 } obj2 in
+  check Alcotest.bool "hgga within 10% of greedy" true (h.Hgga.cost <= g.Greedy.cost *. 1.10)
+
+let suite =
+  [
+    Alcotest.test_case "objective singleton cost" `Quick test_objective_singleton_cost;
+    Alcotest.test_case "objective caching" `Quick test_objective_caching;
+    Alcotest.test_case "objective infeasible" `Quick test_objective_infeasible;
+    Alcotest.test_case "objective profitability" `Quick test_objective_profitability;
+    Alcotest.test_case "objective plan cost" `Quick test_objective_plan_cost;
+    Alcotest.test_case "objective models differ" `Quick test_objective_models_differ;
+    Alcotest.test_case "grouping normalize" `Quick test_grouping_normalize;
+    Alcotest.test_case "grouping absorbing merge" `Quick test_grouping_absorbing_merge;
+    Alcotest.test_case "grouping dissolve" `Quick test_grouping_dissolve;
+    Alcotest.test_case "grouping random plans valid" `Slow test_grouping_random_plan_valid;
+    Alcotest.test_case "grouping profitability cleanup" `Quick test_grouping_enforce_profitability;
+    Alcotest.test_case "hgga beats identity" `Slow test_hgga_beats_identity;
+    Alcotest.test_case "hgga plan valid" `Slow test_hgga_plan_valid;
+    Alcotest.test_case "hgga deterministic" `Slow test_hgga_deterministic;
+    Alcotest.test_case "hgga stats" `Slow test_hgga_stats;
+    Alcotest.test_case "exact small" `Quick test_exact_small;
+    Alcotest.test_case "exact matches brute force" `Slow test_exact_matches_brute_force;
+    Alcotest.test_case "greedy" `Slow test_greedy;
+    Alcotest.test_case "random search" `Slow test_random_search;
+    Alcotest.test_case "hgga vs greedy" `Slow test_hgga_at_least_greedy_quality;
+  ]

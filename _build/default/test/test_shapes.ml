@@ -1,0 +1,115 @@
+(* Reproduction-shape regression tests: the qualitative results claimed in
+   EXPERIMENTS.md must keep holding as the code evolves.  These use reduced
+   search budgets, so the asserted ranges are generous. *)
+
+module Device = Kf_gpu.Device
+module Pipeline = Kfuse.Pipeline
+module Hgga = Kf_search.Hgga
+module Inputs = Kf_model.Inputs
+module Fused = Kf_fusion.Fused
+module Measure = Kf_sim.Measure
+module Traffic = Kf_graph.Traffic
+module Motivating = Kf_workloads.Motivating
+
+let check = Alcotest.check
+let device = Device.k20x
+
+let fast = { Hgga.default_params with Hgga.max_generations = 120; stall_generations = 40 }
+
+let test_table1_scale_les_reducible () =
+  (* Paper Table I: SCALE-LES has 41% reducible GMEM traffic. *)
+  let p = Kf_workloads.Scale_les.program () in
+  let r = Traffic.analyze (Kf_graph.Exec_order.build (Kf_graph.Datadep.build p)) in
+  check Alcotest.bool "within [0.36, 0.46]" true
+    (r.Traffic.reducible_fraction > 0.36 && r.Traffic.reducible_fraction < 0.46)
+
+let test_table7_homme_speedup_band () =
+  (* Paper Table VII: HOMME gains a modest 1.18-1.20x; the reproduction
+     over-delivers somewhat but must stay in the modest-speedup class. *)
+  let o = Pipeline.run ~params:fast ~device (Kf_workloads.Homme.program ()) in
+  check Alcotest.bool "within [1.1, 1.6]" true
+    (o.Pipeline.speedup > 1.1 && o.Pipeline.speedup < 1.6)
+
+let test_motivating_story () =
+  (* Paper §IV-B: X profits, Y degrades, naive models endorse Y, the
+     proposed model rejects it. *)
+  let p = Motivating.program () in
+  let ctx = Pipeline.prepare ~device p in
+  let i = ctx.Pipeline.inputs in
+  let f g = Fused.build ~device ~meta:ctx.Pipeline.meta ~exec:ctx.Pipeline.exec ~group:g in
+  let x = f Motivating.fusion_x and y = f Motivating.fusion_y in
+  let mx = (Measure.fused ~device p x).Measure.runtime_s in
+  let my = (Measure.fused ~device p y).Measure.runtime_s in
+  let ox = Inputs.original_sum i Motivating.fusion_x in
+  let oy = Inputs.original_sum i Motivating.fusion_y in
+  check Alcotest.bool "X profitable" true (mx < ox);
+  check Alcotest.bool "Y degrades" true (my > oy);
+  check Alcotest.bool "roofline endorses Y" true (Kf_model.Roofline.runtime i y < oy);
+  check Alcotest.bool "simple endorses Y" true (Kf_model.Simple_model.runtime i y < oy);
+  check Alcotest.bool "proposed rejects Y" true (Kf_model.Projection.runtime i y > oy)
+
+let test_fig6_model_ordering () =
+  (* Paper Fig. 6: across the suite, Roofline < simple ≤ measured and the
+     proposed bound tracks measured most closely. *)
+  let p =
+    Kf_workloads.Suite.generate
+      { Kf_workloads.Suite.default with Kf_workloads.Suite.kernels = 20; arrays = 40; seed = 20 }
+  in
+  let ctx = Pipeline.prepare ~device p in
+  let i = ctx.Pipeline.inputs in
+  let r = Hgga.solve ~params:fast (Pipeline.objective ctx) in
+  let groups =
+    List.filter (fun g -> List.length g >= 2) (Kf_fusion.Plan.groups r.Hgga.plan)
+  in
+  check Alcotest.bool "found fusions" true (groups <> []);
+  let sum f = List.fold_left (fun acc g -> acc +. f g) 0. groups in
+  let build g = Fused.build ~device ~meta:ctx.Pipeline.meta ~exec:ctx.Pipeline.exec ~group:g in
+  let measured = sum (fun g -> (Measure.fused ~device p (build g)).Measure.runtime_s) in
+  let roofline = sum (fun g -> Kf_model.Roofline.runtime i (build g)) in
+  let simple = sum (fun g -> Kf_model.Simple_model.runtime i (build g)) in
+  let proposed = sum (fun g -> Kf_model.Projection.runtime i (build g)) in
+  check Alcotest.bool "roofline most optimistic" true (roofline < simple);
+  check Alcotest.bool "simple below measured" true (simple < measured);
+  check Alcotest.bool "proposed tracks measured within 35%" true
+    (Float.abs (proposed -. measured) /. measured < 0.35)
+
+let test_evalcost_ordering () =
+  (* The codeless projection must stay orders of magnitude cheaper than a
+     simulator-backed evaluation (the paper's scalability argument). *)
+  let p = Kf_workloads.Scale_les.rk_core () in
+  let ctx = Pipeline.prepare ~device p in
+  let i = ctx.Pipeline.inputs in
+  let f =
+    Fused.build ~device ~meta:ctx.Pipeline.meta ~exec:ctx.Pipeline.exec ~group:[ 7; 9; 8 ]
+  in
+  let time fn =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to 50 do
+      ignore (fn ())
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let proj = time (fun () -> Kf_model.Projection.runtime i f) in
+  let sim = time (fun () -> (Measure.fused ~device p f).Measure.runtime_s) in
+  check Alcotest.bool "projection 50x cheaper than simulation" true (sim > 50. *. proj)
+
+let test_smem_capacity_helps () =
+  (* Paper §VI-E: more SMEM, more fusion benefit (projected). *)
+  let p = Kf_workloads.Scale_les.rk_core () in
+  let base = Pipeline.run ~params:fast ~device p in
+  let big = Pipeline.run ~params:fast ~device:(Device.with_smem device (256 * 1024)) p in
+  let projected (o : Pipeline.outcome) =
+    o.Pipeline.context.Pipeline.original_runtime /. o.Pipeline.search.Hgga.cost
+  in
+  check Alcotest.bool "bigger SMEM projects at least as much gain" true
+    (projected big >= projected base *. 0.98)
+
+let suite =
+  [
+    Alcotest.test_case "table1: SCALE-LES reducible traffic" `Quick test_table1_scale_les_reducible;
+    Alcotest.test_case "table7: HOMME speedup band" `Slow test_table7_homme_speedup_band;
+    Alcotest.test_case "motivating story" `Slow test_motivating_story;
+    Alcotest.test_case "fig6 model ordering" `Slow test_fig6_model_ordering;
+    Alcotest.test_case "evalcost ordering" `Slow test_evalcost_ordering;
+    Alcotest.test_case "smem capacity helps" `Slow test_smem_capacity_helps;
+  ]

@@ -1,0 +1,255 @@
+(* Tests for Kf_sim: occupancy, engine behavior, measurement driver. *)
+
+module Device = Kf_gpu.Device
+module Occupancy = Kf_sim.Occupancy
+module Engine = Kf_sim.Engine
+module Trace = Kf_sim.Trace
+module Measure = Kf_sim.Measure
+module Motivating = Kf_workloads.Motivating
+
+let check = Alcotest.check
+let device = Device.k20x
+
+(* --- Occupancy --- *)
+
+let test_occupancy_thread_limit () =
+  let l =
+    Occupancy.compute ~device ~threads_per_block:512 ~registers_per_thread:20 ~smem_per_block:0 ()
+  in
+  check Alcotest.int "thread-limited" 4 l.Occupancy.active_blocks;
+  check Alcotest.string "binding" "threads" (Occupancy.binding_resource l)
+
+let test_occupancy_register_limit () =
+  let l =
+    Occupancy.compute ~device ~threads_per_block:256 ~registers_per_thread:128 ~smem_per_block:0 ()
+  in
+  (* 65536 / (256*128) = 2 *)
+  check Alcotest.int "register-limited" 2 l.Occupancy.active_blocks;
+  check Alcotest.string "binding" "registers" (Occupancy.binding_resource l)
+
+let test_occupancy_smem_limit () =
+  let l =
+    Occupancy.compute ~device ~threads_per_block:128 ~registers_per_thread:32
+      ~smem_per_block:(16 * 1024) ()
+  in
+  check Alcotest.int "smem-limited" 3 l.Occupancy.active_blocks;
+  check Alcotest.string "binding" "smem" (Occupancy.binding_resource l)
+
+let test_occupancy_overflow () =
+  let l =
+    Occupancy.compute ~device ~threads_per_block:128 ~registers_per_thread:32
+      ~smem_per_block:(64 * 1024) ()
+  in
+  check Alcotest.int "cannot launch" 0 l.Occupancy.active_blocks
+
+let test_occupancy_fraction () =
+  let l =
+    Occupancy.compute ~device ~threads_per_block:256 ~registers_per_thread:32 ~smem_per_block:0 ()
+  in
+  (* 65536/(256*32) = 8 blocks = 64 warps = max on Kepler. *)
+  check (Alcotest.float 1e-9) "full occupancy" 1.0 (Occupancy.occupancy_fraction ~device l)
+
+let test_occupancy_maxwell_more_blocks () =
+  let k = Occupancy.compute ~device ~threads_per_block:64 ~registers_per_thread:16 ~smem_per_block:0 () in
+  let m =
+    Occupancy.compute ~device:Device.gtx750ti ~threads_per_block:64 ~registers_per_thread:16
+      ~smem_per_block:0 ()
+  in
+  check Alcotest.int "kepler block cap" 16 k.Occupancy.active_blocks;
+  check Alcotest.int "maxwell block cap" 32 m.Occupancy.active_blocks
+
+(* --- Engine --- *)
+
+let spec_of trace =
+  { Engine.warps_per_block = 8; trace; special_trace = trace; conflict_factor = 1.0; stream_factor = 1.0 }
+
+let run_blocks blocks trace =
+  Engine.run { Engine.device; blocks_per_smx = blocks; total_blocks = blocks * device.Device.smx_count; spec = spec_of trace }
+
+let test_engine_empty_trace () =
+  let r = run_blocks 2 [||] in
+  check Alcotest.bool "finishes" true (r.Engine.runtime_s >= 0.)
+
+let test_engine_bandwidth_bound () =
+  (* Pure streaming at full occupancy cannot beat the DRAM share. *)
+  let trace = Array.make 256 (Engine.Gload 2) in
+  let r = run_blocks 8 trace in
+  let txns = 256 * 2 * 8 * 8 in
+  let min_cycles = float_of_int txns *. 128. /. (Device.bytes_per_cycle device /. 14.) in
+  check Alcotest.bool "respects bandwidth" true (r.Engine.cycles_per_wave >= min_cycles *. 0.99)
+
+let test_engine_latency_hiding () =
+  (* Achieved bandwidth grows with resident warps. *)
+  let trace = Array.init 128 (fun i -> if i mod 2 = 0 then Engine.Gload 2 else Engine.Compute 2) in
+  let r1 = run_blocks 1 trace in
+  let r4 = run_blocks 4 trace in
+  (* 4 blocks move 4x the data; if hiding worked, the wave takes well under
+     4x the single-block cycles. *)
+  check Alcotest.bool "overlap across warps" true
+    (r4.Engine.cycles_per_wave < 3. *. r1.Engine.cycles_per_wave)
+
+let test_engine_barrier_sync () =
+  (* Barriers serialize: a trace with barriers takes longer than without. *)
+  let with_b =
+    Array.init 64 (fun i -> if i mod 4 = 3 then Engine.Barrier else Engine.Compute 4)
+  in
+  let without = Array.init 64 (fun i -> if i mod 4 = 3 then Engine.Compute 1 else Engine.Compute 4) in
+  let rb = run_blocks 2 with_b in
+  let rn = run_blocks 2 without in
+  check Alcotest.bool "barriers cost" true (rb.Engine.cycles_per_wave > rn.Engine.cycles_per_wave)
+
+let test_engine_conflict_factor () =
+  let trace = Array.make 64 (Engine.Smem 4) in
+  let base = Engine.run { Engine.device; blocks_per_smx = 2; total_blocks = 28; spec = spec_of trace } in
+  let conflicted =
+    Engine.run
+      {
+        Engine.device;
+        blocks_per_smx = 2;
+        total_blocks = 28;
+        spec = { (spec_of trace) with Engine.conflict_factor = 2.0 };
+      }
+  in
+  check Alcotest.bool "conflicts slow smem" true
+    (conflicted.Engine.cycles_per_wave > 1.5 *. base.Engine.cycles_per_wave)
+
+let test_engine_stream_factor () =
+  let trace = Array.make 128 (Engine.Gload 2) in
+  let base = run_blocks 8 trace in
+  let penalized =
+    Engine.run
+      {
+        Engine.device;
+        blocks_per_smx = 8;
+        total_blocks = 8 * 14;
+        spec = { (spec_of trace) with Engine.stream_factor = 1.5 };
+      }
+  in
+  check Alcotest.bool "stream penalty applies" true
+    (penalized.Engine.cycles_per_wave > 1.3 *. base.Engine.cycles_per_wave)
+
+let test_engine_waves () =
+  let trace = Array.make 16 (Engine.Compute 4) in
+  let one =
+    Engine.run { Engine.device; blocks_per_smx = 4; total_blocks = 4 * 14; spec = spec_of trace }
+  in
+  let two =
+    Engine.run { Engine.device; blocks_per_smx = 4; total_blocks = 8 * 14; spec = spec_of trace }
+  in
+  check Alcotest.int "one wave" 1 one.Engine.waves;
+  check Alcotest.int "two waves" 2 two.Engine.waves;
+  check (Alcotest.float 1e-12) "runtime doubles" (2. *. one.Engine.runtime_s) two.Engine.runtime_s
+
+let test_engine_zero_blocks () =
+  Alcotest.check_raises "zero blocks"
+    (Invalid_argument "Engine.run: kernel cannot launch (zero resident blocks)") (fun () ->
+      ignore
+        (Engine.run
+           { Engine.device; blocks_per_smx = 0; total_blocks = 1; spec = spec_of [||] }))
+
+let test_engine_prefetch_cheaper_than_load () =
+  (* A consumer after prefetch does not pay DRAM latency; after a load it
+     does. *)
+  let with_load = Array.init 64 (fun i -> if i mod 2 = 0 then Engine.Gload 2 else Engine.Compute 2) in
+  let with_pf = Array.init 64 (fun i -> if i mod 2 = 0 then Engine.Prefetch 2 else Engine.Compute 2) in
+  let rl = run_blocks 1 with_load in
+  let rp = run_blocks 1 with_pf in
+  check Alcotest.bool "prefetch hides latency" true
+    (rp.Engine.cycles_per_wave < rl.Engine.cycles_per_wave)
+
+let test_engine_mlp_cap () =
+  (* A single warp cannot keep DRAM saturated on its own: doubling the
+     loads-per-consumer beyond the in-flight window scales runtime roughly
+     linearly, because the scoreboard serializes the excess. *)
+  let burst n = Array.append (Array.make n (Engine.Gload 2)) [| Engine.Compute 1 |] in
+  let spec t = { (spec_of t) with Engine.warps_per_block = 1 } in
+  let run t = (Engine.run { Engine.device; blocks_per_smx = 1; total_blocks = 14; spec = spec t }).Engine.cycles_per_wave in
+  let c6 = run (burst 6) and c24 = run (burst 24) in
+  (* 24 loads = 4 full windows: at least ~3x the 6-load (single-window)
+     time, whereas unlimited MLP would overlap them all. *)
+  check Alcotest.bool "scoreboard limits in-flight loads" true (c24 > 2.5 *. c6)
+
+let prop_engine_no_deadlock =
+  (* Random traces with matched barrier counts always terminate. *)
+  QCheck.Test.make ~count:50 ~name:"engine terminates on random traces"
+    QCheck.(pair small_int (int_range 1 40))
+    (fun (seed, len) ->
+      let rng = Kf_util.Rng.create seed in
+      let instr () =
+        match Kf_util.Rng.int rng 5 with
+        | 0 -> Engine.Gload (1 + Kf_util.Rng.int rng 3)
+        | 1 -> Engine.Gstore 1
+        | 2 -> Engine.Smem (1 + Kf_util.Rng.int rng 4)
+        | 3 -> Engine.Compute (1 + Kf_util.Rng.int rng 8)
+        | _ -> Engine.Barrier
+      in
+      let trace = Array.init len (fun _ -> instr ()) in
+      let r =
+        Engine.run { Engine.device; blocks_per_smx = 2; total_blocks = 28; spec = spec_of trace }
+      in
+      r.Engine.runtime_s >= 0. && r.Engine.instructions = len * 16)
+
+(* --- Measure --- *)
+
+let test_measure_kernel () =
+  let p = Motivating.program () in
+  let r = Measure.kernel ~device p 0 in
+  check Alcotest.bool "positive runtime" true (r.Measure.runtime_s > 0.);
+  check Alcotest.bool "bandwidth below device peak" true
+    (r.Measure.achieved_gbs < device.Device.gmem_bandwidth_gbs);
+  check Alcotest.bool "occupancy positive" true (r.Measure.occupancy.Occupancy.active_blocks > 0)
+
+let test_measure_program_sums () =
+  let p = Motivating.program () in
+  let total = Measure.program ~device p in
+  let parts = Measure.program_results ~device p in
+  let sum = Array.fold_left (fun acc r -> acc +. r.Measure.runtime_s) 0. parts in
+  check (Alcotest.float 1e-12) "program = sum of kernels" sum total
+
+let test_measure_determinism () =
+  let p = Motivating.program () in
+  let a = Measure.program ~device p and b = Measure.program ~device p in
+  check (Alcotest.float 0.) "deterministic" a b
+
+let test_measure_devices_differ () =
+  let p = Motivating.program () in
+  let k20 = Measure.program ~device p in
+  let k40 = Measure.program ~device:Device.k40 p in
+  check Alcotest.bool "faster device is faster" true (k40 < k20)
+
+let test_measure_runtime_respects_traffic () =
+  (* Runtime can never beat streaming the kernel's bytes at device peak. *)
+  let p = Motivating.program () in
+  Array.iteri
+    (fun _ r ->
+      let floor_s = r.Measure.gmem_bytes /. (device.Device.gmem_bandwidth_gbs *. 1e9) in
+      check Alcotest.bool "above streaming floor" true (r.Measure.runtime_s > 0.8 *. floor_s))
+    (Measure.program_results ~device p)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_engine_no_deadlock ]
+
+let suite =
+  [
+    Alcotest.test_case "occupancy thread limit" `Quick test_occupancy_thread_limit;
+    Alcotest.test_case "occupancy register limit" `Quick test_occupancy_register_limit;
+    Alcotest.test_case "occupancy smem limit" `Quick test_occupancy_smem_limit;
+    Alcotest.test_case "occupancy overflow" `Quick test_occupancy_overflow;
+    Alcotest.test_case "occupancy fraction" `Quick test_occupancy_fraction;
+    Alcotest.test_case "occupancy maxwell blocks" `Quick test_occupancy_maxwell_more_blocks;
+    Alcotest.test_case "engine empty trace" `Quick test_engine_empty_trace;
+    Alcotest.test_case "engine bandwidth bound" `Quick test_engine_bandwidth_bound;
+    Alcotest.test_case "engine latency hiding" `Quick test_engine_latency_hiding;
+    Alcotest.test_case "engine barrier sync" `Quick test_engine_barrier_sync;
+    Alcotest.test_case "engine conflict factor" `Quick test_engine_conflict_factor;
+    Alcotest.test_case "engine stream factor" `Quick test_engine_stream_factor;
+    Alcotest.test_case "engine waves" `Quick test_engine_waves;
+    Alcotest.test_case "engine zero blocks" `Quick test_engine_zero_blocks;
+    Alcotest.test_case "engine prefetch" `Quick test_engine_prefetch_cheaper_than_load;
+    Alcotest.test_case "engine mlp cap" `Quick test_engine_mlp_cap;
+    Alcotest.test_case "measure kernel" `Quick test_measure_kernel;
+    Alcotest.test_case "measure program sums" `Quick test_measure_program_sums;
+    Alcotest.test_case "measure determinism" `Quick test_measure_determinism;
+    Alcotest.test_case "measure devices differ" `Quick test_measure_devices_differ;
+    Alcotest.test_case "measure traffic floor" `Quick test_measure_runtime_respects_traffic;
+  ]
+  @ qsuite

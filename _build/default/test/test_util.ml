@@ -1,0 +1,228 @@
+(* Unit and property tests for Kf_util: RNG, statistics, bitsets, tables. *)
+
+module Rng = Kf_util.Rng
+module Stats = Kf_util.Stats
+module Bitset = Kf_util.Bitset
+module Table = Kf_util.Table
+
+let check = Alcotest.check
+let checkf = Alcotest.(check (float 1e-9))
+
+(* --- Rng --- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.int64 a <> Rng.int64 b then differs := true
+  done;
+  check Alcotest.bool "different seeds diverge" true !differs
+
+let test_rng_bounds () =
+  let t = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int t 17 in
+    check Alcotest.bool "int in bound" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let v = Rng.int_in t 5 9 in
+    check Alcotest.bool "int_in inclusive" true (v >= 5 && v <= 9)
+  done;
+  for _ = 1 to 100 do
+    let v = Rng.float t 2.5 in
+    check Alcotest.bool "float in bound" true (v >= 0. && v < 2.5)
+  done
+
+let test_rng_invalid () =
+  let t = Rng.create 1 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int t 0));
+  Alcotest.check_raises "empty range" (Invalid_argument "Rng.int_in: empty range") (fun () ->
+      ignore (Rng.int_in t 3 2));
+  Alcotest.check_raises "empty choose" (Invalid_argument "Rng.choose: empty array") (fun () ->
+      ignore (Rng.choose t [||]))
+
+let test_rng_split_independent () =
+  let parent = Rng.create 11 in
+  let child = Rng.split parent in
+  (* The child must not replay the parent's continuation. *)
+  let p = List.init 20 (fun _ -> Rng.int64 parent) in
+  let c = List.init 20 (fun _ -> Rng.int64 child) in
+  check Alcotest.bool "streams differ" true (p <> c)
+
+let test_rng_copy_replays () =
+  let t = Rng.create 5 in
+  ignore (Rng.int64 t);
+  let snapshot = Rng.copy t in
+  let a = List.init 10 (fun _ -> Rng.int64 t) in
+  let b = List.init 10 (fun _ -> Rng.int64 snapshot) in
+  check Alcotest.bool "copy replays" true (a = b)
+
+let prop_shuffle_is_permutation =
+  QCheck.Test.make ~count:200 ~name:"shuffle is a permutation"
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let rng = Rng.create seed in
+      let arr = Array.of_list l in
+      Rng.shuffle rng arr;
+      List.sort compare (Array.to_list arr) = List.sort compare l)
+
+let prop_sample_distinct =
+  QCheck.Test.make ~count:200 ~name:"sample draws distinct positions"
+    QCheck.(pair small_int (int_bound 20))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let arr = Array.init (n + 1) (fun i -> i) in
+      let k = 1 + Rng.int rng (n + 1) in
+      let s = Rng.sample rng k arr in
+      Array.length s = k && List.length (List.sort_uniq compare (Array.to_list s)) = k)
+
+let test_gaussian_moments () =
+  let rng = Rng.create 42 in
+  let n = 20000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian rng ~mean:3.0 ~stddev:2.0) in
+  let m = Stats.mean xs and sd = Stats.stddev xs in
+  check Alcotest.bool "mean near 3" true (Float.abs (m -. 3.0) < 0.1);
+  check Alcotest.bool "stddev near 2" true (Float.abs (sd -. 2.0) < 0.1)
+
+(* --- Stats --- *)
+
+let test_stats_basics () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  checkf "mean" 2.5 (Stats.mean xs);
+  checkf "median" 2.5 (Stats.median xs);
+  checkf "sum" 10. (Stats.sum xs);
+  checkf "variance" 1.25 (Stats.variance xs);
+  let lo, hi = Stats.min_max xs in
+  checkf "min" 1. lo;
+  checkf "max" 4. hi
+
+let test_stats_empty () =
+  checkf "mean of empty" 0. (Stats.mean [||]);
+  checkf "median of empty" 0. (Stats.median [||]);
+  check Alcotest.int "summary n" 0 (Stats.summarize [||]).Stats.n
+
+let test_stats_percentile () =
+  let xs = [| 10.; 20.; 30.; 40.; 50. |] in
+  checkf "p0" 10. (Stats.percentile xs 0.);
+  checkf "p50" 30. (Stats.percentile xs 50.);
+  checkf "p100" 50. (Stats.percentile xs 100.);
+  checkf "p25" 20. (Stats.percentile xs 25.)
+
+let test_stats_geomean () =
+  checkf "geomean" 2. (Stats.geomean [| 1.; 4. |]);
+  Alcotest.check_raises "non-positive" (Invalid_argument "Stats.geomean: non-positive value")
+    (fun () -> ignore (Stats.geomean [| 1.; 0. |]))
+
+let prop_mean_within_bounds =
+  QCheck.Test.make ~count:300 ~name:"mean lies within [min,max]"
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.))
+    (fun l ->
+      let xs = Array.of_list l in
+      let m = Stats.mean xs in
+      let lo, hi = Stats.min_max xs in
+      m >= lo -. 1e-9 && m <= hi +. 1e-9)
+
+let prop_median_within_bounds =
+  QCheck.Test.make ~count:300 ~name:"median lies within [min,max]"
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.))
+    (fun l ->
+      let xs = Array.of_list l in
+      let m = Stats.median xs in
+      let lo, hi = Stats.min_max xs in
+      m >= lo -. 1e-9 && m <= hi +. 1e-9)
+
+(* --- Bitset --- *)
+
+let test_bitset_basics () =
+  let s = Bitset.create 70 in
+  check Alcotest.bool "empty" true (Bitset.is_empty s);
+  Bitset.add s 0;
+  Bitset.add s 69;
+  Bitset.add s 33;
+  check Alcotest.int "cardinal" 3 (Bitset.cardinal s);
+  check Alcotest.bool "mem 33" true (Bitset.mem s 33);
+  Bitset.remove s 33;
+  check Alcotest.bool "removed" false (Bitset.mem s 33);
+  check Alcotest.(list int) "to_list sorted" [ 0; 69 ] (Bitset.to_list s)
+
+let test_bitset_bounds () =
+  let s = Bitset.create 8 in
+  Alcotest.check_raises "add out of range" (Invalid_argument "Bitset: index 8 out of [0,8)")
+    (fun () -> Bitset.add s 8)
+
+let prop_bitset_model =
+  (* Bitset algebra agrees with a sorted-list set model. *)
+  let module IS = Set.Make (Int) in
+  QCheck.Test.make ~count:300 ~name:"bitset union/inter/diff match set model"
+    QCheck.(pair (list (int_bound 63)) (list (int_bound 63)))
+    (fun (la, lb) ->
+      let a = Bitset.of_list 64 la and b = Bitset.of_list 64 lb in
+      let sa = IS.of_list la and sb = IS.of_list lb in
+      Bitset.to_list (Bitset.union a b) = IS.elements (IS.union sa sb)
+      && Bitset.to_list (Bitset.inter a b) = IS.elements (IS.inter sa sb)
+      && Bitset.to_list (Bitset.diff a b) = IS.elements (IS.diff sa sb)
+      && Bitset.subset a (Bitset.union a b)
+      && Bitset.disjoint a b = IS.is_empty (IS.inter sa sb))
+
+let prop_bitset_union_into =
+  QCheck.Test.make ~count:200 ~name:"union_into equals union"
+    QCheck.(pair (list (int_bound 40)) (list (int_bound 40)))
+    (fun (la, lb) ->
+      let a = Bitset.of_list 41 la and b = Bitset.of_list 41 lb in
+      let dst = Bitset.copy a in
+      Bitset.union_into dst b;
+      Bitset.equal dst (Bitset.union a b))
+
+(* --- Table --- *)
+
+(* Tiny substring helper to avoid a str dependency. *)
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_table_render () =
+  let t = Table.create ~title:"demo" [ ("name", Table.Left); ("value", Table.Right) ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.render t in
+  check Alcotest.bool "has title" true (String.length s > 0 && String.sub s 0 4 = "demo");
+  check Alcotest.bool "contains cell" true (contains_substring s "alpha");
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: expected 2 cells, got 1")
+    (fun () -> Table.add_row t [ "x" ])
+
+let test_table_cells () =
+  check Alcotest.string "float cell" "3.14" (Table.cell_f ~decimals:2 3.14159);
+  check Alcotest.string "pct cell" "41.3%" (Table.cell_pct 0.413);
+  check Alcotest.string "speedup cell" "1.35x" (Table.cell_speedup 1.352)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+  [ prop_shuffle_is_permutation; prop_sample_distinct; prop_mean_within_bounds;
+    prop_median_within_bounds; prop_bitset_model; prop_bitset_union_into ]
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng seed sensitivity" `Quick test_rng_seed_sensitivity;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng invalid args" `Quick test_rng_invalid;
+    Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng copy replays" `Quick test_rng_copy_replays;
+    Alcotest.test_case "gaussian moments" `Slow test_gaussian_moments;
+    Alcotest.test_case "stats basics" `Quick test_stats_basics;
+    Alcotest.test_case "stats empty" `Quick test_stats_empty;
+    Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats geomean" `Quick test_stats_geomean;
+    Alcotest.test_case "bitset basics" `Quick test_bitset_basics;
+    Alcotest.test_case "bitset bounds" `Quick test_bitset_bounds;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table cells" `Quick test_table_cells;
+  ]
+  @ qsuite

@@ -1,0 +1,226 @@
+(* Tests for Kf_workloads: the motivating example, CloverLeaf, the Table V
+   test-suite generator, the calibrated apps, SCALE-LES and HOMME. *)
+
+open Kf_ir
+module Motivating = Kf_workloads.Motivating
+module Cloverleaf = Kf_workloads.Cloverleaf
+module Suite = Kf_workloads.Suite
+module Genapp = Kf_workloads.Genapp
+module Apps = Kf_workloads.Apps
+module Scale_les = Kf_workloads.Scale_les
+module Homme = Kf_workloads.Homme
+module Datadep = Kf_graph.Datadep
+module Exec_order = Kf_graph.Exec_order
+module Traffic = Kf_graph.Traffic
+
+let check = Alcotest.check
+
+let reducible p =
+  let exec = Exec_order.build (Datadep.build p) in
+  (Traffic.analyze exec).Traffic.reducible_fraction
+
+(* --- Motivating --- *)
+
+let test_motivating_shape () =
+  let p = Motivating.program () in
+  check Alcotest.int "five kernels" 5 (Program.num_kernels p);
+  check Alcotest.(list string) "validates" [] (Program.validate p);
+  check Alcotest.(list int) "fusion X" [ 0; 1 ] Motivating.fusion_x;
+  check Alcotest.(list int) "fusion Y" [ 2; 3; 4 ] Motivating.fusion_y
+
+let test_motivating_dependency () =
+  let p = Motivating.program () in
+  let exec = Exec_order.build (Datadep.build p) in
+  (* B depends on A through array A; C, D independent. *)
+  check Alcotest.bool "A before B" true
+    (Exec_order.must_precede exec Motivating.kernel_a Motivating.kernel_b);
+  check Alcotest.bool "C, D independent" true
+    (Exec_order.independent exec Motivating.kernel_c Motivating.kernel_d);
+  check Alcotest.bool "C before E (R flow)" true
+    (Exec_order.must_precede exec Motivating.kernel_c Motivating.kernel_e)
+
+(* --- CloverLeaf --- *)
+
+let test_cloverleaf_valid () =
+  let p = Cloverleaf.program () in
+  check Alcotest.int "14 kernels" 14 (Program.num_kernels p);
+  check Alcotest.(list string) "validates" [] (Program.validate p);
+  check Alcotest.int "kernel name count" 14 (List.length Cloverleaf.kernel_names);
+  (* Invocation order matches the published kernel sequence. *)
+  List.iteri
+    (fun i name -> check Alcotest.string "kernel order" name (Program.kernel p i).Kernel.name)
+    Cloverleaf.kernel_names
+
+let test_cloverleaf_classes () =
+  let p = Cloverleaf.program () in
+  let dd = Datadep.build p in
+  (* density1 is written by pdv then read-modified by the advection sweeps:
+     expandable. *)
+  let id name =
+    let rec go i =
+      if (Program.array p i).Array_info.name = name then i else go (i + 1)
+    in
+    go 0
+  in
+  check Alcotest.bool "density1 expandable" true
+    (Datadep.array_class dd (id "density1") = Datadep.Expandable);
+  check Alcotest.bool "volume read-only" true
+    (Datadep.array_class dd (id "volume") = Datadep.Read_only)
+
+(* --- Suite generator --- *)
+
+let test_suite_axes () =
+  check Alcotest.(list int) "kernel axis" [ 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ]
+    (Suite.table5_axis `Kernels);
+  check Alcotest.(list int) "sharing axis" [ 2; 4; 6; 8 ] (Suite.table5_axis `Sharing);
+  check Alcotest.(list int) "kinship axis" [ 2; 3; 4; 5 ] (Suite.table5_axis `Kinship)
+
+let test_suite_stencil_of_load () =
+  List.iter
+    (fun n -> check Alcotest.int "exact point count" n (Stencil.num_points (Suite.stencil_of_load n)))
+    [ 1; 4; 5; 8; 12; 25 ];
+  Alcotest.check_raises "too big" (Invalid_argument "Suite.stencil_of_load: load out of [1,25]")
+    (fun () -> ignore (Suite.stencil_of_load 26))
+
+let test_suite_generates_requested_size () =
+  List.iter
+    (fun k ->
+      let p = Suite.generate { Suite.default with Suite.kernels = k; seed = k } in
+      check Alcotest.int "kernel count" k (Program.num_kernels p);
+      check Alcotest.(list string) "validates" [] (Program.validate p))
+    [ 10; 30; 50 ]
+
+let test_suite_thread_load_attribute () =
+  let p = Suite.generate { Suite.default with Suite.thread_load = 8; seed = 2 } in
+  (* Some kernel must exhibit the requested thread load on a shared array. *)
+  let found = ref false in
+  for k = 0 to Program.num_kernels p - 1 do
+    List.iter
+      (fun (a : Access.t) ->
+        if Access.reads a && Stencil.num_points a.pattern = 8 then found := true)
+      (Program.kernel p k).Kernel.accesses
+  done;
+  check Alcotest.bool "thread load present" true !found
+
+let test_suite_expandable_copies () =
+  let p = Suite.generate { Suite.default with Suite.data_copies = 6; seed = 3 } in
+  let dd = Datadep.build p in
+  let expandable = ref 0 in
+  for a = 0 to Program.num_arrays p - 1 do
+    if Datadep.array_class dd a = Datadep.Expandable then incr expandable
+  done;
+  check Alcotest.bool "has expandable arrays" true (!expandable >= 1)
+
+let test_suite_deterministic () =
+  let a = Suite.generate Suite.default and b = Suite.generate Suite.default in
+  check Alcotest.bool "same structure" true
+    (List.for_all2
+       (fun (x : Kernel.t) (y : Kernel.t) -> x.Kernel.accesses = y.Kernel.accesses)
+       (Array.to_list a.Program.kernels)
+       (Array.to_list b.Program.kernels))
+
+let test_suite_sharing_increases_reducible () =
+  let low = Suite.generate { Suite.default with Suite.sharing_set = 2; seed = 4 } in
+  let high = Suite.generate { Suite.default with Suite.sharing_set = 8; seed = 4 } in
+  check Alcotest.bool "more sharing, more reducible traffic" true
+    (reducible high > reducible low)
+
+(* --- Genapp / Apps --- *)
+
+let test_genapp_counts () =
+  let spec = Apps.cosmo.Apps.spec in
+  let p = Genapp.generate ~reuse_probability:0.5 spec in
+  check Alcotest.int "kernels" spec.Genapp.kernels (Program.num_kernels p);
+  check Alcotest.int "arrays" spec.Genapp.arrays (Program.num_arrays p);
+  check Alcotest.(list string) "validates" [] (Program.validate p)
+
+let test_genapp_calibration () =
+  let p, achieved = Genapp.calibrated Apps.cosmo.Apps.spec in
+  check Alcotest.(list string) "validates" [] (Program.validate p);
+  check Alcotest.bool "within 5 points of target" true
+    (Float.abs (achieved -. Apps.cosmo.Apps.spec.Genapp.reducible_target) < 0.05)
+
+let test_apps_table1_counts () =
+  List.iter
+    (fun (e : Apps.entry) ->
+      let s = e.Apps.spec in
+      let p = Genapp.generate ~reuse_probability:0.4 s in
+      check Alcotest.int (s.Genapp.name ^ " kernels") s.Genapp.kernels (Program.num_kernels p))
+    Apps.all
+
+(* --- SCALE-LES --- *)
+
+let test_scale_les_counts () =
+  let p = Scale_les.program () in
+  check Alcotest.int "142 kernels" 142 (Program.num_kernels p);
+  check Alcotest.int "64 arrays" 64 (Program.num_arrays p);
+  check Alcotest.(list string) "validates" [] (Program.validate p)
+
+let test_scale_les_reducible () =
+  let f = reducible (Scale_les.program ()) in
+  check Alcotest.bool "near the published 41%" true (f > 0.36 && f < 0.46)
+
+let test_scale_les_qflx_expandable () =
+  let p = Scale_les.rk_core () in
+  let dd = Datadep.build p in
+  let q = Scale_les.qflx p in
+  check Alcotest.bool "QFLX expandable" true (Datadep.array_class dd q = Datadep.Expandable);
+  check Alcotest.int "two generations" 2 (Datadep.generations dd q);
+  (* Relaxation removes the precedence between the two QFLX generations:
+     rk_tend_u (reads gen 1) need not precede rk_qflx_y (writes gen 2). *)
+  let strict = Exec_order.build ~relax_expandable:false dd in
+  let relaxed = Exec_order.build dd in
+  check Alcotest.bool "strict constrains" true (Exec_order.must_precede strict 9 11);
+  check Alcotest.bool "relaxed frees" false (Exec_order.must_precede relaxed 9 11)
+
+let test_scale_les_rk_core_shape () =
+  let p = Scale_les.rk_core () in
+  check Alcotest.int "18 kernels" 18 (Program.num_kernels p);
+  check Alcotest.(list string) "validates" [] (Program.validate p)
+
+(* --- HOMME --- *)
+
+let test_homme_counts () =
+  let p = Homme.program () in
+  check Alcotest.int "43 kernels" 43 (Program.num_kernels p);
+  check Alcotest.int "27 arrays" 27 (Program.num_arrays p);
+  check Alcotest.(list string) "validates" [] (Program.validate p)
+
+let test_homme_reducible () =
+  let f = reducible (Homme.program ()) in
+  check Alcotest.bool "near the published 21%" true (f > 0.15 && f < 0.27)
+
+let test_homme_hotter_than_scale_les () =
+  (* Spectral elements: more flops per byte than the finite-difference
+     code. *)
+  let flops_per_byte p =
+    let exec = Exec_order.build (Datadep.build p) in
+    Program.total_flops p /. (Traffic.analyze exec).Traffic.total_bytes
+  in
+  check Alcotest.bool "homme denser" true
+    (flops_per_byte (Homme.program ()) > flops_per_byte (Scale_les.program ()))
+
+let suite =
+  [
+    Alcotest.test_case "motivating shape" `Quick test_motivating_shape;
+    Alcotest.test_case "motivating dependencies" `Quick test_motivating_dependency;
+    Alcotest.test_case "cloverleaf valid" `Quick test_cloverleaf_valid;
+    Alcotest.test_case "cloverleaf classes" `Quick test_cloverleaf_classes;
+    Alcotest.test_case "suite axes" `Quick test_suite_axes;
+    Alcotest.test_case "suite stencil of load" `Quick test_suite_stencil_of_load;
+    Alcotest.test_case "suite sizes" `Quick test_suite_generates_requested_size;
+    Alcotest.test_case "suite thread load" `Quick test_suite_thread_load_attribute;
+    Alcotest.test_case "suite expandable copies" `Quick test_suite_expandable_copies;
+    Alcotest.test_case "suite deterministic" `Quick test_suite_deterministic;
+    Alcotest.test_case "suite sharing vs reducible" `Quick test_suite_sharing_increases_reducible;
+    Alcotest.test_case "genapp counts" `Quick test_genapp_counts;
+    Alcotest.test_case "genapp calibration" `Slow test_genapp_calibration;
+    Alcotest.test_case "apps table1 counts" `Quick test_apps_table1_counts;
+    Alcotest.test_case "scale-les counts" `Quick test_scale_les_counts;
+    Alcotest.test_case "scale-les reducible" `Quick test_scale_les_reducible;
+    Alcotest.test_case "scale-les qflx expandable" `Quick test_scale_les_qflx_expandable;
+    Alcotest.test_case "scale-les rk core" `Quick test_scale_les_rk_core_shape;
+    Alcotest.test_case "homme counts" `Quick test_homme_counts;
+    Alcotest.test_case "homme reducible" `Quick test_homme_reducible;
+    Alcotest.test_case "homme arithmetic density" `Quick test_homme_hotter_than_scale_les;
+  ]

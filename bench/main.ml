@@ -507,13 +507,12 @@ let exp_fe () =
   in
   let arr = Array.of_list all in
   let s = Stats.summarize arr in
+  (* Degenerate suites (no profitable fusions) leave [arr] empty; the
+     [_opt] accessors keep the report printable instead of raising. *)
+  let pct q = match Stats.percentile_opt arr q with Some v -> v *. 100. | None -> Float.nan in
   Format.printf "new kernels rated: %d@." s.Stats.n;
   Format.printf "fusion efficiency: min %.1f%%, p25 %.1f%%, median %.1f%%, p75 %.1f%%, max %.1f%%@."
-    (s.Stats.min *. 100.)
-    (Stats.percentile arr 25. *. 100.)
-    (s.Stats.median *. 100.)
-    (Stats.percentile arr 75. *. 100.)
-    (s.Stats.max *. 100.);
+    (s.Stats.min *. 100.) (pct 25.) (s.Stats.median *. 100.) (pct 75.) (s.Stats.max *. 100.);
   Format.printf "mean %.1f%% (the paper reports 87%%-96%%)@." (s.Stats.mean *. 100.)
 
 (* ------------------------------------------------------------------ *)

@@ -104,6 +104,92 @@ let seed_arg =
 let params_of generations population seed =
   { Hgga.default_params with Hgga.max_generations = generations; population_size = population; seed }
 
+(* --- robustness options (checkpoint/resume, budgets, fault injection) --- *)
+
+type robust_opts = {
+  checkpoint : Hgga.checkpoint option;
+  resume : string option;
+  budget : Hgga.budget option;
+  inject : Kf_robust.Inject.config option;
+}
+
+let robust_term =
+  let checkpoint_arg =
+    let doc = "Periodically snapshot the search state to $(docv) (see --checkpoint-every)." in
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let every_arg =
+    let doc = "Checkpoint every N generations." in
+    Arg.(value & opt int 25 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+  in
+  let resume_arg =
+    let doc = "Resume the search from a snapshot written by --checkpoint (same seed, \
+               population and workload required; the resumed search matches the \
+               uninterrupted one exactly)." in
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
+  in
+  let budget_evals_arg =
+    let doc = "Stop the search after this many objective evaluations, returning the \
+               best-so-far plan." in
+    Arg.(value & opt (some int) None & info [ "budget-evals" ] ~docv:"N" ~doc)
+  in
+  let budget_wall_arg =
+    let doc = "Stop the search after this much wall time (seconds)." in
+    Arg.(value & opt (some float) None & info [ "budget-wall" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_fault_rate_arg =
+    let doc = "Degrade to the best-so-far plan when the observed per-evaluation fault \
+               rate reaches this fraction." in
+    Arg.(value & opt (some float) None & info [ "max-fault-rate" ] ~docv:"RATE" ~doc)
+  in
+  let fault_inject_arg =
+    let doc = "Inject deterministic evaluation faults (NaN/negative runtimes, crashes, \
+               stalls, corrupt metadata) at this per-evaluation rate — robustness \
+               testing." in
+    Arg.(value & opt (some float) None & info [ "fault-inject" ] ~docv:"RATE" ~doc)
+  in
+  let fault_seed_arg =
+    let doc = "Seed of the fault-injection RNG." in
+    Arg.(value & opt int 1337 & info [ "fault-seed" ] ~docv:"N" ~doc)
+  in
+  let make checkpoint every resume budget_evals budget_wall max_fault_rate inject_rate
+      fault_seed =
+    let budget =
+      match (budget_evals, budget_wall, max_fault_rate) with
+      | None, None, None -> None
+      | _ ->
+          Some
+            {
+              Hgga.unlimited with
+              Hgga.max_evaluations = budget_evals;
+              max_wall_s = budget_wall;
+              max_fault_rate;
+            }
+    in
+    {
+      checkpoint =
+        Option.map (fun path -> { Hgga.path; every = max 1 every }) checkpoint;
+      resume;
+      budget;
+      inject = Option.map (fun rate -> Kf_robust.Inject.config ~seed:fault_seed rate) inject_rate;
+    }
+  in
+  Term.(const make $ checkpoint_arg $ every_arg $ resume_arg $ budget_evals_arg
+        $ budget_wall_arg $ max_fault_rate_arg $ fault_inject_arg $ fault_seed_arg)
+
+let print_search_health ropts (stats : Hgga.stats) =
+  let f = stats.Hgga.faults in
+  if ropts.inject <> None || f.Objective.trapped + f.Objective.corrupted > 0 then
+    Format.printf "faults: %a@." Objective.pp_faults f;
+  let threshold =
+    match ropts.budget with
+    | Some { Hgga.max_fault_rate = Some r; _ } -> r
+    | _ -> 1.
+  in
+  match Kf_robust.Error.of_stop stats ~threshold with
+  | Some e -> Format.printf "degraded: %s (best-so-far plan returned)@." (Kf_robust.Error.to_string e)
+  | None -> ()
+
 (* --- subcommands --- *)
 
 let devices_cmd =
@@ -168,36 +254,59 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Dependency and traffic analysis") Term.(const run $ workload_arg)
 
 let search_cmd =
-  let run workload device model generations population seed =
+  let run workload device model generations population seed ropts =
     let p = load_workload workload in
     let device = device_of_name device in
     let ctx = Pipeline.prepare ~device p in
-    let obj = Pipeline.objective ~model:(model_of_name model) ctx in
-    let r = Hgga.solve ~params:(params_of generations population seed) obj in
+    let faults = Objective.zero_faults () in
+    let injector = Option.map (fun cfg -> Kf_robust.Inject.create ~faults cfg) ropts.inject in
+    let guard = Kf_robust.Guard.guarded ?inject:injector faults in
+    let obj = Pipeline.objective ~model:(model_of_name model) ~guard ~faults ctx in
+    let r =
+      match
+        Hgga.solve ~params:(params_of generations population seed) ?checkpoint:ropts.checkpoint
+          ?resume_from:ropts.resume ?budget:ropts.budget obj
+      with
+      | r -> r
+      | exception ((Stack_overflow | Out_of_memory) as fatal) -> raise fatal
+      | exception e ->
+          Format.eprintf "kfuse: %s@."
+            (Kf_robust.Error.to_string (Kf_robust.Error.classify ~stage:Kf_robust.Error.Search e));
+          exit 2
+    in
     Format.printf "best plan: %a@." Plan.pp r.Hgga.plan;
     Format.printf
       "projected cost %.3f ms (measured original %.3f ms) | %d generations, %d evaluations, %.2f s@."
       (r.Hgga.cost *. 1e3)
       (ctx.Pipeline.original_runtime *. 1e3)
-      r.Hgga.stats.Hgga.generations r.Hgga.stats.Hgga.evaluations r.Hgga.stats.Hgga.wall_time_s
+      r.Hgga.stats.Hgga.generations r.Hgga.stats.Hgga.evaluations r.Hgga.stats.Hgga.wall_time_s;
+    print_search_health ropts r.Hgga.stats
   in
   Cmd.v
     (Cmd.info "search" ~doc:"Run the HGGA search and print the best plan")
-    Term.(const run $ workload_arg $ device_arg $ model_arg $ generations_arg $ population_arg $ seed_arg)
+    Term.(const run $ workload_arg $ device_arg $ model_arg $ generations_arg $ population_arg
+          $ seed_arg $ robust_term)
 
 let fuse_cmd =
-  let run workload device model generations population seed =
+  let run workload device model generations population seed ropts =
     let p = load_workload workload in
     let device = device_of_name device in
-    let ctx = Pipeline.prepare ~device p in
-    let obj = Pipeline.objective ~model:(model_of_name model) ctx in
-    let search = Hgga.solve ~params:(params_of generations population seed) obj in
-    let o = Pipeline.apply ctx search in
-    Format.printf "%a@." Pipeline.pp_outcome o
+    match
+      Pipeline.run_safe ~params:(params_of generations population seed)
+        ~model:(model_of_name model) ?inject:ropts.inject ?checkpoint:ropts.checkpoint
+        ?resume_from:ropts.resume ?budget:ropts.budget ~device p
+    with
+    | Ok o ->
+        Format.printf "%a@." Pipeline.pp_outcome o;
+        print_search_health ropts o.Pipeline.search.Hgga.stats
+    | Error e ->
+        Format.eprintf "kfuse: %s@." (Kf_robust.Error.to_string e);
+        exit 2
   in
   Cmd.v
-    (Cmd.info "fuse" ~doc:"Search, apply the fusion, and measure the speedup")
-    Term.(const run $ workload_arg $ device_arg $ model_arg $ generations_arg $ population_arg $ seed_arg)
+    (Cmd.info "fuse" ~doc:"Search, apply the fusion, and measure the speedup (fault-tolerant)")
+    Term.(const run $ workload_arg $ device_arg $ model_arg $ generations_arg $ population_arg
+          $ seed_arg $ robust_term)
 
 let graph_cmd =
   let run workload kind plan_overlay generations population seed =

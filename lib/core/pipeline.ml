@@ -9,6 +9,9 @@ module Objective = Kf_search.Objective
 module Hgga = Kf_search.Hgga
 module Plan = Kf_fusion.Plan
 module Fused_program = Kf_fusion.Fused_program
+module Error = Kf_robust.Error
+module Guard = Kf_robust.Guard
+module Inject = Kf_robust.Inject
 
 type context = {
   device : Device.t;
@@ -39,7 +42,7 @@ let prepare ?(sync_points = []) ~device program =
     original_runtime = Array.fold_left ( +. ) 0. measured_runtime;
   }
 
-let objective ?model ctx = Objective.create ?model ctx.inputs
+let objective ?model ?guard ?faults ctx = Objective.create ?model ?guard ?faults ctx.inputs
 
 type outcome = {
   context : context;
@@ -49,6 +52,14 @@ type outcome = {
   fused_runtime : float;
   speedup : float;
 }
+
+(* A degenerate fused measurement (zero, negative, NaN or infinite total)
+   must not become an inf/NaN speedup that poisons reports and geomeans
+   downstream; 0 is the explicit "invalid measurement" marker. *)
+let safe_speedup ~original ~fused =
+  if Float.is_finite fused && fused > 0. && Float.is_finite original && original >= 0. then
+    original /. fused
+  else 0.
 
 let apply ctx (search : Hgga.result) =
   let fused =
@@ -64,7 +75,7 @@ let apply ctx (search : Hgga.result) =
     fused;
     fused_measured;
     fused_runtime;
-    speedup = ctx.original_runtime /. fused_runtime;
+    speedup = safe_speedup ~original:ctx.original_runtime ~fused:fused_runtime;
   }
 
 let run ?params ?model ?sync_points ~device program =
@@ -72,6 +83,77 @@ let run ?params ?model ?sync_points ~device program =
   let obj = objective ?model ctx in
   let search = Hgga.solve ?params obj in
   apply ctx search
+
+(* --- fault-tolerant entry points --- *)
+
+let prepare_safe ?sync_points ~device program =
+  match prepare ?sync_points ~device program with
+  | ctx -> Ok ctx
+  | exception ((Stack_overflow | Out_of_memory) as fatal) -> raise fatal
+  | exception e -> Error (Error.classify ~stage:Error.Prepare e)
+
+let identity_result ctx obj (search : Hgga.result) =
+  let n = Program.num_kernels ctx.program in
+  let groups = List.init n (fun k -> [ k ]) in
+  { search with Hgga.groups; plan = Plan.identity n; cost = Objective.plan_cost obj groups }
+
+(* Plans crossing the search/apply boundary are re-validated against the
+   full constraint set; a violating plan is degraded rather than trusted —
+   first by dissolving the offending groups, then (if the plan as a whole
+   is broken) all the way to the identity plan, which is valid by
+   construction. *)
+let validated_result ctx obj (search : Hgga.result) =
+  let validate plan = Plan.validate ~device:ctx.device ~meta:ctx.meta ~exec:ctx.exec plan in
+  match validate search.Hgga.plan with
+  | [] -> search
+  | violations ->
+      let n = Program.num_kernels ctx.program in
+      let bad = List.filter_map Plan.violation_group violations in
+      let whole_plan_broken =
+        List.exists (fun v -> Plan.violation_group v = None) violations
+      in
+      let degraded =
+        if whole_plan_broken then identity_result ctx obj search
+        else begin
+          let groups =
+            List.concat_map
+              (fun g -> if List.mem g bad then List.map (fun k -> [ k ]) g else [ g ])
+              (Plan.groups search.Hgga.plan)
+          in
+          let plan = Plan.of_groups ~n groups in
+          { search with Hgga.groups; plan; cost = Objective.plan_cost obj groups }
+        end
+      in
+      if validate degraded.Hgga.plan = [] then degraded else identity_result ctx obj search
+
+let run_safe ?params ?model ?sync_points ?guard ?inject ?checkpoint ?resume_from ?budget
+    ~device program =
+  match prepare_safe ?sync_points ~device program with
+  | Error e -> Error e
+  | Ok ctx -> begin
+      let faults = Objective.zero_faults () in
+      let injector = Option.map (fun cfg -> Inject.create ~faults cfg) inject in
+      let guard = Guard.guarded ?config:guard ?inject:injector faults in
+      let obj = objective ?model ~guard ~faults ctx in
+      match Hgga.solve ?params ?checkpoint ?resume_from ?budget obj with
+      | exception ((Stack_overflow | Out_of_memory) as fatal) -> raise fatal
+      | exception e -> Error (Error.classify ~stage:Error.Search e)
+      | search -> begin
+          let search = validated_result ctx obj search in
+          match apply ctx search with
+          | outcome -> Ok outcome
+          | exception ((Stack_overflow | Out_of_memory) as fatal) -> raise fatal
+          | exception _ -> begin
+              (* The searched plan failed to build or measure; degrade to
+                 the (always measurable) unfused program rather than lose
+                 the whole run. *)
+              match apply ctx (identity_result ctx obj search) with
+              | outcome -> Ok outcome
+              | exception ((Stack_overflow | Out_of_memory) as fatal) -> raise fatal
+              | exception e -> Error (Error.classify ~stage:Error.Apply e)
+            end
+        end
+    end
 
 let pp_outcome ppf o =
   let n = Program.num_kernels o.context.program in

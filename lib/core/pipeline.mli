@@ -25,8 +25,15 @@ val prepare :
     (PCIe transfer / MPI exchange); fusion never crosses them
     (paper §II-C). *)
 
-val objective : ?model:Kf_search.Objective.model -> context -> Kf_search.Objective.t
-(** A fresh objective over the context (default model: the paper's). *)
+val objective :
+  ?model:Kf_search.Objective.model ->
+  ?guard:Kf_search.Objective.guard ->
+  ?faults:Kf_search.Objective.fault_stats ->
+  context ->
+  Kf_search.Objective.t
+(** A fresh objective over the context (default model: the paper's).
+    [guard]/[faults] install per-candidate fault isolation — see
+    {!Kf_robust.Guard}. *)
 
 type outcome = {
   context : context;
@@ -37,9 +44,16 @@ type outcome = {
   speedup : float;
 }
 
+val safe_speedup : original:float -> fused:float -> float
+(** [original /. fused], guarded: 0 when either runtime is non-finite or
+    [fused] is not strictly positive — the explicit "invalid measurement"
+    marker, so degenerate measurements never poison reports with
+    [inf]/[nan] speedups. *)
+
 val apply :
   context -> Kf_search.Hgga.result -> outcome
-(** Step 9: build and measure the fused program for a search result. *)
+(** Step 9: build and measure the fused program for a search result.
+    [speedup] is computed with {!safe_speedup}. *)
 
 val run :
   ?params:Kf_search.Hgga.params ->
@@ -49,6 +63,40 @@ val run :
   Kf_ir.Program.t ->
   outcome
 (** The whole of Algorithm 1 with the given device and search settings. *)
+
+val prepare_safe :
+  ?sync_points:int list ->
+  device:Kf_gpu.Device.t ->
+  Kf_ir.Program.t ->
+  (context, Kf_robust.Error.t) result
+(** {!prepare} with the preparation stage's exceptions trapped and
+    classified (see {!Kf_robust.Error.classify}).  Never raises except
+    for fatal runtime conditions ([Out_of_memory], [Stack_overflow]). *)
+
+val run_safe :
+  ?params:Kf_search.Hgga.params ->
+  ?model:Kf_search.Objective.model ->
+  ?sync_points:int list ->
+  ?guard:Kf_robust.Guard.config ->
+  ?inject:Kf_robust.Inject.config ->
+  ?checkpoint:Kf_search.Hgga.checkpoint ->
+  ?resume_from:string ->
+  ?budget:Kf_search.Hgga.budget ->
+  device:Kf_gpu.Device.t ->
+  Kf_ir.Program.t ->
+  (outcome, Kf_robust.Error.t) result
+(** Fault-tolerant {!run}: every stage boundary traps and classifies
+    exceptions; the objective is guarded (per-candidate quarantine,
+    bounded retries — [guard] overrides {!Kf_robust.Guard.default});
+    [inject] enables deterministic fault injection for robustness
+    testing; [checkpoint]/[resume_from]/[budget] are forwarded to
+    {!Kf_search.Hgga.solve}.
+
+    Any plan crossing the search/apply boundary is re-checked with
+    [Plan.validate]; a violating plan degrades (offending groups
+    dissolved, then the identity plan) instead of being trusted, so an
+    [Ok] outcome always carries a validate-clean plan.  Fault accounting
+    is in [outcome.search.stats.faults]. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** Human-readable summary: kernel counts before/after, search stats,

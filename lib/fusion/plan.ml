@@ -111,6 +111,16 @@ let pp ppf t =
     (String.concat " | "
        (List.map (fun g -> String.concat "," (List.map string_of_int g)) t.groups))
 
+let violation_group = function
+  | Not_convex g
+  | Not_kin_connected g
+  | Smem_overflow (g, _)
+  | Register_overflow (g, _)
+  | Spans_sync_point g
+  | Vertical_flow g ->
+      Some g
+  | Not_schedulable -> None
+
 let pp_violation ppf v =
   let group g = String.concat "," (List.map string_of_int g) in
   match v with

@@ -73,5 +73,9 @@ val equal : t -> t -> bool
 
 val compare : t -> t -> int
 
+val violation_group : violation -> int list option
+(** The offending group, when the violation is group-local
+    ([Not_schedulable] is a whole-plan property). *)
+
 val pp : Format.formatter -> t -> unit
 val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,117 @@
+module Plan = Kf_fusion.Plan
+module Snapshot = Kf_search.Snapshot
+module Hgga = Kf_search.Hgga
+module Objective = Kf_search.Objective
+
+type stage = Prepare | Search | Apply | Io
+
+let stage_name = function
+  | Prepare -> "prepare"
+  | Search -> "search"
+  | Apply -> "apply"
+  | Io -> "io"
+
+type t =
+  | Constraint_violation of { stage : stage; groups : int list list; violations : string list }
+  | Model_input of { stage : stage; message : string }
+  | Sim_divergence of { stage : stage; kernel : int option; message : string }
+  | Budget_exhausted of { evaluations : int; wall_s : float; reason : string }
+  | Fault_overload of { rate : float; threshold : float; evaluations : int }
+  | Io_error of { path : string option; message : string }
+  | Internal of { stage : stage; message : string }
+
+let pp_group ppf g =
+  Format.fprintf ppf "[%s]" (String.concat "," (List.map string_of_int g))
+
+let pp ppf = function
+  | Constraint_violation { stage; groups; violations } ->
+      Format.fprintf ppf "constraint violation (%s stage)" (stage_name stage);
+      if groups <> [] then begin
+        Format.fprintf ppf " in groups ";
+        List.iteri
+          (fun i g ->
+            if i > 0 then Format.fprintf ppf ", ";
+            pp_group ppf g)
+          groups
+      end;
+      List.iter (fun v -> Format.fprintf ppf "; %s" v) violations
+  | Model_input { stage; message } ->
+      Format.fprintf ppf "model-input error (%s stage): %s" (stage_name stage) message
+  | Sim_divergence { stage; kernel; message } ->
+      Format.fprintf ppf "simulator divergence (%s stage%s): %s" (stage_name stage)
+        (match kernel with Some k -> Printf.sprintf ", kernel %d" k | None -> "")
+        message
+  | Budget_exhausted { evaluations; wall_s; reason } ->
+      Format.fprintf ppf "budget exhausted after %d evaluations, %.2f s: %s" evaluations
+        wall_s reason
+  | Fault_overload { rate; threshold; evaluations } ->
+      Format.fprintf ppf
+        "fault overload: %.1f%% of %d evaluations failed (threshold %.1f%%)" (rate *. 100.)
+        evaluations (threshold *. 100.)
+  | Io_error { path; message } ->
+      Format.fprintf ppf "I/O error%s: %s"
+        (match path with Some p -> Printf.sprintf " on %S" p | None -> "")
+        message
+  | Internal { stage; message } ->
+      Format.fprintf ppf "internal error (%s stage): %s" (stage_name stage) message
+
+let to_string e = Format.asprintf "%a" pp e
+
+let has_prefix s p = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* The library predates the structured taxonomy: its ~90 failure sites
+   raise [Invalid_argument]/[Failure] with a "Module.function: ..."
+   convention.  Classification maps that convention onto the taxonomy so
+   safe entry points can trap at stage boundaries without rewriting every
+   site. *)
+let classify ~stage exn =
+  match exn with
+  | Kf_ir.Program_io.Parse_error (line, msg) ->
+      Io_error { path = None; message = Printf.sprintf "parse error at line %d: %s" line msg }
+  | Snapshot.Malformed msg ->
+      Io_error { path = None; message = Printf.sprintf "corrupt checkpoint: %s" msg }
+  | Sys_error msg -> Io_error { path = None; message = msg }
+  | Invalid_argument msg when has_prefix msg "Hgga.solve: snapshot" ->
+      (* resume rejections: the snapshot is readable but belongs to a
+         different run (seed / population / program mismatch) *)
+      Io_error { path = None; message = msg }
+  | Invalid_argument msg when has_prefix msg "Measure" || has_prefix msg "Occupancy" ->
+      Sim_divergence { stage; kernel = None; message = msg }
+  | Invalid_argument msg
+    when has_prefix msg "Inputs" || has_prefix msg "Stats" || has_prefix msg "Rng"
+         || has_prefix msg "Projection" || has_prefix msg "Fusion_efficiency" ->
+      Model_input { stage; message = msg }
+  | Invalid_argument msg
+    when has_prefix msg "Plan" || has_prefix msg "Grouping" || has_prefix msg "Exec_order"
+         || has_prefix msg "Metadata" || has_prefix msg "Fused" || has_prefix msg "Dag" ->
+      Constraint_violation { stage; groups = []; violations = [ msg ] }
+  | Invalid_argument msg | Failure msg -> Internal { stage; message = msg }
+  | exn -> Internal { stage; message = Printexc.to_string exn }
+
+let of_violations ~stage violations =
+  let groups = List.filter_map Plan.violation_group violations in
+  Constraint_violation
+    {
+      stage;
+      groups;
+      violations = List.map (fun v -> Format.asprintf "%a" Plan.pp_violation v) violations;
+    }
+
+let of_stop (stats : Hgga.stats) ~threshold =
+  match stats.Hgga.stop with
+  | Hgga.Converged | Hgga.Generation_cap -> None
+  | Hgga.Evaluation_budget | Hgga.Wall_budget ->
+      Some
+        (Budget_exhausted
+           {
+             evaluations = stats.Hgga.evaluations;
+             wall_s = stats.Hgga.wall_time_s;
+             reason = Hgga.stop_reason_name stats.Hgga.stop;
+           })
+  | Hgga.Fault_overload ->
+      let f = stats.Hgga.faults in
+      let evals = stats.Hgga.evaluations in
+      let rate =
+        if evals = 0 then 0. else float_of_int f.Objective.quarantined /. float_of_int evals
+      in
+      Some (Fault_overload { rate; threshold; evaluations = evals })

@@ -1,0 +1,45 @@
+(** Structured error taxonomy for the fault-tolerant search pipeline.
+
+    The library's internal failure sites raise [Invalid_argument]/[Failure]
+    with a "Module.function: ..." message convention; safe entry points
+    ([Kfuse.Pipeline.prepare_safe] / [run_safe]) trap those exceptions at
+    stage boundaries and {!classify} them into this taxonomy, so callers
+    get a [result] they can match on instead of a crashed run. *)
+
+type stage = Prepare | Search | Apply | Io
+
+val stage_name : stage -> string
+
+type t =
+  | Constraint_violation of {
+      stage : stage;
+      groups : int list list;  (** offending groups when known *)
+      violations : string list;  (** rendered {!Kf_fusion.Plan.violation}s *)
+    }
+  | Model_input of { stage : stage; message : string }
+      (** malformed projection-model inputs (wrong array lengths,
+          inconsistent metadata, ...) *)
+  | Sim_divergence of { stage : stage; kernel : int option; message : string }
+      (** the simulator produced or detected a nonsensical measurement
+          (zero occupancy, NaN/negative runtime) *)
+  | Budget_exhausted of { evaluations : int; wall_s : float; reason : string }
+  | Fault_overload of { rate : float; threshold : float; evaluations : int }
+      (** per-evaluation failure rate crossed the configured threshold *)
+  | Io_error of { path : string option; message : string }
+  | Internal of { stage : stage; message : string }  (** anything unclassified *)
+
+val classify : stage:stage -> exn -> t
+(** Map an exception caught at a stage boundary onto the taxonomy.  Total:
+    unrecognized exceptions become {!Internal}. *)
+
+val of_violations : stage:stage -> Kf_fusion.Plan.violation list -> t
+(** A {!Constraint_violation} carrying the offending groups and rendered
+    violations of a failed [Plan.validate]. *)
+
+val of_stop : Kf_search.Hgga.stats -> threshold:float -> t option
+(** The error corresponding to a degraded search termination —
+    [Budget_exhausted] or [Fault_overload] — or [None] for normal stops.
+    Useful for reporting: a degraded search still returns a plan. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,65 @@
+module Objective = Kf_search.Objective
+
+type config = {
+  max_retries : int;
+  backoff_s : float;
+  penalty_cost : float;
+  transient : exn -> bool;
+}
+
+let default =
+  { max_retries = 2; backoff_s = 1e-3; penalty_cost = 1e30; transient = Inject.is_transient }
+
+(* A verdict is plausible when its cost is non-negative and not NaN
+   (infinity is the legitimate "infeasible" encoding) and its original
+   sum is a sane finite runtime.  Anything else is a corrupted
+   measurement and must not reach the solver's comparisons. *)
+let sane (v : Objective.verdict) =
+  v.Objective.cost >= 0.
+  && (not (Float.is_nan v.Objective.cost))
+  && Float.is_finite v.Objective.orig_sum
+  && v.Objective.orig_sum >= 0.
+
+let quarantine config (faults : Objective.fault_stats) =
+  faults.Objective.quarantined <- faults.Objective.quarantined + 1;
+  (* Finite penalty, not infinity: quarantined candidates stay rankable
+     (all equally worst) instead of collapsing whole-plan costs into one
+     indistinguishable infinity, and [feasible = false] keeps them out of
+     merges and the final profitability cleanup dissolves them. *)
+  { Objective.feasible = false; cost = config.penalty_cost; orig_sum = 0. }
+
+let protect ?(config = default) (faults : Objective.fault_stats) : Objective.guard =
+ fun eval group ->
+  let rec attempt tries =
+    match eval group with
+    | v ->
+        if sane v then begin
+          if tries > 0 then faults.Objective.recovered <- faults.Objective.recovered + 1;
+          v
+        end
+        else begin
+          faults.Objective.corrupted <- faults.Objective.corrupted + 1;
+          quarantine config faults
+        end
+    | exception e when config.transient e && tries < config.max_retries ->
+        faults.Objective.trapped <- faults.Objective.trapped + 1;
+        faults.Objective.retries <- faults.Objective.retries + 1;
+        (* Deterministic exponential backoff: transient failures (timed-out
+           measurements) often clear; the schedule is fixed so runs stay
+           reproducible. *)
+        if config.backoff_s > 0. then Unix.sleepf (config.backoff_s *. float_of_int (1 lsl tries));
+        attempt (tries + 1)
+    | exception ((Stack_overflow | Out_of_memory) as fatal) -> raise fatal
+    | exception _ ->
+        faults.Objective.trapped <- faults.Objective.trapped + 1;
+        quarantine config faults
+  in
+  attempt 0
+
+let compose outer inner : Objective.guard = fun eval group -> outer (inner eval) group
+
+let guarded ?config ?inject faults =
+  let base = protect ?config faults in
+  match inject with
+  | None -> base
+  | Some injector -> compose base (Inject.wrap injector)

@@ -1,0 +1,42 @@
+(** Guarded objective evaluation: per-candidate fault isolation for the
+    search stack.
+
+    Installed as an {!Kf_search.Objective.guard}, the guard sits between
+    the objective's memo cache and the raw fitness evaluation.  A failing
+    candidate — an exception escaping the model, or a corrupted verdict
+    (NaN/negative cost, implausible metadata) — is {e quarantined}: it
+    receives a large finite penalty fitness and [feasible = false] instead
+    of crashing the GA generation.  Transient failures (timed-out
+    evaluations) are retried a bounded number of times with a
+    deterministic exponential backoff.  Every event is counted in the
+    shared {!Kf_search.Objective.fault_stats} record, which solvers
+    surface in their results. *)
+
+type config = {
+  max_retries : int;  (** retry attempts for transient failures (default 2) *)
+  backoff_s : float;  (** base backoff, doubled per retry (default 1 ms; 0 disables) *)
+  penalty_cost : float;  (** quarantine fitness (default 1e30) *)
+  transient : exn -> bool;  (** which exceptions to retry (default {!Inject.is_transient}) *)
+}
+
+val default : config
+
+val sane : Kf_search.Objective.verdict -> bool
+(** Plausibility check: cost non-negative and not NaN ([infinity] is the
+    legitimate infeasible encoding), original sum finite and
+    non-negative. *)
+
+val protect : ?config:config -> Kf_search.Objective.fault_stats -> Kf_search.Objective.guard
+(** The guard layer itself, accounting into the given record. *)
+
+val compose : Kf_search.Objective.guard -> Kf_search.Objective.guard -> Kf_search.Objective.guard
+(** [compose outer inner] applies [outer] around [inner]'s view of the
+    evaluation. *)
+
+val guarded :
+  ?config:config ->
+  ?inject:Inject.t ->
+  Kf_search.Objective.fault_stats ->
+  Kf_search.Objective.guard
+(** [protect] with an optional fault injector composed inside it — the
+    standard assembly used by [Pipeline.run_safe] and the CLI. *)

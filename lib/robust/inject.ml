@@ -1,0 +1,98 @@
+module Rng = Kf_util.Rng
+module Objective = Kf_search.Objective
+
+type mode = Nan_runtime | Negative_runtime | Crash | Stall | Corrupt_metadata
+
+let mode_name = function
+  | Nan_runtime -> "nan-runtime"
+  | Negative_runtime -> "negative-runtime"
+  | Crash -> "crash"
+  | Stall -> "stall"
+  | Corrupt_metadata -> "corrupt-metadata"
+
+let all_modes = [ Nan_runtime; Negative_runtime; Crash; Stall; Corrupt_metadata ]
+
+exception Injected_crash of string
+exception Injected_stall of string
+
+type config = { rate : float; seed : int; modes : mode list }
+
+let config ?(seed = 1337) ?(modes = all_modes) rate =
+  if rate < 0. || rate > 1. then invalid_arg "Inject.config: rate out of [0,1]";
+  if modes = [] then invalid_arg "Inject.config: no failure modes";
+  { rate; seed; modes }
+
+type t = {
+  cfg : config;
+  faults : Objective.fault_stats;
+  attempts : (string, int) Hashtbl.t;
+      (* per-candidate evaluation counter, so retries of the same group
+         draw fresh faults while the draw stays independent of the global
+         evaluation order *)
+  lock : Mutex.t;
+  mutable events : int;
+}
+
+let create ?(faults = Objective.zero_faults ()) cfg =
+  { cfg; faults; attempts = Hashtbl.create 256; lock = Mutex.create (); events = 0 }
+
+let injected t = t.events
+
+let group_label group = String.concat "," (List.map string_of_int group)
+
+(* Injection decisions are a pure function of (seed, candidate, attempt):
+   unlike a shared sequential RNG, they do not depend on the order in which
+   the search happens to evaluate candidates, so an injected run replays
+   identically across checkpoint/resume (where the memo cache restarts
+   empty and evaluation order differs). *)
+let draw_rng t key attempt =
+  Rng.create ((t.cfg.seed * 0x9e3779b1) lxor Hashtbl.hash (key, attempt))
+
+(* Perturb one evaluation.  Every injection event manifests as exactly one
+   observable failure — an exception (Crash, Stall) or a corrupt verdict
+   (NaN / negative / implausible metadata) — so a guard downstream can be
+   checked against [injected t] exactly. *)
+let perturb t eval group =
+  match group with
+  | [ _ ] -> eval group (* singletons carry measured runtimes, not model fits *)
+  | _ ->
+      let key = group_label (List.sort compare group) in
+      let attempt =
+        Mutex.lock t.lock;
+        let a = try Hashtbl.find t.attempts key with Not_found -> 0 in
+        Hashtbl.replace t.attempts key (a + 1);
+        Mutex.unlock t.lock;
+        a
+      in
+      let rng = draw_rng t key attempt in
+      if not (Rng.chance rng t.cfg.rate) then eval group
+      else begin
+        Mutex.lock t.lock;
+        t.events <- t.events + 1;
+        t.faults.Objective.injected <- t.faults.Objective.injected + 1;
+        Mutex.unlock t.lock;
+        match Rng.choose_list rng t.cfg.modes with
+        | Nan_runtime ->
+            let v = eval group in
+            { v with Objective.cost = Float.nan }
+        | Negative_runtime ->
+            let v = eval group in
+            { v with Objective.cost = -.Float.abs v.Objective.cost -. 1e-9 }
+        | Crash ->
+            raise (Injected_crash (Printf.sprintf "injected crash on group [%s]" (group_label group)))
+        | Stall ->
+            raise
+              (Injected_stall
+                 (Printf.sprintf "injected evaluation stall (timeout) on group [%s]"
+                    (group_label group)))
+        | Corrupt_metadata ->
+            (* A corrupted metadata row yields a wildly wrong but
+               structurally well-formed verdict: negative original sum and
+               an inflated cost. *)
+            let v = eval group in
+            { v with Objective.cost = v.Objective.cost *. 1e12; orig_sum = -1. }
+      end
+
+let wrap t : Objective.guard = fun eval group -> perturb t eval group
+
+let is_transient = function Injected_stall _ -> true | _ -> false

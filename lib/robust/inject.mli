@@ -1,0 +1,55 @@
+(** Deterministic fault injection for the search stack, so that the
+    robustness machinery is itself testable.
+
+    An injector wraps an objective's evaluation function (as an
+    {!Kf_search.Objective.guard}) and, with a configured probability per
+    evaluation, replaces the result with one of the failure modes a real
+    measurement backend exhibits: NaN or negative runtimes, thrown
+    exceptions, stalled (timeout-simulated) evaluations, or corrupted
+    metadata rows.  Draws come from {!Kf_util.Rng} keyed on
+    (seed, candidate, attempt), so a given seed assigns the same fault to
+    the same candidate on every run — independent of evaluation order,
+    which keeps injected runs reproducible across checkpoint/resume. *)
+
+type mode =
+  | Nan_runtime  (** evaluation returns a NaN cost *)
+  | Negative_runtime  (** evaluation returns a negative cost *)
+  | Crash  (** evaluation raises {!Injected_crash} *)
+  | Stall
+      (** evaluation raises {!Injected_stall} — models a timed-out
+          measurement; transient, a retry may succeed *)
+  | Corrupt_metadata
+      (** evaluation returns a well-formed but implausible verdict
+          (negative original sum, inflated cost) *)
+
+val mode_name : mode -> string
+val all_modes : mode list
+
+exception Injected_crash of string
+exception Injected_stall of string
+
+type config = { rate : float; seed : int; modes : mode list }
+
+val config : ?seed:int -> ?modes:mode list -> float -> config
+(** [config rate] with default seed 1337 and all failure modes.
+    @raise Invalid_argument if [rate] is outside [0,1] or [modes] is
+    empty. *)
+
+type t
+
+val create : ?faults:Kf_search.Objective.fault_stats -> config -> t
+(** [faults] is bumped ([injected]) on every injection so the shared
+    accounting record matches the guard's observations. *)
+
+val injected : t -> int
+(** Injection events so far.  Each event manifests as exactly one
+    observable failure, so a downstream guard's [trapped + corrupted]
+    equals this count. *)
+
+val wrap : t -> Kf_search.Objective.guard
+(** The injector as a guard layer: compose {e inside} [Guard.wrap] (the
+    guard must see the injected failures). *)
+
+val is_transient : exn -> bool
+(** True for {!Injected_stall} — the default transient-failure predicate
+    of {!Guard}. *)

@@ -35,12 +35,35 @@ let paper_params =
     stall_generations = 2000;
   }
 
+type stop_reason = Converged | Generation_cap | Evaluation_budget | Wall_budget | Fault_overload
+
+let stop_reason_name = function
+  | Converged -> "converged"
+  | Generation_cap -> "generation cap"
+  | Evaluation_budget -> "evaluation budget exhausted"
+  | Wall_budget -> "wall-time budget exhausted"
+  | Fault_overload -> "fault rate above threshold"
+
+type budget = {
+  max_evaluations : int option;
+  max_wall_s : float option;
+  max_fault_rate : float option;
+  min_rate_evals : int;
+}
+
+let unlimited =
+  { max_evaluations = None; max_wall_s = None; max_fault_rate = None; min_rate_evals = 50 }
+
+type checkpoint = { path : string; every : int }
+
 type stats = {
   generations : int;
   evaluations : int;
   wall_time_s : float;
   best_cost : float;
   improvement_history : (int * float) list;
+  stop : stop_reason;
+  faults : Objective.fault_stats;
 }
 
 type result = {
@@ -149,26 +172,104 @@ let mutate obj rng groups =
         end
     end
 
-let solve ?(params = default_params) obj =
+let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimited) obj =
   if params.population_size < 2 then invalid_arg "Hgga.solve: population too small";
   let start = Unix.gettimeofday () in
-  let rng = Rng.create params.seed in
   let n = Program.num_kernels (Objective.inputs obj).Inputs.program in
   let identity = List.init n (fun k -> [ k ]) in
-  let initial =
-    make_individual obj identity
-    :: List.init
-         (params.population_size - 1)
-         (fun i ->
-           let attempts = n + (i * n / params.population_size) in
-           make_individual obj (Grouping.random_plan obj rng ~merge_attempts:attempts n))
+  let rng, initial, resumed =
+    match resume_from with
+    | None ->
+        let rng = Rng.create params.seed in
+        let initial =
+          make_individual obj identity
+          :: List.init
+               (params.population_size - 1)
+               (fun i ->
+                 let attempts = n + (i * n / params.population_size) in
+                 make_individual obj (Grouping.random_plan obj rng ~merge_attempts:attempts n))
+        in
+        (rng, initial, None)
+    | Some path ->
+        let snap = Snapshot.load path in
+        if snap.Snapshot.n <> n then
+          invalid_arg
+            (Printf.sprintf "Hgga.solve: snapshot is for a %d-kernel program, not %d"
+               snap.Snapshot.n n);
+        if snap.Snapshot.population_size <> params.population_size then
+          invalid_arg
+            (Printf.sprintf "Hgga.solve: snapshot population %d <> params population %d"
+               snap.Snapshot.population_size params.population_size);
+        if snap.Snapshot.seed <> params.seed then
+          invalid_arg
+            (Printf.sprintf "Hgga.solve: snapshot seed %d <> params seed %d"
+               snap.Snapshot.seed params.seed);
+        (* Costs are recomputed: evaluation is pure, so the resumed
+           individuals are bit-identical to the ones that were saved. *)
+        (Rng.of_state snap.Snapshot.rng_state,
+         List.map (fun g -> make_individual obj g) snap.Snapshot.population,
+         Some snap)
   in
   let pop = ref (Array.of_list initial) in
-  let best = ref (Array.fold_left (fun acc x -> if x.cost < acc.cost then x else acc) (!pop).(0) !pop) in
-  let history = ref [ (0, !best.cost) ] in
-  let stall = ref 0 in
-  let gen = ref 0 in
-  while !gen < params.max_generations && !stall < params.stall_generations do
+  let best =
+    ref
+      (match resumed with
+      | Some snap -> make_individual obj snap.Snapshot.best
+      | None ->
+          Array.fold_left (fun acc x -> if x.cost < acc.cost then x else acc) (!pop).(0) !pop)
+  in
+  (* Newest improvement first; snapshots store oldest first. *)
+  let history =
+    ref
+      (match resumed with
+      | Some snap -> List.rev snap.Snapshot.history
+      | None -> [ (0, !best.cost) ])
+  in
+  let stall = ref (match resumed with Some snap -> snap.Snapshot.stall | None -> 0) in
+  let gen = ref (match resumed with Some snap -> snap.Snapshot.generation | None -> 0) in
+  let save_checkpoint () =
+    match checkpoint with
+    | Some { path; every } when !gen mod max 1 every = 0 ->
+        Snapshot.save path
+          {
+            Snapshot.population_size = params.population_size;
+            seed = params.seed;
+            n;
+            generation = !gen;
+            stall = !stall;
+            evaluations = Objective.evaluations obj;
+            rng_state = Rng.state rng;
+            best = !best.groups;
+            history = List.rev !history;
+            population = Array.to_list (Array.map (fun ind -> ind.groups) !pop);
+          }
+    | _ -> ()
+  in
+  (* Budgets are enforced at generation granularity: the search degrades
+     gracefully by keeping the incumbent instead of aborting mid-way. *)
+  let over_budget () =
+    let evals = Objective.evaluations obj in
+    if (match budget.max_evaluations with Some m -> evals >= m | None -> false) then
+      Some Evaluation_budget
+    else if
+      match budget.max_wall_s with
+      | Some m -> Unix.gettimeofday () -. start >= m
+      | None -> false
+    then Some Wall_budget
+    else begin
+      match budget.max_fault_rate with
+      | Some r when evals >= budget.min_rate_evals && Objective.fault_rate obj >= r ->
+          Some Fault_overload
+      | _ -> None
+    end
+  in
+  let stop = ref None in
+  while
+    !stop = None && !gen < params.max_generations && !stall < params.stall_generations
+  do
+    match over_budget () with
+    | Some reason -> stop := Some reason
+    | None ->
     incr gen;
     let sorted = Array.copy !pop in
     Array.sort (fun x y -> compare x.cost y.cost) sorted;
@@ -255,10 +356,28 @@ let solve ?(params = default_params) obj =
       history := (!gen, gen_best.cost) :: !history;
       stall := 0
     end
-    else incr stall
+    else incr stall;
+    save_checkpoint ()
   done;
+  let stop_reason =
+    match !stop with
+    | Some r -> r
+    | None -> if !gen >= params.max_generations then Generation_cap else Converged
+  in
+  (* Graceful degradation: if no feasible individual ever appeared (every
+     candidate quarantined or infeasible), fall back to the greedy
+     baseline, and to the identity plan when even that fails. *)
+  let best_groups =
+    if Float.is_finite !best.cost then !best.groups
+    else begin
+      match Greedy.solve obj with
+      | g when Float.is_finite g.Greedy.cost -> g.Greedy.groups
+      | _ -> identity
+      | exception _ -> identity
+    end
+  in
   let final_groups =
-    if n > 64 then Grouping.local_refine ~max_passes:1 obj !best.groups else !best.groups
+    if n > 64 then Grouping.local_refine ~max_passes:1 obj best_groups else best_groups
   in
   let final_groups = Grouping.enforce_profitability obj final_groups in
   let final_cost = Objective.plan_cost obj final_groups in
@@ -273,5 +392,7 @@ let solve ?(params = default_params) obj =
         wall_time_s = Unix.gettimeofday () -. start;
         best_cost = final_cost;
         improvement_history = List.rev !history;
+        stop = stop_reason;
+        faults = Objective.fault_snapshot obj;
       };
   }

@@ -37,6 +37,35 @@ val paper_params : params
 (** The paper's Table VI setting: population 100, 2000 generations (stall
     disabled by setting it equal to the cap). *)
 
+type stop_reason =
+  | Converged  (** stall criterion met (the paper's stop rule) *)
+  | Generation_cap
+  | Evaluation_budget
+  | Wall_budget
+  | Fault_overload
+      (** the observed per-evaluation fault rate crossed the budget's
+          threshold — the search degraded to best-so-far *)
+
+val stop_reason_name : stop_reason -> string
+
+type budget = {
+  max_evaluations : int option;  (** stop once this many objective evaluations ran *)
+  max_wall_s : float option;  (** stop after this much wall time *)
+  max_fault_rate : float option;
+      (** stop when {!Objective.fault_rate} reaches this value *)
+  min_rate_evals : int;
+      (** fault-rate is only trusted after this many evaluations, so a
+          single early failure cannot abort the whole search *)
+}
+
+val unlimited : budget
+(** No limits; [min_rate_evals = 50]. *)
+
+type checkpoint = {
+  path : string;  (** snapshot file, overwritten at each checkpoint *)
+  every : int;  (** checkpoint every this many generations *)
+}
+
 type stats = {
   generations : int;  (** generations actually run *)
   evaluations : int;  (** objective evaluations (Table VI "Total #
@@ -45,6 +74,10 @@ type stats = {
   best_cost : float;
   improvement_history : (int * float) list;
       (** (generation, incumbent cost) at each improvement, oldest first *)
+  stop : stop_reason;  (** why the search ended *)
+  faults : Objective.fault_stats;
+      (** snapshot of the objective's fault accounting (all zero when no
+          guard is installed) *)
 }
 
 type result = {
@@ -54,6 +87,26 @@ type result = {
   stats : stats;
 }
 
-val solve : ?params:params -> Objective.t -> result
+val solve :
+  ?params:params ->
+  ?checkpoint:checkpoint ->
+  ?resume_from:string ->
+  ?budget:budget ->
+  Objective.t ->
+  result
 (** Runs the GA and returns the best feasible plan found, after the
-    profitability cleanup of constraint (1.1). *)
+    profitability cleanup of constraint (1.1).
+
+    [checkpoint] periodically serializes the full search state (see
+    {!Snapshot}) so a killed run can continue; [resume_from] restores such
+    a snapshot — the resumed search is bit-identical to the uninterrupted
+    one for equal [params].  [budget] bounds evaluations, wall time and
+    tolerated fault rate; when a budget trips, the incumbent plan is
+    returned (degrading to the {!Greedy} baseline, then to the identity
+    plan, if no feasible individual exists).
+
+    @raise Invalid_argument if the population is smaller than 2 or the
+    snapshot does not match [params] (different seed, population size, or
+    program).
+    @raise Sys_error / [Snapshot.Malformed] on unreadable or corrupt
+    snapshot files. *)

@@ -8,6 +8,30 @@ type model = Proposed | Roofline | Simple | Mwp
 
 type verdict = { feasible : bool; cost : float; orig_sum : float }
 
+type fault_stats = {
+  mutable injected : int;
+  mutable trapped : int;
+  mutable corrupted : int;
+  mutable retries : int;
+  mutable recovered : int;
+  mutable quarantined : int;
+}
+
+let zero_faults () =
+  { injected = 0; trapped = 0; corrupted = 0; retries = 0; recovered = 0; quarantined = 0 }
+
+let copy_faults f =
+  {
+    injected = f.injected;
+    trapped = f.trapped;
+    corrupted = f.corrupted;
+    retries = f.retries;
+    recovered = f.recovered;
+    quarantined = f.quarantined;
+  }
+
+type guard = (int list -> verdict) -> int list -> verdict
+
 type t = {
   inputs : Inputs.t;
   model : model;
@@ -17,10 +41,21 @@ type t = {
          are pure memoization, so a racing double-evaluation is only a
          little wasted work *)
   mutable evaluations : int;
+  guard : guard;
+  fault_record : fault_stats;
 }
 
-let create ?(model = Proposed) inputs =
-  { inputs; model; cache = Hashtbl.create 4096; lock = Mutex.create (); evaluations = 0 }
+let create ?(model = Proposed) ?(guard = fun eval group -> eval group)
+    ?(faults = zero_faults ()) inputs =
+  {
+    inputs;
+    model;
+    cache = Hashtbl.create 4096;
+    lock = Mutex.create ();
+    evaluations = 0;
+    guard;
+    fault_record = faults;
+  }
 
 let inputs t = t.inputs
 let model t = t.model
@@ -46,9 +81,6 @@ let evaluate t group =
       let cost = t.inputs.Inputs.measured_runtime.(k) in
       { feasible = true; cost; orig_sum = cost }
   | _ ->
-      Mutex.lock t.lock;
-      t.evaluations <- t.evaluations + 1;
-      Mutex.unlock t.lock;
       let i = t.inputs in
       let orig_sum = Inputs.original_sum i group in
       (* Active-constraint pruning: cheap structural checks first, resource
@@ -79,9 +111,20 @@ let lookup t group =
   match hit with
   | Some v -> v
   | None ->
+      (* Count the attempt before evaluating: a candidate whose evaluation
+         fails (and is quarantined by a guard) is still an evaluation, so
+         fault rates have a meaningful denominator. *)
+      (match group with
+      | [ _ ] -> ()
+      | _ ->
+          Mutex.lock t.lock;
+          t.evaluations <- t.evaluations + 1;
+          Mutex.unlock t.lock);
       (* Evaluate outside the lock: evaluation is pure, so a concurrent
-         duplicate costs time, never correctness. *)
-      let v = evaluate t group in
+         duplicate costs time, never correctness.  The guard sits between
+         the cache and the raw evaluation, so any fault handling it
+         performs (retry, quarantine) is memoized like a normal verdict. *)
+      let v = t.guard (evaluate t) group in
       Mutex.lock t.lock;
       Hashtbl.replace t.cache k v;
       Mutex.unlock t.lock;
@@ -107,6 +150,29 @@ let evaluations t =
   let n = t.evaluations in
   Mutex.unlock t.lock;
   n
+
+let faults t = t.fault_record
+
+let fault_snapshot t =
+  Mutex.lock t.lock;
+  let f = copy_faults t.fault_record in
+  Mutex.unlock t.lock;
+  f
+
+(* Per-candidate, not per-event: a transient failure that recovers on
+   retry bumps [trapped] several times for one evaluation, so the event
+   counts can exceed the attempt count.  A candidate counts as failed
+   exactly when it ended quarantined, which happens at most once per
+   distinct group — the rate stays in [0,1]. *)
+let fault_rate t =
+  let f = fault_snapshot t in
+  let evals = evaluations t in
+  if evals = 0 then 0. else float_of_int f.quarantined /. float_of_int evals
+
+let pp_faults ppf f =
+  Format.fprintf ppf
+    "injected %d, trapped %d, corrupted %d, retries %d (recovered %d), quarantined %d"
+    f.injected f.trapped f.corrupted f.retries f.recovered f.quarantined
 
 let cache_size t =
   Mutex.lock t.lock;

@@ -15,10 +15,37 @@ type model =
   | Simple
   | Mwp  (** code-representation comparator (GROPHECY-style) *)
 
+type verdict = { feasible : bool; cost : float; orig_sum : float }
+(** One cached fitness evaluation: feasibility under the active
+    constraints, projected cost ([infinity] when infeasible), and the
+    group's summed original runtimes. *)
+
+type fault_stats = {
+  mutable injected : int;  (** faults deliberately introduced by an injector *)
+  mutable trapped : int;  (** exceptions caught at the evaluation boundary *)
+  mutable corrupted : int;  (** verdicts sanitized (NaN / negative / corrupt) *)
+  mutable retries : int;  (** retry attempts on transient failures *)
+  mutable recovered : int;  (** transient failures that succeeded on retry *)
+  mutable quarantined : int;  (** candidates assigned a penalty fitness *)
+}
+(** Per-candidate fault accounting maintained by a guard (see
+    [Kf_robust.Guard]); all zero when no guard is installed. *)
+
+val zero_faults : unit -> fault_stats
+val copy_faults : fault_stats -> fault_stats
+
+type guard = (int list -> verdict) -> int list -> verdict
+(** A guard intercepts every cache-miss evaluation: it receives the raw
+    evaluation function and the candidate group and must return a verdict
+    (possibly after retrying, perturbing, or replacing a failure with a
+    penalty).  The returned verdict is memoized. *)
+
 type t
 
-val create : ?model:model -> Kf_model.Inputs.t -> t
-(** Default model: [Proposed]. *)
+val create : ?model:model -> ?guard:guard -> ?faults:fault_stats -> Kf_model.Inputs.t -> t
+(** Default model: [Proposed]; default guard: identity (no fault
+    handling).  [faults] is the accounting record the guard shares with
+    this objective so that solvers can surface it in their results. *)
 
 val inputs : t -> Kf_model.Inputs.t
 val model : t -> model
@@ -42,7 +69,22 @@ val plan_cost : t -> int list list -> float
 val original_sum : t -> int list -> float
 
 val evaluations : t -> int
-(** Number of objective-function evaluations performed so far (cache
-    misses on multi-member groups — the quantity of paper Table VI). *)
+(** Number of objective-function evaluations attempted so far (cache
+    misses on multi-member groups — the quantity of paper Table VI).
+    Failed evaluations count: they are attempts, and the denominator of
+    {!fault_rate}. *)
+
+val faults : t -> fault_stats
+(** The live fault-accounting record (shared with the guard). *)
+
+val fault_snapshot : t -> fault_stats
+(** A consistent copy of {!faults}. *)
+
+val fault_rate : t -> float
+(** Fraction of evaluated candidates that ended quarantined
+    ([quarantined / evaluations], so recovered transients do not count);
+    0 before the first evaluation.  Always in [0,1]. *)
+
+val pp_faults : Format.formatter -> fault_stats -> unit
 
 val cache_size : t -> int

@@ -1,0 +1,276 @@
+(* GA checkpoint serialization.
+
+   The snapshot is a small JSON document (no external JSON dependency is
+   available, so the writer and the restricted reader live here).  Costs
+   are not stored: they are recomputed on resume — evaluation is pure, so
+   recomputation is exact — which keeps the snapshot independent of float
+   formatting.  The RNG state is the one float-free piece of state that
+   must round-trip exactly; it is stored as a decimal int64 string. *)
+
+let format_version = 1
+
+type t = {
+  population_size : int;
+  seed : int;
+  n : int;  (** kernel count of the program being searched *)
+  generation : int;
+  stall : int;
+  evaluations : int;
+  rng_state : int64;
+  best : int list list;
+  history : (int * float) list;  (** oldest first *)
+  population : int list list list;
+}
+
+(* --- writing --- *)
+
+let buf_groups b groups =
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i g ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '[';
+      List.iteri
+        (fun j k ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (string_of_int k))
+        g;
+      Buffer.add_char b ']')
+    groups;
+  Buffer.add_char b ']'
+
+let render t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Printf.bprintf b "  \"format\": %d,\n" format_version;
+  Printf.bprintf b "  \"population_size\": %d,\n" t.population_size;
+  Printf.bprintf b "  \"seed\": %d,\n" t.seed;
+  Printf.bprintf b "  \"n\": %d,\n" t.n;
+  Printf.bprintf b "  \"generation\": %d,\n" t.generation;
+  Printf.bprintf b "  \"stall\": %d,\n" t.stall;
+  Printf.bprintf b "  \"evaluations\": %d,\n" t.evaluations;
+  Printf.bprintf b "  \"rng_state\": \"%Ld\",\n" t.rng_state;
+  Buffer.add_string b "  \"best\": ";
+  buf_groups b t.best;
+  Buffer.add_string b ",\n  \"history\": [";
+  List.iteri
+    (fun i (gen, cost) ->
+      if i > 0 then Buffer.add_char b ',';
+      (* %h is a hexadecimal float literal: exact round trip. *)
+      Printf.bprintf b "[%d,\"%h\"]" gen cost)
+    t.history;
+  Buffer.add_string b "],\n  \"population\": [";
+  List.iteri
+    (fun i groups ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n    ";
+      buf_groups b groups)
+    t.population;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+let save path t =
+  (* Atomic write: a checkpoint interrupted mid-write must never replace a
+     good previous snapshot with a truncated one. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (render t));
+  Sys.rename tmp path
+
+(* --- restricted JSON reading --- *)
+
+type json =
+  | Jnum of int
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+exception Malformed of string
+
+let malformed fmt = Format.kasprintf (fun s -> raise (Malformed s)) fmt
+
+let parse_json (s : string) : json =
+  let pos = ref 0 in
+  let len = String.length s in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | Some d -> malformed "expected %C at offset %d, found %C" c !pos d
+    | None -> malformed "expected %C at offset %d, found end of input" c !pos
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> malformed "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some (('"' | '\\' | '/') as c) -> Buffer.add_char b c
+          | Some 'n' -> Buffer.add_char b '\n'
+          | Some 't' -> Buffer.add_char b '\t'
+          | Some c -> malformed "unsupported escape \\%C" c
+          | None -> malformed "unterminated escape");
+          advance ();
+          go ()
+      | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number () =
+    let start = !pos in
+    let rec go () =
+      match peek () with
+      | Some ('0' .. '9' | '-') ->
+          advance ();
+          go ()
+      | _ -> ()
+    in
+    go ();
+    if !pos = start then malformed "expected number at offset %d" start;
+    match int_of_string_opt (String.sub s start (!pos - start)) with
+    | Some v -> Jnum v
+    | None -> malformed "bad number at offset %d" start
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Jstr (string_lit ())
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Jarr []
+        end
+        else begin
+          let items = ref [ value () ] in
+          let rec more () =
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items := value () :: !items;
+                more ()
+            | Some ']' -> advance ()
+            | _ -> malformed "expected ',' or ']' at offset %d" !pos
+          in
+          more ();
+          Jarr (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Jobj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = string_lit () in
+            skip_ws ();
+            expect ':';
+            (k, value ())
+          in
+          let fields = ref [ field () ] in
+          let rec more () =
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields := field () :: !fields;
+                more ()
+            | Some '}' -> advance ()
+            | _ -> malformed "expected ',' or '}' at offset %d" !pos
+          in
+          more ();
+          Jobj (List.rev !fields)
+        end
+    | Some _ -> number ()
+    | None -> malformed "unexpected end of input"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> len then malformed "trailing content at offset %d" !pos;
+  v
+
+let field obj name =
+  match obj with
+  | Jobj fields -> begin
+      match List.assoc_opt name fields with
+      | Some v -> v
+      | None -> malformed "missing field %S" name
+    end
+  | _ -> malformed "expected an object for field %S" name
+
+let as_int name = function Jnum v -> v | _ -> malformed "field %S: expected int" name
+let as_str name = function Jstr v -> v | _ -> malformed "field %S: expected string" name
+let as_arr name = function Jarr v -> v | _ -> malformed "field %S: expected array" name
+
+let as_groups name j =
+  List.map (fun g -> List.map (as_int name) (as_arr name g)) (as_arr name j)
+
+let of_string s =
+  let j = parse_json s in
+  let fmt = as_int "format" (field j "format") in
+  if fmt <> format_version then malformed "unsupported snapshot format %d" fmt;
+  let rng_str = as_str "rng_state" (field j "rng_state") in
+  let rng_state =
+    match Int64.of_string_opt rng_str with
+    | Some v -> v
+    | None -> malformed "bad rng_state %S" rng_str
+  in
+  let history =
+    List.map
+      (fun entry ->
+        match as_arr "history" entry with
+        | [ g; c ] ->
+            let cost_str = as_str "history" c in
+            let cost =
+              match float_of_string_opt cost_str with
+              | Some v -> v
+              | None -> malformed "bad history cost %S" cost_str
+            in
+            (as_int "history" g, cost)
+        | _ -> malformed "history entries are [generation, cost] pairs")
+      (as_arr "history" (field j "history"))
+  in
+  {
+    population_size = as_int "population_size" (field j "population_size");
+    seed = as_int "seed" (field j "seed");
+    n = as_int "n" (field j "n");
+    generation = as_int "generation" (field j "generation");
+    stall = as_int "stall" (field j "stall");
+    evaluations = as_int "evaluations" (field j "evaluations");
+    rng_state;
+    best = as_groups "best" (field j "best");
+    history;
+    population = List.map (fun g -> as_groups "population" g) (as_arr "population" (field j "population"));
+  }
+
+let load path =
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string s

@@ -1,0 +1,42 @@
+(** Checkpoint snapshots of a running {!Hgga} search.
+
+    A snapshot captures everything the solver needs to continue exactly
+    where it stopped: the population (as raw groupings — costs are
+    recomputed on resume, evaluation being pure), the incumbent, the
+    generation and stall counters, the improvement history, and the raw
+    RNG state.  Resuming from a snapshot written after generation [g]
+    produces bit-for-bit the same remaining search as the uninterrupted
+    run, so a killed long search loses at most one checkpoint interval.
+
+    The on-disk form is a small self-describing JSON document (written
+    atomically via a temporary file + rename); no external JSON library
+    is required. *)
+
+val format_version : int
+
+type t = {
+  population_size : int;  (** of the run that wrote the snapshot *)
+  seed : int;  (** GA seed of that run *)
+  n : int;  (** kernel count of the program being searched *)
+  generation : int;  (** generations completed when the snapshot was taken *)
+  stall : int;  (** non-improving generations so far *)
+  evaluations : int;  (** objective evaluations so far (informational) *)
+  rng_state : int64;  (** raw {!Kf_util.Rng} state *)
+  best : int list list;  (** incumbent grouping *)
+  history : (int * float) list;  (** improvement history, oldest first *)
+  population : int list list list;
+}
+
+exception Malformed of string
+(** Raised by {!load}/{!of_string} on syntactically or structurally
+    invalid snapshot data. *)
+
+val render : t -> string
+val save : string -> t -> unit
+(** Atomic write (temp file + rename).  @raise Sys_error on IO failure. *)
+
+val of_string : string -> t
+(** @raise Malformed on invalid input. *)
+
+val load : string -> t
+(** @raise Sys_error on IO failure, [Malformed] on invalid content. *)

@@ -19,6 +19,10 @@ let split t =
 
 let copy t = { state = t.state }
 
+let state t = t.state
+
+let of_state s = { state = s }
+
 let bits t = Int64.to_int (Int64.shift_right_logical (int64 t) 2)
 
 let int t bound =

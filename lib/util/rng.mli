@@ -21,6 +21,14 @@ val copy : t -> t
 (** [copy t] duplicates the current state; the copy replays the same
     stream. *)
 
+val state : t -> int64
+(** The raw generator state, for checkpointing.  [of_state (state t)]
+    resumes the exact stream of [t]. *)
+
+val of_state : int64 -> t
+(** Rebuild a generator from a saved {!state}.  Unlike {!create}, the
+    value is used verbatim (no mixing), so a round trip is exact. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -25,17 +25,18 @@ let variance xs =
 
 let stddev xs = sqrt (variance xs)
 
+let geomean_opt xs =
+  if Array.length xs = 0 then None
+  else if Array.exists (fun x -> x <= 0. || not (Float.is_finite x)) xs then None
+  else Some (exp (mean (Array.map log xs)))
+
 let geomean xs =
   if Array.length xs = 0 then 0.
   else begin
-    let acc =
-      Array.map
-        (fun x ->
-          if x <= 0. then invalid_arg "Stats.geomean: non-positive value";
-          log x)
-        xs
-    in
-    exp (mean acc)
+    Array.iter (fun x -> if x <= 0. then invalid_arg "Stats.geomean: non-positive value") xs;
+    match geomean_opt xs with
+    | Some g -> g
+    | None -> invalid_arg "Stats.geomean: non-positive value"
   end
 
 let sorted xs =
@@ -51,26 +52,40 @@ let median xs =
     if n mod 2 = 1 then s.(n / 2) else (s.((n / 2) - 1) +. s.(n / 2)) /. 2.
   end
 
-let percentile xs p =
+let percentile_opt xs p =
   let n = Array.length xs in
-  if n = 0 then invalid_arg "Stats.percentile: empty array";
-  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of [0,100]";
-  let s = sorted xs in
-  let rank = p /. 100. *. float_of_int (n - 1) in
-  let lo = int_of_float (Float.floor rank) in
-  let hi = int_of_float (Float.ceil rank) in
-  if lo = hi then s.(lo)
+  if n = 0 || p < 0. || p > 100. || not (Float.is_finite p) then None
   else begin
-    let frac = rank -. float_of_int lo in
-    s.(lo) +. (frac *. (s.(hi) -. s.(lo)))
+    let s = sorted xs in
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then Some s.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      Some (s.(lo) +. (frac *. (s.(hi) -. s.(lo))))
+    end
   end
 
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty array";
+  match percentile_opt xs p with
+  | Some v -> v
+  | None -> invalid_arg "Stats.percentile: p out of [0,100]"
+
+let min_max_opt xs =
+  if Array.length xs = 0 then None
+  else
+    Some
+      (Array.fold_left
+         (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+         (xs.(0), xs.(0))
+         xs)
+
 let min_max xs =
-  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty array";
-  Array.fold_left
-    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
-    (xs.(0), xs.(0))
-    xs
+  match min_max_opt xs with
+  | Some r -> r
+  | None -> invalid_arg "Stats.min_max: empty array"
 
 let coefficient_of_variation xs =
   let m = mean xs in

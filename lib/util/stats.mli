@@ -14,6 +14,11 @@ val geomean : float array -> float
 (** Geometric mean of strictly positive values; 0 on an empty array.
     @raise Invalid_argument if any value is non-positive. *)
 
+val geomean_opt : float array -> float option
+(** Never-raising {!geomean}: [None] on an empty array or when any value
+    is non-positive or non-finite.  Preferred in report paths where
+    degenerate benchmark data must not abort the run. *)
+
 val median : float array -> float
 (** Median (average of middle two for even length); 0 on an empty array. *)
 
@@ -21,8 +26,15 @@ val percentile : float array -> float -> float
 (** [percentile xs p] for [p] in [\[0,100\]] using linear interpolation.
     @raise Invalid_argument on an empty array or [p] out of range. *)
 
+val percentile_opt : float array -> float -> float option
+(** Never-raising {!percentile}: [None] on an empty array or [p] outside
+    [\[0,100\]]. *)
+
 val min_max : float array -> float * float
 (** Smallest and largest value.  @raise Invalid_argument on empty input. *)
+
+val min_max_opt : float array -> (float * float) option
+(** Never-raising {!min_max}: [None] on empty input. *)
 
 val sum : float array -> float
 (** Kahan-compensated sum. *)

@@ -10,6 +10,7 @@ let () =
       ("search", Test_search.suite);
       ("workloads", Test_workloads.suite);
       ("pipeline", Test_pipeline.suite);
+      ("robust", Test_robust.suite);
       ("properties", Test_properties.suite);
       ("extensions", Test_extensions.suite);
       ("oracle", Test_oracle.suite);

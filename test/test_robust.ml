@@ -1,0 +1,411 @@
+(* Fault-tolerance tests: structured errors, injection, guarded
+   evaluation, checkpoint/resume determinism and budgeted degradation
+   (Kf_robust + the safe pipeline entry points). *)
+
+module Device = Kf_gpu.Device
+module Plan = Kf_fusion.Plan
+module Objective = Kf_search.Objective
+module Hgga = Kf_search.Hgga
+module Snapshot = Kf_search.Snapshot
+module Error = Kf_robust.Error
+module Guard = Kf_robust.Guard
+module Inject = Kf_robust.Inject
+module Pipeline = Kfuse.Pipeline
+module Stats = Kf_util.Stats
+module Motivating = Kf_workloads.Motivating
+module Cloverleaf = Kf_workloads.Cloverleaf
+
+let check = Alcotest.check
+let device = Device.k20x
+
+let fast_params =
+  { Hgga.default_params with Hgga.max_generations = 40; stall_generations = 15 }
+
+(* ------------------------------------------------------------------ *)
+(* Error classification                                                *)
+
+let test_classify () =
+  let cl msg = Error.classify ~stage:Error.Search (Invalid_argument msg) in
+  (match cl "Measure: kernel cannot launch (zero occupancy)" with
+  | Error.Sim_divergence _ -> ()
+  | e -> Alcotest.failf "expected Sim_divergence, got %s" (Error.to_string e));
+  (match cl "Inputs: measured_runtime length 3 <> 5 kernels" with
+  | Error.Model_input _ -> ()
+  | e -> Alcotest.failf "expected Model_input, got %s" (Error.to_string e));
+  (match cl "Plan: groups must cover every kernel" with
+  | Error.Constraint_violation _ -> ()
+  | e -> Alcotest.failf "expected Constraint_violation, got %s" (Error.to_string e));
+  (match Error.classify ~stage:Error.Io (Snapshot.Malformed "bad json") with
+  | Error.Io_error _ -> ()
+  | e -> Alcotest.failf "expected Io_error, got %s" (Error.to_string e));
+  (match Error.classify ~stage:Error.Io (Sys_error "no such file") with
+  | Error.Io_error _ -> ()
+  | e -> Alcotest.failf "expected Io_error, got %s" (Error.to_string e));
+  (match Error.classify ~stage:Error.Apply (Failure "unexpected") with
+  | Error.Internal { stage = Error.Apply; _ } -> ()
+  | e -> Alcotest.failf "expected Internal, got %s" (Error.to_string e))
+
+let test_classify_total () =
+  (* classify never raises, whatever the exception. *)
+  let exns =
+    [ Not_found; Exit; Division_by_zero; Failure ""; Invalid_argument "";
+      Inject.Injected_crash "x"; Inject.Injected_stall "y" ]
+  in
+  List.iter
+    (fun e -> ignore (Error.to_string (Error.classify ~stage:Error.Prepare e)))
+    exns
+
+(* ------------------------------------------------------------------ *)
+(* Satellite guards: safe_speedup and never-raising stats              *)
+
+let test_safe_speedup () =
+  check (Alcotest.float 1e-12) "normal ratio" 2.0
+    (Pipeline.safe_speedup ~original:4.0 ~fused:2.0);
+  check (Alcotest.float 0.) "zero fused" 0. (Pipeline.safe_speedup ~original:4.0 ~fused:0.);
+  check (Alcotest.float 0.) "negative fused" 0.
+    (Pipeline.safe_speedup ~original:4.0 ~fused:(-1.0));
+  check (Alcotest.float 0.) "nan fused" 0.
+    (Pipeline.safe_speedup ~original:4.0 ~fused:Float.nan);
+  check (Alcotest.float 0.) "inf original" 0.
+    (Pipeline.safe_speedup ~original:Float.infinity ~fused:2.0)
+
+let test_stats_opt () =
+  check Alcotest.bool "geomean_opt empty" true (Stats.geomean_opt [||] = None);
+  check Alcotest.bool "geomean_opt non-positive" true (Stats.geomean_opt [| 1.0; 0.0 |] = None);
+  check Alcotest.bool "geomean_opt nan" true (Stats.geomean_opt [| 1.0; Float.nan |] = None);
+  (match Stats.geomean_opt [| 2.0; 8.0 |] with
+  | Some g -> check (Alcotest.float 1e-12) "geomean_opt value" 4.0 g
+  | None -> Alcotest.fail "geomean_opt: expected Some");
+  check Alcotest.bool "percentile_opt empty" true (Stats.percentile_opt [||] 50. = None);
+  check Alcotest.bool "percentile_opt bad p" true
+    (Stats.percentile_opt [| 1.0 |] 101. = None);
+  (match Stats.percentile_opt [| 1.0; 3.0 |] 50. with
+  | Some v -> check (Alcotest.float 1e-12) "percentile_opt median" 2.0 v
+  | None -> Alcotest.fail "percentile_opt: expected Some");
+  check Alcotest.bool "min_max_opt empty" true (Stats.min_max_opt [||] = None)
+
+(* ------------------------------------------------------------------ *)
+(* Injection determinism and guard accounting                          *)
+
+let test_inject_deterministic () =
+  let run () =
+    let faults = Objective.zero_faults () in
+    let inj = Inject.create ~faults (Inject.config ~seed:7 0.5) in
+    let guard = Inject.wrap inj in
+    let outcomes =
+      List.init 200 (fun i ->
+          try
+            let v =
+              guard (fun _ -> { Objective.feasible = true; cost = 1.0; orig_sum = 2.0 }) [ i; i + 1 ]
+            in
+            Printf.sprintf "%h/%h" v.Objective.cost v.Objective.orig_sum
+          with
+          | Inject.Injected_crash _ -> "crash"
+          | Inject.Injected_stall _ -> "stall")
+    in
+    (Inject.injected inj, outcomes)
+  in
+  let n1, o1 = run () and n2, o2 = run () in
+  check Alcotest.int "same injection count" n1 n2;
+  check Alcotest.bool "some injections happened" true (n1 > 0);
+  check Alcotest.bool "not everything injected" true (n1 < 200);
+  check (Alcotest.list Alcotest.string) "same fault sequence" o1 o2
+
+let test_inject_singletons_exempt () =
+  (* Singleton groups cost their measured runtime and are never perturbed,
+     so the baseline (identity plan) stays trustworthy under injection. *)
+  let faults = Objective.zero_faults () in
+  let inj = Inject.create ~faults (Inject.config ~seed:1 1.0) in
+  let guard = Inject.wrap inj in
+  for k = 0 to 99 do
+    let v = guard (fun _ -> { Objective.feasible = true; cost = 3.0; orig_sum = 3.0 }) [ k ] in
+    check (Alcotest.float 0.) "singleton untouched" 3.0 v.Objective.cost
+  done;
+  check Alcotest.int "no injections on singletons" 0 (Inject.injected inj)
+
+let test_guard_quarantines () =
+  let faults = Objective.zero_faults () in
+  let inj = Inject.create ~faults (Inject.config ~seed:3 ~modes:[ Inject.Crash ] 1.0) in
+  let guard = Guard.guarded ~config:{ Guard.default with backoff_s = 0. } ~inject:inj faults in
+  let v = guard (fun _ -> { Objective.feasible = true; cost = 1.0; orig_sum = 2.0 }) [ 0; 1 ] in
+  check Alcotest.bool "quarantined verdict infeasible" false v.Objective.feasible;
+  check Alcotest.bool "penalty cost finite" true (Float.is_finite v.Objective.cost);
+  check (Alcotest.float 0.) "penalty cost" Guard.default.Guard.penalty_cost v.Objective.cost;
+  check Alcotest.int "one injection" 1 faults.Objective.injected;
+  check Alcotest.int "one trap" 1 faults.Objective.trapped;
+  check Alcotest.int "one quarantine" 1 faults.Objective.quarantined
+
+let test_guard_retries_transient () =
+  (* A stall is transient: the retry re-runs the evaluation, which (rate
+     drawn per call) may succeed.  With rate 1.0 every retry stalls again,
+     so the candidate ends quarantined after max_retries attempts. *)
+  let faults = Objective.zero_faults () in
+  let inj = Inject.create ~faults (Inject.config ~seed:5 ~modes:[ Inject.Stall ] 1.0) in
+  let guard = Guard.guarded ~config:{ Guard.default with backoff_s = 0. } ~inject:inj faults in
+  let v = guard (fun _ -> { Objective.feasible = true; cost = 1.0; orig_sum = 2.0 }) [ 0; 1 ] in
+  check Alcotest.bool "still quarantined" false v.Objective.feasible;
+  check Alcotest.int "retried max times" Guard.default.Guard.max_retries faults.Objective.retries;
+  check Alcotest.int "nothing recovered" 0 faults.Objective.recovered
+
+let test_guard_sanitizes_corruption () =
+  List.iter
+    (fun mode ->
+      let faults = Objective.zero_faults () in
+      let inj = Inject.create ~faults (Inject.config ~seed:9 ~modes:[ mode ] 1.0) in
+      let guard = Guard.guarded ~config:{ Guard.default with backoff_s = 0. } ~inject:inj faults in
+      let v = guard (fun _ -> { Objective.feasible = true; cost = 1.0; orig_sum = 2.0 }) [ 0; 1 ] in
+      check Alcotest.bool
+        (Printf.sprintf "%s sanitized" (Inject.mode_name mode))
+        true
+        (Guard.sane v && not v.Objective.feasible);
+      check Alcotest.int "counted as corrupted" 1 faults.Objective.corrupted)
+    [ Inject.Nan_runtime; Inject.Negative_runtime; Inject.Corrupt_metadata ]
+
+(* ------------------------------------------------------------------ *)
+(* run_safe: never raises, plan always validate-clean, accounting holds *)
+
+let outcome_clean (o : Pipeline.outcome) =
+  let ctx = o.Pipeline.context in
+  Plan.validate ~device ~meta:ctx.Pipeline.meta ~exec:ctx.Pipeline.exec
+    o.Pipeline.search.Hgga.plan
+  = []
+
+let test_run_safe_under_injection () =
+  let p = Motivating.program () in
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun rate ->
+          let inject = Inject.config ~seed:1337 ~modes:[ mode ] rate in
+          let guard = { Guard.default with Guard.backoff_s = 0. } in
+          match Pipeline.run_safe ~params:fast_params ~guard ~inject ~device p with
+          | Ok o ->
+              check Alcotest.bool
+                (Printf.sprintf "%s@%.2f: plan validates" (Inject.mode_name mode) rate)
+                true (outcome_clean o);
+              let f = o.Pipeline.search.Hgga.stats.Hgga.faults in
+              check Alcotest.int
+                (Printf.sprintf "%s@%.2f: injected = trapped + corrupted"
+                   (Inject.mode_name mode) rate)
+                f.Objective.injected
+                (f.Objective.trapped + f.Objective.corrupted)
+          | Error e ->
+              (* A classified error is an acceptable outcome; an escaped
+                 exception is not (it would fail the test run itself). *)
+              ignore (Error.to_string e))
+        [ 0.01; 0.1; 0.25; 0.5 ])
+    Inject.all_modes
+
+let test_run_safe_all_modes_mixed () =
+  (* All failure modes at once, at a high rate, on the larger workload:
+     the acceptance scenario.  Must complete, validate, and account. *)
+  let p = Cloverleaf.program () in
+  let inject = Inject.config ~seed:1337 0.2 in
+  let guard = { Guard.default with Guard.backoff_s = 0. } in
+  match Pipeline.run_safe ~params:fast_params ~guard ~inject ~device p with
+  | Ok o ->
+      check Alcotest.bool "plan validates" true (outcome_clean o);
+      let f = o.Pipeline.search.Hgga.stats.Hgga.faults in
+      check Alcotest.bool "faults observed" true (f.Objective.injected > 0);
+      check Alcotest.int "accounting exact" f.Objective.injected
+        (f.Objective.trapped + f.Objective.corrupted);
+      check Alcotest.bool "speedup finite" true (Float.is_finite o.Pipeline.speedup)
+  | Error e -> Alcotest.failf "unexpected error: %s" (Error.to_string e)
+
+let test_run_safe_clean_matches_run () =
+  (* With no injection, the safe path finds the same plan as the raw
+     pipeline: the guard layer is observationally transparent. *)
+  let p = Motivating.program () in
+  let raw = Pipeline.run ~params:fast_params ~device p in
+  match Pipeline.run_safe ~params:fast_params ~device p with
+  | Ok safe ->
+      check Alcotest.bool "same plan" true
+        (Plan.equal raw.Pipeline.search.Hgga.plan safe.Pipeline.search.Hgga.plan);
+      let f = safe.Pipeline.search.Hgga.stats.Hgga.faults in
+      check Alcotest.int "no faults recorded" 0
+        (f.Objective.injected + f.Objective.trapped + f.Objective.corrupted
+        + f.Objective.quarantined)
+  | Error e -> Alcotest.failf "unexpected error: %s" (Error.to_string e)
+
+let test_prepare_safe_bad_input () =
+  (* An unmeasurable kernel (255 registers x 512 threads exceeds the
+     register file, so zero blocks fit) must surface as a classified
+     error, not an exception. *)
+  let p = Motivating.program () in
+  let broken =
+    Kf_ir.Program.create ~name:"broken" ~grid:p.Kf_ir.Program.grid
+      ~arrays:(Array.to_list p.Kf_ir.Program.arrays)
+      ~kernels:
+        (Array.to_list p.Kf_ir.Program.kernels
+        |> List.map (fun k ->
+               if k.Kf_ir.Kernel.id = 2 then
+                 { k with Kf_ir.Kernel.registers_per_thread = 255 }
+               else k))
+  in
+  match Pipeline.prepare_safe ~device broken with
+  | Ok _ -> Alcotest.fail "expected prepare to fail on unlaunchable kernel"
+  | Error (Error.Sim_divergence _) -> ()
+  | Error e -> Alcotest.failf "expected Sim_divergence, got %s" (Error.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Budgets and degradation                                             *)
+
+let test_budget_evaluations () =
+  let p = Cloverleaf.program () in
+  let budget = { Hgga.unlimited with Hgga.max_evaluations = Some 30 } in
+  match Pipeline.run_safe ~params:fast_params ~budget ~device p with
+  | Ok o ->
+      let s = o.Pipeline.search.Hgga.stats in
+      check Alcotest.string "stopped on budget"
+        (Hgga.stop_reason_name Hgga.Evaluation_budget)
+        (Hgga.stop_reason_name s.Hgga.stop);
+      check Alcotest.bool "plan still validates" true (outcome_clean o);
+      (match Error.of_stop s ~threshold:1.0 with
+      | Some (Error.Budget_exhausted _) -> ()
+      | _ -> Alcotest.fail "of_stop: expected Budget_exhausted")
+  | Error e -> Alcotest.failf "unexpected error: %s" (Error.to_string e)
+
+let test_fault_overload_degrades () =
+  (* Everything crashes: the fault-rate budget trips and the search
+     degrades to a feasible plan (identity at worst) instead of raising. *)
+  let p = Motivating.program () in
+  let inject = Inject.config ~seed:2 ~modes:[ Inject.Crash ] 1.0 in
+  let guard = { Guard.default with Guard.backoff_s = 0. } in
+  (* Quarantined pairs are memoized, so a tiny program yields only a
+     handful of distinct evaluations: keep the trust gate below that. *)
+  let budget =
+    { Hgga.unlimited with Hgga.max_fault_rate = Some 0.5; min_rate_evals = 2 }
+  in
+  match Pipeline.run_safe ~params:fast_params ~guard ~inject ~budget ~device p with
+  | Ok o ->
+      check Alcotest.string "stopped on overload"
+        (Hgga.stop_reason_name Hgga.Fault_overload)
+        (Hgga.stop_reason_name o.Pipeline.search.Hgga.stats.Hgga.stop);
+      check Alcotest.bool "degraded plan validates" true (outcome_clean o);
+      check Alcotest.bool "cost finite" true (Float.is_finite o.Pipeline.search.Hgga.cost)
+  | Error e -> Alcotest.failf "unexpected error: %s" (Error.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / resume                                                 *)
+
+let solve_clover ?checkpoint ?resume_from params =
+  let ctx = Pipeline.prepare ~device (Cloverleaf.program ()) in
+  Hgga.solve ~params ?checkpoint ?resume_from (Pipeline.objective ctx)
+
+let test_snapshot_roundtrip () =
+  let snap =
+    {
+      Snapshot.population_size = 60;
+      seed = 42;
+      n = 5;
+      generation = 14;
+      stall = 3;
+      evaluations = 99;
+      rng_state = -8313746488903152427L;
+      best = [ [ 0; 1 ]; [ 2 ]; [ 3; 4 ] ];
+      history = [ (0, 0.25); (3, 0.125) ];
+      population = [ [ [ 0; 1; 2; 3; 4 ] ]; [ [ 0 ]; [ 1; 2 ]; [ 3; 4 ] ] ];
+    }
+  in
+  let back = Snapshot.of_string (Snapshot.render snap) in
+  check Alcotest.bool "roundtrip identical" true (snap = back)
+
+let test_snapshot_malformed () =
+  List.iter
+    (fun s ->
+      match Snapshot.of_string s with
+      | exception Snapshot.Malformed _ -> ()
+      | _ -> Alcotest.failf "expected Malformed on %S" s)
+    [ ""; "{"; "[1,2]"; "{\"format\": 99}"; "{\"format\": 1}" ]
+
+let test_checkpoint_resume_identical () =
+  (* Kill after 14 generations (last snapshot at gen 14), resume to the
+     full horizon: bit-identical final plan and cost. *)
+  let params =
+    { Hgga.default_params with Hgga.max_generations = 30; stall_generations = 1000 }
+  in
+  let path = Filename.temp_file "kfuse_ck" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let full = solve_clover params in
+      let killed =
+        solve_clover
+          ~checkpoint:{ Hgga.path; every = 7 }
+          { params with Hgga.max_generations = 14 }
+      in
+      ignore killed;
+      let resumed = solve_clover ~resume_from:path params in
+      check Alcotest.bool "same final plan" true
+        (Plan.equal full.Hgga.plan resumed.Hgga.plan);
+      check (Alcotest.float 0.) "same final cost" full.Hgga.cost resumed.Hgga.cost;
+      check Alcotest.int "same generation count" full.Hgga.stats.Hgga.generations
+        resumed.Hgga.stats.Hgga.generations)
+
+let test_resume_rejects_mismatch () =
+  let params =
+    { Hgga.default_params with Hgga.max_generations = 7; stall_generations = 1000 }
+  in
+  let path = Filename.temp_file "kfuse_ck" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      ignore (solve_clover ~checkpoint:{ Hgga.path; every = 7 } params);
+      (match solve_clover ~resume_from:path { params with Hgga.seed = 43 } with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected seed mismatch rejection");
+      let ctx = Pipeline.prepare ~device (Motivating.program ()) in
+      match Hgga.solve ~params ~resume_from:path (Pipeline.objective ctx) with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected program-size mismatch rejection")
+
+let test_resume_under_injection () =
+  (* Checkpointing composes with fault injection: the injector's draws are
+     per-evaluation and memoized verdicts are recomputed identically, so a
+     resumed faulty search still matches the uninterrupted one. *)
+  let params =
+    { Hgga.default_params with Hgga.max_generations = 24; stall_generations = 1000 }
+  in
+  let path = Filename.temp_file "kfuse_ck" ".json" in
+  let solve ?checkpoint ?resume_from params =
+    let ctx = Pipeline.prepare ~device (Cloverleaf.program ()) in
+    let faults = Objective.zero_faults () in
+    let inj = Inject.create ~faults (Inject.config ~seed:11 0.15) in
+    let guard =
+      Guard.guarded ~config:{ Guard.default with Guard.backoff_s = 0. } ~inject:inj faults
+    in
+    Hgga.solve ~params ?checkpoint ?resume_from
+      (Pipeline.objective ~guard ~faults ctx)
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let full = solve params in
+      ignore (solve ~checkpoint:{ Hgga.path; every = 6 } { params with Hgga.max_generations = 12 });
+      let resumed = solve ~resume_from:path params in
+      check Alcotest.bool "same plan under injection" true
+        (Plan.equal full.Hgga.plan resumed.Hgga.plan))
+
+let suite =
+  [
+    Alcotest.test_case "error classification" `Quick test_classify;
+    Alcotest.test_case "classify is total" `Quick test_classify_total;
+    Alcotest.test_case "safe speedup" `Quick test_safe_speedup;
+    Alcotest.test_case "never-raising stats" `Quick test_stats_opt;
+    Alcotest.test_case "injection deterministic" `Quick test_inject_deterministic;
+    Alcotest.test_case "singletons exempt" `Quick test_inject_singletons_exempt;
+    Alcotest.test_case "guard quarantines" `Quick test_guard_quarantines;
+    Alcotest.test_case "guard retries transient" `Quick test_guard_retries_transient;
+    Alcotest.test_case "guard sanitizes corruption" `Quick test_guard_sanitizes_corruption;
+    Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip;
+    Alcotest.test_case "snapshot malformed" `Quick test_snapshot_malformed;
+    Alcotest.test_case "prepare_safe bad input" `Quick test_prepare_safe_bad_input;
+    Alcotest.test_case "run_safe under injection" `Slow test_run_safe_under_injection;
+    Alcotest.test_case "run_safe acceptance" `Slow test_run_safe_all_modes_mixed;
+    Alcotest.test_case "run_safe clean = run" `Slow test_run_safe_clean_matches_run;
+    Alcotest.test_case "budget: evaluations" `Slow test_budget_evaluations;
+    Alcotest.test_case "fault overload degrades" `Slow test_fault_overload_degrades;
+    Alcotest.test_case "checkpoint/resume identical" `Slow test_checkpoint_resume_identical;
+    Alcotest.test_case "resume rejects mismatch" `Slow test_resume_rejects_mismatch;
+    Alcotest.test_case "resume under injection" `Slow test_resume_under_injection;
+  ]

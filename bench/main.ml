@@ -852,6 +852,120 @@ let exp_verify () =
     "(every plan the search emits executes bitwise-identically to the original program,      including relaxed plans run through the materialized generation renaming)@."
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable benchmark summary (BENCH_pr2.json)                  *)
+(* ------------------------------------------------------------------ *)
+
+let bench_json_path = "BENCH_pr2.json"
+
+let exp_bench_json () =
+  header "bench_json" ("Machine-readable per-workload summary -> " ^ bench_json_path);
+  let module J = Kf_obs.Json in
+  let workloads =
+    [
+      ("motivating", Motivating.program ());
+      ("cloverleaf", Kf_workloads.Cloverleaf.program ());
+      ("tealeaf", Kf_workloads.Tealeaf.program ());
+      ("scale-les-rk", Kf_workloads.Scale_les.rk_core ());
+      ("homme", Kf_workloads.Homme.program ());
+      ("suite-30", Suite.generate { Suite.default with Suite.kernels = 30; arrays = 60; seed = 42 });
+    ]
+  in
+  let t =
+    Table.create
+      [
+        ("workload", Table.Left); ("search (s)", Table.Right); ("evals", Table.Right);
+        ("evals/s", Table.Right); ("cache hit", Table.Right); ("projected", Table.Right);
+        ("measured", Table.Right);
+      ]
+  in
+  let rows =
+    List.map
+      (fun (name, p) ->
+        (* Hold on to the objective so its cache telemetry survives the
+           search (Pipeline.run would hide it). *)
+        let ctx = prepare p in
+        let obj = objective ctx in
+        let r = Hgga.solve ~params:search_params obj in
+        let o = Pipeline.apply ctx r in
+        let stats = r.Hgga.stats in
+        let cs = Objective.cache_stats obj in
+        let hit_rate = Objective.cache_hit_rate obj in
+        let evals_per_s =
+          if stats.Hgga.wall_time_s > 0. then
+            float_of_int stats.Hgga.evaluations /. stats.Hgga.wall_time_s
+          else 0.
+        in
+        let projected_speedup =
+          if Float.is_finite r.Hgga.cost && r.Hgga.cost > 0. then
+            ctx.Pipeline.original_runtime /. r.Hgga.cost
+          else 0.
+        in
+        Table.add_row t
+          [
+            name;
+            Table.cell_f stats.Hgga.wall_time_s;
+            string_of_int stats.Hgga.evaluations;
+            Table.cell_f ~decimals:0 evals_per_s;
+            Table.cell_pct hit_rate;
+            Table.cell_speedup projected_speedup;
+            Table.cell_speedup o.Pipeline.speedup;
+          ];
+        ( o.Pipeline.speedup,
+          J.Obj
+            [
+              ("name", J.Str name);
+              ("kernels", J.Int (Program.num_kernels p));
+              ("generations", J.Int stats.Hgga.generations);
+              ("evaluations", J.Int stats.Hgga.evaluations);
+              ("search_wall_s", J.Float stats.Hgga.wall_time_s);
+              ("evaluations_per_s", J.Float evals_per_s);
+              ("cache_hits", J.Int cs.Objective.hits);
+              ("cache_misses", J.Int cs.Objective.misses);
+              ("cache_hit_rate", J.Float hit_rate);
+              ("stop_reason", J.Str (Hgga.stop_reason_name stats.Hgga.stop));
+              ("best_cost_s", J.Float r.Hgga.cost);
+              ("original_runtime_s", J.Float ctx.Pipeline.original_runtime);
+              ("fused_runtime_s", J.Float o.Pipeline.fused_runtime);
+              ("projected_speedup", J.Float projected_speedup);
+              ("measured_speedup", J.Float o.Pipeline.speedup);
+              ("fused_kernels", J.Int (Plan.fused_kernel_count r.Hgga.plan));
+            ] ))
+      workloads
+  in
+  Table.print t;
+  let speedups = Array.of_list (List.map fst rows) in
+  let geomean = Stats.geomean_opt speedups in
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "kfuse-bench/1");
+        ("params",
+         J.Obj
+           [
+             ("population_size", J.Int search_params.Hgga.population_size);
+             ("max_generations", J.Int search_params.Hgga.max_generations);
+             ("stall_generations", J.Int search_params.Hgga.stall_generations);
+             ("seed", J.Int search_params.Hgga.seed);
+           ]);
+        ("device", J.Str k20x.Device.name);
+        ("workloads", J.Arr (List.map snd rows));
+        ("geomean_measured_speedup",
+         match geomean with Some g -> J.Float g | None -> J.Null);
+      ]
+  in
+  let oc = open_out (bench_json_path ^ ".tmp") in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (J.to_string doc);
+      output_char oc '\n');
+  Sys.rename (bench_json_path ^ ".tmp") bench_json_path;
+  (match geomean with
+  | Some g -> Format.printf "geomean measured speedup: %.2fx@." g
+  | None -> Format.printf "geomean measured speedup: n/a (degenerate measurement)@.");
+  Format.printf "wrote %s@." bench_json_path
+
+(* ------------------------------------------------------------------ *)
 (* registry                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -879,6 +993,7 @@ let experiments =
     ("block_tuning", exp_block_tuning);
     ("sync_points", exp_sync_points);
     ("verify", exp_verify);
+    ("bench_json", exp_bench_json);
   ]
 
 let () =

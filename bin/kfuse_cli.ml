@@ -177,17 +177,71 @@ let robust_term =
   Term.(const make $ checkpoint_arg $ every_arg $ resume_arg $ budget_evals_arg
         $ budget_wall_arg $ max_fault_rate_arg $ fault_inject_arg $ fault_seed_arg)
 
-let print_search_health ropts (stats : Hgga.stats) =
+(* --- observability options (tracing, metrics, quiet) --- *)
+
+type obs_opts = {
+  trace : string option;
+  trace_format : Kf_obs.Trace.format;
+  metrics_out : string option;
+  quiet : bool;
+}
+
+let obs_term =
+  let trace_arg =
+    let doc = "Stream structured telemetry (pipeline phases, one event per GA \
+               generation, checkpoint writes) to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let format_arg =
+    let doc = "Trace format: $(b,jsonl) (one JSON object per line) or $(b,chrome) \
+               (trace_event JSON for chrome://tracing / Perfetto)." in
+    let fmt_conv =
+      Arg.enum [ ("jsonl", Kf_obs.Trace.Jsonl); ("chrome", Kf_obs.Trace.Chrome) ]
+    in
+    Arg.(value & opt fmt_conv Kf_obs.Trace.Jsonl & info [ "trace-format" ] ~docv:"FORMAT" ~doc)
+  in
+  let metrics_arg =
+    let doc = "Write the final counter/gauge registry (cache hits, evaluations, \
+               simulated cycles, ...) as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+  in
+  let quiet_arg =
+    let doc = "Suppress informational output (telemetry files are still written)." in
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+  in
+  let make trace trace_format metrics_out quiet = { trace; trace_format; metrics_out; quiet } in
+  Term.(const make $ trace_arg $ format_arg $ metrics_arg $ quiet_arg)
+
+(* Configure the sinks around [f]; always finish the trace stream (the
+   Chrome format needs its closing suffix even on error paths) and dump
+   the metrics registry on the way out. *)
+let with_obs oopts f =
+  (match oopts.trace with
+  | Some path -> Kf_obs.Trace.configure ~format:oopts.trace_format path
+  | None -> ());
+  if oopts.trace <> None || oopts.metrics_out <> None then Kf_obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Kf_obs.Trace.shutdown ();
+      match oopts.metrics_out with
+      | Some path -> Kf_obs.Metrics.write_file path
+      | None -> ())
+    f
+
+let say oopts fmt =
+  if oopts.quiet then Format.ifprintf Format.std_formatter fmt else Format.printf fmt
+
+let print_search_health oopts ropts (stats : Hgga.stats) =
   let f = stats.Hgga.faults in
   if ropts.inject <> None || f.Objective.trapped + f.Objective.corrupted > 0 then
-    Format.printf "faults: %a@." Objective.pp_faults f;
+    say oopts "faults: %a@." Objective.pp_faults f;
   let threshold =
     match ropts.budget with
     | Some { Hgga.max_fault_rate = Some r; _ } -> r
     | _ -> 1.
   in
   match Kf_robust.Error.of_stop stats ~threshold with
-  | Some e -> Format.printf "degraded: %s (best-so-far plan returned)@." (Kf_robust.Error.to_string e)
+  | Some e -> say oopts "degraded: %s (best-so-far plan returned)@." (Kf_robust.Error.to_string e)
   | None -> ()
 
 (* --- subcommands --- *)
@@ -254,7 +308,8 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Dependency and traffic analysis") Term.(const run $ workload_arg)
 
 let search_cmd =
-  let run workload device model generations population seed ropts =
+  let run workload device model generations population seed ropts oopts =
+    with_obs oopts @@ fun () ->
     let p = load_workload workload in
     let device = device_of_name device in
     let ctx = Pipeline.prepare ~device p in
@@ -274,21 +329,27 @@ let search_cmd =
             (Kf_robust.Error.to_string (Kf_robust.Error.classify ~stage:Kf_robust.Error.Search e));
           exit 2
     in
-    Format.printf "best plan: %a@." Plan.pp r.Hgga.plan;
-    Format.printf
+    say oopts "best plan: %a@." Plan.pp r.Hgga.plan;
+    say oopts
       "projected cost %.3f ms (measured original %.3f ms) | %d generations, %d evaluations, %.2f s@."
       (r.Hgga.cost *. 1e3)
       (ctx.Pipeline.original_runtime *. 1e3)
       r.Hgga.stats.Hgga.generations r.Hgga.stats.Hgga.evaluations r.Hgga.stats.Hgga.wall_time_s;
-    print_search_health ropts r.Hgga.stats
+    if Kf_obs.Metrics.enabled () then
+      say oopts "cache: %.1f%% hit rate over %d lookups@."
+        (Objective.cache_hit_rate obj *. 100.)
+        (let cs = Objective.cache_stats obj in
+         cs.Objective.hits + cs.Objective.misses);
+    print_search_health oopts ropts r.Hgga.stats
   in
   Cmd.v
     (Cmd.info "search" ~doc:"Run the HGGA search and print the best plan")
     Term.(const run $ workload_arg $ device_arg $ model_arg $ generations_arg $ population_arg
-          $ seed_arg $ robust_term)
+          $ seed_arg $ robust_term $ obs_term)
 
 let fuse_cmd =
-  let run workload device model generations population seed ropts =
+  let run workload device model generations population seed ropts oopts =
+    with_obs oopts @@ fun () ->
     let p = load_workload workload in
     let device = device_of_name device in
     match
@@ -297,8 +358,8 @@ let fuse_cmd =
         ?resume_from:ropts.resume ?budget:ropts.budget ~device p
     with
     | Ok o ->
-        Format.printf "%a@." Pipeline.pp_outcome o;
-        print_search_health ropts o.Pipeline.search.Hgga.stats
+        say oopts "%a@." Pipeline.pp_outcome o;
+        print_search_health oopts ropts o.Pipeline.search.Hgga.stats
     | Error e ->
         Format.eprintf "kfuse: %s@." (Kf_robust.Error.to_string e);
         exit 2
@@ -306,7 +367,7 @@ let fuse_cmd =
   Cmd.v
     (Cmd.info "fuse" ~doc:"Search, apply the fusion, and measure the speedup (fault-tolerant)")
     Term.(const run $ workload_arg $ device_arg $ model_arg $ generations_arg $ population_arg
-          $ seed_arg $ robust_term)
+          $ seed_arg $ robust_term $ obs_term)
 
 let graph_cmd =
   let run workload kind plan_overlay generations population seed =

@@ -12,6 +12,7 @@ module Fused_program = Kf_fusion.Fused_program
 module Error = Kf_robust.Error
 module Guard = Kf_robust.Guard
 module Inject = Kf_robust.Inject
+module Obs = Kf_obs.Trace
 
 type context = {
   device : Device.t;
@@ -24,11 +25,21 @@ type context = {
   original_runtime : float;
 }
 
+let phase_args program =
+  if Obs.enabled () then [ ("workload", Kf_obs.Json.Str program.Program.name) ] else []
+
 let prepare ?(sync_points = []) ~device program =
-  let meta = Metadata.build program in
-  let datadep = Datadep.build program in
-  let exec = Exec_order.build ~sync_points datadep in
-  let measured = Measure.program_results ~device program in
+  let args = phase_args program in
+  let meta = Obs.span ~cat:"pipeline" ~args "build" (fun () -> Metadata.build program) in
+  let datadep, exec =
+    Obs.span ~cat:"pipeline" ~args "analyze" (fun () ->
+        let datadep = Datadep.build program in
+        (datadep, Exec_order.build ~sync_points datadep))
+  in
+  let measured =
+    Obs.span ~cat:"pipeline" ~args "measure" (fun () ->
+        Measure.program_results ~device program)
+  in
   let measured_runtime = Array.map (fun r -> r.Measure.runtime_s) measured in
   let inputs = Inputs.make ~device ~meta ~exec ~measured_runtime in
   {
@@ -62,10 +73,15 @@ let safe_speedup ~original ~fused =
   else 0.
 
 let apply ctx (search : Hgga.result) =
-  let fused =
-    Fused_program.build ~device:ctx.device ~meta:ctx.meta ~exec:ctx.exec search.Hgga.plan
+  let args = phase_args ctx.program in
+  let fused, fused_measured =
+    Obs.span ~cat:"pipeline" ~args "apply" (fun () ->
+        let fused =
+          Fused_program.build ~device:ctx.device ~meta:ctx.meta ~exec:ctx.exec
+            search.Hgga.plan
+        in
+        (fused, Measure.fused_program_results ~device:ctx.device fused))
   in
-  let fused_measured = Measure.fused_program_results ~device:ctx.device fused in
   let fused_runtime =
     List.fold_left (fun acc (_, r) -> acc +. r.Measure.runtime_s) 0. fused_measured
   in
@@ -81,7 +97,10 @@ let apply ctx (search : Hgga.result) =
 let run ?params ?model ?sync_points ~device program =
   let ctx = prepare ?sync_points ~device program in
   let obj = objective ?model ctx in
-  let search = Hgga.solve ?params obj in
+  let search =
+    Obs.span ~cat:"pipeline" ~args:(phase_args program) "search" (fun () ->
+        Hgga.solve ?params obj)
+  in
   apply ctx search
 
 (* --- fault-tolerant entry points --- *)
@@ -135,7 +154,10 @@ let run_safe ?params ?model ?sync_points ?guard ?inject ?checkpoint ?resume_from
       let injector = Option.map (fun cfg -> Inject.create ~faults cfg) inject in
       let guard = Guard.guarded ?config:guard ?inject:injector faults in
       let obj = objective ?model ~guard ~faults ctx in
-      match Hgga.solve ?params ?checkpoint ?resume_from ?budget obj with
+      match
+        Obs.span ~cat:"pipeline" ~args:(phase_args program) "search" (fun () ->
+            Hgga.solve ?params ?checkpoint ?resume_from ?budget obj)
+      with
       | exception ((Stack_overflow | Out_of_memory) as fatal) -> raise fatal
       | exception e -> Error (Error.classify ~stage:Error.Search e)
       | search -> begin

@@ -137,6 +137,14 @@ let render ?(verify = false) (o : Pipeline.outcome) =
   Buffer.contents buf
 
 let write_file ?verify path outcome =
-  let oc = open_out path in
-  output_string oc (render ?verify outcome);
-  close_out oc
+  (* Render before touching the filesystem — a raise mid-render must not
+     leave a truncated file — then write atomically (temp + rename, the
+     Snapshot.save pattern) so a crash mid-write never replaces a good
+     previous report either. *)
+  let content = render ?verify outcome in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content);
+  Sys.rename tmp path

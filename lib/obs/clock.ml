@@ -1,0 +1,19 @@
+(* Monotonic wall clock.
+
+   The stdlib exposes no monotonic clock, so the next best thing: the
+   system wall clock clamped to be non-decreasing across all domains.  A
+   backward NTP step can at worst freeze the clock briefly, never make a
+   span end before it started. *)
+
+let lock = Mutex.create ()
+let last = ref 0.
+
+let now_s () =
+  let t = Unix.gettimeofday () in
+  Mutex.lock lock;
+  let v = if t > !last then t else !last in
+  last := v;
+  Mutex.unlock lock;
+  v
+
+let us_of_s s = s *. 1e6

@@ -1,0 +1,8 @@
+(** Monotonic timing source for spans and metrics.
+
+    Wall-clock seconds clamped to be non-decreasing process-wide (shared
+    across domains), so durations are never negative even if the system
+    clock steps backwards. *)
+
+val now_s : unit -> float
+val us_of_s : float -> float

@@ -1,0 +1,36 @@
+(** Minimal JSON values for the telemetry stream.
+
+    The writer never emits anything outside the JSON grammar (non-finite
+    floats degrade to [null]); the parser is total over well-formed input
+    and exists so tests can validate emitted telemetry without an external
+    JSON dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val buffer : Buffer.t -> t -> unit
+
+exception Malformed of string
+
+val of_string : string -> t
+(** @raise Malformed on invalid input. *)
+
+(* Accessors for validation code; all return [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_int_opt : t -> int option
+
+val to_float_opt : t -> float option
+(** Ints coerce: JSON does not distinguish [1] from [1.0]. *)
+
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option

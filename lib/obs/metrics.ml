@@ -1,0 +1,97 @@
+(* Named counters and gauges with a process-wide, thread-safe registry.
+
+   Counters are [int Atomic.t] cells: increments from concurrent domains
+   never lose updates.  Handles are created once (typically at module
+   init) and incremented on hot paths; when the registry is disabled an
+   increment is a single atomic load and a branch, so instrumented code
+   pays nothing measurable in production-off mode.
+
+   Gauges are last-write-wins floats (mutable float fields are single
+   word writes on 64-bit, so torn values cannot be observed). *)
+
+type counter = { c_name : string; cell : int Atomic.t }
+type gauge = { g_name : string; mutable g_value : float }
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled v = Atomic.set enabled_flag v
+
+let lock = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  Mutex.lock lock;
+  let c =
+    match Hashtbl.find_opt counters name with
+    | Some c -> c
+    | None ->
+        let c = { c_name = name; cell = Atomic.make 0 } in
+        Hashtbl.replace counters name c;
+        c
+  in
+  Mutex.unlock lock;
+  c
+
+let gauge name =
+  Mutex.lock lock;
+  let g =
+    match Hashtbl.find_opt gauges name with
+    | Some g -> g
+    | None ->
+        let g = { g_name = name; g_value = 0. } in
+        Hashtbl.replace gauges name g;
+        g
+  in
+  Mutex.unlock lock;
+  g
+
+let incr ?(by = 1) c = if enabled () then ignore (Atomic.fetch_and_add c.cell by)
+let add = fun c by -> incr ~by c
+let set g v = if enabled () then g.g_value <- v
+let value c = Atomic.get c.cell
+let gauge_value g = g.g_value
+
+let find name =
+  Mutex.lock lock;
+  let v = Hashtbl.find_opt counters name in
+  Mutex.unlock lock;
+  Option.map value v
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters;
+  Hashtbl.iter (fun _ g -> g.g_value <- 0.) gauges;
+  Mutex.unlock lock
+
+let snapshot () =
+  Mutex.lock lock;
+  let cs = Hashtbl.fold (fun name c acc -> (name, Json.Int (value c)) :: acc) counters [] in
+  let gs = Hashtbl.fold (fun name g acc -> (name, Json.Float g.g_value) :: acc) gauges [] in
+  Mutex.unlock lock;
+  List.sort (fun (a, _) (b, _) -> compare a b) (cs @ gs)
+
+let to_json () =
+  Json.Obj
+    [
+      ("counters",
+       Json.Obj
+         (List.filter_map
+            (fun (n, v) -> match v with Json.Int _ -> Some (n, v) | _ -> None)
+            (snapshot ())));
+      ("gauges",
+       Json.Obj
+         (List.filter_map
+            (fun (n, v) -> match v with Json.Float _ -> Some (n, v) | _ -> None)
+            (snapshot ())));
+    ]
+
+let write_file path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json ()));
+      output_char oc '\n');
+  Sys.rename tmp path

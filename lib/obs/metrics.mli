@@ -1,0 +1,48 @@
+(** Named counters and gauges with a thread-safe process-wide registry.
+
+    Handles are cheap to create and safe to share across domains.  All
+    writes are gated on {!enabled}: with the registry disabled (the
+    default) an increment costs one atomic load and a branch, honoring
+    the observability layer's no-op contract. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** Master switch; also consulted by instrumented hot paths before doing
+    any work whose only purpose is telemetry (e.g. timing a model
+    evaluation). *)
+
+type counter
+type gauge
+
+val counter : string -> counter
+(** Find-or-create; the same name always yields the same cell. *)
+
+val gauge : string -> gauge
+
+val incr : ?by:int -> counter -> unit
+(** Atomic; lost-update-free under parallel domains.  No-op when the
+    registry is disabled. *)
+
+val add : counter -> int -> unit
+(** [add c n] = [incr ~by:n c]; convenient for accumulating integer
+    quantities such as microseconds or simulated cycles. *)
+
+val set : gauge -> float -> unit
+val value : counter -> int
+val gauge_value : gauge -> float
+
+val find : string -> int option
+(** Counter value by name, if such a counter was ever created. *)
+
+val reset : unit -> unit
+(** Zero every registered counter and gauge (tests). *)
+
+val snapshot : unit -> (string * Json.t) list
+(** All registered metrics, sorted by name. *)
+
+val to_json : unit -> Json.t
+(** [{ "counters": {..}, "gauges": {..} }]. *)
+
+val write_file : string -> unit
+(** Atomic (temp file + rename) JSON dump.  @raise Sys_error on IO
+    failure. *)

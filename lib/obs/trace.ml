@@ -1,0 +1,117 @@
+(* Structured event sink: timing spans and instant events streamed as
+   JSON-lines telemetry, or rendered in Chrome's trace_event format for
+   chrome://tracing / Perfetto.
+
+   One process-wide sink, guarded by a mutex; the [enabled] flag is an
+   atomic mirror so hot paths can skip all argument construction and
+   formatting with a single load when tracing is off. *)
+
+type format = Jsonl | Chrome
+
+let format_of_string = function
+  | "jsonl" -> Some Jsonl
+  | "chrome" -> Some Chrome
+  | _ -> None
+
+let format_name = function Jsonl -> "jsonl" | Chrome -> "chrome"
+
+type sink = {
+  format : format;
+  oc : out_channel;
+  owns_channel : bool;
+  mutable first_event : bool;  (* Chrome array comma tracking *)
+  t0 : float;  (* trace epoch (Clock.now_s seconds) *)
+}
+
+let lock = Mutex.create ()
+let sink : sink option ref = ref None
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+
+let close_sink s =
+  (match s.format with
+  | Jsonl -> ()
+  | Chrome -> output_string s.oc "\n]}\n");
+  flush s.oc;
+  if s.owns_channel then close_out_noerr s.oc
+
+let shutdown () =
+  Mutex.lock lock;
+  (match !sink with
+  | None -> ()
+  | Some s ->
+      Atomic.set enabled_flag false;
+      sink := None;
+      close_sink s);
+  Mutex.unlock lock
+
+let install ~format ~oc ~owns_channel =
+  shutdown ();
+  Mutex.lock lock;
+  (match format with
+  | Jsonl -> ()
+  | Chrome -> output_string oc "{\"traceEvents\":[\n");
+  sink := Some { format; oc; owns_channel; first_event = true; t0 = Clock.now_s () };
+  Atomic.set enabled_flag true;
+  Mutex.unlock lock
+
+let configure ?(format = Jsonl) path =
+  install ~format ~oc:(open_out path) ~owns_channel:true
+
+let configure_channel ?(format = Jsonl) oc = install ~format ~oc ~owns_channel:false
+
+let tid () = (Domain.self () :> int)
+
+(* [t_start]/[t_end] are absolute Clock seconds; they are made relative
+   to the sink's epoch under the sink lock, so a concurrent reconfigure
+   cannot mix epochs within one event. *)
+let emit ~name ~cat ~ph ~t_start ?t_end ~args () =
+  Mutex.lock lock;
+  (match !sink with
+  | None -> ()
+  | Some s ->
+      let fields =
+        [
+          ("name", Json.Str name);
+          ("cat", Json.Str cat);
+          ("ph", Json.Str ph);
+          ("ts", Json.Float (Clock.us_of_s (t_start -. s.t0)));
+        ]
+        @ (match t_end with
+          | Some t -> [ ("dur", Json.Float (Clock.us_of_s (t -. t_start))) ]
+          | None -> [])
+        @ (match s.format with
+          | Chrome -> [ ("pid", Json.Int 1); ("tid", Json.Int (tid ())) ]
+          | Jsonl -> [ ("tid", Json.Int (tid ())) ])
+        @ (match args with [] -> [] | a -> [ ("args", Json.Obj a) ])
+      in
+      let line = Json.to_string (Json.Obj fields) in
+      (match s.format with
+      | Jsonl ->
+          output_string s.oc line;
+          output_char s.oc '\n'
+      | Chrome ->
+          if not s.first_event then output_string s.oc ",\n";
+          s.first_event <- false;
+          output_string s.oc line);
+      flush s.oc);
+  Mutex.unlock lock
+
+let instant ?(cat = "default") ?(args = []) name =
+  if enabled () then
+    emit ~name ~cat ~ph:"i" ~t_start:(Clock.now_s ()) ~args ()
+
+let span ?(cat = "default") ?(args = []) name f =
+  if not (enabled ()) then f ()
+  else begin
+    let t_start = Clock.now_s () in
+    match f () with
+    | v ->
+        emit ~name ~cat ~ph:"X" ~t_start ~t_end:(Clock.now_s ()) ~args ();
+        v
+    | exception e ->
+        emit ~name ~cat ~ph:"X" ~t_start ~t_end:(Clock.now_s ())
+          ~args:(("error", Json.Str (Printexc.to_string e)) :: args)
+          ();
+        raise e
+  end

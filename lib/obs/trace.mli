@@ -1,0 +1,43 @@
+(** Structured event sink: spans and instant events as JSON-lines
+    telemetry or Chrome [trace_event] JSON.
+
+    One process-wide sink.  When no sink is configured (the default),
+    {!span} runs its body directly and {!instant} returns immediately —
+    instrumented code pays one atomic load.  Callers building expensive
+    argument lists should guard on {!enabled} first.
+
+    JSONL: one self-contained JSON object per line —
+    [{"name":..,"cat":..,"ph":"X"|"i","ts":us,"dur":us,"tid":..,"args":{..}}].
+    Chrome: the same events wrapped as [{"traceEvents":[..]}], loadable in
+    [chrome://tracing] or Perfetto ([ts]/[dur] in microseconds, [ph]="X"
+    complete spans, [ph]="i" instants). *)
+
+type format = Jsonl | Chrome
+
+val format_of_string : string -> format option
+val format_name : format -> string
+
+val enabled : unit -> bool
+
+val configure : ?format:format -> string -> unit
+(** Open [path] (truncating) and start streaming events to it.  Replaces
+    (and cleanly finishes) any previously configured sink.
+    @raise Sys_error if the file cannot be opened. *)
+
+val configure_channel : ?format:format -> out_channel -> unit
+(** Like {!configure} but onto an existing channel, which is flushed but
+    not closed on {!shutdown} (tests, stderr streaming). *)
+
+val shutdown : unit -> unit
+(** Finish the stream (writes the Chrome array suffix), flush, close an
+    owned file, and disable tracing.  Idempotent. *)
+
+val instant : ?cat:string -> ?args:(string * Json.t) list -> string -> unit
+(** Emit a point event ([ph]="i"). *)
+
+val span : ?cat:string -> ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] and emits a complete-span event ([ph]="X")
+    with its wall duration.  If [f] raises, the span is still emitted
+    (with an ["error"] argument) and the exception rethrown.  Spans nest
+    naturally: inner spans simply fall inside the outer span's
+    [ts, ts+dur] window. *)

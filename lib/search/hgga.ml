@@ -210,6 +210,20 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
          List.map (fun g -> make_individual obj g) snap.Snapshot.population,
          Some snap)
   in
+  (* Budgets and reported stats span the whole logical run: seed the
+     objective's counters with the work already spent before the snapshot
+     (the pre-resume evaluations and faults), and carry the accumulated
+     wall time so `--budget-wall 60` means 60 seconds total, not 60
+     seconds per resume. *)
+  let base_wall =
+    match resumed with Some snap -> snap.Snapshot.wall_time_s | None -> 0.
+  in
+  (match resumed with
+  | Some snap ->
+      Objective.add_evaluations obj snap.Snapshot.evaluations;
+      Objective.add_faults obj snap.Snapshot.faults
+  | None -> ());
+  let wall_now () = base_wall +. (Unix.gettimeofday () -. start) in
   let pop = ref (Array.of_list initial) in
   let best =
     ref
@@ -227,9 +241,11 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
   in
   let stall = ref (match resumed with Some snap -> snap.Snapshot.stall | None -> 0) in
   let gen = ref (match resumed with Some snap -> snap.Snapshot.generation | None -> 0) in
-  let save_checkpoint () =
+  let last_saved = ref (-1) in
+  let save_checkpoint ?(force = false) () =
     match checkpoint with
-    | Some { path; every } when !gen mod max 1 every = 0 ->
+    | Some { path; every } when (force || !gen mod max 1 every = 0) && !last_saved <> !gen ->
+        last_saved := !gen;
         Snapshot.save path
           {
             Snapshot.population_size = params.population_size;
@@ -238,12 +254,19 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
             generation = !gen;
             stall = !stall;
             evaluations = Objective.evaluations obj;
+            wall_time_s = wall_now ();
+            faults = Objective.fault_snapshot obj;
             rng_state = Rng.state rng;
             best = !best.groups;
             history = List.rev !history;
             population = Array.to_list (Array.map (fun ind -> ind.groups) !pop);
-          }
-    | _ -> ()
+          };
+        if Kf_obs.Trace.enabled () then
+          Kf_obs.Trace.instant ~cat:"hgga"
+            ~args:[ ("generation", Kf_obs.Json.Int !gen); ("path", Kf_obs.Json.Str path) ]
+            "checkpoint";
+        true
+    | _ -> false
   in
   (* Budgets are enforced at generation granularity: the search degrades
      gracefully by keeping the incumbent instead of aborting mid-way. *)
@@ -252,9 +275,7 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
     if (match budget.max_evaluations with Some m -> evals >= m | None -> false) then
       Some Evaluation_budget
     else if
-      match budget.max_wall_s with
-      | Some m -> Unix.gettimeofday () -. start >= m
-      | None -> false
+      match budget.max_wall_s with Some m -> wall_now () >= m | None -> false
     then Some Wall_budget
     else begin
       match budget.max_fault_rate with
@@ -357,13 +378,65 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
       stall := 0
     end
     else incr stall;
-    save_checkpoint ()
+    let checkpointed = save_checkpoint () in
+    (* One structured record per generation.  All the derived quantities
+       (mean cost, diversity) are computed only when a sink is attached,
+       so the disabled-mode loop body is unchanged. *)
+    if Kf_obs.Trace.enabled () then begin
+      let open Kf_obs in
+      let finite_costs =
+        Array.fold_left
+          (fun acc x -> if Float.is_finite x.cost then x.cost :: acc else acc)
+          [] !pop
+      in
+      let mean_cost =
+        match finite_costs with
+        | [] -> Float.nan
+        | cs -> List.fold_left ( +. ) 0. cs /. float_of_int (List.length cs)
+      in
+      let distinct = Hashtbl.create params.population_size in
+      Array.iter (fun x -> Hashtbl.replace distinct (Grouping.normalize x.groups) ()) !pop;
+      let f = Objective.fault_snapshot obj in
+      Trace.instant ~cat:"hgga"
+        ~args:
+          [
+            ("generation", Json.Int !gen);
+            ("best_cost", Json.Float !best.cost);
+            ("gen_best_cost", Json.Float gen_best.cost);
+            ("mean_cost", Json.Float mean_cost);
+            ("diversity",
+             Json.Float
+               (float_of_int (Hashtbl.length distinct)
+               /. float_of_int params.population_size));
+            ("infeasible", Json.Int (Array.length !pop - List.length finite_costs));
+            ("stall", Json.Int !stall);
+            ("evaluations", Json.Int (Objective.evaluations obj));
+            ("wall_s", Json.Float (wall_now ()));
+            ("faults_injected", Json.Int f.Objective.injected);
+            ("faults_quarantined", Json.Int f.Objective.quarantined);
+            ("checkpointed", Json.Bool checkpointed);
+          ]
+        "generation"
+    end
   done;
   let stop_reason =
     match !stop with
     | Some r -> r
     | None -> if !gen >= params.max_generations then Generation_cap else Converged
   in
+  (* A final unconditional checkpoint: without it, a budget or convergence
+     stop discards up to [every - 1] generations of progress since the
+     last periodic save. *)
+  ignore (save_checkpoint ~force:true () : bool);
+  if Kf_obs.Trace.enabled () then
+    Kf_obs.Trace.instant ~cat:"hgga"
+      ~args:
+        [
+          ("reason", Kf_obs.Json.Str (stop_reason_name stop_reason));
+          ("generations", Kf_obs.Json.Int !gen);
+          ("evaluations", Kf_obs.Json.Int (Objective.evaluations obj));
+        ]
+      "stop";
   (* Graceful degradation: if no feasible individual ever appeared (every
      candidate quarantined or infeasible), fall back to the greedy
      baseline, and to the identity plan when even that fails. *)
@@ -389,7 +462,7 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
       {
         generations = !gen;
         evaluations = Objective.evaluations obj;
-        wall_time_s = Unix.gettimeofday () -. start;
+        wall_time_s = wall_now ();
         best_cost = final_cost;
         improvement_history = List.rev !history;
         stop = stop_reason;

@@ -98,12 +98,25 @@ val solve :
     profitability cleanup of constraint (1.1).
 
     [checkpoint] periodically serializes the full search state (see
-    {!Snapshot}) so a killed run can continue; [resume_from] restores such
-    a snapshot — the resumed search is bit-identical to the uninterrupted
-    one for equal [params].  [budget] bounds evaluations, wall time and
-    tolerated fault rate; when a budget trips, the incumbent plan is
-    returned (degrading to the {!Greedy} baseline, then to the identity
-    plan, if no feasible individual exists).
+    {!Snapshot}) so a killed run can continue, and one final snapshot is
+    always written when the loop stops (budget, convergence or cap), so
+    at most the in-flight generation is ever lost; [resume_from] restores
+    such a snapshot — the resumed search is bit-identical to the
+    uninterrupted one for equal [params].  [budget] bounds evaluations,
+    wall time and tolerated fault rate; when a budget trips, the
+    incumbent plan is returned (degrading to the {!Greedy} baseline, then
+    to the identity plan, if no feasible individual exists).  Budgets and
+    the returned stats are cumulative across resume: the snapshot's
+    evaluation count, wall time and fault record are carried forward, so
+    [max_evaluations]/[max_wall_s] cap the whole logical run rather than
+    each segment.
+
+    With a [Kf_obs.Trace] sink attached, the solver emits one structured
+    ["generation"] event per generation (best/mean cost, population
+    diversity, stall, cumulative evaluations, fault counts, whether a
+    checkpoint was written), an instant per checkpoint write, and a final
+    ["stop"] event; with tracing disabled none of the derived quantities
+    are computed.
 
     @raise Invalid_argument if the population is smaller than 2 or the
     snapshot does not match [params] (different seed, population size, or

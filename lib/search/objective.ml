@@ -32,39 +32,66 @@ let copy_faults f =
 
 type guard = (int list -> verdict) -> int list -> verdict
 
+type cache_stats = { hits : int; misses : int; evictions : int; size : int }
+
 type t = {
   inputs : Inputs.t;
   model : model;
   cache : (string, verdict) Hashtbl.t;
+  capacity : int option;
+  order : string Queue.t;  (* insertion order, for FIFO eviction *)
   lock : Mutex.t;
       (* the cache is shared across the GA's evaluation domains; entries
          are pure memoization, so a racing double-evaluation is only a
          little wasted work *)
   mutable evaluations : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable eval_time_s : float;
+  time_counter : Kf_obs.Metrics.counter;
   guard : guard;
   fault_record : fault_stats;
 }
 
-let create ?(model = Proposed) ?(guard = fun eval group -> eval group)
-    ?(faults = zero_faults ()) inputs =
-  {
-    inputs;
-    model;
-    cache = Hashtbl.create 4096;
-    lock = Mutex.create ();
-    evaluations = 0;
-    guard;
-    fault_record = faults;
-  }
-
-let inputs t = t.inputs
-let model t = t.model
+(* Process-wide telemetry counters; no-ops unless Kf_obs.Metrics is
+   enabled.  The per-objective cache_stats fields below are maintained
+   unconditionally — they live under a lock that is taken anyway. *)
+let m_hits = Kf_obs.Metrics.counter "objective.cache_hits"
+let m_misses = Kf_obs.Metrics.counter "objective.cache_misses"
+let m_evictions = Kf_obs.Metrics.counter "objective.cache_evictions"
+let m_evals = Kf_obs.Metrics.counter "objective.evaluations"
 
 let model_name = function
   | Proposed -> "proposed"
   | Roofline -> "roofline"
   | Simple -> "simple"
   | Mwp -> "mwp"
+
+let create ?(model = Proposed) ?(guard = fun eval group -> eval group)
+    ?(faults = zero_faults ()) ?cache_capacity inputs =
+  (match cache_capacity with
+  | Some c when c < 1 -> invalid_arg "Objective.create: cache_capacity must be positive"
+  | _ -> ());
+  {
+    inputs;
+    model;
+    cache = Hashtbl.create 4096;
+    capacity = cache_capacity;
+    order = Queue.create ();
+    lock = Mutex.create ();
+    evaluations = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    eval_time_s = 0.;
+    time_counter = Kf_obs.Metrics.counter ("objective.eval_us." ^ model_name model);
+    guard;
+    fault_record = faults;
+  }
+
+let inputs t = t.inputs
+let model t = t.model
 
 let key group = String.concat "," (List.map string_of_int (List.sort compare group))
 
@@ -107,10 +134,14 @@ let lookup t group =
   let k = key group in
   Mutex.lock t.lock;
   let hit = Hashtbl.find_opt t.cache k in
+  (match hit with Some _ -> t.hits <- t.hits + 1 | None -> t.misses <- t.misses + 1);
   Mutex.unlock t.lock;
   match hit with
-  | Some v -> v
+  | Some v ->
+      Kf_obs.Metrics.incr m_hits;
+      v
   | None ->
+      Kf_obs.Metrics.incr m_misses;
       (* Count the attempt before evaluating: a candidate whose evaluation
          fails (and is quarantined by a guard) is still an evaluation, so
          fault rates have a meaningful denominator. *)
@@ -119,14 +150,46 @@ let lookup t group =
       | _ ->
           Mutex.lock t.lock;
           t.evaluations <- t.evaluations + 1;
-          Mutex.unlock t.lock);
+          Mutex.unlock t.lock;
+          Kf_obs.Metrics.incr m_evals);
       (* Evaluate outside the lock: evaluation is pure, so a concurrent
          duplicate costs time, never correctness.  The guard sits between
          the cache and the raw evaluation, so any fault handling it
-         performs (retry, quarantine) is memoized like a normal verdict. *)
-      let v = t.guard (evaluate t) group in
+         performs (retry, quarantine) is memoized like a normal verdict.
+         The timing branch only runs with metrics enabled, keeping the
+         disabled-mode hot path clock-free. *)
+      let v =
+        if Kf_obs.Metrics.enabled () then begin
+          let t0 = Unix.gettimeofday () in
+          let v = t.guard (evaluate t) group in
+          let dt = Float.max 0. (Unix.gettimeofday () -. t0) in
+          Mutex.lock t.lock;
+          t.eval_time_s <- t.eval_time_s +. dt;
+          Mutex.unlock t.lock;
+          Kf_obs.Metrics.add t.time_counter (int_of_float (dt *. 1e6));
+          v
+        end
+        else t.guard (evaluate t) group
+      in
       Mutex.lock t.lock;
-      Hashtbl.replace t.cache k v;
+      if not (Hashtbl.mem t.cache k) then begin
+        (* FIFO eviction keeps the memo table bounded when a capacity is
+           configured; re-evaluating an evicted group is pure, so eviction
+           costs time, never correctness. *)
+        (match t.capacity with
+        | Some cap ->
+            while Hashtbl.length t.cache >= cap do
+              match Queue.take_opt t.order with
+              | Some victim ->
+                  Hashtbl.remove t.cache victim;
+                  t.evictions <- t.evictions + 1;
+                  Kf_obs.Metrics.incr m_evictions
+              | None -> Hashtbl.reset t.cache
+            done
+        | None -> ());
+        Queue.add k t.order;
+        Hashtbl.replace t.cache k v
+      end;
       Mutex.unlock t.lock;
       v
 
@@ -150,6 +213,46 @@ let evaluations t =
   let n = t.evaluations in
   Mutex.unlock t.lock;
   n
+
+(* Resume support: a solver restoring a checkpoint seeds the counter with
+   the evaluations already spent before the snapshot, so budgets and
+   reported stats span the whole logical run, not just this process. *)
+let add_evaluations t n =
+  if n < 0 then invalid_arg "Objective.add_evaluations: negative count";
+  Mutex.lock t.lock;
+  t.evaluations <- t.evaluations + n;
+  Mutex.unlock t.lock
+
+let add_faults t (base : fault_stats) =
+  Mutex.lock t.lock;
+  let f = t.fault_record in
+  f.injected <- f.injected + base.injected;
+  f.trapped <- f.trapped + base.trapped;
+  f.corrupted <- f.corrupted + base.corrupted;
+  f.retries <- f.retries + base.retries;
+  f.recovered <- f.recovered + base.recovered;
+  f.quarantined <- f.quarantined + base.quarantined;
+  Mutex.unlock t.lock
+
+let cache_stats t =
+  Mutex.lock t.lock;
+  let s =
+    { hits = t.hits; misses = t.misses; evictions = t.evictions;
+      size = Hashtbl.length t.cache }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let cache_hit_rate t =
+  let s = cache_stats t in
+  let total = s.hits + s.misses in
+  if total = 0 then 0. else float_of_int s.hits /. float_of_int total
+
+let eval_time_s t =
+  Mutex.lock t.lock;
+  let v = t.eval_time_s in
+  Mutex.unlock t.lock;
+  v
 
 let faults t = t.fault_record
 

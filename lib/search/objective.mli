@@ -42,10 +42,24 @@ type guard = (int list -> verdict) -> int list -> verdict
 
 type t
 
-val create : ?model:model -> ?guard:guard -> ?faults:fault_stats -> Kf_model.Inputs.t -> t
+type cache_stats = { hits : int; misses : int; evictions : int; size : int }
+(** Memo-table telemetry: lookup hits and misses over every call
+    (singletons included), entries evicted under a configured capacity,
+    and the current table size. *)
+
+val create :
+  ?model:model ->
+  ?guard:guard ->
+  ?faults:fault_stats ->
+  ?cache_capacity:int ->
+  Kf_model.Inputs.t ->
+  t
 (** Default model: [Proposed]; default guard: identity (no fault
     handling).  [faults] is the accounting record the guard shares with
-    this objective so that solvers can surface it in their results. *)
+    this objective so that solvers can surface it in their results.
+    [cache_capacity] bounds the memo table with FIFO eviction (default:
+    unbounded); evaluation is pure, so eviction only costs recomputation.
+    @raise Invalid_argument if [cache_capacity < 1]. *)
 
 val inputs : t -> Kf_model.Inputs.t
 val model : t -> model
@@ -73,6 +87,27 @@ val evaluations : t -> int
     misses on multi-member groups — the quantity of paper Table VI).
     Failed evaluations count: they are attempts, and the denominator of
     {!fault_rate}. *)
+
+val add_evaluations : t -> int -> unit
+(** Seed the evaluation counter with work done before this objective
+    existed (a resumed checkpoint), so {!evaluations} — and therefore
+    evaluation budgets and reported stats — span the whole logical run.
+    @raise Invalid_argument on a negative count. *)
+
+val add_faults : t -> fault_stats -> unit
+(** Add a prior run's fault counts into the live record (resume
+    support, like {!add_evaluations}). *)
+
+val cache_stats : t -> cache_stats
+(** Consistent snapshot of the memo-table counters. *)
+
+val cache_hit_rate : t -> float
+(** [hits / (hits + misses)]; 0 before the first lookup. *)
+
+val eval_time_s : t -> float
+(** Wall time accumulated inside guarded model evaluations.  Only
+    maintained while [Kf_obs.Metrics] is enabled (the disabled-mode hot
+    path takes no clock readings); 0 otherwise. *)
 
 val faults : t -> fault_stats
 (** The live fault-accounting record (shared with the guard). *)

@@ -7,7 +7,7 @@
    formatting.  The RNG state is the one float-free piece of state that
    must round-trip exactly; it is stored as a decimal int64 string. *)
 
-let format_version = 1
+let format_version = 2
 
 type t = {
   population_size : int;
@@ -16,6 +16,12 @@ type t = {
   generation : int;
   stall : int;
   evaluations : int;
+  wall_time_s : float;
+      (** wall time accumulated across every run segment up to the save
+          (format >= 2; 0 when reading a format-1 snapshot) *)
+  faults : Objective.fault_stats;
+      (** cumulative fault counters at the save (format >= 2; zeros when
+          reading a format-1 snapshot) *)
   rng_state : int64;
   best : int list list;
   history : (int * float) list;  (** oldest first *)
@@ -49,6 +55,12 @@ let render t =
   Printf.bprintf b "  \"generation\": %d,\n" t.generation;
   Printf.bprintf b "  \"stall\": %d,\n" t.stall;
   Printf.bprintf b "  \"evaluations\": %d,\n" t.evaluations;
+  (* %h is a hexadecimal float literal: exact round trip. *)
+  Printf.bprintf b "  \"wall_time_s\": \"%h\",\n" t.wall_time_s;
+  let f = t.faults in
+  Printf.bprintf b "  \"faults\": [%d,%d,%d,%d,%d,%d],\n" f.Objective.injected
+    f.Objective.trapped f.Objective.corrupted f.Objective.retries f.Objective.recovered
+    f.Objective.quarantined;
   Printf.bprintf b "  \"rng_state\": \"%Ld\",\n" t.rng_state;
   Buffer.add_string b "  \"best\": ";
   buf_groups b t.best;
@@ -56,7 +68,6 @@ let render t =
   List.iteri
     (fun i (gen, cost) ->
       if i > 0 then Buffer.add_char b ',';
-      (* %h is a hexadecimal float literal: exact round trip. *)
       Printf.bprintf b "[%d,\"%h\"]" gen cost)
     t.history;
   Buffer.add_string b "],\n  \"population\": [";
@@ -228,10 +239,37 @@ let as_arr name = function Jarr v -> v | _ -> malformed "field %S: expected arra
 let as_groups name j =
   List.map (fun g -> List.map (as_int name) (as_arr name g)) (as_arr name j)
 
+let field_opt obj name =
+  match obj with Jobj fields -> List.assoc_opt name fields | _ -> None
+
 let of_string s =
   let j = parse_json s in
   let fmt = as_int "format" (field j "format") in
-  if fmt <> format_version then malformed "unsupported snapshot format %d" fmt;
+  (* Format 1 lacked wall_time_s and faults; those default to zero so old
+     checkpoints keep resuming (with per-segment rather than cumulative
+     budgets, exactly as they were written). *)
+  if fmt < 1 || fmt > format_version then malformed "unsupported snapshot format %d" fmt;
+  let wall_time_s =
+    match field_opt j "wall_time_s" with
+    | None -> 0.
+    | Some v -> (
+        let str = as_str "wall_time_s" v in
+        match float_of_string_opt str with
+        | Some w when Float.is_finite w && w >= 0. -> w
+        | Some _ -> malformed "wall_time_s must be finite and non-negative"
+        | None -> malformed "bad wall_time_s %S" str)
+  in
+  let faults =
+    match field_opt j "faults" with
+    | None -> Objective.zero_faults ()
+    | Some v -> (
+        match List.map (as_int "faults") (as_arr "faults" v) with
+        | [ injected; trapped; corrupted; retries; recovered; quarantined ]
+          when List.for_all (fun c -> c >= 0)
+                 [ injected; trapped; corrupted; retries; recovered; quarantined ] ->
+            { Objective.injected; trapped; corrupted; retries; recovered; quarantined }
+        | _ -> malformed "faults must be six non-negative ints")
+  in
   let rng_str = as_str "rng_state" (field j "rng_state") in
   let rng_state =
     match Int64.of_string_opt rng_str with
@@ -260,6 +298,8 @@ let of_string s =
     generation = as_int "generation" (field j "generation");
     stall = as_int "stall" (field j "stall");
     evaluations = as_int "evaluations" (field j "evaluations");
+    wall_time_s;
+    faults;
     rng_state;
     best = as_groups "best" (field j "best");
     history;

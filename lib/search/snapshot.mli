@@ -20,7 +20,17 @@ type t = {
   n : int;  (** kernel count of the program being searched *)
   generation : int;  (** generations completed when the snapshot was taken *)
   stall : int;  (** non-improving generations so far *)
-  evaluations : int;  (** objective evaluations so far (informational) *)
+  evaluations : int;
+      (** objective evaluations across every run segment up to the save;
+          resume seeds {!Objective.add_evaluations} with it so evaluation
+          budgets span the whole logical run *)
+  wall_time_s : float;
+      (** wall time accumulated across every run segment up to the save
+          (0 when the snapshot predates format 2); counted against
+          [budget.max_wall_s] on resume *)
+  faults : Objective.fault_stats;
+      (** cumulative fault counters at the save (zeros for format-1
+          snapshots) *)
   rng_state : int64;  (** raw {!Kf_util.Rng} state *)
   best : int list list;  (** incumbent grouping *)
   history : (int * float) list;  (** improvement history, oldest first *)
@@ -36,7 +46,8 @@ val save : string -> t -> unit
 (** Atomic write (temp file + rename).  @raise Sys_error on IO failure. *)
 
 val of_string : string -> t
-(** @raise Malformed on invalid input. *)
+(** Accepts the current format and format 1 (whose missing budget fields
+    default to zero).  @raise Malformed on invalid input. *)
 
 val load : string -> t
 (** @raise Sys_error on IO failure, [Malformed] on invalid content. *)

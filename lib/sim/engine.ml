@@ -52,6 +52,13 @@ let mlp_limit = 6
 
 let barrier_cost = 16.
 
+(* Simulated-cycle accounting: what the simulator substrate actually did
+   across a whole run, for the observability layer.  No-ops unless
+   Kf_obs.Metrics is enabled. *)
+let m_runs = Kf_obs.Metrics.counter "sim.engine_runs"
+let m_instructions = Kf_obs.Metrics.counter "sim.instructions"
+let m_cycles = Kf_obs.Metrics.counter "sim.cycles"
+
 let run cfg =
   if cfg.blocks_per_smx <= 0 then
     invalid_arg "Engine.run: kernel cannot launch (zero resident blocks)";
@@ -197,6 +204,11 @@ let run cfg =
   let concurrent = cfg.blocks_per_smx * d.Device.smx_count in
   let waves = max 1 ((cfg.total_blocks + concurrent - 1) / concurrent) in
   let runtime_s = cycles_per_wave *. float_of_int waves /. (d.Device.clock_ghz *. 1e9) in
+  if Kf_obs.Metrics.enabled () then begin
+    Kf_obs.Metrics.incr m_runs;
+    Kf_obs.Metrics.add m_instructions !instructions;
+    Kf_obs.Metrics.add m_cycles (int_of_float (cycles_per_wave *. float_of_int waves))
+  end;
   {
     cycles_per_wave;
     waves;

@@ -15,6 +15,11 @@ type result = {
   issue_stall_fraction : float;
 }
 
+(* Per-kernel measurement accounting (no-ops unless Kf_obs.Metrics is
+   enabled); cycle/instruction totals live in Engine. *)
+let m_kernel_runs = Kf_obs.Metrics.counter "sim.kernel_runs"
+let m_waves = Kf_obs.Metrics.counter "sim.waves"
+
 let run_lowered ~device (p : Program.t) (low : Trace.lowered) =
   let occ =
     Occupancy.compute ~device ~threads_per_block:low.Trace.threads_per_block
@@ -33,6 +38,10 @@ let run_lowered ~device (p : Program.t) (low : Trace.lowered) =
     Engine.run
       { Engine.device; blocks_per_smx = resident; total_blocks; spec = low.Trace.spec }
   in
+  if Kf_obs.Metrics.enabled () then begin
+    Kf_obs.Metrics.incr m_kernel_runs;
+    Kf_obs.Metrics.add m_waves r.Engine.waves
+  end;
   {
     runtime_s = r.Engine.runtime_s;
     gmem_bytes = low.Trace.gmem_bytes;

@@ -288,9 +288,9 @@ let test_fault_overload_degrades () =
 (* ------------------------------------------------------------------ *)
 (* Checkpoint / resume                                                 *)
 
-let solve_clover ?checkpoint ?resume_from params =
+let solve_clover ?checkpoint ?resume_from ?budget params =
   let ctx = Pipeline.prepare ~device (Cloverleaf.program ()) in
-  Hgga.solve ~params ?checkpoint ?resume_from (Pipeline.objective ctx)
+  Hgga.solve ~params ?checkpoint ?resume_from ?budget (Pipeline.objective ctx)
 
 let test_snapshot_roundtrip () =
   let snap =
@@ -302,6 +302,16 @@ let test_snapshot_roundtrip () =
       stall = 3;
       evaluations = 99;
       rng_state = -8313746488903152427L;
+      wall_time_s = 12.625;
+      faults =
+        {
+          Objective.injected = 7;
+          trapped = 3;
+          corrupted = 2;
+          retries = 5;
+          recovered = 4;
+          quarantined = 1;
+        };
       best = [ [ 0; 1 ]; [ 2 ]; [ 3; 4 ] ];
       history = [ (0, 0.25); (3, 0.125) ];
       population = [ [ [ 0; 1; 2; 3; 4 ] ]; [ [ 0 ]; [ 1; 2 ]; [ 3; 4 ] ] ];
@@ -386,6 +396,123 @@ let test_resume_under_injection () =
       check Alcotest.bool "same plan under injection" true
         (Plan.equal full.Hgga.plan resumed.Hgga.plan))
 
+(* ------------------------------------------------------------------ *)
+(* Resume-budget accounting (regressions: budgets must span the whole
+   logical run, not reset at each resume)                               *)
+
+let test_final_checkpoint_always_written () =
+  (* A checkpoint interval larger than the horizon used to mean no
+     snapshot at all; now the loop's final unconditional save fires. *)
+  let params =
+    { Hgga.default_params with Hgga.max_generations = 8; stall_generations = 1000 }
+  in
+  let path = Filename.temp_file "kfuse_ck" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Sys.remove path;
+      let killed = solve_clover ~checkpoint:{ Hgga.path; every = 1000 } params in
+      check Alcotest.bool "final snapshot exists" true (Sys.file_exists path);
+      let snap = Snapshot.load path in
+      check Alcotest.int "snapshot is at the stop generation"
+        killed.Hgga.stats.Hgga.generations snap.Snapshot.generation;
+      check Alcotest.bool "snapshot carries the evaluation count" true
+        (snap.Snapshot.evaluations > 0
+        && snap.Snapshot.evaluations <= killed.Hgga.stats.Hgga.evaluations);
+      check Alcotest.bool "snapshot carries wall time" true
+        (snap.Snapshot.wall_time_s > 0.);
+      (* Resuming at the same horizon is an immediate stop that reproduces
+         the killed run's plan. *)
+      let resumed = solve_clover ~resume_from:path params in
+      check Alcotest.int "no further generations" killed.Hgga.stats.Hgga.generations
+        resumed.Hgga.stats.Hgga.generations;
+      check Alcotest.bool "same plan" true
+        (Plan.equal killed.Hgga.plan resumed.Hgga.plan))
+
+let test_resume_honors_evaluation_budget () =
+  (* Regression: the resumed solver ignored snap.evaluations, so a
+     --budget-evals already spent before the kill bought a whole fresh
+     budget after it.  Resuming with a budget at or below the snapshot's
+     count must stop before running a single new generation. *)
+  let params =
+    { Hgga.default_params with Hgga.max_generations = 10; stall_generations = 1000 }
+  in
+  let path = Filename.temp_file "kfuse_ck" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      ignore (solve_clover ~checkpoint:{ Hgga.path; every = 5 } params);
+      let snap = Snapshot.load path in
+      check Alcotest.bool "snapshot spent evaluations" true (snap.Snapshot.evaluations > 0);
+      let budget =
+        { Hgga.unlimited with Hgga.max_evaluations = Some snap.Snapshot.evaluations }
+      in
+      let resumed =
+        solve_clover ~resume_from:path
+          ~budget { params with Hgga.max_generations = 50 }
+      in
+      check Alcotest.string "stops on the evaluation budget"
+        (Hgga.stop_reason_name Hgga.Evaluation_budget)
+        (Hgga.stop_reason_name resumed.Hgga.stats.Hgga.stop);
+      check Alcotest.int "zero post-resume generations" snap.Snapshot.generation
+        resumed.Hgga.stats.Hgga.generations;
+      check Alcotest.bool "stats count the whole logical run" true
+        (resumed.Hgga.stats.Hgga.evaluations >= snap.Snapshot.evaluations))
+
+let test_resume_honors_wall_budget () =
+  (* Regression: wall time restarted from zero at resume.  A snapshot
+     claiming an already-exhausted wall budget must stop immediately and
+     surface the cumulative time in the final stats. *)
+  let params =
+    { Hgga.default_params with Hgga.max_generations = 10; stall_generations = 1000 }
+  in
+  let path = Filename.temp_file "kfuse_ck" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      ignore (solve_clover ~checkpoint:{ Hgga.path; every = 5 } params);
+      let snap = Snapshot.load path in
+      Snapshot.save path { snap with Snapshot.wall_time_s = 7200. };
+      let budget = { Hgga.unlimited with Hgga.max_wall_s = Some 3600. } in
+      let resumed =
+        solve_clover ~resume_from:path ~budget { params with Hgga.max_generations = 50 }
+      in
+      check Alcotest.string "stops on the wall budget"
+        (Hgga.stop_reason_name Hgga.Wall_budget)
+        (Hgga.stop_reason_name resumed.Hgga.stats.Hgga.stop);
+      check Alcotest.int "zero post-resume generations" snap.Snapshot.generation
+        resumed.Hgga.stats.Hgga.generations;
+      check Alcotest.bool "wall time is cumulative" true
+        (resumed.Hgga.stats.Hgga.wall_time_s >= 7200.))
+
+let test_resume_carries_faults () =
+  (* The fault record must survive the kill/resume boundary the same way
+     evaluations do. *)
+  let params =
+    { Hgga.default_params with Hgga.max_generations = 10; stall_generations = 1000 }
+  in
+  let path = Filename.temp_file "kfuse_ck" ".json" in
+  let solve ?checkpoint ?resume_from params =
+    let ctx = Pipeline.prepare ~device (Cloverleaf.program ()) in
+    let faults = Objective.zero_faults () in
+    let inj = Inject.create ~faults (Inject.config ~seed:11 0.15) in
+    let guard =
+      Guard.guarded ~config:{ Guard.default with Guard.backoff_s = 0. } ~inject:inj faults
+    in
+    Hgga.solve ~params ?checkpoint ?resume_from (Pipeline.objective ~guard ~faults ctx)
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      ignore (solve ~checkpoint:{ Hgga.path; every = 5 } params);
+      let snap = Snapshot.load path in
+      check Alcotest.bool "snapshot recorded injected faults" true
+        (snap.Snapshot.faults.Objective.injected > 0);
+      let resumed = solve ~resume_from:path { params with Hgga.max_generations = 12 } in
+      check Alcotest.bool "resumed stats include pre-kill faults" true
+        (resumed.Hgga.stats.Hgga.faults.Objective.injected
+         >= snap.Snapshot.faults.Objective.injected))
+
 let suite =
   [
     Alcotest.test_case "error classification" `Quick test_classify;
@@ -408,4 +535,10 @@ let suite =
     Alcotest.test_case "checkpoint/resume identical" `Slow test_checkpoint_resume_identical;
     Alcotest.test_case "resume rejects mismatch" `Slow test_resume_rejects_mismatch;
     Alcotest.test_case "resume under injection" `Slow test_resume_under_injection;
+    Alcotest.test_case "final checkpoint always written" `Slow
+      test_final_checkpoint_always_written;
+    Alcotest.test_case "resume honors evaluation budget" `Slow
+      test_resume_honors_evaluation_budget;
+    Alcotest.test_case "resume honors wall budget" `Slow test_resume_honors_wall_budget;
+    Alcotest.test_case "resume carries faults" `Slow test_resume_carries_faults;
   ]

@@ -966,6 +966,138 @@ let exp_bench_json () =
   Format.printf "wrote %s@." bench_json_path
 
 (* ------------------------------------------------------------------ *)
+(* Island-scaling sweep (BENCH_pr3.json)                                *)
+(* ------------------------------------------------------------------ *)
+
+let bench_scaling_path = "BENCH_pr3.json"
+
+let exp_bench_scaling () =
+  header "bench_scaling" ("Island-model scaling sweep -> " ^ bench_scaling_path);
+  let module J = Kf_obs.Json in
+  let workloads =
+    [
+      ("motivating", Motivating.program ());
+      ("cloverleaf", Kf_workloads.Cloverleaf.program ());
+      ("tealeaf", Kf_workloads.Tealeaf.program ());
+      ("scale-les-rk", Kf_workloads.Scale_les.rk_core ());
+      ("homme", Kf_workloads.Homme.program ());
+      ("suite-30", Suite.generate { Suite.default with Suite.kernels = 30; arrays = 60; seed = 42 });
+    ]
+  in
+  let island_counts = [ 1; 2; 4; 8 ] in
+  let t =
+    Table.create
+      [
+        ("workload", Table.Left); ("islands", Table.Right); ("wall (s)", Table.Right);
+        ("evals", Table.Right); ("evals/s", Table.Right); ("wall speedup", Table.Right);
+        ("measured", Table.Right); ("stop", Table.Left);
+      ]
+  in
+  let run_one p ~islands ~budget =
+    (* domains = islands: each island gets a worker; the determinism
+       contract makes this a pure throughput knob. *)
+    let params = { search_params with Hgga.islands; domains = islands } in
+    let ctx = prepare p in
+    let obj = objective ctx in
+    let r = Hgga.solve ~params ?budget obj in
+    let o = Pipeline.apply ctx r in
+    (r, o)
+  in
+  let rows =
+    List.map
+      (fun (name, p) ->
+        (* Single-island baseline fixes the evaluation budget: every
+           multi-island config searches under the same number of
+           objective evaluations, so wall-time differences are search
+           efficiency, not extra work. *)
+        let base_r, base_o = run_one p ~islands:1 ~budget:None in
+        let base_evals = base_r.Hgga.stats.Hgga.evaluations in
+        let base_wall = base_r.Hgga.stats.Hgga.wall_time_s in
+        let budget =
+          Some { Hgga.unlimited with Hgga.max_evaluations = Some base_evals }
+        in
+        let configs =
+          List.map
+            (fun islands ->
+              let r, o =
+                if islands = 1 then (base_r, base_o) else run_one p ~islands ~budget
+              in
+              let stats = r.Hgga.stats in
+              let wall_speedup =
+                if stats.Hgga.wall_time_s > 0. then base_wall /. stats.Hgga.wall_time_s
+                else 0.
+              in
+              let evals_per_s =
+                if stats.Hgga.wall_time_s > 0. then
+                  float_of_int stats.Hgga.evaluations /. stats.Hgga.wall_time_s
+                else 0.
+              in
+              Table.add_row t
+                [
+                  name;
+                  string_of_int islands;
+                  Table.cell_f ~decimals:3 stats.Hgga.wall_time_s;
+                  string_of_int stats.Hgga.evaluations;
+                  Table.cell_f ~decimals:0 evals_per_s;
+                  Table.cell_speedup wall_speedup;
+                  Table.cell_speedup o.Pipeline.speedup;
+                  Hgga.stop_reason_name stats.Hgga.stop;
+                ];
+              J.Obj
+                [
+                  ("islands", J.Int islands);
+                  ("domains", J.Int islands);
+                  ("generations", J.Int stats.Hgga.generations);
+                  ("evaluations", J.Int stats.Hgga.evaluations);
+                  ("wall_s", J.Float stats.Hgga.wall_time_s);
+                  ("evaluations_per_s", J.Float evals_per_s);
+                  ("wall_speedup_vs_single_island", J.Float wall_speedup);
+                  ("cost_s", J.Float r.Hgga.cost);
+                  ("measured_speedup", J.Float o.Pipeline.speedup);
+                  ("stop_reason", J.Str (Hgga.stop_reason_name stats.Hgga.stop));
+                ])
+            island_counts
+        in
+        J.Obj
+          [
+            ("name", J.Str name);
+            ("kernels", J.Int (Program.num_kernels p));
+            ("baseline_evaluations", J.Int base_evals);
+            ("configs", J.Arr configs);
+          ])
+      workloads
+  in
+  Table.print t;
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "kfuse-bench-scaling/1");
+        ("params",
+         J.Obj
+           [
+             ("population_size", J.Int search_params.Hgga.population_size);
+             ("max_generations", J.Int search_params.Hgga.max_generations);
+             ("stall_generations", J.Int search_params.Hgga.stall_generations);
+             ("migration_interval", J.Int search_params.Hgga.migration_interval);
+             ("migration_size", J.Int search_params.Hgga.migration_size);
+             ("seed", J.Int search_params.Hgga.seed);
+           ]);
+        ("device", J.Str k20x.Device.name);
+        ("island_counts", J.Arr (List.map (fun k -> J.Int k) island_counts));
+        ("host_cores", J.Int (Domain.recommended_domain_count ()));
+        ("workloads", J.Arr rows);
+      ]
+  in
+  let oc = open_out (bench_scaling_path ^ ".tmp") in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (J.to_string doc);
+      output_char oc '\n');
+  Sys.rename (bench_scaling_path ^ ".tmp") bench_scaling_path;
+  Format.printf "wrote %s@." bench_scaling_path
+
+(* ------------------------------------------------------------------ *)
 (* registry                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -994,6 +1126,7 @@ let experiments =
     ("sync_points", exp_sync_points);
     ("verify", exp_verify);
     ("bench_json", exp_bench_json);
+    ("bench_scaling", exp_bench_scaling);
   ]
 
 let () =

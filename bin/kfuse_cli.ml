@@ -104,6 +104,52 @@ let seed_arg =
 let params_of generations population seed =
   { Hgga.default_params with Hgga.max_generations = generations; population_size = population; seed }
 
+(* --- parallel-search options (islands, domains, migration) --- *)
+
+type parallel_opts = {
+  domains : int;
+  islands : int;
+  migration_interval : int;
+  migration_size : int;
+}
+
+let parallel_term =
+  let domains_arg =
+    let doc = "Worker domains for the search (island steps with --islands > 1, child \
+               construction otherwise).  Results are identical for any value: the \
+               domain count is a throughput knob, never a result knob." in
+    Arg.(value & opt int Hgga.default_params.Hgga.domains & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let islands_arg =
+    let doc = "Split the population into N islands evolving in lockstep with periodic \
+               ring migration (1 = classic panmictic GA).  A fixed island count gives \
+               bit-identical results for any --domains value." in
+    Arg.(value & opt int Hgga.default_params.Hgga.islands & info [ "islands" ] ~docv:"N" ~doc)
+  in
+  let interval_arg =
+    let doc = "Generations between ring migrations (ignored with one island)." in
+    Arg.(value & opt int Hgga.default_params.Hgga.migration_interval
+         & info [ "migration-interval" ] ~docv:"N" ~doc)
+  in
+  let size_arg =
+    let doc = "Elite copies each island emits per migration (0 disables migration)." in
+    Arg.(value & opt int Hgga.default_params.Hgga.migration_size
+         & info [ "migration-size" ] ~docv:"N" ~doc)
+  in
+  let make domains islands migration_interval migration_size =
+    { domains; islands; migration_interval; migration_size }
+  in
+  Term.(const make $ domains_arg $ islands_arg $ interval_arg $ size_arg)
+
+let params_with_parallel popts generations population seed =
+  {
+    (params_of generations population seed) with
+    Hgga.domains = popts.domains;
+    islands = popts.islands;
+    migration_interval = popts.migration_interval;
+    migration_size = popts.migration_size;
+  }
+
 (* --- robustness options (checkpoint/resume, budgets, fault injection) --- *)
 
 type robust_opts = {
@@ -308,7 +354,7 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Dependency and traffic analysis") Term.(const run $ workload_arg)
 
 let search_cmd =
-  let run workload device model generations population seed ropts oopts =
+  let run workload device model generations population seed popts ropts oopts =
     with_obs oopts @@ fun () ->
     let p = load_workload workload in
     let device = device_of_name device in
@@ -319,8 +365,9 @@ let search_cmd =
     let obj = Pipeline.objective ~model:(model_of_name model) ~guard ~faults ctx in
     let r =
       match
-        Hgga.solve ~params:(params_of generations population seed) ?checkpoint:ropts.checkpoint
-          ?resume_from:ropts.resume ?budget:ropts.budget obj
+        Hgga.solve
+          ~params:(params_with_parallel popts generations population seed)
+          ?checkpoint:ropts.checkpoint ?resume_from:ropts.resume ?budget:ropts.budget obj
       with
       | r -> r
       | exception ((Stack_overflow | Out_of_memory) as fatal) -> raise fatal
@@ -345,15 +392,15 @@ let search_cmd =
   Cmd.v
     (Cmd.info "search" ~doc:"Run the HGGA search and print the best plan")
     Term.(const run $ workload_arg $ device_arg $ model_arg $ generations_arg $ population_arg
-          $ seed_arg $ robust_term $ obs_term)
+          $ seed_arg $ parallel_term $ robust_term $ obs_term)
 
 let fuse_cmd =
-  let run workload device model generations population seed ropts oopts =
+  let run workload device model generations population seed popts ropts oopts =
     with_obs oopts @@ fun () ->
     let p = load_workload workload in
     let device = device_of_name device in
     match
-      Pipeline.run_safe ~params:(params_of generations population seed)
+      Pipeline.run_safe ~params:(params_with_parallel popts generations population seed)
         ~model:(model_of_name model) ?inject:ropts.inject ?checkpoint:ropts.checkpoint
         ?resume_from:ropts.resume ?budget:ropts.budget ~device p
     with
@@ -367,7 +414,7 @@ let fuse_cmd =
   Cmd.v
     (Cmd.info "fuse" ~doc:"Search, apply the fusion, and measure the speedup (fault-tolerant)")
     Term.(const run $ workload_arg $ device_arg $ model_arg $ generations_arg $ population_arg
-          $ seed_arg $ robust_term $ obs_term)
+          $ seed_arg $ parallel_term $ robust_term $ obs_term)
 
 let graph_cmd =
   let run workload kind plan_overlay generations population seed =

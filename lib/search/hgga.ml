@@ -1,4 +1,5 @@
 module Rng = Kf_util.Rng
+module Pool = Kf_util.Pool
 module Inputs = Kf_model.Inputs
 module Program = Kf_ir.Program
 
@@ -12,6 +13,9 @@ type params = {
   elite : int;
   seed : int;
   domains : int;
+  islands : int;
+  migration_interval : int;
+  migration_size : int;
 }
 
 let default_params =
@@ -25,6 +29,9 @@ let default_params =
     elite = 2;
     seed = 42;
     domains = 1;
+    islands = 1;
+    migration_interval = 10;
+    migration_size = 2;
   }
 
 let paper_params =
@@ -172,24 +179,177 @@ let mutate obj rng groups =
         end
     end
 
+(* One island: a population shard evolving on its own generator.  A
+   generation step reads and writes only island-local state (plus the
+   shared objective, whose verdicts are pure), so islands can be stepped
+   on any worker domain in any order without changing the result. *)
+type island_state = {
+  mutable ipop : individual array;
+  irng : Rng.t;
+  isize : int;
+}
+
+(* Advance one island by one generation and return its generation
+   champion.  [incumbent_cost] is the global incumbent at the start of
+   the generation — fixed before the fan-out, so the refine decision is
+   identical for every island-to-domain assignment.  [child_pool] fans
+   child construction of {e this} island over the persistent worker pool
+   (used only in single-island mode; with several islands the
+   parallelism is across islands instead). *)
+let step_island obj params ~n ~incumbent_cost ?child_pool st =
+  let sorted = Array.copy st.ipop in
+  Array.sort (fun x y -> compare x.cost y.cost) sorted;
+  let n_elites = min params.elite (st.isize - 1) in
+  let elites = Array.to_list (Array.sub sorted 0 n_elites) in
+  let n_children = st.isize - n_elites in
+  (* Fresh blood keeps group building blocks flowing. *)
+  let fresh = min n_children (if n <= 64 then max 1 (st.isize / 10) else 1) in
+  (* Every child draws from its own pre-split RNG, so construction can
+     fan out over domains without changing the result. *)
+  let child_rngs = Array.init n_children (fun _ -> Rng.split st.irng) in
+  let snapshot = st.ipop in
+  let build_child idx =
+    let crng = child_rngs.(idx) in
+    if idx >= n_children - fresh then Grouping.random_plan obj crng n
+    else begin
+      let p1 = tournament obj crng snapshot params.tournament_size in
+      let p2 = tournament obj crng snapshot params.tournament_size in
+      let g =
+        if Rng.chance crng params.crossover_rate then crossover obj crng p1 p2 else p1.groups
+      in
+      if Rng.chance crng params.mutation_rate then mutate obj crng g else g
+    end
+  in
+  let raw_children =
+    match child_pool with
+    | Some pool when n_children >= 2 * Pool.size pool ->
+        let out = Array.make n_children [] in
+        let workers = Pool.size pool in
+        Pool.run pool (fun w ->
+            let i = ref w in
+            while !i < n_children do
+              out.(!i) <- build_child !i;
+              i := !i + workers
+            done);
+        out
+    | _ -> Array.init n_children build_child
+  in
+  (* Duplicate suppression (sequential in both modes, so results match):
+     a population of champion clones stops searching — crossover of
+     identical parents is the identity. *)
+  let seen = Hashtbl.create st.isize in
+  List.iter (fun ind -> Hashtbl.replace seen (Grouping.normalize ind.groups) ()) elites;
+  let next = ref elites in
+  Array.iteri
+    (fun idx child ->
+      let crng = child_rngs.(idx) in
+      let rec unique attempts g =
+        let key = Grouping.normalize g in
+        if (not (Hashtbl.mem seen key)) || attempts = 0 then g
+        else unique (attempts - 1) (mutate obj crng g)
+      in
+      let child = unique 3 child in
+      Hashtbl.replace seen (Grouping.normalize child) ();
+      next := make_individual obj child :: !next)
+    raw_children;
+  st.ipop <- Array.of_list !next;
+  let gen_best =
+    Array.fold_left
+      (fun acc x -> if x.cost < acc.cost then x else acc)
+      st.ipop.(0) st.ipop
+  in
+  (* Hybridization (the H of HGGA): hill-climb the generation's champion
+     by kernel relocation and feed the refinement back into the island.
+     On large instances the full neighborhood is too expensive per
+     generation; a single final pass runs after the loop instead. *)
+  if n <= 64 && gen_best.cost < incumbent_cost -. 1e-15 then begin
+    let refined = make_individual obj (Grouping.local_refine obj gen_best.groups) in
+    if refined.cost < gen_best.cost then begin
+      st.ipop.(0) <- refined;
+      refined
+    end
+    else gen_best
+  end
+  else gen_best
+
+(* Ring migration: every island sends copies of its [count] best to the
+   island [offset] positions ahead, replacing the receiver's worst.  All
+   emigrants are collected before any island is modified, so delivery
+   order cannot matter.  The offset rotates with the migration cursor
+   (1, 2, ..., K-1, 1, ...) so repeated migrations reach every island,
+   not just the fixed ring neighbor. *)
+let migrate islands cursor ~count =
+  let k = Array.length islands in
+  let offset = 1 + (cursor mod (k - 1)) in
+  let by_cost x y = compare x.cost y.cost in
+  let emigrants =
+    Array.map
+      (fun st ->
+        let sorted = Array.copy st.ipop in
+        Array.sort by_cost sorted;
+        Array.sub sorted 0 (min count (st.isize - 1)))
+      islands
+  in
+  Array.iteri
+    (fun i st ->
+      let incoming = emigrants.((i - offset + k + k) mod k) in
+      let sorted = Array.copy st.ipop in
+      Array.sort by_cost sorted;
+      let m = min (Array.length incoming) (st.isize - 1) in
+      Array.blit incoming 0 sorted (st.isize - m) m;
+      st.ipop <- sorted)
+    islands
+
 let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimited) obj =
   if params.population_size < 2 then invalid_arg "Hgga.solve: population too small";
+  if params.domains < 1 then invalid_arg "Hgga.solve: domains must be positive";
+  if params.islands < 1 then invalid_arg "Hgga.solve: islands must be positive";
+  if params.islands * 2 > params.population_size then
+    invalid_arg "Hgga.solve: need at least 2 individuals per island";
+  if params.migration_interval < 1 then
+    invalid_arg "Hgga.solve: migration_interval must be positive";
+  if params.migration_size < 0 then
+    invalid_arg "Hgga.solve: migration_size must be non-negative";
   let start = Unix.gettimeofday () in
   let n = Program.num_kernels (Objective.inputs obj).Inputs.program in
   let identity = List.init n (fun k -> [ k ]) in
-  let rng, initial, resumed =
+  let k_islands = params.islands in
+  (* Island sizes: population split as evenly as possible, the first
+     [population mod islands] islands one larger. *)
+  let island_size i =
+    (params.population_size / k_islands)
+    + if i < params.population_size mod k_islands then 1 else 0
+  in
+  let islands, resumed =
     match resume_from with
     | None ->
-        let rng = Rng.create params.seed in
-        let initial =
-          make_individual obj identity
-          :: List.init
-               (params.population_size - 1)
-               (fun i ->
-                 let attempts = n + (i * n / params.population_size) in
-                 make_individual obj (Grouping.random_plan obj rng ~merge_attempts:attempts n))
+        let master = Rng.create params.seed in
+        (* Explicit loops (not [Array.init], whose application order is
+           unspecified): each island's generator is split from the master
+           in island order, and the initial plans draw from the island
+           generator in slot order, so island streams and populations are
+           fixed by (seed, island index) alone.  The master is never
+           drawn from again. *)
+        let g_idx = ref 0 in
+        let islands =
+          Array.make k_islands { ipop = [||]; irng = master; isize = 0 }
         in
-        (rng, initial, None)
+        for i = 0 to k_islands - 1 do
+          let size = island_size i in
+          let irng = Rng.split master in
+          let ipop = Array.make size (make_individual obj identity) in
+          for j = 0 to size - 1 do
+            let idx = !g_idx in
+            incr g_idx;
+            if not (i = 0 && j = 0) then begin
+              let attempts = n + (idx * n / params.population_size) in
+              ipop.(j) <-
+                make_individual obj (Grouping.random_plan obj irng ~merge_attempts:attempts n)
+            end
+          done;
+          islands.(i) <- { ipop; irng; isize = size }
+        done;
+        (islands, None)
     | Some path ->
         let snap = Snapshot.load path in
         if snap.Snapshot.n <> n then
@@ -204,11 +364,28 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
           invalid_arg
             (Printf.sprintf "Hgga.solve: snapshot seed %d <> params seed %d"
                snap.Snapshot.seed params.seed);
+        if List.length snap.Snapshot.islands <> k_islands then
+          invalid_arg
+            (Printf.sprintf "Hgga.solve: snapshot has %d islands, params ask for %d"
+               (List.length snap.Snapshot.islands) k_islands);
         (* Costs are recomputed: evaluation is pure, so the resumed
            individuals are bit-identical to the ones that were saved. *)
-        (Rng.of_state snap.Snapshot.rng_state,
-         List.map (fun g -> make_individual obj g) snap.Snapshot.population,
-         Some snap)
+        let islands =
+          Array.of_list
+            (List.map
+               (fun (isl : Snapshot.island) ->
+                 let ipop =
+                   Array.of_list
+                     (List.map (fun g -> make_individual obj g) isl.Snapshot.population)
+                 in
+                 {
+                   ipop;
+                   irng = Rng.of_state isl.Snapshot.rng_state;
+                   isize = Array.length ipop;
+                 })
+               snap.Snapshot.islands)
+        in
+        (islands, Some snap)
   in
   (* Budgets and reported stats span the whole logical run: seed the
      objective's counters with the work already spent before the snapshot
@@ -224,13 +401,14 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
       Objective.add_faults obj snap.Snapshot.faults
   | None -> ());
   let wall_now () = base_wall +. (Unix.gettimeofday () -. start) in
-  let pop = ref (Array.of_list initial) in
+  let all_individuals () = Array.concat (Array.to_list (Array.map (fun st -> st.ipop) islands)) in
   let best =
     ref
       (match resumed with
       | Some snap -> make_individual obj snap.Snapshot.best
       | None ->
-          Array.fold_left (fun acc x -> if x.cost < acc.cost then x else acc) (!pop).(0) !pop)
+          let all = all_individuals () in
+          Array.fold_left (fun acc x -> if x.cost < acc.cost then x else acc) all.(0) all)
   in
   (* Newest improvement first; snapshots store oldest first. *)
   let history =
@@ -241,6 +419,9 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
   in
   let stall = ref (match resumed with Some snap -> snap.Snapshot.stall | None -> 0) in
   let gen = ref (match resumed with Some snap -> snap.Snapshot.generation | None -> 0) in
+  let migration_cursor =
+    ref (match resumed with Some snap -> snap.Snapshot.migration_cursor | None -> 0)
+  in
   let last_saved = ref (-1) in
   let save_checkpoint ?(force = false) () =
     match checkpoint with
@@ -256,10 +437,19 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
             evaluations = Objective.evaluations obj;
             wall_time_s = wall_now ();
             faults = Objective.fault_snapshot obj;
-            rng_state = Rng.state rng;
+            migration_cursor = !migration_cursor;
             best = !best.groups;
             history = List.rev !history;
-            population = Array.to_list (Array.map (fun ind -> ind.groups) !pop);
+            islands =
+              Array.to_list
+                (Array.map
+                   (fun st ->
+                     {
+                       Snapshot.rng_state = Rng.state st.irng;
+                       population =
+                         Array.to_list (Array.map (fun ind -> ind.groups) st.ipop);
+                     })
+                   islands);
           };
         if Kf_obs.Trace.enabled () then
           Kf_obs.Trace.instant ~cat:"hgga"
@@ -285,6 +475,13 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
     end
   in
   let stop = ref None in
+  (* One persistent pool for the whole run: spawning domains per
+     generation would dominate small-population generations. *)
+  let workers = if k_islands > 1 then min params.domains k_islands else params.domains in
+  let pool = if workers > 1 then Some (Pool.create workers) else None in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Pool.shutdown pool)
+    (fun () ->
   while
     !stop = None && !gen < params.max_generations && !stall < params.stall_generations
   do
@@ -292,85 +489,33 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
     | Some reason -> stop := Some reason
     | None ->
     incr gen;
-    let sorted = Array.copy !pop in
-    Array.sort (fun x y -> compare x.cost y.cost) sorted;
-    let elites = Array.to_list (Array.sub sorted 0 (min params.elite params.population_size)) in
-    let n_children = params.population_size - List.length elites in
-    let immigrants = if n <= 64 then max 1 (params.population_size / 10) else 1 in
-    (* Every child draws from its own pre-split RNG, so construction can
-       fan out over domains without changing the result. *)
-    let child_rngs = Array.init n_children (fun _ -> Rng.split rng) in
-    let snapshot = !pop in
-    let build_child idx =
-      let crng = child_rngs.(idx) in
-      if idx >= n_children - immigrants then
-        (* Fresh blood keeps group building blocks flowing. *)
-        Grouping.random_plan obj crng n
-      else begin
-        let p1 = tournament obj crng snapshot params.tournament_size in
-        let p2 = tournament obj crng snapshot params.tournament_size in
-        let g =
-          if Rng.chance crng params.crossover_rate then crossover obj crng p1 p2 else p1.groups
-        in
-        if Rng.chance crng params.mutation_rate then mutate obj crng g else g
-      end
-    in
-    let raw_children =
-      if params.domains <= 1 || n_children < 2 * params.domains then
-        Array.init n_children build_child
-      else begin
-        let out = Array.make n_children [] in
-        let workers = min params.domains n_children in
-        let spawned =
-          List.init workers (fun w ->
-              Domain.spawn (fun () ->
-                  let i = ref w in
-                  while !i < n_children do
-                    out.(!i) <- build_child !i;
-                    i := !i + workers
-                  done))
-        in
-        List.iter Domain.join spawned;
-        out
-      end
-    in
-    (* Duplicate suppression (sequential in both modes, so results match):
-       a population of champion clones stops searching — crossover of
-       identical parents is the identity. *)
-    let seen = Hashtbl.create params.population_size in
-    List.iter (fun ind -> Hashtbl.replace seen (Grouping.normalize ind.groups) ()) elites;
-    let next = ref elites in
-    Array.iteri
-      (fun idx child ->
-        let crng = child_rngs.(idx) in
-        let rec unique attempts g =
-          let key = Grouping.normalize g in
-          if (not (Hashtbl.mem seen key)) || attempts = 0 then g
-          else unique (attempts - 1) (mutate obj crng g)
-        in
-        let child = unique 3 child in
-        Hashtbl.replace seen (Grouping.normalize child) ();
-        next := make_individual obj child :: !next)
-      raw_children;
-    pop := Array.of_list !next;
+    (* Islands advance in lockstep: the incumbent cost every island sees
+       is fixed before the fan-out, each island step touches only its own
+       state, and the combine below runs sequentially on this domain —
+       so a fixed island count gives bit-identical results for any worker
+       count. *)
+    let incumbent_cost = !best.cost in
+    let gen_bests = Array.make k_islands { groups = identity; cost = infinity } in
+    (if k_islands = 1 then
+       gen_bests.(0) <-
+         step_island obj params ~n ~incumbent_cost ?child_pool:pool islands.(0)
+     else
+       match pool with
+       | None ->
+           Array.iteri
+             (fun i st -> gen_bests.(i) <- step_island obj params ~n ~incumbent_cost st)
+             islands
+       | Some p ->
+           Pool.run p (fun w ->
+               let i = ref w in
+               while !i < k_islands do
+                 gen_bests.(!i) <- step_island obj params ~n ~incumbent_cost islands.(!i);
+                 i := !i + workers
+               done));
     let gen_best =
-      Array.fold_left (fun acc x -> if x.cost < acc.cost then x else acc) (!pop).(0) !pop
-    in
-    (* Hybridization (the H of HGGA): hill-climb the generation's champion
-       by kernel relocation and feed the refinement back into the
-       population.  On large instances the full neighborhood is too
-       expensive per generation; a single final pass runs after the loop
-       instead. *)
-    let gen_best =
-      if n <= 64 && gen_best.cost < !best.cost -. 1e-15 then begin
-        let refined = make_individual obj (Grouping.local_refine obj gen_best.groups) in
-        if refined.cost < gen_best.cost then begin
-          (!pop).(0) <- refined;
-          refined
-        end
-        else gen_best
-      end
-      else gen_best
+      Array.fold_left
+        (fun acc x -> if x.cost < acc.cost then x else acc)
+        gen_bests.(0) gen_bests
     in
     if gen_best.cost < !best.cost -. 1e-15 then begin
       best := gen_best;
@@ -378,16 +523,51 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
       stall := 0
     end
     else incr stall;
+    if
+      k_islands >= 2 && params.migration_size >= 1
+      && !gen mod params.migration_interval = 0
+    then begin
+      migrate islands !migration_cursor ~count:params.migration_size;
+      incr migration_cursor;
+      if Kf_obs.Trace.enabled () then
+        Kf_obs.Trace.instant ~cat:"hgga"
+          ~args:
+            [
+              ("generation", Kf_obs.Json.Int !gen);
+              ("cursor", Kf_obs.Json.Int !migration_cursor);
+              ("offset", Kf_obs.Json.Int (1 + ((!migration_cursor - 1) mod (k_islands - 1))));
+            ]
+          "migration"
+    end;
     let checkpointed = save_checkpoint () in
     (* One structured record per generation.  All the derived quantities
        (mean cost, diversity) are computed only when a sink is attached,
        so the disabled-mode loop body is unchanged. *)
     if Kf_obs.Trace.enabled () then begin
       let open Kf_obs in
+      if k_islands >= 2 then
+        Array.iteri
+          (fun i st ->
+            let island_best =
+              Array.fold_left
+                (fun acc x -> if x.cost < acc.cost then x else acc)
+                st.ipop.(0) st.ipop
+            in
+            Trace.instant ~cat:"hgga"
+              ~args:
+                [
+                  ("generation", Json.Int !gen);
+                  ("island", Json.Int i);
+                  ("size", Json.Int st.isize);
+                  ("best_cost", Json.Float island_best.cost);
+                ]
+              "island")
+          islands;
+      let all = all_individuals () in
       let finite_costs =
         Array.fold_left
           (fun acc x -> if Float.is_finite x.cost then x.cost :: acc else acc)
-          [] !pop
+          [] all
       in
       let mean_cost =
         match finite_costs with
@@ -395,7 +575,7 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
         | cs -> List.fold_left ( +. ) 0. cs /. float_of_int (List.length cs)
       in
       let distinct = Hashtbl.create params.population_size in
-      Array.iter (fun x -> Hashtbl.replace distinct (Grouping.normalize x.groups) ()) !pop;
+      Array.iter (fun x -> Hashtbl.replace distinct (Grouping.normalize x.groups) ()) all;
       let f = Objective.fault_snapshot obj in
       Trace.instant ~cat:"hgga"
         ~args:
@@ -408,7 +588,8 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
              Json.Float
                (float_of_int (Hashtbl.length distinct)
                /. float_of_int params.population_size));
-            ("infeasible", Json.Int (Array.length !pop - List.length finite_costs));
+            ("infeasible", Json.Int (Array.length all - List.length finite_costs));
+            ("islands", Json.Int k_islands);
             ("stall", Json.Int !stall);
             ("evaluations", Json.Int (Objective.evaluations obj));
             ("wall_s", Json.Float (wall_now ()));
@@ -418,7 +599,7 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
           ]
         "generation"
     end
-  done;
+  done);
   let stop_reason =
     match !stop with
     | Some r -> r

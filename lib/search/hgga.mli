@@ -10,28 +10,49 @@
     adaptation the paper introduces so that "multivariate dependencies of
     original kernels in different sharing sets are not violated".
 
+    The search can run as an {e island model}: the population is sharded
+    into [islands] sub-populations that evolve in lockstep on their own
+    pre-split generators and periodically exchange elite copies over a
+    rotating ring.  Island steps are independent (the shared objective
+    cache is lock-striped and its verdicts are pure), so they are fanned
+    out over [domains] worker domains — with the determinism contract
+    that a {e fixed island count} yields bit-identical results for {e
+    any} worker-domain count.
+
     The stop criterion is the paper's: no improvement of the incumbent for
     a configured number of generations (with a hard generation cap). *)
 
 type params = {
-  population_size : int;
+  population_size : int;  (** total, across all islands *)
   max_generations : int;
   stall_generations : int;  (** stop after this many non-improving generations *)
   crossover_rate : float;
   mutation_rate : float;
   tournament_size : int;
-  elite : int;  (** incumbents copied unchanged into each generation *)
+  elite : int;  (** incumbents copied unchanged into each generation
+                    (per island, capped at the island size - 1) *)
   seed : int;
   domains : int;
-      (** worker domains for child construction (the paper parallelizes
-          its search with OpenMP; here OCaml 5 domains).  Results are
-          identical for any domain count — each child draws from its own
-          pre-split RNG. *)
+      (** worker domains (the paper parallelizes its search with OpenMP;
+          here OCaml 5 domains).  With several islands the fan-out is one
+          island step per domain; with a single island it is child
+          construction that fans out.  Results are identical for any
+          domain count. *)
+  islands : int;
+      (** number of sub-populations (default 1: the classic panmictic
+          GA).  The population is split as evenly as possible; each
+          island needs at least 2 individuals. *)
+  migration_interval : int;
+      (** generations between ring migrations (ignored with one island) *)
+  migration_size : int;
+      (** elite copies each island emits per migration (0 disables
+          migration; clamped to the island size - 1) *)
 }
 
 val default_params : params
 (** population 60, max 400 generations, stall 60, crossover 0.85,
-    mutation 0.25, tournament 3, elite 2, seed 42, 1 domain. *)
+    mutation 0.25, tournament 3, elite 2, seed 42, 1 domain, 1 island,
+    migration every 10 generations, 2 migrants. *)
 
 val paper_params : params
 (** The paper's Table VI setting: population 100, 2000 generations (stall
@@ -97,6 +118,19 @@ val solve :
 (** Runs the GA and returns the best feasible plan found, after the
     profitability cleanup of constraint (1.1).
 
+    {b Island model.}  With [islands > 1] the population evolves as
+    independent sub-populations in lockstep generations.  Every
+    [migration_interval] generations each island sends copies of its
+    [migration_size] best individuals to the island [offset] positions
+    ahead on the ring, replacing the receiver's worst; the offset rotates
+    (1, 2, ..., islands-1, 1, ...) with a persisted cursor so repeated
+    migrations reach every island.  Each island draws from its own
+    generator, split from the master seed in island order, and each
+    island step reads only island-local state plus the pure, lock-striped
+    objective cache — so for a fixed island count the result (plan,
+    improvement history, and evaluation count, cache capacity permitting)
+    is bit-identical for any [domains] value.
+
     [checkpoint] periodically serializes the full search state (see
     {!Snapshot}) so a killed run can continue, and one final snapshot is
     always written when the loop stops (budget, convergence or cap), so
@@ -114,12 +148,16 @@ val solve :
     With a [Kf_obs.Trace] sink attached, the solver emits one structured
     ["generation"] event per generation (best/mean cost, population
     diversity, stall, cumulative evaluations, fault counts, whether a
-    checkpoint was written), an instant per checkpoint write, and a final
-    ["stop"] event; with tracing disabled none of the derived quantities
-    are computed.
+    checkpoint was written), one ["island"] instant per island per
+    generation when running multiple islands, a ["migration"] instant per
+    ring exchange, an instant per checkpoint write, and a final ["stop"]
+    event; with tracing disabled none of the derived quantities are
+    computed.
 
-    @raise Invalid_argument if the population is smaller than 2 or the
-    snapshot does not match [params] (different seed, population size, or
-    program).
+    @raise Invalid_argument if the population is smaller than 2, the
+    island/migration parameters are out of range (fewer than 2
+    individuals per island, [migration_interval < 1],
+    [migration_size < 0], [domains < 1]), or the snapshot does not match
+    [params] (different seed, population size, island count, or program).
     @raise Sys_error / [Snapshot.Malformed] on unreadable or corrupt
     snapshot files. *)

@@ -34,20 +34,34 @@ type guard = (int list -> verdict) -> int list -> verdict
 
 type cache_stats = { hits : int; misses : int; evictions : int; size : int }
 
+(* One stripe of the memo table.  The cache is shared by every island and
+   worker domain of the GA, so a single global lock serializes the whole
+   search on its hottest path; striping the table over independently
+   locked shards lets concurrent lookups of different keys proceed in
+   parallel, and the per-shard in-flight set makes concurrent misses on
+   the *same* key evaluate it exactly once (losers wait on the shard's
+   condition variable for the winner's verdict). *)
+type shard = {
+  s_lock : Mutex.t;
+  s_cond : Condition.t;
+  s_cache : (string, verdict) Hashtbl.t;
+  s_order : string Queue.t;  (* insertion order, for FIFO eviction *)
+  s_inflight : (string, unit) Hashtbl.t;
+  s_capacity : int option;  (* this shard's slice of the global capacity *)
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_evictions : int;
+  m_shard_hits : Kf_obs.Metrics.counter;
+  m_shard_misses : Kf_obs.Metrics.counter;
+  m_shard_evictions : Kf_obs.Metrics.counter;
+}
+
 type t = {
   inputs : Inputs.t;
   model : model;
-  cache : (string, verdict) Hashtbl.t;
-  capacity : int option;
-  order : string Queue.t;  (* insertion order, for FIFO eviction *)
-  lock : Mutex.t;
-      (* the cache is shared across the GA's evaluation domains; entries
-         are pure memoization, so a racing double-evaluation is only a
-         little wasted work *)
+  shards : shard array;
+  stats_lock : Mutex.t;  (* guards the cross-shard mutable counters below *)
   mutable evaluations : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
   mutable eval_time_s : float;
   time_counter : Kf_obs.Metrics.counter;
   guard : guard;
@@ -55,8 +69,8 @@ type t = {
 }
 
 (* Process-wide telemetry counters; no-ops unless Kf_obs.Metrics is
-   enabled.  The per-objective cache_stats fields below are maintained
-   unconditionally — they live under a lock that is taken anyway. *)
+   enabled.  The per-objective cache_stats fields are maintained
+   unconditionally — they live under shard locks that are taken anyway. *)
 let m_hits = Kf_obs.Metrics.counter "objective.cache_hits"
 let m_misses = Kf_obs.Metrics.counter "objective.cache_misses"
 let m_evictions = Kf_obs.Metrics.counter "objective.cache_evictions"
@@ -68,22 +82,49 @@ let model_name = function
   | Simple -> "simple"
   | Mwp -> "mwp"
 
+let default_shards = 16
+
 let create ?(model = Proposed) ?(guard = fun eval group -> eval group)
-    ?(faults = zero_faults ()) ?cache_capacity inputs =
+    ?(faults = zero_faults ()) ?cache_capacity ?(cache_shards = default_shards) inputs =
   (match cache_capacity with
   | Some c when c < 1 -> invalid_arg "Objective.create: cache_capacity must be positive"
   | _ -> ());
+  if cache_shards < 1 then invalid_arg "Objective.create: cache_shards must be positive";
+  (* A capacity smaller than the stripe count would leave shards with no
+     budget at all; cap the stripe count so every shard holds >= 1 entry
+     and the per-shard slices sum exactly to the configured capacity. *)
+  let n_shards =
+    match cache_capacity with Some c -> min cache_shards c | None -> cache_shards
+  in
+  let shard_capacity i =
+    match cache_capacity with
+    | None -> None
+    | Some c -> Some ((c / n_shards) + if i < c mod n_shards then 1 else 0)
+  in
   {
     inputs;
     model;
-    cache = Hashtbl.create 4096;
-    capacity = cache_capacity;
-    order = Queue.create ();
-    lock = Mutex.create ();
+    shards =
+      Array.init n_shards (fun i ->
+          {
+            s_lock = Mutex.create ();
+            s_cond = Condition.create ();
+            s_cache = Hashtbl.create 512;
+            s_order = Queue.create ();
+            s_inflight = Hashtbl.create 8;
+            s_capacity = shard_capacity i;
+            s_hits = 0;
+            s_misses = 0;
+            s_evictions = 0;
+            m_shard_hits =
+              Kf_obs.Metrics.counter (Printf.sprintf "objective.cache_hits.shard%02d" i);
+            m_shard_misses =
+              Kf_obs.Metrics.counter (Printf.sprintf "objective.cache_misses.shard%02d" i);
+            m_shard_evictions =
+              Kf_obs.Metrics.counter (Printf.sprintf "objective.cache_evictions.shard%02d" i);
+          });
+    stats_lock = Mutex.create ();
     evaluations = 0;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
     eval_time_s = 0.;
     time_counter = Kf_obs.Metrics.counter ("objective.eval_us." ^ model_name model);
     guard;
@@ -92,8 +133,17 @@ let create ?(model = Proposed) ?(guard = fun eval group -> eval group)
 
 let inputs t = t.inputs
 let model t = t.model
+let num_shards t = Array.length t.shards
 
 let key group = String.concat "," (List.map string_of_int (List.sort compare group))
+
+(* Deliberately not Hashtbl.hash: the shard of a key must not depend on
+   runtime hashing parameters (OCAMLRUNPARAM=R), so a plain polynomial
+   string hash keeps the striping reproducible everywhere. *)
+let shard_of t k =
+  let h = ref 0 in
+  String.iter (fun c -> h := ((!h * 31) + Char.code c) land max_int) k;
+  t.shards.(!h mod Array.length t.shards)
 
 let project t f =
   match t.model with
@@ -130,68 +180,108 @@ let evaluate t group =
         else { feasible = true; cost = project t f; orig_sum }
       end
 
+(* Evaluate a missed key outside any lock (evaluation is pure).  The guard
+   sits between the cache and the raw evaluation, so any fault handling it
+   performs (retry, quarantine) is memoized like a normal verdict.  The
+   timing branch only runs with metrics enabled, keeping the disabled-mode
+   hot path clock-free. *)
+let run_evaluation t group =
+  if Kf_obs.Metrics.enabled () then begin
+    let t0 = Unix.gettimeofday () in
+    let v = t.guard (evaluate t) group in
+    let dt = Float.max 0. (Unix.gettimeofday () -. t0) in
+    Mutex.lock t.stats_lock;
+    t.eval_time_s <- t.eval_time_s +. dt;
+    Mutex.unlock t.stats_lock;
+    Kf_obs.Metrics.add t.time_counter (int_of_float (dt *. 1e6));
+    v
+  end
+  else t.guard (evaluate t) group
+
+let insert_locked s k v =
+  Hashtbl.remove s.s_inflight k;
+  if not (Hashtbl.mem s.s_cache k) then begin
+    (* FIFO eviction keeps the memo table bounded when a capacity is
+       configured; re-evaluating an evicted group is pure, so eviction
+       costs time, never correctness. *)
+    (match s.s_capacity with
+    | Some cap ->
+        while Hashtbl.length s.s_cache >= cap do
+          match Queue.take_opt s.s_order with
+          | Some victim ->
+              Hashtbl.remove s.s_cache victim;
+              s.s_evictions <- s.s_evictions + 1;
+              Kf_obs.Metrics.incr m_evictions;
+              Kf_obs.Metrics.incr s.m_shard_evictions
+          | None -> Hashtbl.reset s.s_cache
+        done
+    | None -> ());
+    Queue.add k s.s_order;
+    Hashtbl.replace s.s_cache k v
+  end;
+  (* Wake every domain parked on this shard: waiters re-probe and find the
+     fresh entry (or, if it was already evicted again, claim the key). *)
+  Condition.broadcast s.s_cond
+
 let lookup t group =
   let k = key group in
-  Mutex.lock t.lock;
-  let hit = Hashtbl.find_opt t.cache k in
-  (match hit with Some _ -> t.hits <- t.hits + 1 | None -> t.misses <- t.misses + 1);
-  Mutex.unlock t.lock;
-  match hit with
-  | Some v ->
-      Kf_obs.Metrics.incr m_hits;
-      v
-  | None ->
-      Kf_obs.Metrics.incr m_misses;
-      (* Count the attempt before evaluating: a candidate whose evaluation
-         fails (and is quarantined by a guard) is still an evaluation, so
-         fault rates have a meaningful denominator. *)
-      (match group with
-      | [ _ ] -> ()
-      | _ ->
-          Mutex.lock t.lock;
-          t.evaluations <- t.evaluations + 1;
-          Mutex.unlock t.lock;
-          Kf_obs.Metrics.incr m_evals);
-      (* Evaluate outside the lock: evaluation is pure, so a concurrent
-         duplicate costs time, never correctness.  The guard sits between
-         the cache and the raw evaluation, so any fault handling it
-         performs (retry, quarantine) is memoized like a normal verdict.
-         The timing branch only runs with metrics enabled, keeping the
-         disabled-mode hot path clock-free. *)
-      let v =
-        if Kf_obs.Metrics.enabled () then begin
-          let t0 = Unix.gettimeofday () in
-          let v = t.guard (evaluate t) group in
-          let dt = Float.max 0. (Unix.gettimeofday () -. t0) in
-          Mutex.lock t.lock;
-          t.eval_time_s <- t.eval_time_s +. dt;
-          Mutex.unlock t.lock;
-          Kf_obs.Metrics.add t.time_counter (int_of_float (dt *. 1e6));
+  let s = shard_of t k in
+  Mutex.lock s.s_lock;
+  let rec probe () =
+    match Hashtbl.find_opt s.s_cache k with
+    | Some v ->
+        (* Every probe resolves as exactly one hit or one miss, including
+           probes that waited for an in-flight evaluation — so across
+           shards, hits + misses always equals total lookups. *)
+        s.s_hits <- s.s_hits + 1;
+        Mutex.unlock s.s_lock;
+        Kf_obs.Metrics.incr m_hits;
+        Kf_obs.Metrics.incr s.m_shard_hits;
+        v
+    | None ->
+        if Hashtbl.mem s.s_inflight k then begin
+          (* Another domain is already evaluating this key; wait for its
+             verdict instead of duplicating the evaluation. *)
+          Condition.wait s.s_cond s.s_lock;
+          probe ()
+        end
+        else begin
+          Hashtbl.replace s.s_inflight k ();
+          s.s_misses <- s.s_misses + 1;
+          Mutex.unlock s.s_lock;
+          Kf_obs.Metrics.incr m_misses;
+          Kf_obs.Metrics.incr s.m_shard_misses;
+          (* Exactly-once evaluation accounting: the increment is tied to
+             winning the in-flight slot, so concurrent duplicate misses —
+             which grow with the domain count — can no longer burn
+             --budget-evals faster than real evaluations happen, and
+             fault-rate denominators stay scheduling-independent. *)
+          (match group with
+          | [ _ ] -> ()
+          | _ ->
+              Mutex.lock t.stats_lock;
+              t.evaluations <- t.evaluations + 1;
+              Mutex.unlock t.stats_lock;
+              Kf_obs.Metrics.incr m_evals);
+          let v =
+            match run_evaluation t group with
+            | v -> v
+            | exception e ->
+                (* Release the slot so waiters do not hang on a key whose
+                   evaluation escaped the guard. *)
+                Mutex.lock s.s_lock;
+                Hashtbl.remove s.s_inflight k;
+                Condition.broadcast s.s_cond;
+                Mutex.unlock s.s_lock;
+                raise e
+          in
+          Mutex.lock s.s_lock;
+          insert_locked s k v;
+          Mutex.unlock s.s_lock;
           v
         end
-        else t.guard (evaluate t) group
-      in
-      Mutex.lock t.lock;
-      if not (Hashtbl.mem t.cache k) then begin
-        (* FIFO eviction keeps the memo table bounded when a capacity is
-           configured; re-evaluating an evicted group is pure, so eviction
-           costs time, never correctness. *)
-        (match t.capacity with
-        | Some cap ->
-            while Hashtbl.length t.cache >= cap do
-              match Queue.take_opt t.order with
-              | Some victim ->
-                  Hashtbl.remove t.cache victim;
-                  t.evictions <- t.evictions + 1;
-                  Kf_obs.Metrics.incr m_evictions
-              | None -> Hashtbl.reset t.cache
-            done
-        | None -> ());
-        Queue.add k t.order;
-        Hashtbl.replace t.cache k v
-      end;
-      Mutex.unlock t.lock;
-      v
+  in
+  probe ()
 
 let group_feasible t group = (lookup t group).feasible
 let group_cost t group = (lookup t group).cost
@@ -209,9 +299,9 @@ let plan_cost t groups =
 let original_sum t group = Inputs.original_sum t.inputs group
 
 let evaluations t =
-  Mutex.lock t.lock;
+  Mutex.lock t.stats_lock;
   let n = t.evaluations in
-  Mutex.unlock t.lock;
+  Mutex.unlock t.stats_lock;
   n
 
 (* Resume support: a solver restoring a checkpoint seeds the counter with
@@ -219,12 +309,12 @@ let evaluations t =
    reported stats span the whole logical run, not just this process. *)
 let add_evaluations t n =
   if n < 0 then invalid_arg "Objective.add_evaluations: negative count";
-  Mutex.lock t.lock;
+  Mutex.lock t.stats_lock;
   t.evaluations <- t.evaluations + n;
-  Mutex.unlock t.lock
+  Mutex.unlock t.stats_lock
 
 let add_faults t (base : fault_stats) =
-  Mutex.lock t.lock;
+  Mutex.lock t.stats_lock;
   let f = t.fault_record in
   f.injected <- f.injected + base.injected;
   f.trapped <- f.trapped + base.trapped;
@@ -232,16 +322,28 @@ let add_faults t (base : fault_stats) =
   f.retries <- f.retries + base.retries;
   f.recovered <- f.recovered + base.recovered;
   f.quarantined <- f.quarantined + base.quarantined;
-  Mutex.unlock t.lock
+  Mutex.unlock t.stats_lock
+
+let shard_stats_locked s =
+  { hits = s.s_hits; misses = s.s_misses; evictions = s.s_evictions;
+    size = Hashtbl.length s.s_cache }
+
+let shard_stats t =
+  Array.map
+    (fun s ->
+      Mutex.lock s.s_lock;
+      let st = shard_stats_locked s in
+      Mutex.unlock s.s_lock;
+      st)
+    t.shards
 
 let cache_stats t =
-  Mutex.lock t.lock;
-  let s =
-    { hits = t.hits; misses = t.misses; evictions = t.evictions;
-      size = Hashtbl.length t.cache }
-  in
-  Mutex.unlock t.lock;
-  s
+  Array.fold_left
+    (fun acc s ->
+      { hits = acc.hits + s.hits; misses = acc.misses + s.misses;
+        evictions = acc.evictions + s.evictions; size = acc.size + s.size })
+    { hits = 0; misses = 0; evictions = 0; size = 0 }
+    (shard_stats t)
 
 let cache_hit_rate t =
   let s = cache_stats t in
@@ -249,17 +351,17 @@ let cache_hit_rate t =
   if total = 0 then 0. else float_of_int s.hits /. float_of_int total
 
 let eval_time_s t =
-  Mutex.lock t.lock;
+  Mutex.lock t.stats_lock;
   let v = t.eval_time_s in
-  Mutex.unlock t.lock;
+  Mutex.unlock t.stats_lock;
   v
 
 let faults t = t.fault_record
 
 let fault_snapshot t =
-  Mutex.lock t.lock;
+  Mutex.lock t.stats_lock;
   let f = copy_faults t.fault_record in
-  Mutex.unlock t.lock;
+  Mutex.unlock t.stats_lock;
   f
 
 (* Per-candidate, not per-event: a transient failure that recovers on
@@ -277,8 +379,4 @@ let pp_faults ppf f =
     "injected %d, trapped %d, corrupted %d, retries %d (recovered %d), quarantined %d"
     f.injected f.trapped f.corrupted f.retries f.recovered f.quarantined
 
-let cache_size t =
-  Mutex.lock t.lock;
-  let n = Hashtbl.length t.cache in
-  Mutex.unlock t.lock;
-  n
+let cache_size t = (cache_stats t).size

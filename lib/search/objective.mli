@@ -45,21 +45,37 @@ type t
 type cache_stats = { hits : int; misses : int; evictions : int; size : int }
 (** Memo-table telemetry: lookup hits and misses over every call
     (singletons included), entries evicted under a configured capacity,
-    and the current table size. *)
+    and the current table size.  Every lookup resolves as exactly one hit
+    or one miss — including lookups that waited for a concurrent
+    in-flight evaluation of the same key — so summed across shards,
+    [hits + misses] always equals the total number of probes. *)
 
 val create :
   ?model:model ->
   ?guard:guard ->
   ?faults:fault_stats ->
   ?cache_capacity:int ->
+  ?cache_shards:int ->
   Kf_model.Inputs.t ->
   t
 (** Default model: [Proposed]; default guard: identity (no fault
     handling).  [faults] is the accounting record the guard shares with
     this objective so that solvers can surface it in their results.
+
+    The memo table is lock-striped over [cache_shards] independently
+    locked shards (default 16; key-hash selects the shard with a fixed
+    polynomial hash, so striping is independent of runtime hashing
+    parameters).  Concurrent lookups of distinct keys proceed in
+    parallel; concurrent misses on the {e same} key evaluate it exactly
+    once — losers wait on the shard's in-flight table for the winner's
+    memoized verdict.
+
     [cache_capacity] bounds the memo table with FIFO eviction (default:
-    unbounded); evaluation is pure, so eviction only costs recomputation.
-    @raise Invalid_argument if [cache_capacity < 1]. *)
+    unbounded); the capacity is sliced across shards (the shard count is
+    clamped to the capacity so each shard holds at least one entry), and
+    evaluation is pure, so eviction only costs recomputation.
+    @raise Invalid_argument if [cache_capacity < 1] or
+    [cache_shards < 1]. *)
 
 val inputs : t -> Kf_model.Inputs.t
 val model : t -> model
@@ -86,7 +102,10 @@ val evaluations : t -> int
 (** Number of objective-function evaluations attempted so far (cache
     misses on multi-member groups — the quantity of paper Table VI).
     Failed evaluations count: they are attempts, and the denominator of
-    {!fault_rate}. *)
+    {!fault_rate}.  Each key is counted exactly once per evaluation — the
+    increment is tied to winning the in-flight slot — so concurrent
+    duplicate misses across domains never inflate the count, and
+    evaluation budgets stop at the same point for any domain count. *)
 
 val add_evaluations : t -> int -> unit
 (** Seed the evaluation counter with work done before this objective
@@ -99,7 +118,15 @@ val add_faults : t -> fault_stats -> unit
     support, like {!add_evaluations}). *)
 
 val cache_stats : t -> cache_stats
-(** Consistent snapshot of the memo-table counters. *)
+(** Memo-table counters aggregated over all shards (each shard is
+    snapshotted under its own lock). *)
+
+val shard_stats : t -> cache_stats array
+(** Per-shard memo-table counters, indexed by shard. *)
+
+val num_shards : t -> int
+(** Number of cache stripes actually in use (the configured
+    [cache_shards], clamped to [cache_capacity] when one is set). *)
 
 val cache_hit_rate : t -> float
 (** [hits / (hits + misses)]; 0 before the first lookup. *)

@@ -4,13 +4,25 @@
    available, so the writer and the restricted reader live here).  Costs
    are not stored: they are recomputed on resume — evaluation is pure, so
    recomputation is exact — which keeps the snapshot independent of float
-   formatting.  The RNG state is the one float-free piece of state that
-   must round-trip exactly; it is stored as a decimal int64 string. *)
+   formatting.  The RNG states are the one float-free piece of state that
+   must round-trip exactly; they are stored as decimal int64 strings.
 
-let format_version = 2
+   Format history:
+     v1  single population, no budget carry-over
+     v2  + wall_time_s and cumulative fault counters
+     v3  island model: per-island populations and RNG states, plus the
+         ring-migration cursor.  v1/v2 files still load as a single
+         island with cursor 0. *)
+
+let format_version = 3
+
+type island = {
+  rng_state : int64;  (** raw SplitMix64 state of this island's generator *)
+  population : int list list list;
+}
 
 type t = {
-  population_size : int;
+  population_size : int;  (** total across all islands *)
   seed : int;
   n : int;  (** kernel count of the program being searched *)
   generation : int;
@@ -22,10 +34,11 @@ type t = {
   faults : Objective.fault_stats;
       (** cumulative fault counters at the save (format >= 2; zeros when
           reading a format-1 snapshot) *)
-  rng_state : int64;
+  migration_cursor : int;
+      (** ring migrations performed so far (format >= 3; 0 otherwise) *)
   best : int list list;
   history : (int * float) list;  (** oldest first *)
-  population : int list list list;
+  islands : island list;  (** island count = list length; 1 for v1/v2 *)
 }
 
 (* --- writing --- *)
@@ -61,7 +74,7 @@ let render t =
   Printf.bprintf b "  \"faults\": [%d,%d,%d,%d,%d,%d],\n" f.Objective.injected
     f.Objective.trapped f.Objective.corrupted f.Objective.retries f.Objective.recovered
     f.Objective.quarantined;
-  Printf.bprintf b "  \"rng_state\": \"%Ld\",\n" t.rng_state;
+  Printf.bprintf b "  \"migration_cursor\": %d,\n" t.migration_cursor;
   Buffer.add_string b "  \"best\": ";
   buf_groups b t.best;
   Buffer.add_string b ",\n  \"history\": [";
@@ -70,13 +83,20 @@ let render t =
       if i > 0 then Buffer.add_char b ',';
       Printf.bprintf b "[%d,\"%h\"]" gen cost)
     t.history;
-  Buffer.add_string b "],\n  \"population\": [";
+  Buffer.add_string b "],\n  \"islands\": [";
   List.iteri
-    (fun i groups ->
+    (fun i isl ->
       if i > 0 then Buffer.add_char b ',';
-      Buffer.add_string b "\n    ";
-      buf_groups b groups)
-    t.population;
+      Buffer.add_string b "\n    {\"rng_state\": ";
+      Printf.bprintf b "\"%Ld\", \"population\": [" isl.rng_state;
+      List.iteri
+        (fun j groups ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b "\n      ";
+          buf_groups b groups)
+        isl.population;
+      Buffer.add_string b "\n    ]}")
+    t.islands;
   Buffer.add_string b "\n  ]\n}\n";
   Buffer.contents b
 
@@ -242,12 +262,19 @@ let as_groups name j =
 let field_opt obj name =
   match obj with Jobj fields -> List.assoc_opt name fields | _ -> None
 
+let rng_state_of_string name s =
+  match Int64.of_string_opt s with
+  | Some v -> v
+  | None -> malformed "bad %s %S" name s
+
 let of_string s =
   let j = parse_json s in
   let fmt = as_int "format" (field j "format") in
-  (* Format 1 lacked wall_time_s and faults; those default to zero so old
-     checkpoints keep resuming (with per-segment rather than cumulative
-     budgets, exactly as they were written). *)
+  (* Format 1 lacked wall_time_s and faults; formats 1 and 2 lacked
+     islands (they stored one population and one rng_state).  The missing
+     fields default so every older checkpoint keeps resuming — as a
+     single island, with per-segment budgets for v1, exactly as it was
+     written. *)
   if fmt < 1 || fmt > format_version then malformed "unsupported snapshot format %d" fmt;
   let wall_time_s =
     match field_opt j "wall_time_s" with
@@ -270,11 +297,13 @@ let of_string s =
             { Objective.injected; trapped; corrupted; retries; recovered; quarantined }
         | _ -> malformed "faults must be six non-negative ints")
   in
-  let rng_str = as_str "rng_state" (field j "rng_state") in
-  let rng_state =
-    match Int64.of_string_opt rng_str with
-    | Some v -> v
-    | None -> malformed "bad rng_state %S" rng_str
+  let migration_cursor =
+    match field_opt j "migration_cursor" with
+    | None -> 0
+    | Some v ->
+        let c = as_int "migration_cursor" v in
+        if c < 0 then malformed "migration_cursor must be non-negative";
+        c
   in
   let history =
     List.map
@@ -291,6 +320,37 @@ let of_string s =
         | _ -> malformed "history entries are [generation, cost] pairs")
       (as_arr "history" (field j "history"))
   in
+  let islands =
+    match field_opt j "islands" with
+    | Some v ->
+        let isls =
+          List.map
+            (fun isl ->
+              {
+                rng_state =
+                  rng_state_of_string "rng_state" (as_str "rng_state" (field isl "rng_state"));
+                population =
+                  List.map
+                    (fun g -> as_groups "population" g)
+                    (as_arr "population" (field isl "population"));
+              })
+            (as_arr "islands" v)
+        in
+        if isls = [] then malformed "islands must be non-empty";
+        isls
+    | None ->
+        (* v1/v2: one flat population and a single rng_state. *)
+        [
+          {
+            rng_state =
+              rng_state_of_string "rng_state" (as_str "rng_state" (field j "rng_state"));
+            population =
+              List.map
+                (fun g -> as_groups "population" g)
+                (as_arr "population" (field j "population"));
+          };
+        ]
+  in
   {
     population_size = as_int "population_size" (field j "population_size");
     seed = as_int "seed" (field j "seed");
@@ -300,10 +360,10 @@ let of_string s =
     evaluations = as_int "evaluations" (field j "evaluations");
     wall_time_s;
     faults;
-    rng_state;
+    migration_cursor;
     best = as_groups "best" (field j "best");
     history;
-    population = List.map (fun g -> as_groups "population" g) (as_arr "population" (field j "population"));
+    islands;
   }
 
 let load path =

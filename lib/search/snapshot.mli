@@ -1,22 +1,29 @@
 (** Checkpoint snapshots of a running {!Hgga} search.
 
     A snapshot captures everything the solver needs to continue exactly
-    where it stopped: the population (as raw groupings — costs are
-    recomputed on resume, evaluation being pure), the incumbent, the
-    generation and stall counters, the improvement history, and the raw
-    RNG state.  Resuming from a snapshot written after generation [g]
-    produces bit-for-bit the same remaining search as the uninterrupted
-    run, so a killed long search loses at most one checkpoint interval.
+    where it stopped: every island's population (as raw groupings — costs
+    are recomputed on resume, evaluation being pure) and RNG state, the
+    incumbent, the generation and stall counters, the improvement
+    history, and the ring-migration cursor.  Resuming from a snapshot
+    written after generation [g] produces bit-for-bit the same remaining
+    search as the uninterrupted run, so a killed long search loses at
+    most one checkpoint interval.
 
     The on-disk form is a small self-describing JSON document (written
     atomically via a temporary file + rename); no external JSON library
-    is required. *)
+    is required.  Format 3 introduced the island model; formats 1 and 2
+    still load, as a single island with migration cursor 0. *)
 
 val format_version : int
 
+type island = {
+  rng_state : int64;  (** raw {!Kf_util.Rng} state of this island's generator *)
+  population : int list list list;
+}
+
 type t = {
-  population_size : int;  (** of the run that wrote the snapshot *)
-  seed : int;  (** GA seed of that run *)
+  population_size : int;  (** total across all islands *)
+  seed : int;  (** GA seed of the run that wrote the snapshot *)
   n : int;  (** kernel count of the program being searched *)
   generation : int;  (** generations completed when the snapshot was taken *)
   stall : int;  (** non-improving generations so far *)
@@ -31,10 +38,14 @@ type t = {
   faults : Objective.fault_stats;
       (** cumulative fault counters at the save (zeros for format-1
           snapshots) *)
-  rng_state : int64;  (** raw {!Kf_util.Rng} state *)
+  migration_cursor : int;
+      (** ring migrations performed so far (0 when the snapshot predates
+          format 3); drives the rotating migration offset on resume *)
   best : int list list;  (** incumbent grouping *)
   history : (int * float) list;  (** improvement history, oldest first *)
-  population : int list list list;
+  islands : island list;
+      (** per-island state, island 0 first; a single island for
+          snapshots that predate format 3 *)
 }
 
 exception Malformed of string
@@ -46,8 +57,9 @@ val save : string -> t -> unit
 (** Atomic write (temp file + rename).  @raise Sys_error on IO failure. *)
 
 val of_string : string -> t
-(** Accepts the current format and format 1 (whose missing budget fields
-    default to zero).  @raise Malformed on invalid input. *)
+(** Accepts the current format plus formats 1 and 2 (missing budget
+    fields default to zero; their single population and RNG state load
+    as one island).  @raise Malformed on invalid input. *)
 
 val load : string -> t
 (** @raise Sys_error on IO failure, [Malformed] on invalid content. *)

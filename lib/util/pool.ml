@@ -1,0 +1,107 @@
+(* Persistent worker-domain pool.
+
+   Spawning a domain costs far more than a generation of GA work on small
+   populations, and the island-model search wants a fan-out every
+   generation.  This pool spawns its workers once and re-dispatches jobs
+   to them over a mutex/condition pair, so the per-generation cost is a
+   broadcast instead of N domain spawns and joins. *)
+
+type t = {
+  size : int;
+  lock : Mutex.t;
+  work : Condition.t;  (* signalled when a new job epoch is published *)
+  finished : Condition.t;  (* signalled when the last worker completes *)
+  mutable job : unit -> unit;  (* current job; worker indices come from a
+                                  ticket counter inside the closure *)
+  mutable epoch : int;  (* job generation counter; workers run each epoch once *)
+  mutable remaining : int;  (* workers still inside the current epoch *)
+  mutable failure : exn option;  (* first exception raised by any worker *)
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let worker_loop t =
+  let last = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.lock;
+    while t.epoch = !last && not t.stopping do
+      Condition.wait t.work t.lock
+    done;
+    if t.stopping then begin
+      Mutex.unlock t.lock;
+      running := false
+    end
+    else begin
+      last := t.epoch;
+      let f = t.job in
+      Mutex.unlock t.lock;
+      let outcome = match f () with () -> None | exception e -> Some e in
+      Mutex.lock t.lock;
+      (match outcome with
+      | Some e when t.failure = None -> t.failure <- Some e
+      | _ -> ());
+      t.remaining <- t.remaining - 1;
+      if t.remaining = 0 then Condition.signal t.finished;
+      Mutex.unlock t.lock
+    end
+  done
+
+let create size =
+  if size < 1 then invalid_arg "Pool.create: size must be positive";
+  let t =
+    {
+      size;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      job = (fun () -> ());
+      epoch = 0;
+      remaining = 0;
+      failure = None;
+      stopping = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init size (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = t.size
+
+let run t f =
+  (* Workers need their own index, but the epoch-based handshake hands
+     every worker the same closure: give each a ticket instead. *)
+  let ticket = Atomic.make 0 in
+  let job () = f (Atomic.fetch_and_add ticket 1) in
+  Mutex.lock t.lock;
+  if t.stopping then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Pool.run: pool is shut down"
+  end;
+  t.job <- job;
+  t.epoch <- t.epoch + 1;
+  t.remaining <- t.size;
+  t.failure <- None;
+  Condition.broadcast t.work;
+  while t.remaining > 0 do
+    Condition.wait t.finished t.lock
+  done;
+  let failure = t.failure in
+  t.failure <- None;
+  Mutex.unlock t.lock;
+  match failure with Some e -> raise e | None -> ()
+
+let shutdown t =
+  Mutex.lock t.lock;
+  let already = t.stopping in
+  t.stopping <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.lock;
+  if not already then begin
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let with_pool size f =
+  let t = create size in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,36 @@
+(** Persistent worker-domain pool.
+
+    [Domain.spawn] costs far more than one generation of GA work on
+    small populations; a search that fans out every generation must not
+    pay it every time.  The pool spawns its workers once; each {!run}
+    re-dispatches a job to all of them over one mutex/condition pair, so
+    the steady-state fan-out cost is a broadcast, not N spawns + joins.
+
+    The pool itself is deterministic-friendly: {!run} hands every worker
+    a distinct index in [0, size) and blocks until all workers finish,
+    so it is a drop-in replacement for spawn-per-call striping. *)
+
+type t
+
+val create : int -> t
+(** [create n] spawns [n] worker domains that idle until {!run}.
+    @raise Invalid_argument if [n < 1]. *)
+
+val size : t -> int
+
+val run : t -> (int -> unit) -> unit
+(** [run t f] executes [f w] once for every worker index [w] in
+    [0, size t) — concurrently, one call per worker — and returns when
+    all calls have finished (a barrier).  If any call raises, one of the
+    raised exceptions is re-raised here after the barrier; the pool
+    remains usable.  Not reentrant: do not call [run] from inside [f],
+    and do not call it from two domains at once.
+    @raise Invalid_argument if the pool is shut down. *)
+
+val shutdown : t -> unit
+(** Stop and join all workers.  Idempotent.  Subsequent {!run} calls
+    raise [Invalid_argument]. *)
+
+val with_pool : int -> (t -> 'a) -> 'a
+(** [with_pool n f] runs [f] with a fresh pool, always shutting it down
+    (including on exceptions). *)

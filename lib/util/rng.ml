@@ -27,14 +27,23 @@ let bits t = Int64.to_int (Int64.shift_right_logical (int64 t) 2)
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  (* Rejection sampling to avoid modulo bias. *)
+  (* Rejection sampling to avoid modulo bias.  [bits] yields one of 2^62
+     values, so the rejection limit must be computed from 2^62 (the number
+     of values), not 2^62 - 1 (the largest value): the largest multiple of
+     [bound] not exceeding 2^62.  2^62 itself overflows a 63-bit OCaml
+     int, so its remainder is computed as ((2^62 - 1) mod bound + 1) mod
+     bound. *)
   let max = 0x3FFF_FFFF_FFFF_FFFF in
-  let limit = max - (max mod bound) in
-  let rec draw () =
-    let v = bits t in
-    if v >= limit then draw () else v mod bound
-  in
-  draw ()
+  let rem = ((max mod bound) + 1) mod bound in
+  if rem = 0 then bits t mod bound
+  else begin
+    let limit = max - rem + 1 in
+    let rec draw () =
+      let v = bits t in
+      if v >= limit then draw () else v mod bound
+    in
+    draw ()
+  end
 
 let int_in t lo hi =
   if hi < lo then invalid_arg "Rng.int_in: empty range";

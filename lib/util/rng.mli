@@ -36,7 +36,10 @@ val bits : t -> int
 (** Next 62-bit non-negative OCaml [int]. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [\[0, bound)].  @raise Invalid_argument if
+(** [int t bound] is exactly uniform in [\[0, bound)] (rejection sampling
+    with the limit computed from the 2^62 possible {!bits} values, so
+    there is no residual modulo bias and bounds that divide 2^62 — all
+    powers of two — are rejection-free).  @raise Invalid_argument if
     [bound <= 0]. *)
 
 val int_in : t -> int -> int -> int

@@ -15,12 +15,15 @@ let sum xs =
 let mean xs = if Array.length xs = 0 then 0. else sum xs /. float_of_int (Array.length xs)
 
 let variance xs =
+  (* Bessel-corrected (n - 1) sample variance: the bench harness summarizes
+     small sample counts, where the population divisor biases error bars
+     low. *)
   let n = Array.length xs in
   if n < 2 then 0.
   else begin
     let m = mean xs in
     let acc = Array.map (fun x -> (x -. m) *. (x -. m)) xs in
-    sum acc /. float_of_int n
+    sum acc /. float_of_int (n - 1)
   end
 
 let stddev xs = sqrt (variance xs)
@@ -88,7 +91,9 @@ let min_max xs =
   | None -> invalid_arg "Stats.min_max: empty array"
 
 let coefficient_of_variation xs =
-  let m = mean xs in
+  (* |mean| keeps the ratio well-defined (non-negative) for negative-mean
+     samples; CV measures relative dispersion, which has no sign. *)
+  let m = Float.abs (mean xs) in
   if m = 0. then 0. else stddev xs /. m
 
 type summary = {

@@ -5,10 +5,12 @@ val mean : float array -> float
 (** Arithmetic mean; 0 on an empty array. *)
 
 val variance : float array -> float
-(** Population variance; 0 for fewer than two samples. *)
+(** Bessel-corrected sample variance (divides by [n - 1], the unbiased
+    estimator for the small sample counts the bench harness uses); 0 for
+    fewer than two samples. *)
 
 val stddev : float array -> float
-(** Population standard deviation. *)
+(** Sample standard deviation (square root of {!variance}). *)
 
 val geomean : float array -> float
 (** Geometric mean of strictly positive values; 0 on an empty array.
@@ -40,7 +42,8 @@ val sum : float array -> float
 (** Kahan-compensated sum. *)
 
 val coefficient_of_variation : float array -> float
-(** stddev / mean; 0 when the mean is 0. *)
+(** stddev / |mean| (well-defined, non-negative, for negative means); 0
+    when the mean is 0. *)
 
 type summary = {
   n : int;

@@ -293,6 +293,8 @@ let solve_clover ?checkpoint ?resume_from ?budget params =
   Hgga.solve ~params ?checkpoint ?resume_from ?budget (Pipeline.objective ctx)
 
 let test_snapshot_roundtrip () =
+  (* Two islands with distinct RNG states and uneven populations: the v3
+     island list must survive the render/parse round trip exactly. *)
   let snap =
     {
       Snapshot.population_size = 60;
@@ -301,7 +303,6 @@ let test_snapshot_roundtrip () =
       generation = 14;
       stall = 3;
       evaluations = 99;
-      rng_state = -8313746488903152427L;
       wall_time_s = 12.625;
       faults =
         {
@@ -312,13 +313,53 @@ let test_snapshot_roundtrip () =
           recovered = 4;
           quarantined = 1;
         };
+      migration_cursor = 4;
       best = [ [ 0; 1 ]; [ 2 ]; [ 3; 4 ] ];
       history = [ (0, 0.25); (3, 0.125) ];
-      population = [ [ [ 0; 1; 2; 3; 4 ] ]; [ [ 0 ]; [ 1; 2 ]; [ 3; 4 ] ] ];
+      islands =
+        [
+          {
+            Snapshot.rng_state = -8313746488903152427L;
+            population = [ [ [ 0; 1; 2; 3; 4 ] ]; [ [ 0 ]; [ 1; 2 ]; [ 3; 4 ] ] ];
+          };
+          {
+            Snapshot.rng_state = 7459286063232097792L;
+            population = [ [ [ 0; 1 ]; [ 2 ]; [ 3 ]; [ 4 ] ] ];
+          };
+        ];
     }
   in
   let back = Snapshot.of_string (Snapshot.render snap) in
   check Alcotest.bool "roundtrip identical" true (snap = back)
+
+let test_snapshot_v2_compat () =
+  (* A hand-written format-2 document (flat population + single
+     rng_state, no migration cursor) must load as one island with
+     cursor 0, so pre-island checkpoints keep resuming. *)
+  let v2 =
+    {|{
+  "format": 2,
+  "population_size": 3,
+  "seed": 7,
+  "n": 3,
+  "generation": 5,
+  "stall": 1,
+  "evaluations": 40,
+  "wall_time_s": "0x1.4p3",
+  "faults": [1,0,0,0,0,0],
+  "rng_state": "-42",
+  "best": [[0,1],[2]],
+  "history": [[0,"0x1p0"]],
+  "population": [[[0],[1],[2]],[[0,1],[2]],[[0,1,2]]]
+}|}
+  in
+  let snap = Snapshot.of_string v2 in
+  check Alcotest.int "one island" 1 (List.length snap.Snapshot.islands);
+  check Alcotest.int "cursor defaults to 0" 0 snap.Snapshot.migration_cursor;
+  let isl = List.hd snap.Snapshot.islands in
+  check Alcotest.bool "rng state kept" true (isl.Snapshot.rng_state = -42L);
+  check Alcotest.int "population kept" 3 (List.length isl.Snapshot.population);
+  check (Alcotest.float 0.) "wall time kept" 10.0 snap.Snapshot.wall_time_s
 
 let test_snapshot_malformed () =
   List.iter
@@ -326,7 +367,16 @@ let test_snapshot_malformed () =
       match Snapshot.of_string s with
       | exception Snapshot.Malformed _ -> ()
       | _ -> Alcotest.failf "expected Malformed on %S" s)
-    [ ""; "{"; "[1,2]"; "{\"format\": 99}"; "{\"format\": 1}" ]
+    [
+      "";
+      "{";
+      "[1,2]";
+      "{\"format\": 99}";
+      "{\"format\": 1}";
+      (* islands present but empty: structurally invalid *)
+      "{\"format\": 3, \"population_size\": 2, \"seed\": 1, \"n\": 1, \"generation\": 0, \
+       \"stall\": 0, \"evaluations\": 0, \"best\": [[0]], \"history\": [], \"islands\": []}";
+    ]
 
 let test_checkpoint_resume_identical () =
   (* Kill after 14 generations (last snapshot at gen 14), resume to the
@@ -525,6 +575,7 @@ let suite =
     Alcotest.test_case "guard retries transient" `Quick test_guard_retries_transient;
     Alcotest.test_case "guard sanitizes corruption" `Quick test_guard_sanitizes_corruption;
     Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip;
+    Alcotest.test_case "snapshot v2 compat" `Quick test_snapshot_v2_compat;
     Alcotest.test_case "snapshot malformed" `Quick test_snapshot_malformed;
     Alcotest.test_case "prepare_safe bad input" `Quick test_prepare_safe_bad_input;
     Alcotest.test_case "run_safe under injection" `Slow test_run_safe_under_injection;

@@ -226,6 +226,130 @@ let test_random_search () =
   check Alcotest.int "random plan valid" 0
     (List.length (Plan.validate ~device ~meta:i.Inputs.meta ~exec:i.Inputs.exec r.Random_search.plan))
 
+(* --- Parallel determinism and cache consistency --- *)
+
+let clover_obj () = objective_of (Kf_workloads.Cloverleaf.program ())
+
+let solve_clover ?(islands = 1) ~domains () =
+  Hgga.solve
+    ~params:
+      {
+        Hgga.default_params with
+        Hgga.max_generations = 20;
+        stall_generations = 1000;
+        domains;
+        islands;
+      }
+    (clover_obj ())
+
+let test_hgga_domain_invariance () =
+  (* The determinism contract: worker-domain count is a throughput knob,
+     never a result knob.  Same plan AND same evaluation count — the
+     latter is the regression for duplicate concurrent misses each
+     burning a budget increment. *)
+  let r1 = solve_clover ~domains:1 () in
+  let r4 = solve_clover ~domains:4 () in
+  check Alcotest.bool "same plan (1 vs 4 domains)" true (Plan.equal r1.Hgga.plan r4.Hgga.plan);
+  check (Alcotest.float 0.) "same cost" r1.Hgga.cost r4.Hgga.cost;
+  check Alcotest.int "same evaluation count" r1.Hgga.stats.Hgga.evaluations
+    r4.Hgga.stats.Hgga.evaluations
+
+let test_hgga_island_domain_invariance () =
+  (* Fixed island count, varying worker count: islands advance in
+     lockstep on their own generators, so the fan-out must be invisible
+     in the plan, the history, and the evaluation count. *)
+  let r1 = solve_clover ~islands:4 ~domains:1 () in
+  let r4 = solve_clover ~islands:4 ~domains:4 () in
+  check Alcotest.bool "same plan (islands=4, 1 vs 4 domains)" true
+    (Plan.equal r1.Hgga.plan r4.Hgga.plan);
+  check (Alcotest.float 0.) "same cost" r1.Hgga.cost r4.Hgga.cost;
+  check Alcotest.int "same evaluation count" r1.Hgga.stats.Hgga.evaluations
+    r4.Hgga.stats.Hgga.evaluations;
+  check Alcotest.bool "same improvement history" true
+    (r1.Hgga.stats.Hgga.improvement_history = r4.Hgga.stats.Hgga.improvement_history)
+
+let test_hgga_islands_search () =
+  (* The island model still searches: improves on identity and yields a
+     valid plan. *)
+  let obj = clover_obj () in
+  let n = Kf_ir.Program.num_kernels (Kf_workloads.Cloverleaf.program ()) in
+  let identity_cost = Objective.plan_cost obj (List.init n (fun k -> [ k ])) in
+  let r =
+    Hgga.solve
+      ~params:
+        { Hgga.default_params with Hgga.max_generations = 40; islands = 4; migration_interval = 5 }
+      obj
+  in
+  check Alcotest.bool "improves on identity" true (r.Hgga.cost <= identity_cost);
+  let i = Objective.inputs obj in
+  check Alcotest.int "plan valid" 0
+    (List.length (Plan.validate ~device ~meta:i.Inputs.meta ~exec:i.Inputs.exec r.Hgga.plan))
+
+let test_cache_probe_accounting () =
+  (* Every lookup resolves as exactly one hit or one miss: probe a known
+     sequence and check the ledger balances, per shard and aggregated. *)
+  let obj = motivating_obj () in
+  let groups = [ [ 0; 1 ]; [ 1; 2 ]; [ 3; 4 ]; [ 0 ]; [ 2 ] ] in
+  let probes = ref 0 in
+  for _ = 1 to 3 do
+    List.iter
+      (fun g ->
+        incr probes;
+        ignore (Objective.group_cost obj g))
+      groups
+  done;
+  let agg = Objective.cache_stats obj in
+  check Alcotest.int "hits + misses = probes" !probes (agg.Objective.hits + agg.Objective.misses);
+  check Alcotest.int "one miss per distinct key" (List.length groups) agg.Objective.misses;
+  let shards = Objective.shard_stats obj in
+  check Alcotest.int "shard count exposed" (Objective.num_shards obj) (Array.length shards);
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 shards in
+  check Alcotest.int "shard hits sum" agg.Objective.hits (sum (fun s -> s.Objective.hits));
+  check Alcotest.int "shard misses sum" agg.Objective.misses (sum (fun s -> s.Objective.misses));
+  check Alcotest.int "shard sizes sum" agg.Objective.size (sum (fun s -> s.Objective.size))
+
+let test_cache_consistency_after_search () =
+  (* Same invariant after a real multi-island, multi-domain search. *)
+  let obj = clover_obj () in
+  ignore
+    (Hgga.solve
+       ~params:
+         {
+           Hgga.default_params with
+           Hgga.max_generations = 10;
+           stall_generations = 1000;
+           islands = 2;
+           domains = 2;
+         }
+       obj);
+  let agg = Objective.cache_stats obj in
+  let shards = Objective.shard_stats obj in
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 shards in
+  check Alcotest.bool "probes happened" true (agg.Objective.hits + agg.Objective.misses > 0);
+  check Alcotest.int "shard hits sum" agg.Objective.hits (sum (fun s -> s.Objective.hits));
+  check Alcotest.int "shard misses sum" agg.Objective.misses (sum (fun s -> s.Objective.misses));
+  check Alcotest.int "shard evictions sum" agg.Objective.evictions
+    (sum (fun s -> s.Objective.evictions));
+  check Alcotest.int "shard sizes sum" agg.Objective.size (sum (fun s -> s.Objective.size))
+
+let test_concurrent_duplicate_miss () =
+  (* Four domains race on the same cold key: the in-flight table must
+     collapse them to one evaluation (one miss, three hits), counted once
+     — this is the budget-accounting bugfix pinned as a regression. *)
+  let obj = motivating_obj () in
+  let spawned =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () -> Objective.group_cost obj [ 0; 1 ]))
+  in
+  let costs = List.map Domain.join spawned in
+  (match costs with
+  | c :: rest -> List.iter (fun c' -> check (Alcotest.float 0.) "same verdict" c c') rest
+  | [] -> ());
+  check Alcotest.int "evaluated exactly once" 1 (Objective.evaluations obj);
+  let agg = Objective.cache_stats obj in
+  check Alcotest.int "one miss" 1 agg.Objective.misses;
+  check Alcotest.int "three hits" 3 agg.Objective.hits
+
 let test_hgga_at_least_greedy_quality () =
   (* On a small instance the GA should not lose badly to greedy. *)
   let obj1 = objective_of (small_suite 9) in
@@ -256,4 +380,10 @@ let suite =
     Alcotest.test_case "greedy" `Slow test_greedy;
     Alcotest.test_case "random search" `Slow test_random_search;
     Alcotest.test_case "hgga vs greedy" `Slow test_hgga_at_least_greedy_quality;
+    Alcotest.test_case "hgga domain invariance" `Slow test_hgga_domain_invariance;
+    Alcotest.test_case "hgga island domain invariance" `Slow test_hgga_island_domain_invariance;
+    Alcotest.test_case "hgga islands search" `Slow test_hgga_islands_search;
+    Alcotest.test_case "cache probe accounting" `Quick test_cache_probe_accounting;
+    Alcotest.test_case "cache consistency after search" `Slow test_cache_consistency_after_search;
+    Alcotest.test_case "concurrent duplicate miss" `Quick test_concurrent_duplicate_miss;
   ]

@@ -83,6 +83,36 @@ let prop_sample_distinct =
       let s = Rng.sample rng k arr in
       Array.length s = k && List.length (List.sort_uniq compare (Array.to_list s)) = k)
 
+let test_rng_uniformity () =
+  (* Chi-square goodness of fit for Rng.int: with the rejection limit
+     derived from the number of possible draws (2^62), every residue is
+     exactly equally likely, so the statistic follows chi^2 with
+     (bound - 1) degrees of freedom.  40 is far beyond the 99.9th
+     percentile for df <= 15: a pass means "not grossly biased", which is
+     what a fixed-seed sanity check can honestly claim. *)
+  List.iter
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let draws = 10_000 in
+      let counts = Array.make bound 0 in
+      for _ = 1 to draws do
+        let v = Rng.int rng bound in
+        counts.(v) <- counts.(v) + 1
+      done;
+      let expected = float_of_int draws /. float_of_int bound in
+      let chi2 =
+        Array.fold_left
+          (fun acc c ->
+            let d = float_of_int c -. expected in
+            acc +. (d *. d /. expected))
+          0. counts
+      in
+      if chi2 > 40. then
+        Alcotest.failf "Rng.int %d (seed %d): chi^2 = %.2f suggests bias" bound seed chi2)
+    (* Both a power of two (rejection-free path) and odd bounds (the
+       rejection path the limit computation governs). *)
+    [ (1, 16); (2, 10); (3, 7); (4, 13) ]
+
 let test_gaussian_moments () =
   let rng = Rng.create 42 in
   let n = 20000 in
@@ -98,10 +128,33 @@ let test_stats_basics () =
   checkf "mean" 2.5 (Stats.mean xs);
   checkf "median" 2.5 (Stats.median xs);
   checkf "sum" 10. (Stats.sum xs);
-  checkf "variance" 1.25 (Stats.variance xs);
+  (* Bessel-corrected sample variance: sum of squared deviations 5 over
+     n - 1 = 3, not the population 1.25. *)
+  checkf "variance" (5. /. 3.) (Stats.variance xs);
   let lo, hi = Stats.min_max xs in
   checkf "min" 1. lo;
   checkf "max" 4. hi
+
+let test_stats_variance_bessel () =
+  (* n < 2 has no sample variance: defined as 0, not a division by 0. *)
+  checkf "singleton variance" 0. (Stats.variance [| 42. |]);
+  checkf "empty variance" 0. (Stats.variance [||]);
+  (* Constant samples have zero variance under either divisor. *)
+  checkf "constant variance" 0. (Stats.variance [| 2.; 2.; 2. |]);
+  (* Two samples: squared half-range under n, full (d/sqrt 2)^2 under
+     n - 1 — the clearest discriminator between the two conventions. *)
+  checkf "two-sample variance" 2. (Stats.variance [| 1.; 3. |]);
+  checkf "two-sample stddev" (sqrt 2.) (Stats.stddev [| 1.; 3. |])
+
+let test_stats_cv () =
+  let xs = [| 1.; 3. |] in
+  let cv = Stats.coefficient_of_variation xs in
+  checkf "cv positive mean" (sqrt 2. /. 2.) cv;
+  (* Negating the sample flips the mean's sign but not its dispersion:
+     CV must use |mean| and stay equal (and non-negative). *)
+  let neg = Array.map (fun x -> -.x) xs in
+  checkf "cv negative mean" cv (Stats.coefficient_of_variation neg);
+  checkf "cv zero mean" 0. (Stats.coefficient_of_variation [| -1.; 1. |])
 
 let test_stats_empty () =
   checkf "mean of empty" 0. (Stats.mean [||]);
@@ -203,6 +256,36 @@ let test_table_cells () =
   check Alcotest.string "pct cell" "41.3%" (Table.cell_pct 0.413);
   check Alcotest.string "speedup cell" "1.35x" (Table.cell_speedup 1.352)
 
+(* --- Pool --- *)
+
+let test_pool_runs_all_indices () =
+  Kf_util.Pool.with_pool 4 (fun pool ->
+      check Alcotest.int "size" 4 (Kf_util.Pool.size pool);
+      let hits = Array.make 4 0 in
+      (* Reuse across runs: the pool must stay usable after each barrier. *)
+      for _ = 1 to 3 do
+        Kf_util.Pool.run pool (fun w -> hits.(w) <- hits.(w) + 1)
+      done;
+      Array.iteri (fun w n -> check Alcotest.int (Printf.sprintf "worker %d" w) 3 n) hits)
+
+let test_pool_propagates_exception () =
+  Kf_util.Pool.with_pool 3 (fun pool ->
+      Alcotest.check_raises "re-raised" Exit (fun () ->
+          Kf_util.Pool.run pool (fun w -> if w = 1 then raise Exit));
+      (* Still usable after a failed run. *)
+      let total = Atomic.make 0 in
+      Kf_util.Pool.run pool (fun w -> Atomic.fetch_and_add total (w + 1) |> ignore);
+      check Alcotest.int "sum after failure" 6 (Atomic.get total))
+
+let test_pool_invalid () =
+  Alcotest.check_raises "zero size" (Invalid_argument "Pool.create: size must be positive")
+    (fun () -> ignore (Kf_util.Pool.create 0));
+  let pool = Kf_util.Pool.create 2 in
+  Kf_util.Pool.shutdown pool;
+  Kf_util.Pool.shutdown pool;
+  Alcotest.check_raises "run after shutdown" (Invalid_argument "Pool.run: pool is shut down")
+    (fun () -> Kf_util.Pool.run pool (fun _ -> ()))
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
   [ prop_shuffle_is_permutation; prop_sample_distinct; prop_mean_within_bounds;
     prop_median_within_bounds; prop_bitset_model; prop_bitset_union_into ]
@@ -215,8 +298,11 @@ let suite =
     Alcotest.test_case "rng invalid args" `Quick test_rng_invalid;
     Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
     Alcotest.test_case "rng copy replays" `Quick test_rng_copy_replays;
+    Alcotest.test_case "rng uniformity" `Quick test_rng_uniformity;
     Alcotest.test_case "gaussian moments" `Slow test_gaussian_moments;
     Alcotest.test_case "stats basics" `Quick test_stats_basics;
+    Alcotest.test_case "stats variance bessel" `Quick test_stats_variance_bessel;
+    Alcotest.test_case "stats cv" `Quick test_stats_cv;
     Alcotest.test_case "stats empty" `Quick test_stats_empty;
     Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
     Alcotest.test_case "stats geomean" `Quick test_stats_geomean;
@@ -224,5 +310,8 @@ let suite =
     Alcotest.test_case "bitset bounds" `Quick test_bitset_bounds;
     Alcotest.test_case "table render" `Quick test_table_render;
     Alcotest.test_case "table cells" `Quick test_table_cells;
+    Alcotest.test_case "pool runs all indices" `Quick test_pool_runs_all_indices;
+    Alcotest.test_case "pool exception propagation" `Quick test_pool_propagates_exception;
+    Alcotest.test_case "pool invalid usage" `Quick test_pool_invalid;
   ]
   @ qsuite

@@ -1098,6 +1098,162 @@ let exp_bench_scaling () =
   Format.printf "wrote %s@." bench_scaling_path
 
 (* ------------------------------------------------------------------ *)
+(* Incremental-evaluation perf benchmark (the CI perf-gate input)       *)
+(* ------------------------------------------------------------------ *)
+
+let bench_incremental_path = "BENCH_pr5.json"
+
+let exp_bench_incremental () =
+  header "bench_incremental"
+    ("Incremental vs. full objective evaluation -> " ^ bench_incremental_path);
+  let module J = Kf_obs.Json in
+  (* gens=300 / pop=100 with stall disabled: long enough for the memo
+     tables to amortize their warm-up, which is where the incremental
+     path's advantage is representative of real searches. *)
+  let params =
+    { search_params with Hgga.max_generations = 300; stall_generations = 300;
+      population_size = 100 }
+  in
+  let repeats = 3 in
+  let workloads =
+    [
+      ("motivating", Motivating.program ());
+      ("tealeaf", Kf_workloads.Tealeaf.program ());
+      ("cloverleaf", Kf_workloads.Cloverleaf.program ());
+    ]
+  in
+  let t =
+    Table.create
+      [
+        ("workload", Table.Left); ("mode", Table.Left); ("wall (s)", Table.Right);
+        ("evals", Table.Right); ("evals/s", Table.Right); ("ratio", Table.Right);
+        ("measured", Table.Right);
+      ]
+  in
+  (* A fresh objective per run: the caches are per-objective, and a warm
+     cache would turn every later repeat into a no-op. *)
+  let run_one ctx ~incremental =
+    let obj = Pipeline.objective ~incremental ctx in
+    Hgga.solve ~params obj
+  in
+  let float_bits_equal a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) in
+  let history_equal h1 h2 =
+    List.length h1 = List.length h2
+    && List.for_all2 (fun (g1, c1) (g2, c2) -> g1 = g2 && float_bits_equal c1 c2) h1 h2
+  in
+  let rows =
+    List.map
+      (fun (name, p) ->
+        let ctx = prepare p in
+        (* Interleave the repeats so slow drift in machine load hits both
+           modes alike; keep the best wall per mode (min is the standard
+           noise-robust estimator for wall time). *)
+        let walls_full = ref [] and walls_inc = ref [] in
+        let last_full = ref None and last_inc = ref None in
+        for _ = 1 to repeats do
+          let rf = run_one ctx ~incremental:false in
+          let ri = run_one ctx ~incremental:true in
+          walls_full := rf.Hgga.stats.Hgga.wall_time_s :: !walls_full;
+          walls_inc := ri.Hgga.stats.Hgga.wall_time_s :: !walls_inc;
+          last_full := Some rf;
+          last_inc := Some ri
+        done;
+        let rf = Option.get !last_full and ri = Option.get !last_inc in
+        (* The whole point of the incremental path is that it is
+           result-invisible: same best plan, cost, improvement history
+           and evaluation count, bit for bit. *)
+        let identical =
+          Plan.equal rf.Hgga.plan ri.Hgga.plan
+          && float_bits_equal rf.Hgga.cost ri.Hgga.cost
+          && history_equal rf.Hgga.stats.Hgga.improvement_history
+               ri.Hgga.stats.Hgga.improvement_history
+          && rf.Hgga.stats.Hgga.evaluations = ri.Hgga.stats.Hgga.evaluations
+        in
+        if not identical then begin
+          Format.eprintf
+            "bench_incremental: %s: incremental run diverged from full run@." name;
+          exit 1
+        end;
+        let evals = rf.Hgga.stats.Hgga.evaluations in
+        let best walls = List.fold_left min infinity walls in
+        let wall_full = best !walls_full and wall_inc = best !walls_inc in
+        let eps wall = if wall > 0. then float_of_int evals /. wall else 0. in
+        let ratio = if wall_inc > 0. then wall_full /. wall_inc else 0. in
+        let o = Pipeline.apply ctx ri in
+        let mode_row mode wall =
+          Table.add_row t
+            [
+              name; mode;
+              Table.cell_f ~decimals:3 wall;
+              string_of_int evals;
+              Table.cell_f ~decimals:0 (eps wall);
+              (if mode = "incremental" then Table.cell_speedup ratio else "");
+              Table.cell_speedup o.Pipeline.speedup;
+            ]
+        in
+        mode_row "full" wall_full;
+        mode_row "incremental" wall_inc;
+        let mode_json wall walls =
+          J.Obj
+            [
+              ("wall_s", J.Float wall);
+              ("evaluations_per_s", J.Float (eps wall));
+              ("wall_s_repeats", J.Arr (List.rev_map (fun w -> J.Float w) walls));
+            ]
+        in
+        J.Obj
+          [
+            ("name", J.Str name);
+            ("kernels", J.Int (Program.num_kernels p));
+            ("evaluations", J.Int evals);
+            ("generations", J.Int rf.Hgga.stats.Hgga.generations);
+            ("cost_s", J.Float ri.Hgga.cost);
+            ("measured_speedup", J.Float o.Pipeline.speedup);
+            ("bit_identical", J.Bool identical);
+            ("full", mode_json wall_full !walls_full);
+            ("incremental", mode_json wall_inc !walls_inc);
+            ("evals_per_s_ratio", J.Float ratio);
+          ])
+      workloads
+  in
+  Table.print t;
+  let geomean =
+    let speedups =
+      List.filter_map
+        (fun row -> Option.bind (J.member "measured_speedup" row) J.to_float_opt)
+        rows
+    in
+    exp (List.fold_left (fun acc s -> acc +. log s) 0. speedups
+         /. float_of_int (List.length speedups))
+  in
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "kfuse-bench-incremental/1");
+        ("geomean_measured_speedup", J.Float geomean);
+        ("params",
+         J.Obj
+           [
+             ("population_size", J.Int params.Hgga.population_size);
+             ("max_generations", J.Int params.Hgga.max_generations);
+             ("stall_generations", J.Int params.Hgga.stall_generations);
+             ("seed", J.Int params.Hgga.seed);
+           ]);
+        ("device", J.Str k20x.Device.name);
+        ("repeats", J.Int repeats);
+        ("workloads", J.Arr rows);
+      ]
+  in
+  let oc = open_out (bench_incremental_path ^ ".tmp") in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (J.to_string doc);
+      output_char oc '\n');
+  Sys.rename (bench_incremental_path ^ ".tmp") bench_incremental_path;
+  Format.printf "wrote %s@." bench_incremental_path
+
+(* ------------------------------------------------------------------ *)
 (* registry                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1127,6 +1283,7 @@ let experiments =
     ("verify", exp_verify);
     ("bench_json", exp_bench_json);
     ("bench_scaling", exp_bench_scaling);
+    ("bench_incremental", exp_bench_incremental);
   ]
 
 let () =

@@ -1,0 +1,112 @@
+(* CI perf gate: compares a freshly produced BENCH_pr5.json against the
+   committed bench/baseline.json and fails the build when the incremental
+   evaluation path regresses.
+
+     dune exec bench/perf_gate.exe -- bench/baseline.json BENCH_pr5.json
+
+   Checked per workload (matched by name):
+
+   - [bit_identical] must hold in the current run: the incremental path
+     must still produce the exact plan, cost, history and evaluation
+     count of the full path.
+   - [measured_speedup] must equal the baseline exactly.  The search is
+     deterministic, so any drift means the search behavior changed — if
+     the change is intentional, regenerate the baseline in the same
+     commit.
+   - [evals_per_s_ratio] (incremental over full throughput, measured on
+     one machine in one process) must not drop by more than 20%.  The
+     ratio is used instead of absolute evals/s so the gate is robust to
+     CI runners of different speeds.
+
+   Exit status 0 when every check passes, 1 otherwise. *)
+
+module J = Kf_obs.Json
+
+let tolerance = 0.20
+
+let read_json path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> J.of_string (really_input_string ic (in_channel_length ic)))
+
+let fail_count = ref 0
+
+let check ok fmt =
+  Format.kasprintf
+    (fun msg ->
+      if ok then Format.printf "  ok   %s@." msg
+      else begin
+        incr fail_count;
+        Format.printf "  FAIL %s@." msg
+      end)
+    fmt
+
+let get path conv doc =
+  let rec go doc = function
+    | [] -> conv doc
+    | k :: rest -> Option.bind (J.member k doc) (fun d -> go d rest)
+  in
+  go doc path
+
+let require path conv doc =
+  match get path conv doc with
+  | Some v -> v
+  | None ->
+      Format.eprintf "perf_gate: missing or ill-typed field %s@."
+        (String.concat "." path);
+      exit 2
+
+let workloads doc =
+  require [ "workloads" ] J.to_list_opt doc
+  |> List.map (fun w -> (require [ "name" ] J.to_string_opt w, w))
+
+let () =
+  let baseline_path, current_path =
+    match Sys.argv with
+    | [| _; b; c |] -> (b, c)
+    | _ ->
+        prerr_endline "usage: perf_gate <baseline.json> <current.json>";
+        exit 2
+  in
+  let baseline = read_json baseline_path and current = read_json current_path in
+  let schema d = require [ "schema" ] J.to_string_opt d in
+  if schema baseline <> schema current then begin
+    Format.eprintf "perf_gate: schema mismatch (%s vs %s)@." (schema baseline)
+      (schema current);
+    exit 2
+  end;
+  let gm d = require [ "geomean_measured_speedup" ] J.to_float_opt d in
+  Format.printf "overall:@.";
+  check
+    (gm baseline = gm current)
+    "geomean measured speedup unchanged (%.6f vs baseline %.6f)" (gm current)
+    (gm baseline);
+  let current_workloads = workloads current in
+  List.iter
+    (fun (name, base) ->
+      Format.printf "%s:@." name;
+      match List.assoc_opt name current_workloads with
+      | None -> check false "workload present in current run"
+      | Some cur ->
+          let f path d = require path J.to_float_opt d in
+          check
+            (get [ "bit_identical" ] (function J.Bool b -> Some b | _ -> None) cur
+            = Some true)
+            "incremental run bit-identical to full run";
+          let sp_base = f [ "measured_speedup" ] base
+          and sp_cur = f [ "measured_speedup" ] cur in
+          check (sp_base = sp_cur)
+            "measured speedup unchanged (%.6f vs baseline %.6f)" sp_cur sp_base;
+          let r_base = f [ "evals_per_s_ratio" ] base
+          and r_cur = f [ "evals_per_s_ratio" ] cur in
+          check
+            (r_cur >= (1. -. tolerance) *. r_base)
+            "evals/s ratio %.2fx within %.0f%% of baseline %.2fx" r_cur
+            (100. *. tolerance) r_base)
+    (workloads baseline);
+  if !fail_count > 0 then begin
+    Format.printf "@.perf gate: %d check(s) failed@." !fail_count;
+    exit 1
+  end;
+  Format.printf "@.perf gate: all checks passed@."

@@ -101,6 +101,12 @@ let seed_arg =
   let doc = "GA random seed." in
   Arg.(value & opt int 42 & info [ "seed" ] ~doc)
 
+let no_incremental_arg =
+  let doc = "Disable incremental per-group evaluation (plan- and signature-keyed caches, \
+             structural memoization) and fall back to whole-plan evaluation.  A \
+             throughput knob only: results are bit-identical either way." in
+  Arg.(value & flag & info [ "no-incremental" ] ~doc)
+
 let params_of generations population seed =
   { Hgga.default_params with Hgga.max_generations = generations; population_size = population; seed }
 
@@ -217,7 +223,16 @@ let robust_term =
         Option.map (fun path -> { Hgga.path; every = max 1 every }) checkpoint;
       resume;
       budget;
-      inject = Option.map (fun rate -> Kf_robust.Inject.config ~seed:fault_seed rate) inject_rate;
+      inject =
+        Option.map
+          (fun rate ->
+            (* Raised during term evaluation, before any stage wrapper can
+               classify it — turn it into the standard one-line error. *)
+            try Kf_robust.Inject.config ~seed:fault_seed rate
+            with Invalid_argument msg ->
+              Format.eprintf "kfuse: invalid argument: %s@." msg;
+              exit 2)
+          inject_rate;
     }
   in
   Term.(const make $ checkpoint_arg $ every_arg $ resume_arg $ budget_evals_arg
@@ -354,7 +369,7 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Dependency and traffic analysis") Term.(const run $ workload_arg)
 
 let search_cmd =
-  let run workload device model generations population seed popts ropts oopts =
+  let run workload device model generations population seed no_incremental popts ropts oopts =
     with_obs oopts @@ fun () ->
     let p = load_workload workload in
     let device = device_of_name device in
@@ -362,7 +377,10 @@ let search_cmd =
     let faults = Objective.zero_faults () in
     let injector = Option.map (fun cfg -> Kf_robust.Inject.create ~faults cfg) ropts.inject in
     let guard = Kf_robust.Guard.guarded ?inject:injector faults in
-    let obj = Pipeline.objective ~model:(model_of_name model) ~guard ~faults ctx in
+    let obj =
+      Pipeline.objective ~model:(model_of_name model) ~incremental:(not no_incremental) ~guard
+        ~faults ctx
+    in
     let r =
       match
         Hgga.solve
@@ -392,17 +410,17 @@ let search_cmd =
   Cmd.v
     (Cmd.info "search" ~doc:"Run the HGGA search and print the best plan")
     Term.(const run $ workload_arg $ device_arg $ model_arg $ generations_arg $ population_arg
-          $ seed_arg $ parallel_term $ robust_term $ obs_term)
+          $ seed_arg $ no_incremental_arg $ parallel_term $ robust_term $ obs_term)
 
 let fuse_cmd =
-  let run workload device model generations population seed popts ropts oopts =
+  let run workload device model generations population seed no_incremental popts ropts oopts =
     with_obs oopts @@ fun () ->
     let p = load_workload workload in
     let device = device_of_name device in
     match
       Pipeline.run_safe ~params:(params_with_parallel popts generations population seed)
-        ~model:(model_of_name model) ?inject:ropts.inject ?checkpoint:ropts.checkpoint
-        ?resume_from:ropts.resume ?budget:ropts.budget ~device p
+        ~model:(model_of_name model) ~incremental:(not no_incremental) ?inject:ropts.inject
+        ?checkpoint:ropts.checkpoint ?resume_from:ropts.resume ?budget:ropts.budget ~device p
     with
     | Ok o ->
         say oopts "%a@." Pipeline.pp_outcome o;
@@ -414,7 +432,7 @@ let fuse_cmd =
   Cmd.v
     (Cmd.info "fuse" ~doc:"Search, apply the fusion, and measure the speedup (fault-tolerant)")
     Term.(const run $ workload_arg $ device_arg $ model_arg $ generations_arg $ population_arg
-          $ seed_arg $ parallel_term $ robust_term $ obs_term)
+          $ seed_arg $ no_incremental_arg $ parallel_term $ robust_term $ obs_term)
 
 let graph_cmd =
   let run workload kind plan_overlay generations population seed =

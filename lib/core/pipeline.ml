@@ -53,7 +53,8 @@ let prepare ?(sync_points = []) ~device program =
     original_runtime = Array.fold_left ( +. ) 0. measured_runtime;
   }
 
-let objective ?model ?guard ?faults ctx = Objective.create ?model ?guard ?faults ctx.inputs
+let objective ?model ?guard ?faults ?incremental ctx =
+  Objective.create ?model ?guard ?faults ?incremental ctx.inputs
 
 type outcome = {
   context : context;
@@ -94,9 +95,9 @@ let apply ctx (search : Hgga.result) =
     speedup = safe_speedup ~original:ctx.original_runtime ~fused:fused_runtime;
   }
 
-let run ?params ?model ?sync_points ~device program =
+let run ?params ?model ?sync_points ?incremental ~device program =
   let ctx = prepare ?sync_points ~device program in
-  let obj = objective ?model ctx in
+  let obj = objective ?model ?incremental ctx in
   let search =
     Obs.span ~cat:"pipeline" ~args:(phase_args program) "search" (fun () ->
         Hgga.solve ?params obj)
@@ -145,15 +146,15 @@ let validated_result ctx obj (search : Hgga.result) =
       in
       if validate degraded.Hgga.plan = [] then degraded else identity_result ctx obj search
 
-let run_safe ?params ?model ?sync_points ?guard ?inject ?checkpoint ?resume_from ?budget
-    ~device program =
+let run_safe ?params ?model ?sync_points ?incremental ?guard ?inject ?checkpoint
+    ?resume_from ?budget ~device program =
   match prepare_safe ?sync_points ~device program with
   | Error e -> Error e
   | Ok ctx -> begin
       let faults = Objective.zero_faults () in
       let injector = Option.map (fun cfg -> Inject.create ~faults cfg) inject in
       let guard = Guard.guarded ?config:guard ?inject:injector faults in
-      let obj = objective ?model ~guard ~faults ctx in
+      let obj = objective ?model ?incremental ~guard ~faults ctx in
       match
         Obs.span ~cat:"pipeline" ~args:(phase_args program) "search" (fun () ->
             Hgga.solve ?params ?checkpoint ?resume_from ?budget obj)

@@ -29,11 +29,14 @@ val objective :
   ?model:Kf_search.Objective.model ->
   ?guard:Kf_search.Objective.guard ->
   ?faults:Kf_search.Objective.fault_stats ->
+  ?incremental:bool ->
   context ->
   Kf_search.Objective.t
 (** A fresh objective over the context (default model: the paper's).
     [guard]/[faults] install per-candidate fault isolation — see
-    {!Kf_robust.Guard}. *)
+    {!Kf_robust.Guard}.  [incremental] (default [true]) selects the
+    two-level incremental evaluation path; results are bit-identical
+    either way (see {!Kf_search.Objective.create}). *)
 
 type outcome = {
   context : context;
@@ -59,6 +62,7 @@ val run :
   ?params:Kf_search.Hgga.params ->
   ?model:Kf_search.Objective.model ->
   ?sync_points:int list ->
+  ?incremental:bool ->
   device:Kf_gpu.Device.t ->
   Kf_ir.Program.t ->
   outcome
@@ -77,6 +81,7 @@ val run_safe :
   ?params:Kf_search.Hgga.params ->
   ?model:Kf_search.Objective.model ->
   ?sync_points:int list ->
+  ?incremental:bool ->
   ?guard:Kf_robust.Guard.config ->
   ?inject:Kf_robust.Inject.config ->
   ?checkpoint:Kf_search.Hgga.checkpoint ->

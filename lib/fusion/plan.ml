@@ -4,9 +4,58 @@ module Exec_order = Kf_graph.Exec_order
 
 type t = { n : int; groups : int list list (* canonical *) }
 
+(* Int-specialized and allocation-light: groups flowing through the
+   search are almost always already sorted (bitset extractions,
+   previously normalized plans), in which case the input list is reused
+   instead of re-sorted.  Strictly increasing implies duplicate-free, so
+   the fast path matches [List.sort_uniq]. *)
+let rec is_sorted_strict : int list -> bool = function
+  | a :: (b :: _ as tl) -> a < b && is_sorted_strict tl
+  | _ -> true
+
 let canonicalize groups =
-  let sorted = List.map (List.sort_uniq compare) groups in
-  List.sort (fun a b -> compare (List.hd a) (List.hd b)) sorted
+  let sorted =
+    List.map (fun g -> if is_sorted_strict g then g else List.sort_uniq Int.compare g) groups
+  in
+  List.sort (fun a b -> Int.compare (List.hd a) (List.hd b)) sorted
+
+let canonical_groups = canonicalize
+
+(* Signatures are flat int arrays: member ids in ascending order, groups in
+   canonical order, [-1] between groups.  Kernel ids are non-negative, so
+   the separator is unambiguous and two plans share a signature exactly
+   when they are equal as partitions. *)
+let group_signature group =
+  Array.of_list (if is_sorted_strict group then group else List.sort_uniq Int.compare group)
+
+let plan_signature groups =
+  let canon = canonicalize groups in
+  let len =
+    List.fold_left (fun acc g -> acc + List.length g + 1) 0 canon
+  in
+  let sig_ = Array.make (max 0 (len - 1)) (-1) in
+  let i = ref 0 in
+  List.iteri
+    (fun gi g ->
+      if gi > 0 then incr i;
+      List.iter
+        (fun k ->
+          sig_.(!i) <- k;
+          incr i)
+        g)
+    canon;
+  sig_
+
+(* Deliberately not Hashtbl.hash: signature hashes select cache shards and
+   must not depend on runtime hashing parameters (OCAMLRUNPARAM=R), so a
+   plain polynomial over the elements keeps striping reproducible
+   everywhere (same scheme as the objective's string-key shard hash). *)
+let signature_hash sig_ =
+  let h = ref 17 in
+  Array.iter (fun x -> h := ((!h * 31) + x + 2) land max_int) sig_;
+  !h
+
+let group_hash group = signature_hash (group_signature group)
 
 let of_groups ~n groups =
   if List.exists (( = ) []) groups then invalid_arg "Plan.of_groups: empty group";

@@ -68,6 +68,34 @@ val validate :
 val is_feasible :
   device:Kf_gpu.Device.t -> meta:Kf_ir.Metadata.t -> exec:Kf_graph.Exec_order.t -> t -> bool
 
+val is_sorted_strict : int list -> bool
+(** Whether the list is strictly increasing (sorted, duplicate-free) —
+    the precondition under which canonicalization can reuse it as-is. *)
+
+val canonical_groups : int list list -> int list list
+(** Canonical form of a raw partition: members sorted ascending within
+    each group, groups ordered by smallest member.  Permutations of the
+    same partition map to the same canonical form, which is what makes
+    the signatures below usable as cache keys. *)
+
+val group_signature : int list -> int array
+(** Sorted member ids — the canonical per-group signature (two member
+    orderings of the same group share one signature). *)
+
+val plan_signature : int list list -> int array
+(** Canonical whole-plan signature: group signatures in canonical group
+    order, separated by [-1] (kernel ids are non-negative, so the
+    separator is unambiguous).  Permuted-but-equal plans share one
+    signature. *)
+
+val signature_hash : int array -> int
+(** Fixed polynomial hash of a signature.  Deliberately not
+    [Hashtbl.hash]: cache striping keyed on this hash must be immune to
+    [OCAMLRUNPARAM=R], so the hash depends only on the elements. *)
+
+val group_hash : int list -> int
+(** [signature_hash (group_signature g)]. *)
+
 val equal : t -> t -> bool
 (** Equality as partitions (group order and member order irrelevant). *)
 

@@ -129,14 +129,20 @@ let project (i : Inputs.t) (f : Fused.t) =
 
 let runtime i f = (project i f).runtime_s
 
+(* Per-group entry point for incremental evaluators: project one group of
+   a plan in isolation.  Plan cost decomposes as a sum over groups, so a
+   caller that knows which groups changed can re-project exactly those and
+   reuse cached projections for the rest. *)
+let project_group (i : Inputs.t) group =
+  let f =
+    Fused.build ~device:i.Inputs.device ~meta:i.Inputs.meta ~exec:i.Inputs.exec ~group
+  in
+  project i f
+
 let group_runtime (i : Inputs.t) group =
   match group with
   | [ k ] -> i.Inputs.measured_runtime.(k)
-  | _ ->
-      let f =
-        Fused.build ~device:i.Inputs.device ~meta:i.Inputs.meta ~exec:i.Inputs.exec ~group
-      in
-      runtime i f
+  | _ -> (project_group i group).runtime_s
 
 let pp ppf pr =
   Format.fprintf ppf

@@ -38,7 +38,14 @@ val project : Inputs.t -> Kf_fusion.Fused.t -> projection
 val runtime : Inputs.t -> Kf_fusion.Fused.t -> float
 (** [(project i f).runtime_s] — infinite when infeasible. *)
 
+val project_group : Inputs.t -> int list -> projection
+(** Per-group entry point: build the fused kernel for one group and
+    project it.  Plan cost decomposes as a sum over groups (Fig. 4,
+    Eq. 1), so incremental evaluators re-project only the groups an
+    operator changed and reuse memoized projections for the rest. *)
+
 val group_runtime : Inputs.t -> int list -> float
-(** Convenience: build the fused kernel for a group and project it. *)
+(** Convenience: [project_group] runtime; measured runtime for
+    singletons. *)
 
 val pp : Format.formatter -> projection -> unit

@@ -7,8 +7,14 @@ module Dag = Kf_graph.Dag
 
 type groups = int list list
 
+(* Int-specialized, and already-sorted member lists (the common case by
+   far: bitset extractions, previously normalized plans) are reused
+   rather than re-sorted. *)
 let normalize groups =
-  List.map (List.sort compare) groups |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
+  List.map
+    (fun g -> if Kf_fusion.Plan.is_sorted_strict g then g else List.sort Int.compare g)
+    groups
+  |> List.sort (fun a b -> Int.compare (List.hd a) (List.hd b))
 
 let exec_of obj = (Objective.inputs obj).Inputs.exec
 let meta_of obj = (Objective.inputs obj).Inputs.meta
@@ -68,12 +74,124 @@ let condensation_sccs exec groups_arr =
   Array.iteri (fun gi c -> sccs.(c) <- gi :: sccs.(c)) comp;
   Array.to_list sccs
 
-let schedulable_arr exec groups_arr =
-  List.for_all (fun scc -> List.length scc <= 1) (condensation_sccs exec groups_arr)
+(* Structural operators are pure functions of the (fixed) execution
+   order, metadata and their arguments, and the GA re-asks the same
+   structural questions constantly; on an incremental objective each of
+   the wrappers below memoizes its operator under an exact-order
+   signature (see {!Struct_memo} for why the keys must not be
+   canonicalized).  With memoization off ([--no-incremental]) the raw
+   computation runs every time — the PR 3 behavior. *)
+(* Group-level acyclicity (Kahn's algorithm on bitset adjacency).  Both
+   consumers of [sccs_of] only inspect component {e sizes}, so when the
+   condensation is acyclic any all-singleton component list is
+   behaviorally interchangeable with Kosaraju's — which lets the memo
+   miss path skip the full SCC pass in the (overwhelmingly common)
+   schedulable case. *)
+let group_dag_acyclic succs arr =
+  let ng = Array.length arr in
+  if ng <= 1 || Array.length succs = 0 then true
+  else begin
+    let n = Bitset.universe_size succs.(0) in
+    let out =
+      Array.map
+        (fun g ->
+          let b = Bitset.create n in
+          List.iter (fun u -> Bitset.union_into b succs.(u)) g;
+          b)
+        arr
+    in
+    let edge i j = i <> j && List.exists (Bitset.mem out.(i)) arr.(j) in
+    let indeg = Array.make ng 0 in
+    for i = 0 to ng - 1 do
+      for j = 0 to ng - 1 do
+        if edge i j then indeg.(j) <- indeg.(j) + 1
+      done
+    done;
+    let queue = ref [] in
+    Array.iteri (fun j d -> if d = 0 then queue := j :: !queue) indeg;
+    let removed = ref 0 in
+    while !queue <> [] do
+      match !queue with
+      | [] -> ()
+      | i :: tl ->
+          queue := tl;
+          incr removed;
+          for j = 0 to ng - 1 do
+            if edge i j then begin
+              indeg.(j) <- indeg.(j) - 1;
+              if indeg.(j) = 0 then queue := j :: !queue
+            end
+          done
+    done;
+    !removed = ng
+  end
 
-let schedulable obj groups = schedulable_arr (exec_of obj) (Array.of_list groups)
+let sccs_of obj exec groups_arr =
+  match Objective.struct_memos obj with
+  | None -> condensation_sccs exec groups_arr
+  | Some m ->
+      Struct_memo.find_or_compute m.Struct_memo.sccs
+        (Struct_memo.encode_groups (Array.to_list groups_arr))
+        (fun () ->
+          if group_dag_acyclic m.Struct_memo.succs groups_arr then
+            List.init (Array.length groups_arr) (fun i -> [ i ])
+          else condensation_sccs exec groups_arr)
 
-let absorbing_merge obj groups seed =
+(* Memo hits return a fresh bitset (the table copies on both sides):
+   callers mutate the closure in place, and a shared cached bitset would
+   be corrupted by the first caller. *)
+let closure_of obj dag bs =
+  match Objective.struct_memos obj with
+  | None -> Dag.path_closure dag bs
+  | Some m ->
+      Struct_memo.find_or_compute_bitset m.Struct_memo.closure bs (fun () ->
+          Dag.path_closure dag bs)
+
+let schedulable obj groups =
+  List.for_all
+    (fun scc -> List.length scc <= 1)
+    (sccs_of obj (exec_of obj) (Array.of_list groups))
+
+(* Group indices (never 0 itself) in a condensation cycle with group 0:
+   [{j | 0 ->+ j and j ->+ 0}] at group granularity, walked directly on
+   the precomputed per-kernel successor bitsets.  Exactly the members of
+   the [condensation_sccs] component containing group 0, minus 0 — but
+   without rebuilding adjacency tables or running a full Kosaraju pass,
+   which dominates the raw merge on small programs. *)
+let cycle_with_zero succs arr =
+  let ng = Array.length arr in
+  if ng <= 1 || Array.length succs = 0 then []
+  else begin
+    let n = Bitset.universe_size succs.(0) in
+    let out =
+      Array.map
+        (fun g ->
+          let b = Bitset.create n in
+          List.iter (fun u -> Bitset.union_into b succs.(u)) g;
+          b)
+        arr
+    in
+    let edge i j = i <> j && List.exists (Bitset.mem out.(i)) arr.(j) in
+    let fwd = Array.make ng false in
+    let bwd = Array.make ng false in
+    let rec dfs seen via i =
+      for j = 0 to ng - 1 do
+        if (not seen.(j)) && via i j then begin
+          seen.(j) <- true;
+          dfs seen via j
+        end
+      done
+    in
+    dfs fwd (fun i j -> edge i j) 0;
+    dfs bwd (fun i j -> edge j i) 0;
+    let acc = ref [] in
+    for j = ng - 1 downto 1 do
+      if fwd.(j) && bwd.(j) then acc := j :: !acc
+    done;
+    !acc
+  end
+
+let absorbing_merge_raw obj groups seed =
   let exec = exec_of obj in
   let dag = Exec_order.dag exec in
   let n = Dag.num_nodes dag in
@@ -83,7 +201,7 @@ let absorbing_merge obj groups seed =
   while not !stable do
     (* Close under the path constraint, then absorb any group that now
        intersects the closure; repeat until nothing more is pulled in. *)
-    merged := Dag.path_closure dag !merged;
+    merged := closure_of obj dag !merged;
     let intersecting, untouched =
       List.partition (fun g -> List.exists (Bitset.mem !merged) g) !rest
     in
@@ -96,19 +214,59 @@ let absorbing_merge obj groups seed =
          group (the merge may have created mutual dependencies with
          otherwise-untouched groups). *)
       let arr = Array.of_list (Bitset.to_list !merged :: !rest) in
-      let cyclic = List.find_opt (fun scc -> List.mem 0 scc && List.length scc > 1)
-          (condensation_sccs exec arr)
+      let absorb_idx =
+        match Objective.struct_memos obj with
+        | Some m -> cycle_with_zero m.Struct_memo.succs arr
+        | None -> (
+            match
+              List.find_opt
+                (fun scc -> List.mem 0 scc && List.length scc > 1)
+                (sccs_of obj exec arr)
+            with
+            | None -> []
+            | Some scc -> List.filter (( <> ) 0) scc)
       in
-      match cyclic with
-      | None -> stable := true
-      | Some scc ->
-          let absorb_idx = List.filter (( <> ) 0) scc in
+      match absorb_idx with
+      | [] -> stable := true
+      | _ ->
           List.iter (fun gi -> List.iter (Bitset.add !merged) arr.(gi)) absorb_idx;
-          rest := List.filteri (fun i _ -> not (List.mem (i + 1) scc)) !rest
+          rest := List.filteri (fun i _ -> not (List.mem (i + 1) absorb_idx)) !rest
     end
   done;
   let group = Bitset.to_list !merged in
   if Objective.group_feasible obj group then Some (group, !rest) else None
+
+(* The absorbed member set is a pure set-level fixpoint (closure + cycle
+   absorption), independent of the order of [groups] and [seed], so the
+   memo key is canonical and permuted-but-equal calls collide; only the
+   order-preserving [rest] is rebuilt from the live argument on a hit.
+   Memoizing the merge (feasibility probe included) skips repeat cache
+   probes; with the default unbounded verdict cache the skipped probe
+   would have been a hit, so evaluation counts are unchanged. *)
+let absorbing_merge obj groups seed =
+  match Objective.struct_memos obj with
+  | None -> absorbing_merge_raw obj groups seed
+  | Some m -> begin
+      let merged =
+        Struct_memo.find_or_compute m.Struct_memo.merge
+          (Struct_memo.encode_canonical groups seed)
+          (fun () ->
+            match absorbing_merge_raw obj groups seed with
+            | Some (group, _) -> Some group
+            | None -> None)
+      in
+      match merged with
+      | None -> None
+      | Some group ->
+          (* Same boolean as a bitset membership test, without building
+             the bitset: the merged member list is short and sorted. *)
+          let rec mem_int (k : int) = function
+            | [] -> false
+            | x :: tl -> x = k || mem_int k tl
+          in
+          Some
+            (group, List.filter (fun g -> not (List.exists (fun k -> mem_int k group) g)) groups)
+    end
 
 let repair_schedule obj groups =
   (* Merge every multi-group condensation cycle; if the merged group is
@@ -118,7 +276,7 @@ let repair_schedule obj groups =
   let continue_ = ref true in
   while !continue_ do
     let arr = Array.of_list !result in
-    match List.find_opt (fun scc -> List.length scc > 1) (condensation_sccs (exec_of obj) arr) with
+    match List.find_opt (fun scc -> List.length scc > 1) (sccs_of obj (exec_of obj) arr) with
     | None -> continue_ := false
     | Some scc ->
         let in_scc = List.concat_map (fun gi -> arr.(gi)) scc in
@@ -135,27 +293,56 @@ let merge_pair obj groups a b =
   let others = List.filter (fun g -> g <> a && g <> b) groups in
   absorbing_merge obj others (a @ b)
 
-let kin_adjacent_groups obj groups group =
+let kin_neighbor_list obj group =
   let meta = meta_of obj in
-  let neighbors =
-    List.concat_map (fun k -> Metadata.kin_neighbors meta k) group
-    |> List.sort_uniq compare
-    |> List.filter (fun k -> not (List.mem k group))
-  in
+  List.concat_map (fun k -> Metadata.kin_neighbors meta k) group
+  |> List.sort_uniq compare
+  |> List.filter (fun k -> not (List.mem k group))
+
+let kin_adjacent_raw obj groups group =
+  let neighbors = kin_neighbor_list obj group in
   List.filter (fun g -> g <> group && List.exists (fun k -> List.mem k neighbors) g) groups
+
+(* The adjacency predicate depends only on the probe group's (fixed,
+   metadata-derived) kinship neighbor set, never on the rest of the
+   partition — so the memo caches that set per group, and the
+   order-preserving filter over [groups] runs on every call. *)
+let kin_adjacent_groups obj groups group =
+  match Objective.struct_memos obj with
+  | None -> kin_adjacent_raw obj groups group
+  | Some m ->
+      let nb =
+        Struct_memo.find_or_compute m.Struct_memo.kin
+          (Array.of_list
+             (if Kf_fusion.Plan.is_sorted_strict group then group
+              else List.sort Int.compare group))
+          (fun () ->
+            let n = Dag.num_nodes (Exec_order.dag (exec_of obj)) in
+            Bitset.of_list n (kin_neighbor_list obj group))
+      in
+      List.filter (fun g -> g <> group && List.exists (Bitset.mem nb) g) groups
 
 let random_plan obj rng ?merge_attempts n =
   let attempts = match merge_attempts with Some a -> a | None -> 2 * n in
   let groups = ref (List.init n (fun k -> [ k ])) in
+  (* Kept in sync with [groups]; most attempts mutate nothing, so the
+     array is only rebuilt after an accepted merge. *)
+  let arr = ref (Array.of_list !groups) in
   for _ = 1 to attempts do
-    let arr = Array.of_list !groups in
-    if Array.length arr >= 2 then begin
-      let g = Rng.choose rng arr in
+    if Array.length !arr >= 2 then begin
+      let g = Rng.choose rng !arr in
       match kin_adjacent_groups obj !groups g with
       | [] -> ()
       | candidates -> begin
           let partner = Rng.choose rng (Array.of_list candidates) in
-          match merge_pair obj !groups g partner with
+          (* Deliberately the raw merge, not the memoized one: initial
+             plans are drawn from novel random partitions, so memo probes
+             at this site rarely hit and their key encoding outweighs the
+             (fast-cycle-check) merge itself — and every probe would also
+             pollute the table crossover relies on.  Memoization is
+             result-invisible, so this is a throughput choice only. *)
+          let others = List.filter (fun g' -> g' <> g && g' <> partner) !groups in
+          match absorbing_merge_raw obj others (g @ partner) with
           | Some (merged, rest) ->
               (* Keep the merge only when the model likes it at least half
                  the time; always-greedy initial populations collapse into
@@ -163,7 +350,10 @@ let random_plan obj rng ?merge_attempts n =
               let keep =
                 Objective.group_profitable obj merged || Rng.chance rng 0.25
               in
-              if keep then groups := merged :: rest
+              if keep then begin
+                groups := merged :: rest;
+                arr := Array.of_list !groups
+              end
           | None -> ()
         end
     end
@@ -286,7 +476,7 @@ let swap_pass obj current =
     (multi ());
   !improved
 
-let local_refine ?(max_passes = 3) obj groups =
+let local_refine_raw ~max_passes obj groups =
   let n = List.fold_left (fun acc g -> acc + List.length g) 0 groups in
   let current = ref groups in
   let improved = ref true in
@@ -298,6 +488,19 @@ let local_refine ?(max_passes = 3) obj groups =
     if n <= 48 then improved := swap_pass obj current || !improved
   done;
   normalize !current
+
+(* Refinement is deterministic in its input and the GA refines the
+   generation champion every generation — which rarely changes between
+   improvements, so repeat refinements of the same (exact-order) plan
+   are hits.  The objective probes a hit skips would all be cache hits
+   themselves, so evaluation counts are unchanged. *)
+let local_refine ?(max_passes = 3) obj groups =
+  match Objective.struct_memos obj with
+  | None -> local_refine_raw ~max_passes obj groups
+  | Some m ->
+      Struct_memo.find_or_compute m.Struct_memo.refine
+        (Struct_memo.encode_groups_with groups [ max_passes ])
+        (fun () -> local_refine_raw ~max_passes obj groups)
 
 let enforce_profitability obj groups =
   normalize

@@ -3,6 +3,26 @@ module Pool = Kf_util.Pool
 module Inputs = Kf_model.Inputs
 module Program = Kf_ir.Program
 
+(* Plan-identity hash table for duplicate suppression: keyed by the
+   canonical plan signature (a flat int array) rather than the group
+   list itself, so probing hashes a small array with the fixed
+   polynomial instead of walking a nested list with the polymorphic
+   hash.  Two plans share a signature exactly when they are equal as
+   partitions, so dedup decisions are unchanged. *)
+module Seen = Hashtbl.Make (struct
+  type t = int array
+
+  let equal (a : int array) (b : int array) =
+    a == b
+    || Array.length a = Array.length b
+       &&
+       let n = Array.length a in
+       let rec go i = i >= n || (Array.unsafe_get a i = Array.unsafe_get b i && go (i + 1)) in
+       go 0
+
+  let hash = Kf_fusion.Plan.signature_hash
+end)
+
 type params = {
   population_size : int;
   max_generations : int;
@@ -71,6 +91,8 @@ type stats = {
   improvement_history : (int * float) list;
   stop : stop_reason;
   faults : Objective.fault_stats;
+  group_cache : Objective.cache_stats;
+  plan_cache : Objective.cache_stats;
 }
 
 type result = {
@@ -80,9 +102,21 @@ type result = {
   stats : stats;
 }
 
-type individual = { groups : Grouping.groups; cost : float }
+(* [eval] carries the individual's whole-plan evaluation on an
+   incremental objective; offspring pass it as the delta base so
+   unchanged groups skip the shared cache ([None] on the full path). *)
+type individual = {
+  groups : Grouping.groups;
+  cost : float;
+  eval : Objective.plan_eval option;
+}
 
-let make_individual obj groups = { groups; cost = Objective.plan_cost obj groups }
+let make_individual ?base obj groups =
+  if Objective.incremental obj then begin
+    let pe = Objective.eval_plan obj ?base groups in
+    { groups; cost = Objective.plan_eval_total pe; eval = Some pe }
+  end
+  else { groups; cost = Objective.plan_cost obj groups; eval = None }
 
 let tournament obj rng pop size =
   ignore obj;
@@ -208,22 +242,26 @@ let step_island obj params ~n ~incumbent_cost ?child_pool st =
      fan out over domains without changing the result. *)
   let child_rngs = Array.init n_children (fun _ -> Rng.split st.irng) in
   let snapshot = st.ipop in
+  (* A child also reports its delta base: the receiving parent's plan
+     evaluation.  Crossover and mutation touch one or two groups, so the
+     child's evaluation resolves everything else from the base table. *)
   let build_child idx =
     let crng = child_rngs.(idx) in
-    if idx >= n_children - fresh then Grouping.random_plan obj crng n
+    if idx >= n_children - fresh then (Grouping.random_plan obj crng n, None)
     else begin
       let p1 = tournament obj crng snapshot params.tournament_size in
       let p2 = tournament obj crng snapshot params.tournament_size in
       let g =
         if Rng.chance crng params.crossover_rate then crossover obj crng p1 p2 else p1.groups
       in
-      if Rng.chance crng params.mutation_rate then mutate obj crng g else g
+      let g = if Rng.chance crng params.mutation_rate then mutate obj crng g else g in
+      (g, p1.eval)
     end
   in
   let raw_children =
     match child_pool with
     | Some pool when n_children >= 2 * Pool.size pool ->
-        let out = Array.make n_children [] in
+        let out = Array.make n_children ([], None) in
         let workers = Pool.size pool in
         Pool.run pool (fun w ->
             let i = ref w in
@@ -237,20 +275,22 @@ let step_island obj params ~n ~incumbent_cost ?child_pool st =
   (* Duplicate suppression (sequential in both modes, so results match):
      a population of champion clones stops searching — crossover of
      identical parents is the identity. *)
-  let seen = Hashtbl.create st.isize in
-  List.iter (fun ind -> Hashtbl.replace seen (Grouping.normalize ind.groups) ()) elites;
+  let seen = Seen.create st.isize in
+  List.iter
+    (fun ind -> Seen.replace seen (Kf_fusion.Plan.plan_signature ind.groups) ())
+    elites;
   let next = ref elites in
   Array.iteri
-    (fun idx child ->
+    (fun idx (child, base) ->
       let crng = child_rngs.(idx) in
       let rec unique attempts g =
-        let key = Grouping.normalize g in
-        if (not (Hashtbl.mem seen key)) || attempts = 0 then g
+        let key = Kf_fusion.Plan.plan_signature g in
+        if (not (Seen.mem seen key)) || attempts = 0 then g
         else unique (attempts - 1) (mutate obj crng g)
       in
       let child = unique 3 child in
-      Hashtbl.replace seen (Grouping.normalize child) ();
-      next := make_individual obj child :: !next)
+      Seen.replace seen (Kf_fusion.Plan.plan_signature child) ();
+      next := make_individual ?base obj child :: !next)
     raw_children;
   st.ipop <- Array.of_list !next;
   let gen_best =
@@ -263,7 +303,9 @@ let step_island obj params ~n ~incumbent_cost ?child_pool st =
      On large instances the full neighborhood is too expensive per
      generation; a single final pass runs after the loop instead. *)
   if n <= 64 && gen_best.cost < incumbent_cost -. 1e-15 then begin
-    let refined = make_individual obj (Grouping.local_refine obj gen_best.groups) in
+    let refined =
+      make_individual ?base:gen_best.eval obj (Grouping.local_refine obj gen_best.groups)
+    in
     if refined.cost < gen_best.cost then begin
       st.ipop.(0) <- refined;
       refined
@@ -398,7 +440,9 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
   (match resumed with
   | Some snap ->
       Objective.add_evaluations obj snap.Snapshot.evaluations;
-      Objective.add_faults obj snap.Snapshot.faults
+      Objective.add_faults obj snap.Snapshot.faults;
+      Objective.add_cache_stats obj ~group:snap.Snapshot.group_cache
+        ~plan:snap.Snapshot.plan_cache
   | None -> ());
   let wall_now () = base_wall +. (Unix.gettimeofday () -. start) in
   let all_individuals () = Array.concat (Array.to_list (Array.map (fun st -> st.ipop) islands)) in
@@ -438,6 +482,8 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
             wall_time_s = wall_now ();
             faults = Objective.fault_snapshot obj;
             migration_cursor = !migration_cursor;
+            group_cache = Objective.cache_stats obj;
+            plan_cache = Objective.plan_cache_stats obj;
             best = !best.groups;
             history = List.rev !history;
             islands =
@@ -495,7 +541,7 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
        so a fixed island count gives bit-identical results for any worker
        count. *)
     let incumbent_cost = !best.cost in
-    let gen_bests = Array.make k_islands { groups = identity; cost = infinity } in
+    let gen_bests = Array.make k_islands { groups = identity; cost = infinity; eval = None } in
     (if k_islands = 1 then
        gen_bests.(0) <-
          step_island obj params ~n ~incumbent_cost ?child_pool:pool islands.(0)
@@ -595,6 +641,8 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
             ("wall_s", Json.Float (wall_now ()));
             ("faults_injected", Json.Int f.Objective.injected);
             ("faults_quarantined", Json.Int f.Objective.quarantined);
+            ("group_cache_hits", Json.Int (Objective.cache_stats obj).Objective.hits);
+            ("plan_cache_hits", Json.Int (Objective.plan_cache_stats obj).Objective.hits);
             ("checkpointed", Json.Bool checkpointed);
           ]
         "generation"
@@ -648,5 +696,7 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
         improvement_history = List.rev !history;
         stop = stop_reason;
         faults = Objective.fault_snapshot obj;
+        group_cache = Objective.cache_stats obj;
+        plan_cache = Objective.plan_cache_stats obj;
       };
   }

@@ -99,6 +99,12 @@ type stats = {
   faults : Objective.fault_stats;
       (** snapshot of the objective's fault accounting (all zero when no
           guard is installed) *)
+  group_cache : Objective.cache_stats;
+      (** group-cache counters at the end of the run, cumulative across
+          resumes (Snapshot v4 persists them) *)
+  plan_cache : Objective.cache_stats;
+      (** plan-level cache counters (all zero on [--no-incremental]
+          runs) *)
 }
 
 type result = {

@@ -1,5 +1,6 @@
 module Inputs = Kf_model.Inputs
 module Fused = Kf_fusion.Fused
+module Plan = Kf_fusion.Plan
 module Metadata = Kf_ir.Metadata
 module Device = Kf_gpu.Device
 module Exec_order = Kf_graph.Exec_order
@@ -34,35 +35,256 @@ type guard = (int list -> verdict) -> int list -> verdict
 
 type cache_stats = { hits : int; misses : int; evictions : int; size : int }
 
-(* One stripe of the memo table.  The cache is shared by every island and
-   worker domain of the GA, so a single global lock serializes the whole
-   search on its hottest path; striping the table over independently
-   locked shards lets concurrent lookups of different keys proceed in
-   parallel, and the per-shard in-flight set makes concurrent misses on
-   the *same* key evaluate it exactly once (losers wait on the shard's
-   condition variable for the winner's verdict). *)
-type shard = {
-  s_lock : Mutex.t;
-  s_cond : Condition.t;
-  s_cache : (string, verdict) Hashtbl.t;
-  s_order : string Queue.t;  (* insertion order, for FIFO eviction *)
-  s_inflight : (string, unit) Hashtbl.t;
-  s_capacity : int option;  (* this shard's slice of the global capacity *)
-  mutable s_hits : int;
-  mutable s_misses : int;
-  mutable s_evictions : int;
-  m_shard_hits : Kf_obs.Metrics.counter;
-  m_shard_misses : Kf_obs.Metrics.counter;
-  m_shard_evictions : Kf_obs.Metrics.counter;
+let zero_cache_stats = { hits = 0; misses = 0; evictions = 0; size = 0 }
+
+let add_stats a b =
+  {
+    hits = a.hits + b.hits;
+    misses = a.misses + b.misses;
+    evictions = a.evictions + b.evictions;
+    size = a.size + b.size;
+  }
+
+(* One stripe of a verdict memo table.  The cache is shared by every
+   island and worker domain of the GA, so a single global lock serializes
+   the whole search on its hottest path; striping the table over
+   independently locked shards lets concurrent lookups of different keys
+   proceed in parallel, and the per-shard in-flight set makes concurrent
+   misses on the *same* key evaluate it exactly once (losers wait on the
+   shard's condition variable for the winner's verdict).
+
+   The machinery is a functor because the objective keeps two such
+   tables: the PR 3 string-keyed table (the [--no-incremental] escape
+   hatch, byte-for-byte the old behavior) and the signature-keyed group
+   cache of the incremental path, whose int-array keys skip string
+   building and per-character hashing on every probe. *)
+module Verdict_cache (K : Hashtbl.HashedType) = struct
+  module H = Hashtbl.Make (K)
+
+  type shard = {
+    s_lock : Mutex.t;
+    s_cond : Condition.t;
+    s_cache : verdict H.t;
+    s_order : K.t Queue.t;  (* insertion order, for FIFO eviction *)
+    s_inflight : unit H.t;
+    s_capacity : int option;  (* this shard's slice of the global capacity *)
+    mutable s_hits : int;
+    mutable s_misses : int;
+    mutable s_evictions : int;
+    m_shard_hits : Kf_obs.Metrics.counter;
+    m_shard_misses : Kf_obs.Metrics.counter;
+    m_shard_evictions : Kf_obs.Metrics.counter;
+  }
+
+  type t = {
+    shards : shard array;
+    m_hits : Kf_obs.Metrics.counter;
+    m_misses : Kf_obs.Metrics.counter;
+    m_evictions : Kf_obs.Metrics.counter;
+  }
+
+  (* A capacity smaller than the stripe count would leave shards with no
+     budget at all; the caller clamps the stripe count so every shard
+     holds >= 1 entry and the per-shard slices sum exactly to the
+     configured capacity. *)
+  let create ~prefix ~capacity ~shards =
+    let shard_capacity i =
+      match capacity with
+      | None -> None
+      | Some c -> Some ((c / shards) + if i < c mod shards then 1 else 0)
+    in
+    {
+      shards =
+        Array.init shards (fun i ->
+            {
+              s_lock = Mutex.create ();
+              s_cond = Condition.create ();
+              s_cache = H.create 512;
+              s_order = Queue.create ();
+              s_inflight = H.create 8;
+              s_capacity = shard_capacity i;
+              s_hits = 0;
+              s_misses = 0;
+              s_evictions = 0;
+              m_shard_hits =
+                Kf_obs.Metrics.counter (Printf.sprintf "%s_hits.shard%02d" prefix i);
+              m_shard_misses =
+                Kf_obs.Metrics.counter (Printf.sprintf "%s_misses.shard%02d" prefix i);
+              m_shard_evictions =
+                Kf_obs.Metrics.counter (Printf.sprintf "%s_evictions.shard%02d" prefix i);
+            });
+      m_hits = Kf_obs.Metrics.counter (prefix ^ "_hits");
+      m_misses = Kf_obs.Metrics.counter (prefix ^ "_misses");
+      m_evictions = Kf_obs.Metrics.counter (prefix ^ "_evictions");
+    }
+
+  let insert_locked t s k v =
+    H.remove s.s_inflight k;
+    if not (H.mem s.s_cache k) then begin
+      (* FIFO eviction keeps the memo table bounded when a capacity is
+         configured; re-evaluating an evicted group is pure, so eviction
+         costs time, never correctness. *)
+      (match s.s_capacity with
+      | Some cap ->
+          while H.length s.s_cache >= cap do
+            match Queue.take_opt s.s_order with
+            | Some victim ->
+                H.remove s.s_cache victim;
+                s.s_evictions <- s.s_evictions + 1;
+                Kf_obs.Metrics.incr t.m_evictions;
+                Kf_obs.Metrics.incr s.m_shard_evictions
+            | None -> H.reset s.s_cache
+          done
+      | None -> ());
+      Queue.add k s.s_order;
+      H.replace s.s_cache k v
+    end;
+    (* Wake every domain parked on this shard: waiters re-probe and find
+       the fresh entry (or, if it was already evicted again, claim the
+       key). *)
+    Condition.broadcast s.s_cond
+
+  (* [count_eval] fires when this probe wins the in-flight slot (the
+     exactly-once evaluation accounting point); [eval] produces the
+     verdict outside any lock (evaluation is pure). *)
+  let lookup t ~key ~count_eval ~eval =
+    let s = t.shards.(K.hash key mod Array.length t.shards) in
+    Mutex.lock s.s_lock;
+    let rec probe () =
+      match H.find_opt s.s_cache key with
+      | Some v ->
+          (* Every probe resolves as exactly one hit or one miss,
+             including probes that waited for an in-flight evaluation —
+             so across shards, hits + misses always equals total
+             lookups. *)
+          s.s_hits <- s.s_hits + 1;
+          Mutex.unlock s.s_lock;
+          Kf_obs.Metrics.incr t.m_hits;
+          Kf_obs.Metrics.incr s.m_shard_hits;
+          v
+      | None ->
+          if H.mem s.s_inflight key then begin
+            (* Another domain is already evaluating this key; wait for
+               its verdict instead of duplicating the evaluation. *)
+            Condition.wait s.s_cond s.s_lock;
+            probe ()
+          end
+          else begin
+            H.replace s.s_inflight key ();
+            s.s_misses <- s.s_misses + 1;
+            Mutex.unlock s.s_lock;
+            Kf_obs.Metrics.incr t.m_misses;
+            Kf_obs.Metrics.incr s.m_shard_misses;
+            (* Exactly-once evaluation accounting: the increment is tied
+               to winning the in-flight slot, so concurrent duplicate
+               misses — which grow with the domain count — can no longer
+               burn --budget-evals faster than real evaluations happen,
+               and fault-rate denominators stay scheduling-independent. *)
+            count_eval ();
+            let v =
+              match eval () with
+              | v -> v
+              | exception e ->
+                  (* Release the slot so waiters do not hang on a key
+                     whose evaluation escaped the guard. *)
+                  Mutex.lock s.s_lock;
+                  H.remove s.s_inflight key;
+                  Condition.broadcast s.s_cond;
+                  Mutex.unlock s.s_lock;
+                  raise e
+            in
+            Mutex.lock s.s_lock;
+            insert_locked t s key v;
+            Mutex.unlock s.s_lock;
+            v
+          end
+    in
+    probe ()
+
+  let shard_stats_locked s =
+    {
+      hits = s.s_hits;
+      misses = s.s_misses;
+      evictions = s.s_evictions;
+      size = H.length s.s_cache;
+    }
+
+  let shard_stats t =
+    Array.map
+      (fun s ->
+        Mutex.lock s.s_lock;
+        let st = shard_stats_locked s in
+        Mutex.unlock s.s_lock;
+        st)
+      t.shards
+
+  let stats t = Array.fold_left add_stats zero_cache_stats (shard_stats t)
+end
+
+module String_cache = Verdict_cache (struct
+  type t = string
+
+  let equal = String.equal
+
+  (* Deliberately not Hashtbl.hash: the shard of a key must not depend on
+     runtime hashing parameters (OCAMLRUNPARAM=R), so a plain polynomial
+     string hash keeps the striping reproducible everywhere. *)
+  let hash k =
+    let h = ref 0 in
+    String.iter (fun c -> h := ((!h * 31) + Char.code c) land max_int) k;
+    !h
+end)
+
+module Sig_cache = Verdict_cache (struct
+  type t = int array
+
+  let equal = ( = )
+  let hash = Plan.signature_hash
+end)
+
+(* ---- plan-level cache --------------------------------------------------- *)
+
+(* One whole-plan evaluation: the canonical-order total and each
+   multi-member group's cost.  Offspring diff their groups against the
+   parent's [pe_costs] table, so unchanged groups cost one hashtable find
+   instead of a shared-cache probe. *)
+type plan_eval = {
+  pe_total : float;
+  pe_costs : (int list, float) Hashtbl.t;  (* canonical group -> cost; multi-member only *)
+}
+
+let plan_eval_total pe = pe.pe_total
+
+module PH = Hashtbl.Make (struct
+  type t = int array
+
+  let equal = ( = )
+  let hash = Plan.signature_hash
+end)
+
+type plan_shard = {
+  p_lock : Mutex.t;
+  p_cache : plan_eval PH.t;
+  p_order : int array Queue.t;
+  p_capacity : int option;
+  mutable p_hits : int;
+  mutable p_misses : int;
+  mutable p_evictions : int;
 }
 
 type t = {
   inputs : Inputs.t;
   model : model;
-  shards : shard array;
+  incremental : bool;
+  scache : String_cache.t;  (* PR 3 path: active when [not incremental] *)
+  gcache : Sig_cache.t;  (* signature-keyed group cache: incremental path *)
+  plans : plan_shard array;  (* plan-level cache above the group cache *)
+  memos : Struct_memo.memos option;  (* structural-operator memos, incremental only *)
   stats_lock : Mutex.t;  (* guards the cross-shard mutable counters below *)
   mutable evaluations : int;
   mutable eval_time_s : float;
+  mutable base_group : cache_stats;  (* resume seed for group-cache stats *)
+  mutable base_plan : cache_stats;  (* resume seed for plan-cache stats *)
   time_counter : Kf_obs.Metrics.counter;
   guard : guard;
   fault_record : fault_stats;
@@ -71,10 +293,10 @@ type t = {
 (* Process-wide telemetry counters; no-ops unless Kf_obs.Metrics is
    enabled.  The per-objective cache_stats fields are maintained
    unconditionally — they live under shard locks that are taken anyway. *)
-let m_hits = Kf_obs.Metrics.counter "objective.cache_hits"
-let m_misses = Kf_obs.Metrics.counter "objective.cache_misses"
-let m_evictions = Kf_obs.Metrics.counter "objective.cache_evictions"
 let m_evals = Kf_obs.Metrics.counter "objective.evaluations"
+let m_plan_hits = Kf_obs.Metrics.counter "objective.plan_cache_hits"
+let m_plan_misses = Kf_obs.Metrics.counter "objective.plan_cache_misses"
+let m_plan_evictions = Kf_obs.Metrics.counter "objective.plan_cache_evictions"
 
 let model_name = function
   | Proposed -> "proposed"
@@ -83,49 +305,66 @@ let model_name = function
   | Mwp -> "mwp"
 
 let default_shards = 16
+let default_plan_shards = 8
 
 let create ?(model = Proposed) ?(guard = fun eval group -> eval group)
-    ?(faults = zero_faults ()) ?cache_capacity ?(cache_shards = default_shards) inputs =
+    ?(faults = zero_faults ()) ?cache_capacity ?(cache_shards = default_shards)
+    ?plan_cache_capacity ?(incremental = true) inputs =
   (match cache_capacity with
   | Some c when c < 1 -> invalid_arg "Objective.create: cache_capacity must be positive"
   | _ -> ());
+  (match plan_cache_capacity with
+  | Some c when c < 1 ->
+      invalid_arg "Objective.create: plan_cache_capacity must be positive"
+  | _ -> ());
   if cache_shards < 1 then invalid_arg "Objective.create: cache_shards must be positive";
-  (* A capacity smaller than the stripe count would leave shards with no
-     budget at all; cap the stripe count so every shard holds >= 1 entry
-     and the per-shard slices sum exactly to the configured capacity. *)
   let n_shards =
     match cache_capacity with Some c -> min cache_shards c | None -> cache_shards
   in
-  let shard_capacity i =
-    match cache_capacity with
+  let n_plan_shards =
+    match plan_cache_capacity with
+    | Some c -> min default_plan_shards c
+    | None -> default_plan_shards
+  in
+  let plan_capacity i =
+    match plan_cache_capacity with
     | None -> None
-    | Some c -> Some ((c / n_shards) + if i < c mod n_shards then 1 else 0)
+    | Some c -> Some ((c / n_plan_shards) + if i < c mod n_plan_shards then 1 else 0)
   in
   {
     inputs;
     model;
-    shards =
-      Array.init n_shards (fun i ->
+    incremental;
+    scache = String_cache.create ~prefix:"objective.cache" ~capacity:cache_capacity ~shards:n_shards;
+    gcache =
+      Sig_cache.create ~prefix:"objective.group_cache" ~capacity:cache_capacity
+        ~shards:n_shards;
+    plans =
+      Array.init n_plan_shards (fun i ->
           {
-            s_lock = Mutex.create ();
-            s_cond = Condition.create ();
-            s_cache = Hashtbl.create 512;
-            s_order = Queue.create ();
-            s_inflight = Hashtbl.create 8;
-            s_capacity = shard_capacity i;
-            s_hits = 0;
-            s_misses = 0;
-            s_evictions = 0;
-            m_shard_hits =
-              Kf_obs.Metrics.counter (Printf.sprintf "objective.cache_hits.shard%02d" i);
-            m_shard_misses =
-              Kf_obs.Metrics.counter (Printf.sprintf "objective.cache_misses.shard%02d" i);
-            m_shard_evictions =
-              Kf_obs.Metrics.counter (Printf.sprintf "objective.cache_evictions.shard%02d" i);
+            p_lock = Mutex.create ();
+            p_cache = PH.create 512;
+            p_order = Queue.create ();
+            p_capacity = plan_capacity i;
+            p_hits = 0;
+            p_misses = 0;
+            p_evictions = 0;
           });
+    memos =
+      (if incremental then begin
+         let dag = Exec_order.dag inputs.Inputs.exec in
+         let nk = Kf_graph.Dag.num_nodes dag in
+         let succs =
+           Array.init nk (fun u -> Kf_util.Bitset.of_list nk (Kf_graph.Dag.succs dag u))
+         in
+         Some (Struct_memo.create_memos ~succs ())
+       end
+       else None);
     stats_lock = Mutex.create ();
     evaluations = 0;
     eval_time_s = 0.;
+    base_group = zero_cache_stats;
+    base_plan = zero_cache_stats;
     time_counter = Kf_obs.Metrics.counter ("objective.eval_us." ^ model_name model);
     guard;
     fault_record = faults;
@@ -133,17 +372,11 @@ let create ?(model = Proposed) ?(guard = fun eval group -> eval group)
 
 let inputs t = t.inputs
 let model t = t.model
-let num_shards t = Array.length t.shards
+let incremental t = t.incremental
+let struct_memos t = t.memos
+let num_shards t = Array.length t.scache.String_cache.shards
 
-let key group = String.concat "," (List.map string_of_int (List.sort compare group))
-
-(* Deliberately not Hashtbl.hash: the shard of a key must not depend on
-   runtime hashing parameters (OCAMLRUNPARAM=R), so a plain polynomial
-   string hash keeps the striping reproducible everywhere. *)
-let shard_of t k =
-  let h = ref 0 in
-  String.iter (fun c -> h := ((!h * 31) + Char.code c) land max_int) k;
-  t.shards.(!h mod Array.length t.shards)
+let string_key sorted_group = String.concat "," (List.map string_of_int sorted_group)
 
 let project t f =
   match t.model with
@@ -198,90 +431,47 @@ let run_evaluation t group =
   end
   else t.guard (evaluate t) group
 
-let insert_locked s k v =
-  Hashtbl.remove s.s_inflight k;
-  if not (Hashtbl.mem s.s_cache k) then begin
-    (* FIFO eviction keeps the memo table bounded when a capacity is
-       configured; re-evaluating an evicted group is pure, so eviction
-       costs time, never correctness. *)
-    (match s.s_capacity with
-    | Some cap ->
-        while Hashtbl.length s.s_cache >= cap do
-          match Queue.take_opt s.s_order with
-          | Some victim ->
-              Hashtbl.remove s.s_cache victim;
-              s.s_evictions <- s.s_evictions + 1;
-              Kf_obs.Metrics.incr m_evictions;
-              Kf_obs.Metrics.incr s.m_shard_evictions
-          | None -> Hashtbl.reset s.s_cache
-        done
-    | None -> ());
-    Queue.add k s.s_order;
-    Hashtbl.replace s.s_cache k v
-  end;
-  (* Wake every domain parked on this shard: waiters re-probe and find the
-     fresh entry (or, if it was already evicted again, claim the key). *)
-  Condition.broadcast s.s_cond
+let count_evaluation t group () =
+  match group with
+  | [ _ ] -> ()
+  | _ ->
+      Mutex.lock t.stats_lock;
+      t.evaluations <- t.evaluations + 1;
+      Mutex.unlock t.stats_lock;
+      Kf_obs.Metrics.incr m_evals
+
+(* Both cache paths evaluate the canonically sorted group, so a verdict
+   never depends on which member ordering reached the cache first — the
+   evaluation itself sums original runtimes in member order, and the
+   incremental and full paths must agree to the last bit. *)
+let lookup_string t group =
+  let sorted = List.sort compare group in
+  String_cache.lookup t.scache ~key:(string_key sorted)
+    ~count_eval:(count_evaluation t group)
+    ~eval:(fun () -> run_evaluation t sorted)
+
+(* Incremental-path probe of a multi-member group already in canonical
+   member order. *)
+let lookup_sig t sorted_group =
+  Sig_cache.lookup t.gcache
+    ~key:(Array.of_list sorted_group)
+    ~count_eval:(count_evaluation t sorted_group)
+    ~eval:(fun () -> run_evaluation t sorted_group)
 
 let lookup t group =
-  let k = key group in
-  let s = shard_of t k in
-  Mutex.lock s.s_lock;
-  let rec probe () =
-    match Hashtbl.find_opt s.s_cache k with
-    | Some v ->
-        (* Every probe resolves as exactly one hit or one miss, including
-           probes that waited for an in-flight evaluation — so across
-           shards, hits + misses always equals total lookups. *)
-        s.s_hits <- s.s_hits + 1;
-        Mutex.unlock s.s_lock;
-        Kf_obs.Metrics.incr m_hits;
-        Kf_obs.Metrics.incr s.m_shard_hits;
-        v
-    | None ->
-        if Hashtbl.mem s.s_inflight k then begin
-          (* Another domain is already evaluating this key; wait for its
-             verdict instead of duplicating the evaluation. *)
-          Condition.wait s.s_cond s.s_lock;
-          probe ()
-        end
-        else begin
-          Hashtbl.replace s.s_inflight k ();
-          s.s_misses <- s.s_misses + 1;
-          Mutex.unlock s.s_lock;
-          Kf_obs.Metrics.incr m_misses;
-          Kf_obs.Metrics.incr s.m_shard_misses;
-          (* Exactly-once evaluation accounting: the increment is tied to
-             winning the in-flight slot, so concurrent duplicate misses —
-             which grow with the domain count — can no longer burn
-             --budget-evals faster than real evaluations happen, and
-             fault-rate denominators stay scheduling-independent. *)
-          (match group with
-          | [ _ ] -> ()
-          | _ ->
-              Mutex.lock t.stats_lock;
-              t.evaluations <- t.evaluations + 1;
-              Mutex.unlock t.stats_lock;
-              Kf_obs.Metrics.incr m_evals);
-          let v =
-            match run_evaluation t group with
-            | v -> v
-            | exception e ->
-                (* Release the slot so waiters do not hang on a key whose
-                   evaluation escaped the guard. *)
-                Mutex.lock s.s_lock;
-                Hashtbl.remove s.s_inflight k;
-                Condition.broadcast s.s_cond;
-                Mutex.unlock s.s_lock;
-                raise e
-          in
-          Mutex.lock s.s_lock;
-          insert_locked s k v;
-          Mutex.unlock s.s_lock;
-          v
-        end
-  in
-  probe ()
+  if t.incremental then
+    match group with
+    | [ k ] ->
+        (* Singletons carry their measured runtime and are feasible by
+           definition; the incremental path answers them from the inputs
+           array without touching the cache (they are never counted as
+           evaluations on either path, so only cache traffic differs). *)
+        let cost = t.inputs.Inputs.measured_runtime.(k) in
+        { feasible = true; cost; orig_sum = cost }
+    | _ ->
+        lookup_sig t
+          (if Plan.is_sorted_strict group then group else List.sort Int.compare group)
+  else lookup_string t group
 
 let group_feasible t group = (lookup t group).feasible
 let group_cost t group = (lookup t group).cost
@@ -293,8 +483,85 @@ let group_profitable t group =
       let v = lookup t group in
       v.feasible && v.cost < v.orig_sum
 
+(* ---- plan-level evaluation ---------------------------------------------- *)
+
+let plan_shard_of t psig = t.plans.(Plan.signature_hash psig mod Array.length t.plans)
+
+let plan_insert s psig pe =
+  Mutex.lock s.p_lock;
+  if not (PH.mem s.p_cache psig) then begin
+    (match s.p_capacity with
+    | Some cap ->
+        while PH.length s.p_cache >= cap do
+          match Queue.take_opt s.p_order with
+          | Some victim ->
+              PH.remove s.p_cache victim;
+              s.p_evictions <- s.p_evictions + 1;
+              Kf_obs.Metrics.incr m_plan_evictions
+          | None -> PH.reset s.p_cache
+        done
+    | None -> ());
+    Queue.add psig s.p_order;
+    PH.replace s.p_cache psig pe
+  end;
+  Mutex.unlock s.p_lock
+
+(* Evaluate a whole plan through the two-level cache.  The canonical
+   total is summed in canonical group order on every path — including
+   the non-incremental [plan_cost] below — so a permuted-but-equal plan
+   hitting the plan cache returns a bit-identical total, and the
+   [--no-incremental] escape hatch reproduces the same floats.
+
+   [base] is the parent's evaluation: groups the genetic operator left
+   untouched are found in [base.pe_costs] and skip the shared cache
+   entirely.  With unbounded caches this changes no evaluation counts —
+   every group in [base] was itself resolved through the shared cache
+   when the parent was evaluated, so the set of cache misses is the same
+   with delta evaluation on or off.  (Under a configured
+   [cache_capacity], evicted groups are re-evaluated on the full path
+   but not on the delta path, so counts may differ; totals never do.) *)
+let eval_plan t ?base groups =
+  let canon = Plan.canonical_groups groups in
+  let psig = Plan.plan_signature canon in
+  let s = plan_shard_of t psig in
+  Mutex.lock s.p_lock;
+  match PH.find_opt s.p_cache psig with
+  | Some pe ->
+      s.p_hits <- s.p_hits + 1;
+      Mutex.unlock s.p_lock;
+      Kf_obs.Metrics.incr m_plan_hits;
+      pe
+  | None ->
+      s.p_misses <- s.p_misses + 1;
+      Mutex.unlock s.p_lock;
+      Kf_obs.Metrics.incr m_plan_misses;
+      let costs = Hashtbl.create 16 in
+      let total =
+        List.fold_left
+          (fun acc g ->
+            match g with
+            | [ k ] -> acc +. t.inputs.Inputs.measured_runtime.(k)
+            | _ ->
+                let c =
+                  match base with
+                  | Some b -> (
+                      match Hashtbl.find_opt b.pe_costs g with
+                      | Some c -> c
+                      | None -> (lookup_sig t g).cost)
+                  | None -> (lookup_sig t g).cost
+                in
+                Hashtbl.replace costs g c;
+                acc +. c)
+          0. canon
+      in
+      let pe = { pe_total = total; pe_costs = costs } in
+      plan_insert s psig pe;
+      pe
+
 let plan_cost t groups =
-  List.fold_left (fun acc g -> acc +. group_cost t g) 0. groups
+  if t.incremental then (eval_plan t groups).pe_total
+  else
+    List.fold_left (fun acc g -> acc +. group_cost t g) 0. (Plan.canonical_groups groups)
 
 let original_sum t group = Inputs.original_sum t.inputs group
 
@@ -324,26 +591,55 @@ let add_faults t (base : fault_stats) =
   f.quarantined <- f.quarantined + base.quarantined;
   Mutex.unlock t.stats_lock
 
-let shard_stats_locked s =
-  { hits = s.s_hits; misses = s.s_misses; evictions = s.s_evictions;
-    size = Hashtbl.length s.s_cache }
+let add_cache_stats t ~group ~plan =
+  Mutex.lock t.stats_lock;
+  (* The size field of a seed is meaningless (the prior table is gone);
+     only the flow counters accumulate. *)
+  t.base_group <-
+    add_stats t.base_group { group with size = 0 };
+  t.base_plan <- add_stats t.base_plan { plan with size = 0 };
+  Mutex.unlock t.stats_lock
+
+let base_group_stats t =
+  Mutex.lock t.stats_lock;
+  let s = t.base_group in
+  Mutex.unlock t.stats_lock;
+  s
+
+let base_plan_stats t =
+  Mutex.lock t.stats_lock;
+  let s = t.base_plan in
+  Mutex.unlock t.stats_lock;
+  s
 
 let shard_stats t =
-  Array.map
-    (fun s ->
-      Mutex.lock s.s_lock;
-      let st = shard_stats_locked s in
-      Mutex.unlock s.s_lock;
-      st)
-    t.shards
+  if t.incremental then Sig_cache.shard_stats t.gcache
+  else String_cache.shard_stats t.scache
 
 let cache_stats t =
-  Array.fold_left
-    (fun acc s ->
-      { hits = acc.hits + s.hits; misses = acc.misses + s.misses;
-        evictions = acc.evictions + s.evictions; size = acc.size + s.size })
-    { hits = 0; misses = 0; evictions = 0; size = 0 }
-    (shard_stats t)
+  let live =
+    if t.incremental then Sig_cache.stats t.gcache else String_cache.stats t.scache
+  in
+  add_stats live (base_group_stats t)
+
+let plan_cache_stats t =
+  let live =
+    Array.fold_left
+      (fun acc s ->
+        Mutex.lock s.p_lock;
+        let st =
+          {
+            hits = s.p_hits;
+            misses = s.p_misses;
+            evictions = s.p_evictions;
+            size = PH.length s.p_cache;
+          }
+        in
+        Mutex.unlock s.p_lock;
+        add_stats acc st)
+      zero_cache_stats t.plans
+  in
+  add_stats live (base_plan_stats t)
 
 let cache_hit_rate t =
   let s = cache_stats t in

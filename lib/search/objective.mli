@@ -56,26 +56,48 @@ val create :
   ?faults:fault_stats ->
   ?cache_capacity:int ->
   ?cache_shards:int ->
+  ?plan_cache_capacity:int ->
+  ?incremental:bool ->
   Kf_model.Inputs.t ->
   t
 (** Default model: [Proposed]; default guard: identity (no fault
     handling).  [faults] is the accounting record the guard shares with
     this objective so that solvers can surface it in their results.
 
-    The memo table is lock-striped over [cache_shards] independently
-    locked shards (default 16; key-hash selects the shard with a fixed
-    polynomial hash, so striping is independent of runtime hashing
-    parameters).  Concurrent lookups of distinct keys proceed in
+    The group memo table is lock-striped over [cache_shards]
+    independently locked shards (default 16; key-hash selects the shard
+    with a fixed polynomial hash, so striping is independent of runtime
+    hashing parameters).  Concurrent lookups of distinct keys proceed in
     parallel; concurrent misses on the {e same} key evaluate it exactly
     once — losers wait on the shard's in-flight table for the winner's
     memoized verdict.
 
-    [cache_capacity] bounds the memo table with FIFO eviction (default:
-    unbounded); the capacity is sliced across shards (the shard count is
-    clamped to the capacity so each shard holds at least one entry), and
-    evaluation is pure, so eviction only costs recomputation.
-    @raise Invalid_argument if [cache_capacity < 1] or
-    [cache_shards < 1]. *)
+    [cache_capacity] bounds the group memo table with FIFO eviction
+    (default: unbounded); the capacity is sliced across shards (the
+    shard count is clamped to the capacity so each shard holds at least
+    one entry), and evaluation is pure, so eviction only costs
+    recomputation.  [plan_cache_capacity] bounds the plan-level cache
+    the same way.
+
+    [incremental] (default [true]) selects the two-level evaluation
+    pipeline: group verdicts keyed by canonical signatures
+    ({!Kf_fusion.Plan.group_signature}), a plan-level cache above them
+    ({!eval_plan}), a singleton fast path, and memoized structural
+    operators ({!struct_memos}).  With [~incremental:false] the
+    objective evaluates through the original string-keyed table — the
+    [--no-incremental] escape hatch.  Both modes evaluate canonically
+    sorted groups and sum plan costs in canonical group order, so they
+    produce bit-identical costs; with unbounded caches (the default)
+    they also perform identical evaluation counts.
+    @raise Invalid_argument if [cache_capacity < 1],
+    [cache_shards < 1] or [plan_cache_capacity < 1]. *)
+
+val incremental : t -> bool
+(** Whether this objective uses the incremental evaluation pipeline. *)
+
+val struct_memos : t -> Struct_memo.memos option
+(** The structural-operator memo bundle ([Some] exactly when
+    {!incremental}); [Grouping] routes its pure operators through it. *)
 
 val inputs : t -> Kf_model.Inputs.t
 val model : t -> model
@@ -94,7 +116,28 @@ val group_profitable : t -> int list -> bool
     sum.  Singletons are vacuously profitable. *)
 
 val plan_cost : t -> int list list -> float
-(** Σ over groups; [infinity] if any group is infeasible. *)
+(** Σ over groups in canonical group order (so permuted-but-equal plans
+    — and the incremental and full paths — produce bit-identical
+    totals); [infinity] if any group is infeasible.  On an incremental
+    objective this consults the plan-level cache. *)
+
+type plan_eval
+(** One whole-plan evaluation: the canonical-order total plus each
+    multi-member group's cost, reusable as the delta base for offspring
+    evaluations. *)
+
+val eval_plan : t -> ?base:plan_eval -> int list list -> plan_eval
+(** Evaluate a plan through the two-level cache: a canonical plan
+    signature probes the plan-level cache first (permutations of one
+    partition share a signature), and on a miss each multi-member group
+    resolves against [base]'s per-group costs before falling back to
+    the shared group cache — so offspring pay shared-cache traffic only
+    for the groups their genetic operator actually changed.  Totals are
+    bit-identical to {!plan_cost} regardless of [base].  Singletons
+    read the measured-runtime array directly. *)
+
+val plan_eval_total : plan_eval -> float
+(** The plan's canonical-order cost sum. *)
 
 val original_sum : t -> int list -> float
 
@@ -118,8 +161,24 @@ val add_faults : t -> fault_stats -> unit
     support, like {!add_evaluations}). *)
 
 val cache_stats : t -> cache_stats
-(** Memo-table counters aggregated over all shards (each shard is
-    snapshotted under its own lock). *)
+(** Group-cache counters aggregated over all shards (each shard is
+    snapshotted under its own lock), for whichever group table the mode
+    uses: the signature-keyed cache when {!incremental}, the string-keyed
+    table otherwise.  On the incremental path singleton probes bypass
+    the cache, so only multi-member traffic is counted there.  Includes
+    counts seeded by {!add_cache_stats}. *)
+
+val plan_cache_stats : t -> cache_stats
+(** Plan-level cache counters (all zero on a non-incremental objective
+    that never ran {!eval_plan}).  Includes counts seeded by
+    {!add_cache_stats}. *)
+
+val add_cache_stats : t -> group:cache_stats -> plan:cache_stats -> unit
+(** Seed the cache counters with a prior run's totals (resume support,
+    like {!add_evaluations}): subsequent {!cache_stats} /
+    {!plan_cache_stats} report cumulative hit/miss/eviction flows over
+    the whole logical run.  The seeds' [size] fields are ignored — the
+    prior process's tables are gone. *)
 
 val shard_stats : t -> cache_stats array
 (** Per-shard memo-table counters, indexed by shard. *)

@@ -12,9 +12,12 @@
      v2  + wall_time_s and cumulative fault counters
      v3  island model: per-island populations and RNG states, plus the
          ring-migration cursor.  v1/v2 files still load as a single
-         island with cursor 0. *)
+         island with cursor 0.
+     v4  + cumulative group-cache and plan-cache counters
+         (hits/misses/evictions), so resumed runs report hit rates over
+         the whole logical run.  v1-v3 files load with zero counters. *)
 
-let format_version = 3
+let format_version = 4
 
 type island = {
   rng_state : int64;  (** raw SplitMix64 state of this island's generator *)
@@ -36,6 +39,12 @@ type t = {
           reading a format-1 snapshot) *)
   migration_cursor : int;
       (** ring migrations performed so far (format >= 3; 0 otherwise) *)
+  group_cache : Objective.cache_stats;
+      (** cumulative group-cache counters at the save (format >= 4;
+          zeros otherwise; the size field is not persisted — the saved
+          process's table is gone) *)
+  plan_cache : Objective.cache_stats;
+      (** cumulative plan-cache counters, like [group_cache] *)
   best : int list list;
   history : (int * float) list;  (** oldest first *)
   islands : island list;  (** island count = list length; 1 for v1/v2 *)
@@ -75,6 +84,10 @@ let render t =
     f.Objective.trapped f.Objective.corrupted f.Objective.retries f.Objective.recovered
     f.Objective.quarantined;
   Printf.bprintf b "  \"migration_cursor\": %d,\n" t.migration_cursor;
+  Printf.bprintf b "  \"group_cache\": [%d,%d,%d],\n" t.group_cache.Objective.hits
+    t.group_cache.Objective.misses t.group_cache.Objective.evictions;
+  Printf.bprintf b "  \"plan_cache\": [%d,%d,%d],\n" t.plan_cache.Objective.hits
+    t.plan_cache.Objective.misses t.plan_cache.Objective.evictions;
   Buffer.add_string b "  \"best\": ";
   buf_groups b t.best;
   Buffer.add_string b ",\n  \"history\": [";
@@ -305,6 +318,19 @@ let of_string s =
         if c < 0 then malformed "migration_cursor must be non-negative";
         c
   in
+  (* Format 4 added the cache counters; older files report zeros (the
+     hit-rate history before the upgrade is simply unknown). *)
+  let cache_counts name =
+    match field_opt j name with
+    | None -> { Objective.hits = 0; misses = 0; evictions = 0; size = 0 }
+    | Some v -> (
+        match List.map (as_int name) (as_arr name v) with
+        | [ hits; misses; evictions ] when hits >= 0 && misses >= 0 && evictions >= 0 ->
+            { Objective.hits; misses; evictions; size = 0 }
+        | _ -> malformed "%s must be three non-negative ints" name)
+  in
+  let group_cache = cache_counts "group_cache" in
+  let plan_cache = cache_counts "plan_cache" in
   let history =
     List.map
       (fun entry ->
@@ -361,6 +387,8 @@ let of_string s =
     wall_time_s;
     faults;
     migration_cursor;
+    group_cache;
+    plan_cache;
     best = as_groups "best" (field j "best");
     history;
     islands;

@@ -41,6 +41,12 @@ type t = {
   migration_cursor : int;
       (** ring migrations performed so far (0 when the snapshot predates
           format 3); drives the rotating migration offset on resume *)
+  group_cache : Objective.cache_stats;
+      (** cumulative group-cache hit/miss/eviction counters (zeros when
+          the snapshot predates format 4; the [size] field is always 0 —
+          the saved process's table does not survive) *)
+  plan_cache : Objective.cache_stats;
+      (** cumulative plan-cache counters, like [group_cache] *)
   best : int list list;  (** incumbent grouping *)
   history : (int * float) list;  (** improvement history, oldest first *)
   islands : island list;

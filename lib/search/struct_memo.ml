@@ -1,0 +1,329 @@
+module Plan = Kf_fusion.Plan
+module Bitset = Kf_util.Bitset
+
+(* Open-addressing table specialized for int-array keys.  The generic
+   [Hashtbl.Make] costs two hash computations per probe (shard selection
+   and bucket lookup) plus a pointer chase per bucket entry; this table
+   hashes once, rejects mismatches on the stored hash before touching
+   key contents, and probes linearly.  Entries are never removed, so no
+   tombstones.  Memo probes are the dominant per-call cost of the
+   incremental objective's structural operators — this is deliberately
+   low-level. *)
+module Arr_table = struct
+  (* Physical sentinel for an empty slot; no real key is ever this
+     array, and slots are tested with [==]. *)
+  let no_key : int array = [| min_int |]
+
+  type 'a shard = {
+    lock : Mutex.t;
+    mutable keys : int array array;
+    mutable hashes : int array;
+    mutable vals : 'a option array;
+    mutable mask : int;  (* capacity - 1, capacity a power of two *)
+    mutable count : int;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  type 'a t = {
+    shards : 'a shard array;
+    m_hits : Kf_obs.Metrics.counter;
+    m_misses : Kf_obs.Metrics.counter;
+  }
+
+  let key_equal (a : int array) (b : int array) =
+    Array.length a = Array.length b
+    &&
+    let n = Array.length a in
+    let rec go i = i >= n || (Array.unsafe_get a i = Array.unsafe_get b i && go (i + 1)) in
+    go 0
+
+  let init_cap = 512
+
+  let create ?(shards = 8) name =
+    if shards < 1 then invalid_arg "Struct_memo.table: shards must be positive";
+    {
+      shards =
+        Array.init shards (fun _ ->
+            {
+              lock = Mutex.create ();
+              keys = Array.make init_cap no_key;
+              hashes = Array.make init_cap 0;
+              vals = Array.make init_cap None;
+              mask = init_cap - 1;
+              count = 0;
+              hits = 0;
+              misses = 0;
+            });
+      m_hits = Kf_obs.Metrics.counter (Printf.sprintf "struct_memo.%s.hits" name);
+      m_misses = Kf_obs.Metrics.counter (Printf.sprintf "struct_memo.%s.misses" name);
+    }
+
+  (* Caller holds the shard lock.  Returns the slot holding the key, or
+     the empty slot where it belongs. *)
+  let slot_of s h key =
+    let rec go i =
+      let idx = (h + i) land s.mask in
+      let k = Array.unsafe_get s.keys idx in
+      if k == no_key then idx
+      else if Array.unsafe_get s.hashes idx = h && key_equal k key then idx
+      else go (i + 1)
+    in
+    go 0
+
+  let grow s =
+    let old_keys = s.keys and old_hashes = s.hashes and old_vals = s.vals in
+    let cap = 2 * (s.mask + 1) in
+    s.keys <- Array.make cap no_key;
+    s.hashes <- Array.make cap 0;
+    s.vals <- Array.make cap None;
+    s.mask <- cap - 1;
+    Array.iteri
+      (fun i k ->
+        if k != no_key then begin
+          let idx = slot_of s old_hashes.(i) k in
+          s.keys.(idx) <- k;
+          s.hashes.(idx) <- old_hashes.(i);
+          s.vals.(idx) <- old_vals.(i)
+        end)
+      old_keys
+
+  let insert_if_absent s h key v =
+    let idx = slot_of s h key in
+    if s.keys.(idx) == no_key then begin
+      s.keys.(idx) <- key;
+      s.hashes.(idx) <- h;
+      s.vals.(idx) <- Some v;
+      s.count <- s.count + 1;
+      (* Keep load factor under 1/2 so probe chains stay short. *)
+      if 2 * s.count > s.mask then grow s
+    end
+
+  let find_or_compute t key compute =
+    let h = Plan.signature_hash key in
+    let s = t.shards.(h mod Array.length t.shards) in
+    Mutex.lock s.lock;
+    let idx = slot_of s h key in
+    if s.keys.(idx) != no_key then begin
+      s.hits <- s.hits + 1;
+      let v = s.vals.(idx) in
+      Mutex.unlock s.lock;
+      Kf_obs.Metrics.incr t.m_hits;
+      match v with Some v -> v | None -> assert false
+    end
+    else begin
+      s.misses <- s.misses + 1;
+      Mutex.unlock s.lock;
+      Kf_obs.Metrics.incr t.m_misses;
+      (* Computed outside the lock: structural operators may probe the
+         objective cache, and a duplicate concurrent computation of a
+         pure function costs only time. *)
+      let v = compute () in
+      Mutex.lock s.lock;
+      insert_if_absent s h key v;
+      Mutex.unlock s.lock;
+      v
+    end
+
+  let stats t =
+    Array.fold_left
+      (fun (h, m) s ->
+        Mutex.lock s.lock;
+        let r = (h + s.hits, m + s.misses) in
+        Mutex.unlock s.lock;
+        r)
+      (0, 0) t.shards
+end
+
+(* Bitset.hash is a pure function of the set's contents (no per-process
+   seed), so shard selection stays immune to [OCAMLRUNPARAM=R]. *)
+module Bs_table = struct
+  module H = Hashtbl.Make (struct
+    type t = Bitset.t
+
+    let equal = Bitset.equal
+    let hash = Bitset.hash
+  end)
+
+  type shard = {
+    lock : Mutex.t;
+    tbl : Bitset.t H.t;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  type t = {
+    shards : shard array;
+    m_hits : Kf_obs.Metrics.counter;
+    m_misses : Kf_obs.Metrics.counter;
+  }
+
+  let create ?(shards = 8) name =
+    if shards < 1 then invalid_arg "Struct_memo.table: shards must be positive";
+    {
+      shards =
+        Array.init shards (fun _ ->
+            { lock = Mutex.create (); tbl = H.create 256; hits = 0; misses = 0 });
+      m_hits = Kf_obs.Metrics.counter (Printf.sprintf "struct_memo.%s.hits" name);
+      m_misses = Kf_obs.Metrics.counter (Printf.sprintf "struct_memo.%s.misses" name);
+    }
+
+  let stats t =
+    Array.fold_left
+      (fun (h, m) s ->
+        Mutex.lock s.lock;
+        let r = (h + s.hits, m + s.misses) in
+        Mutex.unlock s.lock;
+        r)
+      (0, 0) t.shards
+end
+
+type 'a table = 'a Arr_table.t
+
+let table ?shards name = Arr_table.create ?shards name
+let find_or_compute = Arr_table.find_or_compute
+let table_stats = Arr_table.stats
+
+type bitset_table = Bs_table.t
+
+let bitset_table ?shards name = Bs_table.create ?shards name
+
+let find_or_compute_bitset (t : bitset_table) key compute =
+  (* Both the key and the cached value are interned as copies: the caller
+     owns (and typically mutates) the bitsets on its side of the call. *)
+  let s = t.Bs_table.shards.(Bitset.hash key mod Array.length t.Bs_table.shards) in
+  Mutex.lock s.lock;
+  match Bs_table.H.find_opt s.tbl key with
+  | Some v ->
+      s.hits <- s.hits + 1;
+      Mutex.unlock s.lock;
+      Kf_obs.Metrics.incr t.Bs_table.m_hits;
+      Bitset.copy v
+  | None ->
+      s.misses <- s.misses + 1;
+      Mutex.unlock s.lock;
+      Kf_obs.Metrics.incr t.Bs_table.m_misses;
+      let v = compute () in
+      Mutex.lock s.lock;
+      if not (Bs_table.H.mem s.tbl key) then
+        Bs_table.H.replace s.tbl (Bitset.copy key) (Bitset.copy v);
+      Mutex.unlock s.lock;
+      v
+
+let bitset_table_stats = Bs_table.stats
+
+type memos = {
+  merge : int list option table;
+  kin : Bitset.t table;
+  closure : bitset_table;
+  sccs : int list list table;
+  refine : int list list table;
+  succs : Bitset.t array;
+}
+
+let create_memos ~succs () =
+  {
+    merge = table "merge";
+    kin = table "kin";
+    closure = bitset_table "closure";
+    sccs = table "sccs";
+    refine = table "refine";
+    succs;
+  }
+
+let memo_stats m =
+  [
+    ("merge", table_stats m.merge);
+    ("kin", table_stats m.kin);
+    ("closure", bitset_table_stats m.closure);
+    ("sccs", table_stats m.sccs);
+    ("refine", table_stats m.refine);
+  ]
+
+let encoded_length groups = List.fold_left (fun acc g -> acc + List.length g + 1) 0 groups
+
+let write_groups buf i0 groups =
+  let i = ref i0 in
+  List.iteri
+    (fun gi g ->
+      if gi > 0 then begin
+        buf.(!i) <- -1;
+        incr i
+      end;
+      List.iter
+        (fun k ->
+          buf.(!i) <- k;
+          incr i)
+        g)
+    groups;
+  !i
+
+let encode_groups groups =
+  let len = max 0 (encoded_length groups - 1) in
+  let buf = Array.make len (-1) in
+  ignore (write_groups buf 0 groups : int);
+  buf
+
+let encode_groups_with groups extra =
+  let glen = max 0 (encoded_length groups - 1) in
+  let buf = Array.make (glen + 1 + List.length extra) (-2) in
+  let i = write_groups buf 0 groups in
+  (* buf.(i) is the [-2] separator. *)
+  let j = ref (i + 1) in
+  List.iter
+    (fun k ->
+      buf.(!j) <- k;
+      incr j)
+    extra;
+  buf
+
+(* Probe fast path: the groups flowing through the search are almost
+   always already sorted (they come out of [Bitset.to_list] or a
+   [normalize]), so canonicalization mostly reuses the input lists
+   instead of re-sorting them, and all comparisons are int-specialized.
+   Produces exactly [Plan.canonical_groups groups] / [List.sort compare
+   extra] (members are distinct by construction — [groups] is a partial
+   partition and [extra] a candidate group). *)
+let canon_group g = if Plan.is_sorted_strict g then g else List.sort_uniq Int.compare g
+
+let hd_int : int list -> int = function [] -> -1 | k :: _ -> k
+
+let encode_canonical groups extra =
+  let ng = List.length groups in
+  let garr = Array.make ng [] in
+  let glen = ref 0 in
+  List.iteri
+    (fun i g ->
+      let g' = canon_group g in
+      garr.(i) <- g';
+      glen := !glen + List.length g' + 1)
+    groups;
+  (* Heads are distinct for disjoint groups; the full-list tie-break only
+     keeps the key canonical on degenerate (overlapping) inputs. *)
+  Array.sort
+    (fun a b ->
+      match Int.compare (hd_int a) (hd_int b) with 0 -> compare a b | c -> c)
+    garr;
+  let extra = if Plan.is_sorted_strict extra then extra else List.sort Int.compare extra in
+  let buf = Array.make (max 0 (!glen - 1) + 1 + List.length extra) (-2) in
+  let i = ref 0 in
+  Array.iteri
+    (fun gi g ->
+      if gi > 0 then begin
+        buf.(!i) <- -1;
+        incr i
+      end;
+      List.iter
+        (fun k ->
+          buf.(!i) <- k;
+          incr i)
+        g)
+    garr;
+  (* buf.(!i) is the [-2] separator. *)
+  incr i;
+  List.iter
+    (fun k ->
+      buf.(!i) <- k;
+      incr i)
+    extra;
+  buf

@@ -1,0 +1,103 @@
+(** Memoization of the search's pure structural operators.
+
+    The grouping operators (absorbing merges, kinship adjacency, path
+    closures, condensation SCCs) are pure functions of the execution
+    order, the metadata and their arguments — and profiling shows the GA
+    re-asks the same structural questions constantly (a quarter to a half
+    of all calls are exact repeats).  Each table below memoizes one
+    operator.  Keys are canonical (order-normalized) only where the
+    memoized {e value} is provably independent of argument order — the
+    absorbed member set of a merge, a group's kinship neighbor set; the
+    order-sensitive parts (the [rest] list a merge returns, the filtered
+    candidate list kinship adjacency returns) are recomputed from the
+    live argument on every hit, because downstream RNG draws
+    ([Rng.choose] over candidate lists) depend on input order.  Operators
+    whose whole result is order-sensitive ([local_refine], SCCs of a
+    group array) keep exact-order keys.
+
+    Keys are flat int arrays hashed with the same fixed polynomial as
+    the objective's cache striping ({!Kf_fusion.Plan.signature_hash}),
+    so shard selection is immune to [OCAMLRUNPARAM=R].  Values are
+    immutable, so a memo hit returns the exact value the computation
+    would have produced — memoization is invisible to the search except
+    in time. *)
+
+type 'a table
+(** A sharded memo table from int-array signatures to ['a]. *)
+
+val table : ?shards:int -> string -> 'a table
+(** [table name] creates an empty memo table; [name] labels its
+    process-wide metrics counters ([struct_memo.<name>.hits] /
+    [.misses]).  Default 8 shards.
+    @raise Invalid_argument if [shards < 1]. *)
+
+val find_or_compute : 'a table -> int array -> (unit -> 'a) -> 'a
+(** Return the memoized value for the key, computing and caching it on a
+    miss.  The computation runs outside the shard lock (it may itself
+    probe the objective cache); concurrent duplicate misses may compute
+    the value more than once, which is harmless for pure computations —
+    both domains produce the same value. *)
+
+val table_stats : 'a table -> int * int
+(** [(hits, misses)] accumulated over all shards. *)
+
+type bitset_table
+(** A sharded memo table from bitsets to bitsets, striped by
+    {!Kf_util.Bitset.hash} (a pure content hash, so striping is immune to
+    [OCAMLRUNPARAM=R]).  Avoids the list/array round-trips an int-array
+    key would cost on the hottest memo (path closures). *)
+
+val bitset_table : ?shards:int -> string -> bitset_table
+(** Like {!table}.
+    @raise Invalid_argument if [shards < 1]. *)
+
+val find_or_compute_bitset : bitset_table -> Kf_util.Bitset.t -> (unit -> Kf_util.Bitset.t) -> Kf_util.Bitset.t
+(** Like {!find_or_compute}, but both key and value are interned as
+    defensive copies and every hit returns a fresh copy — callers own
+    (and may mutate) the bitsets on their side of the call. *)
+
+val bitset_table_stats : bitset_table -> int * int
+
+type memos = {
+  merge : int list option table;
+      (** the absorbed member set (sorted) of [Grouping.absorbing_merge],
+          or [None] for an infeasible merge — keyed canonically by
+          (other groups, seed); the order-preserving [rest] is rebuilt
+          from the live argument on each hit *)
+  kin : Kf_util.Bitset.t table;
+      (** a group's kinship neighbor set, keyed by the sorted group; the
+          cached bitset is read-only *)
+  closure : bitset_table;
+      (** [Dag.path_closure] keyed by the seed set itself *)
+  sccs : int list list table;
+      (** [Grouping.condensation_sccs] keyed by the group array *)
+  refine : int list list table;
+      (** [Grouping.local_refine] keyed by the exact-order input plus the
+          pass bound — the per-generation champion rarely changes, so
+          repeat refinements are hits *)
+  succs : Kf_util.Bitset.t array;
+      (** per-kernel direct-successor bitsets of the (fixed) execution
+          DAG, precomputed once — the group-level cycle check on memo
+          misses runs on these instead of rebuilding adjacency tables *)
+}
+(** The bundle of operator memos an incremental objective owns. *)
+
+val create_memos : succs:Kf_util.Bitset.t array -> unit -> memos
+
+val memo_stats : memos -> (string * (int * int)) list
+(** [(name, (hits, misses))] per table, in a fixed order. *)
+
+val encode_groups : int list list -> int array
+(** Exact-order signature of a group list: members in given order,
+    groups separated by [-1]. *)
+
+val encode_groups_with : int list list -> int list -> int array
+(** [(groups, extra)] signature: {!encode_groups} of [groups], then a
+    [-2] separator, then [extra] — for operators keyed by a group list
+    plus one distinguished group (kernel ids are non-negative, so both
+    separators are unambiguous). *)
+
+val encode_canonical : int list list -> int list -> int array
+(** Like {!encode_groups_with} but order-normalized on both components
+    (canonical groups, sorted extra): permuted-but-equal arguments
+    collide.  Only for operators whose memoized value is order-free. *)

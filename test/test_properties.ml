@@ -165,6 +165,49 @@ let prop_plan_cost_additive =
           let sum = List.fold_left (fun acc g -> acc +. Objective.group_cost obj g) 0. groups in
           Float.abs (total -. sum) < 1e-12)
 
+let prop_incremental_matches_full =
+  QCheck.Test.make ~count:20
+    ~name:"incremental plan cost is bitwise-identical to full evaluation under mutation"
+    QCheck.small_int
+    (fun seed ->
+      let p, meta, exec = context_of_seed seed in
+      let measured_runtime =
+        Array.map (fun r -> r.Measure.runtime_s) (Measure.program_results ~device p)
+      in
+      let mk incremental =
+        Objective.create ~incremental (Inputs.make ~device ~meta ~exec ~measured_runtime)
+      in
+      let obj_inc = mk true and obj_full = mk false in
+      let n = Program.num_kernels p in
+      let rng = Rng.create (seed + 11) in
+      let groups = ref (Grouping.random_plan obj_inc rng n) in
+      let agree = ref true in
+      (* Walk a random mutation sequence with the search's own operators,
+         checking both evaluation modes agree bit-for-bit at every step. *)
+      for _ = 1 to 10 do
+        let ci = Objective.plan_cost obj_inc !groups in
+        let cf = Objective.plan_cost obj_full !groups in
+        if Int64.bits_of_float ci <> Int64.bits_of_float cf then agree := false;
+        let gs = !groups in
+        (match Rng.int rng 3 with
+        | 0 -> (
+            match List.filter (fun g -> List.length g >= 2) gs with
+            | [] -> ()
+            | multi ->
+                groups := Grouping.dissolve gs (List.nth multi (Rng.int rng (List.length multi))))
+        | 1 -> (
+            match Grouping.eject obj_inc gs (Rng.int rng n) with
+            | Some gs' -> groups := gs'
+            | None -> ())
+        | _ -> (
+            let g = List.nth gs (Rng.int rng (List.length gs)) in
+            match Grouping.absorbing_merge obj_inc gs g with
+            | Some (g', rest) -> groups := g' :: rest
+            | None -> ()));
+        groups := Grouping.normalize !groups
+      done;
+      !agree)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -177,4 +220,5 @@ let suite =
       prop_measured_fused_positive;
       prop_projection_below_roofline_performance;
       prop_plan_cost_additive;
+      prop_incremental_matches_full;
     ]

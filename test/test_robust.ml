@@ -314,6 +314,8 @@ let test_snapshot_roundtrip () =
           quarantined = 1;
         };
       migration_cursor = 4;
+      group_cache = { Objective.hits = 120; misses = 40; evictions = 8; size = 0 };
+      plan_cache = { Objective.hits = 30; misses = 12; evictions = 0; size = 0 };
       best = [ [ 0; 1 ]; [ 2 ]; [ 3; 4 ] ];
       history = [ (0, 0.25); (3, 0.125) ];
       islands =
@@ -359,7 +361,10 @@ let test_snapshot_v2_compat () =
   let isl = List.hd snap.Snapshot.islands in
   check Alcotest.bool "rng state kept" true (isl.Snapshot.rng_state = -42L);
   check Alcotest.int "population kept" 3 (List.length isl.Snapshot.population);
-  check (Alcotest.float 0.) "wall time kept" 10.0 snap.Snapshot.wall_time_s
+  check (Alcotest.float 0.) "wall time kept" 10.0 snap.Snapshot.wall_time_s;
+  (* Cache ledgers arrived in format 4: older documents load with zeros. *)
+  check Alcotest.int "group cache defaults to zero" 0 snap.Snapshot.group_cache.Objective.hits;
+  check Alcotest.int "plan cache defaults to zero" 0 snap.Snapshot.plan_cache.Objective.misses
 
 let test_snapshot_malformed () =
   List.iter
@@ -401,6 +406,44 @@ let test_checkpoint_resume_identical () =
       check (Alcotest.float 0.) "same final cost" full.Hgga.cost resumed.Hgga.cost;
       check Alcotest.int "same generation count" full.Hgga.stats.Hgga.generations
         resumed.Hgga.stats.Hgga.generations)
+
+let test_resume_carries_cache_stats () =
+  (* Snapshot v4 regression: the cache ledgers written at the checkpoint
+     must seed the resumed objective, so reported hit/miss counters span
+     the whole logical run rather than restarting from zero. *)
+  let params =
+    { Hgga.default_params with Hgga.max_generations = 30; stall_generations = 1000 }
+  in
+  let path = Filename.temp_file "kfuse_ck" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      ignore
+        (solve_clover ~checkpoint:{ Hgga.path; every = 7 }
+           { params with Hgga.max_generations = 14 });
+      let snap = Snapshot.load path in
+      let sg = snap.Snapshot.group_cache and sp = snap.Snapshot.plan_cache in
+      check Alcotest.bool "snapshot recorded group-cache traffic" true
+        (sg.Objective.hits + sg.Objective.misses > 0);
+      check Alcotest.bool "snapshot recorded plan-cache traffic" true
+        (sp.Objective.hits + sp.Objective.misses > 0);
+      (* Seeding alone: a fresh objective carrying the snapshot's ledgers
+         reports exactly them before any probe. *)
+      let ctx = Pipeline.prepare ~device (Cloverleaf.program ()) in
+      let obj = Pipeline.objective ctx in
+      Objective.add_cache_stats obj ~group:sg ~plan:sp;
+      let g0 = Objective.cache_stats obj in
+      check Alcotest.int "seeded group hits" sg.Objective.hits g0.Objective.hits;
+      check Alcotest.int "seeded group misses" sg.Objective.misses g0.Objective.misses;
+      (* End to end: the resumed run's ledger is cumulative, never below
+         what the snapshot already recorded. *)
+      let resumed = solve_clover ~resume_from:path params in
+      let g = resumed.Hgga.stats.Hgga.group_cache
+      and p = resumed.Hgga.stats.Hgga.plan_cache in
+      check Alcotest.bool "resumed group ledger cumulative" true
+        (g.Objective.hits >= sg.Objective.hits && g.Objective.misses >= sg.Objective.misses);
+      check Alcotest.bool "resumed plan ledger cumulative" true
+        (p.Objective.hits >= sp.Objective.hits && p.Objective.misses >= sp.Objective.misses))
 
 let test_resume_rejects_mismatch () =
   let params =
@@ -592,4 +635,5 @@ let suite =
       test_resume_honors_evaluation_budget;
     Alcotest.test_case "resume honors wall budget" `Slow test_resume_honors_wall_budget;
     Alcotest.test_case "resume carries faults" `Slow test_resume_carries_faults;
+    Alcotest.test_case "resume carries cache stats" `Slow test_resume_carries_cache_stats;
   ]

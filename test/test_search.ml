@@ -17,13 +17,13 @@ module Motivating = Kf_workloads.Motivating
 let check = Alcotest.check
 let device = Device.k20x
 
-let objective_of program =
+let objective_of ?incremental program =
   let meta = Kf_ir.Metadata.build program in
   let exec = Kf_graph.Exec_order.build (Kf_graph.Datadep.build program) in
   let measured_runtime =
     Array.map (fun r -> r.Measure.runtime_s) (Measure.program_results ~device program)
   in
-  Objective.create (Inputs.make ~device ~meta ~exec ~measured_runtime)
+  Objective.create ?incremental (Inputs.make ~device ~meta ~exec ~measured_runtime)
 
 let motivating_obj () = objective_of (Motivating.program ())
 
@@ -287,26 +287,37 @@ let test_hgga_islands_search () =
 
 let test_cache_probe_accounting () =
   (* Every lookup resolves as exactly one hit or one miss: probe a known
-     sequence and check the ledger balances, per shard and aggregated. *)
-  let obj = motivating_obj () in
-  let groups = [ [ 0; 1 ]; [ 1; 2 ]; [ 3; 4 ]; [ 0 ]; [ 2 ] ] in
-  let probes = ref 0 in
-  for _ = 1 to 3 do
-    List.iter
-      (fun g ->
-        incr probes;
-        ignore (Objective.group_cost obj g))
-      groups
-  done;
-  let agg = Objective.cache_stats obj in
-  check Alcotest.int "hits + misses = probes" !probes (agg.Objective.hits + agg.Objective.misses);
-  check Alcotest.int "one miss per distinct key" (List.length groups) agg.Objective.misses;
-  let shards = Objective.shard_stats obj in
-  check Alcotest.int "shard count exposed" (Objective.num_shards obj) (Array.length shards);
-  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 shards in
-  check Alcotest.int "shard hits sum" agg.Objective.hits (sum (fun s -> s.Objective.hits));
-  check Alcotest.int "shard misses sum" agg.Objective.misses (sum (fun s -> s.Objective.misses));
-  check Alcotest.int "shard sizes sum" agg.Objective.size (sum (fun s -> s.Objective.size))
+     sequence and check the ledger balances, per shard and aggregated.
+     The incremental path answers singletons straight from the measured
+     array, so its ledger counts only multi-member probes; the full path
+     counts every probe (the PR 3 invariant). *)
+  List.iter
+    (fun incremental ->
+      let obj = objective_of ~incremental (Motivating.program ()) in
+      let groups = [ [ 0; 1 ]; [ 1; 2 ]; [ 3; 4 ]; [ 0 ]; [ 2 ] ] in
+      let probes = ref 0 in
+      for _ = 1 to 3 do
+        List.iter
+          (fun g ->
+            if incremental then (if List.length g >= 2 then incr probes) else incr probes;
+            ignore (Objective.group_cost obj g))
+          groups
+      done;
+      let distinct =
+        List.length (if incremental then List.filter (fun g -> List.length g >= 2) groups else groups)
+      in
+      let agg = Objective.cache_stats obj in
+      check Alcotest.int "hits + misses = probes" !probes
+        (agg.Objective.hits + agg.Objective.misses);
+      check Alcotest.int "one miss per distinct key" distinct agg.Objective.misses;
+      let shards = Objective.shard_stats obj in
+      check Alcotest.int "shard count exposed" (Objective.num_shards obj) (Array.length shards);
+      let sum f = Array.fold_left (fun acc s -> acc + f s) 0 shards in
+      check Alcotest.int "shard hits sum" agg.Objective.hits (sum (fun s -> s.Objective.hits));
+      check Alcotest.int "shard misses sum" agg.Objective.misses
+        (sum (fun s -> s.Objective.misses));
+      check Alcotest.int "shard sizes sum" agg.Objective.size (sum (fun s -> s.Objective.size)))
+    [ true; false ]
 
 let test_cache_consistency_after_search () =
   (* Same invariant after a real multi-island, multi-domain search. *)
@@ -335,20 +346,75 @@ let test_cache_consistency_after_search () =
 let test_concurrent_duplicate_miss () =
   (* Four domains race on the same cold key: the in-flight table must
      collapse them to one evaluation (one miss, three hits), counted once
-     — this is the budget-accounting bugfix pinned as a regression. *)
+     — this is the budget-accounting bugfix pinned as a regression.  Both
+     the signature-keyed incremental table and the string-keyed full
+     table carry the same exactly-once obligation. *)
+  List.iter
+    (fun incremental ->
+      let obj = objective_of ~incremental (Motivating.program ()) in
+      let spawned =
+        List.init 4 (fun _ ->
+            Domain.spawn (fun () -> Objective.group_cost obj [ 0; 1 ]))
+      in
+      let costs = List.map Domain.join spawned in
+      (match costs with
+      | c :: rest -> List.iter (fun c' -> check (Alcotest.float 0.) "same verdict" c c') rest
+      | [] -> ());
+      check Alcotest.int "evaluated exactly once" 1 (Objective.evaluations obj);
+      let agg = Objective.cache_stats obj in
+      check Alcotest.int "one miss" 1 agg.Objective.misses;
+      check Alcotest.int "three hits" 3 agg.Objective.hits)
+    [ true; false ]
+
+let bits = Int64.bits_of_float
+
+let test_plan_cache_permuted () =
+  (* Permuted-but-equal plans share one plan-cache entry: the canonical
+     signature normalizes away group order and member order, so the
+     second evaluation is a hit with a bitwise-equal total. *)
   let obj = motivating_obj () in
-  let spawned =
-    List.init 4 (fun _ ->
-        Domain.spawn (fun () -> Objective.group_cost obj [ 0; 1 ]))
-  in
-  let costs = List.map Domain.join spawned in
-  (match costs with
-  | c :: rest -> List.iter (fun c' -> check (Alcotest.float 0.) "same verdict" c c') rest
-  | [] -> ());
-  check Alcotest.int "evaluated exactly once" 1 (Objective.evaluations obj);
-  let agg = Objective.cache_stats obj in
-  check Alcotest.int "one miss" 1 agg.Objective.misses;
-  check Alcotest.int "three hits" 3 agg.Objective.hits
+  let plan = [ [ 0; 1 ]; [ 3; 4 ]; [ 2 ] ] in
+  let permuted = [ [ 2 ]; [ 4; 3 ]; [ 1; 0 ] ] in
+  let e1 = Objective.eval_plan obj plan in
+  let e2 = Objective.eval_plan obj permuted in
+  check Alcotest.bool "bitwise-equal totals" true
+    (bits (Objective.plan_eval_total e1) = bits (Objective.plan_eval_total e2));
+  let pc = Objective.plan_cache_stats obj in
+  check Alcotest.int "one plan-cache miss" 1 pc.Objective.misses;
+  check Alcotest.int "one plan-cache hit" 1 pc.Objective.hits;
+  check (Alcotest.float 0.) "matches plan_cost" (Objective.plan_cost obj plan)
+    (Objective.plan_eval_total e1)
+
+let test_incremental_full_equivalence () =
+  (* The PR 5 contract: incremental evaluation is a throughput knob,
+     never a result knob.  Same best plan, bitwise-equal cost, identical
+     improvement history and evaluation count — panmictic and island
+     variants. *)
+  List.iter
+    (fun (islands, migration_interval) ->
+      let params =
+        {
+          Hgga.default_params with
+          Hgga.max_generations = 30;
+          stall_generations = 1000;
+          islands;
+          migration_interval;
+        }
+      in
+      let run incremental =
+        Hgga.solve ~params (objective_of ~incremental (Kf_workloads.Cloverleaf.program ()))
+      in
+      let ri = run true and rf = run false in
+      check Alcotest.bool "same plan" true (Plan.equal ri.Hgga.plan rf.Hgga.plan);
+      check Alcotest.bool "bitwise-equal cost" true (bits ri.Hgga.cost = bits rf.Hgga.cost);
+      let hi = ri.Hgga.stats.Hgga.improvement_history
+      and hf = rf.Hgga.stats.Hgga.improvement_history in
+      check Alcotest.int "same history length" (List.length hi) (List.length hf);
+      check Alcotest.bool "bitwise-equal history" true
+        (List.for_all2 (fun (g1, c1) (g2, c2) -> g1 = g2 && bits c1 = bits c2) hi hf);
+      check Alcotest.int "same evaluation count" ri.Hgga.stats.Hgga.evaluations
+        rf.Hgga.stats.Hgga.evaluations)
+    [ (1, 10); (3, 5) ]
 
 let test_hgga_at_least_greedy_quality () =
   (* On a small instance the GA should not lose badly to greedy. *)
@@ -386,4 +452,6 @@ let suite =
     Alcotest.test_case "cache probe accounting" `Quick test_cache_probe_accounting;
     Alcotest.test_case "cache consistency after search" `Slow test_cache_consistency_after_search;
     Alcotest.test_case "concurrent duplicate miss" `Quick test_concurrent_duplicate_miss;
+    Alcotest.test_case "plan cache permuted plans" `Quick test_plan_cache_permuted;
+    Alcotest.test_case "incremental vs full equivalence" `Slow test_incremental_full_equivalence;
   ]

@@ -1,0 +1,293 @@
+(* Serve-daemon chaos bench (PR 6 acceptance driver).
+
+   Drives a live in-process daemon through the hardening scenario —
+   concurrent mixed clients (including a malformed line and a
+   fault-injected request), an overload burst against a tiny queue, a
+   SIGTERM drain mid-run, and a warm restart from the persisted cache —
+   then writes BENCH_pr6.json with requests/s, latency percentiles and
+   hit rates.  Exits non-zero when any invariant fails, so CI can gate
+   on it. *)
+
+module Json = Kf_obs.Json
+module Server = Kf_serve.Server
+module Client = Kf_serve.Client
+module Stats = Kf_util.Stats
+
+let failures : string list ref = ref []
+let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt
+let require name cond = if not cond then fail "%s" name
+
+let out_path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_pr6.json"
+
+(* --- event plumbing --- *)
+
+let str_field name j =
+  match Option.bind (Json.member name j) Json.to_string_opt with Some s -> s | None -> ""
+
+let bool_field name j =
+  match Json.member name j with Some (Json.Bool b) -> b | _ -> false
+
+let float_field name j =
+  match Option.bind (Json.member name j) Json.to_float_opt with Some f -> f | None -> nan
+
+let cache_stat name j =
+  match Json.member "cache" j with Some c -> float_field name c | None -> nan
+
+let terminal client ~id =
+  match Client.wait_terminal client ~id with
+  | Some (_, term) -> Some term
+  | None -> None
+
+let quick_options ~seed =
+  [ ("generations", Json.Int 40); ("population", Json.Int 20); ("seed", Json.Int seed) ]
+
+(* --- shared latency ledger --- *)
+
+let lat_lock = Mutex.create ()
+let latencies_ms : float list ref = ref []
+let completed = ref 0
+
+let timed_request client ~id req =
+  let t0 = Unix.gettimeofday () in
+  Client.send client req;
+  match terminal client ~id with
+  | None ->
+      fail "connection closed before terminal event for %s" id;
+      None
+  | Some term ->
+      let dt_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+      Mutex.lock lat_lock;
+      latencies_ms := dt_ms :: !latencies_ms;
+      if str_field "event" term = "result" then incr completed;
+      Mutex.unlock lat_lock;
+      Some term
+
+let fresh_dir () =
+  let d = Filename.temp_file "kfuse_bench_serve" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let () =
+  let dir = fresh_dir () in
+  let socket_path = Filename.concat dir "serve.sock" in
+  let cache_path = Filename.concat dir "cache.json" in
+  let config =
+    {
+      (Server.default ~socket_path) with
+      Server.workers = 2;
+      max_queue = 32;
+      cache_path = Some cache_path;
+      progress_every = 1;
+    }
+  in
+  let srv = Server.start config in
+  Server.install_signal_handlers srv;
+
+  (* Phase 0: cold probe — the designated repeat request whose cache
+     stats give the cold/warm hit rates. *)
+  let probe path id =
+    let c = Client.connect_retry path in
+    let term =
+      timed_request c ~id (Client.request ~id ~workload:"motivating" ~options:(quick_options ~seed:5) ())
+    in
+    Client.close c;
+    term
+  in
+  let cold = probe socket_path "probe-cold" in
+  (match cold with
+  | Some t ->
+      require "cold probe returns a result" (str_field "event" t = "result");
+      require "cold probe is cold" (not (bool_field "warm" t))
+  | None -> fail "cold probe got no terminal event");
+  let cold_hit_rate = match cold with Some t -> cache_stat "hit_rate" t | None -> nan in
+
+  (* Phase 1: concurrent mixed load — 6 clients at once. *)
+  let workloads = [| "motivating"; "tealeaf"; "cloverleaf" |] in
+  let normal_client i () =
+    let c = Client.connect_retry socket_path in
+    for j = 0 to 2 do
+      let id = Printf.sprintf "c%d-r%d" i j in
+      let workload = workloads.((i + j) mod Array.length workloads) in
+      match
+        timed_request c ~id
+          (Client.request ~id ~workload ~options:(quick_options ~seed:((100 * i) + j)) ())
+      with
+      | Some t -> require (id ^ " is a result") (str_field "event" t = "result")
+      | None -> ()
+    done;
+    Client.close c
+  in
+  let malformed_client () =
+    let c = Client.connect_retry socket_path in
+    Client.send_line c "this is not json";
+    (match Client.next_event c with
+    | Some e ->
+        require "malformed line answered with a structured error"
+          (str_field "event" e = "error" && str_field "code" e = "malformed")
+    | None -> fail "no error event for the malformed line");
+    (match
+       timed_request c ~id:"after-garbage"
+         (Client.request ~id:"after-garbage" ~workload:"motivating"
+            ~options:(quick_options ~seed:42) ())
+     with
+    | Some t -> require "connection survives garbage" (str_field "event" t = "result")
+    | None -> ());
+    Client.close c
+  in
+  let chaos_client () =
+    let c = Client.connect_retry socket_path in
+    (match
+       timed_request c ~id:"chaos"
+         (Client.request ~id:"chaos" ~workload:"motivating"
+            ~options:
+              (("inject_rate", Json.Float 0.25)
+              :: ("inject_seed", Json.Int 7)
+              :: quick_options ~seed:13)
+            ())
+     with
+    | Some t ->
+        require "fault-injected request still structured" (str_field "event" t = "result")
+    | None -> ());
+    Client.close c
+  in
+  let completed_before = !completed in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.map
+      (fun f -> Thread.create f ())
+      [
+        normal_client 0; normal_client 1; normal_client 2; normal_client 3;
+        malformed_client; chaos_client;
+      ]
+  in
+  List.iter Thread.join threads;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let load_completed = !completed - completed_before in
+
+  (* Phase 2: SIGTERM drain mid-run — the in-flight search must still
+     deliver its best-so-far result, then the daemon exits cleanly. *)
+  let c = Client.connect_retry socket_path in
+  Client.send c
+    (Client.request ~id:"inflight" ~workload:"suite:kernels=24,seed=5"
+       ~options:
+         [ ("generations", Json.Int 100000); ("progress", Json.Bool true);
+           ("seed", Json.Int 3) ]
+       ());
+  let rec await_progress () =
+    match Client.next_event c with
+    | Some e when Client.event_kind e = Some "progress" -> ()
+    | Some _ -> await_progress ()
+    | None -> fail "eof before the in-flight request made progress"
+  in
+  await_progress ();
+  Unix.kill (Unix.getpid ()) Sys.sigterm;
+  let drain_delivered =
+    match terminal c ~id:"inflight" with
+    | Some t -> str_field "event" t = "result"
+    | None -> false
+  in
+  require "SIGTERM drain delivers the in-flight result" drain_delivered;
+  Server.wait srv;
+  Client.close c;
+  require "socket removed after drain" (not (Sys.file_exists socket_path));
+  require "cache persisted on shutdown" (Sys.file_exists cache_path);
+
+  (* Phase 3: overload burst against a tiny queue. *)
+  let o_socket = Filename.concat dir "overload.sock" in
+  let o_srv =
+    Server.start
+      { (Server.default ~socket_path:o_socket) with Server.workers = 1; max_queue = 1 }
+  in
+  let oc = Client.connect_retry o_socket in
+  let slow i =
+    Client.send oc
+      (Client.request ~id:(Printf.sprintf "s%d" i) ~workload:"suite:kernels=24,seed=5"
+         ~options:[ ("generations", Json.Int 100000) ]
+         ())
+  in
+  slow 1;
+  let rec await_started () =
+    match Client.next_event oc with
+    | Some e when Client.event_kind e = Some "started" -> ()
+    | Some _ -> await_started ()
+    | None -> fail "eof before the slow request started"
+  in
+  await_started ();
+  let overloads = ref 0 in
+  for i = 2 to 5 do
+    slow i;
+    let rec await_verdict () =
+      match Client.next_event oc with
+      | Some e when Client.event_kind e = Some "admitted" -> ()
+      | Some e when Client.event_kind e = Some "error" && str_field "code" e = "overload" ->
+          incr overloads
+      | Some _ -> await_verdict ()
+      | None -> fail "eof during the overload burst"
+    in
+    await_verdict ()
+  done;
+  require "burst past the queue bound is rejected" (!overloads >= 3);
+  Server.stop o_srv;
+  Client.close oc;
+
+  (* Phase 4: warm restart over the persisted cache. *)
+  let w_srv = Server.start config in
+  require "warm daemon restored the cache" (Server.cache_programs w_srv > 0);
+  let warm = probe socket_path "probe-warm" in
+  (match warm with
+  | Some t ->
+      require "warm probe returns a result" (str_field "event" t = "result");
+      require "warm probe is warm" (bool_field "warm" t);
+      require "warm probe hits the cache" (cache_stat "hits" t > 0.)
+  | None -> fail "warm probe got no terminal event");
+  let warm_hit_rate = match warm with Some t -> cache_stat "hit_rate" t | None -> nan in
+  require "warm hit rate nonzero"
+    (match warm_hit_rate with r when r > 0. -> true | _ -> false);
+  Server.stop w_srv;
+
+  (* --- report --- *)
+  let lat = Array.of_list !latencies_ms in
+  Array.sort compare lat;
+  let pct p = Option.value ~default:nan (Stats.percentile_opt lat p) in
+  let num f = if Float.is_finite f then Json.Float f else Json.Null in
+  let report =
+    Json.Obj
+      [
+        ("schema", Json.Str "kfuse-bench-serve/1");
+        ("clients", Json.Int 6);
+        ("completed_requests", Json.Int !completed);
+        ("elapsed_s", num elapsed_s);
+        ("load_requests", Json.Int load_completed);
+        ( "requests_per_s",
+          num (if elapsed_s > 0. then float_of_int load_completed /. elapsed_s else nan) );
+        ( "latency_ms",
+          Json.Obj
+            [
+              ("count", Json.Int (Array.length lat));
+              ("p50", num (pct 50.));
+              ("p99", num (pct 99.));
+              ("max", num (if Array.length lat = 0 then nan else lat.(Array.length lat - 1)));
+            ] );
+        ("overload_rejections", Json.Int !overloads);
+        ("drain_inflight_delivered", Json.Bool drain_delivered);
+        ("cold_hit_rate", num cold_hit_rate);
+        ("warm_hit_rate", num warm_hit_rate);
+        ("failures", Json.Arr (List.rev_map (fun s -> Json.Str s) !failures));
+      ]
+  in
+  let tmp = out_path ^ ".tmp" in
+  let outc = open_out tmp in
+  output_string outc (Json.to_string report);
+  output_char outc '\n';
+  close_out outc;
+  Sys.rename tmp out_path;
+  (try
+     Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+     Unix.rmdir dir
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  if !failures = [] then Printf.printf "bench_serve: OK (%s)\n" out_path
+  else begin
+    List.iter (fun s -> Printf.eprintf "bench_serve: FAIL %s\n" s) (List.rev !failures);
+    exit 1
+  end

@@ -570,6 +570,84 @@ let codegen_cmd =
     (Cmd.info "codegen" ~doc:"Emit pseudo-CUDA for the fused program")
     Term.(const run $ workload_arg $ device_arg $ generations_arg $ population_arg $ seed_arg)
 
+let serve_cmd =
+  let run socket workers max_queue cache persist_every progress_every metrics_out quiet =
+    (* the daemon always keeps metrics: they are its only cheap health
+       surface, and the bench/CI harnesses read them *)
+    Kf_obs.Metrics.set_enabled true;
+    let log =
+      if quiet then ignore
+      else fun msg ->
+        Printf.printf "kfuse serve: %s\n%!" msg
+    in
+    let config =
+      {
+        (Kf_serve.Server.default ~socket_path:socket) with
+        Kf_serve.Server.workers;
+        max_queue;
+        cache_path = cache;
+        persist_every_s = persist_every;
+        progress_every;
+        log;
+      }
+    in
+    let srv = Kf_serve.Server.start config in
+    Kf_serve.Server.install_signal_handlers srv;
+    Kf_serve.Server.wait srv;
+    match metrics_out with Some path -> Kf_obs.Metrics.write_file path | None -> ()
+  in
+  let socket_arg =
+    let doc = "Unix-domain socket path to listen on." in
+    Arg.(value & opt string "kfuse.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let workers_arg =
+    let doc = "Worker domains executing requests." in
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc = "Admission-queue bound; beyond it requests get a retriable overload \
+               rejection." in
+    Arg.(value & opt int 16 & info [ "max-queue" ] ~docv:"N" ~doc)
+  in
+  let cache_arg =
+    let doc = "Persist the warm group-verdict cache to $(docv) (periodically and on \
+               shutdown) and restore it on start." in
+    Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"FILE" ~doc)
+  in
+  let persist_arg =
+    let doc = "Seconds between periodic cache persists." in
+    Arg.(value & opt float 30. & info [ "persist-every" ] ~docv:"SECONDS" ~doc)
+  in
+  let progress_arg =
+    let doc = "Generations between streamed progress events (for requests that opt \
+               in)." in
+    Arg.(value & opt int 5 & info [ "progress-every" ] ~docv:"N" ~doc)
+  in
+  let metrics_arg =
+    let doc = "Write the final metrics registry (latency histogram, admission \
+               counters, cache gauges) as JSON to $(docv) after the drain." in
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+  in
+  let quiet_arg =
+    let doc = "Suppress daemon log lines." in
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the fusion daemon (line-delimited JSON over a Unix socket)"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P "Serves fusion searches over a Unix-domain socket: one JSON request per \
+               line in; a stream of admitted/started/progress events and exactly one \
+               result or error event per request out.  Admission is bounded (overload \
+               yields a retriable rejection), deadlines are enforced from admission, \
+               request faults are quarantined, SIGTERM/SIGINT drain gracefully, and \
+               the warm verdict cache survives restarts via $(b,--cache).";
+         ])
+    Term.(const run $ socket_arg $ workers_arg $ queue_arg $ cache_arg $ persist_arg
+          $ progress_arg $ metrics_arg $ quiet_arg)
+
 let () =
   let info =
     Cmd.info "kfuse" ~version:"1.0.0"
@@ -580,5 +658,5 @@ let () =
        (Cmd.group info
           [
             devices_cmd; workloads_cmd; analyze_cmd; search_cmd; fuse_cmd; codegen_cmd;
-            graph_cmd; tune_cmd; export_cmd; verify_cmd; report_cmd;
+            graph_cmd; tune_cmd; export_cmd; verify_cmd; report_cmd; serve_cmd;
           ]))

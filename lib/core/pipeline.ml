@@ -146,6 +146,30 @@ let validated_result ctx obj (search : Hgga.result) =
       in
       if validate degraded.Hgga.plan = [] then degraded else identity_result ctx obj search
 
+let search_safe ?params ?checkpoint ?resume_from ?budget ?on_generation ?interrupt ctx obj
+    =
+  match
+    Obs.span ~cat:"pipeline" ~args:(phase_args ctx.program) "search" (fun () ->
+        Hgga.solve ?params ?checkpoint ?resume_from ?budget ?on_generation ?interrupt obj)
+  with
+  | exception ((Stack_overflow | Out_of_memory) as fatal) -> raise fatal
+  | exception e -> Error (Error.classify ~stage:Error.Search e)
+  | search -> Ok (validated_result ctx obj search)
+
+let apply_safe ctx obj search =
+  match apply ctx search with
+  | outcome -> Ok outcome
+  | exception ((Stack_overflow | Out_of_memory) as fatal) -> raise fatal
+  | exception _ -> begin
+      (* The searched plan failed to build or measure; degrade to the
+         (always measurable) unfused program rather than lose the whole
+         run. *)
+      match apply ctx (identity_result ctx obj search) with
+      | outcome -> Ok outcome
+      | exception ((Stack_overflow | Out_of_memory) as fatal) -> raise fatal
+      | exception e -> Error (Error.classify ~stage:Error.Apply e)
+    end
+
 let run_safe ?params ?model ?sync_points ?incremental ?guard ?inject ?checkpoint
     ?resume_from ?budget ~device program =
   match prepare_safe ?sync_points ~device program with
@@ -155,27 +179,9 @@ let run_safe ?params ?model ?sync_points ?incremental ?guard ?inject ?checkpoint
       let injector = Option.map (fun cfg -> Inject.create ~faults cfg) inject in
       let guard = Guard.guarded ?config:guard ?inject:injector faults in
       let obj = objective ?model ?incremental ~guard ~faults ctx in
-      match
-        Obs.span ~cat:"pipeline" ~args:(phase_args program) "search" (fun () ->
-            Hgga.solve ?params ?checkpoint ?resume_from ?budget obj)
-      with
-      | exception ((Stack_overflow | Out_of_memory) as fatal) -> raise fatal
-      | exception e -> Error (Error.classify ~stage:Error.Search e)
-      | search -> begin
-          let search = validated_result ctx obj search in
-          match apply ctx search with
-          | outcome -> Ok outcome
-          | exception ((Stack_overflow | Out_of_memory) as fatal) -> raise fatal
-          | exception _ -> begin
-              (* The searched plan failed to build or measure; degrade to
-                 the (always measurable) unfused program rather than lose
-                 the whole run. *)
-              match apply ctx (identity_result ctx obj search) with
-              | outcome -> Ok outcome
-              | exception ((Stack_overflow | Out_of_memory) as fatal) -> raise fatal
-              | exception e -> Error (Error.classify ~stage:Error.Apply e)
-            end
-        end
+      match search_safe ?params ?checkpoint ?resume_from ?budget ctx obj with
+      | Error e -> Error e
+      | Ok search -> apply_safe ctx obj search
     end
 
 let pp_outcome ppf o =

@@ -77,6 +77,31 @@ val prepare_safe :
     classified (see {!Kf_robust.Error.classify}).  Never raises except
     for fatal runtime conditions ([Out_of_memory], [Stack_overflow]). *)
 
+val search_safe :
+  ?params:Kf_search.Hgga.params ->
+  ?checkpoint:Kf_search.Hgga.checkpoint ->
+  ?resume_from:string ->
+  ?budget:Kf_search.Hgga.budget ->
+  ?on_generation:(Kf_search.Hgga.progress -> unit) ->
+  ?interrupt:(unit -> bool) ->
+  context ->
+  Kf_search.Objective.t ->
+  (Kf_search.Hgga.result, Kf_robust.Error.t) result
+(** The search stage of {!run_safe} alone, over a caller-built objective
+    (so the caller controls guarding, injection and cache seeding — the
+    serve daemon's use case).  Exceptions are trapped and classified at
+    the stage boundary, and an [Ok] result has already passed plan
+    re-validation (degrading like {!run_safe} if needed). *)
+
+val apply_safe :
+  context ->
+  Kf_search.Objective.t ->
+  Kf_search.Hgga.result ->
+  (outcome, Kf_robust.Error.t) result
+(** The apply stage of {!run_safe} alone: builds and measures the fused
+    program, degrading to the identity plan if the searched plan fails
+    to build, and classifying exceptions at the stage boundary. *)
+
 val run_safe :
   ?params:Kf_search.Hgga.params ->
   ?model:Kf_search.Objective.model ->

@@ -12,6 +12,28 @@
 type counter = { c_name : string; cell : int Atomic.t }
 type gauge = { g_name : string; mutable g_value : float }
 
+(* Histograms are geometric-bucketed: bucket i covers
+   [lo * step^i, lo * step^(i+1)), so 128 buckets at 20% growth span
+   1 µs .. ~10^4 s — plenty for request latencies — with bounded error
+   (a percentile is off by at most one bucket width, ~20%).  A mutex
+   per histogram keeps observation cheap and the snapshot consistent;
+   observations are hot-path-gated on [enabled] like every other
+   metric write. *)
+let h_lo = 1e-6
+let h_step = 1.2
+let h_buckets = 128
+let h_log_step = Float.log h_step
+
+type histogram = {
+  h_name : string;
+  h_lock : Mutex.t;
+  h_counts : int array;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
 let enabled_flag = Atomic.make false
 let enabled () = Atomic.get enabled_flag
 let set_enabled v = Atomic.set enabled_flag v
@@ -19,6 +41,7 @@ let set_enabled v = Atomic.set enabled_flag v
 let lock = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
 let counter name =
   Mutex.lock lock;
@@ -46,6 +69,87 @@ let gauge name =
   Mutex.unlock lock;
   g
 
+let histogram name =
+  Mutex.lock lock;
+  let h =
+    match Hashtbl.find_opt histograms name with
+    | Some h -> h
+    | None ->
+        let h =
+          {
+            h_name = name;
+            h_lock = Mutex.create ();
+            h_counts = Array.make h_buckets 0;
+            h_count = 0;
+            h_sum = 0.;
+            h_min = Float.infinity;
+            h_max = Float.neg_infinity;
+          }
+        in
+        Hashtbl.replace histograms name h;
+        h
+  in
+  Mutex.unlock lock;
+  h
+
+let bucket_of v =
+  if v <= h_lo then 0
+  else
+    let i = int_of_float (Float.log (v /. h_lo) /. h_log_step) in
+    if i < 0 then 0 else if i >= h_buckets then h_buckets - 1 else i
+
+let observe h v =
+  if enabled () && Float.is_finite v && v >= 0. then begin
+    Mutex.lock h.h_lock;
+    h.h_counts.(bucket_of v) <- h.h_counts.(bucket_of v) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v;
+    Mutex.unlock h.h_lock
+  end
+
+let histogram_count h =
+  Mutex.lock h.h_lock;
+  let n = h.h_count in
+  Mutex.unlock h.h_lock;
+  n
+
+(* Geometric midpoint of the smallest bucket whose cumulative count
+   reaches the requested rank; exact recorded extrema win at the tails
+   so p0/p100 never invent values outside the observed range. *)
+let histogram_percentile h p =
+  Mutex.lock h.h_lock;
+  let v =
+    if h.h_count = 0 then Float.nan
+    else begin
+      let p = Float.max 0. (Float.min 100. p) in
+      let rank =
+        let r = int_of_float (Float.round (p /. 100. *. float_of_int h.h_count)) in
+        if r < 1 then 1 else if r > h.h_count then h.h_count else r
+      in
+      let rec scan i acc =
+        if i >= h_buckets then h.h_max
+        else begin
+          let acc = acc + h.h_counts.(i) in
+          if acc >= rank then
+            Float.max h.h_min
+              (Float.min h.h_max (h_lo *. (h_step ** (float_of_int i +. 0.5))))
+          else scan (i + 1) acc
+        end
+      in
+      scan 0 0
+    end
+  in
+  Mutex.unlock h.h_lock;
+  v
+
+let histogram_sum h =
+  Mutex.lock h.h_lock;
+  let s = h.h_sum in
+  Mutex.unlock h.h_lock;
+  s
+
 let incr ?(by = 1) c = if enabled () then ignore (Atomic.fetch_and_add c.cell by)
 let add = fun c by -> incr ~by c
 let set g v = if enabled () then g.g_value <- v
@@ -62,6 +166,16 @@ let reset () =
   Mutex.lock lock;
   Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters;
   Hashtbl.iter (fun _ g -> g.g_value <- 0.) gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      Mutex.lock h.h_lock;
+      Array.fill h.h_counts 0 h_buckets 0;
+      h.h_count <- 0;
+      h.h_sum <- 0.;
+      h.h_min <- Float.infinity;
+      h.h_max <- Float.neg_infinity;
+      Mutex.unlock h.h_lock)
+    histograms;
   Mutex.unlock lock
 
 let snapshot () =
@@ -71,19 +185,40 @@ let snapshot () =
   Mutex.unlock lock;
   List.sort (fun (a, _) (b, _) -> compare a b) (cs @ gs)
 
+let histogram_json h =
+  ( h.h_name,
+    Json.Obj
+      [
+        ("count", Json.Int (histogram_count h));
+        ("sum", Json.Float (histogram_sum h));
+        ("min", Json.Float h.h_min);
+        ("max", Json.Float h.h_max);
+        ("p50", Json.Float (histogram_percentile h 50.));
+        ("p90", Json.Float (histogram_percentile h 90.));
+        ("p99", Json.Float (histogram_percentile h 99.));
+      ] )
+
 let to_json () =
+  let snap = snapshot () in
+  let hists =
+    Mutex.lock lock;
+    let hs = Hashtbl.fold (fun _ h acc -> h :: acc) histograms [] in
+    Mutex.unlock lock;
+    List.sort (fun a b -> compare a.h_name b.h_name) hs
+  in
   Json.Obj
     [
       ("counters",
        Json.Obj
          (List.filter_map
             (fun (n, v) -> match v with Json.Int _ -> Some (n, v) | _ -> None)
-            (snapshot ())));
+            snap));
       ("gauges",
        Json.Obj
          (List.filter_map
             (fun (n, v) -> match v with Json.Float _ -> Some (n, v) | _ -> None)
-            (snapshot ())));
+            snap));
+      ("histograms", Json.Obj (List.map histogram_json hists));
     ]
 
 let write_file path =

@@ -14,10 +14,32 @@ val set_enabled : bool -> unit
 type counter
 type gauge
 
+type histogram
+(** Geometric-bucketed distribution (128 buckets, 20% growth, spanning
+    1 µs .. ~10^4 in the observed unit): percentile estimates carry at
+    most one bucket (~20%) of relative error, at a fixed small memory
+    cost per histogram.  Used for per-request latency percentiles. *)
+
 val counter : string -> counter
 (** Find-or-create; the same name always yields the same cell. *)
 
 val gauge : string -> gauge
+
+val histogram : string -> histogram
+(** Find-or-create, like {!counter}. *)
+
+val observe : histogram -> float -> unit
+(** Record one (non-negative, finite) observation.  Thread-safe; no-op
+    when the registry is disabled or the value is out of domain. *)
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val histogram_percentile : histogram -> float -> float
+(** [histogram_percentile h p] estimates the [p]-th percentile (p in
+    [0,100], clamped) as the geometric midpoint of the covering bucket,
+    clamped to the exact observed min/max; [nan] with no
+    observations. *)
 
 val incr : ?by:int -> counter -> unit
 (** Atomic; lost-update-free under parallel domains.  No-op when the
@@ -35,13 +57,14 @@ val find : string -> int option
 (** Counter value by name, if such a counter was ever created. *)
 
 val reset : unit -> unit
-(** Zero every registered counter and gauge (tests). *)
+(** Zero every registered counter, gauge and histogram (tests). *)
 
 val snapshot : unit -> (string * Json.t) list
-(** All registered metrics, sorted by name. *)
+(** All registered counters and gauges, sorted by name. *)
 
 val to_json : unit -> Json.t
-(** [{ "counters": {..}, "gauges": {..} }]. *)
+(** [{ "counters": {..}, "gauges": {..}, "histograms": {..} }]; each
+    histogram renders as count/sum/min/max/p50/p90/p99. *)
 
 val write_file : string -> unit
 (** Atomic (temp file + rename) JSON dump.  @raise Sys_error on IO

@@ -99,7 +99,9 @@ let of_violations ~stage violations =
 
 let of_stop (stats : Hgga.stats) ~threshold =
   match stats.Hgga.stop with
-  | Hgga.Converged | Hgga.Generation_cap -> None
+  (* Interrupted is a cooperative stop (server drain), not a health
+     degradation: the caller that installed the interrupt handles it. *)
+  | Hgga.Converged | Hgga.Generation_cap | Hgga.Interrupted -> None
   | Hgga.Evaluation_budget | Hgga.Wall_budget ->
       Some
         (Budget_exhausted

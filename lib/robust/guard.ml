@@ -1,14 +1,53 @@
 module Objective = Kf_search.Objective
+module Rng = Kf_util.Rng
 
 type config = {
   max_retries : int;
   backoff_s : float;
+  max_backoff_s : float;
+  jitter : float;
+  jitter_seed : int;
   penalty_cost : float;
   transient : exn -> bool;
 }
 
 let default =
-  { max_retries = 2; backoff_s = 1e-3; penalty_cost = 1e30; transient = Inject.is_transient }
+  {
+    max_retries = 2;
+    backoff_s = 1e-3;
+    max_backoff_s = 0.1;
+    jitter = 0.5;
+    jitter_seed = 0x5eed;
+    penalty_cost = 1e30;
+    transient = Inject.is_transient;
+  }
+
+(* Backoff schedule: exponential in the attempt number, spread by a
+   deterministic jitter so retries of different candidates de-correlate
+   (the classic thundering-herd fix) without sacrificing
+   reproducibility.  The jitter draw is a pure function of
+   (jitter_seed, key, attempt) — like [Inject]'s draws it does not
+   depend on the order in which the search reaches candidates, so a
+   guarded run replays the exact same sleep schedule every time.  The
+   delay is bounded by [max_backoff_s]: a long retry chain must not
+   stall a worker for unbounded time. *)
+let backoff_delay config ~key ~attempt =
+  if config.backoff_s <= 0. then 0.
+  else begin
+    let base = config.backoff_s *. float_of_int (1 lsl min attempt 20) in
+    let jitter = Float.max 0. (Float.min 1. config.jitter) in
+    let factor =
+      if jitter = 0. then 1.
+      else begin
+        let rng =
+          Rng.create ((config.jitter_seed * 0x9e3779b1) lxor Hashtbl.hash (key, attempt))
+        in
+        (* multiplicative jitter centered on 1: [1 - j/2, 1 + j/2) *)
+        1. -. (jitter /. 2.) +. Rng.float rng jitter
+      end
+    in
+    Float.min config.max_backoff_s (base *. factor)
+  end
 
 (* A verdict is plausible when its cost is non-negative and not NaN
    (infinity is the legitimate "infeasible" encoding) and its original
@@ -30,6 +69,7 @@ let quarantine config (faults : Objective.fault_stats) =
 
 let protect ?(config = default) (faults : Objective.fault_stats) : Objective.guard =
  fun eval group ->
+  let key = lazy (String.concat "," (List.map string_of_int group)) in
   let rec attempt tries =
     match eval group with
     | v ->
@@ -44,10 +84,10 @@ let protect ?(config = default) (faults : Objective.fault_stats) : Objective.gua
     | exception e when config.transient e && tries < config.max_retries ->
         faults.Objective.trapped <- faults.Objective.trapped + 1;
         faults.Objective.retries <- faults.Objective.retries + 1;
-        (* Deterministic exponential backoff: transient failures (timed-out
-           measurements) often clear; the schedule is fixed so runs stay
-           reproducible. *)
-        if config.backoff_s > 0. then Unix.sleepf (config.backoff_s *. float_of_int (1 lsl tries));
+        (* Transient failures (timed-out measurements) often clear; wait
+           out the deterministic jittered backoff before the next try. *)
+        let delay = backoff_delay config ~key:(Lazy.force key) ~attempt:tries in
+        if delay > 0. then Unix.sleepf delay;
         attempt (tries + 1)
     | exception ((Stack_overflow | Out_of_memory) as fatal) -> raise fatal
     | exception _ ->

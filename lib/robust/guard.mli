@@ -8,18 +8,31 @@
     receives a large finite penalty fitness and [feasible = false] instead
     of crashing the GA generation.  Transient failures (timed-out
     evaluations) are retried a bounded number of times with a
-    deterministic exponential backoff.  Every event is counted in the
-    shared {!Kf_search.Objective.fault_stats} record, which solvers
-    surface in their results. *)
+    deterministic, jittered, bounded exponential backoff.  Every event is
+    counted in the shared {!Kf_search.Objective.fault_stats} record,
+    which solvers surface in their results. *)
 
 type config = {
   max_retries : int;  (** retry attempts for transient failures (default 2) *)
   backoff_s : float;  (** base backoff, doubled per retry (default 1 ms; 0 disables) *)
+  max_backoff_s : float;  (** hard cap on any single backoff sleep (default 100 ms) *)
+  jitter : float;
+      (** multiplicative jitter width in [0,1]: each delay is spread over
+          [±jitter/2] of its exponential base so concurrent retries
+          de-correlate (default 0.5; 0 restores the pure schedule) *)
+  jitter_seed : int;  (** seed of the deterministic jitter draw *)
   penalty_cost : float;  (** quarantine fitness (default 1e30) *)
   transient : exn -> bool;  (** which exceptions to retry (default {!Inject.is_transient}) *)
 }
 
 val default : config
+
+val backoff_delay : config -> key:string -> attempt:int -> float
+(** The exact sleep (seconds) the guard performs before retry number
+    [attempt] (0-based) of the candidate labelled [key].  A pure function
+    of [(config.jitter_seed, key, attempt)] — independent of evaluation
+    order, so guarded runs replay bit-identical schedules — bounded by
+    [max_backoff_s], and 0 whenever [backoff_s <= 0]. *)
 
 val sane : Kf_search.Objective.verdict -> bool
 (** Plausibility check: cost non-negative and not NaN ([infinity] is the

@@ -62,7 +62,13 @@ let paper_params =
     stall_generations = 2000;
   }
 
-type stop_reason = Converged | Generation_cap | Evaluation_budget | Wall_budget | Fault_overload
+type stop_reason =
+  | Converged
+  | Generation_cap
+  | Evaluation_budget
+  | Wall_budget
+  | Fault_overload
+  | Interrupted
 
 let stop_reason_name = function
   | Converged -> "converged"
@@ -70,6 +76,7 @@ let stop_reason_name = function
   | Evaluation_budget -> "evaluation budget exhausted"
   | Wall_budget -> "wall-time budget exhausted"
   | Fault_overload -> "fault rate above threshold"
+  | Interrupted -> "interrupted"
 
 type budget = {
   max_evaluations : int option;
@@ -82,6 +89,18 @@ let unlimited =
   { max_evaluations = None; max_wall_s = None; max_fault_rate = None; min_rate_evals = 50 }
 
 type checkpoint = { path : string; every : int }
+
+(* One observation per completed generation, for live progress streaming
+   (the serve daemon forwards these to clients).  Purely observational:
+   the callback sees state the loop computed anyway, so installing one
+   cannot change any result. *)
+type progress = {
+  p_generation : int;
+  p_best_cost : float;
+  p_stall : int;
+  p_evaluations : int;
+  p_wall_s : float;
+}
 
 type stats = {
   generations : int;
@@ -342,7 +361,8 @@ let migrate islands cursor ~count =
       st.ipop <- sorted)
     islands
 
-let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimited) obj =
+let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimited)
+    ?on_generation ?interrupt obj =
   if params.population_size < 2 then invalid_arg "Hgga.solve: population too small";
   if params.domains < 1 then invalid_arg "Hgga.solve: domains must be positive";
   if params.islands < 1 then invalid_arg "Hgga.solve: islands must be positive";
@@ -484,6 +504,10 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
             migration_cursor = !migration_cursor;
             group_cache = Objective.cache_stats obj;
             plan_cache = Objective.plan_cache_stats obj;
+            (* never persisted for search checkpoints: warm-seeding a
+               resume would change its evaluation counts and break the
+               bit-identical resume contract *)
+            group_verdicts = [];
             best = !best.groups;
             history = List.rev !history;
             islands =
@@ -508,7 +532,8 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
      gracefully by keeping the incumbent instead of aborting mid-way. *)
   let over_budget () =
     let evals = Objective.evaluations obj in
-    if (match budget.max_evaluations with Some m -> evals >= m | None -> false) then
+    if (match interrupt with Some f -> f () | None -> false) then Some Interrupted
+    else if (match budget.max_evaluations with Some m -> evals >= m | None -> false) then
       Some Evaluation_budget
     else if
       match budget.max_wall_s with Some m -> wall_now () >= m | None -> false
@@ -569,6 +594,17 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
       stall := 0
     end
     else incr stall;
+    (match on_generation with
+    | Some f ->
+        f
+          {
+            p_generation = !gen;
+            p_best_cost = !best.cost;
+            p_stall = !stall;
+            p_evaluations = Objective.evaluations obj;
+            p_wall_s = wall_now ();
+          }
+    | None -> ());
     if
       k_islands >= 2 && params.migration_size >= 1
       && !gen mod params.migration_interval = 0

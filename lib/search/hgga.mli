@@ -66,6 +66,10 @@ type stop_reason =
   | Fault_overload
       (** the observed per-evaluation fault rate crossed the budget's
           threshold — the search degraded to best-so-far *)
+  | Interrupted
+      (** an external [interrupt] callback asked the loop to stop (e.g.
+          a draining server); the best-so-far plan is returned and a
+          final checkpoint written, exactly as for a budget stop *)
 
 val stop_reason_name : stop_reason -> string
 
@@ -86,6 +90,16 @@ type checkpoint = {
   path : string;  (** snapshot file, overwritten at each checkpoint *)
   every : int;  (** checkpoint every this many generations *)
 }
+
+type progress = {
+  p_generation : int;
+  p_best_cost : float;  (** incumbent cost after this generation *)
+  p_stall : int;
+  p_evaluations : int;  (** cumulative, resume-inclusive *)
+  p_wall_s : float;  (** cumulative, resume-inclusive *)
+}
+(** One per-generation observation handed to [on_generation] — the live
+    progress feed of the serve daemon.  Purely observational. *)
 
 type stats = {
   generations : int;  (** generations actually run *)
@@ -119,6 +133,8 @@ val solve :
   ?checkpoint:checkpoint ->
   ?resume_from:string ->
   ?budget:budget ->
+  ?on_generation:(progress -> unit) ->
+  ?interrupt:(unit -> bool) ->
   Objective.t ->
   result
 (** Runs the GA and returns the best feasible plan found, after the
@@ -136,6 +152,13 @@ val solve :
     objective cache — so for a fixed island count the result (plan,
     improvement history, and evaluation count, cache capacity permitting)
     is bit-identical for any [domains] value.
+
+    [on_generation] observes each completed generation (see {!progress});
+    [interrupt] is polled once per generation boundary — returning [true]
+    stops the loop with {!Interrupted}, returning the best-so-far plan
+    after a forced final checkpoint, so a draining server can retire
+    in-flight searches promptly without losing their progress.  Neither
+    callback can alter the search result.
 
     [checkpoint] periodically serializes the full search state (see
     {!Snapshot}) so a killed run can continue, and one final snapshot is

@@ -201,6 +201,28 @@ module Verdict_cache (K : Hashtbl.HashedType) = struct
     in
     probe ()
 
+  (* Warm-cache support: dump and pre-load memoized verdicts.  Seeding
+     inserts through the normal FIFO/eviction machinery but records
+     neither a hit nor a miss — seeded entries are free history, not
+     probes — so hit-rate telemetry still measures only real traffic. *)
+  let export t =
+    Array.fold_left
+      (fun acc s ->
+        Mutex.lock s.s_lock;
+        let entries = H.fold (fun k v acc -> (k, v) :: acc) s.s_cache acc in
+        Mutex.unlock s.s_lock;
+        entries)
+      [] t.shards
+
+  let seed t entries =
+    List.iter
+      (fun (k, v) ->
+        let s = t.shards.(K.hash k mod Array.length t.shards) in
+        Mutex.lock s.s_lock;
+        insert_locked t s k v;
+        Mutex.unlock s.s_lock)
+      entries
+
   let shard_stats_locked s =
     {
       hits = s.s_hits;
@@ -611,6 +633,18 @@ let base_plan_stats t =
   let s = t.base_plan in
   Mutex.unlock t.stats_lock;
   s
+
+(* Warm cross-request cache: the serve daemon exports one request's
+   signature-keyed verdicts and seeds them into the next request's
+   objective over the same (program, device, model), so identical
+   subproblems hit warm across requests — and, with Snapshot.Cache
+   persistence, across daemon restarts.  Only meaningful on the
+   incremental path: signatures are canonical there. *)
+let export_group_verdicts t =
+  if t.incremental then Sig_cache.export t.gcache else []
+
+let seed_group_verdicts t entries =
+  if t.incremental then Sig_cache.seed t.gcache entries
 
 let shard_stats t =
   if t.incremental then Sig_cache.shard_stats t.gcache

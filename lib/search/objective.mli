@@ -180,6 +180,23 @@ val add_cache_stats : t -> group:cache_stats -> plan:cache_stats -> unit
     the whole logical run.  The seeds' [size] fields are ignored — the
     prior process's tables are gone. *)
 
+val export_group_verdicts : t -> (int array * verdict) list
+(** Every memoized (canonical signature, verdict) pair of the
+    signature-keyed group cache, in unspecified order — the warm-cache
+    payload the serve daemon shares across requests and persists via
+    [Snapshot.Cache].  Empty on a non-incremental objective.  Verdicts
+    are pure functions of (program, device, model), so an exported entry
+    is valid for any other objective built over the same inputs. *)
+
+val seed_group_verdicts : t -> (int array * verdict) list -> unit
+(** Pre-populate the group cache with previously exported entries.
+    Seeded entries count as neither hits nor misses (hit-rate telemetry
+    measures only real probes), respect any configured capacity, and —
+    evaluation being pure — can only skip work, never change a result.
+    No-op on a non-incremental objective.  Seeding entries exported from
+    a {e different} (program, device, model) is undefined behavior; the
+    daemon keys its store by a content digest to prevent it. *)
+
 val shard_stats : t -> cache_stats array
 (** Per-shard memo-table counters, indexed by shard. *)
 

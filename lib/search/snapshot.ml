@@ -15,9 +15,16 @@
          island with cursor 0.
      v4  + cumulative group-cache and plan-cache counters
          (hits/misses/evictions), so resumed runs report hit rates over
-         the whole logical run.  v1-v3 files load with zero counters. *)
+         the whole logical run.  v1-v3 files load with zero counters.
+     v5  + optional [group_verdicts]: memoized (signature, verdict)
+         pairs of the group-projection cache, so a daemon can persist
+         its warm cache across restarts ({!Cache} documents carry the
+         same payload standalone).  v1-v4 files load with an empty
+         list; search checkpoints keep writing an empty list — warm-
+         seeding a resume would change its evaluation counts and break
+         the bit-identical resume contract. *)
 
-let format_version = 4
+let format_version = 5
 
 type island = {
   rng_state : int64;  (** raw SplitMix64 state of this island's generator *)
@@ -45,6 +52,9 @@ type t = {
           process's table is gone) *)
   plan_cache : Objective.cache_stats;
       (** cumulative plan-cache counters, like [group_cache] *)
+  group_verdicts : (int array * Objective.verdict) list;
+      (** memoized group verdicts to persist (format >= 5; [] otherwise).
+          Search checkpoints always write [] — see the format note. *)
   best : int list list;
   history : (int * float) list;  (** oldest first *)
   islands : island list;  (** island count = list length; 1 for v1/v2 *)
@@ -88,6 +98,27 @@ let render t =
     t.group_cache.Objective.misses t.group_cache.Objective.evictions;
   Printf.bprintf b "  \"plan_cache\": [%d,%d,%d],\n" t.plan_cache.Objective.hits
     t.plan_cache.Objective.misses t.plan_cache.Objective.evictions;
+  if t.group_verdicts <> [] then begin
+    Buffer.add_string b "  \"group_verdicts\": [";
+    List.iteri
+      (fun i (sg, (v : Objective.verdict)) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b "\n    [[";
+        Array.iteri
+          (fun j k ->
+            if j > 0 then Buffer.add_char b ',';
+            Buffer.add_string b (string_of_int k))
+          sg;
+        (* feasible as 0/1 (the restricted reader has no booleans); costs
+           as %h hex-float strings for an exact round trip — "%h" renders
+           the infinity of an infeasible verdict as "infinity", which
+           float_of_string accepts back. *)
+        Printf.bprintf b "],%d,\"%h\",\"%h\"]"
+          (if v.Objective.feasible then 1 else 0)
+          v.Objective.cost v.Objective.orig_sum)
+      t.group_verdicts;
+    Buffer.add_string b "\n  ],\n"
+  end;
   Buffer.add_string b "  \"best\": ";
   buf_groups b t.best;
   Buffer.add_string b ",\n  \"history\": [";
@@ -113,15 +144,31 @@ let render t =
   Buffer.add_string b "\n  ]\n}\n";
   Buffer.contents b
 
-let save path t =
-  (* Atomic write: a checkpoint interrupted mid-write must never replace a
-     good previous snapshot with a truncated one. *)
+(* Atomic write: render first, write to a sibling temp file, and only
+   rename over the target after an error-checked [close_out] confirms the
+   bytes were flushed.  A checkpoint interrupted mid-write — or one whose
+   flush fails on a full disk — must never replace a good previous
+   snapshot with a truncated one, so on any failure the temp file is
+   removed and the target left untouched. *)
+let atomic_write path contents =
   let tmp = path ^ ".tmp" in
   let oc = open_out tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (render t));
-  Sys.rename tmp path
+  (match
+     output_string oc contents;
+     close_out oc
+   with
+  | () -> ()
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
+  match Sys.rename tmp path with
+  | () -> ()
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
+
+let save path t = atomic_write path (render t)
 
 (* --- restricted JSON reading --- *)
 
@@ -280,6 +327,43 @@ let rng_state_of_string name s =
   | Some v -> v
   | None -> malformed "bad %s %S" name s
 
+let cost_of_string name s =
+  match float_of_string_opt s with
+  | Some v when not (Float.is_nan v) -> v
+  | Some _ -> malformed "%s must not be NaN" name
+  | None -> malformed "bad %s %S" name s
+
+(* Format 5 added the persisted warm cache; older files (and search
+   checkpoints, which write none) load with an empty list. *)
+let parse_group_verdicts j =
+  match field_opt j "group_verdicts" with
+  | None -> []
+  | Some v ->
+      List.map
+        (fun entry ->
+          match as_arr "group_verdicts" entry with
+          | [ sg; feas; cost; orig ] ->
+              let signature =
+                Array.of_list (List.map (as_int "group_verdicts") (as_arr "group_verdicts" sg))
+              in
+              if Array.length signature = 0 then
+                malformed "group_verdicts signatures must be non-empty";
+              let feasible =
+                match as_int "group_verdicts" feas with
+                | 0 -> false
+                | 1 -> true
+                | _ -> malformed "group_verdicts feasible flag must be 0 or 1"
+              in
+              ( signature,
+                {
+                  Objective.feasible;
+                  cost = cost_of_string "group_verdicts cost" (as_str "group_verdicts" cost);
+                  orig_sum =
+                    cost_of_string "group_verdicts orig_sum" (as_str "group_verdicts" orig);
+                } )
+          | _ -> malformed "group_verdicts entries are [signature, feasible, cost, orig_sum]")
+        (as_arr "group_verdicts" v)
+
 let of_string s =
   let j = parse_json s in
   let fmt = as_int "format" (field j "format") in
@@ -331,6 +415,7 @@ let of_string s =
   in
   let group_cache = cache_counts "group_cache" in
   let plan_cache = cache_counts "plan_cache" in
+  let group_verdicts = parse_group_verdicts j in
   let history =
     List.map
       (fun entry ->
@@ -389,16 +474,79 @@ let of_string s =
     migration_cursor;
     group_cache;
     plan_cache;
+    group_verdicts;
     best = as_groups "best" (field j "best");
     history;
     islands;
   }
 
-let load path =
+let read_file path =
   let ic = open_in_bin path in
-  let s =
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  of_string s
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path = of_string (read_file path)
+
+(* --- standalone warm-cache documents (serve daemon persistence) --- *)
+
+module Cache = struct
+  type entry = { key : string; verdicts : (int array * Objective.verdict) list }
+  type nonrec t = entry list
+
+  let kind = "serve-cache"
+
+  let render (t : t) =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "{\n";
+    Printf.bprintf b "  \"format\": %d,\n" format_version;
+    Printf.bprintf b "  \"kind\": \"%s\",\n" kind;
+    Buffer.add_string b "  \"entries\": [";
+    List.iteri
+      (fun i e ->
+        if i > 0 then Buffer.add_char b ',';
+        (* keys are hex digests: no JSON escaping needed, but reject any
+           key the restricted writer could not round-trip *)
+        String.iter
+          (fun c ->
+            if c = '"' || c = '\\' || Char.code c < 0x20 then
+              invalid_arg "Snapshot.Cache.save: key must not need JSON escaping")
+          e.key;
+        Printf.bprintf b "\n    {\"key\": \"%s\", \"verdicts\": [" e.key;
+        List.iteri
+          (fun j (sg, (v : Objective.verdict)) ->
+            if j > 0 then Buffer.add_char b ',';
+            Buffer.add_string b "[[";
+            Array.iteri
+              (fun k x ->
+                if k > 0 then Buffer.add_char b ',';
+                Buffer.add_string b (string_of_int x))
+              sg;
+            Printf.bprintf b "],%d,\"%h\",\"%h\"]"
+              (if v.Objective.feasible then 1 else 0)
+              v.Objective.cost v.Objective.orig_sum)
+          e.verdicts;
+        Buffer.add_string b "]}")
+      t;
+    Buffer.add_string b "\n  ]\n}\n";
+    Buffer.contents b
+
+  let save path t = atomic_write path (render t)
+
+  let of_string s : t =
+    let j = parse_json s in
+    let fmt = as_int "format" (field j "format") in
+    if fmt < 5 || fmt > format_version then malformed "unsupported cache format %d" fmt;
+    let k = as_str "kind" (field j "kind") in
+    if k <> kind then malformed "expected a %S document, found kind %S" kind k;
+    List.map
+      (fun e ->
+        let key = as_str "key" (field e "key") in
+        if key = "" then malformed "cache entry key must be non-empty";
+        (* reuse the snapshot verdict shape under a wrapper object *)
+        let verdicts = parse_group_verdicts (Jobj [ ("group_verdicts", field e "verdicts") ]) in
+        { key; verdicts })
+      (as_arr "entries" (field j "entries"))
+
+  let load path = of_string (read_file path)
+end

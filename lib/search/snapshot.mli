@@ -47,6 +47,13 @@ type t = {
           the saved process's table does not survive) *)
   plan_cache : Objective.cache_stats;
       (** cumulative plan-cache counters, like [group_cache] *)
+  group_verdicts : (int array * Objective.verdict) list;
+      (** memoized (canonical signature, verdict) pairs to persist —
+          a warm cache for processes that outlive one search (format 5;
+          [] for older snapshots).  Search checkpoints always write []:
+          warm-seeding a resume would change its evaluation counts and
+          break the bit-identical resume contract, so only the serve
+          daemon populates this (usually via {!Cache} documents). *)
   best : int list list;  (** incumbent grouping *)
   history : (int * float) list;  (** improvement history, oldest first *)
   islands : island list;
@@ -60,7 +67,12 @@ exception Malformed of string
 
 val render : t -> string
 val save : string -> t -> unit
-(** Atomic write (temp file + rename).  @raise Sys_error on IO failure. *)
+(** Crash-safe atomic write: the rendered document goes to a sibling
+    temp file, the close is error-checked, and only then does a rename
+    install it — so an interrupted or failed save (crash, full disk)
+    never replaces a good previous snapshot with a truncated one, and
+    the temp file is removed on failure.  @raise Sys_error on IO
+    failure. *)
 
 val of_string : string -> t
 (** Accepts the current format plus formats 1 and 2 (missing budget
@@ -69,3 +81,31 @@ val of_string : string -> t
 
 val load : string -> t
 (** @raise Sys_error on IO failure, [Malformed] on invalid content. *)
+
+(** Standalone warm-cache documents: the serve daemon's persisted group
+    verdicts, keyed by a content digest of (program, device, model) so a
+    restarted daemon only reuses verdicts for identical inputs.  Same
+    crash-safe write discipline as snapshots; [kind] discriminates the
+    document so a search checkpoint can never be loaded as a cache (or
+    vice versa). *)
+module Cache : sig
+  type entry = {
+    key : string;  (** content digest — printable, no JSON escaping *)
+    verdicts : (int array * Objective.verdict) list;
+  }
+
+  type nonrec t = entry list
+
+  val render : t -> string
+  (** @raise Invalid_argument if a key would need JSON escaping. *)
+
+  val save : string -> t -> unit
+  (** Atomic, error-checked write like {!Snapshot.save}. *)
+
+  val of_string : string -> t
+  (** @raise Malformed on invalid input, a non-cache document, or an
+      unsupported format. *)
+
+  val load : string -> t
+  (** @raise Sys_error on IO failure, [Malformed] on invalid content. *)
+end

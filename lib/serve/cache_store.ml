@@ -1,0 +1,95 @@
+(* Cross-request warm cache: group verdicts keyed by a content digest of
+   (program text, device, model).  Verdicts are pure functions of that
+   triple, so an entry seeded into a later objective over the same triple
+   can only skip evaluations, never change a result.  The store persists
+   as a Snapshot.Cache document so a restarted daemon starts warm. *)
+
+module Objective = Kf_search.Objective
+module Snapshot = Kf_search.Snapshot
+
+type t = {
+  lock : Mutex.t;
+  table : (string, (int array * Objective.verdict) list) Hashtbl.t;
+  fifo : string Queue.t;  (* insertion order, for eviction *)
+  max_entries : int;
+  mutable dirty : bool;  (* unsaved changes since the last save/load *)
+}
+
+let create ?(max_entries = 64) () =
+  if max_entries < 1 then invalid_arg "Cache_store.create: max_entries must be positive";
+  {
+    lock = Mutex.create ();
+    table = Hashtbl.create 16;
+    fifo = Queue.create ();
+    max_entries;
+    dirty = false;
+  }
+
+let key ~program ~device ~model =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [
+            Kf_ir.Program_io.print program;
+            device.Kf_gpu.Device.name;
+            Objective.model_name model;
+          ]))
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find t k = locked t (fun () -> Option.value (Hashtbl.find_opt t.table k) ~default:[])
+
+let put_locked t k verdicts =
+  if not (Hashtbl.mem t.table k) then begin
+    Queue.push k t.fifo;
+    while Hashtbl.length t.table >= t.max_entries do
+      Hashtbl.remove t.table (Queue.pop t.fifo)
+    done
+  end;
+  Hashtbl.replace t.table k verdicts;
+  t.dirty <- true
+
+let absorb t k verdicts =
+  if verdicts <> [] then
+    locked t (fun () ->
+        (* An export from a request seeded by this entry is a superset of
+           the seed (seeded verdicts re-export), so keeping the larger
+           list retains every verdict either side knows. *)
+        match Hashtbl.find_opt t.table k with
+        | Some existing when List.length existing >= List.length verdicts -> ()
+        | _ -> put_locked t k verdicts)
+
+let programs t = locked t (fun () -> Hashtbl.length t.table)
+
+let verdict_count t =
+  locked t (fun () -> Hashtbl.fold (fun _ vs acc -> acc + List.length vs) t.table 0)
+
+let dirty t = locked t (fun () -> t.dirty)
+
+let save t path =
+  let entries =
+    locked t (fun () ->
+        t.dirty <- false;
+        (* persist in insertion order so saves are deterministic *)
+        Queue.fold
+          (fun acc k ->
+            match Hashtbl.find_opt t.table k with
+            | Some verdicts -> { Snapshot.Cache.key = k; verdicts } :: acc
+            | None -> acc)
+          [] t.fifo
+        |> List.rev)
+  in
+  Snapshot.Cache.save path entries
+
+let load t path =
+  let entries = Snapshot.Cache.load path in
+  locked t (fun () ->
+      List.iter
+        (fun { Snapshot.Cache.key; verdicts } ->
+          if verdicts <> [] then put_locked t key verdicts)
+        entries;
+      t.dirty <- false)
+
+let load_if_exists t path = if Sys.file_exists path then load t path

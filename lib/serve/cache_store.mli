@@ -1,0 +1,55 @@
+(** The daemon's cross-request warm cache.
+
+    Group verdicts exported from one request's objective
+    ({!Kf_search.Objective.export_group_verdicts}) are stored under a
+    content digest of (program text, device, model) and seeded into
+    later objectives over the same triple — evaluation is pure, so a
+    warm start can only skip work.  Thread-safe; bounded by a FIFO cap
+    on stored programs; persisted as a crash-safe
+    {!Kf_search.Snapshot.Cache} document so a restarted daemon resumes
+    warm. *)
+
+type t
+
+val create : ?max_entries:int -> unit -> t
+(** [max_entries] caps the number of distinct (program, device, model)
+    triples kept (default 64; FIFO eviction).
+    @raise Invalid_argument if it is not positive. *)
+
+val key :
+  program:Kf_ir.Program.t ->
+  device:Kf_gpu.Device.t ->
+  model:Kf_search.Objective.model ->
+  string
+(** Content digest of the triple — two requests share warmth exactly
+    when their canonical program text, device and model all match. *)
+
+val find : t -> string -> (int array * Kf_search.Objective.verdict) list
+(** The stored verdicts for a key ([] when cold). *)
+
+val absorb : t -> string -> (int array * Kf_search.Objective.verdict) list -> unit
+(** Merge a request's exported verdicts.  The larger of the stored and
+    offered lists wins (an export from a seeded request is a superset of
+    its seed); empty exports are ignored. *)
+
+val programs : t -> int
+(** Distinct triples currently stored. *)
+
+val verdict_count : t -> int
+(** Total verdicts across all entries. *)
+
+val dirty : t -> bool
+(** Whether the store changed since the last {!save}/{!load}. *)
+
+val save : t -> string -> unit
+(** Crash-safe persist (atomic temp-file + rename; see
+    {!Kf_search.Snapshot.Cache.save}).  Clears {!dirty}.
+    @raise Sys_error on IO failure. *)
+
+val load : t -> string -> unit
+(** Merge a persisted document into the store.
+    @raise Sys_error / {!Kf_search.Snapshot.Malformed} on unreadable or
+    corrupt files. *)
+
+val load_if_exists : t -> string -> unit
+(** {!load} when [path] exists; no-op otherwise (fresh daemon). *)

@@ -1,0 +1,78 @@
+(* Minimal blocking client for the serve protocol — what the CLI
+   example, the lifecycle tests and the bench driver use. *)
+
+module Json = Kf_obs.Json
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+
+let connect_retry ?(attempts = 50) ?(delay_s = 0.1) path =
+  let rec go n =
+    match connect path with
+    | t -> t
+    | exception (Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _) as e) ->
+        if n <= 1 then raise e
+        else begin
+          Thread.delay delay_s;
+          go (n - 1)
+        end
+  in
+  go (max 1 attempts)
+
+let send_line t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc
+
+let send t json = send_line t (Json.to_string json)
+
+let next_event t =
+  match input_line t.ic with
+  | line -> Some (Json.of_string line)
+  | exception (End_of_file | Sys_error _) -> None
+
+let event_kind j = Option.bind (Json.member "event" j) Json.to_string_opt
+let event_id j = Option.bind (Json.member "id" j) Json.to_string_opt
+
+let is_terminal j =
+  match event_kind j with Some ("result" | "error") -> true | _ -> false
+
+(* Events of concurrent requests interleave on a pipelined connection;
+   filter by id and stop at that id's terminal event. *)
+let wait_terminal t ~id =
+  let rec go acc =
+    match next_event t with
+    | None -> None
+    | Some j ->
+        if event_id j <> Some id then go acc
+        else if is_terminal j then Some (List.rev acc, j)
+        else go (j :: acc)
+  in
+  go []
+
+let close t =
+  (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* --- request construction --- *)
+
+let request ?(id = "") ?workload ?program ?(device = "k20x") ?(model = "proposed")
+    ?(options = []) () =
+  let opt name v f = Option.map (fun v -> (name, f v)) v in
+  Json.Obj
+    (List.filter_map Fun.id
+       [
+         Some ("id", Json.Str id);
+         opt "workload" workload (fun w -> Json.Str w);
+         opt "program" program (fun p -> Json.Str p);
+         Some ("device", Json.Str device);
+         Some ("model", Json.Str model);
+         (if options = [] then None else Some ("options", Json.Obj options));
+       ])

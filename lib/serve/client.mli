@@ -1,0 +1,43 @@
+(** Blocking client for the serve protocol — used by the CLI example,
+    the lifecycle tests and the bench driver. *)
+
+type t
+
+val connect : string -> t
+(** Connect to a daemon's Unix socket.  Raises [Unix.Unix_error] when
+    the daemon is not there. *)
+
+val connect_retry : ?attempts:int -> ?delay_s:float -> string -> t
+(** {!connect} retrying on [ENOENT]/[ECONNREFUSED] (a daemon still
+    starting up); default 50 attempts, 0.1 s apart. *)
+
+val send : t -> Kf_obs.Json.t -> unit
+(** Write one request line. *)
+
+val send_line : t -> string -> unit
+(** Write a raw line — for deliberately malformed requests in tests. *)
+
+val next_event : t -> Kf_obs.Json.t option
+(** Read the next event line ([None] on EOF). *)
+
+val event_kind : Kf_obs.Json.t -> string option
+val event_id : Kf_obs.Json.t -> string option
+
+val wait_terminal : t -> id:string -> (Kf_obs.Json.t list * Kf_obs.Json.t) option
+(** Read until the ["result"]/["error"] event for [id], skipping events
+    of other pipelined requests: [(non-terminal events for id, terminal
+    event)], or [None] if the connection ends first. *)
+
+val close : t -> unit
+
+val request :
+  ?id:string ->
+  ?workload:string ->
+  ?program:string ->
+  ?device:string ->
+  ?model:string ->
+  ?options:(string * Kf_obs.Json.t) list ->
+  unit ->
+  Kf_obs.Json.t
+(** Build a request object (defaults: device [k20x], model
+    [proposed]). *)

@@ -1,0 +1,88 @@
+(** Wire protocol of the serve daemon (see DESIGN.md §13).
+
+    Transport: a Unix-domain stream socket carrying line-delimited JSON.
+    The client writes one request object per line; the daemon answers
+    with a stream of event lines — ["admitted"], ["started"], zero or
+    more ["progress"] — terminated by exactly one ["result"] or
+    ["error"] event carrying the same ["id"].  Multiple requests may be
+    pipelined on one connection; events interleave and are correlated by
+    id. *)
+
+exception Bad_request of string
+(** A request the daemon refuses to execute: invalid JSON, wrong field
+    types, unknown workload/device/model, unparsable inline program.
+    Always answered with a structured [Malformed]/[Bad_request] error
+    event — never a dropped connection or a crash. *)
+
+type options = {
+  generations : int option;  (** GA generation cap *)
+  population : int option;
+  seed : int option;
+  domains : int option;  (** worker domains for this search *)
+  max_evaluations : int option;  (** evaluation budget *)
+  max_wall_s : float option;  (** wall budget, seconds of search *)
+  deadline_s : float option;
+      (** hard deadline measured from {e admission} — queue wait counts
+          against it; a tripped deadline yields a retriable ["deadline"]
+          error *)
+  apply : bool;  (** also build + measure the fused program *)
+  progress : bool;  (** stream per-generation progress events *)
+  inject_rate : float option;
+      (** deterministic fault injection for this request (chaos
+          testing); faults are quarantined by the guard, never fatal *)
+  inject_seed : int option;
+}
+
+val default_options : options
+(** Everything [None]/[false]: defaults of the underlying solver, no
+    deadline, search only. *)
+
+type request = {
+  id : string;  (** client-chosen correlation id (echoed on events) *)
+  workload : string option;  (** named workload or [suite:...] spec *)
+  program_text : string option;  (** inline [.kf] program source *)
+  device : string;
+  model : string;
+  options : options;
+}
+
+val parse_request : string -> request
+(** Parse and validate one request line.
+    @raise Bad_request on any malformed input (total: no other
+    exception escapes). *)
+
+val resolve :
+  request -> Kf_ir.Program.t * Kf_gpu.Device.t * Kf_search.Objective.model
+(** Resolve the request's names.  Only named workloads, [suite:] specs
+    and inline program text are accepted — a daemon never reads
+    client-supplied file paths.  @raise Bad_request on unknown names or
+    unparsable programs. *)
+
+type code = Malformed | Overload | Deadline | Shutdown | Internal
+
+val code_name : code -> string
+
+val retriable : code -> bool
+(** [Overload], [Shutdown] and [Deadline] describe daemon state, not the
+    request — the same request may succeed on retry.  [Malformed] and
+    [Internal] are not retriable. *)
+
+(** {2 Event constructors} — every event carries [("event", kind)] and
+    the request id. *)
+
+val admitted : id:string -> queue_depth:int -> Kf_obs.Json.t
+val started : id:string -> Kf_obs.Json.t
+val progress : id:string -> Kf_search.Hgga.progress -> Kf_obs.Json.t
+val error : id:string -> code:code -> message:string -> Kf_obs.Json.t
+
+val result :
+  id:string ->
+  warm:bool ->
+  cache:Kf_search.Objective.cache_stats ->
+  ?outcome:Kfuse.Pipeline.outcome ->
+  Kf_search.Hgga.result ->
+  Kf_obs.Json.t
+(** The terminal success event: stop reason, best grouping and cost,
+    search statistics, group-cache counters (with the warm-start flag),
+    plus measured runtimes and speedup when the request asked for
+    [apply]. *)

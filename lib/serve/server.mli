@@ -1,0 +1,84 @@
+(** The hardened [kfuse serve] daemon (see DESIGN.md §13).
+
+    A long-running Unix-domain-socket server speaking the line-delimited
+    JSON protocol of {!Protocol}.  Hardening invariants:
+
+    - {b Admission control}: a bounded queue; when it is full, new
+      requests get an immediate retriable ["overload"] rejection instead
+      of unbounded buffering.
+    - {b Deadlines}: a request's [deadline_s] is measured from
+      admission; the remainder at start becomes the search's wall
+      budget, and a deadline-tripped stop is reported as a retriable
+      ["deadline"] error.
+    - {b Fault isolation}: request execution runs behind
+      {!Kf_robust.Guard} plus a per-job exception net — malformed or
+      fault-injecting requests produce structured error events, never a
+      daemon or worker-domain crash.
+    - {b Graceful drain}: on SIGTERM/SIGINT (or {!drain}) the daemon
+      stops accepting, rejects queued work with retriable ["shutdown"]
+      errors, lets in-flight searches stop cooperatively at the next
+      generation boundary ({!Kf_search.Hgga.Interrupted} — their
+      best-so-far result is still delivered), then persists the warm
+      cache and exits.
+    - {b Crash recovery}: the signature-keyed group cache persists
+      periodically and on shutdown ({!Cache_store}); a restarted daemon
+      answers repeat requests warm.
+
+    Telemetry (when {!Kf_obs.Metrics} is enabled): counters
+    [serve.requests], [serve.completed], [serve.malformed],
+    [serve.rejected_overload], [serve.rejected_shutdown],
+    [serve.deadline_missed], [serve.internal_errors],
+    [serve.warm_requests]; gauges [serve.queue_depth],
+    [serve.cache.programs], [serve.cache.hit_rate]; histogram
+    [serve.latency_s] (admission-to-terminal-event seconds). *)
+
+type config = {
+  socket_path : string;
+  workers : int;  (** worker domains executing requests *)
+  max_queue : int;  (** admission-queue bound *)
+  cache_path : string option;  (** warm-cache persistence file *)
+  cache_entries : int;  (** cap on cached (program, device, model) triples *)
+  persist_every_s : float;  (** periodic cache-persistence interval *)
+  progress_every : int;  (** generations between progress events *)
+  log : string -> unit;  (** daemon log sink ([ignore] for quiet) *)
+}
+
+val default : socket_path:string -> config
+(** 2 workers, queue bound 16, no persistence path, 64 cache entries,
+    persist every 30 s, progress every 5 generations, silent. *)
+
+type t
+
+val start : config -> t
+(** Bind the socket (replacing a stale file), restore the persisted
+    cache when configured (a corrupt cache file is ignored — it only
+    costs warmth), and spawn the accept/worker/timer machinery.
+    @raise Invalid_argument on non-positive [workers]/[max_queue];
+    Unix errors on an unbindable socket. *)
+
+val install_signal_handlers : t -> unit
+(** Route SIGTERM and SIGINT to a drain request.  Handlers only flip an
+    atomic flag — the drain itself runs on the timer thread (within
+    ~0.2 s), so no locks are touched in signal context. *)
+
+val request_drain : t -> unit
+(** Asynchronous, signal-safe drain request (what the signal handlers
+    call). *)
+
+val drain : t -> unit
+(** Begin graceful shutdown now: stop accepting, wake idle workers,
+    deliver EOF to idle connections.  Idempotent; returns immediately
+    (use {!wait} to block until done). *)
+
+val draining : t -> bool
+
+val wait : t -> unit
+(** Block until the daemon is fully drained: every admitted request
+    answered, all threads joined, socket removed, cache persisted. *)
+
+val stop : t -> unit
+(** [drain] + [wait]. *)
+
+val cache_programs : t -> int
+val cache_verdicts : t -> int
+(** Warm-cache occupancy (for logs and tests). *)

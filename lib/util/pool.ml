@@ -15,7 +15,11 @@ type t = {
                                   ticket counter inside the closure *)
   mutable epoch : int;  (* job generation counter; workers run each epoch once *)
   mutable remaining : int;  (* workers still inside the current epoch *)
-  mutable failure : exn option;  (* first exception raised by any worker *)
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+      (* first exception raised by any worker, with the backtrace captured
+         on the worker domain — re-raised at the caller with
+         [Printexc.raise_with_backtrace] so the originating frame survives
+         the domain hop *)
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
 }
@@ -36,10 +40,14 @@ let worker_loop t =
       last := t.epoch;
       let f = t.job in
       Mutex.unlock t.lock;
-      let outcome = match f () with () -> None | exception e -> Some e in
+      let outcome =
+        match f () with
+        | () -> None
+        | exception e -> Some (e, Printexc.get_raw_backtrace ())
+      in
       Mutex.lock t.lock;
       (match outcome with
-      | Some e when t.failure = None -> t.failure <- Some e
+      | Some _ when t.failure = None -> t.failure <- outcome
       | _ -> ());
       t.remaining <- t.remaining - 1;
       if t.remaining = 0 then Condition.signal t.finished;
@@ -49,6 +57,13 @@ let worker_loop t =
 
 let create size =
   if size < 1 then invalid_arg "Pool.create: size must be positive";
+  (* Backtrace recording is per-domain state: a freshly spawned domain
+     starts from the OCAMLRUNPARAM default regardless of what the
+     creating domain set via [Printexc.record_backtrace].  Capture the
+     creator's setting here and replay it inside each worker, otherwise
+     the backtrace stored in [t.failure] is empty and the re-raise in
+     [run] loses the worker's originating frame. *)
+  let record_bt = Printexc.backtrace_status () in
   let t =
     {
       size;
@@ -63,7 +78,11 @@ let create size =
       workers = [];
     }
   in
-  t.workers <- List.init size (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.workers <-
+    List.init size (fun _ ->
+        Domain.spawn (fun () ->
+            if record_bt then Printexc.record_backtrace true;
+            worker_loop t));
   t
 
 let size t = t.size
@@ -89,7 +108,9 @@ let run t f =
   let failure = t.failure in
   t.failure <- None;
   Mutex.unlock t.lock;
-  match failure with Some e -> raise e | None -> ()
+  match failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
 
 let shutdown t =
   Mutex.lock t.lock;

@@ -22,9 +22,11 @@ val run : t -> (int -> unit) -> unit
 (** [run t f] executes [f w] once for every worker index [w] in
     [0, size t) — concurrently, one call per worker — and returns when
     all calls have finished (a barrier).  If any call raises, one of the
-    raised exceptions is re-raised here after the barrier; the pool
-    remains usable.  Not reentrant: do not call [run] from inside [f],
-    and do not call it from two domains at once.
+    raised exceptions is re-raised here after the barrier {e with the
+    originating worker's backtrace} ([Printexc.raise_with_backtrace]),
+    so the failing frame is not replaced by the dispatch site's; the
+    pool remains usable.  Not reentrant: do not call [run] from inside
+    [f], and do not call it from two domains at once.
     @raise Invalid_argument if the pool is shut down. *)
 
 val shutdown : t -> unit

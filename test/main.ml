@@ -11,6 +11,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("pipeline", Test_pipeline.suite);
       ("robust", Test_robust.suite);
+      ("serve", Test_serve.suite);
       ("obs", Test_obs.suite);
       ("properties", Test_properties.suite);
       ("extensions", Test_extensions.suite);

@@ -162,6 +162,84 @@ let test_guard_sanitizes_corruption () =
     [ Inject.Nan_runtime; Inject.Negative_runtime; Inject.Corrupt_metadata ]
 
 (* ------------------------------------------------------------------ *)
+(* Retry backoff: deterministic, jittered, bounded                     *)
+
+let test_backoff_delay () =
+  let cfg = Guard.default in
+  (* Pure function of (config, key, attempt): same inputs, same delay. *)
+  let d = Guard.backoff_delay cfg ~key:"0,1" ~attempt:1 in
+  check (Alcotest.float 0.) "deterministic" d (Guard.backoff_delay cfg ~key:"0,1" ~attempt:1);
+  check Alcotest.bool "positive" true (d > 0.);
+  (* Jitter spreads each delay over at most ±jitter/2 of its exponential
+     base, so retry chains stay predictable under injection. *)
+  for attempt = 0 to 6 do
+    let base = cfg.Guard.backoff_s *. float_of_int (1 lsl attempt) in
+    let lo = base *. (1. -. (cfg.Guard.jitter /. 2.)) -. 1e-15 in
+    let hi = base *. (1. +. (cfg.Guard.jitter /. 2.)) +. 1e-15 in
+    let d = Guard.backoff_delay cfg ~key:"k" ~attempt in
+    check Alcotest.bool
+      (Printf.sprintf "attempt %d within jitter band" attempt)
+      true (d >= lo && d <= hi)
+  done;
+  (* The cap bites long chains: a deep attempt never exceeds it. *)
+  check (Alcotest.float 0.) "capped at max_backoff_s" cfg.Guard.max_backoff_s
+    (Guard.backoff_delay cfg ~key:"k" ~attempt:12);
+  check (Alcotest.float 0.) "huge attempt still capped" cfg.Guard.max_backoff_s
+    (Guard.backoff_delay cfg ~key:"k" ~attempt:1000);
+  (* jitter = 0 degenerates to the exact exponential schedule. *)
+  check (Alcotest.float 0.) "no jitter is exact"
+    (cfg.Guard.backoff_s *. 4.)
+    (Guard.backoff_delay { cfg with Guard.jitter = 0. } ~key:"k" ~attempt:2);
+  (* backoff_s <= 0 disables sleeping entirely (the test-suite setting). *)
+  check (Alcotest.float 0.) "disabled" 0.
+    (Guard.backoff_delay { cfg with Guard.backoff_s = 0. } ~key:"k" ~attempt:3);
+  (* Different keys and attempts draw different jitter, de-correlating
+     concurrent retries. *)
+  check Alcotest.bool "keys de-correlated" true
+    (Guard.backoff_delay cfg ~key:"a" ~attempt:1
+    <> Guard.backoff_delay cfg ~key:"b" ~attempt:1);
+  check Alcotest.bool "seed matters" true
+    (Guard.backoff_delay cfg ~key:"a" ~attempt:1
+    <> Guard.backoff_delay { cfg with Guard.jitter_seed = 1 } ~key:"a" ~attempt:1)
+
+let test_guard_retry_determinism_jitter () =
+  (* With real (tiny) backoff sleeps and jitter enabled, two identical
+     guarded runs must still agree bit-for-bit: jitter is drawn from
+     (seed, key, attempt), never from wall clock or a shared RNG. *)
+  let run () =
+    let faults = Objective.zero_faults () in
+    let inj =
+      Inject.create ~faults
+        (Inject.config ~seed:11 ~modes:[ Inject.Stall; Inject.Crash ] 0.4)
+    in
+    let config =
+      { Guard.default with Guard.backoff_s = 1e-6; max_backoff_s = 1e-5; jitter = 0.8 }
+    in
+    let guard = Guard.guarded ~config ~inject:inj faults in
+    let outcomes =
+      List.init 60 (fun i ->
+          let v =
+            guard
+              (fun _ ->
+                { Objective.feasible = true;
+                  cost = float_of_int (i + 1);
+                  orig_sum = 2. *. float_of_int (i + 1);
+                })
+              [ i; i + 1 ]
+          in
+          Printf.sprintf "%b/%h" v.Objective.feasible v.Objective.cost)
+    in
+    (faults, outcomes)
+  in
+  let f1, o1 = run () and f2, o2 = run () in
+  check (Alcotest.list Alcotest.string) "same verdict sequence" o1 o2;
+  check Alcotest.int "same injected" f1.Objective.injected f2.Objective.injected;
+  check Alcotest.int "same retries" f1.Objective.retries f2.Objective.retries;
+  check Alcotest.int "same recovered" f1.Objective.recovered f2.Objective.recovered;
+  check Alcotest.int "same quarantined" f1.Objective.quarantined f2.Objective.quarantined;
+  check Alcotest.bool "retries actually happened" true (f1.Objective.retries > 0)
+
+(* ------------------------------------------------------------------ *)
 (* run_safe: never raises, plan always validate-clean, accounting holds *)
 
 let outcome_clean (o : Pipeline.outcome) =
@@ -292,11 +370,8 @@ let solve_clover ?checkpoint ?resume_from ?budget params =
   let ctx = Pipeline.prepare ~device (Cloverleaf.program ()) in
   Hgga.solve ~params ?checkpoint ?resume_from ?budget (Pipeline.objective ctx)
 
-let test_snapshot_roundtrip () =
-  (* Two islands with distinct RNG states and uneven populations: the v3
-     island list must survive the render/parse round trip exactly. *)
-  let snap =
-    {
+let sample_snapshot () =
+  {
       Snapshot.population_size = 60;
       seed = 42;
       n = 5;
@@ -316,6 +391,11 @@ let test_snapshot_roundtrip () =
       migration_cursor = 4;
       group_cache = { Objective.hits = 120; misses = 40; evictions = 8; size = 0 };
       plan_cache = { Objective.hits = 30; misses = 12; evictions = 0; size = 0 };
+      group_verdicts =
+        [
+          ([| 0; 1 |], { Objective.feasible = true; cost = 0.125; orig_sum = 0.5 });
+          ([| 2; 3; 4 |], { Objective.feasible = false; cost = infinity; orig_sum = 0.75 });
+        ];
       best = [ [ 0; 1 ]; [ 2 ]; [ 3; 4 ] ];
       history = [ (0, 0.25); (3, 0.125) ];
       islands =
@@ -329,10 +409,62 @@ let test_snapshot_roundtrip () =
             population = [ [ [ 0; 1 ]; [ 2 ]; [ 3 ]; [ 4 ] ] ];
           };
         ];
-    }
-  in
+  }
+
+let test_snapshot_roundtrip () =
+  (* Two islands with distinct RNG states and uneven populations, plus a
+     warm-cache verdict list with an infeasible infinity entry: the v5
+     document must survive the render/parse round trip exactly. *)
+  let snap = sample_snapshot () in
   let back = Snapshot.of_string (Snapshot.render snap) in
   check Alcotest.bool "roundtrip identical" true (snap = back)
+
+let test_snapshot_atomic_save () =
+  (* Crash-safe save: writes go through a temp file and an atomic rename,
+     so a reader never observes a partially written snapshot and a failed
+     save never clobbers the previous good one. *)
+  let dir = Filename.temp_file "kfuse_atomic" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f ->
+          let p = Filename.concat dir f in
+          if Sys.is_directory p then Unix.rmdir p else Sys.remove p)
+        (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      let path = Filename.concat dir "snap.json" in
+      let snap = sample_snapshot () in
+      Snapshot.save path snap;
+      check Alcotest.bool "no temp left behind" false (Sys.file_exists (path ^ ".tmp"));
+      check Alcotest.bool "save/load roundtrip" true (Snapshot.load path = snap);
+      (* Overwriting replaces the document wholesale. *)
+      let snap2 = { snap with Snapshot.generation = snap.Snapshot.generation + 1 } in
+      Snapshot.save path snap2;
+      check Alcotest.bool "atomic replace" true (Snapshot.load path = snap2);
+      (* A crash between temp write and rename leaves a stale .tmp around;
+         the good document must be untouched by it. *)
+      let out = open_out (path ^ ".tmp") in
+      output_string out (String.sub (Snapshot.render snap) 0 40);
+      close_out out;
+      check Alcotest.bool "stale temp ignored" true (Snapshot.load path = snap2);
+      Sys.remove (path ^ ".tmp");
+      (* The pre-atomic failure mode — a truncated document at the final
+         path — is rejected loudly, never half-parsed. *)
+      (match Snapshot.of_string (String.sub (Snapshot.render snap) 0 40) with
+      | exception Snapshot.Malformed _ -> ()
+      | _ -> Alcotest.fail "truncated document parsed");
+      (* A failing rename (target is a directory) raises and removes the
+         temp instead of leaking it. *)
+      let blocked = Filename.concat dir "blocked" in
+      Unix.mkdir blocked 0o700;
+      (match Snapshot.save blocked snap with
+      | exception Sys_error _ -> ()
+      | () -> Alcotest.fail "save onto a directory succeeded");
+      check Alcotest.bool "temp cleaned after failed rename" false
+        (Sys.file_exists (blocked ^ ".tmp")))
 
 let test_snapshot_v2_compat () =
   (* A hand-written format-2 document (flat population + single
@@ -617,7 +749,11 @@ let suite =
     Alcotest.test_case "guard quarantines" `Quick test_guard_quarantines;
     Alcotest.test_case "guard retries transient" `Quick test_guard_retries_transient;
     Alcotest.test_case "guard sanitizes corruption" `Quick test_guard_sanitizes_corruption;
+    Alcotest.test_case "backoff delay" `Quick test_backoff_delay;
+    Alcotest.test_case "retry determinism with jitter" `Quick
+      test_guard_retry_determinism_jitter;
     Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip;
+    Alcotest.test_case "snapshot atomic save" `Quick test_snapshot_atomic_save;
     Alcotest.test_case "snapshot v2 compat" `Quick test_snapshot_v2_compat;
     Alcotest.test_case "snapshot malformed" `Quick test_snapshot_malformed;
     Alcotest.test_case "prepare_safe bad input" `Quick test_prepare_safe_bad_input;

@@ -277,6 +277,65 @@ let test_pool_propagates_exception () =
       Kf_util.Pool.run pool (fun w -> Atomic.fetch_and_add total (w + 1) |> ignore);
       check Alcotest.int "sum after failure" 6 (Atomic.get total))
 
+exception Deep_failure of string
+
+let test_pool_backtrace () =
+  (* The re-raised exception must carry the originating worker's
+     backtrace, not the dispatch site's: the frame that actually raised
+     — deep inside the worker's task — has to be visible to whoever
+     catches at the Pool.run boundary. *)
+  let prev = Printexc.backtrace_status () in
+  Printexc.record_backtrace true;
+  Fun.protect
+    ~finally:(fun () -> Printexc.record_backtrace prev)
+    (fun () ->
+      let raise_line = ref 0 in
+      let[@inline never] rec deep n =
+        if n = 0 then begin
+          raise_line := __LINE__ + 1;
+          raise (Deep_failure "from worker")
+        end
+        else 1 + deep (n - 1)
+      in
+      Kf_util.Pool.with_pool 2 (fun pool ->
+          match Kf_util.Pool.run pool (fun w -> if w = 1 then ignore (deep 5)) with
+          | () -> Alcotest.fail "expected the worker's exception"
+          | exception Deep_failure _ ->
+              let bt = Printexc.get_raw_backtrace () in
+              let slots = Option.value (Printexc.backtrace_slots bt) ~default:[||] in
+              let found =
+                Array.exists
+                  (fun slot ->
+                    match Printexc.Slot.location slot with
+                    | Some { Printexc.filename; line_number; _ } ->
+                        Filename.basename filename = "test_util.ml"
+                        && line_number = !raise_line
+                    | None -> false)
+                  slots
+              in
+              check Alcotest.bool "raising worker frame present" true found))
+
+let test_pool_repeated_failures_no_wedge () =
+  (* A raising task must neither wedge the epoch/ticket protocol nor
+     poison later dispatches: failures and successes alternate across
+     many runs on one pool, and worker coverage stays exact. *)
+  Kf_util.Pool.with_pool 3 (fun pool ->
+      for round = 1 to 20 do
+        if round mod 2 = 1 then
+          Alcotest.check_raises
+            (Printf.sprintf "round %d raises" round)
+            Exit
+            (fun () ->
+              Kf_util.Pool.run pool (fun w -> if w = round mod 3 then raise Exit))
+        else begin
+          let hits = Array.make 3 0 in
+          Kf_util.Pool.run pool (fun w -> hits.(w) <- hits.(w) + 1);
+          Array.iteri
+            (fun w n -> check Alcotest.int (Printf.sprintf "round %d worker %d" round w) 1 n)
+            hits
+        end
+      done)
+
 let test_pool_invalid () =
   Alcotest.check_raises "zero size" (Invalid_argument "Pool.create: size must be positive")
     (fun () -> ignore (Kf_util.Pool.create 0));
@@ -312,6 +371,9 @@ let suite =
     Alcotest.test_case "table cells" `Quick test_table_cells;
     Alcotest.test_case "pool runs all indices" `Quick test_pool_runs_all_indices;
     Alcotest.test_case "pool exception propagation" `Quick test_pool_propagates_exception;
+    Alcotest.test_case "pool exception backtrace" `Quick test_pool_backtrace;
+    Alcotest.test_case "pool repeated failures no wedge" `Quick
+      test_pool_repeated_failures_no_wedge;
     Alcotest.test_case "pool invalid usage" `Quick test_pool_invalid;
   ]
   @ qsuite

@@ -1,0 +1,215 @@
+(* Streaming bench (PR 7 acceptance driver).
+
+   Replays a kernel-arrival trace — arrivals, edits and removals over a
+   generated suite program — through the streaming warm-repair path and,
+   independently, through a from-scratch search per program version,
+   then writes BENCH_pr7.json with amortized ms/decision for both and
+   the per-decision plan-quality retention.  The stream runs twice, with
+   1 and 4 worker domains, and every decision must be bit-identical
+   across the two (the determinism contract lifted to traces).
+
+     dune exec bench/bench_stream.exe -- [out.json] [decisions]
+
+   Exits non-zero when an acceptance invariant fails, so CI can gate on
+   it:
+   - decisions bit-identical for domains 1 vs 4,
+   - every decision's plan cost within 2% of the full re-search,
+   - steady-state (post-cold-start) amortized wall per decision at
+     least 5x faster than full re-search. *)
+
+module Json = Kf_obs.Json
+module Program = Kf_ir.Program
+module Kernel = Kf_ir.Kernel
+module Hgga = Kf_search.Hgga
+module Stream = Kf_search.Stream
+module Suite = Kf_workloads.Suite
+module Pipeline = Kfuse.Pipeline
+
+let out_path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_pr7.json"
+
+let n_decisions =
+  if Array.length Sys.argv > 2 then max 2 (int_of_string Sys.argv.(2)) else 12
+
+let device = Kf_gpu.Device.k20x
+let now () = Unix.gettimeofday ()
+let bits = Int64.bits_of_float
+
+let failures : string list ref = ref []
+let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt
+let require name cond = if not cond then fail "%s" name
+
+(* --- search parameters --- *)
+
+(* The full re-search runs exactly what the pipeline's one-shot search
+   runs: the paper-default parameters.  The repair search banks on its
+   seeds starting near the optimum: a small population and a tight
+   stall. *)
+let full_params = Hgga.default_params
+
+let repair_params =
+  {
+    full_params with
+    Hgga.population_size = 10;
+    max_generations = 30;
+    stall_generations = 5;
+  }
+
+(* --- the edit trace --- *)
+
+type op = Add of int | Remove of int | Edit of int
+
+(* A fixed 12-version trace over a 16-kernel generated program: start
+   with 10 resident kernels, then arrivals, edits (in place) and
+   removals, including a departed kernel re-arriving. *)
+let ops =
+  [
+    Add 10; Add 11; Edit 3; Add 12; Remove 5; Edit 8;
+    Add 5; Edit 1; Add 13; Remove 11; Edit 6;
+  ]
+
+let bump k =
+  { k with Kernel.extra_flops_per_site = k.Kernel.extra_flops_per_site +. 9. }
+
+let versions () =
+  let base = ref (Suite.generate { Suite.default with Suite.kernels = 16; arrays = 32; seed = 7 }) in
+  let keep = ref (List.init 10 Fun.id) in
+  let snap () = Program.restrict !base !keep in
+  (* [::] evaluates right-to-left, so snapshots must be forced with
+     explicit lets or every version would capture the final state *)
+  let rec take n = function
+    | op :: rest when n > 0 ->
+        (match op with
+        | Add k -> keep := List.sort compare (k :: !keep)
+        | Remove k -> keep := List.filter (fun k' -> k' <> k) !keep
+        | Edit k -> base := Program.edit_kernel !base k bump);
+        let v = snap () in
+        v :: take (n - 1) rest
+    | _ -> []
+  in
+  let v0 = snap () in
+  v0 :: take (n_decisions - 1) ops
+
+(* --- the two systems --- *)
+
+let run_stream ~domains versions =
+  let params = { full_params with Hgga.domains } in
+  let config =
+    { Stream.default_config with Stream.params; repair = { repair_params with Hgga.domains } }
+  in
+  match versions with
+  | [] -> []
+  | v0 :: rest ->
+      let t = Pipeline.stream ~config ~device v0 in
+      List.iter (fun p -> ignore (Stream.step t p)) rest;
+      Stream.decisions t
+
+let run_full versions =
+  List.mapi
+    (fun i p ->
+      let t0 = now () in
+      let obj = Pipeline.objective (Pipeline.prepare ~device p) in
+      let params =
+        if i = 0 then full_params
+        else { full_params with Hgga.seed = full_params.Hgga.seed + i }
+      in
+      let r = Hgga.solve ~params obj in
+      (r.Hgga.cost, now () -. t0))
+    versions
+
+(* --- drive --- *)
+
+let () =
+  let vs = versions () in
+  let n = List.length vs in
+  let ds1 = run_stream ~domains:1 vs in
+  let ds4 = run_stream ~domains:4 vs in
+  let full = run_full vs in
+  require "decision count matches trace" (List.length ds1 = n && List.length ds4 = n);
+
+  let bit_identical =
+    List.for_all2
+      (fun (a : Stream.decision) (b : Stream.decision) ->
+        a.Stream.d_groups = b.Stream.d_groups && bits a.Stream.d_cost = bits b.Stream.d_cost
+        && a.Stream.d_evaluations = b.Stream.d_evaluations)
+      ds1 ds4
+  in
+  require "decisions bit-identical for domains 1 vs 4" bit_identical;
+
+  let per_decision =
+    List.map2
+      (fun (d : Stream.decision) (full_cost, full_wall) ->
+        let ratio = d.Stream.d_cost /. full_cost in
+        (d, full_cost, full_wall, ratio))
+      ds1 full
+  in
+  let max_cost_ratio =
+    List.fold_left (fun acc (_, _, _, r) -> Float.max acc r) 0. per_decision
+  in
+  require "plan cost within 2% of full re-search at every decision"
+    (max_cost_ratio <= 1.02);
+
+  (* Steady-state amortization: version 0 is the cold start — a full
+     search in both systems — so the per-decision comparison is over the
+     streamed versions 1..n-1. *)
+  let tail l = List.tl l in
+  let sum f l = List.fold_left (fun acc x -> acc +. f x) 0. l in
+  let steady = float_of_int (n - 1) in
+  let stream_ms =
+    1e3 *. sum (fun (d : Stream.decision) -> d.Stream.d_wall_s) (tail ds1) /. steady
+  in
+  let full_ms = 1e3 *. sum (fun (_, w) -> w) (tail full) /. steady in
+  let speedup = full_ms /. stream_ms in
+  require "amortized ms/decision at least 5x faster than full re-search" (speedup >= 5.);
+
+  let cold_ms = 1e3 *. (List.hd ds1).Stream.d_wall_s in
+  let reused_total =
+    List.fold_left (fun acc (d : Stream.decision) -> acc + d.Stream.d_reused_groups) 0 (tail ds1)
+  in
+  let num f = if Float.is_finite f then Json.Float f else Json.Null in
+  let report =
+    Json.Obj
+      [
+        ("schema", Json.Str "kfuse-bench-stream/1");
+        ("decisions", Json.Int n);
+        ("domains", Json.Arr [ Json.Int 1; Json.Int 4 ]);
+        ("bit_identical_domains", Json.Bool bit_identical);
+        ("cold_start_ms", num cold_ms);
+        ("amortized_stream_ms", num stream_ms);
+        ("amortized_full_ms", num full_ms);
+        ("speedup_ratio", num speedup);
+        ("max_cost_ratio", num max_cost_ratio);
+        ("reused_groups_total", Json.Int reused_total);
+        ( "per_decision",
+          Json.Arr
+            (List.map
+               (fun ((d : Stream.decision), full_cost, full_wall, ratio) ->
+                 Json.Obj
+                   [
+                     ("version", Json.Int d.Stream.d_version);
+                     ("rung", Json.Str (Stream.rung_name d.Stream.d_rung));
+                     ("changed", Json.Int d.Stream.d_changed);
+                     ("reused_groups", Json.Int d.Stream.d_reused_groups);
+                     ("stream_ms", num (1e3 *. d.Stream.d_wall_s));
+                     ("full_ms", num (1e3 *. full_wall));
+                     ("stream_cost", num d.Stream.d_cost);
+                     ("full_cost", num full_cost);
+                     ("cost_ratio", num ratio);
+                     ("evaluations", Json.Int d.Stream.d_evaluations);
+                   ])
+               per_decision) );
+        ("failures", Json.Arr (List.rev_map (fun s -> Json.Str s) !failures));
+      ]
+  in
+  let tmp = out_path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (Json.to_string report);
+  output_char oc '\n';
+  close_out oc;
+  Sys.rename tmp out_path;
+  if !failures = [] then
+    Printf.printf "bench_stream: OK (%s)  %.2fx speedup, worst cost ratio %.4f\n" out_path
+      speedup max_cost_ratio
+  else begin
+    List.iter (fun s -> Printf.eprintf "bench_stream: FAIL %s\n" s) (List.rev !failures);
+    exit 1
+  end

@@ -1,10 +1,22 @@
-(* CI perf gate: compares a freshly produced BENCH_pr5.json against the
-   committed bench/baseline.json and fails the build when the incremental
-   evaluation path regresses.
+(* CI perf gate: compares a freshly produced bench report against its
+   committed baseline and fails the build when a tracked path regresses.
+   The gate dispatches on the report's "schema" field:
 
      dune exec bench/perf_gate.exe -- bench/baseline.json BENCH_pr5.json
+     dune exec bench/perf_gate.exe -- bench/baseline_stream.json BENCH_pr7.json
 
-   Checked per workload (matched by name):
+   For "kfuse-bench-stream/1" (the streaming bench):
+
+   - [bit_identical_domains] must hold: a fixed edit trace with fixed
+     seeds yields bit-identical decisions for 1 and 4 worker domains.
+   - [max_cost_ratio] must stay within the 2% plan-quality retention
+     bound at every decision point.
+   - [speedup_ratio] (full re-search over streamed amortized
+     ms/decision, measured in one process on one machine) must not drop
+     by more than 20% against the baseline — the amortized per-decision
+     wall cannot silently regress.
+
+   For "kfuse-bench/1", checked per workload (matched by name):
 
    - [bit_identical] must hold in the current run: the incremental path
      must still produce the exact plan, cost, history and evaluation
@@ -61,21 +73,25 @@ let workloads doc =
   require [ "workloads" ] J.to_list_opt doc
   |> List.map (fun w -> (require [ "name" ] J.to_string_opt w, w))
 
-let () =
-  let baseline_path, current_path =
-    match Sys.argv with
-    | [| _; b; c |] -> (b, c)
-    | _ ->
-        prerr_endline "usage: perf_gate <baseline.json> <current.json>";
-        exit 2
-  in
-  let baseline = read_json baseline_path and current = read_json current_path in
-  let schema d = require [ "schema" ] J.to_string_opt d in
-  if schema baseline <> schema current then begin
-    Format.eprintf "perf_gate: schema mismatch (%s vs %s)@." (schema baseline)
-      (schema current);
-    exit 2
-  end;
+let bool_of = function J.Bool b -> Some b | _ -> None
+
+(* The streaming bench: trace-level determinism, plan-quality retention,
+   and the amortized per-decision speedup against its baseline. *)
+let gate_stream ~baseline ~current =
+  Format.printf "streaming:@.";
+  check
+    (get [ "bit_identical_domains" ] bool_of current = Some true)
+    "decisions bit-identical across worker-domain counts";
+  let ratio = require [ "max_cost_ratio" ] J.to_float_opt current in
+  check (ratio <= 1.02) "plan quality retained (worst cost ratio %.4f <= 1.02)" ratio;
+  let sp_base = require [ "speedup_ratio" ] J.to_float_opt baseline
+  and sp_cur = require [ "speedup_ratio" ] J.to_float_opt current in
+  check
+    (sp_cur >= (1. -. tolerance) *. sp_base)
+    "amortized ms/decision speedup %.2fx within %.0f%% of baseline %.2fx" sp_cur
+    (100. *. tolerance) sp_base
+
+let gate_search ~baseline ~current =
   let gm d = require [ "geomean_measured_speedup" ] J.to_float_opt d in
   Format.printf "overall:@.";
   check
@@ -104,7 +120,26 @@ let () =
             (r_cur >= (1. -. tolerance) *. r_base)
             "evals/s ratio %.2fx within %.0f%% of baseline %.2fx" r_cur
             (100. *. tolerance) r_base)
-    (workloads baseline);
+    (workloads baseline)
+
+let () =
+  let baseline_path, current_path =
+    match Sys.argv with
+    | [| _; b; c |] -> (b, c)
+    | _ ->
+        prerr_endline "usage: perf_gate <baseline.json> <current.json>";
+        exit 2
+  in
+  let baseline = read_json baseline_path and current = read_json current_path in
+  let schema d = require [ "schema" ] J.to_string_opt d in
+  if schema baseline <> schema current then begin
+    Format.eprintf "perf_gate: schema mismatch (%s vs %s)@." (schema baseline)
+      (schema current);
+    exit 2
+  end;
+  (match schema current with
+  | "kfuse-bench-stream/1" -> gate_stream ~baseline ~current
+  | _ -> gate_search ~baseline ~current);
   if !fail_count > 0 then begin
     Format.printf "@.perf gate: %d check(s) failed@." !fail_count;
     exit 1

@@ -571,7 +571,8 @@ let codegen_cmd =
     Term.(const run $ workload_arg $ device_arg $ generations_arg $ population_arg $ seed_arg)
 
 let serve_cmd =
-  let run socket workers max_queue cache persist_every progress_every metrics_out quiet =
+  let run socket workers max_queue cache cache_entries max_sessions slo_ms persist_every
+      progress_every metrics_out quiet =
     (* the daemon always keeps metrics: they are its only cheap health
        surface, and the bench/CI harnesses read them *)
     Kf_obs.Metrics.set_enabled true;
@@ -586,6 +587,9 @@ let serve_cmd =
         Kf_serve.Server.workers;
         max_queue;
         cache_path = cache;
+        cache_entries;
+        max_sessions;
+        default_slo_ms = slo_ms;
         persist_every_s = persist_every;
         progress_every;
         log;
@@ -613,6 +617,22 @@ let serve_cmd =
     let doc = "Persist the warm group-verdict cache to $(docv) (periodically and on \
                shutdown) and restore it on start." in
     Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"FILE" ~doc)
+  in
+  let cache_entries_arg =
+    let doc = "Cap on cached (program, device, model) triples (LRU eviction); bounds \
+               the persisted cache file under long streaming sessions." in
+    Arg.(value & opt int 64 & info [ "cache-entries" ] ~docv:"N" ~doc)
+  in
+  let sessions_arg =
+    let doc = "Cap on live streaming sessions (LRU eviction; an evicted session \
+               transparently rebuilds with one full search)." in
+    Arg.(value & opt int 8 & info [ "max-sessions" ] ~docv:"N" ~doc)
+  in
+  let slo_arg =
+    let doc = "Default per-decision latency target (milliseconds) for streaming \
+               sessions that do not set slo_ms themselves; decisions degrade to a \
+               greedy plan repair when the budget is too tight for a search." in
+    Arg.(value & opt (some float) None & info [ "slo-ms" ] ~docv:"MS" ~doc)
   in
   let persist_arg =
     let doc = "Seconds between periodic cache persists." in
@@ -643,10 +663,13 @@ let serve_cmd =
                result or error event per request out.  Admission is bounded (overload \
                yields a retriable rejection), deadlines are enforced from admission, \
                request faults are quarantined, SIGTERM/SIGINT drain gracefully, and \
-               the warm verdict cache survives restarts via $(b,--cache).";
+               the warm verdict cache survives restarts via $(b,--cache).  Requests \
+               naming a $(b,session) stream program edits: each request's program is \
+               diffed against the session's previous version and answered by a \
+               warm-started repair search within the $(b,--slo-ms) ladder.";
          ])
-    Term.(const run $ socket_arg $ workers_arg $ queue_arg $ cache_arg $ persist_arg
-          $ progress_arg $ metrics_arg $ quiet_arg)
+    Term.(const run $ socket_arg $ workers_arg $ queue_arg $ cache_arg $ cache_entries_arg
+          $ sessions_arg $ slo_arg $ persist_arg $ progress_arg $ metrics_arg $ quiet_arg)
 
 let () =
   let info =

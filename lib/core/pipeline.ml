@@ -104,6 +104,16 @@ let run ?params ?model ?sync_points ?incremental ~device program =
   in
   apply ctx search
 
+(* --- streaming glue --- *)
+
+(* Kf_search cannot see the simulator, so Stream takes the
+   prepare-and-measure step as a callback; this is that callback. *)
+let stream_env ?model ?sync_points ?incremental ~device () =
+ fun program -> objective ?model ?incremental (prepare ?sync_points ~device program)
+
+let stream ?config ?model ?sync_points ?incremental ~device program =
+  Kf_search.Stream.create ?config (stream_env ?model ?sync_points ?incremental ~device ()) program
+
 (* --- fault-tolerant entry points --- *)
 
 let prepare_safe ?sync_points ~device program =
@@ -146,11 +156,12 @@ let validated_result ctx obj (search : Hgga.result) =
       in
       if validate degraded.Hgga.plan = [] then degraded else identity_result ctx obj search
 
-let search_safe ?params ?checkpoint ?resume_from ?budget ?on_generation ?interrupt ctx obj
-    =
+let search_safe ?params ?checkpoint ?resume_from ?budget ?seed_plans ?on_generation
+    ?interrupt ctx obj =
   match
     Obs.span ~cat:"pipeline" ~args:(phase_args ctx.program) "search" (fun () ->
-        Hgga.solve ?params ?checkpoint ?resume_from ?budget ?on_generation ?interrupt obj)
+        Hgga.solve ?params ?checkpoint ?resume_from ?budget ?seed_plans ?on_generation
+          ?interrupt obj)
   with
   | exception ((Stack_overflow | Out_of_memory) as fatal) -> raise fatal
   | exception e -> Error (Error.classify ~stage:Error.Search e)

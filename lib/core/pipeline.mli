@@ -68,6 +68,30 @@ val run :
   outcome
 (** The whole of Algorithm 1 with the given device and search settings. *)
 
+val stream_env :
+  ?model:Kf_search.Objective.model ->
+  ?sync_points:int list ->
+  ?incremental:bool ->
+  device:Kf_gpu.Device.t ->
+  unit ->
+  Kf_search.Stream.env
+(** The prepare-and-measure callback a {!Kf_search.Stream} needs: each
+    program version is prepared ({!prepare}) and wrapped in a fresh
+    objective ({!objective}).  Deterministic in the program, as the
+    stream requires. *)
+
+val stream :
+  ?config:Kf_search.Stream.config ->
+  ?model:Kf_search.Objective.model ->
+  ?sync_points:int list ->
+  ?incremental:bool ->
+  device:Kf_gpu.Device.t ->
+  Kf_ir.Program.t ->
+  Kf_search.Stream.t
+(** [Kf_search.Stream.create] over {!stream_env}: opens a streaming
+    session on the initial program version (deciding version 0 with a
+    full search). *)
+
 val prepare_safe :
   ?sync_points:int list ->
   device:Kf_gpu.Device.t ->
@@ -82,6 +106,7 @@ val search_safe :
   ?checkpoint:Kf_search.Hgga.checkpoint ->
   ?resume_from:string ->
   ?budget:Kf_search.Hgga.budget ->
+  ?seed_plans:Kf_search.Grouping.groups list ->
   ?on_generation:(Kf_search.Hgga.progress -> unit) ->
   ?interrupt:(unit -> bool) ->
   context ->

@@ -53,6 +53,53 @@ let total_flops t =
 
 let with_grid t grid = { t with grid }
 
+(* Sub-program extraction for edit traces: keep the listed kernels (in
+   the given order), drop every array no survivor touches, and renumber
+   both id spaces so the result passes [validate].  The survivors keep
+   their full access records — only the ids are rewritten — so a kept
+   kernel is recognizably "the same kernel" across program versions
+   (content-identical up to renumbering), which is what the streaming
+   delta relies on. *)
+let restrict t keep =
+  if keep = [] then invalid_arg "Program.restrict: must keep at least one kernel";
+  let kept = List.map (kernel t) keep in
+  let used = Array.make (num_arrays t) false in
+  List.iter
+    (fun (k : Kernel.t) ->
+      List.iter (fun (a : Access.t) -> used.(a.array) <- true) k.accesses)
+    kept;
+  let remap = Array.make (num_arrays t) (-1) in
+  let arrays = ref [] in
+  let next = ref 0 in
+  Array.iteri
+    (fun i u ->
+      if u then begin
+        remap.(i) <- !next;
+        arrays := { t.arrays.(i) with Array_info.id = !next } :: !arrays;
+        incr next
+      end)
+    used;
+  let kernels =
+    List.mapi
+      (fun i (k : Kernel.t) ->
+        {
+          k with
+          Kernel.id = i;
+          accesses =
+            List.map (fun (a : Access.t) -> { a with Access.array = remap.(a.array) }) k.accesses;
+        })
+      kept
+  in
+  create ~name:t.name ~grid:t.grid ~arrays:(List.rev !arrays) ~kernels
+
+let edit_kernel t id f =
+  let k = kernel t id in
+  let k' = { (f k) with Kernel.id = id } in
+  let kernels =
+    Array.to_list (Array.mapi (fun i k0 -> if i = id then k' else k0) t.kernels)
+  in
+  create ~name:t.name ~grid:t.grid ~arrays:(Array.to_list t.arrays) ~kernels
+
 let with_blocks t ~block_x ~block_y =
   let g = t.grid in
   {

@@ -40,6 +40,21 @@ val with_grid : t -> Grid.t -> t
 (** Same program over a different grid (e.g. a scaled-down instance for
     the execution oracle).  @raise Invalid_argument on an illegal grid. *)
 
+val restrict : t -> int list -> t
+(** [restrict t keep] is the sub-program containing exactly the kernels
+    of [keep] (in that order), with kernel and array ids renumbered and
+    untouched arrays dropped.  Kept kernels are content-identical to the
+    originals up to renumbering — the building block of streaming edit
+    traces (kernel arrival = growing prefix, removal = dropped id).
+    @raise Invalid_argument on an empty list or out-of-range ids. *)
+
+val edit_kernel : t -> int -> (Kernel.t -> Kernel.t) -> t
+(** [edit_kernel t id f] replaces kernel [id] by [f (kernel t id)] (the
+    id itself is preserved) and re-validates the program — the "kernel
+    edited" case of a streaming program delta.
+    @raise Invalid_argument on an out-of-range id or if the edited
+    program fails validation. *)
+
 val with_blocks : t -> block_x:int -> block_y:int -> t
 (** Same program with a different thread-block tile (the §II-D.2 tradeoff:
     larger blocks amortize halo layers but strain SMEM).

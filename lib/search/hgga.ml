@@ -362,8 +362,13 @@ let migrate islands cursor ~count =
     islands
 
 let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimited)
-    ?on_generation ?interrupt obj =
+    ?(seed_plans = []) ?on_generation ?interrupt obj =
   if params.population_size < 2 then invalid_arg "Hgga.solve: population too small";
+  if seed_plans <> [] && resume_from <> None then
+    invalid_arg
+      "Hgga.solve: seed_plans and resume_from are mutually exclusive (a snapshot \
+       already carries its population, and its evaluation counters are seeded \
+       separately — mixing the two would double-count the seeds' evaluations)";
   if params.domains < 1 then invalid_arg "Hgga.solve: domains must be positive";
   if params.islands < 1 then invalid_arg "Hgga.solve: islands must be positive";
   if params.islands * 2 > params.population_size then
@@ -396,14 +401,35 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
         let islands =
           Array.make k_islands { ipop = [||]; irng = master; isize = 0 }
         in
+        (* Warm seeds (in-memory prior plans, e.g. the streaming repair
+           path): the first slots of every island hold them, so every
+           island starts its evolution next to the previous optimum.
+           Seed evaluations go through the objective like any other
+           individual — the caller must NOT pre-seed the evaluation
+           counter for them (that is the snapshot-resume path's job);
+           per-run stats then count exactly the work this run did.
+           With no seeds the construction below is bit-identical to the
+           historical one. *)
+        let seeds = Array.of_list seed_plans in
+        List.iter
+          (fun g ->
+            List.iter
+              (fun k ->
+                if k < 0 || k >= n then
+                  invalid_arg
+                    (Printf.sprintf "Hgga.solve: seed plan references kernel %d of %d" k n))
+              g)
+          (List.concat seed_plans);
         for i = 0 to k_islands - 1 do
           let size = island_size i in
+          let n_seeds = min (Array.length seeds) (size - 1) in
           let irng = Rng.split master in
           let ipop = Array.make size (make_individual obj identity) in
           for j = 0 to size - 1 do
             let idx = !g_idx in
             incr g_idx;
-            if not (i = 0 && j = 0) then begin
+            if j < n_seeds then ipop.(j) <- make_individual obj seeds.(j)
+            else if not (i = 0 && j = n_seeds) then begin
               let attempts = n + (idx * n / params.population_size) in
               ipop.(j) <-
                 make_individual obj (Grouping.random_plan obj irng ~merge_attempts:attempts n)

@@ -133,12 +133,27 @@ val solve :
   ?checkpoint:checkpoint ->
   ?resume_from:string ->
   ?budget:budget ->
+  ?seed_plans:Grouping.groups list ->
   ?on_generation:(progress -> unit) ->
   ?interrupt:(unit -> bool) ->
   Objective.t ->
   result
 (** Runs the GA and returns the best feasible plan found, after the
     profitability cleanup of constraint (1.1).
+
+    {b Warm start.}  [seed_plans] injects in-memory prior plans (e.g. a
+    repaired plan from the previous program version in the streaming
+    path) into the initial population: the first slots of {e every}
+    island hold the seeds (clamped to the island size - 1 so evolution
+    always keeps at least one non-seed slot), the remaining slots are
+    filled exactly as without seeds.  With [seed_plans = []] the run is
+    bit-identical to the historical construction.  Seed plans are
+    evaluated through the objective like any other individual: their
+    cost contributes cache hits, not pre-seeded counters, so the
+    returned per-run [evaluations]/[wall_time_s] count only the work
+    this run actually did — seeding must {e not} be combined with
+    [resume_from] (which {e does} carry counters forward from the
+    snapshot), and doing so raises [Invalid_argument].
 
     {b Island model.}  With [islands > 1] the population evolves as
     independent sub-populations in lockstep generations.  Every

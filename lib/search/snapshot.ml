@@ -22,9 +22,15 @@
          same payload standalone).  v1-v4 files load with an empty
          list; search checkpoints keep writing an empty list — warm-
          seeding a resume would change its evaluation counts and break
-         the bit-identical resume contract. *)
+         the bit-identical resume contract.
+     v6  cache documents only: optional per-entry [plan] — the best
+         plan a completed search found for the entry's triple (groups,
+         cost, and a search-parameter fingerprint), so the daemon can
+         answer a repeat request outright instead of merely warm.
+         Search checkpoints are unchanged; v5 cache files load with no
+         stored plans. *)
 
-let format_version = 5
+let format_version = 6
 
 type island = {
   rng_state : int64;  (** raw SplitMix64 state of this island's generator *)
@@ -491,10 +497,27 @@ let load path = of_string (read_file path)
 (* --- standalone warm-cache documents (serve daemon persistence) --- *)
 
 module Cache = struct
-  type entry = { key : string; verdicts : (int array * Objective.verdict) list }
+  type stored_plan = { groups : int list list; cost : float; fingerprint : string }
+
+  type entry = {
+    key : string;
+    verdicts : (int array * Objective.verdict) list;
+    plan : stored_plan option;
+  }
+
   type nonrec t = entry list
 
   let kind = "serve-cache"
+
+  (* The restricted writer has no escaper; reject strings it could not
+     round-trip (keys are hex digests, fingerprints are [A-Za-z0-9|.:-]
+     by construction, so this never fires on daemon-produced data). *)
+  let check_plain what s =
+    String.iter
+      (fun c ->
+        if c = '"' || c = '\\' || Char.code c < 0x20 then
+          invalid_arg (Printf.sprintf "Snapshot.Cache.save: %s must not need JSON escaping" what))
+      s
 
   let render (t : t) =
     let b = Buffer.create 4096 in
@@ -505,13 +528,7 @@ module Cache = struct
     List.iteri
       (fun i e ->
         if i > 0 then Buffer.add_char b ',';
-        (* keys are hex digests: no JSON escaping needed, but reject any
-           key the restricted writer could not round-trip *)
-        String.iter
-          (fun c ->
-            if c = '"' || c = '\\' || Char.code c < 0x20 then
-              invalid_arg "Snapshot.Cache.save: key must not need JSON escaping")
-          e.key;
+        check_plain "key" e.key;
         Printf.bprintf b "\n    {\"key\": \"%s\", \"verdicts\": [" e.key;
         List.iteri
           (fun j (sg, (v : Objective.verdict)) ->
@@ -526,7 +543,28 @@ module Cache = struct
               (if v.Objective.feasible then 1 else 0)
               v.Objective.cost v.Objective.orig_sum)
           e.verdicts;
-        Buffer.add_string b "]}")
+        Buffer.add_string b "]";
+        (match e.plan with
+        | None -> ()
+        | Some p ->
+            check_plain "plan fingerprint" p.fingerprint;
+            if Float.is_nan p.cost then
+              invalid_arg "Snapshot.Cache.save: plan cost must not be NaN";
+            Buffer.add_string b ", \"plan\": {\"groups\": [";
+            List.iteri
+              (fun j g ->
+                if j > 0 then Buffer.add_char b ',';
+                Buffer.add_char b '[';
+                List.iteri
+                  (fun k x ->
+                    if k > 0 then Buffer.add_char b ',';
+                    Buffer.add_string b (string_of_int x))
+                  g;
+                Buffer.add_char b ']')
+              p.groups;
+            Printf.bprintf b "], \"cost\": \"%h\", \"fingerprint\": \"%s\"}" p.cost
+              p.fingerprint);
+        Buffer.add_string b "}")
       t;
     Buffer.add_string b "\n  ]\n}\n";
     Buffer.contents b
@@ -545,7 +583,19 @@ module Cache = struct
         if key = "" then malformed "cache entry key must be non-empty";
         (* reuse the snapshot verdict shape under a wrapper object *)
         let verdicts = parse_group_verdicts (Jobj [ ("group_verdicts", field e "verdicts") ]) in
-        { key; verdicts })
+        let plan =
+          (* absent before format 6 (and optional since) *)
+          match field_opt e "plan" with
+          | None -> None
+          | Some p ->
+              Some
+                {
+                  groups = as_groups "plan groups" (field p "groups");
+                  cost = cost_of_string "plan cost" (as_str "plan cost" (field p "cost"));
+                  fingerprint = as_str "plan fingerprint" (field p "fingerprint");
+                }
+        in
+        { key; verdicts; plan })
       (as_arr "entries" (field j "entries"))
 
   let load path = of_string (read_file path)

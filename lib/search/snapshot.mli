@@ -89,15 +89,29 @@ val load : string -> t
     document so a search checkpoint can never be loaded as a cache (or
     vice versa). *)
 module Cache : sig
+  type stored_plan = {
+    groups : int list list;  (** the best plan found, canonical form *)
+    cost : float;
+    fingerprint : string;
+        (** search-parameter fingerprint of the run that produced it —
+            a stored plan only answers a request whose parameters
+            fingerprint identically (see [Serve.Server]) *)
+  }
+  (** Format 6: a completed search's answer for the entry's triple, so
+      a repeat request can be served outright rather than merely
+      warm-seeded. *)
+
   type entry = {
     key : string;  (** content digest — printable, no JSON escaping *)
     verdicts : (int array * Objective.verdict) list;
+    plan : stored_plan option;
   }
 
   type nonrec t = entry list
 
   val render : t -> string
-  (** @raise Invalid_argument if a key would need JSON escaping. *)
+  (** @raise Invalid_argument if a key or plan fingerprint would need
+      JSON escaping, or a plan cost is NaN. *)
 
   val save : string -> t -> unit
   (** Atomic, error-checked write like {!Snapshot.save}. *)

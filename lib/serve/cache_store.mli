@@ -4,8 +4,13 @@
     ({!Kf_search.Objective.export_group_verdicts}) are stored under a
     content digest of (program text, device, model) and seeded into
     later objectives over the same triple — evaluation is pure, so a
-    warm start can only skip work.  Thread-safe; bounded by a FIFO cap
-    on stored programs; persisted as a crash-safe
+    warm start can only skip work.  An entry can also carry the {e
+    answer}: the best plan a completed search found (with a
+    search-parameter fingerprint), so an identical repeat request is
+    served without searching at all.  Thread-safe; bounded by a
+    counted LRU cap on stored programs (streaming sessions mint one
+    digest per program version, so the bound is what keeps a long
+    session from growing the store forever); persisted as a crash-safe
     {!Kf_search.Snapshot.Cache} document so a restarted daemon resumes
     warm. *)
 
@@ -13,7 +18,8 @@ type t
 
 val create : ?max_entries:int -> unit -> t
 (** [max_entries] caps the number of distinct (program, device, model)
-    triples kept (default 64; FIFO eviction).
+    triples kept (default 64; LRU eviction — {!find}, {!find_plan},
+    {!absorb} and {!store_plan} all refresh recency).
     @raise Invalid_argument if it is not positive. *)
 
 val key :
@@ -27,16 +33,29 @@ val key :
 val find : t -> string -> (int array * Kf_search.Objective.verdict) list
 (** The stored verdicts for a key ([] when cold). *)
 
+val find_plan : t -> string -> Kf_search.Snapshot.Cache.stored_plan option
+(** The stored answer for a key, if a search over this triple already
+    completed.  The caller must check the plan's [fingerprint] against
+    the request's resolved search parameters before serving it. *)
+
 val absorb : t -> string -> (int array * Kf_search.Objective.verdict) list -> unit
 (** Merge a request's exported verdicts.  The larger of the stored and
     offered lists wins (an export from a seeded request is a superset of
     its seed); empty exports are ignored. *)
+
+val store_plan : t -> string -> Kf_search.Snapshot.Cache.stored_plan -> unit
+(** Record a completed search's answer for a key (replacing any previous
+    one). *)
 
 val programs : t -> int
 (** Distinct triples currently stored. *)
 
 val verdict_count : t -> int
 (** Total verdicts across all entries. *)
+
+val evictions : t -> int
+(** Entries dropped by the LRU bound since the store was created — the
+    [serve.cache.evictions] metric. *)
 
 val dirty : t -> bool
 (** Whether the store changed since the last {!save}/{!load}. *)

@@ -63,13 +63,14 @@ let close t =
 
 (* --- request construction --- *)
 
-let request ?(id = "") ?workload ?program ?(device = "k20x") ?(model = "proposed")
+let request ?(id = "") ?session ?workload ?program ?(device = "k20x") ?(model = "proposed")
     ?(options = []) () =
   let opt name v f = Option.map (fun v -> (name, f v)) v in
   Json.Obj
     (List.filter_map Fun.id
        [
          Some ("id", Json.Str id);
+         opt "session" session (fun s -> Json.Str s);
          opt "workload" workload (fun w -> Json.Str w);
          opt "program" program (fun p -> Json.Str p);
          Some ("device", Json.Str device);

@@ -32,6 +32,7 @@ val close : t -> unit
 
 val request :
   ?id:string ->
+  ?session:string ->
   ?workload:string ->
   ?program:string ->
   ?device:string ->

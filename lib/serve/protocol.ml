@@ -9,6 +9,7 @@ module Device = Kf_gpu.Device
 module Program = Kf_ir.Program
 module Objective = Kf_search.Objective
 module Hgga = Kf_search.Hgga
+module Stream = Kf_search.Stream
 module Suite = Kf_workloads.Suite
 
 exception Bad_request of string
@@ -23,6 +24,7 @@ type options = {
   max_evaluations : int option;
   max_wall_s : float option;
   deadline_s : float option;
+  slo_ms : float option;
   apply : bool;
   progress : bool;
   inject_rate : float option;
@@ -38,6 +40,7 @@ let default_options =
     max_evaluations = None;
     max_wall_s = None;
     deadline_s = None;
+    slo_ms = None;
     apply = false;
     progress = false;
     inject_rate = None;
@@ -46,6 +49,7 @@ let default_options =
 
 type request = {
   id : string;
+  session : string option;  (** streaming session name; [None] = one-shot *)
   workload : string option;  (** named / suite: spec *)
   program_text : string option;  (** inline .kf source *)
   device : string;
@@ -104,6 +108,7 @@ let parse_options j =
         max_evaluations = positive "max_evaluations" (int_field obj "max_evaluations");
         max_wall_s = positive_f "max_wall_s" (float_field obj "max_wall_s");
         deadline_s = positive_f "deadline_s" (float_field obj "deadline_s");
+        slo_ms = positive_f "slo_ms" (float_field obj "slo_ms");
         apply = bool_field obj "apply" ~default:false;
         progress = bool_field obj "progress" ~default:false;
         inject_rate;
@@ -125,13 +130,28 @@ let parse_request line =
   | None, None -> bad "request needs a \"workload\" name or an inline \"program\""
   | Some _, Some _ -> bad "\"workload\" and \"program\" are mutually exclusive"
   | _ -> ());
+  let session =
+    match str_field "session" with
+    | Some "" -> bad "field \"session\" must be non-empty"
+    | s -> s
+  in
+  let options = parse_options (Json.member "options" j) in
+  (* A streamed decision answers the current version's plan; building
+     and measuring the fused program per edit is a different (offline)
+     job, and per-search budget knobs would break the warm accounting. *)
+  if session <> None then begin
+    if options.apply then bad "\"apply\" is not available on streaming sessions";
+    if options.max_evaluations <> None || options.max_wall_s <> None then
+      bad "streaming sessions use \"slo_ms\", not search budgets"
+  end;
   {
     id = Option.value (str_field "id") ~default:"";
+    session;
     workload;
     program_text;
     device = Option.value (str_field "device") ~default:"k20x";
     model = Option.value (str_field "model") ~default:"proposed";
-    options = parse_options (Json.member "options" j);
+    options;
   }
 
 (* --- resolution (name -> program / device / model) --- *)
@@ -279,3 +299,38 @@ let result ~id ~warm ~cache:(c : Objective.cache_stats) ?outcome (r : Hgga.resul
            ] );
      ]
     @ apply_fields)
+
+(* A result served entirely from the warm store: no search ran, so there
+   are no stats to report — the ["cached"] marker tells the client the
+   numbers describe the original (cached) search's answer, not work done
+   for this request. *)
+let cached_result ~id ~groups ~cost =
+  event "result" id
+    [
+      ("stop", Json.Str "cached");
+      ("warm", Json.Bool true);
+      ("cached", Json.Bool true);
+      ("groups", groups_json groups);
+      ("cost", Json.Float cost);
+      ("generations", Json.Int 0);
+      ("evaluations", Json.Int 0);
+      ("wall_s", Json.Float 0.);
+    ]
+
+let stream_result ~id ~session (d : Stream.decision) =
+  event "result" id
+    [
+      ("session", Json.Str session);
+      ("version", Json.Int d.Stream.d_version);
+      ("rung", Json.Str (Stream.rung_name d.Stream.d_rung));
+      ("stop", Json.Str (Hgga.stop_reason_name d.Stream.d_stop));
+      ("slo_tripped", Json.Bool d.Stream.d_slo_tripped);
+      ("changed", Json.Int d.Stream.d_changed);
+      ("reused_groups", Json.Int d.Stream.d_reused_groups);
+      ("groups", groups_json d.Stream.d_groups);
+      ("cost", Json.Float d.Stream.d_cost);
+      ("evaluations", Json.Int d.Stream.d_evaluations);
+      ("wall_s", Json.Float d.Stream.d_wall_s);
+      ("total_evaluations", Json.Int d.Stream.d_total_evaluations);
+      ("total_wall_s", Json.Float d.Stream.d_total_wall_s);
+    ]

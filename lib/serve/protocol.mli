@@ -25,6 +25,11 @@ type options = {
       (** hard deadline measured from {e admission} — queue wait counts
           against it; a tripped deadline yields a retriable ["deadline"]
           error *)
+  slo_ms : float option;
+      (** streaming sessions only: per-decision latency target — when
+          the remaining budget is too small for a repair search, the
+          decision degrades down the SLO ladder (see
+          {!Kf_search.Stream}) instead of erroring *)
   apply : bool;  (** also build + measure the fused program *)
   progress : bool;  (** stream per-generation progress events *)
   inject_rate : float option;
@@ -39,6 +44,15 @@ val default_options : options
 
 type request = {
   id : string;  (** client-chosen correlation id (echoed on events) *)
+  session : string option;
+      (** [Some name] makes this a {e streaming} request: the first
+          request naming a session opens it (full search over the given
+          program), each later request naming it answers the edit
+          delta between the session's current program and this one
+          (see {!Kf_search.Stream}).  Sessions are daemon-global, so a
+          reconnecting client keeps its warm state.  Streaming requests
+          reject [apply] and per-search budgets ([slo_ms] is their
+          latency knob). *)
   workload : string option;  (** named workload or [suite:...] spec *)
   program_text : string option;  (** inline [.kf] program source *)
   device : string;
@@ -86,3 +100,14 @@ val result :
     search statistics, group-cache counters (with the warm-start flag),
     plus measured runtimes and speedup when the request asked for
     [apply]. *)
+
+val cached_result : id:string -> groups:int list list -> cost:float -> Kf_obs.Json.t
+(** A result served entirely from the warm store (no search ran):
+    [stop = "cached"], [cached = true], zero work counters.  Emitted
+    {e before} any deadline check — a fully warm answer is free, so a
+    nearly-elapsed deadline must not turn it into an error. *)
+
+val stream_result : id:string -> session:string -> Kf_search.Stream.decision -> Kf_obs.Json.t
+(** The terminal event of a streaming request: the decision's version,
+    SLO rung, delta statistics (kernels changed, groups reused), plan,
+    and per-decision plus cumulative work counters. *)

@@ -27,6 +27,8 @@ module Pool = Kf_util.Pool
 module Pipeline = Kfuse.Pipeline
 module Hgga = Kf_search.Hgga
 module Objective = Kf_search.Objective
+module Stream = Kf_search.Stream
+module Snapshot = Kf_search.Snapshot
 module Error = Kf_robust.Error
 module Guard = Kf_robust.Guard
 module Inject = Kf_robust.Inject
@@ -37,6 +39,8 @@ type config = {
   max_queue : int;
   cache_path : string option;
   cache_entries : int;
+  max_sessions : int;
+  default_slo_ms : float option;
   persist_every_s : float;
   progress_every : int;
   log : string -> unit;
@@ -49,6 +53,8 @@ let default ~socket_path =
     max_queue = 16;
     cache_path = None;
     cache_entries = 64;
+    max_sessions = 8;
+    default_slo_ms = None;
     persist_every_s = 30.;
     progress_every = 5;
     log = ignore;
@@ -66,6 +72,21 @@ type conn = {
 type handler = { mutable thread : Thread.t option; mutable finished : bool }
 type job = { req : Protocol.request; conn : conn; admit_s : float }
 
+(* A streaming session: the warm state a long-lived client accumulates
+   across edits.  The per-session mutex serializes its decisions (two
+   queued steps on one session must observe each other's plan);
+   [s_current] carries the objective of the in-flight decision so its
+   verdicts can be absorbed into the warm store afterwards. *)
+type session = {
+  s_name : string;
+  s_lock : Mutex.t;
+  s_device : string;
+  s_model : string;
+  mutable s_stream : Stream.t option;  (* [None] until version 0 decides *)
+  mutable s_current : (string * Objective.t) option;
+  mutable s_last_use : int;
+}
+
 type t = {
   config : config;
   listen_fd : Unix.file_descr;
@@ -78,6 +99,9 @@ type t = {
   mutable handlers : handler list;
   mutable conns : conn list;
   cache : Cache_store.t;
+  slock : Mutex.t;  (* guards the session registry and its LRU tick *)
+  sessions : (string, session) Hashtbl.t;
+  mutable session_tick : int;
   mutable accept_thread : Thread.t option;
   mutable dispatch_thread : Thread.t option;
   mutable timer_thread : Thread.t option;
@@ -95,9 +119,15 @@ let m_deadline_missed = lazy (Metrics.counter "serve.deadline_missed")
 let m_completed = lazy (Metrics.counter "serve.completed")
 let m_internal_errors = lazy (Metrics.counter "serve.internal_errors")
 let m_warm_requests = lazy (Metrics.counter "serve.warm_requests")
+let m_cached_results = lazy (Metrics.counter "serve.cached_results")
+let m_stream_decisions = lazy (Metrics.counter "serve.stream.decisions")
+let m_stream_slo_tripped = lazy (Metrics.counter "serve.stream.slo_tripped")
+let m_stream_evicted = lazy (Metrics.counter "serve.stream.evicted")
+let g_stream_sessions = lazy (Metrics.gauge "serve.stream.sessions")
 let g_queue_depth = lazy (Metrics.gauge "serve.queue_depth")
 let g_cache_programs = lazy (Metrics.gauge "serve.cache.programs")
 let g_cache_hit_rate = lazy (Metrics.gauge "serve.cache.hit_rate")
+let g_cache_evictions = lazy (Metrics.gauge "serve.cache.evictions")
 let h_latency = lazy (Metrics.histogram "serve.latency_s")
 
 (* --- connection IO --- *)
@@ -137,6 +167,16 @@ let params_of (o : Protocol.options) =
     seed = Option.value o.seed ~default:p.Hgga.seed;
     domains = Option.value o.domains ~default:p.Hgga.domains;
   }
+
+(* Identifies the search a stored plan answers.  [domains] is
+   deliberately excluded: the determinism contract makes the result
+   bit-identical for any worker-domain count, so a plan computed with 2
+   domains answers a 4-domain request exactly. *)
+let params_fingerprint (p : Hgga.params) =
+  Printf.sprintf "hgga.1|pop%d|gen%d|stall%d|cx%h|mut%h|tour%d|elite%d|seed%d|isl%d|mi%d|ms%d"
+    p.Hgga.population_size p.Hgga.max_generations p.Hgga.stall_generations
+    p.Hgga.crossover_rate p.Hgga.mutation_rate p.Hgga.tournament_size p.Hgga.elite
+    p.Hgga.seed p.Hgga.islands p.Hgga.migration_interval p.Hgga.migration_size
 
 (* The deadline is measured from admission, so queue wait counts against
    it; whatever remains at start becomes a wall budget.  [`Deadline] vs
@@ -187,6 +227,8 @@ let run_request t job ~started_s ~remaining =
            interrupted or failed search — warms every later request *)
         Cache_store.absorb t.cache key (Objective.export_group_verdicts obj);
         Metrics.set (Lazy.force g_cache_programs) (float_of_int (Cache_store.programs t.cache));
+        Metrics.set (Lazy.force g_cache_evictions)
+          (float_of_int (Cache_store.evictions t.cache));
         Metrics.set (Lazy.force g_cache_hit_rate) (Objective.cache_hit_rate obj)
       in
       (match Pipeline.search_safe ~params:(params_of o) ~budget ?on_generation ~interrupt ctx obj with
@@ -220,11 +262,177 @@ let run_request t job ~started_s ~remaining =
                 send job.conn
                   (Protocol.error ~id:req.id ~code:Internal ~message:(Error.to_string e))
             | Ok outcome ->
+                (* A search that ran to its own stop rule (not a budget,
+                   not an interrupt, not under fault injection) is the
+                   triple's definitive answer for these parameters:
+                   store it so an identical repeat request skips the
+                   search entirely. *)
+                if
+                  o.inject_rate = None
+                  && (stats.Hgga.stop = Hgga.Converged
+                     || stats.Hgga.stop = Hgga.Generation_cap)
+                then
+                  Cache_store.store_plan t.cache key
+                    {
+                      Snapshot.Cache.groups = result.Hgga.groups;
+                      cost = result.Hgga.cost;
+                      fingerprint = params_fingerprint (params_of o);
+                    };
                 Metrics.incr (Lazy.force m_completed);
                 Metrics.observe (Lazy.force h_latency) (now () -. job.admit_s);
                 send job.conn (Protocol.result ~id:req.id ~warm ~cache ?outcome result)
           end);
       finish ()
+
+(* The satellite of the deadline bugfix: a request fully answerable from
+   the warm store costs no search, so it must be served even when the
+   deadline has (nearly) elapsed at dequeue — the cache probe runs
+   *before* remaining time is converted into a wall budget, and before
+   the zero-budget rejection.  Only pure search requests qualify: apply
+   work, explicit budgets and fault injection all change the answer or
+   require running real work. *)
+let try_cached t job =
+  let req = job.req in
+  let o = req.options in
+  if
+    req.Protocol.session <> None || o.Protocol.apply || o.Protocol.max_evaluations <> None
+    || o.Protocol.max_wall_s <> None || o.Protocol.inject_rate <> None
+  then false
+  else begin
+    let program, device, model = Protocol.resolve req in
+    let key = Cache_store.key ~program ~device ~model in
+    match Cache_store.find_plan t.cache key with
+    | Some p when String.equal p.Snapshot.Cache.fingerprint (params_fingerprint (params_of o))
+      ->
+        Metrics.incr (Lazy.force m_warm_requests);
+        Metrics.incr (Lazy.force m_cached_results);
+        Metrics.incr (Lazy.force m_completed);
+        Metrics.observe (Lazy.force h_latency) (now () -. job.admit_s);
+        send job.conn (Protocol.started ~id:req.id);
+        send job.conn
+          (Protocol.cached_result ~id:req.id ~groups:p.Snapshot.Cache.groups
+             ~cost:p.Snapshot.Cache.cost);
+        true
+    | _ -> false
+  end
+
+(* --- streaming sessions --- *)
+
+let stream_config t (o : Protocol.options) =
+  let p = params_of o in
+  let d = Stream.default_config in
+  {
+    Stream.params = p;
+    repair =
+      {
+        p with
+        Hgga.population_size = max 4 (p.Hgga.population_size / 2);
+        max_generations = max 50 (p.Hgga.max_generations / 2);
+        stall_generations = max 10 (p.Hgga.stall_generations / 2);
+      };
+    slo_s =
+      (match o.Protocol.slo_ms with
+      | Some ms -> Some (ms /. 1000.)
+      | None -> Option.map (fun ms -> ms /. 1000.) t.config.default_slo_ms);
+    min_search_s = d.Stream.min_search_s;
+  }
+
+(* Find or create the session under the registry lock; the returned
+   session is then driven under its own lock.  The registry is LRU-
+   bounded like the warm store — a session's searchable state is
+   rebuilt from scratch (one full search) if it was evicted. *)
+let session_acquire t ~name ~device ~model =
+  Mutex.lock t.slock;
+  let release () = Mutex.unlock t.slock in
+  match Hashtbl.find_opt t.sessions name with
+  | Some s ->
+      if s.s_device <> device || s.s_model <> model then begin
+        release ();
+        Protocol.(
+          raise
+            (Bad_request
+               (Printf.sprintf "session %S is bound to device %s / model %s" name s.s_device
+                  s.s_model)))
+      end;
+      t.session_tick <- t.session_tick + 1;
+      s.s_last_use <- t.session_tick;
+      release ();
+      s
+  | None ->
+      while Hashtbl.length t.sessions >= t.config.max_sessions do
+        let victim = ref None in
+        Hashtbl.iter
+          (fun _ s ->
+            match !victim with
+            | Some v when v.s_last_use <= s.s_last_use -> ()
+            | _ -> victim := Some s)
+          t.sessions;
+        match !victim with
+        | Some v ->
+            Hashtbl.remove t.sessions v.s_name;
+            Metrics.incr (Lazy.force m_stream_evicted)
+        | None -> ()
+      done;
+      t.session_tick <- t.session_tick + 1;
+      let s =
+        {
+          s_name = name;
+          s_lock = Mutex.create ();
+          s_device = device;
+          s_model = model;
+          s_stream = None;
+          s_current = None;
+          s_last_use = t.session_tick;
+        }
+      in
+      Hashtbl.replace t.sessions name s;
+      Metrics.set (Lazy.force g_stream_sessions) (float_of_int (Hashtbl.length t.sessions));
+      release ();
+      s
+
+let run_stream t job =
+  let req = job.req in
+  let name = Option.get req.Protocol.session in
+  let program, device, model = Protocol.resolve req in
+  let s = session_acquire t ~name ~device:req.Protocol.device ~model:req.Protocol.model in
+  Mutex.lock s.s_lock;
+  Fun.protect
+    ~finally:(fun () ->
+      s.s_current <- None;
+      Mutex.unlock s.s_lock)
+    (fun () ->
+      (* Per-version objectives seed from (and report back to) the warm
+         store: the digest content-addresses the exact program version,
+         so a client revisiting a version gets its verdicts back free —
+         and soundly, since verdicts never cross distinct digests. *)
+      let env p =
+        let obj = Pipeline.objective ~model (Pipeline.prepare ~device p) in
+        let key = Cache_store.key ~program:p ~device ~model in
+        Objective.seed_group_verdicts obj (Cache_store.find t.cache key);
+        s.s_current <- Some (key, obj);
+        obj
+      in
+      let decision =
+        match s.s_stream with
+        | None ->
+            let stream = Stream.create ~config:(stream_config t req.Protocol.options) env program in
+            s.s_stream <- Some stream;
+            Stream.last stream
+        | Some stream -> Stream.step stream program
+      in
+      (match s.s_current with
+      | Some (key, obj) ->
+          Cache_store.absorb t.cache key (Objective.export_group_verdicts obj);
+          Metrics.set (Lazy.force g_cache_programs)
+            (float_of_int (Cache_store.programs t.cache));
+          Metrics.set (Lazy.force g_cache_evictions)
+            (float_of_int (Cache_store.evictions t.cache))
+      | None -> ());
+      Metrics.incr (Lazy.force m_stream_decisions);
+      if decision.Stream.d_slo_tripped then Metrics.incr (Lazy.force m_stream_slo_tripped);
+      Metrics.incr (Lazy.force m_completed);
+      Metrics.observe (Lazy.force h_latency) (now () -. job.admit_s);
+      send job.conn (Protocol.stream_result ~id:req.Protocol.id ~session:name decision))
 
 let reject t job ~code ~message =
   (match code with
@@ -238,6 +446,10 @@ let execute t job =
   match
     if Atomic.get t.draining then
       reject t job ~code:Protocol.Shutdown ~message:"daemon is draining; retry later"
+    else if try_cached t job then ()
+      (* answered from the warm store — deliberately before the deadline
+         arithmetic below: a warm answer is free, so even a request whose
+         deadline fully elapsed in the queue gets its result *)
     else begin
       let started_s = now () in
       let queued_s = started_s -. job.admit_s in
@@ -250,7 +462,8 @@ let execute t job =
                  (Option.get job.req.options.deadline_s) queued_s)
       | remaining ->
           send job.conn (Protocol.started ~id:job.req.id);
-          run_request t job ~started_s ~remaining
+          if job.req.Protocol.session <> None then run_stream t job
+          else run_request t job ~started_s ~remaining
     end
   with
   | () -> ()
@@ -489,6 +702,7 @@ let timer_loop t =
 let start config =
   if config.workers < 1 then invalid_arg "Server.start: workers must be positive";
   if config.max_queue < 1 then invalid_arg "Server.start: max_queue must be positive";
+  if config.max_sessions < 1 then invalid_arg "Server.start: max_sessions must be positive";
   (* a broken client connection must be an EPIPE result, not a fatal signal *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   if Sys.file_exists config.socket_path then Sys.remove config.socket_path;
@@ -528,6 +742,9 @@ let start config =
       handlers = [];
       conns = [];
       cache;
+      slock = Mutex.create ();
+      sessions = Hashtbl.create 8;
+      session_tick = 0;
       accept_thread = None;
       dispatch_thread = None;
       timer_thread = None;
@@ -587,3 +804,10 @@ let stop t =
 
 let cache_programs t = Cache_store.programs t.cache
 let cache_verdicts t = Cache_store.verdict_count t.cache
+let cache_evictions t = Cache_store.evictions t.cache
+
+let stream_sessions t =
+  Mutex.lock t.slock;
+  let n = Hashtbl.length t.sessions in
+  Mutex.unlock t.slock;
+  n

@@ -9,7 +9,17 @@
     - {b Deadlines}: a request's [deadline_s] is measured from
       admission; the remainder at start becomes the search's wall
       budget, and a deadline-tripped stop is reported as a retriable
-      ["deadline"] error.
+      ["deadline"] error.  The warm store is probed {e before} the
+      deadline arithmetic: a request whose exact answer is already
+      cached is served (["cached"] result) even when its deadline
+      elapsed in the queue — a free answer must never become an error.
+    - {b Streaming sessions}: requests naming a [session] are routed
+      to a per-session {!Kf_search.Stream} — the first opens it (full
+      search), each later one answers the program delta with a
+      warm-started repair search under the session's [slo_ms] ladder.
+      Sessions are daemon-global, serialized per session, and
+      LRU-bounded by [max_sessions] (an evicted session transparently
+      rebuilds with one full search).
     - {b Fault isolation}: request execution runs behind
       {!Kf_robust.Guard} plus a per-job exception net — malformed or
       fault-injecting requests produce structured error events, never a
@@ -28,8 +38,11 @@
     [serve.requests], [serve.completed], [serve.malformed],
     [serve.rejected_overload], [serve.rejected_shutdown],
     [serve.deadline_missed], [serve.internal_errors],
-    [serve.warm_requests]; gauges [serve.queue_depth],
-    [serve.cache.programs], [serve.cache.hit_rate]; histogram
+    [serve.warm_requests], [serve.cached_results],
+    [serve.stream.decisions], [serve.stream.slo_tripped],
+    [serve.stream.evicted]; gauges [serve.queue_depth],
+    [serve.cache.programs], [serve.cache.hit_rate],
+    [serve.cache.evictions], [serve.stream.sessions]; histogram
     [serve.latency_s] (admission-to-terminal-event seconds). *)
 
 type config = {
@@ -37,7 +50,14 @@ type config = {
   workers : int;  (** worker domains executing requests *)
   max_queue : int;  (** admission-queue bound *)
   cache_path : string option;  (** warm-cache persistence file *)
-  cache_entries : int;  (** cap on cached (program, device, model) triples *)
+  cache_entries : int;
+      (** cap on cached (program, device, model) triples (LRU — this is
+          what bounds the persisted file under a long streaming
+          session, which mints one digest per program version) *)
+  max_sessions : int;  (** cap on live streaming sessions (LRU) *)
+  default_slo_ms : float option;
+      (** per-decision SLO for streaming sessions that do not set
+          [slo_ms] themselves ([None]: unlimited) *)
   persist_every_s : float;  (** periodic cache-persistence interval *)
   progress_every : int;  (** generations between progress events *)
   log : string -> unit;  (** daemon log sink ([ignore] for quiet) *)
@@ -45,7 +65,8 @@ type config = {
 
 val default : socket_path:string -> config
 (** 2 workers, queue bound 16, no persistence path, 64 cache entries,
-    persist every 30 s, progress every 5 generations, silent. *)
+    8 sessions, no default SLO, persist every 30 s, progress every 5
+    generations, silent. *)
 
 type t
 
@@ -82,3 +103,9 @@ val stop : t -> unit
 val cache_programs : t -> int
 val cache_verdicts : t -> int
 (** Warm-cache occupancy (for logs and tests). *)
+
+val cache_evictions : t -> int
+(** Entries the warm store's LRU bound has dropped so far. *)
+
+val stream_sessions : t -> int
+(** Live streaming sessions (for logs and tests). *)

@@ -33,6 +33,11 @@ let test_parse_malformed () =
       {|{"workload": "cloverleaf", "options": {"inject_rate": 1.5}}|};
       {|{"workload": "cloverleaf", "options": {"apply": "yes"}}|};
       {|{"workload": "cloverleaf", "options": 3}|};
+      {|{"workload": "cloverleaf", "session": ""}|};
+      {|{"workload": "cloverleaf", "session": "s", "options": {"apply": true}}|};
+      {|{"workload": "cloverleaf", "session": "s", "options": {"max_wall_s": 1.0}}|};
+      {|{"workload": "cloverleaf", "session": "s", "options": {"max_evaluations": 10}}|};
+      {|{"workload": "cloverleaf", "options": {"slo_ms": -5}}|};
     ]
 
 let test_parse_request () =
@@ -146,6 +151,64 @@ let test_cache_persistence () =
   | exception Snapshot.Malformed _ -> ());
   Sys.remove path;
   Sys.remove not_cache
+
+let test_cache_lru_recency () =
+  (* The bound is LRU, not FIFO: reading a key refreshes it, so the
+     stalest — not the oldest — entry is the victim. *)
+  let t = Cache_store.create ~max_entries:2 () in
+  Cache_store.absorb t "a" [ ([| 0; 1 |], verdict 1.) ];
+  Cache_store.absorb t "b" [ ([| 2; 3 |], verdict 2.) ];
+  ignore (Cache_store.find t "a");
+  Cache_store.absorb t "c" [ ([| 4; 5 |], verdict 3.) ];
+  check Alcotest.bool "stalest (b) evicted" true (Cache_store.find t "b" = []);
+  check Alcotest.bool "recently-read (a) kept" true (Cache_store.find t "a" <> []);
+  check Alcotest.int "eviction counted" 1 (Cache_store.evictions t)
+
+let test_cache_bounded_growth () =
+  (* A streaming session mints one digest per program version; 1000
+     synthetic edits must leave both the store and the persisted file
+     bounded by the configured cap. *)
+  let cap = 32 in
+  let t = Cache_store.create ~max_entries:cap () in
+  for i = 1 to 1000 do
+    let key = Printf.sprintf "edit-%d" i in
+    Cache_store.absorb t key [ ([| 0; 1 |], verdict (float_of_int i)) ];
+    Cache_store.store_plan t key
+      { Snapshot.Cache.groups = [ [ 0; 1 ]; [ 2 ] ]; cost = float_of_int i; fingerprint = "fp" }
+  done;
+  check Alcotest.int "store bounded" cap (Cache_store.programs t);
+  check Alcotest.int "evictions counted" (1000 - cap) (Cache_store.evictions t);
+  let path = Filename.temp_file "kfuse_bounded" ".json" in
+  Cache_store.save t path;
+  let ic = open_in path in
+  let size = in_channel_length ic in
+  close_in ic;
+  check Alcotest.bool "persisted file bounded" true (size < 64 * 1024);
+  let t2 = Cache_store.create ~max_entries:cap () in
+  Cache_store.load t2 path;
+  check Alcotest.int "reload bounded" cap (Cache_store.programs t2);
+  check Alcotest.bool "latest edit survived" true (Cache_store.find_plan t2 "edit-1000" <> None);
+  check Alcotest.bool "early edit evicted" true (Cache_store.find_plan t2 "edit-1" = None);
+  Sys.remove path
+
+let test_cache_plan_roundtrip () =
+  (* Format 6: the stored answer persists with the verdicts. *)
+  let path = Filename.temp_file "kfuse_plan" ".json" in
+  let t = Cache_store.create () in
+  Cache_store.absorb t "k" [ ([| 0; 1 |], verdict 0.25) ];
+  Cache_store.store_plan t "k"
+    { Snapshot.Cache.groups = [ [ 0; 1 ]; [ 2; 3 ] ]; cost = 0.125; fingerprint = "hgga.1|x" };
+  Cache_store.save t path;
+  let t2 = Cache_store.create () in
+  Cache_store.load t2 path;
+  (match Cache_store.find_plan t2 "k" with
+  | None -> Alcotest.fail "plan lost in roundtrip"
+  | Some p ->
+      check Alcotest.(list (list int)) "groups" [ [ 0; 1 ]; [ 2; 3 ] ] p.Snapshot.Cache.groups;
+      check Alcotest.bool "bitwise cost" true
+        (Int64.bits_of_float p.Snapshot.Cache.cost = Int64.bits_of_float 0.125);
+      check Alcotest.string "fingerprint" "hgga.1|x" p.Snapshot.Cache.fingerprint);
+  Sys.remove path
 
 (* --- lifecycle --- *)
 
@@ -426,12 +489,11 @@ let test_warm_restart () =
   in
   check Alcotest.string "warm result" "result" (str_field "event" warm);
   check Alcotest.bool "warm start" true (bool_field "warm" warm);
-  let hits =
-    match Json.member "cache" warm with
-    | Some c -> int_field "hits" c
-    | None -> Alcotest.fail "result lacks cache stats"
-  in
-  check Alcotest.bool "warm hits nonzero" true (hits > 0);
+  (* format 6: the persisted store also carries the completed search's
+     answer, so the identical repeat request is served outright — no
+     search runs at all *)
+  check Alcotest.string "served from store" "cached" (str_field "stop" warm);
+  check Alcotest.bool "cached marker" true (bool_field "cached" warm);
   (* determinism: warmth must not change the answer *)
   let cost j =
     match Option.bind (Json.member "cost" j) Json.to_float_opt with
@@ -441,6 +503,91 @@ let test_warm_restart () =
   check (Alcotest.float 1e-12) "warm cost identical" (cost cold) (cost warm);
   Sys.remove cache_path
 
+let test_zero_budget_warm () =
+  (* The deadline-ordering bugfix: a request fully answerable from the
+     warm store is served even when its deadline already elapsed in the
+     queue — the store is probed before remaining time is converted into
+     a wall budget, so a free answer never becomes a deadline error. *)
+  with_server (fun _srv path ->
+      let c = Client.connect_retry path in
+      Client.send c (Client.request ~id:"fill" ~workload:"motivating" ~options:quick_options ());
+      let _, fill = terminal c ~id:"fill" in
+      check Alcotest.string "fill result" "result" (str_field "event" fill);
+      (* a 1 microsecond deadline has certainly passed by dequeue time *)
+      Client.send c
+        (Client.request ~id:"zero" ~workload:"motivating"
+           ~options:(("deadline_s", Json.Float 1e-6) :: quick_options)
+           ());
+      let _, zero = terminal c ~id:"zero" in
+      check Alcotest.string "warm answer, not a deadline error" "result"
+        (str_field "event" zero);
+      check Alcotest.string "served from store" "cached" (str_field "stop" zero);
+      check Alcotest.bool "cached marker" true (bool_field "cached" zero);
+      let cost j =
+        match Option.bind (Json.member "cost" j) Json.to_float_opt with
+        | Some v -> v
+        | None -> Alcotest.fail "no cost"
+      in
+      check (Alcotest.float 1e-12) "identical answer" (cost fill) (cost zero);
+      (* different search parameters -> different fingerprint -> a real
+         search (and, with this deadline, a deadline error) *)
+      Client.send c
+        (Client.request ~id:"other" ~workload:"motivating"
+           ~options:
+             [ ("generations", Json.Int 41); ("population", Json.Int 20);
+               ("deadline_s", Json.Float 1e-6) ]
+           ());
+      let _, other = terminal c ~id:"other" in
+      check Alcotest.string "fingerprint mismatch falls through" "error"
+        (str_field "event" other);
+      check Alcotest.string "deadline code" "deadline" (str_field "code" other);
+      Client.close c)
+
+let print_program p = Kf_ir.Program_io.print p
+
+let test_stream_session () =
+  (* End-to-end streaming: one client, one session, three program
+     versions over a single connection. *)
+  with_server (fun srv path ->
+      let c = Client.connect_retry path in
+      let base = Kf_workloads.Motivating.program () in
+      let edited =
+        Kf_ir.Program.edit_kernel base 2 (fun k ->
+            { k with Kf_ir.Kernel.extra_flops_per_site = k.Kf_ir.Kernel.extra_flops_per_site +. 7. })
+      in
+      let ask id program =
+        Client.send c
+          (Client.request ~id ~session:"edits" ~program:(print_program program)
+             ~options:quick_options ());
+        let _, term = terminal c ~id in
+        term
+      in
+      let r0 = ask "v0" base in
+      check Alcotest.string "v0 result" "result" (str_field "event" r0);
+      check Alcotest.string "session echoed" "edits" (str_field "session" r0);
+      check Alcotest.int "version 0" 0 (int_field "version" r0);
+      check Alcotest.string "v0 full search" "full-search" (str_field "rung" r0);
+      check Alcotest.int "one live session" 1 (Server.stream_sessions srv);
+      let r1 = ask "v1" edited in
+      check Alcotest.int "version 1" 1 (int_field "version" r1);
+      check Alcotest.string "v1 repairs" "repair-search" (str_field "rung" r1);
+      check Alcotest.int "edit counts as removed+added" 2 (int_field "changed" r1);
+      check Alcotest.bool "totals accumulate" true
+        (int_field "total_evaluations" r1
+        >= int_field "evaluations" r1 + int_field "evaluations" r0);
+      let r2 = ask "v2" edited in
+      check Alcotest.int "version 2" 2 (int_field "version" r2);
+      check Alcotest.int "identical program, no change" 0 (int_field "changed" r2);
+      check Alcotest.int "still one session" 1 (Server.stream_sessions srv);
+      (* a session is pinned to its device/model pair *)
+      Client.send c
+        (Client.request ~id:"wrong" ~session:"edits" ~device:"k40"
+           ~program:(print_program base) ~options:quick_options ());
+      let _, wrong = terminal c ~id:"wrong" in
+      check Alcotest.string "device mismatch rejected" "error" (str_field "event" wrong);
+      check Alcotest.string "malformed code" "malformed" (str_field "code" wrong);
+      Client.close c)
+
 let suite =
   [
     ("parse malformed requests", `Quick, test_parse_malformed);
@@ -449,6 +596,9 @@ let suite =
     ("retriable taxonomy", `Quick, test_retriable);
     ("cache store bounds", `Quick, test_cache_store);
     ("cache store persistence", `Quick, test_cache_persistence);
+    ("cache LRU recency", `Quick, test_cache_lru_recency);
+    ("cache bounded under 1000 edits", `Quick, test_cache_bounded_growth);
+    ("cache stored-plan roundtrip", `Quick, test_cache_plan_roundtrip);
     ("concurrent clients isolated", `Slow, test_concurrent_isolation);
     ("malformed request isolated", `Slow, test_malformed_isolated);
     ("fault-injected request structured", `Slow, test_fault_injected_request);
@@ -456,4 +606,6 @@ let suite =
     ("deadline error while others proceed", `Slow, test_deadline_error);
     ("graceful drain", `Slow, test_drain);
     ("warm restart from persisted cache", `Slow, test_warm_restart);
+    ("zero-budget warm request", `Slow, test_zero_budget_warm);
+    ("streaming session", `Slow, test_stream_session);
   ]

@@ -966,14 +966,16 @@ let exp_bench_json () =
   Format.printf "wrote %s@." bench_json_path
 
 (* ------------------------------------------------------------------ *)
-(* Island-scaling sweep (BENCH_pr3.json)                                *)
+(* Parallel-scaling sweep (BENCH_pr8.json)                              *)
 (* ------------------------------------------------------------------ *)
 
-let bench_scaling_path = "BENCH_pr3.json"
+let bench_scaling_path = "BENCH_pr8.json"
 
 let exp_bench_scaling () =
-  header "bench_scaling" ("Island-model scaling sweep -> " ^ bench_scaling_path);
+  header "bench_scaling"
+    ("Parallel-scaling sweep (islands x domains) -> " ^ bench_scaling_path);
   let module J = Kf_obs.Json in
+  let host_cores = Domain.recommended_domain_count () in
   let workloads =
     [
       ("motivating", Motivating.program ());
@@ -984,94 +986,223 @@ let exp_bench_scaling () =
       ("suite-30", Suite.generate { Suite.default with Suite.kernels = 30; arrays = 60; seed = 42 });
     ]
   in
+  (* Two orthogonal axes.  The island axis runs every workload at
+     domains = 1: it isolates the overhead of the island machinery
+     itself (pool dispatch, migration, merge barriers) with zero
+     parallelism, so its wall speedups should sit near 1.0 on any host.
+     The domain axis fixes islands = 4 and scales worker domains on two
+     mid-size workloads: it measures real parallel throughput AND
+     asserts the determinism contract (fixed islands => bit-identical
+     plan, cost, history and evaluation count for every domain count). *)
   let island_counts = [ 1; 2; 4; 8 ] in
+  let domain_counts = [ 1; 2; 4 ] in
+  let domain_axis_islands = 4 in
+  let domain_axis_workloads = [ "cloverleaf"; "suite-30" ] in
   let t =
     Table.create
       [
-        ("workload", Table.Left); ("islands", Table.Right); ("wall (s)", Table.Right);
-        ("evals", Table.Right); ("evals/s", Table.Right); ("wall speedup", Table.Right);
-        ("measured", Table.Right); ("stop", Table.Left);
+        ("workload", Table.Left); ("islands", Table.Right); ("domains", Table.Right);
+        ("gens", Table.Right); ("wall (s)", Table.Right); ("evals", Table.Right);
+        ("evals/s", Table.Right); ("wall speedup", Table.Right); ("valid", Table.Left);
+        ("stop", Table.Left);
       ]
   in
-  let run_one p ~islands ~budget =
-    (* domains = islands: each island gets a worker; the determinism
-       contract makes this a pure throughput knob. *)
-    let params = { search_params with Hgga.islands; domains = islands } in
-    let ctx = prepare p in
-    let obj = objective ctx in
-    let r = Hgga.solve ~params ?budget obj in
-    let o = Pipeline.apply ctx r in
-    (r, o)
+  (* Each config runs [repeats] times; the search is deterministic so
+     every repeat returns the same result and only the wall differs.
+     Keep the best wall (min is the standard noise-robust estimator) —
+     at the ~0.1 s scale of these configs a single sample is too noisy
+     to gate on. *)
+  let repeats = 3 in
+  let run_one p ~islands ~domains ~budget ~params =
+    let params = { params with Hgga.islands; domains } in
+    let solve () =
+      let ctx = prepare p in
+      let obj = Pipeline.objective ~domains ctx in
+      Hgga.solve ~params ?budget obj
+    in
+    let r = solve () in
+    let best_wall = ref r.Hgga.stats.Hgga.wall_time_s in
+    for _ = 2 to repeats do
+      let r' = solve () in
+      best_wall := min !best_wall r'.Hgga.stats.Hgga.wall_time_s
+    done;
+    { r with Hgga.stats = { r.Hgga.stats with Hgga.wall_time_s = !best_wall } }
   in
+  let evals_per_s (stats : Hgga.stats) =
+    if stats.Hgga.wall_time_s > 0. then
+      float_of_int stats.Hgga.evaluations /. stats.Hgga.wall_time_s
+    else 0.
+  in
+  let config_row name ~islands ~domains ~ref_wall (r : Hgga.result) =
+    let stats = r.Hgga.stats in
+    (* A config that ran fewer than two generations measured budget
+       exhaustion or instant convergence, not search throughput: its
+       wall is dominated by setup and the final refinement pass, so
+       speedups computed from it are bogus (the PR 3 sweep reported a
+       8.6x "speedup" on exactly such a row).  Keep the row for the
+       record, flag it invalid, exclude it from gated aggregates. *)
+    let valid = stats.Hgga.generations >= 2 in
+    let wall_speedup =
+      if stats.Hgga.wall_time_s > 0. then ref_wall /. stats.Hgga.wall_time_s else 0.
+    in
+    Table.add_row t
+      [
+        name;
+        string_of_int islands;
+        string_of_int domains;
+        string_of_int stats.Hgga.generations;
+        Table.cell_f ~decimals:3 stats.Hgga.wall_time_s;
+        string_of_int stats.Hgga.evaluations;
+        Table.cell_f ~decimals:0 (evals_per_s stats);
+        Table.cell_speedup wall_speedup;
+        (if valid then "yes" else "NO");
+        Hgga.stop_reason_name stats.Hgga.stop;
+      ];
+    let json =
+      J.Obj
+        [
+          ("islands", J.Int islands);
+          ("domains", J.Int domains);
+          ("generations", J.Int stats.Hgga.generations);
+          ("evaluations", J.Int stats.Hgga.evaluations);
+          ("wall_s", J.Float stats.Hgga.wall_time_s);
+          ("evaluations_per_s", J.Float (evals_per_s stats));
+          ("wall_speedup", J.Float wall_speedup);
+          ("cost_s", J.Float r.Hgga.cost);
+          ("valid", J.Bool valid);
+          ("stop_reason", J.Str (Hgga.stop_reason_name stats.Hgga.stop));
+        ]
+    in
+    (json, valid, wall_speedup)
+  in
+  let bit_identity_failures = ref [] in
+  let island_speedups = ref [] in
+  let domain_axis_rows = ref [] in
+  let axis_throughput = Hashtbl.create 8 (* domains -> evals/s list *) in
   let rows =
     List.map
       (fun (name, p) ->
-        (* Single-island baseline fixes the evaluation budget: every
-           multi-island config searches under the same number of
-           objective evaluations, so wall-time differences are search
-           efficiency, not extra work. *)
-        let base_r, base_o = run_one p ~islands:1 ~budget:None in
-        let base_evals = base_r.Hgga.stats.Hgga.evaluations in
-        let base_wall = base_r.Hgga.stats.Hgga.wall_time_s in
-        let budget =
-          Some { Hgga.unlimited with Hgga.max_evaluations = Some base_evals }
+        (* Baseline: one island, one domain, the raw search. *)
+        let base_r =
+          run_one p ~islands:1 ~domains:1 ~budget:None ~params:search_params
+        in
+        let base_stats = base_r.Hgga.stats in
+        let base_evals = base_stats.Hgga.evaluations in
+        let base_wall = base_stats.Hgga.wall_time_s in
+        (* Budget normalization (the PR 3 sweep's accounting bug): a
+           baseline that converges after a handful of evaluations hands
+           every other config an evaluation budget it exhausts inside
+           generation 1, so their walls measure budget exhaustion, not
+           search throughput.  A budget that cannot cover two full
+           generations falls back to equal-generations normalization
+           instead. *)
+        let degenerate = base_evals < 2 * search_params.Hgga.population_size in
+        let budget, cparams =
+          if degenerate then
+            ( None,
+              {
+                search_params with
+                Hgga.max_generations = max 2 base_stats.Hgga.generations;
+                stall_generations = max 2 base_stats.Hgga.generations;
+              } )
+          else
+            ( Some { Hgga.unlimited with Hgga.max_evaluations = Some base_evals },
+              search_params )
+        in
+        (* Island axis at domains = 1. *)
+        let island_runs =
+          List.map
+            (fun islands ->
+              let r =
+                if islands = 1 then base_r
+                else run_one p ~islands ~domains:1 ~budget ~params:cparams
+              in
+              (islands, r))
+            island_counts
         in
         let configs =
           List.map
-            (fun islands ->
-              let r, o =
-                if islands = 1 then (base_r, base_o) else run_one p ~islands ~budget
+            (fun (islands, r) ->
+              let json, valid, speedup =
+                config_row name ~islands ~domains:1 ~ref_wall:base_wall r
               in
-              let stats = r.Hgga.stats in
-              let wall_speedup =
-                if stats.Hgga.wall_time_s > 0. then base_wall /. stats.Hgga.wall_time_s
-                else 0.
-              in
-              let evals_per_s =
-                if stats.Hgga.wall_time_s > 0. then
-                  float_of_int stats.Hgga.evaluations /. stats.Hgga.wall_time_s
-                else 0.
-              in
-              Table.add_row t
-                [
-                  name;
-                  string_of_int islands;
-                  Table.cell_f ~decimals:3 stats.Hgga.wall_time_s;
-                  string_of_int stats.Hgga.evaluations;
-                  Table.cell_f ~decimals:0 evals_per_s;
-                  Table.cell_speedup wall_speedup;
-                  Table.cell_speedup o.Pipeline.speedup;
-                  Hgga.stop_reason_name stats.Hgga.stop;
-                ];
-              J.Obj
-                [
-                  ("islands", J.Int islands);
-                  ("domains", J.Int islands);
-                  ("generations", J.Int stats.Hgga.generations);
-                  ("evaluations", J.Int stats.Hgga.evaluations);
-                  ("wall_s", J.Float stats.Hgga.wall_time_s);
-                  ("evaluations_per_s", J.Float evals_per_s);
-                  ("wall_speedup_vs_single_island", J.Float wall_speedup);
-                  ("cost_s", J.Float r.Hgga.cost);
-                  ("measured_speedup", J.Float o.Pipeline.speedup);
-                  ("stop_reason", J.Str (Hgga.stop_reason_name stats.Hgga.stop));
-                ])
-            island_counts
+              if valid && islands > 1 then
+                island_speedups := speedup :: !island_speedups;
+              json)
+            island_runs
         in
+        (* Domain axis at islands = 4, same normalized budget: scale
+           worker domains and assert bit-identical results. *)
+        if List.mem name domain_axis_workloads then begin
+          let anchor = List.assoc domain_axis_islands island_runs in
+          let anchor_wall = anchor.Hgga.stats.Hgga.wall_time_s in
+          let axis_configs =
+            List.map
+              (fun domains ->
+                let r =
+                  if domains = 1 then anchor
+                  else
+                    run_one p ~islands:domain_axis_islands ~domains ~budget
+                      ~params:cparams
+                in
+                let identical =
+                  Int64.bits_of_float r.Hgga.cost = Int64.bits_of_float anchor.Hgga.cost
+                  && r.Hgga.groups = anchor.Hgga.groups
+                  && r.Hgga.stats.Hgga.evaluations = anchor.Hgga.stats.Hgga.evaluations
+                  && r.Hgga.stats.Hgga.improvement_history
+                     = anchor.Hgga.stats.Hgga.improvement_history
+                in
+                if not identical then
+                  bit_identity_failures := (name, domains) :: !bit_identity_failures;
+                let json, _, _ =
+                  config_row name ~islands:domain_axis_islands ~domains
+                    ~ref_wall:anchor_wall r
+                in
+                let eps = evals_per_s r.Hgga.stats in
+                Hashtbl.replace axis_throughput domains
+                  (eps :: (Option.value (Hashtbl.find_opt axis_throughput domains) ~default:[]));
+                (match json with
+                | J.Obj fields -> J.Obj (fields @ [ ("bit_identical", J.Bool identical) ])
+                | other -> other))
+              domain_counts
+          in
+          domain_axis_rows :=
+            J.Obj
+              [
+                ("name", J.Str name);
+                ("islands", J.Int domain_axis_islands);
+                ("configs", J.Arr axis_configs);
+              ]
+            :: !domain_axis_rows
+        end;
         J.Obj
           [
             ("name", J.Str name);
             ("kernels", J.Int (Program.num_kernels p));
             ("baseline_evaluations", J.Int base_evals);
+            ("budget_mode", J.Str (if degenerate then "equal-generations" else "evaluations"));
             ("configs", J.Arr configs);
           ])
       workloads
   in
   Table.print t;
+  let bit_identical = !bit_identity_failures = [] in
+  let min_island_speedup =
+    match !island_speedups with
+    | [] -> failwith "bench_scaling: no valid island-axis rows"
+    | s :: rest -> List.fold_left min s rest
+  in
+  let throughput_by_domains =
+    List.map
+      (fun d ->
+        let eps = Option.value (Hashtbl.find_opt axis_throughput d) ~default:[] in
+        (d, Stats.geomean (Array.of_list eps)))
+      domain_counts
+  in
   let doc =
     J.Obj
       [
-        ("schema", J.Str "kfuse-bench-scaling/1");
+        ("schema", J.Str "kfuse-bench-scaling/2");
         ("params",
          J.Obj
            [
@@ -1083,9 +1214,23 @@ let exp_bench_scaling () =
              ("seed", J.Int search_params.Hgga.seed);
            ]);
         ("device", J.Str k20x.Device.name);
+        ("host_cores", J.Int host_cores);
+        ("repeats", J.Int repeats);
         ("island_counts", J.Arr (List.map (fun k -> J.Int k) island_counts));
-        ("host_cores", J.Int (Domain.recommended_domain_count ()));
+        ("domain_counts", J.Arr (List.map (fun k -> J.Int k) domain_counts));
         ("workloads", J.Arr rows);
+        ("domain_axis", J.Arr (List.rev !domain_axis_rows));
+        ("aggregates",
+         J.Obj
+           [
+             ("min_wall_speedup_domains1", J.Float min_island_speedup);
+             ("bit_identical_domains", J.Bool bit_identical);
+             ("evals_per_s_by_domains",
+              J.Arr
+                (List.map
+                   (fun (d, eps) -> J.Obj [ ("domains", J.Int d); ("evals_per_s", J.Float eps) ])
+                   throughput_by_domains));
+           ]);
       ]
   in
   let oc = open_out (bench_scaling_path ^ ".tmp") in
@@ -1095,7 +1240,20 @@ let exp_bench_scaling () =
       output_string oc (J.to_string doc);
       output_char oc '\n');
   Sys.rename (bench_scaling_path ^ ".tmp") bench_scaling_path;
-  Format.printf "wrote %s@." bench_scaling_path
+  Format.printf "wrote %s@." bench_scaling_path;
+  Format.printf "min island-axis wall speedup (domains=1): %.2fx@." min_island_speedup;
+  (* The determinism contract is asserted here, in the bench itself:
+     a scheduling-dependent result is a correctness bug, not a slow
+     run, and must fail loudly even outside the CI gate. *)
+  if not bit_identical then begin
+    List.iter
+      (fun (name, domains) ->
+        Format.printf "BIT-IDENTITY VIOLATION: %s islands=%d domains=%d differs from domains=1@."
+          name domain_axis_islands domains)
+      !bit_identity_failures;
+    exit 1
+  end;
+  Format.printf "bit-identical across domain counts: yes@."
 
 (* ------------------------------------------------------------------ *)
 (* Incremental-evaluation perf benchmark (the CI perf-gate input)       *)

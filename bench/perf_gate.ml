@@ -30,6 +30,18 @@
      ratio is used instead of absolute evals/s so the gate is robust to
      CI runners of different speeds.
 
+   For "kfuse-bench-scaling/2" (the parallel-scaling sweep):
+
+   - [bit_identical_domains] must hold in the current run, and the
+     island machinery's overhead at domains=1 must keep wall speedups
+     >= 0.9x — both host-independent, always gated.
+   - evals/s must grow (within tolerance) with the domain count, up to
+     the host's core count — skipped with a notice on 1-core hosts.
+   - evals/s per domain count must stay within 20% of the baseline —
+     skipped with a notice when the baseline was recorded on a host
+     with a different core count (wall-clock quantities do not transfer
+     between hosts; regenerate the baseline on the new host instead).
+
    Exit status 0 when every check passes, 1 otherwise. *)
 
 module J = Kf_obs.Json
@@ -91,6 +103,68 @@ let gate_stream ~baseline ~current =
     "amortized ms/decision speedup %.2fx within %.0f%% of baseline %.2fx" sp_cur
     (100. *. tolerance) sp_base
 
+(* The parallel-scaling bench ("kfuse-bench-scaling/2").  Two kinds of
+   checks: intra-run invariants of the current report (bit-identity
+   across domain counts, island-machinery overhead bound, monotone
+   throughput when the host actually has cores to scale onto), and a
+   cross-run throughput comparison against the baseline.  Wall-clock
+   quantities are only comparable between runs made on similar hosts, so
+   the cross-run check — and the core-dependent intra-run one — are
+   skipped with a visible notice when the recorded [host_cores] differ;
+   the host-independent invariants always gate. *)
+let gate_scaling ~baseline ~current =
+  let cores d = require [ "host_cores" ] J.to_int_opt d in
+  let base_cores = cores baseline and cur_cores = cores current in
+  Format.printf "scaling (host_cores: baseline %d, current %d):@." base_cores cur_cores;
+  check
+    (get [ "aggregates"; "bit_identical_domains" ] bool_of current = Some true)
+    "plans, costs, histories and evaluation counts bit-identical across domain counts";
+  let min_speedup =
+    require [ "aggregates"; "min_wall_speedup_domains1" ] J.to_float_opt current
+  in
+  check (min_speedup >= 0.9)
+    "island machinery overhead bounded (min wall speedup at domains=1: %.2fx >= 0.90x)"
+    min_speedup;
+  let throughput d =
+    require [ "aggregates"; "evals_per_s_by_domains" ] J.to_list_opt d
+    |> List.map (fun e ->
+           (require [ "domains" ] J.to_int_opt e, require [ "evals_per_s" ] J.to_float_opt e))
+  in
+  let cur_tp = throughput current in
+  if cur_cores >= 2 then
+    (* Monotone throughput up to the host's core count: adding a worker
+       domain the host can actually schedule must not lose evals/s. *)
+    List.iter
+      (fun ((d1, t1), (d2, t2)) ->
+        if d2 <= cur_cores then
+          check
+            (t2 >= (1. -. tolerance) *. t1)
+            "evals/s monotone vs domains (%d: %.0f -> %d: %.0f)" d1 t1 d2 t2)
+      (List.combine (List.filteri (fun i _ -> i < List.length cur_tp - 1) cur_tp)
+         (List.tl cur_tp))
+  else
+    Format.printf
+      "  SKIP evals/s monotonicity vs domains: current host has %d core(s), nothing to scale onto@."
+      cur_cores;
+  if base_cores <> cur_cores then
+    Format.printf
+      "  SKIP cross-run wall/throughput comparison: baseline recorded on a %d-core host, \
+       current on %d cores — wall-clock quantities are not comparable@."
+      base_cores cur_cores
+  else begin
+    let base_tp = throughput baseline in
+    List.iter
+      (fun (d, t_cur) ->
+        match List.assoc_opt d base_tp with
+        | None -> ()
+        | Some t_base ->
+            check
+              (t_cur >= (1. -. tolerance) *. t_base)
+              "evals/s at domains=%d (%.0f) within %.0f%% of baseline (%.0f)" d t_cur
+              (100. *. tolerance) t_base)
+      cur_tp
+  end
+
 let gate_search ~baseline ~current =
   let gm d = require [ "geomean_measured_speedup" ] J.to_float_opt d in
   Format.printf "overall:@.";
@@ -139,6 +213,7 @@ let () =
   end;
   (match schema current with
   | "kfuse-bench-stream/1" -> gate_stream ~baseline ~current
+  | "kfuse-bench-scaling/2" -> gate_scaling ~baseline ~current
   | _ -> gate_search ~baseline ~current);
   if !fail_count > 0 then begin
     Format.printf "@.perf gate: %d check(s) failed@." !fail_count;

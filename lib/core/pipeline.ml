@@ -53,8 +53,8 @@ let prepare ?(sync_points = []) ~device program =
     original_runtime = Array.fold_left ( +. ) 0. measured_runtime;
   }
 
-let objective ?model ?guard ?faults ?incremental ctx =
-  Objective.create ?model ?guard ?faults ?incremental ctx.inputs
+let objective ?model ?guard ?faults ?domains ?incremental ctx =
+  Objective.create ?model ?guard ?faults ?domains ?incremental ctx.inputs
 
 type outcome = {
   context : context;
@@ -97,7 +97,8 @@ let apply ctx (search : Hgga.result) =
 
 let run ?params ?model ?sync_points ?incremental ~device program =
   let ctx = prepare ?sync_points ~device program in
-  let obj = objective ?model ?incremental ctx in
+  let domains = Option.map (fun (p : Hgga.params) -> p.Hgga.domains) params in
+  let obj = objective ?model ?domains ?incremental ctx in
   let search =
     Obs.span ~cat:"pipeline" ~args:(phase_args program) "search" (fun () ->
         Hgga.solve ?params obj)
@@ -189,7 +190,8 @@ let run_safe ?params ?model ?sync_points ?incremental ?guard ?inject ?checkpoint
       let faults = Objective.zero_faults () in
       let injector = Option.map (fun cfg -> Inject.create ~faults cfg) inject in
       let guard = Guard.guarded ?config:guard ?inject:injector faults in
-      let obj = objective ?model ?incremental ~guard ~faults ctx in
+      let domains = Option.map (fun (p : Hgga.params) -> p.Hgga.domains) params in
+      let obj = objective ?model ?domains ?incremental ~guard ~faults ctx in
       match search_safe ?params ?checkpoint ?resume_from ?budget ctx obj with
       | Error e -> Error e
       | Ok search -> apply_safe ctx obj search

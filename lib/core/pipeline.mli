@@ -29,14 +29,17 @@ val objective :
   ?model:Kf_search.Objective.model ->
   ?guard:Kf_search.Objective.guard ->
   ?faults:Kf_search.Objective.fault_stats ->
+  ?domains:int ->
   ?incremental:bool ->
   context ->
   Kf_search.Objective.t
 (** A fresh objective over the context (default model: the paper's).
     [guard]/[faults] install per-candidate fault isolation — see
-    {!Kf_robust.Guard}.  [incremental] (default [true]) selects the
-    two-level incremental evaluation path; results are bit-identical
-    either way (see {!Kf_search.Objective.create}). *)
+    {!Kf_robust.Guard}.  [domains] is the worker-domain count the caller
+    will search with (it sizes the non-incremental table's stripe
+    count — see {!Kf_search.Objective.create}).  [incremental] (default
+    [true]) selects the two-level incremental evaluation path; results
+    are bit-identical either way (see {!Kf_search.Objective.create}). *)
 
 type outcome = {
   context : context;

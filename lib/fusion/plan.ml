@@ -57,6 +57,110 @@ let signature_hash sig_ =
 
 let group_hash group = signature_hash (group_signature group)
 
+(* Arena-backed signature encoding.  The search evaluates tens of
+   thousands of offspring per second; building a fresh [plan_signature]
+   array (plus the canonicalized group list feeding it) for every cache
+   probe is pure GC pressure on the hottest path.  A [Sigbuf.t] is a
+   per-domain scratch buffer the probe encodes into: the encoded ints
+   live in one growable array that is reused across probes, the hash is
+   computed over the prefix in place, and an owned copy is extracted
+   only on a cache miss (when the key must outlive the probe).  The
+   encodings are bit-identical to {!group_signature} /
+   {!plan_signature}, so arena-encoded keys interoperate with signature
+   arrays persisted in snapshots. *)
+module Sigbuf = struct
+  type t = {
+    mutable buf : int array;  (* encoded signature prefix, [0, len) *)
+    mutable len : int;
+    mutable gs : int list array;  (* canonical groups of the last
+                                     [encode_plan], sorted by head *)
+    mutable n_gs : int;
+  }
+
+  let create () = { buf = Array.make 64 0; len = 0; gs = Array.make 16 []; n_gs = 0 }
+
+  let ensure t n =
+    let cap = Array.length t.buf in
+    if n > cap then begin
+      let cap' = ref (cap * 2) in
+      while n > !cap' do
+        cap' := !cap' * 2
+      done;
+      let buf = Array.make !cap' 0 in
+      Array.blit t.buf 0 buf 0 t.len;
+      t.buf <- buf
+    end
+
+  let push t x =
+    ensure t (t.len + 1);
+    t.buf.(t.len) <- x;
+    t.len <- t.len + 1
+
+  let canon_group g = if is_sorted_strict g then g else List.sort_uniq Int.compare g
+
+  let encode_group t group =
+    t.len <- 0;
+    List.iter (push t) (canon_group group)
+
+  let encode_groups_exact t groups =
+    t.len <- 0;
+    List.iteri
+      (fun gi g ->
+        if gi > 0 then push t (-1);
+        List.iter (push t) g)
+      groups
+
+  let encode_plan t groups =
+    t.len <- 0;
+    t.n_gs <- 0;
+    List.iter
+      (fun g ->
+        let g = canon_group g in
+        if t.n_gs >= Array.length t.gs then begin
+          let gs = Array.make (2 * Array.length t.gs) [] in
+          Array.blit t.gs 0 gs 0 t.n_gs;
+          t.gs <- gs
+        end;
+        (* Insertion sort by head.  Strict [>] keeps equal heads in
+           input order, matching the stable [List.sort] of
+           [canonicalize] (heads are unique in disjoint partitions
+           anyway). *)
+        let h = List.hd g in
+        let i = ref t.n_gs in
+        while !i > 0 && List.hd t.gs.(!i - 1) > h do
+          t.gs.(!i) <- t.gs.(!i - 1);
+          decr i
+        done;
+        t.gs.(!i) <- g;
+        t.n_gs <- t.n_gs + 1)
+      groups;
+    for gi = 0 to t.n_gs - 1 do
+      if gi > 0 then push t (-1);
+      List.iter (push t) t.gs.(gi)
+    done
+
+  let append_extra t extra =
+    push t (-2);
+    List.iter (push t) extra
+
+  let length t = t.len
+  let unsafe_buf t = t.buf
+
+  let hash t =
+    let h = ref 17 in
+    let buf = t.buf in
+    for i = 0 to t.len - 1 do
+      h := ((!h * 31) + buf.(i) + 2) land max_int
+    done;
+    !h
+
+  let extract t = Array.sub t.buf 0 t.len
+
+  let canonical t =
+    let rec build i acc = if i < 0 then acc else build (i - 1) (t.gs.(i) :: acc) in
+    build (t.n_gs - 1) []
+end
+
 let of_groups ~n groups =
   if List.exists (( = ) []) groups then invalid_arg "Plan.of_groups: empty group";
   let canon = canonicalize groups in

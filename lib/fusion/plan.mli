@@ -96,6 +96,59 @@ val signature_hash : int array -> int
 val group_hash : int list -> int
 (** [signature_hash (group_signature g)]. *)
 
+(** Arena-backed signature encoding for the evaluation hot path.
+
+    A [Sigbuf.t] is a reusable scratch buffer owned by one domain:
+    encoding writes the signature ints into the buffer in place (growing
+    it geometrically, so steady state allocates nothing), {!Sigbuf.hash}
+    folds the same polynomial as {!signature_hash} over the prefix, and
+    {!Sigbuf.extract} copies the prefix out only when the key must
+    outlive the probe (a cache miss).  Encodings are bit-identical to
+    {!group_signature} / {!plan_signature}, so extracted keys
+    interoperate with signature arrays persisted in snapshots.
+
+    Not thread-safe: one [Sigbuf.t] per domain.  The buffer contents are
+    invalidated by the next [encode_*] call. *)
+module Sigbuf : sig
+  type t
+
+  val create : unit -> t
+
+  val encode_group : t -> int list -> unit
+  (** Encode one group's canonical signature ({!group_signature}). *)
+
+  val encode_plan : t -> int list list -> unit
+  (** Encode the canonical whole-plan signature ({!plan_signature}),
+      canonicalizing in scratch space without building the intermediate
+      group list. *)
+
+  val encode_groups_exact : t -> int list list -> unit
+  (** Encode groups in the given order without canonicalizing
+      ([-1]-separated) — for memo keys of order-sensitive operators. *)
+
+  val append_extra : t -> int list -> unit
+  (** Append a [-2] separator then the given ints to the current
+      encoding — for memo keys that mix a partition with scalar
+      arguments. *)
+
+  val length : t -> int
+
+  val unsafe_buf : t -> int array
+  (** The backing buffer; only indices [0, length t) are meaningful.
+      Borrowed: invalidated by the next [encode_*] call on this
+      buffer. *)
+
+  val hash : t -> int
+  (** [signature_hash] of the encoded prefix, computed in place. *)
+
+  val extract : t -> int array
+  (** Owned copy of the encoded prefix. *)
+
+  val canonical : t -> int list list
+  (** The canonical group list captured by the last {!encode_plan}
+      (rebuilt from scratch space; allocates the spine only). *)
+end
+
 val equal : t -> t -> bool
 (** Equality as partitions (group order and member order irrelevant). *)
 

@@ -130,8 +130,8 @@ let sccs_of obj exec groups_arr =
   match Objective.struct_memos obj with
   | None -> condensation_sccs exec groups_arr
   | Some m ->
-      Struct_memo.find_or_compute m.Struct_memo.sccs
-        (Struct_memo.encode_groups (Array.to_list groups_arr))
+      Struct_memo.find_exact m.Struct_memo.sccs
+        (Array.to_list groups_arr)
         (fun () ->
           if group_dag_acyclic m.Struct_memo.succs groups_arr then
             List.init (Array.length groups_arr) (fun i -> [ i ])
@@ -248,8 +248,7 @@ let absorbing_merge obj groups seed =
   | None -> absorbing_merge_raw obj groups seed
   | Some m -> begin
       let merged =
-        Struct_memo.find_or_compute m.Struct_memo.merge
-          (Struct_memo.encode_canonical groups seed)
+        Struct_memo.find_canonical m.Struct_memo.merge groups seed
           (fun () ->
             match absorbing_merge_raw obj groups seed with
             | Some (group, _) -> Some group
@@ -312,10 +311,7 @@ let kin_adjacent_groups obj groups group =
   | None -> kin_adjacent_raw obj groups group
   | Some m ->
       let nb =
-        Struct_memo.find_or_compute m.Struct_memo.kin
-          (Array.of_list
-             (if Kf_fusion.Plan.is_sorted_strict group then group
-              else List.sort Int.compare group))
+        Struct_memo.find_group m.Struct_memo.kin group
           (fun () ->
             let n = Dag.num_nodes (Exec_order.dag (exec_of obj)) in
             Bitset.of_list n (kin_neighbor_list obj group))
@@ -498,8 +494,7 @@ let local_refine ?(max_passes = 3) obj groups =
   match Objective.struct_memos obj with
   | None -> local_refine_raw ~max_passes obj groups
   | Some m ->
-      Struct_memo.find_or_compute m.Struct_memo.refine
-        (Struct_memo.encode_groups_with groups [ max_passes ])
+      Struct_memo.find_exact_with m.Struct_memo.refine groups [ max_passes ]
         (fun () -> local_refine_raw ~max_passes obj groups)
 
 let enforce_profitability obj groups =

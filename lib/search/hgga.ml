@@ -2,26 +2,8 @@ module Rng = Kf_util.Rng
 module Pool = Kf_util.Pool
 module Inputs = Kf_model.Inputs
 module Program = Kf_ir.Program
-
-(* Plan-identity hash table for duplicate suppression: keyed by the
-   canonical plan signature (a flat int array) rather than the group
-   list itself, so probing hashes a small array with the fixed
-   polynomial instead of walking a nested list with the polymorphic
-   hash.  Two plans share a signature exactly when they are equal as
-   partitions, so dedup decisions are unchanged. *)
-module Seen = Hashtbl.Make (struct
-  type t = int array
-
-  let equal (a : int array) (b : int array) =
-    a == b
-    || Array.length a = Array.length b
-       &&
-       let n = Array.length a in
-       let rec go i = i >= n || (Array.unsafe_get a i = Array.unsafe_get b i && go (i + 1)) in
-       go 0
-
-  let hash = Kf_fusion.Plan.signature_hash
-end)
+module Sig_tbl = Struct_memo.Sig_tbl
+module Sigbuf = Kf_fusion.Plan.Sigbuf
 
 type params = {
   population_size : int;
@@ -240,6 +222,18 @@ type island_state = {
   mutable ipop : individual array;
   irng : Rng.t;
   isize : int;
+  (* Plan-identity set for duplicate suppression, keyed by the canonical
+     plan signature encoded into the island's arena — probing hashes a
+     flat int prefix in place with the fixed polynomial instead of
+     allocating a signature array per check.  Two plans share a
+     signature exactly when they are equal as partitions, so dedup
+     decisions match the historical signature-keyed hashtable.  Owned by
+     the island (cleared each generation, touched only by the domain
+     currently stepping the island), NOT shared across domains: a
+     cross-domain memo here would make dedup decisions depend on what
+     other islands happened to generate first. *)
+  dedup : unit Sig_tbl.t;
+  dsb : Sigbuf.t;
 }
 
 (* Advance one island by one generation and return its generation
@@ -258,8 +252,11 @@ let step_island obj params ~n ~incumbent_cost ?child_pool st =
   (* Fresh blood keeps group building blocks flowing. *)
   let fresh = min n_children (if n <= 64 then max 1 (st.isize / 10) else 1) in
   (* Every child draws from its own pre-split RNG, so construction can
-     fan out over domains without changing the result. *)
-  let child_rngs = Array.init n_children (fun _ -> Rng.split st.irng) in
+     fan out over domains without changing the result.  One batched call
+     draws the whole generation's split material from the island stream
+     in ascending child order — bit-compatible with the historical
+     sequential splits. *)
+  let child_rngs = Rng.split_n st.irng n_children in
   let snapshot = st.ipop in
   (* A child also reports its delta base: the receiving parent's plan
      evaluation.  Crossover and mutation touch one or two groups, so the
@@ -280,35 +277,46 @@ let step_island obj params ~n ~incumbent_cost ?child_pool st =
   let raw_children =
     match child_pool with
     | Some pool when n_children >= 2 * Pool.size pool ->
+        (* Work-stealing fan-out: each child index is an independent task
+           with its own pre-split RNG, so any task-to-domain assignment
+           builds the same children. *)
         let out = Array.make n_children ([], None) in
-        let workers = Pool.size pool in
-        Pool.run pool (fun w ->
-            let i = ref w in
-            while !i < n_children do
-              out.(!i) <- build_child !i;
-              i := !i + workers
-            done);
+        Pool.run pool ~tasks:n_children (fun i -> out.(i) <- build_child i);
         out
     | _ -> Array.init n_children build_child
   in
   (* Duplicate suppression (sequential in both modes, so results match):
      a population of champion clones stops searching — crossover of
      identical parents is the identity. *)
-  let seen = Seen.create st.isize in
-  List.iter
-    (fun ind -> Seen.replace seen (Kf_fusion.Plan.plan_signature ind.groups) ())
-    elites;
+  Sig_tbl.clear st.dedup;
+  let seen_mem g =
+    Sigbuf.encode_plan st.dsb g;
+    Sig_tbl.mem_pre st.dedup ~buf:(Sigbuf.unsafe_buf st.dsb) ~len:(Sigbuf.length st.dsb)
+      ~hash:(Sigbuf.hash st.dsb)
+  in
+  (* [seen_add] encodes again rather than reusing [seen_mem]'s encoding:
+     the callers below interleave membership tests of other plans (and
+     evaluations, which use the domain's own arena) between the two. *)
+  let seen_add g =
+    Sigbuf.encode_plan st.dsb g;
+    let hash = Sigbuf.hash st.dsb in
+    if
+      not
+        (Sig_tbl.mem_pre st.dedup ~buf:(Sigbuf.unsafe_buf st.dsb)
+           ~len:(Sigbuf.length st.dsb) ~hash)
+    then Sig_tbl.add st.dedup (Sigbuf.extract st.dsb) ~hash ()
+  in
+  List.iter (fun ind -> seen_add ind.groups) elites;
   let next = ref elites in
   Array.iteri
     (fun idx (child, base) ->
       let crng = child_rngs.(idx) in
       let rec unique attempts g =
-        let key = Kf_fusion.Plan.plan_signature g in
-        if (not (Seen.mem seen key)) || attempts = 0 then g
+        if (not (seen_mem g)) || attempts = 0 then g
         else unique (attempts - 1) (mutate obj crng g)
       in
       let child = unique 3 child in
-      Seen.replace seen (Kf_fusion.Plan.plan_signature child) ();
+      seen_add child;
       next := make_individual ?base obj child :: !next)
     raw_children;
   st.ipop <- Array.of_list !next;
@@ -398,9 +406,16 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
            fixed by (seed, island index) alone.  The master is never
            drawn from again. *)
         let g_idx = ref 0 in
-        let islands =
-          Array.make k_islands { ipop = [||]; irng = master; isize = 0 }
+        let dummy_island () =
+          {
+            ipop = [||];
+            irng = master;
+            isize = 0;
+            dedup = Sig_tbl.create ~capacity:16 ();
+            dsb = Sigbuf.create ();
+          }
         in
+        let islands = Array.make k_islands (dummy_island ()) in
         (* Warm seeds (in-memory prior plans, e.g. the streaming repair
            path): the first slots of every island hold them, so every
            island starts its evolution next to the previous optimum.
@@ -435,7 +450,14 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
                 make_individual obj (Grouping.random_plan obj irng ~merge_attempts:attempts n)
             end
           done;
-          islands.(i) <- { ipop; irng; isize = size }
+          islands.(i) <-
+            {
+              ipop;
+              irng;
+              isize = size;
+              dedup = Sig_tbl.create ~capacity:(2 * size) ();
+              dsb = Sigbuf.create ();
+            }
         done;
         (islands, None)
     | Some path ->
@@ -470,6 +492,8 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
                    ipop;
                    irng = Rng.of_state isl.Snapshot.rng_state;
                    isize = Array.length ipop;
+                   dedup = Sig_tbl.create ~capacity:(2 * Array.length ipop) ();
+                   dsb = Sigbuf.create ();
                  })
                snap.Snapshot.islands)
         in
@@ -571,6 +595,10 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
       | _ -> None
     end
   in
+  (* Initial populations were built on this domain; merge their verdicts
+     into the shared base so generation 1's workers start from a warm
+     read-only table and the evaluation counter is exact. *)
+  Objective.merge_locals obj;
   let stop = ref None in
   (* One persistent pool for the whole run: spawning domains per
      generation would dominate small-population generations. *)
@@ -603,12 +631,19 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
              (fun i st -> gen_bests.(i) <- step_island obj params ~n ~incumbent_cost st)
              islands
        | Some p ->
-           Pool.run p (fun w ->
-               let i = ref w in
-               while !i < k_islands do
-                 gen_bests.(!i) <- step_island obj params ~n ~incumbent_cost islands.(!i);
-                 i := !i + workers
-               done));
+           (* Work-stealing fan-out: each island step is one task.  A
+              domain that finishes its islands early steals queued
+              islands from a loaded neighbor instead of idling — island
+              steps vary wildly in cost (refinement triggers on
+              improving islands only), which is exactly what made the
+              old lockstep strided assignment lose to sequential. *)
+           Pool.run p ~tasks:k_islands (fun i ->
+               gen_bests.(i) <- step_island obj params ~n ~incumbent_cost islands.(i)));
+    (* Generation barrier: all workers are parked in the pool again, so
+       fold their private memo tables into the shared bases.  Everything
+       below — budget checks, progress callbacks, checkpoints, traces —
+       reads merged (scheduling-independent) evaluation counts. *)
+    Objective.merge_locals obj;
     let gen_best =
       Array.fold_left
         (fun acc x -> if x.cost < acc.cost then x else acc)
@@ -745,6 +780,9 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
   in
   let final_groups = Grouping.enforce_profitability obj final_groups in
   let final_cost = Objective.plan_cost obj final_groups in
+  (* Pick up the final refinement's verdicts too, so the reported stats
+     and any caller-side warm-cache export see a fully merged base. *)
+  Objective.merge_locals obj;
   {
     groups = final_groups;
     plan = Kf_fusion.Plan.of_groups ~n final_groups;

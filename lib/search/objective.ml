@@ -4,6 +4,8 @@ module Plan = Kf_fusion.Plan
 module Metadata = Kf_ir.Metadata
 module Device = Kf_gpu.Device
 module Exec_order = Kf_graph.Exec_order
+module Sig_tbl = Struct_memo.Sig_tbl
+module Sigbuf = Plan.Sigbuf
 
 type model = Proposed | Roofline | Simple | Mwp
 
@@ -45,19 +47,18 @@ let add_stats a b =
     size = a.size + b.size;
   }
 
-(* One stripe of a verdict memo table.  The cache is shared by every
-   island and worker domain of the GA, so a single global lock serializes
-   the whole search on its hottest path; striping the table over
-   independently locked shards lets concurrent lookups of different keys
-   proceed in parallel, and the per-shard in-flight set makes concurrent
-   misses on the *same* key evaluate it exactly once (losers wait on the
-   shard's condition variable for the winner's verdict).
+(* One stripe of the string-keyed verdict memo table — the PR 3
+   [--no-incremental] escape hatch, byte-for-byte the old behavior.  The
+   cache is shared by every island and worker domain of the GA; striping
+   the table over independently locked shards lets concurrent lookups of
+   different keys proceed in parallel, and the per-shard in-flight set
+   makes concurrent misses on the *same* key evaluate it exactly once
+   (losers wait on the shard's condition variable for the winner's
+   verdict).
 
-   The machinery is a functor because the objective keeps two such
-   tables: the PR 3 string-keyed table (the [--no-incremental] escape
-   hatch, byte-for-byte the old behavior) and the signature-keyed group
-   cache of the incremental path, whose int-array keys skip string
-   building and per-character hashing on every probe. *)
+   The incremental path no longer uses this machinery: its group and
+   plan caches are per-domain tables merged at generation barriers (see
+   below), so its hot path takes no lock at all. *)
 module Verdict_cache (K : Hashtbl.HashedType) = struct
   module H = Hashtbl.Make (K)
 
@@ -201,28 +202,6 @@ module Verdict_cache (K : Hashtbl.HashedType) = struct
     in
     probe ()
 
-  (* Warm-cache support: dump and pre-load memoized verdicts.  Seeding
-     inserts through the normal FIFO/eviction machinery but records
-     neither a hit nor a miss — seeded entries are free history, not
-     probes — so hit-rate telemetry still measures only real traffic. *)
-  let export t =
-    Array.fold_left
-      (fun acc s ->
-        Mutex.lock s.s_lock;
-        let entries = H.fold (fun k v acc -> (k, v) :: acc) s.s_cache acc in
-        Mutex.unlock s.s_lock;
-        entries)
-      [] t.shards
-
-  let seed t entries =
-    List.iter
-      (fun (k, v) ->
-        let s = t.shards.(K.hash k mod Array.length t.shards) in
-        Mutex.lock s.s_lock;
-        insert_locked t s k v;
-        Mutex.unlock s.s_lock)
-      entries
-
   let shard_stats_locked s =
     {
       hits = s.s_hits;
@@ -257,13 +236,6 @@ module String_cache = Verdict_cache (struct
     !h
 end)
 
-module Sig_cache = Verdict_cache (struct
-  type t = int array
-
-  let equal = ( = )
-  let hash = Plan.signature_hash
-end)
-
 (* ---- plan-level cache --------------------------------------------------- *)
 
 (* One whole-plan evaluation: the canonical-order total and each
@@ -277,21 +249,84 @@ type plan_eval = {
 
 let plan_eval_total pe = pe.pe_total
 
-module PH = Hashtbl.Make (struct
-  type t = int array
+(* ---- incremental-path caches: shared base + per-domain locals ----------- *)
 
-  let equal = ( = )
-  let hash = Plan.signature_hash
-end)
+(* A shared base table (read-only between merges) with optional FIFO
+   capacity enforcement at merge time.  [blog] mirrors the base's keys
+   in insertion order whenever a capacity is configured, so the oldest
+   entries can be dropped by rebuilding — entries are never removed from
+   a [Sig_tbl] in place. *)
+type 'v bounded = {
+  mutable btbl : 'v Sig_tbl.t;
+  mutable blog : int array array;
+  mutable blog_len : int;
+  bcap : int option;
+  mutable bevictions : int;
+}
 
-type plan_shard = {
-  p_lock : Mutex.t;
-  p_cache : plan_eval PH.t;
-  p_order : int array Queue.t;
-  p_capacity : int option;
-  mutable p_hits : int;
-  mutable p_misses : int;
-  mutable p_evictions : int;
+let bounded_create capacity = {
+  btbl = Sig_tbl.create ();
+  blog = [||];
+  blog_len = 0;
+  bcap = capacity;
+  bevictions = 0;
+}
+
+(* Insert a key known to be absent from the base. *)
+let bounded_add b key hash v =
+  Sig_tbl.add b.btbl key ~hash v;
+  match b.bcap with
+  | None -> ()
+  | Some _ ->
+      if b.blog_len = Array.length b.blog then begin
+        let blog = Array.make (max 16 (2 * b.blog_len)) [||] in
+        Array.blit b.blog 0 blog 0 b.blog_len;
+        b.blog <- blog
+      end;
+      b.blog.(b.blog_len) <- key;
+      b.blog_len <- b.blog_len + 1
+
+(* FIFO eviction down to the configured capacity: rebuild keeping the
+   newest [cap] insertions.  Re-evaluating an evicted group is pure, so
+   eviction costs recomputation, never correctness. *)
+let bounded_enforce b m_evictions =
+  match b.bcap with
+  | None -> ()
+  | Some cap ->
+      let n = Sig_tbl.count b.btbl in
+      if n > cap then begin
+        let drop = n - cap in
+        let tbl = Sig_tbl.create ~capacity:(2 * cap) () in
+        for i = drop to b.blog_len - 1 do
+          let key = b.blog.(i) in
+          let hash = Plan.signature_hash key in
+          match Sig_tbl.find_pre b.btbl ~buf:key ~len:(Array.length key) ~hash with
+          | Some v -> Sig_tbl.add tbl key ~hash v
+          | None -> assert false
+        done;
+        b.btbl <- tbl;
+        b.blog <- Array.sub b.blog drop (b.blog_len - drop);
+        b.blog_len <- b.blog_len - drop;
+        b.bevictions <- b.bevictions + drop;
+        Kf_obs.Metrics.incr ~by:drop m_evictions
+      end
+
+(* Per-domain evaluation context: private group-verdict and plan tables,
+   the signature-encoding arena, and probe counters.  Touched only by
+   its owning domain, so none of this needs a lock. *)
+type eval_local = {
+  el_groups : verdict Sig_tbl.t;
+  el_plans : plan_eval Sig_tbl.t;
+  el_sb : Sigbuf.t;
+  mutable el_ghits : int;
+  mutable el_gmisses : int;
+  mutable el_phits : int;
+  mutable el_pmisses : int;
+  mutable el_evals : int;  (* evaluations run since the last merge *)
+  mutable el_pub_ghits : int;  (* watermarks already flushed to metrics *)
+  mutable el_pub_gmisses : int;
+  mutable el_pub_phits : int;
+  mutable el_pub_pmisses : int;
 }
 
 type t = {
@@ -299,11 +334,13 @@ type t = {
   model : model;
   incremental : bool;
   scache : String_cache.t;  (* PR 3 path: active when [not incremental] *)
-  gcache : Sig_cache.t;  (* signature-keyed group cache: incremental path *)
-  plans : plan_shard array;  (* plan-level cache above the group cache *)
+  gcache : verdict bounded;  (* incremental path: shared group-verdict base *)
+  plans : plan_eval bounded;  (* incremental path: shared plan-level base *)
+  mutable locals : (int * eval_local) list;  (* keyed by domain id *)
+  reg_lock : Mutex.t;  (* guards [locals] registration *)
   memos : Struct_memo.memos option;  (* structural-operator memos, incremental only *)
   stats_lock : Mutex.t;  (* guards the cross-shard mutable counters below *)
-  mutable evaluations : int;
+  mutable evaluations : int;  (* merged + seeded exactly-once count *)
   mutable eval_time_s : float;
   mutable base_group : cache_stats;  (* resume seed for group-cache stats *)
   mutable base_plan : cache_stats;  (* resume seed for plan-cache stats *)
@@ -313,9 +350,13 @@ type t = {
 }
 
 (* Process-wide telemetry counters; no-ops unless Kf_obs.Metrics is
-   enabled.  The per-objective cache_stats fields are maintained
-   unconditionally — they live under shard locks that are taken anyway. *)
+   enabled.  On the incremental path they are flushed at merge points
+   instead of per probe, so the lock-free hot path never contends on the
+   registry's atomics. *)
 let m_evals = Kf_obs.Metrics.counter "objective.evaluations"
+let m_group_hits = Kf_obs.Metrics.counter "objective.group_cache_hits"
+let m_group_misses = Kf_obs.Metrics.counter "objective.group_cache_misses"
+let m_group_evictions = Kf_obs.Metrics.counter "objective.group_cache_evictions"
 let m_plan_hits = Kf_obs.Metrics.counter "objective.plan_cache_hits"
 let m_plan_misses = Kf_obs.Metrics.counter "objective.plan_cache_misses"
 let m_plan_evictions = Kf_obs.Metrics.counter "objective.plan_cache_evictions"
@@ -327,10 +368,9 @@ let model_name = function
   | Mwp -> "mwp"
 
 let default_shards = 16
-let default_plan_shards = 8
 
 let create ?(model = Proposed) ?(guard = fun eval group -> eval group)
-    ?(faults = zero_faults ()) ?cache_capacity ?(cache_shards = default_shards)
+    ?(faults = zero_faults ()) ?cache_capacity ?cache_shards ?(domains = 1)
     ?plan_cache_capacity ?(incremental = true) inputs =
   (match cache_capacity with
   | Some c when c < 1 -> invalid_arg "Objective.create: cache_capacity must be positive"
@@ -339,39 +379,27 @@ let create ?(model = Proposed) ?(guard = fun eval group -> eval group)
   | Some c when c < 1 ->
       invalid_arg "Objective.create: plan_cache_capacity must be positive"
   | _ -> ());
+  if domains < 1 then invalid_arg "Objective.create: domains must be positive";
+  (* The stripe count only matters on the string-keyed path, where
+     probes contend on shard mutexes: scale the default with the worker
+     count so at high [domains] two domains rarely share a stripe, while
+     an explicit [cache_shards] still wins. *)
+  let cache_shards =
+    match cache_shards with Some s -> s | None -> max default_shards (2 * domains)
+  in
   if cache_shards < 1 then invalid_arg "Objective.create: cache_shards must be positive";
   let n_shards =
     match cache_capacity with Some c -> min cache_shards c | None -> cache_shards
-  in
-  let n_plan_shards =
-    match plan_cache_capacity with
-    | Some c -> min default_plan_shards c
-    | None -> default_plan_shards
-  in
-  let plan_capacity i =
-    match plan_cache_capacity with
-    | None -> None
-    | Some c -> Some ((c / n_plan_shards) + if i < c mod n_plan_shards then 1 else 0)
   in
   {
     inputs;
     model;
     incremental;
     scache = String_cache.create ~prefix:"objective.cache" ~capacity:cache_capacity ~shards:n_shards;
-    gcache =
-      Sig_cache.create ~prefix:"objective.group_cache" ~capacity:cache_capacity
-        ~shards:n_shards;
-    plans =
-      Array.init n_plan_shards (fun i ->
-          {
-            p_lock = Mutex.create ();
-            p_cache = PH.create 512;
-            p_order = Queue.create ();
-            p_capacity = plan_capacity i;
-            p_hits = 0;
-            p_misses = 0;
-            p_evictions = 0;
-          });
+    gcache = bounded_create cache_capacity;
+    plans = bounded_create plan_cache_capacity;
+    locals = [];
+    reg_lock = Mutex.create ();
     memos =
       (if incremental then begin
          let dag = Exec_order.dag inputs.Inputs.exec in
@@ -396,7 +424,42 @@ let inputs t = t.inputs
 let model t = t.model
 let incremental t = t.incremental
 let struct_memos t = t.memos
-let num_shards t = Array.length t.scache.String_cache.shards
+
+(* The per-domain evaluation context.  Reading [t.locals] without the
+   lock is safe: the list is immutable (registration conses a new head
+   under [reg_lock]), and a domain's own entry is always visible to it
+   because the domain appended it.  Entries registered concurrently by
+   other domains may be missing from a stale snapshot, which only means
+   this walk doesn't find them — never a torn read. *)
+let local_of t =
+  let did = (Domain.self () :> int) in
+  let rec find = function
+    | [] -> None
+    | (d, l) :: tl -> if d = did then Some l else find tl
+  in
+  match find t.locals with
+  | Some l -> l
+  | None ->
+      let l =
+        {
+          el_groups = Sig_tbl.create ();
+          el_plans = Sig_tbl.create ();
+          el_sb = Sigbuf.create ();
+          el_ghits = 0;
+          el_gmisses = 0;
+          el_phits = 0;
+          el_pmisses = 0;
+          el_evals = 0;
+          el_pub_ghits = 0;
+          el_pub_gmisses = 0;
+          el_pub_phits = 0;
+          el_pub_pmisses = 0;
+        }
+      in
+      Mutex.lock t.reg_lock;
+      t.locals <- (did, l) :: t.locals;
+      Mutex.unlock t.reg_lock;
+      l
 
 let string_key sorted_group = String.concat "," (List.map string_of_int sorted_group)
 
@@ -473,12 +536,38 @@ let lookup_string t group =
     ~eval:(fun () -> run_evaluation t sorted)
 
 (* Incremental-path probe of a multi-member group already in canonical
-   member order. *)
+   member order: lock-free against the shared base (read-only between
+   merges), then against this domain's private table.  On a miss the
+   verdict lands in the private table; {!merge_locals} folds it into the
+   base at the next generation barrier.  A key evaluated concurrently by
+   several domains is counted once at merge time — the same exactly-once
+   accounting the striped in-flight table used to provide, now without
+   any cross-domain traffic. *)
 let lookup_sig t sorted_group =
-  Sig_cache.lookup t.gcache
-    ~key:(Array.of_list sorted_group)
-    ~count_eval:(count_evaluation t sorted_group)
-    ~eval:(fun () -> run_evaluation t sorted_group)
+  let l = local_of t in
+  let sb = l.el_sb in
+  Sigbuf.encode_group sb sorted_group;
+  let buf = Sigbuf.unsafe_buf sb
+  and len = Sigbuf.length sb
+  and hash = Sigbuf.hash sb in
+  match Sig_tbl.find_pre t.gcache.btbl ~buf ~len ~hash with
+  | Some v ->
+      l.el_ghits <- l.el_ghits + 1;
+      v
+  | None -> (
+      match Sig_tbl.find_pre l.el_groups ~buf ~len ~hash with
+      | Some v ->
+          l.el_ghits <- l.el_ghits + 1;
+          v
+      | None ->
+          l.el_gmisses <- l.el_gmisses + 1;
+          (* Copy the key out before evaluating: the guard or model may
+             route back through this domain's arena. *)
+          let key = Sigbuf.extract sb in
+          l.el_evals <- l.el_evals + 1;
+          let v = run_evaluation t sorted_group in
+          Sig_tbl.add l.el_groups key ~hash v;
+          v)
 
 let lookup t group =
   if t.incremental then
@@ -507,32 +596,15 @@ let group_profitable t group =
 
 (* ---- plan-level evaluation ---------------------------------------------- *)
 
-let plan_shard_of t psig = t.plans.(Plan.signature_hash psig mod Array.length t.plans)
-
-let plan_insert s psig pe =
-  Mutex.lock s.p_lock;
-  if not (PH.mem s.p_cache psig) then begin
-    (match s.p_capacity with
-    | Some cap ->
-        while PH.length s.p_cache >= cap do
-          match Queue.take_opt s.p_order with
-          | Some victim ->
-              PH.remove s.p_cache victim;
-              s.p_evictions <- s.p_evictions + 1;
-              Kf_obs.Metrics.incr m_plan_evictions
-          | None -> PH.reset s.p_cache
-        done
-    | None -> ());
-    Queue.add psig s.p_order;
-    PH.replace s.p_cache psig pe
-  end;
-  Mutex.unlock s.p_lock
-
 (* Evaluate a whole plan through the two-level cache.  The canonical
    total is summed in canonical group order on every path — including
    the non-incremental [plan_cost] below — so a permuted-but-equal plan
    hitting the plan cache returns a bit-identical total, and the
    [--no-incremental] escape hatch reproduces the same floats.
+
+   The arena encodes the canonical plan signature without building the
+   canonical group list, so a plan-cache hit — the steady state once the
+   population converges — allocates nothing at all.
 
    [base] is the parent's evaluation: groups the genetic operator left
    untouched are found in [base.pe_costs] and skip the shared cache
@@ -543,20 +615,27 @@ let plan_insert s psig pe =
    [cache_capacity], evicted groups are re-evaluated on the full path
    but not on the delta path, so counts may differ; totals never do.) *)
 let eval_plan t ?base groups =
-  let canon = Plan.canonical_groups groups in
-  let psig = Plan.plan_signature canon in
-  let s = plan_shard_of t psig in
-  Mutex.lock s.p_lock;
-  match PH.find_opt s.p_cache psig with
+  let l = local_of t in
+  let sb = l.el_sb in
+  Sigbuf.encode_plan sb groups;
+  let buf = Sigbuf.unsafe_buf sb
+  and len = Sigbuf.length sb
+  and hash = Sigbuf.hash sb in
+  let cached =
+    match Sig_tbl.find_pre t.plans.btbl ~buf ~len ~hash with
+    | Some _ as pe -> pe
+    | None -> Sig_tbl.find_pre l.el_plans ~buf ~len ~hash
+  in
+  match cached with
   | Some pe ->
-      s.p_hits <- s.p_hits + 1;
-      Mutex.unlock s.p_lock;
-      Kf_obs.Metrics.incr m_plan_hits;
+      l.el_phits <- l.el_phits + 1;
       pe
   | None ->
-      s.p_misses <- s.p_misses + 1;
-      Mutex.unlock s.p_lock;
-      Kf_obs.Metrics.incr m_plan_misses;
+      l.el_pmisses <- l.el_pmisses + 1;
+      (* Materialize the key and the canonical group list before the
+         per-group lookups below clobber the arena. *)
+      let psig = Sigbuf.extract sb in
+      let canon = Sigbuf.canonical sb in
       let costs = Hashtbl.create 16 in
       let total =
         List.fold_left
@@ -577,7 +656,7 @@ let eval_plan t ?base groups =
           0. canon
       in
       let pe = { pe_total = total; pe_costs = costs } in
-      plan_insert s psig pe;
+      Sig_tbl.add l.el_plans psig ~hash pe;
       pe
 
 let plan_cost t groups =
@@ -587,11 +666,81 @@ let plan_cost t groups =
 
 let original_sum t group = Inputs.original_sum t.inputs group
 
+(* ---- merge at generation barriers --------------------------------------- *)
+
+(* Fold every domain's private tables into the shared bases.  Must only
+   run at a quiescent point: all workers parked at the pool's generation
+   barrier (its mutex handshake publishes the workers' writes to the
+   merging domain and the updated bases back to them), or a
+   single-domain caller.
+
+   Evaluation accounting: each private verdict whose key is not yet in
+   the base counts as one evaluation.  A key evaluated by several
+   domains in the same generation merges — and counts — once, which is
+   exactly the distinct-key count the striped cache's in-flight table
+   used to maintain, so budgets and fault-rate denominators stay
+   identical for any domain count.  (Locals hide duplicates within one
+   domain between merges, so the per-local fresh-key count is the
+   per-local evaluation count.) *)
+let merge_locals t =
+  if t.incremental then begin
+    let fresh = ref 0 in
+    List.iter
+      (fun (_, l) ->
+        Sig_tbl.iter
+          (fun key ~hash v ->
+            if
+              not
+                (Sig_tbl.mem_pre t.gcache.btbl ~buf:key ~len:(Array.length key)
+                   ~hash)
+            then begin
+              bounded_add t.gcache key hash v;
+              incr fresh
+            end)
+          l.el_groups;
+        Sig_tbl.clear l.el_groups;
+        l.el_evals <- 0;
+        Sig_tbl.iter
+          (fun key ~hash pe ->
+            if
+              not
+                (Sig_tbl.mem_pre t.plans.btbl ~buf:key ~len:(Array.length key)
+                   ~hash)
+            then bounded_add t.plans key hash pe)
+          l.el_plans;
+        Sig_tbl.clear l.el_plans;
+        (* Flush probe telemetry to the (atomic) metrics registry here
+           rather than contending on it per probe. *)
+        Kf_obs.Metrics.incr ~by:(l.el_ghits - l.el_pub_ghits) m_group_hits;
+        Kf_obs.Metrics.incr ~by:(l.el_gmisses - l.el_pub_gmisses) m_group_misses;
+        Kf_obs.Metrics.incr ~by:(l.el_phits - l.el_pub_phits) m_plan_hits;
+        Kf_obs.Metrics.incr ~by:(l.el_pmisses - l.el_pub_pmisses) m_plan_misses;
+        l.el_pub_ghits <- l.el_ghits;
+        l.el_pub_gmisses <- l.el_gmisses;
+        l.el_pub_phits <- l.el_phits;
+        l.el_pub_pmisses <- l.el_pmisses)
+      t.locals;
+    bounded_enforce t.gcache m_group_evictions;
+    bounded_enforce t.plans m_plan_evictions;
+    if !fresh > 0 then begin
+      Mutex.lock t.stats_lock;
+      t.evaluations <- t.evaluations + !fresh;
+      Mutex.unlock t.stats_lock;
+      Kf_obs.Metrics.incr ~by:!fresh m_evals
+    end;
+    match t.memos with Some m -> Struct_memo.merge_memos m | None -> ()
+  end
+
+(* Merged exactly-once count plus each domain's evaluations since its
+   last merge.  Exact at merge points and for single-domain use (one
+   local dedups its own traffic); between barriers with several domains
+   the live part may transiently include cross-domain duplicates that
+   the next merge collapses. *)
 let evaluations t =
   Mutex.lock t.stats_lock;
   let n = t.evaluations in
   Mutex.unlock t.stats_lock;
-  n
+  List.fold_left (fun acc (_, l) -> acc + l.el_evals) n t.locals
 
 (* Resume support: a solver restoring a checkpoint seeds the counter with
    the evaluations already spent before the snapshot, so budgets and
@@ -639,39 +788,88 @@ let base_plan_stats t =
    objective over the same (program, device, model), so identical
    subproblems hit warm across requests — and, with Snapshot.Cache
    persistence, across daemon restarts.  Only meaningful on the
-   incremental path: signatures are canonical there. *)
+   incremental path: signatures are canonical there.  Export merges
+   first so in-flight locals are included; both calls must happen at
+   quiescent points (the daemon calls them between requests). *)
 let export_group_verdicts t =
-  if t.incremental then Sig_cache.export t.gcache else []
+  if t.incremental then begin
+    merge_locals t;
+    let acc = ref [] in
+    Sig_tbl.iter (fun k ~hash:_ v -> acc := (k, v) :: !acc) t.gcache.btbl;
+    !acc
+  end
+  else []
 
 let seed_group_verdicts t entries =
-  if t.incremental then Sig_cache.seed t.gcache entries
+  if t.incremental then begin
+    List.iter
+      (fun (k, v) ->
+        let hash = Plan.signature_hash k in
+        if not (Sig_tbl.mem_pre t.gcache.btbl ~buf:k ~len:(Array.length k) ~hash)
+        then bounded_add t.gcache k hash v)
+      entries;
+    bounded_enforce t.gcache m_group_evictions
+  end
 
+(* On the incremental path the "shards" are the shared base (index 0 —
+   it holds the merged entries and the eviction counter but sees no
+   probes of its own) followed by one entry per domain-local context
+   (its private probe counters and any entries not yet merged).  Sizes
+   and hit/miss flows both sum to the aggregate {!cache_stats}. *)
 let shard_stats t =
-  if t.incremental then Sig_cache.shard_stats t.gcache
+  if t.incremental then
+    let base =
+      {
+        hits = 0;
+        misses = 0;
+        evictions = t.gcache.bevictions;
+        size = Sig_tbl.count t.gcache.btbl;
+      }
+    in
+    let locs =
+      List.rev_map
+        (fun (_, l) ->
+          {
+            hits = l.el_ghits;
+            misses = l.el_gmisses;
+            evictions = 0;
+            size = Sig_tbl.count l.el_groups;
+          })
+        t.locals
+    in
+    Array.of_list (base :: locs)
   else String_cache.shard_stats t.scache
+
+let num_shards t =
+  if t.incremental then 1 + List.length t.locals
+  else Array.length t.scache.String_cache.shards
 
 let cache_stats t =
   let live =
-    if t.incremental then Sig_cache.stats t.gcache else String_cache.stats t.scache
+    if t.incremental then
+      Array.fold_left add_stats zero_cache_stats (shard_stats t)
+    else String_cache.stats t.scache
   in
   add_stats live (base_group_stats t)
 
 let plan_cache_stats t =
   let live =
-    Array.fold_left
-      (fun acc s ->
-        Mutex.lock s.p_lock;
-        let st =
+    List.fold_left
+      (fun acc (_, l) ->
+        add_stats acc
           {
-            hits = s.p_hits;
-            misses = s.p_misses;
-            evictions = s.p_evictions;
-            size = PH.length s.p_cache;
-          }
-        in
-        Mutex.unlock s.p_lock;
-        add_stats acc st)
-      zero_cache_stats t.plans
+            hits = l.el_phits;
+            misses = l.el_pmisses;
+            evictions = 0;
+            size = Sig_tbl.count l.el_plans;
+          })
+      {
+        hits = 0;
+        misses = 0;
+        evictions = t.plans.bevictions;
+        size = Sig_tbl.count t.plans.btbl;
+      }
+      t.locals
   in
   add_stats live (base_plan_stats t)
 

@@ -46,9 +46,11 @@ type cache_stats = { hits : int; misses : int; evictions : int; size : int }
 (** Memo-table telemetry: lookup hits and misses over every call
     (singletons included), entries evicted under a configured capacity,
     and the current table size.  Every lookup resolves as exactly one hit
-    or one miss — including lookups that waited for a concurrent
-    in-flight evaluation of the same key — so summed across shards,
-    [hits + misses] always equals the total number of probes. *)
+    or one miss — so summed over {!shard_stats}, [hits + misses] always
+    equals the total number of probes.  On the incremental path, hit and
+    miss counts are scheduling-dependent telemetry when several domains
+    run concurrently (which domain's table answers a probe depends on
+    work-stealing order); costs, plans and {!evaluations} are not. *)
 
 val create :
   ?model:model ->
@@ -56,6 +58,7 @@ val create :
   ?faults:fault_stats ->
   ?cache_capacity:int ->
   ?cache_shards:int ->
+  ?domains:int ->
   ?plan_cache_capacity:int ->
   ?incremental:bool ->
   Kf_model.Inputs.t ->
@@ -64,33 +67,46 @@ val create :
     handling).  [faults] is the accounting record the guard shares with
     this objective so that solvers can surface it in their results.
 
-    The group memo table is lock-striped over [cache_shards]
-    independently locked shards (default 16; key-hash selects the shard
-    with a fixed polynomial hash, so striping is independent of runtime
-    hashing parameters).  Concurrent lookups of distinct keys proceed in
-    parallel; concurrent misses on the {e same} key evaluate it exactly
+    On the incremental path (the default) the group and plan memo tables
+    are {e per-domain}: each worker domain probes a shared read-only
+    base table lock-free, falls back to its own private table, and
+    records misses privately; {!merge_locals} folds the private tables
+    into the base at generation barriers.  The hot path takes no lock
+    and allocates no key on a hit.  A key evaluated concurrently by
+    several domains in one generation is evaluated by each (evaluation
+    is pure) but merged — and counted — once.
+
+    [domains] (default 1) is the number of worker domains expected to
+    probe this objective.  It sizes the default [cache_shards] of the
+    string-keyed [--no-incremental] table to [max 16 (2 * domains)], so
+    at high worker counts two domains rarely contend on the same
+    stripe; an explicit [cache_shards] overrides the scaling.  The
+    striped table evaluates concurrent misses on the same key exactly
     once — losers wait on the shard's in-flight table for the winner's
     memoized verdict.
 
     [cache_capacity] bounds the group memo table with FIFO eviction
-    (default: unbounded); the capacity is sliced across shards (the
-    shard count is clamped to the capacity so each shard holds at least
-    one entry), and evaluation is pure, so eviction only costs
-    recomputation.  [plan_cache_capacity] bounds the plan-level cache
-    the same way.
+    (default: unbounded).  On the incremental path the bound is enforced
+    on the shared base at each {!merge_locals} (between merges the
+    per-domain tables may transiently hold more); on the string path the
+    capacity is sliced across shards (the shard count is clamped to the
+    capacity so each shard holds at least one entry).  Evaluation is
+    pure, so eviction only costs recomputation.  [plan_cache_capacity]
+    bounds the plan-level cache the same way.
 
     [incremental] (default [true]) selects the two-level evaluation
     pipeline: group verdicts keyed by canonical signatures
-    ({!Kf_fusion.Plan.group_signature}), a plan-level cache above them
+    ({!Kf_fusion.Plan.group_signature}) encoded in a per-domain arena
+    ({!Kf_fusion.Plan.Sigbuf}), a plan-level cache above them
     ({!eval_plan}), a singleton fast path, and memoized structural
     operators ({!struct_memos}).  With [~incremental:false] the
     objective evaluates through the original string-keyed table — the
     [--no-incremental] escape hatch.  Both modes evaluate canonically
     sorted groups and sum plan costs in canonical group order, so they
     produce bit-identical costs; with unbounded caches (the default)
-    they also perform identical evaluation counts.
-    @raise Invalid_argument if [cache_capacity < 1],
-    [cache_shards < 1] or [plan_cache_capacity < 1]. *)
+    they also perform identical evaluation counts at merge points.
+    @raise Invalid_argument if [cache_capacity < 1], [cache_shards < 1],
+    [domains < 1] or [plan_cache_capacity < 1]. *)
 
 val incremental : t -> bool
 (** Whether this objective uses the incremental evaluation pipeline. *)
@@ -141,14 +157,28 @@ val plan_eval_total : plan_eval -> float
 
 val original_sum : t -> int list -> float
 
+val merge_locals : t -> unit
+(** Fold every domain's private memo tables (group, plan and the
+    structural-operator memos) into the shared read-only bases, count
+    the distinct newly merged group keys as evaluations, flush batched
+    probe telemetry to [Kf_obs.Metrics], and enforce any configured
+    capacities.  Must only be called at a quiescent point — all worker
+    domains parked at the pool's generation barrier (whose mutex
+    handshake publishes their writes), or single-domain use.  No-op on a
+    non-incremental objective. *)
+
 val evaluations : t -> int
 (** Number of objective-function evaluations attempted so far (cache
     misses on multi-member groups — the quantity of paper Table VI).
     Failed evaluations count: they are attempts, and the denominator of
-    {!fault_rate}.  Each key is counted exactly once per evaluation — the
-    increment is tied to winning the in-flight slot — so concurrent
-    duplicate misses across domains never inflate the count, and
-    evaluation budgets stop at the same point for any domain count. *)
+    {!fault_rate}.  Each distinct key counts exactly once: on the
+    incremental path duplicates are collapsed at {!merge_locals} (the
+    count is exact at merge points and for single-domain use; between
+    barriers it may transiently include cross-domain duplicates that the
+    next merge collapses), on the string path the increment is tied to
+    winning the shard's in-flight slot.  Evaluation budgets read at
+    merge points therefore stop at the same point for any domain
+    count. *)
 
 val add_evaluations : t -> int -> unit
 (** Seed the evaluation counter with work done before this objective
@@ -184,7 +214,9 @@ val export_group_verdicts : t -> (int array * verdict) list
 (** Every memoized (canonical signature, verdict) pair of the
     signature-keyed group cache, in unspecified order — the warm-cache
     payload the serve daemon shares across requests and persists via
-    [Snapshot.Cache].  Empty on a non-incremental objective.  Verdicts
+    [Snapshot.Cache].  Runs {!merge_locals} first so in-flight
+    per-domain entries are included (so it must be called at a quiescent
+    point).  Empty on a non-incremental objective.  Verdicts
     are pure functions of (program, device, model), so an exported entry
     is valid for any other objective built over the same inputs. *)
 
@@ -198,10 +230,18 @@ val seed_group_verdicts : t -> (int array * verdict) list -> unit
     daemon keys its store by a content digest to prevent it. *)
 
 val shard_stats : t -> cache_stats array
-(** Per-shard memo-table counters, indexed by shard. *)
+(** Per-compartment group-cache counters.  On the incremental path:
+    index 0 is the shared base (merged entries and the eviction counter;
+    it records no probes of its own), followed by one entry per
+    domain-local table (its private probe counters and any entries not
+    yet merged).  On the string path: one entry per lock stripe.  Both
+    sizes and hit/miss flows sum to {!cache_stats} (minus any seeded
+    counts). *)
 
 val num_shards : t -> int
-(** Number of cache stripes actually in use (the configured
+(** Number of group-cache compartments currently in use: [1 + ] the
+    number of domains that have probed an incremental objective, or the
+    stripe count of the string-keyed table (the configured
     [cache_shards], clamped to [cache_capacity] when one is set). *)
 
 val cache_hit_rate : t -> float

@@ -1,142 +1,269 @@
 module Plan = Kf_fusion.Plan
 module Bitset = Kf_util.Bitset
+module Sigbuf = Plan.Sigbuf
 
-(* Open-addressing table specialized for int-array keys.  The generic
-   [Hashtbl.Make] costs two hash computations per probe (shard selection
-   and bucket lookup) plus a pointer chase per bucket entry; this table
-   hashes once, rejects mismatches on the stored hash before touching
-   key contents, and probes linearly.  Entries are never removed, so no
-   tombstones.  Memo probes are the dominant per-call cost of the
-   incremental objective's structural operators — this is deliberately
-   low-level. *)
-module Arr_table = struct
+(* Open-addressing table specialized for int-array signature keys.  The
+   generic [Hashtbl.Make] costs two hash computations per probe (shard
+   selection and bucket lookup) plus a pointer chase per bucket entry;
+   this table hashes once, rejects mismatches on the stored hash before
+   touching key contents, and probes linearly.  Entries are never
+   removed individually, so no tombstones.
+
+   The table itself is single-writer and unsynchronized: concurrency is
+   the caller's problem.  The memo [table] below layers the sharing
+   discipline on top — a read-only [base] table shared by all domains
+   plus one private table per domain, merged into the base at
+   generation barriers.  Probes take no lock at all, which is the point:
+   memo probes are the dominant per-call cost of the incremental
+   objective's structural operators, and the striped-mutex version of
+   this module was a scaling bottleneck at domains > 1.
+
+   Probes use a *borrowed* key: the caller encodes the signature into a
+   reusable {!Plan.Sigbuf} arena and the probe compares against the
+   buffer prefix in place.  An owned copy is extracted only on a miss,
+   when the key must outlive the probe. *)
+module Sig_tbl = struct
   (* Physical sentinel for an empty slot; no real key is ever this
      array, and slots are tested with [==]. *)
   let no_key : int array = [| min_int |]
 
-  type 'a shard = {
-    lock : Mutex.t;
+  type 'a t = {
     mutable keys : int array array;
     mutable hashes : int array;
     mutable vals : 'a option array;
     mutable mask : int;  (* capacity - 1, capacity a power of two *)
     mutable count : int;
-    mutable hits : int;
-    mutable misses : int;
   }
 
-  type 'a t = {
-    shards : 'a shard array;
-    m_hits : Kf_obs.Metrics.counter;
-    m_misses : Kf_obs.Metrics.counter;
-  }
-
-  let key_equal (a : int array) (b : int array) =
-    Array.length a = Array.length b
-    &&
-    let n = Array.length a in
-    let rec go i = i >= n || (Array.unsafe_get a i = Array.unsafe_get b i && go (i + 1)) in
-    go 0
-
-  let init_cap = 512
-
-  let create ?(shards = 8) name =
-    if shards < 1 then invalid_arg "Struct_memo.table: shards must be positive";
+  let create ?(capacity = 512) () =
+    let cap = ref 8 in
+    while !cap < capacity do
+      cap := !cap * 2
+    done;
     {
-      shards =
-        Array.init shards (fun _ ->
-            {
-              lock = Mutex.create ();
-              keys = Array.make init_cap no_key;
-              hashes = Array.make init_cap 0;
-              vals = Array.make init_cap None;
-              mask = init_cap - 1;
-              count = 0;
-              hits = 0;
-              misses = 0;
-            });
-      m_hits = Kf_obs.Metrics.counter (Printf.sprintf "struct_memo.%s.hits" name);
-      m_misses = Kf_obs.Metrics.counter (Printf.sprintf "struct_memo.%s.misses" name);
+      keys = Array.make !cap no_key;
+      hashes = Array.make !cap 0;
+      vals = Array.make !cap None;
+      mask = !cap - 1;
+      count = 0;
     }
 
-  (* Caller holds the shard lock.  Returns the slot holding the key, or
-     the empty slot where it belongs. *)
-  let slot_of s h key =
+  let count t = t.count
+
+  let clear t =
+    Array.fill t.keys 0 (Array.length t.keys) no_key;
+    Array.fill t.vals 0 (Array.length t.vals) None;
+    t.count <- 0
+
+  (* Does the stored key equal the first [len] ints of [buf]? *)
+  let key_equal_pre (key : int array) (buf : int array) len =
+    Array.length key = len
+    &&
     let rec go i =
-      let idx = (h + i) land s.mask in
-      let k = Array.unsafe_get s.keys idx in
+      i >= len || (Array.unsafe_get key i = Array.unsafe_get buf i && go (i + 1))
+    in
+    go 0
+
+  (* Slot holding the borrowed key, or the empty slot where it belongs. *)
+  let slot_pre t buf len h =
+    let rec go i =
+      let idx = (h + i) land t.mask in
+      let k = Array.unsafe_get t.keys idx in
       if k == no_key then idx
-      else if Array.unsafe_get s.hashes idx = h && key_equal k key then idx
+      else if Array.unsafe_get t.hashes idx = h && key_equal_pre k buf len then idx
       else go (i + 1)
     in
     go 0
 
-  let grow s =
-    let old_keys = s.keys and old_hashes = s.hashes and old_vals = s.vals in
-    let cap = 2 * (s.mask + 1) in
-    s.keys <- Array.make cap no_key;
-    s.hashes <- Array.make cap 0;
-    s.vals <- Array.make cap None;
-    s.mask <- cap - 1;
+  let find_pre t ~buf ~len ~hash =
+    let idx = slot_pre t buf len hash in
+    if t.keys.(idx) == no_key then None else t.vals.(idx)
+
+  let mem_pre t ~buf ~len ~hash =
+    let idx = slot_pre t buf len hash in
+    t.keys.(idx) != no_key
+
+  let grow t =
+    let old_keys = t.keys and old_hashes = t.hashes and old_vals = t.vals in
+    let cap = 2 * (t.mask + 1) in
+    t.keys <- Array.make cap no_key;
+    t.hashes <- Array.make cap 0;
+    t.vals <- Array.make cap None;
+    t.mask <- cap - 1;
     Array.iteri
       (fun i k ->
         if k != no_key then begin
-          let idx = slot_of s old_hashes.(i) k in
-          s.keys.(idx) <- k;
-          s.hashes.(idx) <- old_hashes.(i);
-          s.vals.(idx) <- old_vals.(i)
+          let idx = slot_pre t k (Array.length k) old_hashes.(i) in
+          t.keys.(idx) <- k;
+          t.hashes.(idx) <- old_hashes.(i);
+          t.vals.(idx) <- old_vals.(i)
         end)
       old_keys
 
-  let insert_if_absent s h key v =
-    let idx = slot_of s h key in
-    if s.keys.(idx) == no_key then begin
-      s.keys.(idx) <- key;
-      s.hashes.(idx) <- h;
-      s.vals.(idx) <- Some v;
-      s.count <- s.count + 1;
+  (* Insert an owned key (or replace the value of an equal existing
+     key — structural memo values for equal keys are equal, so replace
+     is as good as keep). *)
+  let add t key ~hash v =
+    let idx = slot_pre t key (Array.length key) hash in
+    if t.keys.(idx) == no_key then begin
+      t.keys.(idx) <- key;
+      t.hashes.(idx) <- hash;
+      t.vals.(idx) <- Some v;
+      t.count <- t.count + 1;
       (* Keep load factor under 1/2 so probe chains stay short. *)
-      if 2 * s.count > s.mask then grow s
+      if 2 * t.count > t.mask then grow t
     end
+    else t.vals.(idx) <- Some v
 
-  let find_or_compute t key compute =
-    let h = Plan.signature_hash key in
-    let s = t.shards.(h mod Array.length t.shards) in
-    Mutex.lock s.lock;
-    let idx = slot_of s h key in
-    if s.keys.(idx) != no_key then begin
-      s.hits <- s.hits + 1;
-      let v = s.vals.(idx) in
-      Mutex.unlock s.lock;
-      Kf_obs.Metrics.incr t.m_hits;
-      match v with Some v -> v | None -> assert false
-    end
-    else begin
-      s.misses <- s.misses + 1;
-      Mutex.unlock s.lock;
-      Kf_obs.Metrics.incr t.m_misses;
-      (* Computed outside the lock: structural operators may probe the
-         objective cache, and a duplicate concurrent computation of a
-         pure function costs only time. *)
-      let v = compute () in
-      Mutex.lock s.lock;
-      insert_if_absent s h key v;
-      Mutex.unlock s.lock;
-      v
-    end
-
-  let stats t =
-    Array.fold_left
-      (fun (h, m) s ->
-        Mutex.lock s.lock;
-        let r = (h + s.hits, m + s.misses) in
-        Mutex.unlock s.lock;
-        r)
-      (0, 0) t.shards
+  let iter f t =
+    Array.iteri
+      (fun i k ->
+        if k != no_key then
+          match t.vals.(i) with
+          | Some v -> f k ~hash:t.hashes.(i) v
+          | None -> assert false)
+      t.keys
 end
 
-(* Bitset.hash is a pure function of the set's contents (no per-process
-   seed), so shard selection stays immune to [OCAMLRUNPARAM=R]. *)
+(* A memo table: one read-only [base] shared across domains plus one
+   private single-writer table per domain that has ever probed it.
+   Probes are lock-free — the base is written only at quiescent merge
+   points (all workers parked at the pool barrier, whose mutex handshake
+   publishes the writes), and each local is touched only by its owning
+   domain.  The registry of locals is a cons-list keyed by domain id:
+   readers walk an immutable snapshot (their own entry is always visible
+   because they appended it), writers cons under [reg_lock] — a
+   once-per-domain cost.
+
+   Merging a local into the base inserts only keys the base does not
+   already have, so a key computed concurrently by several domains lands
+   once.  Values are pure functions of their keys, so which domain's
+   copy survives is unobservable. *)
+
+type 'a local = {
+  l_tbl : 'a Sig_tbl.t;
+  l_sb : Sigbuf.t;
+  mutable l_hits : int;
+  mutable l_misses : int;
+  mutable l_pub_hits : int;  (* already flushed to the metrics registry *)
+  mutable l_pub_misses : int;
+}
+
+type 'a table = {
+  base : 'a Sig_tbl.t;
+  mutable locals : (int * 'a local) list;
+  reg_lock : Mutex.t;
+  m_hits : Kf_obs.Metrics.counter;
+  m_misses : Kf_obs.Metrics.counter;
+}
+
+let table ?shards:_ name =
+  {
+    base = Sig_tbl.create ();
+    locals = [];
+    reg_lock = Mutex.create ();
+    m_hits = Kf_obs.Metrics.counter (Printf.sprintf "struct_memo.%s.hits" name);
+    m_misses = Kf_obs.Metrics.counter (Printf.sprintf "struct_memo.%s.misses" name);
+  }
+
+let local_of t =
+  let did = (Domain.self () :> int) in
+  let rec find = function
+    | [] -> None
+    | (d, (l : _ local)) :: tl -> if d = did then Some l else find tl
+  in
+  match find t.locals with
+  | Some l -> l
+  | None ->
+      let l =
+        {
+          l_tbl = Sig_tbl.create ();
+          l_sb = Sigbuf.create ();
+          l_hits = 0;
+          l_misses = 0;
+          l_pub_hits = 0;
+          l_pub_misses = 0;
+        }
+      in
+      Mutex.lock t.reg_lock;
+      t.locals <- (did, l) :: t.locals;
+      Mutex.unlock t.reg_lock;
+      l
+
+(* The caller has encoded the key into [l.l_sb].  Probe base then local;
+   on a miss, extract the owned key *before* running [compute] — the
+   computation may probe other memos through the same domain's sigbufs,
+   and for self-recursive operators even this one. *)
+let probe t (l : _ local) compute =
+  let buf = Sigbuf.unsafe_buf l.l_sb
+  and len = Sigbuf.length l.l_sb
+  and hash = Sigbuf.hash l.l_sb in
+  match Sig_tbl.find_pre t.base ~buf ~len ~hash with
+  | Some v ->
+      l.l_hits <- l.l_hits + 1;
+      v
+  | None -> (
+      match Sig_tbl.find_pre l.l_tbl ~buf ~len ~hash with
+      | Some v ->
+          l.l_hits <- l.l_hits + 1;
+          v
+      | None ->
+          l.l_misses <- l.l_misses + 1;
+          let key = Sigbuf.extract l.l_sb in
+          let v = compute () in
+          Sig_tbl.add l.l_tbl key ~hash v;
+          v)
+
+let find_group t group compute =
+  let l = local_of t in
+  Sigbuf.encode_group l.l_sb group;
+  probe t l compute
+
+let find_exact t groups compute =
+  let l = local_of t in
+  Sigbuf.encode_groups_exact l.l_sb groups;
+  probe t l compute
+
+let find_exact_with t groups extra compute =
+  let l = local_of t in
+  Sigbuf.encode_groups_exact l.l_sb groups;
+  Sigbuf.append_extra l.l_sb extra;
+  probe t l compute
+
+let find_canonical t groups extra compute =
+  let l = local_of t in
+  Sigbuf.encode_plan l.l_sb groups;
+  let extra =
+    if Plan.is_sorted_strict extra then extra else List.sort Int.compare extra
+  in
+  Sigbuf.append_extra l.l_sb extra;
+  probe t l compute
+
+let merge_table t =
+  List.iter
+    (fun (_, (l : _ local)) ->
+      Sig_tbl.iter
+        (fun key ~hash v ->
+          if not (Sig_tbl.mem_pre t.base ~buf:key ~len:(Array.length key) ~hash)
+          then Sig_tbl.add t.base key ~hash v)
+        l.l_tbl;
+      Sig_tbl.clear l.l_tbl;
+      (* Flush probe counters to the (atomic) metrics registry here, at
+         the barrier, instead of contending on it per probe. *)
+      Kf_obs.Metrics.incr ~by:(l.l_hits - l.l_pub_hits) t.m_hits;
+      Kf_obs.Metrics.incr ~by:(l.l_misses - l.l_pub_misses) t.m_misses;
+      l.l_pub_hits <- l.l_hits;
+      l.l_pub_misses <- l.l_misses)
+    t.locals
+
+let table_stats t =
+  List.fold_left
+    (fun (h, m) (_, (l : _ local)) -> (h + l.l_hits, m + l.l_misses))
+    (0, 0) t.locals
+
+(* Bitset-keyed memo, same base + per-domain-local discipline.
+   [Bitset.hash] is a pure function of the set's contents (no
+   per-process seed), so nothing here depends on [OCAMLRUNPARAM=R]. *)
 module Bs_table = struct
   module H = Hashtbl.Make (struct
     type t = Bitset.t
@@ -145,72 +272,101 @@ module Bs_table = struct
     let hash = Bitset.hash
   end)
 
-  type shard = {
-    lock : Mutex.t;
-    tbl : Bitset.t H.t;
-    mutable hits : int;
-    mutable misses : int;
+  type local = {
+    b_tbl : Bitset.t H.t;
+    mutable b_hits : int;
+    mutable b_misses : int;
+    mutable b_pub_hits : int;
+    mutable b_pub_misses : int;
   }
 
   type t = {
-    shards : shard array;
+    base : Bitset.t H.t;
+    mutable locals : (int * local) list;
+    reg_lock : Mutex.t;
     m_hits : Kf_obs.Metrics.counter;
     m_misses : Kf_obs.Metrics.counter;
   }
-
-  let create ?(shards = 8) name =
-    if shards < 1 then invalid_arg "Struct_memo.table: shards must be positive";
-    {
-      shards =
-        Array.init shards (fun _ ->
-            { lock = Mutex.create (); tbl = H.create 256; hits = 0; misses = 0 });
-      m_hits = Kf_obs.Metrics.counter (Printf.sprintf "struct_memo.%s.hits" name);
-      m_misses = Kf_obs.Metrics.counter (Printf.sprintf "struct_memo.%s.misses" name);
-    }
-
-  let stats t =
-    Array.fold_left
-      (fun (h, m) s ->
-        Mutex.lock s.lock;
-        let r = (h + s.hits, m + s.misses) in
-        Mutex.unlock s.lock;
-        r)
-      (0, 0) t.shards
 end
-
-type 'a table = 'a Arr_table.t
-
-let table ?shards name = Arr_table.create ?shards name
-let find_or_compute = Arr_table.find_or_compute
-let table_stats = Arr_table.stats
 
 type bitset_table = Bs_table.t
 
-let bitset_table ?shards name = Bs_table.create ?shards name
+let bitset_table ?shards:_ name =
+  {
+    Bs_table.base = Bs_table.H.create 256;
+    locals = [];
+    reg_lock = Mutex.create ();
+    m_hits = Kf_obs.Metrics.counter (Printf.sprintf "struct_memo.%s.hits" name);
+    m_misses = Kf_obs.Metrics.counter (Printf.sprintf "struct_memo.%s.misses" name);
+  }
+
+let bs_local_of (t : bitset_table) =
+  let did = (Domain.self () :> int) in
+  let rec find = function
+    | [] -> None
+    | (d, (l : Bs_table.local)) :: tl -> if d = did then Some l else find tl
+  in
+  match find t.Bs_table.locals with
+  | Some l -> l
+  | None ->
+      let l =
+        {
+          Bs_table.b_tbl = Bs_table.H.create 64;
+          b_hits = 0;
+          b_misses = 0;
+          b_pub_hits = 0;
+          b_pub_misses = 0;
+        }
+      in
+      Mutex.lock t.Bs_table.reg_lock;
+      t.Bs_table.locals <- (did, l) :: t.Bs_table.locals;
+      Mutex.unlock t.Bs_table.reg_lock;
+      l
 
 let find_or_compute_bitset (t : bitset_table) key compute =
   (* Both the key and the cached value are interned as copies: the caller
      owns (and typically mutates) the bitsets on its side of the call. *)
-  let s = t.Bs_table.shards.(Bitset.hash key mod Array.length t.Bs_table.shards) in
-  Mutex.lock s.lock;
-  match Bs_table.H.find_opt s.tbl key with
+  let l = bs_local_of t in
+  match Bs_table.H.find_opt t.Bs_table.base key with
   | Some v ->
-      s.hits <- s.hits + 1;
-      Mutex.unlock s.lock;
-      Kf_obs.Metrics.incr t.Bs_table.m_hits;
+      l.Bs_table.b_hits <- l.Bs_table.b_hits + 1;
       Bitset.copy v
-  | None ->
-      s.misses <- s.misses + 1;
-      Mutex.unlock s.lock;
-      Kf_obs.Metrics.incr t.Bs_table.m_misses;
-      let v = compute () in
-      Mutex.lock s.lock;
-      if not (Bs_table.H.mem s.tbl key) then
-        Bs_table.H.replace s.tbl (Bitset.copy key) (Bitset.copy v);
-      Mutex.unlock s.lock;
-      v
+  | None -> (
+      match Bs_table.H.find_opt l.Bs_table.b_tbl key with
+      | Some v ->
+          l.Bs_table.b_hits <- l.Bs_table.b_hits + 1;
+          Bitset.copy v
+      | None ->
+          l.Bs_table.b_misses <- l.Bs_table.b_misses + 1;
+          let owned = Bitset.copy key in
+          let v = compute () in
+          Bs_table.H.replace l.Bs_table.b_tbl owned (Bitset.copy v);
+          v)
 
-let bitset_table_stats = Bs_table.stats
+let merge_bitset_table (t : bitset_table) =
+  List.iter
+    (fun (_, (l : Bs_table.local)) ->
+      Bs_table.H.iter
+        (fun k v ->
+          if not (Bs_table.H.mem t.Bs_table.base k) then
+            Bs_table.H.replace t.Bs_table.base k v)
+        l.Bs_table.b_tbl;
+      Bs_table.H.reset l.Bs_table.b_tbl;
+      Kf_obs.Metrics.incr
+        ~by:(l.Bs_table.b_hits - l.Bs_table.b_pub_hits)
+        t.Bs_table.m_hits;
+      Kf_obs.Metrics.incr
+        ~by:(l.Bs_table.b_misses - l.Bs_table.b_pub_misses)
+        t.Bs_table.m_misses;
+      l.Bs_table.b_pub_hits <- l.Bs_table.b_hits;
+      l.Bs_table.b_pub_misses <- l.Bs_table.b_misses)
+    t.Bs_table.locals
+
+let bitset_table_stats (t : bitset_table) =
+  List.fold_left
+    (fun (h, m) (_, (l : Bs_table.local)) ->
+      (h + l.Bs_table.b_hits, m + l.Bs_table.b_misses))
+    (0, 0) t.Bs_table.locals
 
 type memos = {
   merge : int list option table;
@@ -231,6 +387,13 @@ let create_memos ~succs () =
     succs;
   }
 
+let merge_memos m =
+  merge_table m.merge;
+  merge_table m.kin;
+  merge_bitset_table m.closure;
+  merge_table m.sccs;
+  merge_table m.refine
+
 let memo_stats m =
   [
     ("merge", table_stats m.merge);
@@ -239,91 +402,3 @@ let memo_stats m =
     ("sccs", table_stats m.sccs);
     ("refine", table_stats m.refine);
   ]
-
-let encoded_length groups = List.fold_left (fun acc g -> acc + List.length g + 1) 0 groups
-
-let write_groups buf i0 groups =
-  let i = ref i0 in
-  List.iteri
-    (fun gi g ->
-      if gi > 0 then begin
-        buf.(!i) <- -1;
-        incr i
-      end;
-      List.iter
-        (fun k ->
-          buf.(!i) <- k;
-          incr i)
-        g)
-    groups;
-  !i
-
-let encode_groups groups =
-  let len = max 0 (encoded_length groups - 1) in
-  let buf = Array.make len (-1) in
-  ignore (write_groups buf 0 groups : int);
-  buf
-
-let encode_groups_with groups extra =
-  let glen = max 0 (encoded_length groups - 1) in
-  let buf = Array.make (glen + 1 + List.length extra) (-2) in
-  let i = write_groups buf 0 groups in
-  (* buf.(i) is the [-2] separator. *)
-  let j = ref (i + 1) in
-  List.iter
-    (fun k ->
-      buf.(!j) <- k;
-      incr j)
-    extra;
-  buf
-
-(* Probe fast path: the groups flowing through the search are almost
-   always already sorted (they come out of [Bitset.to_list] or a
-   [normalize]), so canonicalization mostly reuses the input lists
-   instead of re-sorting them, and all comparisons are int-specialized.
-   Produces exactly [Plan.canonical_groups groups] / [List.sort compare
-   extra] (members are distinct by construction — [groups] is a partial
-   partition and [extra] a candidate group). *)
-let canon_group g = if Plan.is_sorted_strict g then g else List.sort_uniq Int.compare g
-
-let hd_int : int list -> int = function [] -> -1 | k :: _ -> k
-
-let encode_canonical groups extra =
-  let ng = List.length groups in
-  let garr = Array.make ng [] in
-  let glen = ref 0 in
-  List.iteri
-    (fun i g ->
-      let g' = canon_group g in
-      garr.(i) <- g';
-      glen := !glen + List.length g' + 1)
-    groups;
-  (* Heads are distinct for disjoint groups; the full-list tie-break only
-     keeps the key canonical on degenerate (overlapping) inputs. *)
-  Array.sort
-    (fun a b ->
-      match Int.compare (hd_int a) (hd_int b) with 0 -> compare a b | c -> c)
-    garr;
-  let extra = if Plan.is_sorted_strict extra then extra else List.sort Int.compare extra in
-  let buf = Array.make (max 0 (!glen - 1) + 1 + List.length extra) (-2) in
-  let i = ref 0 in
-  Array.iteri
-    (fun gi g ->
-      if gi > 0 then begin
-        buf.(!i) <- -1;
-        incr i
-      end;
-      List.iter
-        (fun k ->
-          buf.(!i) <- k;
-          incr i)
-        g)
-    garr;
-  (* buf.(!i) is the [-2] separator. *)
-  incr i;
-  List.iter
-    (fun k ->
-      buf.(!i) <- k;
-      incr i)
-    extra;
-  buf

@@ -750,8 +750,9 @@ let start config =
       timer_thread = None;
     }
   in
-  (* the dispatcher blocks in Pool.run for the daemon's whole life; each
-     worker domain loops on the admission queue *)
+  (* the dispatcher blocks in Pool.broadcast for the daemon's whole life;
+     each worker domain loops on the admission queue (one long-lived job
+     per worker — not a task list to steal from) *)
   let pool = Pool.create config.workers in
   t.dispatch_thread <-
     Some
@@ -759,7 +760,7 @@ let start config =
          (fun () ->
            Fun.protect
              ~finally:(fun () -> Pool.shutdown pool)
-             (fun () -> Pool.run pool (fun _w -> worker_loop t)))
+             (fun () -> Pool.broadcast pool (fun _w -> worker_loop t)))
          ());
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
   t.timer_thread <- Some (Thread.create (fun () -> timer_loop t) ());

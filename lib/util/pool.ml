@@ -1,10 +1,31 @@
-(* Persistent worker-domain pool.
+(* Persistent worker-domain pool with work-stealing task dispatch.
 
    Spawning a domain costs far more than a generation of GA work on small
    populations, and the island-model search wants a fan-out every
    generation.  This pool spawns its workers once and re-dispatches jobs
    to them over a mutex/condition pair, so the per-generation cost is a
-   broadcast instead of N domain spawns and joins. *)
+   broadcast instead of N domain spawns and joins.
+
+   Two dispatch shapes are offered on top of the same epoch handshake:
+
+   - [broadcast t f] hands every worker a distinct pinned index — one
+     call per worker, the original lockstep shape.  The serve daemon
+     uses it for its long-lived per-worker loops.
+   - [run t ~tasks f] distributes [tasks] independent task indices over
+     the workers with work stealing: each worker owns a contiguous block
+     of the index range as a deque, pops from the front of its own block,
+     and when empty steals the back half of a victim's remaining block.
+     Because a contiguous block stays contiguous under steal-half-from-
+     the-back, a deque is just a [lo, hi) interval — no task buffer at
+     all.  Each index runs exactly once regardless of who steals what,
+     which is what keeps callers with pure per-task functions
+     deterministic under any steal interleaving. *)
+
+type deque = {
+  d_lock : Mutex.t;
+  mutable d_lo : int;  (* next task the owner pops *)
+  mutable d_hi : int;  (* one past the last task; thieves shrink this *)
+}
 
 type t = {
   size : int;
@@ -22,6 +43,11 @@ type t = {
          the domain hop *)
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
+  deques : deque array;  (* one per worker, reset by each [run] epoch *)
+  cancelled : bool Atomic.t;
+      (* set on the first task failure of a [run] epoch so the remaining
+         task indices drain without executing *)
+  steals : int Atomic.t;  (* cumulative successful steals, telemetry *)
 }
 
 let worker_loop t =
@@ -76,6 +102,11 @@ let create size =
       failure = None;
       stopping = false;
       workers = [];
+      deques =
+        Array.init size (fun _ ->
+            { d_lock = Mutex.create (); d_lo = 0; d_hi = 0 });
+      cancelled = Atomic.make false;
+      steals = Atomic.make 0;
     }
   in
   t.workers <-
@@ -86,16 +117,16 @@ let create size =
   t
 
 let size t = t.size
+let steals t = Atomic.get t.steals
 
-let run t f =
-  (* Workers need their own index, but the epoch-based handshake hands
-     every worker the same closure: give each a ticket instead. *)
-  let ticket = Atomic.make 0 in
-  let job () = f (Atomic.fetch_and_add ticket 1) in
+(* Publish one job epoch and block until every worker has run it once.
+   Must be called with a job already stored via the caller; shared by
+   [broadcast] and [run]. *)
+let dispatch t ~who job =
   Mutex.lock t.lock;
   if t.stopping then begin
     Mutex.unlock t.lock;
-    invalid_arg "Pool.run: pool is shut down"
+    invalid_arg (Printf.sprintf "Pool.%s: pool is shut down" who)
   end;
   t.job <- job;
   t.epoch <- t.epoch + 1;
@@ -111,6 +142,96 @@ let run t f =
   match failure with
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
   | None -> ()
+
+let broadcast t f =
+  (* Workers need their own index, but the epoch-based handshake hands
+     every worker the same closure: give each a ticket instead. *)
+  let ticket = Atomic.make 0 in
+  dispatch t ~who:"broadcast" (fun () -> f (Atomic.fetch_and_add ticket 1))
+
+(* Pop the front of worker [w]'s own deque. *)
+let pop_own t w =
+  let d = t.deques.(w) in
+  Mutex.lock d.d_lock;
+  let task = if d.d_lo < d.d_hi then (d.d_lo <- d.d_lo + 1; d.d_lo - 1) else -1 in
+  Mutex.unlock d.d_lock;
+  task
+
+(* Steal the back half of the first non-empty victim deque, scanning the
+   other workers round-robin from [w + 1].  The stolen interval replaces
+   [w]'s own (empty) deque.  Only one deque lock is ever held at a time:
+   the thief releases the victim's lock before touching its own deque,
+   so steal chains cannot form a lock cycle. *)
+let try_steal t w =
+  let n = t.size in
+  let rec scan k =
+    if k >= n then false
+    else begin
+      let v = (w + k) mod n in
+      let d = t.deques.(v) in
+      Mutex.lock d.d_lock;
+      let avail = d.d_hi - d.d_lo in
+      if avail <= 0 then begin
+        Mutex.unlock d.d_lock;
+        scan (k + 1)
+      end
+      else begin
+        let take = (avail + 1) / 2 in
+        d.d_hi <- d.d_hi - take;
+        let lo = d.d_hi in
+        Mutex.unlock d.d_lock;
+        let mine = t.deques.(w) in
+        Mutex.lock mine.d_lock;
+        mine.d_lo <- lo;
+        mine.d_hi <- lo + take;
+        Mutex.unlock mine.d_lock;
+        Atomic.incr t.steals;
+        true
+      end
+    end
+  in
+  scan 1
+
+let run t ~tasks f =
+  if tasks < 0 then invalid_arg "Pool.run: tasks must be non-negative";
+  Mutex.lock t.lock;
+  if t.stopping then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Pool.run: pool is shut down"
+  end;
+  (* Block-partition [0, tasks) over the workers.  Workers are idle
+     between epochs (the caller holds the barrier), so the deques can be
+     reset without taking their locks — the epoch handshake below
+     publishes the writes. *)
+  for w = 0 to t.size - 1 do
+    let d = t.deques.(w) in
+    d.d_lo <- w * tasks / t.size;
+    d.d_hi <- (w + 1) * tasks / t.size
+  done;
+  Atomic.set t.cancelled false;
+  Mutex.unlock t.lock;
+  let ticket = Atomic.make 0 in
+  let worker () =
+    let w = Atomic.fetch_and_add ticket 1 in
+    let rec loop () =
+      let task = pop_own t w in
+      if task >= 0 then begin
+        (* After a failure, keep draining indices so the epoch terminates
+           promptly, but stop running user code. *)
+        if not (Atomic.get t.cancelled) then begin
+          match f task with
+          | () -> ()
+          | exception e ->
+              Atomic.set t.cancelled true;
+              raise e
+        end;
+        loop ()
+      end
+      else if try_steal t w then loop ()
+    in
+    loop ()
+  in
+  dispatch t ~who:"run" worker
 
 let shutdown t =
   Mutex.lock t.lock;

@@ -17,6 +17,21 @@ let split t =
   let seed = int64 t in
   { state = seed }
 
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: n must be non-negative";
+  if n = 0 then [||]
+  else begin
+    (* Explicit ascending loop: the order in which the parent is advanced
+       is part of the determinism contract (child [i] must equal the
+       [i]-th sequential [split]), so don't rely on [Array.init]'s
+       unspecified evaluation order. *)
+    let out = Array.make n t in
+    for i = 0 to n - 1 do
+      out.(i) <- split t
+    done;
+    out
+  end
+
 let copy t = { state = t.state }
 
 let state t = t.state

@@ -17,6 +17,14 @@ val split : t -> t
 (** [split t] derives an independent generator from [t], advancing [t].
     Streams of the parent and child do not overlap in practice. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] derives [n] independent generators, advancing [t]
+    exactly [n] times in ascending order: [(split_n t n).(i)] equals the
+    [i]-th sequential [split t].  Used to pre-draw one child generator
+    per offspring before a parallel fan-out, so the stream each child
+    sees does not depend on which domain evaluates it.
+    @raise Invalid_argument if [n < 0]. *)
+
 val copy : t -> t
 (** [copy t] duplicates the current state; the copy replays the same
     stream. *)

@@ -258,6 +258,56 @@ let test_codegen_host () =
   let full = Codegen.emit_program fp in
   check Alcotest.bool "full program emits kernels" true (contains full "__global__")
 
+(* Arena-encoded signatures must be bit-identical to the allocating
+   reference encoders for arbitrary (even messy: unsorted members,
+   shuffled groups) partitions — they interoperate with signature arrays
+   persisted in snapshots and with [--no-incremental] reruns, so any
+   drift would split caches that must agree.  One Sigbuf is reused
+   across all cases, exercising arena reuse and growth. *)
+let prop_sigbuf_roundtrip =
+  let partition_gen =
+    QCheck.Gen.(
+      int_range 1 24 >>= fun n ->
+      int_range 1 1000 >>= fun seed ->
+      let rng = Kf_util.Rng.create seed in
+      let perm = Array.init n (fun i -> i) in
+      Kf_util.Rng.shuffle rng perm;
+      let groups = ref [] and i = ref 0 in
+      while !i < n do
+        let len = min (n - !i) (1 + Kf_util.Rng.int rng 4) in
+        groups := Array.to_list (Array.sub perm !i len) :: !groups;
+        i := !i + len
+      done;
+      return !groups)
+  in
+  let sb = Plan.Sigbuf.create () in
+  QCheck.Test.make ~count:200 ~name:"Sigbuf encodings match reference signature encoders"
+    (QCheck.make partition_gen) (fun groups ->
+      Plan.Sigbuf.encode_plan sb groups;
+      let ok_plan =
+        Plan.Sigbuf.extract sb = Plan.plan_signature groups
+        && Plan.Sigbuf.hash sb = Plan.signature_hash (Plan.plan_signature groups)
+        && Plan.Sigbuf.canonical sb = Plan.canonical_groups groups
+      in
+      let ok_groups =
+        List.for_all
+          (fun g ->
+            Plan.Sigbuf.encode_group sb g;
+            Plan.Sigbuf.extract sb = Plan.group_signature g
+            && Plan.Sigbuf.hash sb = Plan.group_hash g)
+          groups
+      in
+      let ok_exact =
+        Plan.Sigbuf.encode_groups_exact sb groups;
+        let flat =
+          Array.of_list
+            (List.concat
+               (List.mapi (fun i g -> if i > 0 then -1 :: g else g) groups))
+        in
+        Plan.Sigbuf.extract sb = flat
+      in
+      ok_plan && ok_groups && ok_exact)
+
 let suite =
   [
     Alcotest.test_case "fused simple vs complex" `Quick test_fused_simple_vs_complex;
@@ -281,4 +331,5 @@ let suite =
     Alcotest.test_case "codegen kernel" `Quick test_codegen_kernel;
     Alcotest.test_case "codegen signature" `Quick test_codegen_signature;
     Alcotest.test_case "codegen host" `Quick test_codegen_host;
+    QCheck_alcotest.to_alcotest prop_sigbuf_roundtrip;
   ]

@@ -56,6 +56,27 @@ let test_rng_split_independent () =
   let c = List.init 20 (fun _ -> Rng.int64 child) in
   check Alcotest.bool "streams differ" true (p <> c)
 
+let test_rng_split_n_matches_sequential () =
+  (* The batched draw is the parallel fan-out's determinism anchor: it
+     must be bit-compatible with n sequential splits from an identical
+     generator. *)
+  let a = Rng.create 7 and b = Rng.create 7 in
+  let seq = Array.init 5 (fun _ -> Rng.split a) in
+  let batch = Rng.split_n b 5 in
+  Array.iteri
+    (fun i r ->
+      for _ = 1 to 10 do
+        check Alcotest.int (Printf.sprintf "stream %d" i) (Rng.int r 1000)
+          (Rng.int batch.(i) 1000)
+      done)
+    seq;
+  (* And the parents must be left in the same state. *)
+  check Alcotest.bool "parents advanced identically" true
+    (List.init 5 (fun _ -> Rng.int64 a) = List.init 5 (fun _ -> Rng.int64 b));
+  check Alcotest.int "empty split" 0 (Array.length (Rng.split_n b 0));
+  Alcotest.check_raises "negative" (Invalid_argument "Rng.split_n: n must be non-negative")
+    (fun () -> ignore (Rng.split_n b (-1)))
+
 let test_rng_copy_replays () =
   let t = Rng.create 5 in
   ignore (Rng.int64 t);
@@ -258,23 +279,56 @@ let test_table_cells () =
 
 (* --- Pool --- *)
 
-let test_pool_runs_all_indices () =
+let test_pool_broadcast_covers_workers () =
   Kf_util.Pool.with_pool 4 (fun pool ->
       check Alcotest.int "size" 4 (Kf_util.Pool.size pool);
       let hits = Array.make 4 0 in
       (* Reuse across runs: the pool must stay usable after each barrier. *)
       for _ = 1 to 3 do
-        Kf_util.Pool.run pool (fun w -> hits.(w) <- hits.(w) + 1)
+        Kf_util.Pool.broadcast pool (fun w -> hits.(w) <- hits.(w) + 1)
       done;
       Array.iteri (fun w n -> check Alcotest.int (Printf.sprintf "worker %d" w) 3 n) hits)
+
+let test_pool_tasks_exactly_once () =
+  Kf_util.Pool.with_pool 4 (fun pool ->
+      (* Many more tasks than workers forces block partitioning and (on
+         any imbalance) stealing; every index must still run exactly
+         once, whatever domain ends up executing it. *)
+      let n = 1000 in
+      let hits = Array.make n 0 in
+      Kf_util.Pool.run pool ~tasks:n (fun i -> hits.(i) <- hits.(i) + 1);
+      Array.iteri
+        (fun i c -> if c <> 1 then Alcotest.failf "task %d ran %d times" i c)
+        hits;
+      (* Degenerate shapes: no tasks, and fewer tasks than workers. *)
+      Kf_util.Pool.run pool ~tasks:0 (fun _ -> Alcotest.fail "no tasks to run");
+      let total = Atomic.make 0 in
+      Kf_util.Pool.run pool ~tasks:3 (fun i -> ignore (Atomic.fetch_and_add total (i + 1)));
+      check Alcotest.int "sum over 3 tasks" 6 (Atomic.get total))
+
+let test_pool_stealing_occurs () =
+  Kf_util.Pool.with_pool 4 (fun pool ->
+      (* Task 0 stalls its owner; the owner's remaining block must be
+         stolen by the idle workers, and the steal counter proves the
+         path was exercised (not just the owner draining everything
+         after waking). *)
+      let n = 256 in
+      let hits = Array.make n 0 in
+      Kf_util.Pool.run pool ~tasks:n (fun i ->
+          if i = 0 then Thread.delay 0.05;
+          hits.(i) <- hits.(i) + 1);
+      Array.iteri
+        (fun i c -> if c <> 1 then Alcotest.failf "task %d ran %d times" i c)
+        hits;
+      check Alcotest.bool "steals happened" true (Kf_util.Pool.steals pool > 0))
 
 let test_pool_propagates_exception () =
   Kf_util.Pool.with_pool 3 (fun pool ->
       Alcotest.check_raises "re-raised" Exit (fun () ->
-          Kf_util.Pool.run pool (fun w -> if w = 1 then raise Exit));
+          Kf_util.Pool.run pool ~tasks:3 (fun i -> if i = 1 then raise Exit));
       (* Still usable after a failed run. *)
       let total = Atomic.make 0 in
-      Kf_util.Pool.run pool (fun w -> Atomic.fetch_and_add total (w + 1) |> ignore);
+      Kf_util.Pool.run pool ~tasks:3 (fun i -> Atomic.fetch_and_add total (i + 1) |> ignore);
       check Alcotest.int "sum after failure" 6 (Atomic.get total))
 
 exception Deep_failure of string
@@ -298,7 +352,7 @@ let test_pool_backtrace () =
         else 1 + deep (n - 1)
       in
       Kf_util.Pool.with_pool 2 (fun pool ->
-          match Kf_util.Pool.run pool (fun w -> if w = 1 then ignore (deep 5)) with
+          match Kf_util.Pool.run pool ~tasks:2 (fun i -> if i = 1 then ignore (deep 5)) with
           | () -> Alcotest.fail "expected the worker's exception"
           | exception Deep_failure _ ->
               let bt = Printexc.get_raw_backtrace () in
@@ -326,10 +380,10 @@ let test_pool_repeated_failures_no_wedge () =
             (Printf.sprintf "round %d raises" round)
             Exit
             (fun () ->
-              Kf_util.Pool.run pool (fun w -> if w = round mod 3 then raise Exit))
+              Kf_util.Pool.run pool ~tasks:3 (fun i -> if i = round mod 3 then raise Exit))
         else begin
           let hits = Array.make 3 0 in
-          Kf_util.Pool.run pool (fun w -> hits.(w) <- hits.(w) + 1);
+          Kf_util.Pool.run pool ~tasks:3 (fun i -> hits.(i) <- hits.(i) + 1);
           Array.iteri
             (fun w n -> check Alcotest.int (Printf.sprintf "round %d worker %d" round w) 1 n)
             hits
@@ -343,11 +397,29 @@ let test_pool_invalid () =
   Kf_util.Pool.shutdown pool;
   Kf_util.Pool.shutdown pool;
   Alcotest.check_raises "run after shutdown" (Invalid_argument "Pool.run: pool is shut down")
-    (fun () -> Kf_util.Pool.run pool (fun _ -> ()))
+    (fun () -> Kf_util.Pool.run pool ~tasks:1 (fun _ -> ()))
+
+(* Steal-order invariance: a run over pure per-index tasks produces the
+   same outputs for every (tasks, workers) shape — whichever domain ends
+   up executing an index (own block, stolen block), the result array is
+   the one sequential execution would produce. *)
+let prop_pool_steal_order_invariance =
+  QCheck.Test.make ~count:30
+    ~name:"pool run is a permutation-invariant map over task indices"
+    QCheck.(pair (int_range 0 64) (int_range 1 4))
+    (fun (tasks, workers) ->
+      let expected = Array.init tasks (fun i -> (i * 31) lxor 5) in
+      let out = Array.make tasks 0 in
+      Kf_util.Pool.with_pool workers (fun pool ->
+          Kf_util.Pool.run pool ~tasks (fun i ->
+              if i land 7 = 0 then Thread.yield ();
+              out.(i) <- (i * 31) lxor 5));
+      out = expected)
 
 let qsuite = List.map QCheck_alcotest.to_alcotest
   [ prop_shuffle_is_permutation; prop_sample_distinct; prop_mean_within_bounds;
-    prop_median_within_bounds; prop_bitset_model; prop_bitset_union_into ]
+    prop_median_within_bounds; prop_bitset_model; prop_bitset_union_into;
+    prop_pool_steal_order_invariance ]
 
 let suite =
   [
@@ -356,6 +428,8 @@ let suite =
     Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
     Alcotest.test_case "rng invalid args" `Quick test_rng_invalid;
     Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng split_n matches sequential splits" `Quick
+      test_rng_split_n_matches_sequential;
     Alcotest.test_case "rng copy replays" `Quick test_rng_copy_replays;
     Alcotest.test_case "rng uniformity" `Quick test_rng_uniformity;
     Alcotest.test_case "gaussian moments" `Slow test_gaussian_moments;
@@ -369,7 +443,10 @@ let suite =
     Alcotest.test_case "bitset bounds" `Quick test_bitset_bounds;
     Alcotest.test_case "table render" `Quick test_table_render;
     Alcotest.test_case "table cells" `Quick test_table_cells;
-    Alcotest.test_case "pool runs all indices" `Quick test_pool_runs_all_indices;
+    Alcotest.test_case "pool broadcast covers workers" `Quick
+      test_pool_broadcast_covers_workers;
+    Alcotest.test_case "pool tasks run exactly once" `Quick test_pool_tasks_exactly_once;
+    Alcotest.test_case "pool work stealing occurs" `Quick test_pool_stealing_occurs;
     Alcotest.test_case "pool exception propagation" `Quick test_pool_propagates_exception;
     Alcotest.test_case "pool exception backtrace" `Quick test_pool_backtrace;
     Alcotest.test_case "pool repeated failures no wedge" `Quick

@@ -1412,6 +1412,220 @@ let exp_bench_incremental () =
   Format.printf "wrote %s@." bench_incremental_path
 
 (* ------------------------------------------------------------------ *)
+(* Arena + device-portfolio benchmark (BENCH_pr9.json)                  *)
+(* ------------------------------------------------------------------ *)
+
+let bench_pareto_path = "BENCH_pr9.json"
+
+let exp_bench_pareto () =
+  header "bench_pareto"
+    ("Allocation-free arena leaf + 5-device portfolio -> " ^ bench_pareto_path);
+  let module J = Kf_obs.Json in
+  let p = Kf_workloads.Cloverleaf.program () in
+  let name = "cloverleaf" in
+  let ctx = prepare p in
+  let extra_devices = [ k40; maxwell; Device.p100; Device.v100 ] in
+  let all_devices = k20x :: extra_devices in
+  let ndev = List.length all_devices in
+  let params =
+    { search_params with Hgga.max_generations = 300; stall_generations = 300;
+      population_size = 100 }
+  in
+  let float_bits_equal a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) in
+  (* Correctness first: the arena search must reproduce the legacy search
+     bit for bit, and adding a portfolio must not perturb the primary
+     search.  Both are hard invariants, asserted here like the scaling
+     bench asserts domain determinism — a violation is a bug, not a slow
+     run. *)
+  let rl = Hgga.solve ~params (Pipeline.objective ~arena:false ctx) in
+  let ra = Hgga.solve ~params (Pipeline.objective ctx) in
+  let identical =
+    Plan.equal rl.Hgga.plan ra.Hgga.plan
+    && float_bits_equal rl.Hgga.cost ra.Hgga.cost
+    && rl.Hgga.stats.Hgga.improvement_history = ra.Hgga.stats.Hgga.improvement_history
+    && rl.Hgga.stats.Hgga.evaluations = ra.Hgga.stats.Hgga.evaluations
+  in
+  if not identical then begin
+    Format.eprintf "bench_pareto: arena search diverged from the legacy search@.";
+    exit 1
+  end;
+  let extras =
+    List.map
+      (fun d ->
+        let measured = Measure.program_results ~device:d p in
+        Inputs.make ~device:d ~meta:ctx.Pipeline.meta ~exec:ctx.Pipeline.exec
+          ~measured_runtime:(Array.map (fun r -> r.Measure.runtime_s) measured))
+      extra_devices
+  in
+  let obj_port = Pipeline.objective ~portfolio:extras ctx in
+  let rp = Hgga.solve_portfolio ~params obj_port in
+  let unaffected =
+    Plan.equal rp.Hgga.primary.Hgga.plan ra.Hgga.plan
+    && float_bits_equal rp.Hgga.primary.Hgga.cost ra.Hgga.cost
+    && rp.Hgga.primary.Hgga.stats.Hgga.evaluations = ra.Hgga.stats.Hgga.evaluations
+  in
+  if not unaffected then begin
+    Format.eprintf "bench_pareto: the portfolio perturbed the primary search@.";
+    exit 1
+  end;
+  (* The throughput quantity: leaf evaluations per second over the
+     search's own candidate corpus.  A guard records every cache-miss
+     candidate of a real search; the timed passes then replay exactly
+     that corpus against a fresh objective per pass (fresh = every probe
+     is a miss, so a pass costs create + one leaf evaluation per
+     candidate — the same shape as a production search, minus the GA
+     machinery that is identical in both modes). *)
+  let corpus = ref [] in
+  let collect eval g =
+    corpus := g :: !corpus;
+    eval g
+  in
+  ignore (Hgga.solve ~params (Pipeline.objective ~guard:collect ctx));
+  let corpus = List.sort_uniq compare !corpus in
+  let ncorpus = List.length corpus in
+  if ncorpus = 0 then failwith "bench_pareto: empty candidate corpus";
+  let time_it run_pass =
+    run_pass ();
+    (* warm-up *)
+    let t1 = Unix.gettimeofday () in
+    run_pass ();
+    let per = Unix.gettimeofday () -. t1 in
+    let reps = min 50 (max 3 (int_of_float (0.5 /. Float.max 1e-6 per))) in
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      run_pass ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let eval_corpus obj = List.iter (fun g -> ignore (Objective.group_cost obj g)) corpus in
+  let wall_legacy = time_it (fun () -> eval_corpus (Pipeline.objective ~arena:false ctx)) in
+  let wall_arena = time_it (fun () -> eval_corpus (Pipeline.objective ctx)) in
+  let single_speedup = wall_legacy /. wall_arena in
+  (* Portfolio: per-device rows for all five devices through the shared
+     arena (structural analysis once per candidate) vs. the pre-PR
+     alternative — the legacy leaf once per device over per-device
+     inputs. *)
+  let wall_port =
+    time_it (fun () ->
+        let obj = Pipeline.objective ~portfolio:extras ctx in
+        List.iter (fun g -> ignore (Objective.group_row obj g)) corpus)
+  in
+  let per_device_inputs = ctx.Pipeline.inputs :: extras in
+  let wall_legacy5 =
+    time_it (fun () ->
+        List.iter
+          (fun i ->
+            let obj = Objective.create ~arena:false i in
+            List.iter (fun g -> ignore (Objective.group_cost obj g)) corpus)
+          per_device_inputs)
+  in
+  let portfolio_speedup = wall_legacy5 /. wall_port in
+  (* Allocation gauge, outside the timed passes (metrics wrap every
+     evaluation in clock reads). *)
+  Kf_obs.Metrics.set_enabled true;
+  let alloc_of obj =
+    eval_corpus obj;
+    Objective.alloc_per_eval obj
+  in
+  let alloc_legacy = alloc_of (Pipeline.objective ~arena:false ctx) in
+  let alloc_arena = alloc_of (Pipeline.objective ctx) in
+  Kf_obs.Metrics.set_enabled false;
+  let t =
+    Table.create
+      [
+        ("configuration", Table.Left); ("wall/pass (ms)", Table.Right);
+        ("evals/s", Table.Right); ("speedup", Table.Right); ("alloc w/eval", Table.Right);
+      ]
+  in
+  let eps n wall = float_of_int n /. wall in
+  Table.add_row t
+    [ "legacy leaf"; Table.cell_f ~decimals:3 (wall_legacy *. 1e3);
+      Table.cell_f ~decimals:0 (eps ncorpus wall_legacy); "";
+      Table.cell_f ~decimals:0 alloc_legacy ];
+  Table.add_row t
+    [ "arena leaf"; Table.cell_f ~decimals:3 (wall_arena *. 1e3);
+      Table.cell_f ~decimals:0 (eps ncorpus wall_arena);
+      Table.cell_speedup single_speedup; Table.cell_f ~decimals:0 alloc_arena ];
+  Table.add_row t
+    [ Printf.sprintf "legacy x %d devices" ndev;
+      Table.cell_f ~decimals:3 (wall_legacy5 *. 1e3);
+      Table.cell_f ~decimals:0 (eps (ncorpus * ndev) wall_legacy5); ""; "" ];
+  Table.add_row t
+    [ Printf.sprintf "portfolio rows (%d devices)" ndev;
+      Table.cell_f ~decimals:3 (wall_port *. 1e3);
+      Table.cell_f ~decimals:0 (eps (ncorpus * ndev) wall_port);
+      Table.cell_speedup portfolio_speedup; "" ];
+  Table.print t;
+  Format.printf
+    "corpus: %d distinct candidates | search: %d evaluations | front: %d plans | rows: %d@."
+    ncorpus ra.Hgga.stats.Hgga.evaluations (List.length rp.Hgga.front)
+    (Objective.rows_evaluated obj_port);
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "kfuse-bench-pareto/1");
+        ("workload", J.Str name);
+        ("kernels", J.Int (Program.num_kernels p));
+        ("device", J.Str k20x.Device.name);
+        ("devices", J.Arr (List.map (fun (d : Device.t) -> J.Str d.Device.name) all_devices));
+        ("params",
+         J.Obj
+           [
+             ("population_size", J.Int params.Hgga.population_size);
+             ("max_generations", J.Int params.Hgga.max_generations);
+             ("stall_generations", J.Int params.Hgga.stall_generations);
+             ("seed", J.Int params.Hgga.seed);
+           ]);
+        ("corpus_size", J.Int ncorpus);
+        ("search_evaluations", J.Int ra.Hgga.stats.Hgga.evaluations);
+        ("bit_identical", J.Bool identical);
+        ("portfolio_unaffected", J.Bool unaffected);
+        ("front_size", J.Int (List.length rp.Hgga.front));
+        ("rows_evaluated", J.Int (Objective.rows_evaluated obj_port));
+        ("single",
+         J.Obj
+           [
+             ("legacy",
+              J.Obj
+                [ ("wall_s", J.Float wall_legacy);
+                  ("evals_per_s", J.Float (eps ncorpus wall_legacy)) ]);
+             ("arena",
+              J.Obj
+                [ ("wall_s", J.Float wall_arena);
+                  ("evals_per_s", J.Float (eps ncorpus wall_arena)) ]);
+             ("speedup", J.Float single_speedup);
+           ]);
+        ("portfolio",
+         J.Obj
+           [
+             ("legacy_per_device",
+              J.Obj
+                [ ("wall_s", J.Float wall_legacy5);
+                  ("device_evals_per_s", J.Float (eps (ncorpus * ndev) wall_legacy5)) ]);
+             ("arena_rows",
+              J.Obj
+                [ ("wall_s", J.Float wall_port);
+                  ("device_evals_per_s", J.Float (eps (ncorpus * ndev) wall_port)) ]);
+             ("speedup", J.Float portfolio_speedup);
+           ]);
+        ("alloc_per_eval",
+         J.Obj [ ("legacy", J.Float alloc_legacy); ("arena", J.Float alloc_arena) ]);
+      ]
+  in
+  let oc = open_out (bench_pareto_path ^ ".tmp") in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (J.to_string doc);
+      output_char oc '\n');
+  Sys.rename (bench_pareto_path ^ ".tmp") bench_pareto_path;
+  Format.printf "wrote %s@." bench_pareto_path;
+  Format.printf "single-device arena speedup: %.2fx | %d-device portfolio speedup: %.2fx@."
+    single_speedup ndev portfolio_speedup
+
+(* ------------------------------------------------------------------ *)
 (* registry                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1442,6 +1656,7 @@ let experiments =
     ("bench_json", exp_bench_json);
     ("bench_scaling", exp_bench_scaling);
     ("bench_incremental", exp_bench_incremental);
+    ("bench_pareto", exp_bench_pareto);
   ]
 
 let () =

@@ -196,6 +196,52 @@ let gate_search ~baseline ~current =
             (100. *. tolerance) r_base)
     (workloads baseline)
 
+(* The arena/portfolio bench ("kfuse-bench-pareto/1").  The correctness
+   invariants and the absolute throughput floors are host-independent
+   and always gated; the cross-run speedup comparison carries the usual
+   20% wall-clock tolerance. *)
+let gate_pareto ~baseline ~current =
+  Format.printf "pareto:@.";
+  check
+    (get [ "bit_identical" ] bool_of current = Some true)
+    "arena search bit-identical to the legacy search";
+  check
+    (get [ "portfolio_unaffected" ] bool_of current = Some true)
+    "portfolio leaves the primary search bit-identical";
+  let single = require [ "single"; "speedup" ] J.to_float_opt current in
+  check (single >= 2.0) "single-device arena speedup %.2fx >= 2.00x floor" single;
+  let port = require [ "portfolio"; "speedup" ] J.to_float_opt current in
+  check (port >= 4.0) "portfolio aggregate speedup %.2fx >= 4.00x floor" port;
+  let alloc_legacy = require [ "alloc_per_eval"; "legacy" ] J.to_float_opt current
+  and alloc_arena = require [ "alloc_per_eval"; "arena" ] J.to_float_opt current in
+  check
+    (alloc_arena <= 0.25 *. alloc_legacy)
+    "arena minor allocation %.0f words/eval <= 25%% of legacy (%.0f)" alloc_arena
+    alloc_legacy;
+  let base_single = require [ "single"; "speedup" ] J.to_float_opt baseline in
+  check
+    (single >= (1. -. tolerance) *. base_single)
+    "single-device speedup %.2fx within %.0f%% of baseline %.2fx" single
+    (100. *. tolerance) base_single;
+  let base_port = require [ "portfolio"; "speedup" ] J.to_float_opt baseline in
+  check
+    (port >= (1. -. tolerance) *. base_port)
+    "portfolio speedup %.2fx within %.0f%% of baseline %.2fx" port (100. *. tolerance)
+    base_port
+
+(* Schema dispatch: one row per report family the gate understands.  An
+   unknown schema is a hard error, not a silent fall-through — a new
+   bench must land with its gate (or an explicit entry) in the same
+   commit. *)
+let gates =
+  [
+    ("kfuse-bench/1", gate_search);
+    ("kfuse-bench-incremental/1", gate_search);
+    ("kfuse-bench-stream/1", gate_stream);
+    ("kfuse-bench-scaling/2", gate_scaling);
+    ("kfuse-bench-pareto/1", gate_pareto);
+  ]
+
 let () =
   let baseline_path, current_path =
     match Sys.argv with
@@ -211,10 +257,12 @@ let () =
       (schema current);
     exit 2
   end;
-  (match schema current with
-  | "kfuse-bench-stream/1" -> gate_stream ~baseline ~current
-  | "kfuse-bench-scaling/2" -> gate_scaling ~baseline ~current
-  | _ -> gate_search ~baseline ~current);
+  (match List.assoc_opt (schema current) gates with
+  | Some gate -> gate ~baseline ~current
+  | None ->
+      Format.eprintf "perf_gate: unknown schema %S — known: %s@." (schema current)
+        (String.concat ", " (List.map fst gates));
+      exit 2);
   if !fail_count > 0 then begin
     Format.printf "@.perf gate: %d check(s) failed@." !fail_count;
     exit 1

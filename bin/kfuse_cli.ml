@@ -62,11 +62,14 @@ let load_workload = function
            "unknown workload %S (try: %s, suite:kernels=30,..., or a .kf program file)" other
            (String.concat ", " workload_names))
 
-let device_of_name = function
-  | "k20x" -> Device.k20x
-  | "k40" -> Device.k40
-  | "gtx750ti" | "maxwell" -> Device.gtx750ti
-  | other -> invalid_arg (Printf.sprintf "unknown device %S (k20x, k40, gtx750ti)" other)
+let device_of_name name =
+  let name = if String.lowercase_ascii name = "maxwell" then "gtx750ti" else name in
+  match Device.of_name name with
+  | Some d -> d
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown device %S (%s)" name
+           (String.concat ", " (List.map (fun (d : Device.t) -> d.Device.name) Device.extended)))
 
 let model_of_name = function
   | "proposed" -> Objective.Proposed
@@ -106,6 +109,12 @@ let no_incremental_arg =
              structural memoization) and fall back to whole-plan evaluation.  A \
              throughput knob only: results are bit-identical either way." in
   Arg.(value & flag & info [ "no-incremental" ] ~doc)
+
+let no_arena_arg =
+  let doc = "Disable the allocation-free feature-arena evaluation leaf and evaluate \
+             each candidate through the legacy per-candidate construction.  A \
+             throughput knob only: results are bit-identical either way." in
+  Arg.(value & flag & info [ "no-arena" ] ~doc)
 
 let params_of generations population seed =
   { Hgga.default_params with Hgga.max_generations = generations; population_size = population; seed }
@@ -322,14 +331,14 @@ let devices_cmd =
         Table.add_row t
           [
             d.Device.name;
-            (match d.Device.arch with Device.Kepler -> "Kepler" | Device.Maxwell -> "Maxwell");
+            Device.arch_name d.Device.arch;
             string_of_int d.Device.smx_count;
             Printf.sprintf "%dK" (d.Device.registers_per_smx / 1024);
             Printf.sprintf "%dKB" (d.Device.smem_per_smx / 1024);
             Printf.sprintf "%.2f TFLOPS" (d.Device.peak_gflops /. 1000.);
             Printf.sprintf "%.0f GB/s" d.Device.gmem_bandwidth_gbs;
           ])
-      Device.all;
+      Device.extended;
     Table.print t
   in
   Cmd.v (Cmd.info "devices" ~doc:"Print the device descriptions") Term.(const run $ const ())
@@ -369,7 +378,8 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Dependency and traffic analysis") Term.(const run $ workload_arg)
 
 let search_cmd =
-  let run workload device model generations population seed no_incremental popts ropts oopts =
+  let run workload device model generations population seed no_incremental no_arena popts
+      ropts oopts =
     with_obs oopts @@ fun () ->
     let p = load_workload workload in
     let device = device_of_name device in
@@ -378,8 +388,8 @@ let search_cmd =
     let injector = Option.map (fun cfg -> Kf_robust.Inject.create ~faults cfg) ropts.inject in
     let guard = Kf_robust.Guard.guarded ?inject:injector faults in
     let obj =
-      Pipeline.objective ~model:(model_of_name model) ~incremental:(not no_incremental) ~guard
-        ~faults ctx
+      Pipeline.objective ~model:(model_of_name model) ~incremental:(not no_incremental)
+        ~arena:(not no_arena) ~guard ~faults ctx
     in
     let r =
       match
@@ -410,17 +420,20 @@ let search_cmd =
   Cmd.v
     (Cmd.info "search" ~doc:"Run the HGGA search and print the best plan")
     Term.(const run $ workload_arg $ device_arg $ model_arg $ generations_arg $ population_arg
-          $ seed_arg $ no_incremental_arg $ parallel_term $ robust_term $ obs_term)
+          $ seed_arg $ no_incremental_arg $ no_arena_arg $ parallel_term $ robust_term
+          $ obs_term)
 
 let fuse_cmd =
-  let run workload device model generations population seed no_incremental popts ropts oopts =
+  let run workload device model generations population seed no_incremental no_arena popts
+      ropts oopts =
     with_obs oopts @@ fun () ->
     let p = load_workload workload in
     let device = device_of_name device in
     match
       Pipeline.run_safe ~params:(params_with_parallel popts generations population seed)
-        ~model:(model_of_name model) ~incremental:(not no_incremental) ?inject:ropts.inject
-        ?checkpoint:ropts.checkpoint ?resume_from:ropts.resume ?budget:ropts.budget ~device p
+        ~model:(model_of_name model) ~incremental:(not no_incremental)
+        ~arena:(not no_arena) ?inject:ropts.inject ?checkpoint:ropts.checkpoint
+        ?resume_from:ropts.resume ?budget:ropts.budget ~device p
     with
     | Ok o ->
         say oopts "%a@." Pipeline.pp_outcome o;
@@ -432,7 +445,66 @@ let fuse_cmd =
   Cmd.v
     (Cmd.info "fuse" ~doc:"Search, apply the fusion, and measure the speedup (fault-tolerant)")
     Term.(const run $ workload_arg $ device_arg $ model_arg $ generations_arg $ population_arg
-          $ seed_arg $ no_incremental_arg $ parallel_term $ robust_term $ obs_term)
+          $ seed_arg $ no_incremental_arg $ no_arena_arg $ parallel_term $ robust_term
+          $ obs_term)
+
+let pareto_cmd =
+  let run workload device devices model generations population seed oopts =
+    with_obs oopts @@ fun () ->
+    let p = load_workload workload in
+    let primary = device_of_name device in
+    let extras =
+      List.filter_map
+        (fun s -> if String.trim s = "" then None else Some (device_of_name (String.trim s)))
+        (String.split_on_char ',' devices)
+    in
+    if extras = [] then invalid_arg "pareto: --devices needs at least one extra device";
+    let po =
+      Pipeline.portfolio
+        ~params:(params_of generations population seed)
+        ~model:(model_of_name model) ~devices:extras ~device:primary p
+    in
+    let pr = po.Pipeline.portfolio in
+    let n = Program.num_kernels p in
+    let pp_groups ppf groups = Plan.pp ppf (Plan.of_groups ~n groups) in
+    say oopts "search on %s: %d generations, %d evaluations, %d plans on the front@."
+      primary.Device.name pr.Hgga.primary.Hgga.stats.Hgga.generations
+      pr.Hgga.primary.Hgga.stats.Hgga.evaluations (List.length pr.Hgga.front);
+    let t =
+      Table.create ~title:"Best plan per device"
+        [ ("device", Table.Left); ("projected", Table.Right); ("plan", Table.Left) ]
+    in
+    Array.iteri
+      (fun i (d : Device.t) ->
+        let e = pr.Hgga.best_per_device.(i) in
+        Table.add_row t
+          [
+            d.Device.name;
+            Printf.sprintf "%.3f ms" (e.Objective.pf_costs.(i) *. 1e3);
+            Format.asprintf "%a" pp_groups e.Objective.pf_plan;
+          ])
+      pr.Hgga.devices;
+    if pr.Hgga.best_per_device <> [||] then Table.print t;
+    say oopts "@.Pareto front (projected ms per device):@.";
+    List.iteri
+      (fun i (e : Objective.pareto_entry) ->
+        say oopts "  #%d  [%s]  %a@." (i + 1)
+          (String.concat "  "
+             (Array.to_list (Array.map (fun c -> Printf.sprintf "%.3f" (c *. 1e3)) e.Objective.pf_costs)))
+          pp_groups e.Objective.pf_plan)
+      pr.Hgga.front
+  in
+  let devices_arg =
+    let doc = "Comma-separated extra devices to cost every candidate on (the searched \
+               device is always index 0)." in
+    Arg.(value & opt string "k40,gtx750ti,p100,v100" & info [ "devices" ] ~docv:"NAMES" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "pareto"
+       ~doc:"One search, a whole device portfolio: per-device winners and the \
+             cross-device Pareto front")
+    Term.(const run $ workload_arg $ device_arg $ devices_arg $ model_arg $ generations_arg
+          $ population_arg $ seed_arg $ obs_term)
 
 let graph_cmd =
   let run workload kind plan_overlay generations population seed =
@@ -680,6 +752,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            devices_cmd; workloads_cmd; analyze_cmd; search_cmd; fuse_cmd; codegen_cmd;
-            graph_cmd; tune_cmd; export_cmd; verify_cmd; report_cmd; serve_cmd;
+            devices_cmd; workloads_cmd; analyze_cmd; search_cmd; fuse_cmd; pareto_cmd;
+            codegen_cmd; graph_cmd; tune_cmd; export_cmd; verify_cmd; report_cmd; serve_cmd;
           ]))

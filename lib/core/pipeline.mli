@@ -31,6 +31,8 @@ val objective :
   ?faults:Kf_search.Objective.fault_stats ->
   ?domains:int ->
   ?incremental:bool ->
+  ?arena:bool ->
+  ?portfolio:Kf_model.Inputs.t list ->
   context ->
   Kf_search.Objective.t
 (** A fresh objective over the context (default model: the paper's).
@@ -39,7 +41,11 @@ val objective :
     will search with (it sizes the non-incremental table's stripe
     count — see {!Kf_search.Objective.create}).  [incremental] (default
     [true]) selects the two-level incremental evaluation path; results
-    are bit-identical either way (see {!Kf_search.Objective.create}). *)
+    are bit-identical either way (see {!Kf_search.Objective.create}).
+    [arena] (default [true]) selects the allocation-free evaluation
+    leaf, and [portfolio] enables per-device cost rows and the
+    cross-device Pareto front — both documented at
+    {!Kf_search.Objective.create}. *)
 
 type outcome = {
   context : context;
@@ -66,15 +72,45 @@ val run :
   ?model:Kf_search.Objective.model ->
   ?sync_points:int list ->
   ?incremental:bool ->
+  ?arena:bool ->
   device:Kf_gpu.Device.t ->
   Kf_ir.Program.t ->
   outcome
-(** The whole of Algorithm 1 with the given device and search settings. *)
+(** The whole of Algorithm 1 with the given device and search settings.
+    [arena] (default [true]) selects the allocation-free evaluation
+    leaf; [~arena:false] restores the legacy per-candidate leaf
+    (bit-identical results either way). *)
+
+type portfolio_outcome = {
+  outcome : outcome;  (** the ordinary end-to-end outcome on [device] *)
+  portfolio : Kf_search.Hgga.portfolio_result;
+      (** per-device winners and the cross-device Pareto front *)
+}
+
+val portfolio :
+  ?params:Kf_search.Hgga.params ->
+  ?model:Kf_search.Objective.model ->
+  ?sync_points:int list ->
+  ?incremental:bool ->
+  ?arena:bool ->
+  devices:Kf_gpu.Device.t list ->
+  device:Kf_gpu.Device.t ->
+  Kf_ir.Program.t ->
+  portfolio_outcome
+(** Algorithm 1 once, evaluated for a whole device portfolio: the search
+    runs on [device] exactly as {!run} does (same plan, same evaluation
+    counts), while every candidate the search evaluates is also costed
+    on each of [devices] through the shared feature arena — structural
+    analysis amortized across devices instead of one search per device.
+    Each extra device gets its own measured baseline
+    ({!Kf_sim.Measure.program_results}); metadata and graphs are shared
+    with the primary context. *)
 
 val stream_env :
   ?model:Kf_search.Objective.model ->
   ?sync_points:int list ->
   ?incremental:bool ->
+  ?arena:bool ->
   device:Kf_gpu.Device.t ->
   unit ->
   Kf_search.Stream.env
@@ -88,6 +124,7 @@ val stream :
   ?model:Kf_search.Objective.model ->
   ?sync_points:int list ->
   ?incremental:bool ->
+  ?arena:bool ->
   device:Kf_gpu.Device.t ->
   Kf_ir.Program.t ->
   Kf_search.Stream.t
@@ -135,6 +172,7 @@ val run_safe :
   ?model:Kf_search.Objective.model ->
   ?sync_points:int list ->
   ?incremental:bool ->
+  ?arena:bool ->
   ?guard:Kf_robust.Guard.config ->
   ?inject:Kf_robust.Inject.config ->
   ?checkpoint:Kf_search.Hgga.checkpoint ->

@@ -1,5 +1,11 @@
-type arch = Kepler | Maxwell
+type arch = Kepler | Maxwell | Pascal | Volta
 type precision = FP32 | FP64
+
+let arch_name = function
+  | Kepler -> "Kepler"
+  | Maxwell -> "Maxwell"
+  | Pascal -> "Pascal"
+  | Volta -> "Volta"
 
 type t = {
   name : string;
@@ -95,6 +101,85 @@ let gtx750ti =
 
 let all = [ k20x; k40; gtx750ti ]
 
+(* Post-paper descriptors for the multi-device portfolio sweep.  Numbers
+   are public: the P100/V100 datasheets and whitepapers (NVIDIA Tesla
+   P100 whitepaper WP-08019; Tesla V100 whitepaper WP-08608), with the
+   latency/bandwidth microarchitecture constants from "Dissecting the
+   NVIDIA Volta GPU Architecture via Microbenchmarking" (Jia et al.,
+   arXiv:1804.06826), which covers P100 as its Pascal comparison point.
+   Sustained bandwidth is the measured STREAM-like figure (~75-85% of
+   the datasheet peak), matching how Table IV reports the Kepler
+   parts. *)
+
+let p100 =
+  {
+    name = "P100";
+    arch = Pascal;
+    (* GP100: 56 SMs, 64KB SMEM/SM usable, 32-bit regfile 65536/SM. *)
+    smx_count = 56;
+    registers_per_smx = 65536;
+    smem_per_smx = 64 * 1024;
+    max_registers_per_thread = 255;
+    max_threads_per_smx = 2048;
+    max_blocks_per_smx = 32;
+    warp_size = 32;
+    (* GP100 SM: 2 processing blocks, each 1 scheduler x 2 dispatch. *)
+    schedulers_per_smx = 2;
+    dispatch_per_scheduler = 2;
+    clock_ghz = 1.328;
+    (* FP64 peak at base clock: 56 SM x 32 DP lanes x 2 x 1.328 GHz. *)
+    peak_gflops = 4760.;
+    native_precision = FP64;
+    (* HBM2: 732 GB/s datasheet, ~550 GB/s sustained STREAM. *)
+    gmem_bandwidth_gbs = 550.;
+    gmem_latency_cycles = 230;
+    smem_latency_cycles = 24;
+    smem_banks = 32;
+    smem_bank_width = 4;
+    reg_reuse_factor = 0.80;
+    readonly_cache_per_smx = 24 * 1024;
+    use_readonly_cache = false;
+  }
+
+let v100 =
+  {
+    name = "V100";
+    arch = Volta;
+    (* GV100: 80 SMs, up to 96KB SMEM carve-out of the 128KB L1. *)
+    smx_count = 80;
+    registers_per_smx = 65536;
+    smem_per_smx = 96 * 1024;
+    max_registers_per_thread = 255;
+    max_threads_per_smx = 2048;
+    max_blocks_per_smx = 32;
+    warp_size = 32;
+    (* GV100 SM: 4 processing blocks, each 1 scheduler x 1 dispatch. *)
+    schedulers_per_smx = 4;
+    dispatch_per_scheduler = 1;
+    clock_ghz = 1.53;
+    (* FP64 peak at boost: 80 SM x 32 DP lanes x 2 x 1.53 GHz. *)
+    peak_gflops = 7800.;
+    native_precision = FP64;
+    (* HBM2: 900 GB/s datasheet, ~790 GB/s sustained STREAM. *)
+    gmem_bandwidth_gbs = 790.;
+    (* Jia et al. measure ~375 cycles to HBM2, ~19 cycles to SMEM. *)
+    gmem_latency_cycles = 375;
+    smem_latency_cycles = 19;
+    smem_banks = 32;
+    smem_bank_width = 4;
+    reg_reuse_factor = 0.78;
+    readonly_cache_per_smx = 128 * 1024;
+    use_readonly_cache = false;
+  }
+
+(* [all] stays the paper trio (committed sweeps and baselines pin it);
+   the portfolio tooling spans [extended]. *)
+let extended = all @ [ p100; v100 ]
+
+let of_name name =
+  let norm s = String.lowercase_ascii s in
+  List.find_opt (fun d -> norm d.name = norm name) extended
+
 let with_smem dev bytes =
   if bytes <= 0 then invalid_arg "Device.with_smem: non-positive capacity";
   { dev with smem_per_smx = bytes; name = Printf.sprintf "%s+%dKB" dev.name (bytes / 1024) }
@@ -116,8 +201,8 @@ let bytes_per_cycle dev = dev.gmem_bandwidth_gbs /. dev.clock_ghz
 
 let pp ppf d =
   Format.fprintf ppf "%s (%s, %d SMX, %dKB SMEM/SMX, %.0f GB/s, %.2f TFLOPS %s)" d.name
-    (match d.arch with Kepler -> "Kepler" | Maxwell -> "Maxwell")
-    d.smx_count (d.smem_per_smx / 1024) d.gmem_bandwidth_gbs (d.peak_gflops /. 1000.)
+    (arch_name d.arch) d.smx_count (d.smem_per_smx / 1024) d.gmem_bandwidth_gbs
+    (d.peak_gflops /. 1000.)
     (match d.native_precision with FP64 -> "DP" | FP32 -> "SP")
 
 let equal a b = a = b

@@ -7,11 +7,14 @@
     Eqns. 2-10) additionally uses [gmem_bandwidth] and [peak_gflops]; the
     simulator uses everything. *)
 
-type arch = Kepler | Maxwell
+type arch = Kepler | Maxwell | Pascal | Volta
 (** Microarchitecture generation.  Maxwell differs in the paper-relevant
     ways: larger shared memory (L1 merged into texture path), twice the
     active-block limit, register spills going to L2, and slightly better
-    register reuse in generated code. *)
+    register reuse in generated code.  Pascal and Volta descriptors
+    (post-paper) exist for the multi-device portfolio sweep. *)
+
+val arch_name : arch -> string
 
 type precision = FP32 | FP64
 
@@ -59,7 +62,24 @@ val gtx750ti : t
     precision. *)
 
 val all : t list
-(** The three devices of Table IV, in paper order. *)
+(** The three devices of Table IV, in paper order.  Deliberately frozen:
+    committed sweeps and perf baselines iterate it. *)
+
+val p100 : t
+(** Nvidia Tesla P100 SXM2 (Pascal GP100); public datasheet numbers with
+    microbenchmarked latencies, see the citations in the implementation. *)
+
+val v100 : t
+(** Nvidia Tesla V100 SXM2 (Volta GV100); public datasheet numbers with
+    microbenchmarked latencies (Jia et al., arXiv:1804.06826). *)
+
+val extended : t list
+(** [all] plus the Pascal/Volta descriptors — the device table the
+    multi-device portfolio tooling sweeps by default. *)
+
+val of_name : string -> t option
+(** Case-insensitive lookup in {!extended} by descriptor name
+    (["k20x"], ["K40"], ["gtx750ti"], ["p100"], ["v100"]). *)
 
 val with_smem : t -> int -> t
 (** [with_smem dev bytes] is the hypothetical-architecture variant used by

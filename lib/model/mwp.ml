@@ -100,3 +100,53 @@ let group_runtime (i : Inputs.t) group =
         Fused.build ~device:i.Inputs.device ~meta:i.Inputs.meta ~exec:i.Inputs.exec ~group
       in
       runtime i f
+
+(* Allocation-free arena backend: instead of materializing the per-warp
+   instruction stream, [Feature_arena.mwp_iter_counts] counts one
+   vertical iteration's records and the vertical loop multiplies — the
+   same integer totals, then [evaluate]'s arithmetic verbatim. *)
+module A = Feature_arena
+
+let arena_runtime scr ~dev =
+  let a = A.arena scr in
+  if A.member_count scr = 1 then (A.measured_runtime a ~dev).(A.member scr 0)
+  else begin
+    let d = A.device a dev in
+    let nz = A.grid_nz a in
+    let mem_i, comp_i, sync_i = A.mwp_iter_counts scr in
+    let mem_insts = float_of_int (mem_i * nz) in
+    let comp_cycles = float_of_int (comp_i * nz) *. (32. /. Device.flops_per_cycle_smx d) in
+    let mem_l = float_of_int d.Device.gmem_latency_cycles in
+    let thr = A.grid_threads a in
+    let warps_per_block = (thr + d.Device.warp_size - 1) / d.Device.warp_size in
+    let occ =
+      let smem = A.smem_bytes_per_block scr in
+      let by_smem =
+        if smem = 0 then d.Device.max_blocks_per_smx else d.Device.smem_per_smx / smem
+      in
+      let by_regs = d.Device.registers_per_smx / (thr * A.registers_per_thread scr) in
+      max 1 (min (min by_smem by_regs) d.Device.max_blocks_per_smx)
+    in
+    let n = float_of_int (occ * warps_per_block) in
+    let bytes_per_cycle_sm = Device.bytes_per_cycle d /. float_of_int d.Device.smx_count in
+    let departure = 128. /. bytes_per_cycle_sm in
+    let mwp_bw = mem_l /. departure in
+    let mwp = Float.min (Float.min mwp_bw n) (mem_l /. 2.) in
+    let mem_cycles = mem_insts *. mem_l in
+    let cwp =
+      if comp_cycles <= 0. then n
+      else Float.min ((mem_cycles +. comp_cycles) /. comp_cycles) n
+    in
+    let exec_per_warp_set =
+      if cwp >= mwp then
+        (mem_cycles *. n /. mwp)
+        +. (if mem_insts > 0. then comp_cycles /. mem_insts *. (mwp -. 1.) else comp_cycles)
+      else mem_cycles +. (comp_cycles *. n)
+    in
+    let sync_cost = float_of_int (sync_i * nz) *. n *. 4. in
+    let total_blocks = A.grid_blocks a in
+    let concurrent = occ * d.Device.smx_count in
+    let waves = max 1 ((total_blocks + concurrent - 1) / concurrent) in
+    let cycles = (exec_per_warp_set +. sync_cost) *. float_of_int waves in
+    cycles /. (d.Device.clock_ghz *. 1e9)
+  end

@@ -21,3 +21,17 @@ let group_runtime (i : Inputs.t) group =
         Fused.build ~device:i.Inputs.device ~meta:i.Inputs.meta ~exec:i.Inputs.exec ~group
       in
       runtime i f
+
+module A = Feature_arena
+
+let arena_runtime scr ~dev =
+  let a = A.arena scr in
+  if A.member_count scr = 1 then (A.measured_runtime a ~dev).(A.member scr 0)
+  else begin
+    let d = A.device a dev in
+    let flops = A.total_flops scr in
+    let bytes = A.gmem_bytes scr in
+    let oi = if bytes > 0. then flops /. bytes else Float.infinity in
+    let attainable = Float.min d.Device.peak_gflops (oi *. d.Device.gmem_bandwidth_gbs) in
+    flops /. (attainable *. 1e9)
+  end

@@ -800,3 +800,35 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
         plan_cache = Objective.plan_cache_stats obj;
       };
   }
+
+(* Portfolio wrapper: the search itself is the single-device [solve]
+   (the primary device drives selection, bit-identical to a run without
+   a portfolio); the per-device winners and the cross-device front are
+   read off the objective's accumulated rows afterwards. *)
+type portfolio_result = {
+  primary : result;
+  devices : Kf_gpu.Device.t array;
+  front : Objective.pareto_entry list;
+  best_per_device : Objective.pareto_entry array;
+}
+
+let solve_portfolio ?params ?checkpoint ?resume_from ?budget ?seed_plans ?on_generation
+    ?interrupt obj =
+  if not (Objective.portfolio_active obj) then
+    invalid_arg "Hgga.solve_portfolio: objective has no device portfolio";
+  let primary =
+    solve ?params ?checkpoint ?resume_from ?budget ?seed_plans ?on_generation ?interrupt obj
+  in
+  let devices = Objective.portfolio_devices obj in
+  let front = Objective.pareto_front obj in
+  let best_per_device =
+    match front with
+    | [] -> [||]
+    | e0 :: rest ->
+        Array.init (Array.length devices) (fun d ->
+            List.fold_left
+              (fun best e ->
+                if e.Objective.pf_costs.(d) < best.Objective.pf_costs.(d) then e else best)
+              e0 rest)
+  in
+  { primary; devices; front; best_per_device }

@@ -205,3 +205,37 @@ val solve :
     [params] (different seed, population size, island count, or program).
     @raise Sys_error / [Snapshot.Malformed] on unreadable or corrupt
     snapshot files. *)
+
+type portfolio_result = {
+  primary : result;  (** the ordinary single-device search result *)
+  devices : Kf_gpu.Device.t array;
+      (** primary device first, then the portfolio devices in
+          configuration order; [front] cost vectors and
+          [best_per_device] are index-aligned with this array *)
+  front : Objective.pareto_entry list;
+      (** cross-device Pareto front over every plan the search evaluated
+          (see {!Objective.pareto_front}) *)
+  best_per_device : Objective.pareto_entry array;
+      (** for each device, the evaluated plan with the lowest projected
+          total on that device (ties resolved to the front's
+          deterministic order); [[||]] only if the front is empty *)
+}
+
+val solve_portfolio :
+  ?params:params ->
+  ?checkpoint:checkpoint ->
+  ?resume_from:string ->
+  ?budget:budget ->
+  ?seed_plans:Grouping.groups list ->
+  ?on_generation:(progress -> unit) ->
+  ?interrupt:(unit -> bool) ->
+  Objective.t ->
+  portfolio_result
+(** Runs {!solve} on the primary device, then reads the portfolio
+    results accumulated as a side effect of the search: the selection
+    pressure, evaluation counts and returned [primary] plan are
+    bit-identical to a plain {!solve} on the same objective — the
+    portfolio only adds per-device bookkeeping on cache misses.
+
+    @raise Invalid_argument if the objective was created without a
+    [portfolio] (see {!Objective.create}). *)

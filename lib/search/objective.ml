@@ -1,4 +1,5 @@
 module Inputs = Kf_model.Inputs
+module Feature_arena = Kf_model.Feature_arena
 module Fused = Kf_fusion.Fused
 module Plan = Kf_fusion.Plan
 module Metadata = Kf_ir.Metadata
@@ -314,10 +315,31 @@ let bounded_enforce b m_evictions =
 (* Per-domain evaluation context: private group-verdict and plan tables,
    the signature-encoding arena, and probe counters.  Touched only by
    its owning domain, so none of this needs a lock. *)
+(* A candidate plan offered to the cross-device Pareto front: its
+   canonical signature (the dedup key among equal-cost plans), its
+   canonical groups (for reporting) and its per-device total cost. *)
+type offer = { of_sig : int array; of_plan : int list list; of_costs : float array }
+
+type pareto_entry = { pf_plan : int list list; pf_costs : float array }
+
+(* Multi-device portfolio state.  [rows] memoizes full per-device cost
+   rows keyed by group signature (shared base merged like the verdict
+   cache; kept unbounded so the exactly-once [rows_merged] accounting
+   stays exact); [front] is the global non-dominated set, updated only
+   at merge points. *)
+type portfolio_state = {
+  pa : Feature_arena.t;
+  rows : float array bounded;
+  mutable front : offer list;
+  mutable rows_merged : int;  (* distinct group rows, exactly-once *)
+}
+
 type eval_local = {
   el_groups : verdict Sig_tbl.t;
   el_plans : plan_eval Sig_tbl.t;
   el_sb : Sigbuf.t;
+  el_rows : float array Sig_tbl.t;  (* portfolio rows not yet merged *)
+  mutable el_offers : offer list;  (* plan offers not yet merged *)
   mutable el_ghits : int;
   mutable el_gmisses : int;
   mutable el_phits : int;
@@ -333,6 +355,8 @@ type t = {
   inputs : Inputs.t;
   model : model;
   incremental : bool;
+  arena : Feature_arena.t option;  (* allocation-free evaluation leaf *)
+  port : portfolio_state option;  (* multi-device portfolio, requires arena *)
   scache : String_cache.t;  (* PR 3 path: active when [not incremental] *)
   gcache : verdict bounded;  (* incremental path: shared group-verdict base *)
   plans : plan_eval bounded;  (* incremental path: shared plan-level base *)
@@ -342,6 +366,8 @@ type t = {
   stats_lock : Mutex.t;  (* guards the cross-shard mutable counters below *)
   mutable evaluations : int;  (* merged + seeded exactly-once count *)
   mutable eval_time_s : float;
+  mutable alloc_words : float;  (* minor words allocated by timed evaluations *)
+  mutable timed_evals : int;  (* evaluations the metrics branch sampled *)
   mutable base_group : cache_stats;  (* resume seed for group-cache stats *)
   mutable base_plan : cache_stats;  (* resume seed for plan-cache stats *)
   time_counter : Kf_obs.Metrics.counter;
@@ -360,6 +386,7 @@ let m_group_evictions = Kf_obs.Metrics.counter "objective.group_cache_evictions"
 let m_plan_hits = Kf_obs.Metrics.counter "objective.plan_cache_hits"
 let m_plan_misses = Kf_obs.Metrics.counter "objective.plan_cache_misses"
 let m_plan_evictions = Kf_obs.Metrics.counter "objective.plan_cache_evictions"
+let g_alloc_per_eval = Kf_obs.Metrics.gauge "objective.alloc_per_eval"
 
 let model_name = function
   | Proposed -> "proposed"
@@ -371,7 +398,8 @@ let default_shards = 16
 
 let create ?(model = Proposed) ?(guard = fun eval group -> eval group)
     ?(faults = zero_faults ()) ?cache_capacity ?cache_shards ?(domains = 1)
-    ?plan_cache_capacity ?(incremental = true) inputs =
+    ?plan_cache_capacity ?(incremental = true) ?(arena = true) ?(portfolio = [])
+    inputs =
   (match cache_capacity with
   | Some c when c < 1 -> invalid_arg "Objective.create: cache_capacity must be positive"
   | _ -> ());
@@ -391,10 +419,25 @@ let create ?(model = Proposed) ?(guard = fun eval group -> eval group)
   let n_shards =
     match cache_capacity with Some c -> min cache_shards c | None -> cache_shards
   in
+  if portfolio <> [] && not arena then
+    invalid_arg "Objective.create: a device portfolio requires the arena path";
+  if portfolio <> [] && not incremental then
+    invalid_arg "Objective.create: a device portfolio requires the incremental path";
+  let feature_arena =
+    if arena then Some (Feature_arena.create inputs ~extra:portfolio) else None
+  in
+  let port =
+    match (portfolio, feature_arena) with
+    | [], _ | _, None -> None
+    | _ :: _, Some pa ->
+        Some { pa; rows = bounded_create None; front = []; rows_merged = 0 }
+  in
   {
     inputs;
     model;
     incremental;
+    arena = feature_arena;
+    port;
     scache = String_cache.create ~prefix:"objective.cache" ~capacity:cache_capacity ~shards:n_shards;
     gcache = bounded_create cache_capacity;
     plans = bounded_create plan_cache_capacity;
@@ -413,6 +456,8 @@ let create ?(model = Proposed) ?(guard = fun eval group -> eval group)
     stats_lock = Mutex.create ();
     evaluations = 0;
     eval_time_s = 0.;
+    alloc_words = 0.;
+    timed_evals = 0;
     base_group = zero_cache_stats;
     base_plan = zero_cache_stats;
     time_counter = Kf_obs.Metrics.counter ("objective.eval_us." ^ model_name model);
@@ -445,6 +490,8 @@ let local_of t =
           el_groups = Sig_tbl.create ();
           el_plans = Sig_tbl.create ();
           el_sb = Sigbuf.create ();
+          el_rows = Sig_tbl.create ();
+          el_offers = [];
           el_ghits = 0;
           el_gmisses = 0;
           el_phits = 0;
@@ -470,7 +517,7 @@ let project t f =
   | Simple -> Kf_model.Simple_model.runtime t.inputs f
   | Mwp -> Kf_model.Mwp.runtime t.inputs f
 
-let evaluate t group =
+let evaluate_legacy t group =
   match group with
   | [ k ] ->
       let cost = t.inputs.Inputs.measured_runtime.(k) in
@@ -498,6 +545,74 @@ let evaluate t group =
         else { feasible = true; cost = project t f; orig_sum }
       end
 
+let arena_cost t scr ~dev =
+  match t.model with
+  | Proposed -> Kf_model.Projection.arena_runtime scr ~dev
+  | Roofline -> Kf_model.Roofline.arena_runtime scr ~dev
+  | Simple -> Kf_model.Simple_model.arena_runtime scr ~dev
+  | Mwp -> Kf_model.Mwp.arena_runtime scr ~dev
+
+(* The allocation-free leaf: same check order, same booleans, same float
+   folds as [evaluate_legacy], over precomputed features.  The only
+   allocation left is the verdict record itself. *)
+let arena_evaluate t a group =
+  match group with
+  | [ k ] ->
+      let cost = t.inputs.Inputs.measured_runtime.(k) in
+      { feasible = true; cost; orig_sum = cost }
+  | _ ->
+      let orig_sum = Inputs.original_sum t.inputs group in
+      let scr = Feature_arena.load a group in
+      if not (Feature_arena.connected scr) then
+        { feasible = false; cost = Float.infinity; orig_sum }
+      else if Feature_arena.spans_sync scr then
+        { feasible = false; cost = Float.infinity; orig_sum }
+      else if not (Feature_arena.convex scr) then
+        { feasible = false; cost = Float.infinity; orig_sum }
+      else begin
+        Feature_arena.analyze scr;
+        Feature_arena.fuse scr ~dev:0;
+        let d = t.inputs.Inputs.device in
+        if
+          Feature_arena.vertical_hazard scr
+          || Feature_arena.smem_bytes_per_block scr > d.Device.smem_per_smx
+          || Feature_arena.registers_per_thread scr >= d.Device.max_registers_per_thread
+        then { feasible = false; cost = Float.infinity; orig_sum }
+        else { feasible = true; cost = arena_cost t scr ~dev:0; orig_sum }
+      end
+
+let evaluate t group =
+  match t.arena with
+  | Some a -> arena_evaluate t a group
+  | None -> evaluate_legacy t group
+
+(* Full per-device cost row of a multi-member group: structural checks
+   and analysis once, then one [fuse] + model call per device.  Device 0
+   reproduces [arena_evaluate]'s cost bit-for-bit (same code runs), so a
+   row is a superset of the primary verdict. *)
+let compute_row st t group =
+  let a = st.pa in
+  let ndev = Feature_arena.num_devices a in
+  let row = Array.make ndev Float.infinity in
+  let scr = Feature_arena.load a group in
+  if
+    Feature_arena.connected scr
+    && (not (Feature_arena.spans_sync scr))
+    && Feature_arena.convex scr
+  then begin
+    Feature_arena.analyze scr;
+    if not (Feature_arena.vertical_hazard scr) then
+      for dev = 0 to ndev - 1 do
+        Feature_arena.fuse scr ~dev;
+        let d = Feature_arena.device a dev in
+        if
+          Feature_arena.smem_bytes_per_block scr <= d.Device.smem_per_smx
+          && Feature_arena.registers_per_thread scr < d.Device.max_registers_per_thread
+        then row.(dev) <- arena_cost t scr ~dev
+      done
+  end;
+  row
+
 (* Evaluate a missed key outside any lock (evaluation is pure).  The guard
    sits between the cache and the raw evaluation, so any fault handling it
    performs (retry, quarantine) is memoized like a normal verdict.  The
@@ -506,12 +621,22 @@ let evaluate t group =
 let run_evaluation t group =
   if Kf_obs.Metrics.enabled () then begin
     let t0 = Unix.gettimeofday () in
+    let w0 = Gc.minor_words () in
     let v = t.guard (evaluate t) group in
+    (* [minor_words] reads the domain-local allocation pointer, so the
+       delta is this evaluation's own minor allocation — the hot-path
+       health gauge of the arena: legacy evaluations allocate thousands
+       of words per candidate, the arena path a handful. *)
+    let dw = Float.max 0. (Gc.minor_words () -. w0) in
     let dt = Float.max 0. (Unix.gettimeofday () -. t0) in
     Mutex.lock t.stats_lock;
     t.eval_time_s <- t.eval_time_s +. dt;
+    t.alloc_words <- t.alloc_words +. dw;
+    t.timed_evals <- t.timed_evals + 1;
+    let per_eval = t.alloc_words /. float_of_int t.timed_evals in
     Mutex.unlock t.stats_lock;
     Kf_obs.Metrics.add t.time_counter (int_of_float (dt *. 1e6));
+    Kf_obs.Metrics.set g_alloc_per_eval per_eval;
     v
   end
   else t.guard (evaluate t) group
@@ -567,6 +692,20 @@ let lookup_sig t sorted_group =
           l.el_evals <- l.el_evals + 1;
           let v = run_evaluation t sorted_group in
           Sig_tbl.add l.el_groups key ~hash v;
+          (* Portfolio: fill the per-device cost row alongside the
+             primary verdict.  Rows bypass the guard (they are pure model
+             outputs), and their exactly-once accounting mirrors the
+             verdict merge.  A verdict can re-miss after gcache eviction
+             while its unbounded row survives — hence the membership
+             check. *)
+          (match t.port with
+          | Some st ->
+              let len = Array.length key in
+              if
+                (not (Sig_tbl.mem_pre st.rows.btbl ~buf:key ~len ~hash))
+                && not (Sig_tbl.mem_pre l.el_rows ~buf:key ~len ~hash)
+              then Sig_tbl.add l.el_rows key ~hash (compute_row st t sorted_group)
+          | None -> ());
           v)
 
 let lookup t group =
@@ -583,6 +722,44 @@ let lookup t group =
         lookup_sig t
           (if Plan.is_sorted_strict group then group else List.sort Int.compare group)
   else lookup_string t group
+
+(* Per-device cost row of a canonical multi-member group, through the
+   two-level row cache (shared base, then this domain's local). *)
+let row_of_group st t l g =
+  let sb = l.el_sb in
+  Sigbuf.encode_group sb g;
+  let buf = Sigbuf.unsafe_buf sb and len = Sigbuf.length sb and hash = Sigbuf.hash sb in
+  match Sig_tbl.find_pre st.rows.btbl ~buf ~len ~hash with
+  | Some r -> r
+  | None -> (
+      match Sig_tbl.find_pre l.el_rows ~buf ~len ~hash with
+      | Some r -> r
+      | None ->
+          let key = Sigbuf.extract sb in
+          let r = compute_row st t g in
+          Sig_tbl.add l.el_rows key ~hash r;
+          r)
+
+(* Offer a freshly evaluated plan to the Pareto front: per-device totals
+   summed in canonical group order (deterministic), buffered locally and
+   folded into the global front at the next merge. *)
+let offer_plan st t l ~psig ~canon =
+  let ndev = Feature_arena.num_devices st.pa in
+  let costs = Array.make ndev 0. in
+  List.iter
+    (fun g ->
+      match g with
+      | [ k ] ->
+          for dev = 0 to ndev - 1 do
+            costs.(dev) <- costs.(dev) +. (Feature_arena.measured_runtime st.pa ~dev).(k)
+          done
+      | _ ->
+          let r = row_of_group st t l g in
+          for dev = 0 to ndev - 1 do
+            costs.(dev) <- costs.(dev) +. r.(dev)
+          done)
+    canon;
+  l.el_offers <- { of_sig = psig; of_plan = canon; of_costs = costs } :: l.el_offers
 
 let group_feasible t group = (lookup t group).feasible
 let group_cost t group = (lookup t group).cost
@@ -657,6 +834,9 @@ let eval_plan t ?base groups =
       in
       let pe = { pe_total = total; pe_costs = costs } in
       Sig_tbl.add l.el_plans psig ~hash pe;
+      (match t.port with
+      | Some st -> offer_plan st t l ~psig ~canon
+      | None -> ());
       pe
 
 let plan_cost t groups =
@@ -682,11 +862,56 @@ let original_sum t group = Inputs.original_sum t.inputs group
    identical for any domain count.  (Locals hide duplicates within one
    domain between merges, so the per-local fresh-key count is the
    per-local evaluation count.) *)
+(* Strict Pareto dominance over cost vectors: no worse everywhere,
+   strictly better somewhere.  Infinities compare like any float, so an
+   everywhere-infeasible plan is dominated by anything finite. *)
+let dominates a b =
+  let n = Array.length a in
+  let le = ref true and lt = ref false in
+  for i = 0 to n - 1 do
+    if a.(i) > b.(i) then le := false else if a.(i) < b.(i) then lt := true
+  done;
+  !le && !lt
+
+(* Fold one offer into the non-dominated set.  The result is independent
+   of offer order: dominance is transitive, and equal cost vectors are
+   deduplicated to the lexicographically smallest plan signature. *)
+let front_offer st o =
+  let shadowed e =
+    dominates e.of_costs o.of_costs
+    || (e.of_costs = o.of_costs && Stdlib.compare e.of_sig o.of_sig <= 0)
+  in
+  if not (List.exists shadowed st.front) then
+    st.front <-
+      o
+      :: List.filter
+           (fun e ->
+             (not (dominates o.of_costs e.of_costs))
+             && not (e.of_costs = o.of_costs && Stdlib.compare o.of_sig e.of_sig < 0))
+           st.front
+
 let merge_locals t =
   if t.incremental then begin
     let fresh = ref 0 in
     List.iter
       (fun (_, l) ->
+        (match t.port with
+        | Some st ->
+            Sig_tbl.iter
+              (fun key ~hash r ->
+                if
+                  not
+                    (Sig_tbl.mem_pre st.rows.btbl ~buf:key ~len:(Array.length key)
+                       ~hash)
+                then begin
+                  bounded_add st.rows key hash r;
+                  st.rows_merged <- st.rows_merged + 1
+                end)
+              l.el_rows;
+            Sig_tbl.clear l.el_rows;
+            List.iter (front_offer st) (List.rev l.el_offers);
+            l.el_offers <- []
+        | None -> ());
         Sig_tbl.iter
           (fun key ~hash v ->
             if
@@ -730,6 +955,58 @@ let merge_locals t =
     end;
     match t.memos with Some m -> Struct_memo.merge_memos m | None -> ()
   end
+
+(* ---- portfolio accessors (call at quiescent points, like merges) ------- *)
+
+let arena_enabled t = t.arena <> None
+let portfolio_active t = t.port <> None
+
+let portfolio_devices t =
+  match t.port with
+  | Some st -> Feature_arena.devices st.pa
+  | None -> [| t.inputs.Inputs.device |]
+
+let rows_evaluated t =
+  merge_locals t;
+  match t.port with Some st -> st.rows_merged | None -> 0
+
+let group_row t group =
+  match t.port with
+  | None -> None
+  | Some st -> (
+      match group with
+      | [ k ] ->
+          Some
+            (Array.init
+               (Feature_arena.num_devices st.pa)
+               (fun dev -> (Feature_arena.measured_runtime st.pa ~dev).(k)))
+      | _ ->
+          let sorted =
+            if Plan.is_sorted_strict group then group else List.sort Int.compare group
+          in
+          Some (Array.copy (row_of_group st t (local_of t) sorted)))
+
+let pareto_front t =
+  match t.port with
+  | None -> []
+  | Some st ->
+      merge_locals t;
+      let entries =
+        List.sort
+          (fun a b ->
+            let c = Stdlib.compare a.of_costs b.of_costs in
+            if c <> 0 then c else Stdlib.compare a.of_sig b.of_sig)
+          st.front
+      in
+      List.map (fun o -> { pf_plan = o.of_plan; pf_costs = Array.copy o.of_costs }) entries
+
+let alloc_per_eval t =
+  Mutex.lock t.stats_lock;
+  let v =
+    if t.timed_evals = 0 then 0. else t.alloc_words /. float_of_int t.timed_evals
+  in
+  Mutex.unlock t.stats_lock;
+  v
 
 (* Merged exactly-once count plus each domain's evaluations since its
    last merge.  Exact at merge points and for single-domain use (one

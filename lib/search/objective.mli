@@ -52,6 +52,11 @@ type cache_stats = { hits : int; misses : int; evictions : int; size : int }
     run concurrently (which domain's table answers a probe depends on
     work-stealing order); costs, plans and {!evaluations} are not. *)
 
+type pareto_entry = { pf_plan : int list list; pf_costs : float array }
+(** One plan on the cross-device Pareto front: canonical groups and its
+    total projected cost per portfolio device (index-aligned with
+    {!portfolio_devices}). *)
+
 val create :
   ?model:model ->
   ?guard:guard ->
@@ -61,11 +66,29 @@ val create :
   ?domains:int ->
   ?plan_cache_capacity:int ->
   ?incremental:bool ->
+  ?arena:bool ->
+  ?portfolio:Kf_model.Inputs.t list ->
   Kf_model.Inputs.t ->
   t
 (** Default model: [Proposed]; default guard: identity (no fault
     handling).  [faults] is the accounting record the guard shares with
     this objective so that solvers can surface it in their results.
+
+    [arena] (default [true]) selects the allocation-free evaluation
+    leaf: per-program features precomputed once into a
+    {!Kf_model.Feature_arena}, per-domain scratch evaluation, bit-identical
+    verdicts to the legacy [Fused.build]-per-candidate leaf.
+    [~arena:false] is the [--no-arena] escape hatch that restores the
+    legacy leaf byte-for-byte.
+
+    [portfolio] (default [[]]) lists additional devices' inputs (built
+    over the {e same program value}).  When non-empty, every cache-miss
+    group evaluation additionally fills a per-device cost row through
+    the shared arena (structural analysis runs once, not once per
+    device), and every distinct plan evaluated by the search is offered
+    to a cross-device Pareto front ({!pareto_front}).  The primary
+    search is unaffected: costs, verdicts and evaluation counts are
+    bit-identical with or without a portfolio.
 
     On the incremental path (the default) the group and plan memo tables
     are {e per-domain}: each worker domain probes a shared read-only
@@ -110,6 +133,45 @@ val create :
 
 val incremental : t -> bool
 (** Whether this objective uses the incremental evaluation pipeline. *)
+
+val arena_enabled : t -> bool
+(** Whether the allocation-free arena leaf is active. *)
+
+val portfolio_active : t -> bool
+(** Whether a multi-device portfolio was configured. *)
+
+val portfolio_devices : t -> Kf_gpu.Device.t array
+(** The device table rows and fronts are indexed by: the primary device
+    at index 0 followed by the portfolio devices in configuration order
+    ([[| primary |]] without a portfolio). *)
+
+val group_row : t -> int list -> float array option
+(** Per-device projected costs of one group ([None] without a
+    portfolio; [infinity] entries where the group is infeasible on that
+    device).  Index 0 is bit-identical to {!group_cost} under the
+    default guard.  Cached like verdicts; call from an evaluating
+    domain. *)
+
+val pareto_front : t -> pareto_entry list
+(** The non-dominated plans among every distinct plan this objective
+    evaluated ({!eval_plan} callers — i.e. the search trajectory), under
+    strict Pareto dominance of per-device total cost.  Equal cost
+    vectors are deduplicated to the lexicographically smallest canonical
+    plan signature, and the front is sorted by cost vector — so the
+    result is a deterministic function of the set of plans evaluated,
+    independent of domain count, merge timing and device order.  Runs
+    {!merge_locals}; call at a quiescent point.  Empty without a
+    portfolio. *)
+
+val rows_evaluated : t -> int
+(** Distinct multi-member groups whose per-device rows were computed,
+    counted exactly once across domains (merges first; call at a
+    quiescent point).  0 without a portfolio. *)
+
+val alloc_per_eval : t -> float
+(** Mean minor-heap words allocated per guarded evaluation — the
+    hot-path health gauge behind the [objective.alloc_per_eval] metric.
+    Sampled only while [Kf_obs.Metrics] is enabled; 0 with no samples. *)
 
 val struct_memos : t -> Struct_memo.memos option
 (** The structural-operator memo bundle ([Some] exactly when

@@ -102,6 +102,22 @@ let union_into dst src =
     Bytes.set dst.words w (Char.chr v)
   done
 
+let clear t = Bytes.fill t.words 0 (Bytes.length t.words) '\000'
+
+let intersects_outside a b ~outside =
+  same_universe a b;
+  same_universe a outside;
+  let rec go w =
+    w < Bytes.length a.words
+    && (Char.code (Bytes.get a.words w)
+        land Char.code (Bytes.get b.words w)
+        land lnot (Char.code (Bytes.get outside.words w))
+        land 0xFF
+        <> 0
+       || go (w + 1))
+  in
+  go 0
+
 let iter f t =
   for i = 0 to t.n - 1 do
     if mem t i then f i

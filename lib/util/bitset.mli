@@ -36,6 +36,14 @@ val disjoint : t -> t -> bool
 val union_into : t -> t -> unit
 (** [union_into dst src] adds all members of [src] to [dst]. *)
 
+val clear : t -> unit
+(** Remove every member in place (for scratch reuse on hot paths). *)
+
+val intersects_outside : t -> t -> outside:t -> bool
+(** [intersects_outside a b ~outside] is [not (is_empty (diff (inter a b)
+    outside))], computed without allocating the intermediate sets — the
+    path-convexity test of the allocation-free evaluator. *)
+
 val iter : (int -> unit) -> t -> unit
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 val choose : t -> int

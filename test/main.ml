@@ -15,6 +15,7 @@ let () =
       ("serve", Test_serve.suite);
       ("obs", Test_obs.suite);
       ("properties", Test_properties.suite);
+      ("arena", Test_arena.suite);
       ("extensions", Test_extensions.suite);
       ("oracle", Test_oracle.suite);
       ("renaming", Test_renaming.suite);

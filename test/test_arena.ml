@@ -1,0 +1,220 @@
+(* Differential tests of the allocation-free feature arena and the
+   multi-device portfolio: the arena evaluation leaf must be
+   bit-identical to the legacy Fused.build-per-candidate leaf on every
+   device and model, and a portfolio must observe the search without
+   perturbing it (exactly-once row accounting, device-order-invariant
+   Pareto front). *)
+
+module Device = Kf_gpu.Device
+module Program = Kf_ir.Program
+module Metadata = Kf_ir.Metadata
+module Datadep = Kf_graph.Datadep
+module Exec_order = Kf_graph.Exec_order
+module Plan = Kf_fusion.Plan
+module Measure = Kf_sim.Measure
+module Inputs = Kf_model.Inputs
+module Objective = Kf_search.Objective
+module Grouping = Kf_search.Grouping
+module Hgga = Kf_search.Hgga
+module Suite = Kf_workloads.Suite
+module Rng = Kf_util.Rng
+
+(* Random small program + context, derived deterministically from a seed. *)
+let context_of_seed seed =
+  let p =
+    Suite.generate
+      { Suite.default with Suite.kernels = 8 + (seed mod 7); arrays = 20 + (seed mod 11);
+        thread_load = 4 + (4 * (seed mod 3)); seed }
+  in
+  let meta = Metadata.build p in
+  let exec = Exec_order.build (Datadep.build p) in
+  (p, meta, exec)
+
+let inputs_for ~device (p, meta, exec) =
+  let measured_runtime =
+    Array.map (fun r -> r.Measure.runtime_s) (Measure.program_results ~device p)
+  in
+  Inputs.make ~device ~meta ~exec ~measured_runtime
+
+let bits = Int64.bits_of_float
+let models = [| Objective.Proposed; Objective.Roofline; Objective.Simple; Objective.Mwp |]
+
+(* The tentpole contract: for any program, device and model, the arena
+   leaf returns the same verdict bits as the legacy leaf. *)
+let prop_arena_matches_legacy =
+  QCheck.Test.make ~count:15
+    ~name:"arena verdicts bit-identical to legacy leaf (every device, every model)"
+    QCheck.small_int
+    (fun seed ->
+      let ctx = context_of_seed seed in
+      let model = models.(seed mod Array.length models) in
+      List.for_all
+        (fun device ->
+          let i = inputs_for ~device ctx in
+          let oa = Objective.create ~model i in
+          let ol = Objective.create ~model ~arena:false i in
+          let p, _, _ = ctx in
+          let rng = Rng.create ((seed * 17) + 1) in
+          let groups = Grouping.random_plan oa rng (Program.num_kernels p) in
+          List.for_all
+            (fun g ->
+              Objective.group_feasible oa g = Objective.group_feasible ol g
+              && bits (Objective.group_cost oa g) = bits (Objective.group_cost ol g)
+              && bits (Objective.original_sum oa g) = bits (Objective.original_sum ol g))
+            groups
+          && bits (Objective.plan_cost oa groups) = bits (Objective.plan_cost ol groups))
+        Device.extended)
+
+(* End to end: the whole GA trajectory — plan, cost, improvement history
+   and evaluation count — is unchanged by the arena leaf. *)
+let prop_search_identical =
+  QCheck.Test.make ~count:6 ~name:"full HGGA search identical with and without the arena"
+    QCheck.small_int
+    (fun seed ->
+      let ctx = context_of_seed seed in
+      let device = List.nth Device.extended (seed mod List.length Device.extended) in
+      let i = inputs_for ~device ctx in
+      let params =
+        { Hgga.default_params with Hgga.population_size = 24; max_generations = 40;
+          stall_generations = 15; seed = seed + 1 }
+      in
+      let ra = Hgga.solve ~params (Objective.create i) in
+      let rl = Hgga.solve ~params (Objective.create ~arena:false i) in
+      Plan.equal ra.Hgga.plan rl.Hgga.plan
+      && bits ra.Hgga.cost = bits rl.Hgga.cost
+      && ra.Hgga.stats.Hgga.evaluations = rl.Hgga.stats.Hgga.evaluations
+      && ra.Hgga.stats.Hgga.improvement_history = rl.Hgga.stats.Hgga.improvement_history)
+
+(* A portfolio must be a pure observer: primary costs keep their bits,
+   device 0 of every row matches the primary verdict, and rows are
+   accounted exactly once — one row per distinct evaluated group. *)
+let prop_portfolio_transparent =
+  QCheck.Test.make ~count:10
+    ~name:"portfolio: primary bits unchanged, row device 0 matches, rows counted once"
+    QCheck.small_int
+    (fun seed ->
+      let ctx = context_of_seed seed in
+      let i = inputs_for ~device:Device.k20x ctx in
+      let extras = List.map (fun d -> inputs_for ~device:d ctx) [ Device.p100; Device.v100 ] in
+      let op = Objective.create ~portfolio:extras i in
+      let o = Objective.create i in
+      let p, _, _ = ctx in
+      let n = Program.num_kernels p in
+      let rng = Rng.create (seed + 5) in
+      let ok = ref true in
+      for _ = 1 to 5 do
+        let groups = Grouping.random_plan op rng n in
+        if bits (Objective.plan_cost op groups) <> bits (Objective.plan_cost o groups) then
+          ok := false;
+        List.iter
+          (fun g ->
+            match Objective.group_row op g with
+            | None -> ok := false
+            | Some row ->
+                if Array.length row <> Array.length (Objective.portfolio_devices op) then
+                  ok := false;
+                if bits row.(0) <> bits (Objective.group_cost op g) then ok := false)
+          groups
+      done;
+      !ok
+      && Objective.rows_evaluated op = Objective.evaluations op
+      && Objective.group_row o [ 0 ] = None)
+
+(* The Pareto front is a function of the set of plans evaluated, not of
+   the order the portfolio devices were configured in: reversing the
+   portfolio must yield the same front modulo per-device reindexing. *)
+let prop_pareto_order_invariant =
+  QCheck.Test.make ~count:8 ~name:"Pareto front invariant under portfolio device order"
+    QCheck.small_int
+    (fun seed ->
+      let ctx = context_of_seed seed in
+      let i = inputs_for ~device:Device.k20x ctx in
+      let e1 = List.map (fun d -> inputs_for ~device:d ctx) [ Device.k40; Device.p100; Device.v100 ] in
+      let o1 = Objective.create ~portfolio:e1 i in
+      let o2 = Objective.create ~portfolio:(List.rev e1) i in
+      let p, _, _ = ctx in
+      let n = Program.num_kernels p in
+      let rng = Rng.create (seed + 23) in
+      for _ = 1 to 8 do
+        let groups = Grouping.random_plan o1 rng n in
+        ignore (Objective.eval_plan o1 groups);
+        ignore (Objective.eval_plan o2 groups)
+      done;
+      (* Rebase each entry's cost vector on device names so the two
+         orderings become comparable, then compare the fronts as sets. *)
+      let key o =
+        let devs = Array.map (fun d -> d.Device.name) (Objective.portfolio_devices o) in
+        List.map
+          (fun e ->
+            let by_name =
+              Array.to_list (Array.mapi (fun d c -> (devs.(d), bits c)) e.Objective.pf_costs)
+            in
+            (e.Objective.pf_plan, List.sort compare by_name))
+          (Objective.pareto_front o)
+        |> List.sort compare
+      in
+      key o1 = key o2)
+
+(* The extended device table: P100 and V100 present, names round-trip
+   through the case-insensitive lookup, unknown names are rejected. *)
+let test_device_table () =
+  Alcotest.(check bool)
+    "p100 in extended" true
+    (List.exists (Device.equal Device.p100) Device.extended);
+  Alcotest.(check bool)
+    "v100 in extended" true
+    (List.exists (Device.equal Device.v100) Device.extended);
+  List.iter
+    (fun d ->
+      (match Device.of_name d.Device.name with
+      | Some d' ->
+          Alcotest.(check bool) (d.Device.name ^ " round-trips") true (Device.equal d d')
+      | None -> Alcotest.fail (d.Device.name ^ " not found by of_name"));
+      match Device.of_name (String.lowercase_ascii d.Device.name) with
+      | Some d' ->
+          Alcotest.(check bool)
+            (d.Device.name ^ " lookup is case-insensitive")
+            true (Device.equal d d')
+      | None -> Alcotest.fail (d.Device.name ^ " lowercase lookup failed"))
+    Device.extended;
+  Alcotest.(check bool) "unknown name rejected" true (Device.of_name "tpu" = None)
+
+(* The alloc_per_eval gauge: with metrics enabled both leaves record
+   samples, and the arena leaf allocates strictly less than the legacy
+   Fused.build-per-candidate leaf. *)
+let test_alloc_gauge () =
+  let ctx = context_of_seed 3 in
+  let i = inputs_for ~device:Device.k20x ctx in
+  let oa = Objective.create i in
+  let ol = Objective.create ~arena:false i in
+  let p, _, _ = ctx in
+  let n = Program.num_kernels p in
+  Kf_obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Kf_obs.Metrics.set_enabled false)
+    (fun () ->
+      let rng = Rng.create 42 in
+      for _ = 1 to 10 do
+        let groups = Grouping.random_plan oa rng n in
+        ignore (Objective.plan_cost oa groups);
+        ignore (Objective.plan_cost ol groups)
+      done);
+  let aa = Objective.alloc_per_eval oa and al = Objective.alloc_per_eval ol in
+  Alcotest.(check bool) "arena leaf records samples" true (aa > 0.);
+  Alcotest.(check bool) "legacy leaf records samples" true (al > 0.);
+  Alcotest.(check bool)
+    (Printf.sprintf "arena allocates less than legacy (%.0f < %.0f words/eval)" aa al)
+    true (aa < al)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_arena_matches_legacy;
+      prop_search_identical;
+      prop_portfolio_transparent;
+      prop_pareto_order_invariant;
+    ]
+  @ [
+      Alcotest.test_case "extended device table" `Quick test_device_table;
+      Alcotest.test_case "alloc_per_eval gauge" `Quick test_alloc_gauge;
+    ]

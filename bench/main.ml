@@ -1626,6 +1626,119 @@ let exp_bench_pareto () =
     single_speedup ndev portfolio_speedup
 
 (* ------------------------------------------------------------------ *)
+(* Horizontal composition benchmark (BENCH_pr10.json)                   *)
+(* ------------------------------------------------------------------ *)
+
+let bench_horizontal_path = "BENCH_pr10.json"
+
+let exp_bench_horizontal () =
+  header "bench_horizontal"
+    ("Horizontal composition on the video workload -> " ^ bench_horizontal_path);
+  let module J = Kf_obs.Json in
+  let spec = Kf_workloads.Video.default in
+  let p = Kf_workloads.Video.generate spec in
+  let ctx = prepare p in
+  let params =
+    { search_params with Hgga.max_generations = 200; stall_generations = 40 }
+  in
+  let hparams = { params with Hgga.horizontal = true } in
+  let float_bits_equal a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) in
+  (* Correctness first: with horizontal off the search must still be the
+     historical vertical-only search, bit for bit, run to run. *)
+  let rv = Hgga.solve ~params (Pipeline.objective ctx) in
+  let rv2 = Hgga.solve ~params (Pipeline.objective ctx) in
+  let vertical_deterministic =
+    Plan.equal rv.Hgga.plan rv2.Hgga.plan
+    && float_bits_equal rv.Hgga.cost rv2.Hgga.cost
+    && rv.Hgga.stats.Hgga.improvement_history = rv2.Hgga.stats.Hgga.improvement_history
+    && rv.Hgga.stats.Hgga.evaluations = rv2.Hgga.stats.Hgga.evaluations
+  in
+  if not vertical_deterministic then begin
+    Format.eprintf "bench_horizontal: vertical-only search is not deterministic@.";
+    exit 1
+  end;
+  let rh = Hgga.solve ~params:hparams (Pipeline.objective ctx) in
+  let packs = Plan.horizontal_pack_count rh.Hgga.plan in
+  let planes = Plan.horizontal_plane_count rh.Hgga.plan in
+  if packs = 0 then begin
+    Format.eprintf "bench_horizontal: no horizontal group in the winning plan@.";
+    exit 1
+  end;
+  if not (rh.Hgga.cost < rv.Hgga.cost) then begin
+    Format.eprintf
+      "bench_horizontal: horizontal best (%.6e) does not beat vertical-only (%.6e)@."
+      rh.Hgga.cost rv.Hgga.cost;
+    exit 1
+  end;
+  let cost_improvement = rv.Hgga.cost /. rh.Hgga.cost in
+  (* The simulator prices plane packs with the same combined-pressure
+     model, so the measured ordering must agree with the projected one. *)
+  let ov = Pipeline.apply ctx rv in
+  let oh = Pipeline.apply ctx rh in
+  let measured_improvement = ov.Pipeline.fused_runtime /. oh.Pipeline.fused_runtime in
+  let t =
+    Table.create
+      [
+        ("plan", Table.Left); ("projected cost", Table.Right);
+        ("measured (ms)", Table.Right); ("launches", Table.Right);
+        ("horizontal", Table.Right);
+      ]
+  in
+  let row name (r : Hgga.result) (o : Pipeline.outcome) =
+    Table.add_row t
+      [
+        name; Printf.sprintf "%.4e" r.Hgga.cost;
+        Table.cell_f ~decimals:3 (o.Pipeline.fused_runtime *. 1e3);
+        string_of_int (Plan.num_units r.Hgga.plan);
+        Printf.sprintf "%d packs / %d planes"
+          (Plan.horizontal_pack_count r.Hgga.plan)
+          (Plan.horizontal_plane_count r.Hgga.plan);
+      ]
+  in
+  row "vertical-only" rv ov;
+  row "horizontal" rh oh;
+  Table.print t;
+  Format.printf
+    "projected improvement %.3fx | measured improvement %.3fx | %d packs over %d planes@."
+    cost_improvement measured_improvement packs planes;
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "kfuse-bench-horizontal/1");
+        ("workload", J.Str spec.Kf_workloads.Video.name);
+        ("frames", J.Int spec.Kf_workloads.Video.frames);
+        ("stages", J.Int spec.Kf_workloads.Video.stages);
+        ("kernels", J.Int (Program.num_kernels p));
+        ("device", J.Str k20x.Device.name);
+        ("params",
+         J.Obj
+           [
+             ("population_size", J.Int params.Hgga.population_size);
+             ("max_generations", J.Int params.Hgga.max_generations);
+             ("stall_generations", J.Int params.Hgga.stall_generations);
+             ("seed", J.Int params.Hgga.seed);
+           ]);
+        ("vertical_deterministic", J.Bool vertical_deterministic);
+        ("vertical_cost", J.Float rv.Hgga.cost);
+        ("horizontal_cost", J.Float rh.Hgga.cost);
+        ("cost_improvement", J.Float cost_improvement);
+        ("measured_improvement", J.Float measured_improvement);
+        ("horizontal_packs", J.Int packs);
+        ("horizontal_planes", J.Int planes);
+        ("launches_vertical", J.Int (Plan.num_units rv.Hgga.plan));
+        ("launches_horizontal", J.Int (Plan.num_units rh.Hgga.plan));
+      ]
+  in
+  let oc = open_out (bench_horizontal_path ^ ".tmp") in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (J.to_string doc);
+      output_char oc '\n');
+  Sys.rename (bench_horizontal_path ^ ".tmp") bench_horizontal_path;
+  Format.printf "wrote %s@." bench_horizontal_path
+
+(* ------------------------------------------------------------------ *)
 (* registry                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1657,6 +1770,7 @@ let experiments =
     ("bench_scaling", exp_bench_scaling);
     ("bench_incremental", exp_bench_incremental);
     ("bench_pareto", exp_bench_pareto);
+    ("bench_horizontal", exp_bench_horizontal);
   ]
 
 let () =

@@ -229,6 +229,30 @@ let gate_pareto ~baseline ~current =
     "portfolio speedup %.2fx within %.0f%% of baseline %.2fx" port (100. *. tolerance)
     base_port
 
+(* The horizontal-composition bench ("kfuse-bench-horizontal/1").  The
+   search is deterministic and the quantities are model projections (no
+   wall clock), so the cross-run comparisons are exact equalities: any
+   drift means the search or cost model changed — if intentional,
+   regenerate the baseline in the same commit. *)
+let gate_horizontal ~baseline ~current =
+  Format.printf "horizontal:@.";
+  check
+    (get [ "vertical_deterministic" ] bool_of current = Some true)
+    "vertical-only search deterministic run to run";
+  let packs = require [ "horizontal_packs" ] J.to_int_opt current in
+  check (packs >= 1) "winning plan uses horizontal composition (%d packs)" packs;
+  let imp = require [ "cost_improvement" ] J.to_float_opt current in
+  check (imp > 1.0) "horizontal best strictly beats vertical-only (projected %.3fx)" imp;
+  let measured = require [ "measured_improvement" ] J.to_float_opt current in
+  check (measured > 1.0)
+    "simulator confirms the ordering (measured improvement %.3fx)" measured;
+  let base_imp = require [ "cost_improvement" ] J.to_float_opt baseline in
+  check (imp = base_imp)
+    "projected improvement unchanged (%.6f vs baseline %.6f)" imp base_imp;
+  let base_measured = require [ "measured_improvement" ] J.to_float_opt baseline in
+  check (measured = base_measured)
+    "measured improvement unchanged (%.6f vs baseline %.6f)" measured base_measured
+
 (* Schema dispatch: one row per report family the gate understands.  An
    unknown schema is a hard error, not a silent fall-through — a new
    bench must land with its gate (or an explicit entry) in the same
@@ -240,6 +264,7 @@ let gates =
     ("kfuse-bench-stream/1", gate_stream);
     ("kfuse-bench-scaling/2", gate_scaling);
     ("kfuse-bench-pareto/1", gate_pareto);
+    ("kfuse-bench-horizontal/1", gate_horizontal);
   ]
 
 let () =

@@ -25,7 +25,7 @@ module Suite = Kf_workloads.Suite
 (* --- workload + device parsing --- *)
 
 let workload_names =
-  [ "motivating"; "cloverleaf"; "tealeaf"; "scale-les"; "scale-les-rk"; "homme" ]
+  [ "motivating"; "cloverleaf"; "tealeaf"; "scale-les"; "scale-les-rk"; "homme"; "video" ]
 
 let load_workload = function
   | "motivating" -> Kf_workloads.Motivating.program ()
@@ -34,6 +34,24 @@ let load_workload = function
   | "scale-les" -> Kf_workloads.Scale_les.program ()
   | "scale-les-rk" -> Kf_workloads.Scale_les.rk_core ()
   | "homme" -> Kf_workloads.Homme.program ()
+  | "video" -> Kf_workloads.Video.generate Kf_workloads.Video.default
+  | s when String.length s > 6 && String.sub s 0 6 = "video:" ->
+      (* video:frames=6,stages=3,load=5,seed=7 *)
+      let spec = String.sub s 6 (String.length s - 6) in
+      let module V = Kf_workloads.Video in
+      let config =
+        List.fold_left
+          (fun (c : V.spec) kv ->
+            match String.split_on_char '=' kv with
+            | [ "frames"; v ] -> { c with V.frames = int_of_string v }
+            | [ "stages"; v ] -> { c with V.stages = int_of_string v }
+            | [ "load"; v ] -> { c with V.thread_load = int_of_string v }
+            | [ "seed"; v ] -> { c with V.seed = int_of_string v }
+            | _ -> invalid_arg (Printf.sprintf "unknown video attribute %S" kv))
+          V.default
+          (String.split_on_char ',' spec)
+      in
+      V.generate config
   | s when String.length s > 5 && String.sub s 0 5 = "file:" ->
       Kf_ir.Program_io.parse_file (String.sub s 5 (String.length s - 5))
   | s when Filename.check_suffix s ".kf" -> Kf_ir.Program_io.parse_file s
@@ -59,7 +77,8 @@ let load_workload = function
   | other ->
       invalid_arg
         (Printf.sprintf
-           "unknown workload %S (try: %s, suite:kernels=30,..., or a .kf program file)" other
+           "unknown workload %S (try: %s, suite:kernels=30,..., video:frames=6,..., or a \
+            .kf program file)" other
            (String.concat ", " workload_names))
 
 let device_of_name name =
@@ -81,7 +100,8 @@ let model_of_name = function
 (* --- common args --- *)
 
 let workload_arg =
-  let doc = "Workload: one of motivating, cloverleaf, scale-les, scale-les-rk, homme, or suite:kernels=N,arrays=M,..." in
+  let doc = "Workload: one of motivating, cloverleaf, scale-les, scale-les-rk, homme, video, \
+             suite:kernels=N,arrays=M,..., or video:frames=N,stages=M,..." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
 
 let device_arg =
@@ -115,6 +135,14 @@ let no_arena_arg =
              each candidate through the legacy per-candidate construction.  A \
              throughput knob only: results are bit-identical either way." in
   Arg.(value & flag & info [ "no-arena" ] ~doc)
+
+let no_horizontal_arg =
+  let doc = "Restrict the search to vertical fusion only.  By default the search also \
+             composes independent kernels side by side as per-plane sub-grids of one \
+             launch (horizontal fusion); with this flag the search space, the results \
+             and the printed output are byte-identical to the historical vertical-only \
+             solver." in
+  Arg.(value & flag & info [ "no-horizontal" ] ~doc)
 
 let params_of generations population seed =
   { Hgga.default_params with Hgga.max_generations = generations; population_size = population; seed }
@@ -156,13 +184,14 @@ let parallel_term =
   in
   Term.(const make $ domains_arg $ islands_arg $ interval_arg $ size_arg)
 
-let params_with_parallel popts generations population seed =
+let params_with_parallel ?(horizontal = false) popts generations population seed =
   {
     (params_of generations population seed) with
     Hgga.domains = popts.domains;
     islands = popts.islands;
     migration_interval = popts.migration_interval;
     migration_size = popts.migration_size;
+    horizontal;
   }
 
 (* --- robustness options (checkpoint/resume, budgets, fault injection) --- *)
@@ -378,8 +407,8 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Dependency and traffic analysis") Term.(const run $ workload_arg)
 
 let search_cmd =
-  let run workload device model generations population seed no_incremental no_arena popts
-      ropts oopts =
+  let run workload device model generations population seed no_incremental no_arena
+      no_horizontal popts ropts oopts =
     with_obs oopts @@ fun () ->
     let p = load_workload workload in
     let device = device_of_name device in
@@ -394,7 +423,9 @@ let search_cmd =
     let r =
       match
         Hgga.solve
-          ~params:(params_with_parallel popts generations population seed)
+          ~params:
+            (params_with_parallel ~horizontal:(not no_horizontal) popts generations
+               population seed)
           ?checkpoint:ropts.checkpoint ?resume_from:ropts.resume ?budget:ropts.budget obj
       with
       | r -> r
@@ -410,32 +441,50 @@ let search_cmd =
       (r.Hgga.cost *. 1e3)
       (ctx.Pipeline.original_runtime *. 1e3)
       r.Hgga.stats.Hgga.generations r.Hgga.stats.Hgga.evaluations r.Hgga.stats.Hgga.wall_time_s;
-    if Kf_obs.Metrics.enabled () then
+    if Kf_obs.Metrics.enabled () then begin
+      Kf_obs.Metrics.set
+        (Kf_obs.Metrics.gauge "plan.horizontal_groups")
+        (float_of_int (Plan.horizontal_pack_count r.Hgga.plan));
+      Kf_obs.Metrics.set
+        (Kf_obs.Metrics.gauge "plan.horizontal_planes")
+        (float_of_int (Plan.horizontal_plane_count r.Hgga.plan));
       say oopts "cache: %.1f%% hit rate over %d lookups@."
         (Objective.cache_hit_rate obj *. 100.)
         (let cs = Objective.cache_stats obj in
-         cs.Objective.hits + cs.Objective.misses);
+         cs.Objective.hits + cs.Objective.misses)
+    end;
     print_search_health oopts ropts r.Hgga.stats
   in
   Cmd.v
     (Cmd.info "search" ~doc:"Run the HGGA search and print the best plan")
     Term.(const run $ workload_arg $ device_arg $ model_arg $ generations_arg $ population_arg
-          $ seed_arg $ no_incremental_arg $ no_arena_arg $ parallel_term $ robust_term
-          $ obs_term)
+          $ seed_arg $ no_incremental_arg $ no_arena_arg $ no_horizontal_arg $ parallel_term
+          $ robust_term $ obs_term)
 
 let fuse_cmd =
-  let run workload device model generations population seed no_incremental no_arena popts
-      ropts oopts =
+  let run workload device model generations population seed no_incremental no_arena
+      no_horizontal popts ropts oopts =
     with_obs oopts @@ fun () ->
     let p = load_workload workload in
     let device = device_of_name device in
     match
-      Pipeline.run_safe ~params:(params_with_parallel popts generations population seed)
+      Pipeline.run_safe
+        ~params:
+          (params_with_parallel ~horizontal:(not no_horizontal) popts generations population
+             seed)
         ~model:(model_of_name model) ~incremental:(not no_incremental)
         ~arena:(not no_arena) ?inject:ropts.inject ?checkpoint:ropts.checkpoint
         ?resume_from:ropts.resume ?budget:ropts.budget ~device p
     with
     | Ok o ->
+        if Kf_obs.Metrics.enabled () then begin
+          Kf_obs.Metrics.set
+            (Kf_obs.Metrics.gauge "plan.horizontal_groups")
+            (float_of_int (Plan.horizontal_pack_count o.Pipeline.search.Hgga.plan));
+          Kf_obs.Metrics.set
+            (Kf_obs.Metrics.gauge "plan.horizontal_planes")
+            (float_of_int (Plan.horizontal_plane_count o.Pipeline.search.Hgga.plan))
+        end;
         say oopts "%a@." Pipeline.pp_outcome o;
         print_search_health oopts ropts o.Pipeline.search.Hgga.stats
     | Error e ->
@@ -445,8 +494,8 @@ let fuse_cmd =
   Cmd.v
     (Cmd.info "fuse" ~doc:"Search, apply the fusion, and measure the speedup (fault-tolerant)")
     Term.(const run $ workload_arg $ device_arg $ model_arg $ generations_arg $ population_arg
-          $ seed_arg $ no_incremental_arg $ no_arena_arg $ parallel_term $ robust_term
-          $ obs_term)
+          $ seed_arg $ no_incremental_arg $ no_arena_arg $ no_horizontal_arg $ parallel_term
+          $ robust_term $ obs_term)
 
 let pareto_cmd =
   let run workload device devices model generations population seed oopts =

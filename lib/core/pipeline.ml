@@ -173,11 +173,23 @@ let validated_result ctx obj (search : Hgga.result) =
   | violations ->
       let n = Program.num_kernels ctx.program in
       let bad = List.filter_map Plan.violation_group violations in
+      let comps_only =
+        List.for_all (function Plan.Planes_dependent _ -> true | _ -> false) violations
+      in
       let whole_plan_broken =
         List.exists (fun v -> Plan.violation_group v = None) violations
       in
       let degraded =
-        if whole_plan_broken then identity_result ctx obj search
+        if comps_only then begin
+          (* Only the launch composition is illegal; the vertical
+             partition underneath validated clean, so rebuild it with
+             every group in its own launch instead of degrading all the
+             way to identity. *)
+          let groups = Plan.groups search.Hgga.plan in
+          let plan = Plan.of_groups ~n groups in
+          { search with Hgga.groups; plan; cost = Objective.plan_cost obj groups }
+        end
+        else if whole_plan_broken then identity_result ctx obj search
         else begin
           let groups =
             List.concat_map
@@ -233,13 +245,23 @@ let run_safe ?params ?model ?sync_points ?incremental ?arena ?guard ?inject ?che
 let pp_outcome ppf o =
   let n = Program.num_kernels o.context.program in
   let plan = o.search.Hgga.plan in
+  (* [num_units] counts launches (horizontal packs collapse to one);
+     it equals [num_groups] on a vertical plan, so vertical output is
+     byte-identical to the historical format. *)
+  let horizontal =
+    let packs = Plan.horizontal_pack_count plan in
+    if packs = 0 then ""
+    else
+      Format.asprintf " [%d horizontal, %d planes]" packs (Plan.horizontal_plane_count plan)
+  in
   Format.fprintf ppf
     "@[<v>%s on %s:@,\
-     %d original kernels -> %d units (%d fused kernels covering %d originals)@,\
+     %d original kernels -> %d units%s (%d fused kernels covering %d originals)@,\
      search: %d generations, %d evaluations, %.2f s@,\
      runtime: %.3f ms -> %.3f ms  speedup %.2fx@]"
     o.context.program.Program.name o.context.device.Device.name n
-    (Plan.num_groups plan) (Plan.fused_kernel_count plan) (Plan.fused_member_count plan)
+    (Plan.num_units plan) horizontal (Plan.fused_kernel_count plan)
+    (Plan.fused_member_count plan)
     o.search.Hgga.stats.Hgga.generations o.search.Hgga.stats.Hgga.evaluations
     o.search.Hgga.stats.Hgga.wall_time_s
     (o.context.original_runtime *. 1e3)

@@ -247,7 +247,19 @@ let run_fused ?orig_of (fp : Fused_program.t) =
       | Fused_program.Fused f ->
           if Fused.is_singleton f then
             step_original ~map p state (Program.kernel p (List.hd f.Fused.members))
-          else step_fused ~map p state f)
+          else step_fused ~map p state f
+      | Fused_program.Horizontal planes ->
+          (* Planes of one horizontal launch are data-independent, so any
+             execution order yields the same state; run them in canonical
+             plane order. *)
+          List.iter
+            (function
+              | Fused_program.P_original k -> step_original ~map p state (Program.kernel p k)
+              | Fused_program.P_fused f ->
+                  if Fused.is_singleton f then
+                    step_original ~map p state (Program.kernel p (List.hd f.Fused.members))
+                  else step_fused ~map p state f)
+            planes)
     fp.Fused_program.units;
   state
 

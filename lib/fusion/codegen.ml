@@ -151,7 +151,18 @@ let emit_host_sequence (fp : Fused_program.t) =
           Buffer.add_string buf
             (Printf.sprintf "%s<<<G, B>>>(...);\n" (Program.kernel p k).Kernel.name)
       | Fused_program.Fused f ->
-          Buffer.add_string buf (Printf.sprintf "%s<<<G, B>>>(...);\n" f.Fused.name))
+          Buffer.add_string buf (Printf.sprintf "%s<<<G, B>>>(...);\n" f.Fused.name)
+      | Fused_program.Horizontal planes ->
+          (* One launch over planes*G blocks; each block dispatches on its
+             plane id (blockIdx.x / G) to its plane's body. *)
+          let name = function
+            | Fused_program.P_original k -> (Program.kernel p k).Kernel.name
+            | Fused_program.P_fused f -> f.Fused.name
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "hfuse_%s<<<%d*G, B>>>(...); /* per-plane sub-grids */\n"
+               (String.concat "__" (List.map name planes))
+               (List.length planes)))
     fp.Fused_program.units;
   Buffer.contents buf
 

@@ -2,23 +2,32 @@ module Program = Kf_ir.Program
 module Exec_order = Kf_graph.Exec_order
 module Dag = Kf_graph.Dag
 
-type unit_ = Original of int | Fused of Fused.t
+type plane = P_original of int | P_fused of Fused.t
+
+type unit_ = Original of int | Fused of Fused.t | Horizontal of plane list
 
 type t = { program : Kf_ir.Program.t; plan : Plan.t; units : unit_ list }
 
+let plane_of_group ~device ~meta ~exec = function
+  | [ k ] -> P_original k
+  | g -> P_fused (Fused.build ~device ~meta ~exec ~group:g)
+
 let build ~device ~meta ~exec plan =
   let p = Kf_ir.Metadata.program meta in
-  let groups = Array.of_list (Plan.groups plan) in
-  let ngroups = Array.length groups in
-  let group_of_kernel = Array.make (Plan.num_kernels plan) (-1) in
-  Array.iteri (fun gi g -> List.iter (fun k -> group_of_kernel.(k) <- gi) g) groups;
-  (* Condensed dependency graph over groups. *)
-  let cond = Dag.create ngroups in
+  (* Condense by launch unit — the pack.  For all-vertical plans the
+     packs are exactly the groups, so this is the historical behavior. *)
+  let packs = Array.of_list (Plan.composed plan) in
+  let npacks = Array.length packs in
+  let pack_of_kernel = Array.make (Plan.num_kernels plan) (-1) in
+  Array.iteri
+    (fun ci pack -> List.iter (List.iter (fun k -> pack_of_kernel.(k) <- ci)) pack)
+    packs;
+  let cond = Dag.create npacks in
   let dag = Exec_order.dag exec in
   for u = 0 to Dag.num_nodes dag - 1 do
     List.iter
       (fun v ->
-        let gu = group_of_kernel.(u) and gv = group_of_kernel.(v) in
+        let gu = pack_of_kernel.(u) and gv = pack_of_kernel.(v) in
         if gu <> gv then Dag.add_edge cond gu gv)
       (Dag.succs dag u)
   done;
@@ -27,25 +36,48 @@ let build ~device ~meta ~exec plan =
   let order = Dag.topo_sort cond in
   let units =
     List.map
-      (fun gi ->
-        match groups.(gi) with
-        | [ k ] -> Original k
-        | g -> Fused (Fused.build ~device ~meta ~exec ~group:g))
+      (fun ci ->
+        match packs.(ci) with
+        | [ [ k ] ] -> Original k
+        | [ g ] -> Fused (Fused.build ~device ~meta ~exec ~group:g)
+        | planes -> Horizontal (List.map (plane_of_group ~device ~meta ~exec) planes))
       order
   in
   { program = p; plan; units }
 
 let fused_kernels t =
-  List.filter_map (function Fused f when not (Fused.is_singleton f) -> Some f | _ -> None) t.units
+  List.concat_map
+    (function
+      | Fused f when not (Fused.is_singleton f) -> [ f ]
+      | Horizontal planes ->
+          List.filter_map
+            (function P_fused f when not (Fused.is_singleton f) -> Some f | _ -> None)
+            planes
+      | _ -> [])
+    t.units
 
-let unit_members = function Original k -> [ k ] | Fused f -> f.Fused.members
+let plane_members = function P_original k -> [ k ] | P_fused f -> f.Fused.members
+
+let unit_members = function
+  | Original k -> [ k ]
+  | Fused f -> f.Fused.members
+  | Horizontal planes -> List.concat_map plane_members planes
 
 let pp ppf t =
   Format.fprintf ppf "%s fused into %d units:@." t.program.Program.name (List.length t.units);
+  let plane ppf = function
+    | P_original k ->
+        Format.fprintf ppf "%s (original)" (Program.kernel t.program k).Kf_ir.Kernel.name
+    | P_fused f -> Fused.pp ppf f
+  in
   List.iter
     (fun u ->
       match u with
       | Original k ->
           Format.fprintf ppf "  %s (original)@." (Program.kernel t.program k).Kf_ir.Kernel.name
-      | Fused f -> Format.fprintf ppf "  %a@." Fused.pp f)
+      | Fused f -> Format.fprintf ppf "  %a@." Fused.pp f
+      | Horizontal planes ->
+          Format.fprintf ppf "  horizontal[%d planes]: %a@." (List.length planes)
+            (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " + ") plane)
+            planes)
     t.units

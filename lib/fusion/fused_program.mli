@@ -2,9 +2,16 @@
     sequence, mixing untouched original kernels (singleton groups) and new
     fused kernels. *)
 
+type plane =
+  | P_original of int  (** singleton plane: original kernel id *)
+  | P_fused of Fused.t  (** vertically fused plane *)
+
 type unit_ =
   | Original of int  (** singleton group: original kernel id, called as-is *)
   | Fused of Fused.t
+  | Horizontal of plane list
+      (** one horizontal launch: each plane runs on its own sub-grid
+          (HFuse, arXiv 2007.01277); planes in canonical order *)
 
 type t = {
   program : Kf_ir.Program.t;  (** the original program *)
@@ -24,8 +31,10 @@ val build :
     condensed graph would be cyclic). *)
 
 val fused_kernels : t -> Fused.t list
-(** Multi-member units only, in invocation order. *)
+(** Multi-member vertically fused kernels (including planes of horizontal
+    units), in invocation order. *)
 
 val unit_members : unit_ -> int list
+val plane_members : plane -> int list
 
 val pp : Format.formatter -> t -> unit

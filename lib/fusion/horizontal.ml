@@ -1,0 +1,95 @@
+module Device = Kf_gpu.Device
+
+(* Registers consumed by the plane-dispatch prologue of a horizontally
+   fused kernel: every thread reads its block's plane id and branches,
+   which costs an index register and a predicate register on top of the
+   heaviest plane's own demand (HFuse, arXiv 2007.01277, measures 1-3
+   extra registers for the dispatch; we charge the middle). *)
+let dispatch_registers = 2
+
+(* Per-warp cost of the divergent plane-dispatch branch: blocks of
+   different planes resident on one SMX contend for the schedulers with
+   disjoint instruction streams.  2% per additional plane matches the
+   barrier penalty scale the vertical model uses. *)
+let divergence_factor = 0.02
+
+type pressure = { regs : int; smem : int }
+
+let pressure ~regs ~smem = { regs; smem }
+
+(* A horizontally fused launch must hold every plane's working set at
+   once on whichever SMX a block lands: register demand is the heaviest
+   plane's plus the dispatch overhead, SMEM is the largest plane's
+   (blocks of one launch each run exactly one plane, so per-block SMEM
+   does not sum — but the block *pool* is shared, so residency below is
+   computed from this combined worst-case pressure). *)
+let combine_pressure = function
+  | [] -> invalid_arg "Horizontal.combine_pressure: no planes"
+  | p :: rest ->
+      let c =
+        List.fold_left
+          (fun acc q -> { regs = max acc.regs q.regs; smem = max acc.smem q.smem })
+          p rest
+      in
+      { c with regs = c.regs + dispatch_registers }
+
+(* Resident blocks per SMX under the combined pressure — the same
+   min-of-limits residency rule as the vertical projection model
+   (paper Eqns. 3 and 7), so the two composition modes are costed on
+   one occupancy footing. *)
+let blocks_smx (d : Device.t) ~threads_per_block (c : pressure) =
+  let by_regs = d.Device.registers_per_smx / (threads_per_block * c.regs) in
+  let by_smem =
+    if c.smem = 0 then d.Device.max_blocks_per_smx else d.Device.smem_per_smx / c.smem
+  in
+  let by_threads = d.Device.max_threads_per_smx / threads_per_block in
+  min (min by_regs by_smem) (min by_threads d.Device.max_blocks_per_smx)
+
+let feasible (d : Device.t) ~threads_per_block (c : pressure) =
+  c.regs <= d.Device.max_registers_per_thread
+  && c.smem <= d.Device.smem_per_smx
+  && blocks_smx d ~threads_per_block c >= 1
+
+(* Overlap fraction φ: how much of the planes' work the device can run
+   concurrently.  The combined launch has [planes * blocks] blocks; the
+   device can hold [blocks_smx * smx_count] of them at once.  When the
+   whole combined grid fits in one wave (the many-small-kernels regime
+   this mode exists for), φ = 1 and the launch costs its slowest plane;
+   when the grid is many waves deep the planes effectively serialize and
+   φ → 0 recovers the sum of plane costs. *)
+let overlap (d : Device.t) ~threads_per_block ~blocks ~planes (c : pressure) =
+  if planes <= 1 then 1.
+  else begin
+    let resident = blocks_smx d ~threads_per_block c * d.Device.smx_count in
+    Float.min 1. (float_of_int resident /. float_of_int (planes * blocks))
+  end
+
+let divergence_penalty ~planes = 1. +. (divergence_factor *. float_of_int (planes - 1))
+
+(* Combined runtime of one horizontal launch from its per-plane costs.
+   The slowest plane is always paid in full; the remaining planes' work
+   overlaps into its shadow by φ and serializes for the rest; the whole
+   launch pays the plane-dispatch divergence penalty.  Per-plane GMEM
+   traffic is deliberately *not* merged — each plane streams its own
+   arrays, which is already captured inside the per-plane costs.
+
+   This one function is the plane-composition semantics: the projection
+   model feeds it projected plane costs and the simulator feeds it
+   measured plane runtimes, so the two agree on composition by
+   construction. *)
+let runtime (d : Device.t) ~threads_per_block ~blocks ~costs (c : pressure) =
+  match costs with
+  | [] -> invalid_arg "Horizontal.runtime: no planes"
+  | [ c0 ] -> c0
+  | costs ->
+      let planes = List.length costs in
+      if not (feasible d ~threads_per_block c) then Float.infinity
+      else begin
+        let mx = List.fold_left Float.max 0. costs in
+        let sum = List.fold_left ( +. ) 0. costs in
+        if not (Float.is_finite sum) then Float.infinity
+        else begin
+          let phi = overlap d ~threads_per_block ~blocks ~planes c in
+          (mx +. ((sum -. mx) *. (1. -. phi))) *. divergence_penalty ~planes
+        end
+      end

@@ -1,0 +1,62 @@
+(** Plane-composition cost semantics for horizontal fusion.
+
+    A horizontal group executes its member planes as per-plane sub-grids
+    of one launch (HFuse, arXiv 2007.01277): block [i] of the combined
+    grid runs plane [i / blocks]'s code, so independent kernels share
+    one launch and hide each other's latency.  This module is the {e
+    single} definition of how per-plane costs and resource pressures
+    combine into the launch's cost: the projection model
+    ({!Kf_model.Projection}) feeds it projected plane runtimes and the
+    simulator ({!Kf_sim.Measure}) feeds it measured ones, which is what
+    keeps measurements and projections in agreement on plane
+    semantics. *)
+
+val dispatch_registers : int
+(** Extra per-thread registers charged for the plane-dispatch prologue. *)
+
+val divergence_factor : float
+(** Scheduler-divergence cost per additional resident plane. *)
+
+type pressure = { regs : int; smem : int }
+(** Per-plane (or combined) resource demand: registers per thread and
+    SMEM bytes per block. *)
+
+val pressure : regs:int -> smem:int -> pressure
+
+val combine_pressure : pressure list -> pressure
+(** Worst-case pressure across planes — max registers (plus
+    {!dispatch_registers}) and max SMEM, since every block of the
+    combined launch runs exactly one plane but the resident-block pool
+    is shared.  @raise Invalid_argument on an empty list. *)
+
+val blocks_smx : Kf_gpu.Device.t -> threads_per_block:int -> pressure -> int
+(** Resident blocks per SMX under a combined pressure, by the same
+    min-of-limits rule as the vertical projection model. *)
+
+val feasible : Kf_gpu.Device.t -> threads_per_block:int -> pressure -> bool
+(** Register / SMEM / residency feasibility of the combined launch. *)
+
+val overlap :
+  Kf_gpu.Device.t -> threads_per_block:int -> blocks:int -> planes:int -> pressure -> float
+(** φ ∈ [0,1]: the fraction of the non-critical planes' work that runs
+    concurrently with the slowest plane.  1 when the combined grid fits
+    in one residency wave; → 0 as the grid depth grows and the planes
+    serialize. *)
+
+val divergence_penalty : planes:int -> float
+(** [1 + divergence_factor * (planes - 1)]. *)
+
+val runtime :
+  Kf_gpu.Device.t ->
+  threads_per_block:int ->
+  blocks:int ->
+  costs:float list ->
+  pressure ->
+  float
+(** Combined runtime of one horizontal launch: the slowest plane in
+    full, the rest attenuated by the overlap fraction, all scaled by the
+    plane-dispatch divergence penalty; infinite when the combined
+    pressure is infeasible.  Per-plane GMEM traffic stays separate — it
+    is already inside each plane's cost.  [costs] are the per-plane
+    costs (projected or measured), [blocks] the per-plane grid size.
+    @raise Invalid_argument on an empty cost list. *)

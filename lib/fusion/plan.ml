@@ -2,7 +2,20 @@ module Metadata = Kf_ir.Metadata
 module Device = Kf_gpu.Device
 module Exec_order = Kf_graph.Exec_order
 
-type t = { n : int; groups : int list list (* canonical *) }
+type t = {
+  n : int;
+  groups : int list list; (* canonical vertical partition *)
+  comps : int list list list;
+      (* canonical launch packs over [groups]: each pack is a list of
+         planes, each plane is exactly one vertical group.  A singleton
+         pack is an ordinary vertical launch; a multi-plane pack executes
+         its planes as per-plane sub-grids of one horizontal launch
+         (HFuse, arXiv 2007.01277).  All-vertical plans have every group
+         in its own pack, which keeps every legacy code path (and every
+         signature) byte-identical. *)
+}
+
+type mode = Vertical | Horizontal | Mixed
 
 (* Int-specialized and allocation-light: groups flowing through the
    search are almost always already sorted (bitset extractions,
@@ -20,6 +33,32 @@ let canonicalize groups =
   List.sort (fun a b -> Int.compare (List.hd a) (List.hd b)) sorted
 
 let canonical_groups = canonicalize
+
+(* Canonical form of a pack list: planes sorted within a pack by head,
+   packs sorted by the head of their first plane.  Mirrors [canonicalize]
+   one level up, so an all-singleton composition canonicalizes to exactly
+   the canonical group order. *)
+let canonicalize_comps comps =
+  let packs =
+    List.map
+      (fun pack ->
+        let planes =
+          List.map
+            (fun g -> if is_sorted_strict g then g else List.sort_uniq Int.compare g)
+            pack
+        in
+        List.sort (fun a b -> Int.compare (List.hd a) (List.hd b)) planes)
+      comps
+  in
+  List.sort (fun a b -> Int.compare (List.hd (List.hd a)) (List.hd (List.hd b))) packs
+
+let canonical_comps = canonicalize_comps
+
+let mode pack =
+  match pack with
+  | [ _ ] -> Vertical
+  | planes ->
+      if List.for_all (function [ _ ] -> true | _ -> false) planes then Horizontal else Mixed
 
 (* Signatures are flat int arrays: member ids in ascending order, groups in
    canonical order, [-1] between groups.  Kernel ids are non-negative, so
@@ -139,6 +178,42 @@ module Sigbuf = struct
       List.iter (push t) t.gs.(gi)
     done
 
+  (* Pack encodings: [-3] separates the planes of one pack, [-1] (as in
+     plans) separates packs.  A single-plane pack encodes byte-identically
+     to [encode_group] of its group, and an all-singleton composition
+     encodes byte-identically to [encode_plan] of the underlying groups —
+     so pack keys share cache entries with the vertical keys they
+     coincide with, and multi-plane keys live in a disjoint keyspace. *)
+  let encode_cgroup t pack =
+    t.len <- 0;
+    match pack with
+    | [ g ] -> List.iter (push t) (canon_group g)
+    | planes ->
+        let planes =
+          List.sort
+            (fun a b -> Int.compare (List.hd a) (List.hd b))
+            (List.map canon_group planes)
+        in
+        List.iteri
+          (fun i g ->
+            if i > 0 then push t (-3);
+            List.iter (push t) g)
+          planes
+
+  let encode_cplan t comps =
+    let comps = canonicalize_comps comps in
+    t.len <- 0;
+    List.iteri
+      (fun ci pack ->
+        if ci > 0 then push t (-1);
+        List.iteri
+          (fun pi g ->
+            if pi > 0 then push t (-3);
+            List.iter (push t) g)
+          pack)
+      comps;
+    comps
+
   let append_extra t extra =
     push t (-2);
     List.iter (push t) extra
@@ -184,13 +259,34 @@ let of_groups ~n groups =
      them instead, they indicate a caller bug. *)
   let total = List.fold_left (fun acc g -> acc + List.length g) 0 groups in
   if total <> n then invalid_arg "Plan.of_groups: duplicate kernel within a group";
-  { n; groups = canon }
+  { n; groups = canon; comps = List.map (fun g -> [ g ]) canon }
 
-let identity n = { n; groups = List.init n (fun k -> [ k ]) }
+let of_composed ~n comps =
+  if List.exists (( = ) []) comps then invalid_arg "Plan.of_composed: empty pack";
+  if List.exists (List.exists (( = ) [])) comps then
+    invalid_arg "Plan.of_composed: empty plane";
+  let ccomps = canonicalize_comps comps in
+  let base = of_groups ~n (List.concat ccomps) in
+  { base with comps = ccomps }
+
+let identity n =
+  let groups = List.init n (fun k -> [ k ]) in
+  { n; groups; comps = List.map (fun g -> [ g ]) groups }
 
 let groups t = t.groups
+let composed t = t.comps
 let num_kernels t = t.n
 let num_groups t = List.length t.groups
+let num_units t = List.length t.comps
+let is_vertical t = List.for_all (function [ _ ] -> true | _ -> false) t.comps
+
+let horizontal_pack_count t =
+  List.length (List.filter (fun pack -> List.length pack >= 2) t.comps)
+
+let horizontal_plane_count t =
+  List.fold_left
+    (fun acc pack -> if List.length pack >= 2 then acc + List.length pack else acc)
+    0 t.comps
 
 let group_of t k =
   match List.find_opt (fun g -> List.mem k g) t.groups with
@@ -212,26 +308,53 @@ type violation =
   | Not_schedulable
   | Spans_sync_point of int list
   | Vertical_flow of int list
+  | Planes_dependent of int list list
 
+(* Schedulability condenses by launch *unit* — the pack, not the group:
+   a horizontal pack is one launch, so its members must admit a single
+   position in the host invocation order.  For all-vertical plans the
+   units are exactly the groups, i.e. the historical behavior. *)
 let schedulable ~exec t =
-  let groups = Array.of_list t.groups in
-  let group_of = Array.make t.n (-1) in
-  Array.iteri (fun gi g -> List.iter (fun k -> group_of.(k) <- gi) g) groups;
+  let units = Array.of_list (List.map List.concat t.comps) in
+  let unit_of = Array.make t.n (-1) in
+  Array.iteri (fun ui u -> List.iter (fun k -> unit_of.(k) <- ui) u) units;
   let module Dag = Kf_graph.Dag in
-  let cond = Dag.create (Array.length groups) in
+  let cond = Dag.create (Array.length units) in
   let dag = Exec_order.dag exec in
   for u = 0 to Dag.num_nodes dag - 1 do
     List.iter
       (fun v ->
-        let gu = group_of.(u) and gv = group_of.(v) in
+        let gu = unit_of.(u) and gv = unit_of.(v) in
         if gu <> gv then Dag.add_edge cond gu gv)
       (Dag.succs dag u)
   done;
   Dag.is_acyclic cond
 
+(* Horizontal legality (HFuse): planes of one pack run concurrently as
+   sub-grids of one launch, so no data may flow between them — every
+   cross-plane kernel pair must be order-independent. *)
+let planes_independent ~exec planes =
+  let rec check = function
+    | [] | [ _ ] -> true
+    | g :: rest ->
+        List.for_all
+          (fun g' ->
+            List.for_all
+              (fun a -> List.for_all (fun b -> Exec_order.independent exec a b) g')
+              g)
+          rest
+        && check rest
+  in
+  check planes
+
 let validate ?device ~meta ~exec t =
   let violations = ref [] in
   if not (schedulable ~exec t) then violations := Not_schedulable :: !violations;
+  List.iter
+    (fun pack ->
+      if List.length pack >= 2 && not (planes_independent ~exec pack) then
+        violations := Planes_dependent pack :: !violations)
+    t.comps;
   List.iter
     (fun g ->
       if List.length g >= 2 then begin
@@ -254,15 +377,23 @@ let validate ?device ~meta ~exec t =
 
 let is_feasible ~device ~meta ~exec t = validate ~device ~meta ~exec t = []
 
-let equal a b = a.n = b.n && a.groups = b.groups
+let equal a b = a.n = b.n && a.groups = b.groups && a.comps = b.comps
+
 let compare a b =
   let c = Stdlib.compare a.n b.n in
-  if c <> 0 then c else Stdlib.compare a.groups b.groups
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare a.groups b.groups in
+    if c <> 0 then c else Stdlib.compare a.comps b.comps
 
+(* Multi-plane packs print their planes joined by " + "; single-plane
+   packs print exactly as groups always have, so all-vertical plans
+   render byte-identically to the historical format. *)
 let pp ppf t =
+  let group g = String.concat "," (List.map string_of_int g) in
   Format.fprintf ppf "{%s}"
     (String.concat " | "
-       (List.map (fun g -> String.concat "," (List.map string_of_int g)) t.groups))
+       (List.map (fun pack -> String.concat " + " (List.map group pack)) t.comps))
 
 let violation_group = function
   | Not_convex g
@@ -272,7 +403,7 @@ let violation_group = function
   | Spans_sync_point g
   | Vertical_flow g ->
       Some g
-  | Not_schedulable -> None
+  | Planes_dependent _ | Not_schedulable -> None
 
 let pp_violation ppf v =
   let group g = String.concat "," (List.map string_of_int g) in
@@ -286,3 +417,6 @@ let pp_violation ppf v =
       Format.fprintf ppf "group [%s] crosses a host synchronization point" (group g)
   | Vertical_flow g ->
       Format.fprintf ppf "group [%s] consumes internal data through a vertical stencil" (group g)
+  | Planes_dependent planes ->
+      Format.fprintf ppf "horizontal pack [%s] has data edges between planes"
+        (String.concat " + " (List.map group planes))

@@ -11,22 +11,58 @@
 type t
 (** A validated-shape partition (disjointness and completeness are
     guaranteed by construction; the other constraints are checked by
-    {!validate}). *)
+    {!validate}), plus its launch composition: the groups are partitioned
+    into {e packs}, each pack being one launch.  A singleton pack is an
+    ordinary vertical launch; a multi-plane pack runs its member groups
+    ({e planes}) side by side as per-plane sub-grids of one horizontal
+    launch (HFuse, arXiv 2007.01277). *)
+
+type mode = Vertical | Horizontal | Mixed
+
+val mode : int list list -> mode
+(** Composition mode of one pack: [Vertical] for a single plane,
+    [Horizontal] when every plane is a single original kernel, [Mixed]
+    when vertically fused planes are packed horizontally. *)
 
 val of_groups : n:int -> int list list -> t
-(** [of_groups ~n groups] builds a plan over kernels [0..n-1].
+(** [of_groups ~n groups] builds a plan over kernels [0..n-1] with every
+    group in its own (vertical) pack.
     @raise Invalid_argument unless the groups are non-empty, disjoint and
     cover exactly [0..n-1]. *)
 
+val of_composed : n:int -> int list list list -> t
+(** [of_composed ~n comps] builds a plan from launch packs; the vertical
+    partition is the set of all planes.
+    @raise Invalid_argument on empty packs/planes or when the planes do
+    not partition [0..n-1]. *)
+
 val identity : int -> t
-(** The unfused plan: every kernel alone. *)
+(** The unfused plan: every kernel alone, every group its own pack. *)
 
 val groups : t -> int list list
 (** Groups in canonical order (sorted members; groups ordered by smallest
     member). *)
 
+val composed : t -> int list list list
+(** Launch packs in canonical order (planes sorted by head within a pack,
+    packs sorted by the head of their first plane).  All-vertical plans
+    return every group as a singleton pack. *)
+
 val num_kernels : t -> int
 val num_groups : t -> int
+
+val num_units : t -> int
+(** Number of launches ([= List.length (composed t)]); equals
+    [num_groups] for all-vertical plans. *)
+
+val is_vertical : t -> bool
+(** Whether every pack is a single plane (no horizontal fusion). *)
+
+val horizontal_pack_count : t -> int
+(** Number of packs with two or more planes. *)
+
+val horizontal_plane_count : t -> int
+(** Number of planes belonging to multi-plane packs. *)
 
 val group_of : t -> int -> int list
 (** The group containing a kernel. *)
@@ -55,6 +91,10 @@ type violation =
       (** an internal flow dependency is consumed through a vertical
           stencil — per-plane SMEM staging cannot provide the producer's
           future planes, so the group is unfusable *)
+  | Planes_dependent of int list list
+      (** a horizontal pack has a data edge between two of its planes:
+          planes run concurrently in one launch, so they must be
+          pairwise order-independent *)
 
 val validate :
   ?device:Kf_gpu.Device.t ->
@@ -77,6 +117,15 @@ val canonical_groups : int list list -> int list list
     each group, groups ordered by smallest member.  Permutations of the
     same partition map to the same canonical form, which is what makes
     the signatures below usable as cache keys. *)
+
+val canonical_comps : int list list list -> int list list list
+(** Canonical form of a raw pack list: {!canonical_groups} one level up —
+    members sorted within planes, planes sorted by head within packs,
+    packs sorted by the head of their first plane. *)
+
+val planes_independent : exec:Kf_graph.Exec_order.t -> int list list -> bool
+(** Whether every cross-plane kernel pair is order-independent — the
+    horizontal legality rule. *)
 
 val group_signature : int list -> int array
 (** Sorted member ids — the canonical per-group signature (two member
@@ -126,6 +175,18 @@ module Sigbuf : sig
   (** Encode groups in the given order without canonicalizing
       ([-1]-separated) — for memo keys of order-sensitive operators. *)
 
+  val encode_cgroup : t -> int list list -> unit
+  (** Encode one pack's canonical signature: plane signatures joined by
+      [-3].  A single-plane pack encodes byte-identically to
+      {!encode_group} of its group, so the two share cache entries;
+      multi-plane keys live in a disjoint keyspace. *)
+
+  val encode_cplan : t -> int list list list -> int list list list
+  (** Encode the canonical whole-composition signature (packs joined by
+      [-1], planes within a pack by [-3]) and return the canonical pack
+      list.  An all-singleton composition encodes byte-identically to
+      {!encode_plan} of the underlying groups. *)
+
   val append_extra : t -> int list -> unit
   (** Append a [-2] separator then the given ints to the current
       encoding — for memo keys that mix a partition with scalar
@@ -156,7 +217,9 @@ val compare : t -> t -> int
 
 val violation_group : violation -> int list option
 (** The offending group, when the violation is group-local
-    ([Not_schedulable] is a whole-plan property). *)
+    ([Not_schedulable] and [Planes_dependent] are composition-level
+    properties: dropping the composition — rebuilding all-vertical via
+    {!of_groups} — clears them without dissolving any group). *)
 
 val pp : Format.formatter -> t -> unit
 val pp_violation : Format.formatter -> violation -> unit

@@ -18,6 +18,7 @@ type params = {
   islands : int;
   migration_interval : int;
   migration_size : int;
+  horizontal : bool;
 }
 
 let default_params =
@@ -34,6 +35,10 @@ let default_params =
     islands = 1;
     migration_interval = 10;
     migration_size = 2;
+    (* Off by default: every committed baseline (bench gates, snapshots,
+       byte-diff CI jobs) was recorded over the vertical-only space, and
+       [horizontal = false] takes exactly the historical code paths. *)
+    horizontal = false;
   }
 
 let paper_params =
@@ -105,19 +110,40 @@ type result = {
 
 (* [eval] carries the individual's whole-plan evaluation on an
    incremental objective; offspring pass it as the delta base so
-   unchanged groups skip the shared cache ([None] on the full path). *)
+   unchanged groups skip the shared cache ([None] on the full path).
+   [packs] is the launch composition in horizontal mode ([None] in
+   vertical-only mode, where only [groups] exists). *)
 type individual = {
   groups : Grouping.groups;
   cost : float;
   eval : Objective.plan_eval option;
+  packs : int list list list option;
 }
 
 let make_individual ?base obj groups =
   if Objective.incremental obj then begin
     let pe = Objective.eval_plan obj ?base groups in
-    { groups; cost = Objective.plan_eval_total pe; eval = Some pe }
+    { groups; cost = Objective.plan_eval_total pe; eval = Some pe; packs = None }
   end
-  else { groups; cost = Objective.plan_cost obj groups; eval = None }
+  else { groups; cost = Objective.plan_cost obj groups; eval = None; packs = None }
+
+(* Horizontal-mode individual: every group wrapped in its launch pack.
+   Costs flow through the composition evaluator; all-singleton
+   compositions share cache entries (and bit-identical totals) with the
+   vertical path. *)
+let make_individual_c ?base obj packs =
+  let packs = Kf_fusion.Plan.canonical_comps packs in
+  let groups = List.concat packs in
+  if Objective.incremental obj then begin
+    let pe = Objective.eval_cplan obj ?base packs in
+    { groups; cost = Objective.plan_eval_total pe; eval = Some pe; packs = Some packs }
+  end
+  else
+    { groups; cost = Objective.cplan_cost obj packs; eval = None; packs = Some packs }
+
+let vpacks groups = List.map (fun g -> [ g ]) groups
+
+let packs_of ind = match ind.packs with Some c -> c | None -> vpacks ind.groups
 
 let tournament obj rng pop size =
   ignore obj;
@@ -214,6 +240,122 @@ let mutate obj rng groups =
         end
     end
 
+(* ---- horizontal-mode operators ------------------------------------------ *)
+
+let canon_g g =
+  if Kf_fusion.Plan.is_sorted_strict g then g else List.sort_uniq Int.compare g
+
+(* Pack-level schedulability: packs are launches, so the condensation
+   over the flattened packs must be acyclic (for all-singleton packs this
+   is exactly plan schedulability). *)
+let cplan_schedulable obj packs = Grouping.schedulable obj (List.map List.concat packs)
+
+let packs_independent obj a b =
+  Kf_fusion.Plan.planes_independent
+    ~exec:(Objective.inputs obj).Inputs.exec
+    (a @ b)
+
+(* Re-attach pack structure after an operator rewrote the vertical
+   partition: planes whose group survived intact keep their pack (a
+   subset of a pairwise-independent set stays independent), changed or
+   fresh groups start as singleton packs.  Falls back to all-vertical
+   when the surviving packs no longer admit a launch order — unit
+   refinement is not cycle-safe in general. *)
+let reattach obj packs groups' =
+  let present = Hashtbl.create 16 in
+  List.iter (fun g -> Hashtbl.replace present (canon_g g) true) groups';
+  let claim g =
+    let cg = canon_g g in
+    match Hashtbl.find_opt present cg with
+    | Some true ->
+        Hashtbl.replace present cg false;
+        true
+    | _ -> false
+  in
+  let kept =
+    List.filter_map
+      (fun pack ->
+        let survivors = List.filter claim pack in
+        if List.length survivors >= 2 then Some survivors
+        else begin
+          (* Return lone survivors to the singleton pool. *)
+          List.iter (fun g -> Hashtbl.replace present (canon_g g) true) survivors;
+          None
+        end)
+      packs
+  in
+  let singles = List.filter (fun g -> Hashtbl.find present (canon_g g)) groups' in
+  let out = kept @ vpacks singles in
+  if kept = [] || cplan_schedulable obj out then out else vpacks groups'
+
+(* Crossover children inherit packs from both parents: any pack whose
+   member groups all survived the crossover intact is kept, the
+   receiving parent's packs claiming first (deterministically). *)
+let inherit_packs obj (a : individual) (b : individual) groups' =
+  reattach obj (packs_of a @ packs_of b) groups'
+
+(* Horizontal-mode mutation: the vertical operators lifted through the
+   flat partition, plus the pack-level moves that actually explore the
+   new dimension — merge two independent packs into one horizontal
+   launch ([`Hpack]), unpack one back to vertical launches ([`Hflip]),
+   or move a single plane between compatible packs ([`Plane_move]). *)
+let mutate_c obj rng packs =
+  let multi = List.filter (fun c -> List.length c >= 2) packs in
+  let ops =
+    if List.length packs < 2 then [ `Vertical ]
+    else if multi = [] then [ `Vertical; `Vertical; `Hpack; `Hpack ]
+    else [ `Vertical; `Vertical; `Hpack; `Hflip; `Plane_move ]
+  in
+  match Rng.choose_list rng ops with
+  | `Vertical ->
+      let groups' = mutate obj rng (List.concat packs) in
+      reattach obj packs groups'
+  | `Hpack -> begin
+      let a = Rng.choose rng (Array.of_list packs) in
+      let candidates = List.filter (fun b -> b != a && packs_independent obj a b) packs in
+      match candidates with
+      | [] -> packs
+      | _ ->
+          let b = Rng.choose rng (Array.of_list candidates) in
+          let out = (a @ b) :: List.filter (fun c -> c != a && c != b) packs in
+          if cplan_schedulable obj out then out else packs
+    end
+  | `Hflip ->
+      let victim = Rng.choose rng (Array.of_list multi) in
+      List.concat_map (fun c -> if c == victim then vpacks c else [ c ]) packs
+  | `Plane_move -> begin
+      let victim = Rng.choose rng (Array.of_list multi) in
+      let plane = Rng.choose rng (Array.of_list victim) in
+      let rest_pack = List.filter (fun g -> g != plane) victim in
+      let others = List.filter (fun c -> c != victim) packs in
+      match List.filter (fun c -> packs_independent obj [ plane ] c) others with
+      | [] -> rest_pack :: [ plane ] :: others
+      | homes ->
+          let home = Rng.choose rng (Array.of_list homes) in
+          let out =
+            rest_pack :: List.map (fun c -> if c == home then plane :: c else c) others
+          in
+          if cplan_schedulable obj out then out else packs
+    end
+
+(* Comp-aware profitability cleanup for the final answer: a multi-plane
+   pack must beat the sum of its members' original runtimes or be
+   unpacked into vertical launches; all vertical groups then pass the
+   ordinary per-group rule. *)
+let enforce_profitability_c obj packs =
+  let hkeep, vgroups =
+    List.fold_left
+      (fun (hs, vs) c ->
+        match c with
+        | [ g ] -> (hs, g :: vs)
+        | planes ->
+            if Objective.comp_profitable obj planes then (planes :: hs, vs)
+            else (hs, List.rev_append planes vs))
+      ([], []) packs
+  in
+  let vgroups = Grouping.enforce_profitability obj (List.rev vgroups) in
+  Kf_fusion.Plan.canonical_comps (List.rev hkeep @ vpacks vgroups)
+
 (* One island: a population shard evolving on its own generator.  A
    generation step reads and writes only island-local state (plus the
    shared objective, whose verdicts are pure), so islands can be stepped
@@ -263,15 +405,34 @@ let step_island obj params ~n ~incumbent_cost ?child_pool st =
      child's evaluation resolves everything else from the base table. *)
   let build_child idx =
     let crng = child_rngs.(idx) in
-    if idx >= n_children - fresh then (Grouping.random_plan obj crng n, None)
+    if idx >= n_children - fresh then begin
+      let g = Grouping.random_plan obj crng n in
+      ((g, (if params.horizontal then Some (vpacks g) else None)), None)
+    end
     else begin
       let p1 = tournament obj crng snapshot params.tournament_size in
       let p2 = tournament obj crng snapshot params.tournament_size in
-      let g =
-        if Rng.chance crng params.crossover_rate then crossover obj crng p1 p2 else p1.groups
-      in
-      let g = if Rng.chance crng params.mutation_rate then mutate obj crng g else g in
-      (g, p1.eval)
+      if params.horizontal then begin
+        (* Same draw schedule as the vertical branch (tournaments,
+           crossover coin, mutation coin), with pack inheritance after
+           crossover and the comp-aware mutation. *)
+        let cp =
+          if Rng.chance crng params.crossover_rate then
+            let g = crossover obj crng p1 p2 in
+            inherit_packs obj p1 p2 g
+          else packs_of p1
+        in
+        let cp = if Rng.chance crng params.mutation_rate then mutate_c obj crng cp else cp in
+        ((List.concat cp, Some cp), p1.eval)
+      end
+      else begin
+        let g =
+          if Rng.chance crng params.crossover_rate then crossover obj crng p1 p2
+          else p1.groups
+        in
+        let g = if Rng.chance crng params.mutation_rate then mutate obj crng g else g in
+        ((g, None), p1.eval)
+      end
     end
   in
   let raw_children =
@@ -280,7 +441,7 @@ let step_island obj params ~n ~incumbent_cost ?child_pool st =
         (* Work-stealing fan-out: each child index is an independent task
            with its own pre-split RNG, so any task-to-domain assignment
            builds the same children. *)
-        let out = Array.make n_children ([], None) in
+        let out = Array.make n_children (([], None), None) in
         Pool.run pool ~tasks:n_children (fun i -> out.(i) <- build_child i);
         out
     | _ -> Array.init n_children build_child
@@ -306,18 +467,51 @@ let step_island obj params ~n ~incumbent_cost ?child_pool st =
            ~len:(Sigbuf.length st.dsb) ~hash)
     then Sig_tbl.add st.dedup (Sigbuf.extract st.dsb) ~hash ()
   in
-  List.iter (fun ind -> seen_add ind.groups) elites;
+  (* Horizontal-mode dedup keys on the whole composition ([-3]-separated
+     plane signatures), so two plans equal as partitions but packed
+     differently both survive — they are different points of the
+     enlarged space. *)
+  let seen_mem_c cp =
+    ignore (Sigbuf.encode_cplan st.dsb cp : int list list list);
+    Sig_tbl.mem_pre st.dedup ~buf:(Sigbuf.unsafe_buf st.dsb) ~len:(Sigbuf.length st.dsb)
+      ~hash:(Sigbuf.hash st.dsb)
+  in
+  let seen_add_c cp =
+    ignore (Sigbuf.encode_cplan st.dsb cp : int list list list);
+    let hash = Sigbuf.hash st.dsb in
+    if
+      not
+        (Sig_tbl.mem_pre st.dedup ~buf:(Sigbuf.unsafe_buf st.dsb)
+           ~len:(Sigbuf.length st.dsb) ~hash)
+    then Sig_tbl.add st.dedup (Sigbuf.extract st.dsb) ~hash ()
+  in
+  List.iter
+    (fun ind ->
+      if params.horizontal then seen_add_c (packs_of ind) else seen_add ind.groups)
+    elites;
   let next = ref elites in
   Array.iteri
-    (fun idx (child, base) ->
+    (fun idx ((child, cpacks), base) ->
       let crng = child_rngs.(idx) in
-      let rec unique attempts g =
-        if (not (seen_mem g)) || attempts = 0 then g
-        else unique (attempts - 1) (mutate obj crng g)
-      in
-      let child = unique 3 child in
-      seen_add child;
-      next := make_individual ?base obj child :: !next)
+      if params.horizontal then begin
+        let cp0 = match cpacks with Some c -> c | None -> vpacks child in
+        let rec unique attempts cp =
+          if (not (seen_mem_c cp)) || attempts = 0 then cp
+          else unique (attempts - 1) (mutate_c obj crng cp)
+        in
+        let cp = unique 3 cp0 in
+        seen_add_c cp;
+        next := make_individual_c ?base obj cp :: !next
+      end
+      else begin
+        let rec unique attempts g =
+          if (not (seen_mem g)) || attempts = 0 then g
+          else unique (attempts - 1) (mutate obj crng g)
+        in
+        let child = unique 3 child in
+        seen_add child;
+        next := make_individual ?base obj child :: !next
+      end)
     raw_children;
   st.ipop <- Array.of_list !next;
   let gen_best =
@@ -329,7 +523,15 @@ let step_island obj params ~n ~incumbent_cost ?child_pool st =
      by kernel relocation and feed the refinement back into the island.
      On large instances the full neighborhood is too expensive per
      generation; a single final pass runs after the loop instead. *)
-  if n <= 64 && gen_best.cost < incumbent_cost -. 1e-15 then begin
+  let champion_has_multi =
+    match gen_best.packs with
+    | Some cp -> List.exists (fun pack -> List.length pack > 1) cp
+    | None -> false
+  in
+  if n <= 64 && gen_best.cost < incumbent_cost -. 1e-15 && not champion_has_multi then begin
+    (* Kernel relocation explores the vertical partition only; a champion
+       with genuine horizontal packs is left as the operators built it
+       (relocation would silently discard its composition). *)
     let refined =
       make_individual ?base:gen_best.eval obj (Grouping.local_refine obj gen_best.groups)
     in
@@ -385,6 +587,10 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
     invalid_arg "Hgga.solve: migration_interval must be positive";
   if params.migration_size < 0 then
     invalid_arg "Hgga.solve: migration_size must be non-negative";
+  if params.horizontal && Objective.portfolio_active obj then
+    invalid_arg
+      "Hgga.solve: horizontal composition and device portfolios are mutually \
+       exclusive (portfolio rows are keyed by vertical group signatures)";
   let start = Unix.gettimeofday () in
   let n = Program.num_kernels (Objective.inputs obj).Inputs.program in
   let identity = List.init n (fun k -> [ k ]) in
@@ -478,6 +684,16 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
           invalid_arg
             (Printf.sprintf "Hgga.solve: snapshot has %d islands, params ask for %d"
                (List.length snap.Snapshot.islands) k_islands);
+        if
+          (not params.horizontal)
+          && (snap.Snapshot.cbest <> []
+             || List.exists
+                  (fun (isl : Snapshot.island) -> isl.Snapshot.cpopulation <> [])
+                  snap.Snapshot.islands)
+        then
+          invalid_arg
+            "Hgga.solve: snapshot carries horizontal compositions; resume with \
+             horizontal search enabled";
         (* Costs are recomputed: evaluation is pure, so the resumed
            individuals are bit-identical to the ones that were saved. *)
         let islands =
@@ -485,8 +701,12 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
             (List.map
                (fun (isl : Snapshot.island) ->
                  let ipop =
-                   Array.of_list
-                     (List.map (fun g -> make_individual obj g) isl.Snapshot.population)
+                   match isl.Snapshot.cpopulation with
+                   | [] ->
+                       Array.of_list
+                         (List.map (fun g -> make_individual obj g) isl.Snapshot.population)
+                   | cpop ->
+                       Array.of_list (List.map (fun cp -> make_individual_c obj cp) cpop)
                  in
                  {
                    ipop;
@@ -519,7 +739,11 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
   let best =
     ref
       (match resumed with
-      | Some snap -> make_individual obj snap.Snapshot.best
+      | Some snap -> begin
+          match snap.Snapshot.cbest with
+          | [] -> make_individual obj snap.Snapshot.best
+          | cb -> make_individual_c obj cb
+        end
       | None ->
           let all = all_individuals () in
           Array.fold_left (fun acc x -> if x.cost < acc.cost then x else acc) all.(0) all)
@@ -559,6 +783,10 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
                bit-identical resume contract *)
             group_verdicts = [];
             best = !best.groups;
+            (* [] in vertical mode keeps the rendered bytes identical to
+               pre-composition snapshots (the writer omits empty
+               composition fields entirely). *)
+            cbest = (if params.horizontal then packs_of !best else []);
             history = List.rev !history;
             islands =
               Array.to_list
@@ -568,6 +796,10 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
                        Snapshot.rng_state = Rng.state st.irng;
                        population =
                          Array.to_list (Array.map (fun ind -> ind.groups) st.ipop);
+                       cpopulation =
+                         (if params.horizontal then
+                            Array.to_list (Array.map packs_of st.ipop)
+                          else []);
                      })
                    islands);
           };
@@ -620,7 +852,9 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
        so a fixed island count gives bit-identical results for any worker
        count. *)
     let incumbent_cost = !best.cost in
-    let gen_bests = Array.make k_islands { groups = identity; cost = infinity; eval = None } in
+    let gen_bests =
+      Array.make k_islands { groups = identity; cost = infinity; eval = None; packs = None }
+    in
     (if k_islands = 1 then
        gen_bests.(0) <-
          step_island obj params ~n ~incumbent_cost ?child_pool:pool islands.(0)
@@ -766,26 +1000,53 @@ let solve ?(params = default_params) ?checkpoint ?resume_from ?(budget = unlimit
   (* Graceful degradation: if no feasible individual ever appeared (every
      candidate quarantined or infeasible), fall back to the greedy
      baseline, and to the identity plan when even that fails. *)
-  let best_groups =
-    if Float.is_finite !best.cost then !best.groups
+  let final_groups, final_plan, final_cost =
+    if params.horizontal then begin
+      let best_packs =
+        if Float.is_finite !best.cost then packs_of !best
+        else begin
+          match Greedy.solve obj with
+          | g when Float.is_finite g.Greedy.cost -> vpacks g.Greedy.groups
+          | _ -> vpacks identity
+          | exception _ -> vpacks identity
+        end
+      in
+      (* The large-instance relocation pass is vertical-only; run it only
+         when the winner carries no genuine packs to preserve. *)
+      let best_packs =
+        if n > 64 && List.for_all (fun pack -> List.length pack = 1) best_packs then
+          vpacks (Grouping.local_refine ~max_passes:1 obj (List.concat best_packs))
+        else best_packs
+      in
+      let final_comps = enforce_profitability_c obj best_packs in
+      let final_cost = Objective.cplan_cost obj final_comps in
+      let plan = Kf_fusion.Plan.of_composed ~n final_comps in
+      (Kf_fusion.Plan.groups plan, plan, final_cost)
+    end
     else begin
-      match Greedy.solve obj with
-      | g when Float.is_finite g.Greedy.cost -> g.Greedy.groups
-      | _ -> identity
-      | exception _ -> identity
+      let best_groups =
+        if Float.is_finite !best.cost then !best.groups
+        else begin
+          match Greedy.solve obj with
+          | g when Float.is_finite g.Greedy.cost -> g.Greedy.groups
+          | _ -> identity
+          | exception _ -> identity
+        end
+      in
+      let final_groups =
+        if n > 64 then Grouping.local_refine ~max_passes:1 obj best_groups else best_groups
+      in
+      let final_groups = Grouping.enforce_profitability obj final_groups in
+      let final_cost = Objective.plan_cost obj final_groups in
+      (final_groups, Kf_fusion.Plan.of_groups ~n final_groups, final_cost)
     end
   in
-  let final_groups =
-    if n > 64 then Grouping.local_refine ~max_passes:1 obj best_groups else best_groups
-  in
-  let final_groups = Grouping.enforce_profitability obj final_groups in
-  let final_cost = Objective.plan_cost obj final_groups in
   (* Pick up the final refinement's verdicts too, so the reported stats
      and any caller-side warm-cache export see a fully merged base. *)
   Objective.merge_locals obj;
   {
     groups = final_groups;
-    plan = Kf_fusion.Plan.of_groups ~n final_groups;
+    plan = final_plan;
     cost = final_cost;
     stats =
       {

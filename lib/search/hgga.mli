@@ -47,6 +47,13 @@ type params = {
   migration_size : int;
       (** elite copies each island emits per migration (0 disables
           migration; clamped to the island size - 1) *)
+  horizontal : bool;
+      (** search the composed-plan space: individuals carry a launch
+          composition (packs of concurrently resident planes) on top of
+          the vertical partition, and mutation gains pack / flip /
+          plane-move operators.  Off by default; [false] takes exactly
+          the historical vertical-only code paths, bit for bit.
+          Mutually exclusive with a device portfolio. *)
 }
 
 val default_params : params

@@ -771,6 +771,142 @@ let group_profitable t group =
       let v = lookup t group in
       v.feasible && v.cost < v.orig_sum
 
+(* ---- horizontal packs ---------------------------------------------------- *)
+
+module Horizontal = Kf_fusion.Horizontal
+
+(* [pe_costs] key of a pack: single-plane packs key by their group (the
+   vertical key, so vertical entries are shared), multi-plane packs by
+   the planes flattened with a [-3] separator — the same disjoint
+   keyspace split as the signature encodings. *)
+let comp_key pack =
+  match pack with
+  | [ g ] -> g
+  | planes -> List.concat (List.mapi (fun i g -> if i = 0 then g else -3 :: g) planes)
+
+(* Resource pressure one plane contributes to its horizontal launch:
+   original kernels bring their own registers (no SMEM), vertically fused
+   planes bring the fused kernel's demand.  The arena accessors are
+   bit-identical to [Fused.build], so arena on/off yields the same
+   pressures.  Only called on feasible planes (the caller checks the
+   plane verdicts first), so arena analysis cannot trip on a
+   structurally broken group. *)
+let plane_pressure t g =
+  match g with
+  | [ k ] ->
+      let p = Metadata.program t.inputs.Inputs.meta in
+      Horizontal.pressure
+        ~regs:(Kf_ir.Program.kernel p k).Kf_ir.Kernel.registers_per_thread ~smem:0
+  | g -> (
+      match t.arena with
+      | Some a ->
+          let scr = Feature_arena.load a g in
+          Feature_arena.analyze scr;
+          Feature_arena.fuse scr ~dev:0;
+          Horizontal.pressure
+            ~regs:(Feature_arena.registers_per_thread scr)
+            ~smem:(Feature_arena.smem_bytes_per_block scr)
+      | None ->
+          let i = t.inputs in
+          let f =
+            Fused.build ~device:i.Inputs.device ~meta:i.Inputs.meta ~exec:i.Inputs.exec
+              ~group:g
+          in
+          Horizontal.pressure ~regs:f.Fused.registers_per_thread
+            ~smem:f.Fused.smem_bytes_per_block)
+
+(* Verdict of one multi-plane pack.  The planes are evaluated through the
+   ordinary vertical path (cached, guarded, counted); the combination is
+   pure arithmetic through {!Kf_fusion.Horizontal} — the same function
+   the simulator uses, which is what keeps measured and projected
+   horizontal runtimes in agreement.  [planes] must be canonical: the
+   per-plane cost sum folds in canonical plane order, so permuted-but-
+   equal packs produce bit-identical floats. *)
+let evaluate_comp t planes =
+  let i = t.inputs in
+  let orig_sum = List.fold_left (fun acc g -> acc +. Inputs.original_sum i g) 0. planes in
+  if not (Plan.planes_independent ~exec:i.Inputs.exec planes) then
+    { feasible = false; cost = Float.infinity; orig_sum }
+  else begin
+    let verdicts = List.map (lookup t) planes in
+    if List.exists (fun v -> not v.feasible) verdicts then
+      { feasible = false; cost = Float.infinity; orig_sum }
+    else begin
+      let combined = Horizontal.combine_pressure (List.map (plane_pressure t) planes) in
+      let grid = (Metadata.program i.Inputs.meta).Kf_ir.Program.grid in
+      let cost =
+        Horizontal.runtime i.Inputs.device
+          ~threads_per_block:(Kf_ir.Grid.threads_per_block grid)
+          ~blocks:(Kf_ir.Grid.blocks grid)
+          ~costs:(List.map (fun v -> v.cost) verdicts)
+          combined
+      in
+      { feasible = Float.is_finite cost; cost; orig_sum }
+    end
+  end
+
+(* Incremental-path pack probe: same two-level tables as the vertical
+   groups (the [-3]-separated keys are disjoint from every group key), so
+   pack verdicts inherit the merge machinery, the exactly-once
+   evaluation accounting, and the domain-count determinism for free. *)
+let lookup_comp_sig t planes =
+  let l = local_of t in
+  let sb = l.el_sb in
+  Sigbuf.encode_cgroup sb planes;
+  let buf = Sigbuf.unsafe_buf sb
+  and len = Sigbuf.length sb
+  and hash = Sigbuf.hash sb in
+  match Sig_tbl.find_pre t.gcache.btbl ~buf ~len ~hash with
+  | Some v ->
+      l.el_ghits <- l.el_ghits + 1;
+      v
+  | None -> (
+      match Sig_tbl.find_pre l.el_groups ~buf ~len ~hash with
+      | Some v ->
+          l.el_ghits <- l.el_ghits + 1;
+          v
+      | None ->
+          l.el_gmisses <- l.el_gmisses + 1;
+          (* Copy the key out before evaluating: the nested plane lookups
+             below re-encode through this domain's arena. *)
+          let key = Sigbuf.extract sb in
+          l.el_evals <- l.el_evals + 1;
+          let v = evaluate_comp t planes in
+          Sig_tbl.add l.el_groups key ~hash v;
+          v)
+
+let comp_string_key planes = String.concat "|" (List.map string_key planes)
+
+let lookup_comp_string t planes =
+  (* Nested plane lookups run outside the shard lock (evaluation is
+     lock-free in [Verdict_cache.lookup]), so re-entering the cache for
+     the planes cannot deadlock; the '|' keyspace is disjoint from every
+     group key. *)
+  String_cache.lookup t.scache ~key:(comp_string_key planes)
+    ~count_eval:(fun () ->
+      Mutex.lock t.stats_lock;
+      t.evaluations <- t.evaluations + 1;
+      Mutex.unlock t.stats_lock;
+      Kf_obs.Metrics.incr m_evals)
+    ~eval:(fun () -> evaluate_comp t planes)
+
+let lookup_comp t pack =
+  match pack with
+  | [ g ] -> lookup t g
+  | planes ->
+      let planes = Plan.canonical_groups planes in
+      if t.incremental then lookup_comp_sig t planes else lookup_comp_string t planes
+
+let comp_cost t pack = (lookup_comp t pack).cost
+let comp_feasible t pack = (lookup_comp t pack).feasible
+
+let comp_profitable t pack =
+  match pack with
+  | [ g ] -> group_profitable t g
+  | _ ->
+      let v = lookup_comp t pack in
+      v.feasible && v.cost < v.orig_sum
+
 (* ---- plan-level evaluation ---------------------------------------------- *)
 
 (* Evaluate a whole plan through the two-level cache.  The canonical
@@ -843,6 +979,76 @@ let plan_cost t groups =
   if t.incremental then (eval_plan t groups).pe_total
   else
     List.fold_left (fun acc g -> acc +. group_cost t g) 0. (Plan.canonical_groups groups)
+
+(* Whole-composition evaluation: [eval_plan] one level up.  An
+   all-singleton composition encodes byte-identically to the underlying
+   plan signature, so vertical individuals inside a horizontal search
+   share plan-cache entries (and bit-identical totals) with the vertical
+   search.  [base] diffing works across modes because single-plane packs
+   key [pe_costs] by their group, exactly as [eval_plan] does. *)
+let eval_cplan t ?base comps =
+  let l = local_of t in
+  let sb = l.el_sb in
+  let canon = Sigbuf.encode_cplan sb comps in
+  let buf = Sigbuf.unsafe_buf sb
+  and len = Sigbuf.length sb
+  and hash = Sigbuf.hash sb in
+  let cached =
+    match Sig_tbl.find_pre t.plans.btbl ~buf ~len ~hash with
+    | Some _ as pe -> pe
+    | None -> Sig_tbl.find_pre l.el_plans ~buf ~len ~hash
+  in
+  match cached with
+  | Some pe ->
+      l.el_phits <- l.el_phits + 1;
+      pe
+  | None ->
+      l.el_pmisses <- l.el_pmisses + 1;
+      let psig = Sigbuf.extract sb in
+      let costs = Hashtbl.create 16 in
+      let total =
+        List.fold_left
+          (fun acc pack ->
+            match pack with
+            | [ [ k ] ] -> acc +. t.inputs.Inputs.measured_runtime.(k)
+            | [ g ] ->
+                let c =
+                  match base with
+                  | Some b -> (
+                      match Hashtbl.find_opt b.pe_costs g with
+                      | Some c -> c
+                      | None -> (lookup_sig t g).cost)
+                  | None -> (lookup_sig t g).cost
+                in
+                Hashtbl.replace costs g c;
+                acc +. c
+            | planes ->
+                let key = comp_key planes in
+                let c =
+                  match base with
+                  | Some b -> (
+                      match Hashtbl.find_opt b.pe_costs key with
+                      | Some c -> c
+                      | None -> (lookup_comp_sig t planes).cost)
+                  | None -> (lookup_comp_sig t planes).cost
+                in
+                Hashtbl.replace costs key c;
+                acc +. c)
+          0. canon
+      in
+      let pe = { pe_total = total; pe_costs = costs } in
+      Sig_tbl.add l.el_plans psig ~hash pe;
+      pe
+
+let cplan_cost t comps =
+  if t.incremental then (eval_cplan t comps).pe_total
+  else
+    List.fold_left
+      (fun acc pack ->
+        match pack with
+        | [ g ] -> acc +. group_cost t g
+        | planes -> acc +. (lookup_comp t planes).cost)
+      0. (Plan.canonical_comps comps)
 
 let original_sum t group = Inputs.original_sum t.inputs group
 

@@ -199,6 +199,40 @@ val plan_cost : t -> int list list -> float
     totals); [infinity] if any group is infeasible.  On an incremental
     objective this consults the plan-level cache. *)
 
+(** {2 Horizontal packs}
+
+    A pack ([int list list]) is one launch: a single plane is an
+    ordinary vertical group, several planes execute side by side as
+    per-plane sub-grids of one horizontal launch.  Pack verdicts live in
+    the same caches as group verdicts under a disjoint keyspace
+    ([-3]-separated signatures / ['|']-joined string keys), so they
+    inherit the merge machinery, exactly-once accounting and
+    domain-count determinism. *)
+
+val comp_cost : t -> int list list -> float
+(** Combined cost of one pack: the planes' (cached, vertical-path)
+    costs composed through {!Kf_fusion.Horizontal} — the slowest plane
+    in full, the rest attenuated by the residency overlap, scaled by the
+    plane-dispatch divergence penalty; [infinity] when the planes are
+    not pairwise independent, any plane is infeasible, or the combined
+    register/SMEM pressure cannot launch. *)
+
+val comp_feasible : t -> int list list -> bool
+
+val comp_profitable : t -> int list list -> bool
+(** Constraint 1.1 lifted to packs: the combined cost beats the sum of
+    the members' original runtimes. *)
+
+val comp_key : int list list -> int list
+(** The {!plan_eval} cost-table key of a canonical pack: the group
+    itself for single-plane packs, planes flattened with a [-3]
+    separator otherwise. *)
+
+val cplan_cost : t -> int list list list -> float
+(** Σ over packs in canonical pack order.  All-singleton compositions
+    produce bit-identical totals to {!plan_cost} of the underlying
+    groups (they share the very same cache entries). *)
+
 type plan_eval
 (** One whole-plan evaluation: the canonical-order total plus each
     multi-member group's cost, reusable as the delta base for offspring
@@ -213,6 +247,14 @@ val eval_plan : t -> ?base:plan_eval -> int list list -> plan_eval
     for the groups their genetic operator actually changed.  Totals are
     bit-identical to {!plan_cost} regardless of [base].  Singletons
     read the measured-runtime array directly. *)
+
+val eval_cplan : t -> ?base:plan_eval -> int list list list -> plan_eval
+(** {!eval_plan} one level up: evaluate a whole composition through the
+    plan-level cache.  All-singleton compositions share plan-cache
+    entries (and bit-identical totals) with {!eval_plan} of the
+    underlying groups; [base] diffing works across modes because
+    single-plane packs key the cost table by their group.  Incremental
+    path only. *)
 
 val plan_eval_total : plan_eval -> float
 (** The plan's canonical-order cost sum. *)

@@ -28,13 +28,22 @@
          cost, and a search-parameter fingerprint), so the daemon can
          answer a repeat request outright instead of merely warm.
          Search checkpoints are unchanged; v5 cache files load with no
-         stored plans. *)
+         stored plans.
+     v7  horizontal composition: optional per-island [cpopulation]
+         (each individual's launch packs, a list of plane lists) and an
+         optional top-level [cbest].  Vertical-only checkpoints omit
+         both fields — apart from the format number the rendered bytes
+         are exactly the v6 ones — and v1-v6 files load with empty
+         compositions. *)
 
-let format_version = 6
+let format_version = 7
 
 type island = {
   rng_state : int64;  (** raw SplitMix64 state of this island's generator *)
   population : int list list list;
+  cpopulation : int list list list list;
+      (** launch compositions, parallel to [population] (format >= 7;
+          [] for vertical-only checkpoints and older files) *)
 }
 
 type t = {
@@ -62,6 +71,9 @@ type t = {
       (** memoized group verdicts to persist (format >= 5; [] otherwise).
           Search checkpoints always write [] — see the format note. *)
   best : int list list;
+  cbest : int list list list;
+      (** the best individual's launch composition (format >= 7; [] for
+          vertical-only checkpoints and older files) *)
   history : (int * float) list;  (** oldest first *)
   islands : island list;  (** island count = list length; 1 for v1/v2 *)
 }
@@ -81,6 +93,16 @@ let buf_groups b groups =
         g;
       Buffer.add_char b ']')
     groups;
+  Buffer.add_char b ']'
+
+(* A composition is one more nesting level: packs of planes of members. *)
+let buf_comps b comps =
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i pack ->
+      if i > 0 then Buffer.add_char b ',';
+      buf_groups b pack)
+    comps;
   Buffer.add_char b ']'
 
 let render t =
@@ -127,6 +149,10 @@ let render t =
   end;
   Buffer.add_string b "  \"best\": ";
   buf_groups b t.best;
+  if t.cbest <> [] then begin
+    Buffer.add_string b ",\n  \"cbest\": ";
+    buf_comps b t.cbest
+  end;
   Buffer.add_string b ",\n  \"history\": [";
   List.iteri
     (fun i (gen, cost) ->
@@ -145,7 +171,18 @@ let render t =
           Buffer.add_string b "\n      ";
           buf_groups b groups)
         isl.population;
-      Buffer.add_string b "\n    ]}")
+      Buffer.add_string b "\n    ]";
+      if isl.cpopulation <> [] then begin
+        Buffer.add_string b ", \"cpopulation\": [";
+        List.iteri
+          (fun j comps ->
+            if j > 0 then Buffer.add_char b ',';
+            Buffer.add_string b "\n      ";
+            buf_comps b comps)
+          isl.cpopulation;
+        Buffer.add_string b "\n    ]"
+      end;
+      Buffer.add_string b "}")
     t.islands;
   Buffer.add_string b "\n  ]\n}\n";
   Buffer.contents b
@@ -325,6 +362,8 @@ let as_arr name = function Jarr v -> v | _ -> malformed "field %S: expected arra
 let as_groups name j =
   List.map (fun g -> List.map (as_int name) (as_arr name g)) (as_arr name j)
 
+let as_comps name j = List.map (fun pack -> as_groups name pack) (as_arr name j)
+
 let field_opt obj name =
   match obj with Jobj fields -> List.assoc_opt name fields | _ -> None
 
@@ -443,13 +482,25 @@ let of_string s =
         let isls =
           List.map
             (fun isl ->
+              let population =
+                List.map
+                  (fun g -> as_groups "population" g)
+                  (as_arr "population" (field isl "population"))
+              in
+              let cpopulation =
+                match field_opt isl "cpopulation" with
+                | None -> []
+                | Some c ->
+                    let cpop = List.map (as_comps "cpopulation") (as_arr "cpopulation" c) in
+                    if List.length cpop <> List.length population then
+                      malformed "cpopulation must be parallel to population";
+                    cpop
+              in
               {
                 rng_state =
                   rng_state_of_string "rng_state" (as_str "rng_state" (field isl "rng_state"));
-                population =
-                  List.map
-                    (fun g -> as_groups "population" g)
-                    (as_arr "population" (field isl "population"));
+                population;
+                cpopulation;
               })
             (as_arr "islands" v)
         in
@@ -465,6 +516,7 @@ let of_string s =
               List.map
                 (fun g -> as_groups "population" g)
                 (as_arr "population" (field j "population"));
+            cpopulation = [];
           };
         ]
   in
@@ -482,6 +534,7 @@ let of_string s =
     plan_cache;
     group_verdicts;
     best = as_groups "best" (field j "best");
+    cbest = (match field_opt j "cbest" with None -> [] | Some c -> as_comps "cbest" c);
     history;
     islands;
   }

@@ -19,6 +19,10 @@ val format_version : int
 type island = {
   rng_state : int64;  (** raw {!Kf_util.Rng} state of this island's generator *)
   population : int list list list;
+  cpopulation : int list list list list;
+      (** launch compositions (packs of planes), parallel to
+          [population]; [] for vertical-only checkpoints and snapshots
+          that predate format 7 *)
 }
 
 type t = {
@@ -55,6 +59,9 @@ type t = {
           break the bit-identical resume contract, so only the serve
           daemon populates this (usually via {!Cache} documents). *)
   best : int list list;  (** incumbent grouping *)
+  cbest : int list list list;
+      (** the incumbent's launch composition; [] for vertical-only
+          checkpoints and snapshots that predate format 7 *)
   history : (int * float) list;  (** improvement history, oldest first *)
   islands : island list;
       (** per-island state, island 0 first; a single island for

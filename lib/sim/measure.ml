@@ -63,12 +63,69 @@ let program_results ~device p =
 let program ~device p =
   Array.fold_left (fun acc r -> acc +. r.runtime_s) 0. (program_results ~device p)
 
+(* One horizontal launch: measure each plane on its own sub-grid, then
+   combine through Kf_fusion.Horizontal — the *same* composition function
+   the projection model uses, with the pressures taken from the very same
+   per-plane features (kernel registers for original planes, the fused
+   kernel's registers/SMEM for fused ones).  That single definition is
+   what keeps measured and projected horizontal runtimes in agreement on
+   plane semantics. *)
+let horizontal ~device (p : Program.t) planes =
+  let module H = Kf_fusion.Horizontal in
+  let results =
+    List.map
+      (function
+        | Fused_program.P_original k -> kernel ~device p k
+        | Fused_program.P_fused f -> fused ~device p f)
+      planes
+  in
+  let pressures =
+    List.map
+      (function
+        | Fused_program.P_original k ->
+            H.pressure ~regs:(Program.kernel p k).Kf_ir.Kernel.registers_per_thread ~smem:0
+        | Fused_program.P_fused f ->
+            H.pressure ~regs:f.Fused.registers_per_thread ~smem:f.Fused.smem_bytes_per_block)
+      planes
+  in
+  let combined = H.combine_pressure pressures in
+  let grid = p.Program.grid in
+  let threads_per_block = Grid.threads_per_block grid in
+  let blocks = Grid.blocks grid in
+  let costs = List.map (fun r -> r.runtime_s) results in
+  let runtime_s = H.runtime device ~threads_per_block ~blocks ~costs combined in
+  let slowest =
+    List.fold_left
+      (fun acc r -> if r.runtime_s > acc.runtime_s then r else acc)
+      (List.hd results) results
+  in
+  let gmem = List.fold_left (fun acc r -> acc +. r.gmem_bytes) 0. results in
+  let flops =
+    List.fold_left (fun acc r -> acc +. (r.achieved_gflops *. r.runtime_s *. 1e9)) 0. results
+  in
+  let occ =
+    Occupancy.compute ~device ~threads_per_block ~registers_per_thread:combined.H.regs
+      ~smem_per_block:combined.H.smem ~ro_per_block:0 ()
+  in
+  {
+    runtime_s;
+    gmem_bytes = gmem;
+    achieved_gbs = gmem /. runtime_s /. 1e9;
+    achieved_gflops = flops /. runtime_s /. 1e9;
+    occupancy = occ;
+    cycles_per_wave = slowest.cycles_per_wave;
+    waves = slowest.waves;
+    issue_stall_fraction = slowest.issue_stall_fraction;
+  }
+
 let fused_program_results ~device (fp : Fused_program.t) =
   List.map
     (fun u ->
       match u with
       | Fused_program.Original k -> (u, kernel ~device fp.Fused_program.program k)
-      | Fused_program.Fused f -> (u, fused ~device fp.Fused_program.program f))
+      | Fused_program.Fused f -> (u, fused ~device fp.Fused_program.program f)
+      | Fused_program.Horizontal planes ->
+          (u, horizontal ~device fp.Fused_program.program planes))
     fp.Fused_program.units
 
 let fused_program ~device fp =

@@ -1,0 +1,42 @@
+open Kf_ir
+module Rng = Kf_util.Rng
+
+type spec = { name : string; frames : int; stages : int; thread_load : int; seed : int }
+
+let default = { name = "video"; frames = 6; stages = 3; thread_load = 5; seed = 7 }
+
+(* 4x4 blocks of 32x8 threads: one frame occupies a corner of one GPU,
+   which is the regime where horizontal packing pays (phi = 1 in the
+   overlap model).  The big stencil workloads use 40x4 blocks. *)
+let default_grid = Grid.make ~nx:128 ~ny:32 ~nz:8 ~block_x:32 ~block_y:8
+
+let generate ?(grid = default_grid) spec =
+  if spec.frames < 2 then invalid_arg "Video.generate: need at least 2 frames";
+  if spec.stages < 1 then invalid_arg "Video.generate: need at least 1 stage";
+  let rng = Rng.create spec.seed in
+  let per_frame = spec.stages + 1 in
+  let arrays =
+    List.init (spec.frames * per_frame) (fun i ->
+        let f = i / per_frame and s = i mod per_frame in
+        Array_info.make ~id:i ~name:(Printf.sprintf "%s_f%02d_v%d" spec.name f s) ())
+  in
+  let load_stencil = Suite.stencil_of_load spec.thread_load in
+  let kernels =
+    List.init (spec.frames * spec.stages) (fun k ->
+        let f = k / spec.stages and s = k mod spec.stages in
+        let src = (f * per_frame) + s and dst = (f * per_frame) + s + 1 in
+        let flops = 1. +. float_of_int (Rng.int rng 4) in
+        let accesses =
+          [
+            { Access.array = src; mode = Access.Read; pattern = load_stencil; flops };
+            { Access.array = dst; mode = Access.Write; pattern = Stencil.point; flops = 1. };
+          ]
+        in
+        Kernel.make ~id:k
+          ~name:(Printf.sprintf "%s_f%02d_s%d" spec.name f s)
+          ~accesses
+          ~extra_flops_per_site:(2. +. float_of_int (Rng.int rng 5))
+          ~registers_per_thread:(26 + Rng.int rng 18)
+          ())
+  in
+  Program.create ~name:spec.name ~grid ~arrays ~kernels

@@ -1,0 +1,31 @@
+(** Video-analytics style workload: many small independent per-frame
+    pipelines.
+
+    Multi-stream inference and video pipelines (HFuse, arXiv 2007.01277;
+    the concurrent-kernel studies of arXiv 1509.04394) run the same short
+    chain of small kernels once per frame or stream.  Each chain is
+    memory bound but launches far too few blocks to fill the device, so
+    vertical fusion inside a chain leaves most SMXs idle — the win comes
+    from packing the independent per-frame chains side by side into one
+    horizontal launch.
+
+    The generator produces [frames] fully independent chains of [stages]
+    kernels each (disjoint array pools, so any cross-frame pair is
+    {!Kf_graph.Exec_order.independent}) over one deliberately small grid.
+    Deterministic for a given spec. *)
+
+type spec = {
+  name : string;
+  frames : int;  (** independent per-frame chains (the horizontal planes) *)
+  stages : int;  (** kernels per chain, a producer-consumer sequence *)
+  thread_load : int;  (** stencil point count of each stage's main read *)
+  seed : int;
+}
+
+val default : spec
+(** ["video"], 6 frames, 3 stages, thread load 5, seed 7. *)
+
+val generate : ?grid:Kf_ir.Grid.t -> spec -> Kf_ir.Program.t
+(** The default grid launches 16 blocks — small enough that every plane
+    of a horizontal pack stays fully resident on the paper's devices.
+    @raise Invalid_argument for [frames < 2] or [stages < 1]. *)

@@ -20,4 +20,5 @@ let () =
       ("oracle", Test_oracle.suite);
       ("renaming", Test_renaming.suite);
       ("shapes", Test_shapes.suite);
+      ("horizontal", Test_horizontal.suite);
     ]

@@ -1,0 +1,433 @@
+(* Horizontal composition tests: pack legality, mode-aware canonical
+   signatures, the video workload's horizontal-beats-vertical win, the
+   determinism contract with horizontal search on, snapshot v7, and the
+   perf_gate schema dispatch for the horizontal bench. *)
+
+module Device = Kf_gpu.Device
+module Plan = Kf_fusion.Plan
+module Objective = Kf_search.Objective
+module Hgga = Kf_search.Hgga
+module Snapshot = Kf_search.Snapshot
+module Pipeline = Kfuse.Pipeline
+module Rng = Kf_util.Rng
+module Video = Kf_workloads.Video
+
+let check = Alcotest.check
+let device = Device.k20x
+
+(* A small video workload: 4 independent frame chains of 3 stages each,
+   12 kernels.  Frame f owns kernels 3f, 3f+1, 3f+2 (a producer-consumer
+   chain); any cross-frame pair is independent. *)
+let spec = { Video.default with Video.frames = 4; stages = 3 }
+let program () = Video.generate spec
+let n = spec.Video.frames * spec.Video.stages
+
+let ctx = lazy (Pipeline.prepare ~device (program ()))
+
+let fast_params =
+  { Hgga.default_params with Hgga.max_generations = 60; stall_generations = 20 }
+
+let solve ?(params = fast_params) ?(horizontal = true) ?(domains = 1)
+    ?(incremental = true) ?(arena = true) ?checkpoint ?resume_from () =
+  let ctx = Lazy.force ctx in
+  let obj = Pipeline.objective ~domains ~incremental ~arena ctx in
+  Hgga.solve
+    ~params:{ params with Hgga.horizontal; domains }
+    ?checkpoint ?resume_from obj
+
+let same_result a b =
+  Plan.equal a.Hgga.plan b.Hgga.plan
+  && Int64.bits_of_float a.Hgga.cost = Int64.bits_of_float b.Hgga.cost
+  && a.Hgga.stats.Hgga.improvement_history = b.Hgga.stats.Hgga.improvement_history
+  && a.Hgga.stats.Hgga.evaluations = b.Hgga.stats.Hgga.evaluations
+
+(* ------------------------------------------------------------------ *)
+(* Random compositions for the signature properties                    *)
+
+(* A random composition over kernels 0..n-1: random vertical partition,
+   then random packing of the groups into packs.  Legality is irrelevant
+   to signature canonicalization, so groups are arbitrary subsets. *)
+let random_comps rng =
+  let ids = Array.init n Fun.id in
+  (* Fisher-Yates *)
+  for i = n - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let t = ids.(i) in
+    ids.(i) <- ids.(j);
+    ids.(j) <- t
+  done;
+  let groups = ref [] and i = ref 0 in
+  while !i < n do
+    let len = min (n - !i) (1 + Rng.int rng 3) in
+    groups := Array.to_list (Array.sub ids !i len) :: !groups;
+    i := !i + len
+  done;
+  let packs = ref [] in
+  List.iter
+    (fun g ->
+      match !packs with
+      | pack :: rest when List.length pack < 3 && Rng.int rng 2 = 0 ->
+          packs := (g :: pack) :: rest
+      | _ -> packs := [ g ] :: !packs)
+    !groups;
+  !packs
+
+let shuffle rng l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
+(* Reorder packs, planes within packs, and members within planes. *)
+let scramble rng comps =
+  shuffle rng (List.map (fun pack -> shuffle rng (List.map (shuffle rng) pack)) comps)
+
+let sig_of comps =
+  let sb = Plan.Sigbuf.create () in
+  let canon = Plan.Sigbuf.encode_cplan sb comps in
+  (canon, Plan.Sigbuf.extract sb)
+
+let prop_signature_canonical seed =
+  let rng = Rng.create seed in
+  let comps = random_comps rng in
+  let canon, s = sig_of comps in
+  let canon', s' = sig_of (scramble rng comps) in
+  canon = canon' && s = s'
+  && canon = Plan.canonical_comps comps
+  && Plan.canonical_comps canon = canon
+
+(* An all-singleton composition must encode byte-identically to the
+   whole-plan signature of the underlying vertical partition, so the
+   two plan-cache keyspaces coincide on vertical plans. *)
+let prop_singleton_sig_matches_vertical seed =
+  let rng = Rng.create seed in
+  let comps = random_comps rng in
+  let groups = List.concat comps in
+  let _, s = sig_of (List.map (fun g -> [ g ]) groups) in
+  let sb = Plan.Sigbuf.create () in
+  Plan.Sigbuf.encode_plan sb groups;
+  s = Plan.Sigbuf.extract sb
+
+(* of_composed round-trips the canonical composition, and its vertical
+   projection is the flattened plane list. *)
+let prop_of_composed_roundtrip seed =
+  let rng = Rng.create seed in
+  let comps = random_comps rng in
+  let plan = Plan.of_composed ~n comps in
+  let canon = Plan.canonical_comps comps in
+  Plan.composed plan = canon
+  && Plan.groups plan = Plan.canonical_groups (List.concat comps)
+  && Plan.num_units plan = List.length canon
+  && Plan.is_vertical plan = List.for_all (fun p -> List.length p = 1) canon
+
+let qcheck name prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name QCheck.small_int prop)
+
+(* ------------------------------------------------------------------ *)
+(* Pack legality                                                       *)
+
+let singles lo hi = List.init (hi - lo) (fun i -> [ [ lo + i ] ])
+
+let test_dependent_planes_rejected () =
+  (* Kernels 0 and 1 are stages 0 and 1 of frame 0: kernel 0 writes the
+     array kernel 1 reads.  Packing them as two planes of one launch is
+     illegal — planes run concurrently. *)
+  let ctx = Lazy.force ctx in
+  check Alcotest.bool "frame-internal pair is dependent" false
+    (Plan.planes_independent ~exec:ctx.Pipeline.exec [ [ 0 ]; [ 1 ] ]);
+  let plan = Plan.of_composed ~n ([ [ [ 0 ]; [ 1 ] ] ] @ singles 2 n) in
+  let violations =
+    Plan.validate ~device ~meta:ctx.Pipeline.meta ~exec:ctx.Pipeline.exec plan
+  in
+  check Alcotest.bool "Planes_dependent raised" true
+    (List.exists
+       (function Plan.Planes_dependent _ -> true | _ -> false)
+       violations)
+
+let test_independent_planes_accepted () =
+  (* Kernels 0 and 3 are stage 0 of frames 0 and 1: disjoint array
+     pools, so the pack is legal. *)
+  let ctx = Lazy.force ctx in
+  check Alcotest.bool "cross-frame pair is independent" true
+    (Plan.planes_independent ~exec:ctx.Pipeline.exec [ [ 0 ]; [ 3 ] ]);
+  let plan =
+    Plan.of_composed ~n ([ [ [ 0 ]; [ 3 ] ]; [ [ 1 ] ]; [ [ 2 ] ] ] @ singles 4 n)
+  in
+  let violations =
+    Plan.validate ~device ~meta:ctx.Pipeline.meta ~exec:ctx.Pipeline.exec plan
+  in
+  check Alcotest.bool "no Planes_dependent" false
+    (List.exists
+       (function Plan.Planes_dependent _ -> true | _ -> false)
+       violations);
+  check Alcotest.int "one horizontal pack" 1 (Plan.horizontal_pack_count plan);
+  check Alcotest.int "two planes" 2 (Plan.horizontal_plane_count plan)
+
+(* Fully-fused frame chains packed horizontally: the shape the search
+   should find on this workload, checked legal end to end. *)
+let test_full_chains_pack_legal () =
+  let ctx = Lazy.force ctx in
+  let chains =
+    List.init spec.Video.frames (fun f ->
+        List.init spec.Video.stages (fun s -> (f * spec.Video.stages) + s))
+  in
+  let plan = Plan.of_composed ~n [ chains ] in
+  check Alcotest.bool "packed chains validate" true
+    (Plan.validate ~device ~meta:ctx.Pipeline.meta ~exec:ctx.Pipeline.exec plan = [])
+
+(* ------------------------------------------------------------------ *)
+(* The horizontal win on the video workload                            *)
+
+let hresult = lazy (solve ())
+let vresult = lazy (solve ~horizontal:false ())
+
+let test_horizontal_beats_vertical () =
+  let rh = Lazy.force hresult and rv = Lazy.force vresult in
+  let ctx = Lazy.force ctx in
+  check Alcotest.bool "vertical plan is vertical" true (Plan.is_vertical rv.Hgga.plan);
+  check Alcotest.bool "found a horizontal pack" true
+    (Plan.horizontal_pack_count rh.Hgga.plan >= 1);
+  check Alcotest.bool "winner validates clean" true
+    (Plan.validate ~device ~meta:ctx.Pipeline.meta ~exec:ctx.Pipeline.exec
+       rh.Hgga.plan
+    = []);
+  check Alcotest.bool "strictly lower projected cost" true
+    (rh.Hgga.cost < rv.Hgga.cost)
+
+let test_measured_agrees_with_projection () =
+  (* kf_sim must agree with the projection on the direction of the win:
+     the horizontal plan's measured fused runtime beats vertical-only. *)
+  let ctx = Lazy.force ctx in
+  let oh = Pipeline.apply ctx (Lazy.force hresult)
+  and ov = Pipeline.apply ctx (Lazy.force vresult) in
+  check Alcotest.bool "measured horizontal faster" true
+    (oh.Pipeline.fused_runtime < ov.Pipeline.fused_runtime)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism contract with horizontal search on                      *)
+
+let test_determinism_matrix () =
+  (* Fixed islands: bit-identical results for any domain count, with
+     incremental on/off and arena on/off. *)
+  let params = { fast_params with Hgga.islands = 2 } in
+  let base = solve ~params () in
+  List.iter
+    (fun (name, domains, incremental, arena) ->
+      let r = solve ~params ~domains ~incremental ~arena () in
+      check Alcotest.bool name true (same_result base r))
+    [
+      ("domains 4", 4, true, true);
+      ("no-incremental", 1, false, true);
+      ("no-arena", 1, true, false);
+      ("all off, domains 4", 4, false, false);
+    ]
+
+let test_vertical_only_unchanged () =
+  (* The --no-horizontal escape hatch: two vertical-only runs are
+     bit-identical and never produce a composed plan — the historical
+     code path, byte for byte. *)
+  let a = Lazy.force vresult and b = solve ~horizontal:false () in
+  check Alcotest.bool "vertical runs bit-identical" true (same_result a b);
+  check Alcotest.int "no packs" 0 (Plan.horizontal_pack_count a.Hgga.plan)
+
+let test_mutation_walk_stays_canonical () =
+  (* Random mutation walk through the composed space: every individual
+     the search returns is canonical and its signature is stable. *)
+  let r = Lazy.force hresult in
+  let comps = Plan.composed r.Hgga.plan in
+  check Alcotest.bool "champion composition canonical" true
+    (Plan.canonical_comps comps = comps)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot v7                                                         *)
+
+let horizontal_snapshot () =
+  {
+    Snapshot.population_size = 4;
+    seed = 7;
+    n = 6;
+    generation = 3;
+    stall = 1;
+    evaluations = 20;
+    wall_time_s = 0.5;
+    faults =
+      { Objective.injected = 0; trapped = 0; corrupted = 0; retries = 0;
+        recovered = 0; quarantined = 0 };
+    migration_cursor = 0;
+    group_cache = { Objective.hits = 5; misses = 3; evictions = 0; size = 0 };
+    plan_cache = { Objective.hits = 1; misses = 1; evictions = 0; size = 0 };
+    group_verdicts = [];
+    best = [ [ 0; 1 ]; [ 2 ]; [ 3 ]; [ 4; 5 ] ];
+    cbest = [ [ [ 0; 1 ]; [ 2 ] ]; [ [ 3 ] ]; [ [ 4; 5 ] ] ];
+    history = [ (0, 1.0); (2, 0.75) ];
+    islands =
+      [
+        {
+          Snapshot.rng_state = 123456789L;
+          population = [ [ [ 0; 1 ]; [ 2 ]; [ 3 ]; [ 4; 5 ] ]; [ [ 0 ]; [ 1; 2 ]; [ 3 ]; [ 4 ]; [ 5 ] ] ];
+          cpopulation =
+            [
+              [ [ [ 0; 1 ]; [ 2 ] ]; [ [ 3 ] ]; [ [ 4; 5 ] ] ];
+              [ [ [ 0 ] ]; [ [ 1; 2 ]; [ 3 ] ]; [ [ 4 ] ]; [ [ 5 ] ] ];
+            ];
+        };
+      ];
+  }
+
+let test_snapshot_v7_roundtrip () =
+  let snap = horizontal_snapshot () in
+  let back = Snapshot.of_string (Snapshot.render snap) in
+  check Alcotest.bool "horizontal roundtrip identical" true (snap = back)
+
+let test_snapshot_vertical_render_has_no_composition_fields () =
+  (* Vertical-only checkpoints must render without any composition
+     fields, so vertical runs keep their historical document shape. *)
+  let snap =
+    { (horizontal_snapshot ()) with
+      Snapshot.cbest = [];
+      islands =
+        List.map
+          (fun i -> { i with Snapshot.cpopulation = [] })
+          (horizontal_snapshot ()).Snapshot.islands;
+    }
+  in
+  let doc = Snapshot.render snap in
+  let contains sub =
+    let ls = String.length sub and l = String.length doc in
+    let rec go i = i + ls <= l && (String.sub doc i ls = sub || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "no cbest field" false (contains "cbest");
+  check Alcotest.bool "no cpopulation field" false (contains "cpopulation");
+  check Alcotest.bool "still roundtrips" true (Snapshot.of_string doc = snap)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / resume with horizontal search                          *)
+
+let with_temp_snapshot f =
+  let path = Filename.temp_file "kfuse_horizontal" ".json" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) (fun () -> f path)
+
+let test_checkpoint_resume_identical () =
+  (* Kill after 10 generations (snapshot at gen 10), resume to the full
+     horizon: bit-identical final plan and cost, like the vertical
+     resume contract in test_robust. *)
+  with_temp_snapshot (fun path ->
+      let params =
+        { fast_params with Hgga.islands = 2; stall_generations = 1000 }
+      in
+      let full = solve ~params () in
+      let _killed =
+        solve
+          ~params:{ params with Hgga.max_generations = 10 }
+          ~checkpoint:{ Hgga.path; every = 5 } ()
+      in
+      let resumed = solve ~params ~resume_from:path () in
+      check Alcotest.bool "same final plan" true
+        (Plan.equal full.Hgga.plan resumed.Hgga.plan);
+      check Alcotest.bool "same final cost" true
+        (Int64.bits_of_float full.Hgga.cost = Int64.bits_of_float resumed.Hgga.cost);
+      check Alcotest.int "same generation count" full.Hgga.stats.Hgga.generations
+        resumed.Hgga.stats.Hgga.generations)
+
+let test_resume_requires_horizontal () =
+  (* A snapshot carrying compositions cannot be resumed by a
+     vertical-only search: the composed individuals would be silently
+     flattened, so the loader refuses. *)
+  with_temp_snapshot (fun path ->
+      let _ =
+        solve
+          ~params:{ fast_params with Hgga.max_generations = 10; stall_generations = 1000 }
+          ~checkpoint:{ Hgga.path; every = 5 } ()
+      in
+      match solve ~horizontal:false ~resume_from:path () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "vertical resume of a horizontal snapshot succeeded")
+
+let test_horizontal_excludes_portfolio () =
+  (* Portfolio rows are keyed by vertical group signatures; combining
+     them with composed plans is rejected up front. *)
+  let ctx = Lazy.force ctx in
+  let obj = Pipeline.objective ~portfolio:[ ctx.Pipeline.inputs ] ctx in
+  match
+    Hgga.solve ~params:{ fast_params with Hgga.horizontal = true } obj
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "horizontal + portfolio solve succeeded"
+
+(* ------------------------------------------------------------------ *)
+(* perf_gate schema dispatch                                           *)
+
+let test_perf_gate_unknown_schema () =
+  (* Regression for the schema dispatch table: an unknown schema must
+     exit 2 and list the known schemas, which now include the
+     horizontal bench. *)
+  match Sys.getenv_opt "PERF_GATE" with
+  | None -> Alcotest.skip ()
+  | Some exe ->
+      let json = Filename.temp_file "kfuse_gate" ".json" in
+      let err = Filename.temp_file "kfuse_gate" ".err" in
+      Fun.protect
+        ~finally:(fun () ->
+          Sys.remove json;
+          Sys.remove err)
+        (fun () ->
+          let out = open_out json in
+          output_string out "{\"schema\": \"kfuse-bench-bogus/9\"}\n";
+          close_out out;
+          let cmd =
+            Printf.sprintf "%s %s %s 2>%s" (Filename.quote exe)
+              (Filename.quote json) (Filename.quote json) (Filename.quote err)
+          in
+          let code =
+            match Unix.system cmd with
+            | Unix.WEXITED c -> c
+            | _ -> -1
+          in
+          check Alcotest.int "unknown schema exits 2" 2 code;
+          let ic = open_in err in
+          let len = in_channel_length ic in
+          let msg = really_input_string ic len in
+          close_in ic;
+          let contains sub =
+            let ls = String.length sub and l = String.length msg in
+            let rec go i = i + ls <= l && (String.sub msg i ls = sub || go (i + 1)) in
+            go 0
+          in
+          check Alcotest.bool "names the failure" true (contains "unknown schema");
+          check Alcotest.bool "lists the horizontal schema" true
+            (contains "kfuse-bench-horizontal/1"))
+
+let suite =
+  [
+    qcheck "cplan signature canonical under scrambling" prop_signature_canonical;
+    qcheck "singleton cplan signature = vertical plan signature"
+      prop_singleton_sig_matches_vertical;
+    qcheck "of_composed roundtrips canonical composition" prop_of_composed_roundtrip;
+    Alcotest.test_case "dependent planes rejected" `Quick test_dependent_planes_rejected;
+    Alcotest.test_case "independent planes accepted" `Quick test_independent_planes_accepted;
+    Alcotest.test_case "packed frame chains legal" `Quick test_full_chains_pack_legal;
+    Alcotest.test_case "horizontal beats vertical on video" `Quick
+      test_horizontal_beats_vertical;
+    Alcotest.test_case "measured agrees with projection" `Quick
+      test_measured_agrees_with_projection;
+    Alcotest.test_case "determinism matrix" `Slow test_determinism_matrix;
+    Alcotest.test_case "vertical-only path unchanged" `Quick test_vertical_only_unchanged;
+    Alcotest.test_case "champion composition canonical" `Quick
+      test_mutation_walk_stays_canonical;
+    Alcotest.test_case "snapshot v7 roundtrip" `Quick test_snapshot_v7_roundtrip;
+    Alcotest.test_case "vertical snapshot has no composition fields" `Quick
+      test_snapshot_vertical_render_has_no_composition_fields;
+    Alcotest.test_case "checkpoint/resume identical" `Slow test_checkpoint_resume_identical;
+    Alcotest.test_case "horizontal snapshot needs horizontal resume" `Quick
+      test_resume_requires_horizontal;
+    Alcotest.test_case "horizontal excludes portfolio" `Quick
+      test_horizontal_excludes_portfolio;
+    Alcotest.test_case "perf_gate rejects unknown schema" `Quick
+      test_perf_gate_unknown_schema;
+  ]

@@ -397,16 +397,19 @@ let sample_snapshot () =
           ([| 2; 3; 4 |], { Objective.feasible = false; cost = infinity; orig_sum = 0.75 });
         ];
       best = [ [ 0; 1 ]; [ 2 ]; [ 3; 4 ] ];
+      cbest = [];
       history = [ (0, 0.25); (3, 0.125) ];
       islands =
         [
           {
             Snapshot.rng_state = -8313746488903152427L;
             population = [ [ [ 0; 1; 2; 3; 4 ] ]; [ [ 0 ]; [ 1; 2 ]; [ 3; 4 ] ] ];
+            cpopulation = [];
           };
           {
             Snapshot.rng_state = 7459286063232097792L;
             population = [ [ [ 0; 1 ]; [ 2 ]; [ 3 ]; [ 4 ] ] ];
+            cpopulation = [];
           };
         ];
   }
